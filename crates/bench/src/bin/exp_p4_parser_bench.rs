@@ -1,0 +1,140 @@
+//! Experiment P4 (paper Section IV): the online-parser benchmark, with the
+//! paper's angle — "focusing on their automation limits".
+//!
+//! Part 1: grouping accuracy + throughput of every parser on the four
+//! benchmark corpora.
+//! Part 2: Drain's hyper-parameter sensitivity ("their values have a
+//! significant impact on precision. Therefore, Drain cannot be deployed in
+//! an unknown system with a high level of confidence") and its
+//! preprocessing sensitivity ("Drain's accuracy is influenced by
+//! preprocessing").
+//!
+//! Run: `cargo run --release -p monilog-bench --bin exp_p4_parser_bench`
+
+use monilog_bench::{pct, print_table};
+use monilog_core::parse::eval::{grouping_accuracy, pairwise_scores};
+use monilog_core::parse::{
+    BatchParser, Drain, DrainConfig, IpLoM, IpLoMConfig, LenMa, LenMaConfig, Logan, LoganConfig,
+    Logram, LogramConfig, MaskConfig, OnlineParser, ShardedDrain, ShardedDrainConfig, Shiso,
+    ShisoConfig, Slct, SlctConfig, Spell, SpellConfig,
+};
+use monilog_loggen::corpus::{benchmark_panel, Corpus};
+use std::time::Instant;
+
+/// (strict grouping accuracy, pairwise F1, lines/s).
+fn score(parsed: &[u32], corpus: &Corpus, secs: f64) -> (f64, f64, f64) {
+    let truth: Vec<u32> = corpus.logs.iter().map(|l| l.truth.template.0).collect();
+    (
+        grouping_accuracy(parsed, &truth),
+        pairwise_scores(parsed, &truth).f1,
+        parsed.len() as f64 / secs,
+    )
+}
+
+fn run_online(parser: &mut dyn OnlineParser, corpus: &Corpus) -> (f64, f64, f64) {
+    let messages: Vec<&str> = corpus.messages().collect();
+    let start = Instant::now();
+    let parsed: Vec<u32> = messages.iter().map(|m| parser.parse(m).template.0).collect();
+    score(&parsed, corpus, start.elapsed().as_secs_f64())
+}
+
+fn run_batch(parser: &mut dyn BatchParser, corpus: &Corpus) -> (f64, f64, f64) {
+    let messages: Vec<&str> = corpus.messages().collect();
+    let start = Instant::now();
+    let parsed: Vec<u32> = parser
+        .parse_batch(&messages)
+        .into_iter()
+        .map(|o| o.template.0)
+        .collect();
+    score(&parsed, corpus, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    println!("# P4 — online log parser benchmark (automation limits)\n");
+    let panel = benchmark_panel(120, 401);
+    let corpus_names: Vec<&str> = panel.iter().map(|c| c.name).collect();
+    println!(
+        "corpora: {:?} ({} lines total)\n",
+        corpus_names,
+        panel.iter().map(|c| c.logs.len()).sum::<usize>()
+    );
+
+    // ── Part 1: accuracy per corpus + mean throughput ─────────────────────
+    let parsers: Vec<&str> = vec![
+        "Drain", "Spell", "LenMa", "Logan", "SHISO", "Logram", "ShardedDrain", "IPLoM", "SLCT",
+    ];
+    let mut ga_rows = Vec::new();
+    let mut f1_rows = Vec::new();
+    for name in &parsers {
+        let mut ga_row = vec![name.to_string()];
+        let mut f1_row = vec![name.to_string()];
+        let mut throughputs = Vec::new();
+        for corpus in &panel {
+            let (ga, f1, tput) = match *name {
+                "Drain" => run_online(&mut Drain::new(DrainConfig::default()), corpus),
+                "Spell" => run_online(&mut Spell::new(SpellConfig::default()), corpus),
+                "LenMa" => run_online(&mut LenMa::new(LenMaConfig::default()), corpus),
+                "Logan" => run_online(&mut Logan::new(LoganConfig::default()), corpus),
+                "SHISO" => run_online(&mut Shiso::new(ShisoConfig::default()), corpus),
+                "Logram" => run_online(&mut Logram::new(LogramConfig::default()), corpus),
+                "ShardedDrain" => {
+                    run_online(&mut ShardedDrain::new(ShardedDrainConfig::default()), corpus)
+                }
+                "IPLoM" => run_batch(&mut IpLoM::new(IpLoMConfig::default()), corpus),
+                "SLCT" => run_batch(&mut Slct::new(SlctConfig::default()), corpus),
+                _ => unreachable!(),
+            };
+            ga_row.push(pct(ga));
+            f1_row.push(pct(f1));
+            throughputs.push(tput);
+        }
+        let mean_tput = throughputs.iter().sum::<f64>() / throughputs.len() as f64;
+        f1_row.push(format!("{:.0}k", mean_tput / 1_000.0));
+        ga_rows.push(ga_row);
+        f1_rows.push(f1_row);
+    }
+    println!("## pairwise clustering F1 per corpus (+ mean throughput)\n");
+    let mut headers = vec!["parser"];
+    headers.extend(corpus_names.iter());
+    headers.push("mean lines/s");
+    print_table(&headers, &f1_rows);
+    println!(
+        "\n## strict grouping accuracy per corpus\n\
+         (all-or-nothing per group: one stray line zeroes the whole group —\n\
+         near 0 on `unstable` for every parser, and for Logram, whose cold-start\n\
+         warm-up contaminates early groups)\n"
+    );
+    let mut headers = vec!["parser"];
+    headers.extend(corpus_names.iter());
+    print_table(&headers, &ga_rows);
+
+    // ── Part 2: Drain automation limits (hdfs_like corpus) ───────────────
+    println!(
+        "\n## Drain automation limits: preprocessing × similarity threshold\n\
+         (corpus: hdfs_like; cells are strict grouping accuracy)\n"
+    );
+    let hdfs = &panel[0];
+    let truth: Vec<u32> = hdfs.logs.iter().map(|l| l.truth.template.0).collect();
+    let messages: Vec<&str> = hdfs.messages().collect();
+    let mut rows = Vec::new();
+    for (name, mask) in [
+        ("no masking", MaskConfig::NONE),
+        ("standard masking", MaskConfig::STANDARD),
+        ("aggressive masking", MaskConfig::AGGRESSIVE),
+    ] {
+        let mut row = vec![name.to_string()];
+        for st in [0.2, 0.4, 0.6, 0.8] {
+            let mut p = Drain::new(DrainConfig { mask, sim_threshold: st, ..Default::default() });
+            let parsed: Vec<u32> = messages.iter().map(|m| p.parse(m).template.0).collect();
+            row.push(pct(grouping_accuracy(&parsed, &truth)));
+        }
+        rows.push(row);
+    }
+    print_table(&["preprocessing", "st=0.2", "st=0.4", "st=0.6", "st=0.8"], &rows);
+    println!(
+        "\nShape check: with masking, every threshold works (the whole row is\n\
+         flat); without it, accuracy collapses from 100% to ~0% as st rises —\n\
+         the paper's two automation limits are the same limit: hyper-parameters\n\
+         are only safe where preprocessing already hides the variables."
+    );
+}

@@ -1,0 +1,93 @@
+//! Experiment X1 (the LogRobust instability study the paper builds on):
+//! detector F1 under 0–20% log instability.
+//!
+//! "LogRobust authors used different altered versions of an HDFS dataset.
+//! Each version contains a proportion from 0 to 20% of unstable log
+//! events": badly parsed lines, twisted statements, duplicated/shuffled
+//! logs (Section III).
+//!
+//! All six detectors train on the *stable* stream (LogRobust gets labels,
+//! as its paper requires) and are evaluated on altered test sets. Expected
+//! shape: counter methods and DeepLog fall fastest; LogAnomaly absorbs
+//! template variants; LogRobust stays flattest.
+//!
+//! Run: `cargo run --release -p monilog-bench --bin exp_x1_instability`
+
+use monilog_bench::{
+    detector_panel, f3, parse_session_windows, print_table,
+};
+use monilog_core::detect::{evaluate, TrainSet};
+use monilog_core::parse::{Drain, DrainConfig, OnlineParser};
+use monilog_loggen::{HdfsWorkload, HdfsWorkloadConfig, InstabilityConfig, InstabilityInjector};
+
+fn main() {
+    println!("# X1 — detector F1 under 0–20% log instability\n");
+    let train_logs = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 900,
+        // LogRobust needs labeled anomalies: the training stream carries
+        // them (its published setup uses ~50%; we use a realistic mix).
+        sequential_anomaly_rate: 0.15,
+        quantitative_anomaly_rate: 0.10,
+        seed: 1101,
+        ..Default::default()
+    })
+    .generate();
+    let base_test = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 500,
+        sequential_anomaly_rate: 0.05,
+        quantitative_anomaly_rate: 0.03,
+        seed: 1102,
+        ..Default::default()
+    })
+    .generate();
+
+    let mut parser = Drain::new(DrainConfig::default());
+    let (train_windows, train_labels) = parse_session_windows(&mut parser, &train_logs);
+    let train = TrainSet::labeled(train_windows, train_labels)
+        .with_templates(parser.store().clone());
+
+    let mut detectors = detector_panel();
+    for d in detectors.iter_mut() {
+        d.fit(&train);
+    }
+
+    let ratios = [0.0, 0.05, 0.10, 0.15, 0.20];
+    // Parse all altered test sets with the same evolving parser, then
+    // refresh every detector's template view once.
+    let mut test_sets = Vec::new();
+    for &ratio in &ratios {
+        let altered = if ratio == 0.0 {
+            base_test.clone()
+        } else {
+            InstabilityInjector::new(InstabilityConfig::all_kinds(ratio, 1103)).apply(&base_test)
+        };
+        test_sets.push(parse_session_windows(&mut parser, &altered));
+    }
+    for d in detectors.iter_mut() {
+        d.update_templates(parser.store());
+    }
+
+    let mut rows = Vec::new();
+    for d in &detectors {
+        let mut row = vec![d.name().to_string()];
+        let mut f1s = Vec::new();
+        for (windows, labels) in &test_sets {
+            let s = evaluate(d.as_ref(), windows, labels);
+            f1s.push(s.f1);
+            row.push(f3(s.f1));
+        }
+        row.push(f3(f1s[0] - f1s[f1s.len() - 1]));
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("detector".to_string())
+        .chain(ratios.iter().map(|r| format!("F1 @ {:.0}%", r * 100.0)))
+        .chain(std::iter::once("drop 0→20%".to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(&header_refs, &rows);
+    println!(
+        "\nShape check (LogRobust's published curve): closed-world DeepLog and the\n\
+         counter methods degrade steeply; LogAnomaly absorbs evolved templates\n\
+         via semantic matching; supervised LogRobust is the most stable."
+    );
+}

@@ -1,0 +1,214 @@
+//! The anomaly classifier: pool routing + criticality, passively trained.
+//!
+//! "Each time an alert is moved from a pool to another, it is used as an
+//! assessment signal to enrich the algorithm's ability to classify further
+//! anomalies within a specific pool. In the same way, every time the level
+//! of criticality is manually modified, it is used to improve further
+//! anomaly evaluation. [...] This is also a convenient way to provide
+//! feedback to the classifier without any extra human effort as it is
+//! passively done by the user experience." (Section V)
+
+use crate::features::{featurize, FEATURE_DIM};
+use crate::perceptron::{AveragedPerceptron, OrdinalPerceptron};
+use crate::pools::{PoolId, PoolRegistry};
+use monilog_model::{AnomalyReport, Criticality};
+
+/// A classified anomaly: where it was routed and how critical it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    pub pool: PoolId,
+    pub criticality: Criticality,
+}
+
+/// The customizable, passively-trained classification module of Fig. 3.
+#[derive(Debug)]
+pub struct AnomalyClassifier {
+    pools: PoolRegistry,
+    router: AveragedPerceptron<PoolId>,
+    criticality: OrdinalPerceptron,
+    feedback_events: u64,
+}
+
+impl AnomalyClassifier {
+    pub fn new() -> Self {
+        AnomalyClassifier {
+            pools: PoolRegistry::new(),
+            router: AveragedPerceptron::new(FEATURE_DIM),
+            criticality: OrdinalPerceptron::new(FEATURE_DIM, Criticality::ALL.len()),
+            feedback_events: 0,
+        }
+    }
+
+    /// The pool registry (administration surface).
+    pub fn pools(&self) -> &PoolRegistry {
+        &self.pools
+    }
+
+    /// Administrator action: create a pool.
+    pub fn create_pool(&mut self, name: impl Into<String>) -> PoolId {
+        self.pools.create(name)
+    }
+
+    /// Administrator action: delete a pool. Routing knowledge about it is
+    /// dropped; pending anomalies fall back to the default pool.
+    pub fn delete_pool(&mut self, id: PoolId) -> bool {
+        let deleted = self.pools.delete(id);
+        if deleted {
+            self.router.remove_class(id);
+        }
+        deleted
+    }
+
+    /// Classify a report: route it to a pool and assign a criticality.
+    /// Before any feedback arrives, everything lands in the default pool
+    /// at the lowest level — the cold-start the paper's passive design
+    /// accepts.
+    pub fn classify(&self, report: &AnomalyReport) -> Assignment {
+        let x = featurize(report);
+        let mut pool = self
+            .router
+            .predict_with_default(&x, PoolRegistry::DEFAULT);
+        if !self.pools.is_active(pool) {
+            pool = PoolRegistry::DEFAULT;
+        }
+        let level = Criticality::from_ordinal(self.criticality.predict(&x));
+        Assignment { pool, criticality: level }
+    }
+
+    /// Passive signal: an administrator moved `report` to `target` pool
+    /// (from wherever the classifier had put it).
+    pub fn observe_move(&mut self, report: &AnomalyReport, target: PoolId) {
+        if !self.pools.is_active(target) {
+            return; // stale feedback about a deleted pool
+        }
+        let x = featurize(report);
+        self.router.learn(&x, target);
+        self.feedback_events += 1;
+    }
+
+    /// Passive signal: an administrator set `report`'s criticality.
+    pub fn observe_criticality(&mut self, report: &AnomalyReport, level: Criticality) {
+        let x = featurize(report);
+        self.criticality.learn(&x, level.ordinal());
+        self.feedback_events += 1;
+    }
+
+    /// Total feedback signals absorbed (the x-axis of experiment D2).
+    pub fn feedback_events(&self) -> u64 {
+        self.feedback_events
+    }
+}
+
+impl Default for AnomalyClassifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monilog_model::{AnomalyKind, EventId, LogEvent, Severity, SourceId, TemplateId, Timestamp};
+
+    /// A report whose events all come from `source` with template base
+    /// `t0` — enough signal for the router to separate by source.
+    fn report(kind: AnomalyKind, source: u16, t0: u32) -> AnomalyReport {
+        let events = (0..6)
+            .map(|i| {
+                LogEvent::new(
+                    EventId(i),
+                    Timestamp::from_millis(i * 100),
+                    SourceId(source),
+                    if i == 2 { Severity::Error } else { Severity::Info },
+                    TemplateId(t0 + (i % 3) as u32),
+                    vec![],
+                    None,
+                )
+            })
+            .collect();
+        AnomalyReport {
+            id: 0,
+            kind,
+            score: 2.0,
+            detector: "test".into(),
+            events,
+            explanation: String::new(),
+        }
+    }
+
+    #[test]
+    fn cold_start_routes_to_default() {
+        let c = AnomalyClassifier::new();
+        let a = c.classify(&report(AnomalyKind::Sequential, 0, 0));
+        assert_eq!(a.pool, PoolRegistry::DEFAULT);
+        assert_eq!(a.criticality, Criticality::Low);
+    }
+
+    #[test]
+    fn learns_routing_from_moves() {
+        let mut c = AnomalyClassifier::new();
+        let net = c.create_pool("network");
+        let sto = c.create_pool("storage");
+        // Admin repeatedly moves source-3 anomalies to network, source-4
+        // anomalies to storage.
+        for i in 0..25 {
+            c.observe_move(&report(AnomalyKind::Sequential, 3, i % 5), net);
+            c.observe_move(&report(AnomalyKind::Quantitative, 4, 40 + i % 5), sto);
+        }
+        assert_eq!(c.classify(&report(AnomalyKind::Sequential, 3, 2)).pool, net);
+        assert_eq!(c.classify(&report(AnomalyKind::Quantitative, 4, 41)).pool, sto);
+    }
+
+    #[test]
+    fn learns_criticality_from_level_edits() {
+        let mut c = AnomalyClassifier::new();
+        for i in 0..40 {
+            // Sequential anomalies from source 1 are high; quantitative
+            // from source 2 are low.
+            c.observe_criticality(&report(AnomalyKind::Sequential, 1, i % 4), Criticality::High);
+            c.observe_criticality(&report(AnomalyKind::Quantitative, 2, 20 + i % 4), Criticality::Low);
+        }
+        assert_eq!(
+            c.classify(&report(AnomalyKind::Sequential, 1, 1)).criticality,
+            Criticality::High
+        );
+        assert_eq!(
+            c.classify(&report(AnomalyKind::Quantitative, 2, 21)).criticality,
+            Criticality::Low
+        );
+    }
+
+    #[test]
+    fn deleted_pool_falls_back_to_default() {
+        let mut c = AnomalyClassifier::new();
+        let tmp = c.create_pool("temporary");
+        for i in 0..10 {
+            c.observe_move(&report(AnomalyKind::Sequential, 5, i), tmp);
+        }
+        assert_eq!(c.classify(&report(AnomalyKind::Sequential, 5, 3)).pool, tmp);
+        assert!(c.delete_pool(tmp));
+        assert_eq!(
+            c.classify(&report(AnomalyKind::Sequential, 5, 3)).pool,
+            PoolRegistry::DEFAULT
+        );
+    }
+
+    #[test]
+    fn stale_feedback_about_deleted_pool_is_ignored() {
+        let mut c = AnomalyClassifier::new();
+        let tmp = c.create_pool("temporary");
+        c.delete_pool(tmp);
+        let before = c.feedback_events();
+        c.observe_move(&report(AnomalyKind::Sequential, 0, 0), tmp);
+        assert_eq!(c.feedback_events(), before);
+    }
+
+    #[test]
+    fn feedback_counter_tracks_both_kinds() {
+        let mut c = AnomalyClassifier::new();
+        let p = c.create_pool("x");
+        c.observe_move(&report(AnomalyKind::Sequential, 0, 0), p);
+        c.observe_criticality(&report(AnomalyKind::Sequential, 0, 0), Criticality::Moderate);
+        assert_eq!(c.feedback_events(), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! # monilog-classify
+//!
+//! The classification component of MoniLog (Fig. 1 step 3, Section V):
+//! "a classifier in charge of assigning anomalies a type and a level of
+//! criticality [...] This module is passively trained by observing the
+//! administrator's actions."
+//!
+//! Design, following Section V:
+//! - a **pool system**: "initially, there is just one default pool, but
+//!   additional pools can be created or deleted by administrators"
+//!   ([`pools`]);
+//! - **passive feedback**: "each time an alert is moved from a pool to
+//!   another, it is used as an assessment signal [...] every time the
+//!   level of criticality is manually modified, it is used to improve
+//!   further anomaly evaluation" ([`classifier`]);
+//! - featurization of anomaly reports ([`features`]) feeding an online
+//!   multi-class averaged perceptron for pool routing and an ordinal
+//!   perceptron for criticality ([`perceptron`]);
+//! - a scripted administrator with a hidden routing policy ([`admin`]) —
+//!   the stand-in for real operations teams, used by experiment D2 to
+//!   measure the learning curve;
+//! - the **LogClass** baseline ([`logclass`]) the paper cites as the only
+//!   prior work on anomaly classification — batch TF-ILF bag-of-words,
+//!   compared against the online pool classifier in experiment D2.
+
+pub mod admin;
+pub mod classifier;
+pub mod features;
+pub mod logclass;
+pub mod perceptron;
+pub mod pools;
+
+pub use admin::{AdminPolicy, AdminSimulator};
+pub use logclass::{LogClass, LogClassConfig};
+pub use classifier::{AnomalyClassifier, Assignment};
+pub use features::{featurize, FEATURE_DIM};
+pub use perceptron::{AveragedPerceptron, OrdinalPerceptron};
+pub use pools::{PoolId, PoolRegistry};

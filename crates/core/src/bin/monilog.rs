@@ -1,0 +1,21 @@
+//! The `monilog` binary — see [`monilog_core::cli`] for the commands.
+
+use monilog_core::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    match cli::run(command) {
+        Ok(report) => print!("{report}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

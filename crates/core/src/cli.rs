@@ -1,0 +1,418 @@
+//! The `monilog` command-line interface.
+//!
+//! Four subcommands mirroring the deployment lifecycle:
+//!
+//! ```text
+//! monilog parse     <logfile>                       # discover templates
+//! monilog calibrate <logfile>                       # §IV auto-parametrization
+//! monilog train     <logfile> --checkpoint <out>    # fit, write checkpoint
+//! monilog monitor   <logfile> --checkpoint <in>     # restore, detect, report
+//! ```
+//!
+//! Input is one log line per text line. `--format dash|syslog|bare`
+//! selects the header layout (default `dash`, the Fig. 2 format). The
+//! logic lives here (unit-testable); `src/bin/monilog.rs` is a thin shell.
+
+use crate::{DetectorChoice, MoniLog, MoniLogConfig, WindowPolicy};
+use monilog_detect::DeepLogConfig;
+use monilog_model::{RawLog, SourceId};
+use monilog_parse::autotune::{autotune_drain, TuneGrid};
+use monilog_parse::{Drain, DrainConfig, OnlineParser};
+use std::fmt::Write as _;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliCommand {
+    Parse { logfile: String, format: HeaderChoice },
+    Calibrate { logfile: String },
+    Train { logfile: String, checkpoint: String, format: HeaderChoice },
+    Monitor { logfile: String, checkpoint: String, format: HeaderChoice },
+    Help,
+}
+
+/// CLI-level header format flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HeaderChoice {
+    #[default]
+    Dash,
+    Syslog,
+    Bare,
+}
+
+impl HeaderChoice {
+    fn to_config(self) -> crate::HeaderFormatChoice {
+        match self {
+            HeaderChoice::Dash => crate::HeaderFormatChoice::DashSeparated,
+            HeaderChoice::Syslog => crate::HeaderFormatChoice::SyslogLike,
+            HeaderChoice::Bare => crate::HeaderFormatChoice::Bare,
+        }
+    }
+}
+
+pub const USAGE: &str = "\
+monilog — automated log-based anomaly detection (MoniLog, ICDE 2021)
+
+USAGE:
+    monilog parse     <logfile> [--format dash|syslog|bare]
+    monilog calibrate <logfile>
+    monilog train     <logfile> --checkpoint <out> [--format ...]
+    monilog monitor   <logfile> --checkpoint <in>  [--format ...]
+
+  parse      discover and print the log templates of <logfile>
+  calibrate  auto-parametrize the parser on <logfile> (no labels needed)
+  train      fit the anomaly detector on <logfile> (assumed normal) and
+             write a restartable checkpoint
+  monitor    restore a checkpoint and report anomalies found in <logfile>
+";
+
+/// Parse argv (without the program name).
+pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
+    let mut positional = Vec::new();
+    let mut checkpoint: Option<String> = None;
+    let mut format = HeaderChoice::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--checkpoint" => {
+                i += 1;
+                checkpoint =
+                    Some(args.get(i).ok_or("--checkpoint needs a path")?.clone());
+            }
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("dash") => HeaderChoice::Dash,
+                    Some("syslog") => HeaderChoice::Syslog,
+                    Some("bare") => HeaderChoice::Bare,
+                    other => return Err(format!("unknown --format {other:?}")),
+                };
+            }
+            "--help" | "-h" => return Ok(CliCommand::Help),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            positional_arg => positional.push(positional_arg.to_string()),
+        }
+        i += 1;
+    }
+    let mut positional = positional.into_iter();
+    let command = positional.next().ok_or(USAGE.to_string())?;
+    match command.as_str() {
+        "parse" => Ok(CliCommand::Parse {
+            logfile: positional.next().ok_or("parse needs a <logfile>")?,
+            format,
+        }),
+        "calibrate" => Ok(CliCommand::Calibrate {
+            logfile: positional.next().ok_or("calibrate needs a <logfile>")?,
+        }),
+        "train" => Ok(CliCommand::Train {
+            logfile: positional.next().ok_or("train needs a <logfile>")?,
+            checkpoint: checkpoint.ok_or("train needs --checkpoint <out>")?,
+            format,
+        }),
+        "monitor" => Ok(CliCommand::Monitor {
+            logfile: positional.next().ok_or("monitor needs a <logfile>")?,
+            checkpoint: checkpoint.ok_or("monitor needs --checkpoint <in>")?,
+            format,
+        }),
+        "help" => Ok(CliCommand::Help),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn read_lines(path: &str) -> Result<Vec<String>, String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(content
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(str::to_string)
+        .collect())
+}
+
+fn pipeline_config(format: HeaderChoice) -> MoniLogConfig {
+    MoniLogConfig {
+        header_format: format.to_config(),
+        window: WindowPolicy::Session { idle_ms: 30_000, max_events: 128 },
+        detector: DetectorChoice::DeepLog(DeepLogConfig {
+            history: 8,
+            top_g: 3,
+            epochs: 3,
+            ..DeepLogConfig::default()
+        }),
+        ..MoniLogConfig::default()
+    }
+}
+
+/// Execute a command, returning the human-readable report it prints.
+pub fn run(command: CliCommand) -> Result<String, String> {
+    let mut out = String::new();
+    match command {
+        CliCommand::Help => out.push_str(USAGE),
+        CliCommand::Parse { logfile, format } => {
+            let lines = read_lines(&logfile)?;
+            // Header-strip if requested; parsing operates on messages.
+            let messages: Vec<String> = strip_headers(&lines, format);
+            let mut parser = Drain::new(DrainConfig::default());
+            let mut counts = std::collections::HashMap::new();
+            for m in &messages {
+                let o = parser.parse(m);
+                *counts.entry(o.template).or_insert(0usize) += 1;
+            }
+            let _ = writeln!(
+                out,
+                "{} lines → {} templates:",
+                messages.len(),
+                parser.store().len()
+            );
+            let mut templates: Vec<_> = parser.store().iter().collect();
+            templates.sort_by_key(|t| std::cmp::Reverse(counts.get(&t.id).copied().unwrap_or(0)));
+            for t in templates {
+                let _ = writeln!(out, "{:>8}  {}", counts.get(&t.id).copied().unwrap_or(0), t);
+            }
+        }
+        CliCommand::Calibrate { logfile } => {
+            let lines = read_lines(&logfile)?;
+            if lines.is_empty() {
+                return Err("logfile is empty".to_string());
+            }
+            let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+            let result = autotune_drain(&refs, &TuneGrid::default(), 1_500);
+            let c = result.best.config;
+            let _ = writeln!(
+                out,
+                "calibrated on {} lines over {} grid points (label-free):",
+                lines.len(),
+                result.all.len()
+            );
+            let _ = writeln!(out, "  depth            = {}", c.depth);
+            let _ = writeln!(out, "  sim_threshold    = {}", c.sim_threshold);
+            let _ = writeln!(out, "  masking          = {:?}", c.mask);
+            let _ = writeln!(out, "  quality estimate = {:.3}", result.best.report.quality);
+        }
+        CliCommand::Train { logfile, checkpoint, format } => {
+            let lines = read_lines(&logfile)?;
+            let mut monilog = MoniLog::new(pipeline_config(format));
+            for (i, line) in lines.iter().enumerate() {
+                monilog.ingest_training(&RawLog::new(SourceId(0), i as u64, line.clone()));
+            }
+            monilog.train();
+            let blob = monilog.checkpoint()?;
+            std::fs::write(&checkpoint, &blob)
+                .map_err(|e| format!("cannot write {checkpoint}: {e}"))?;
+            let _ = writeln!(
+                out,
+                "trained on {} lines ({} templates); checkpoint: {} ({} bytes)",
+                lines.len(),
+                monilog.templates().len(),
+                checkpoint,
+                blob.len()
+            );
+        }
+        CliCommand::Monitor { logfile, checkpoint, format } => {
+            let blob = std::fs::read(&checkpoint)
+                .map_err(|e| format!("cannot read {checkpoint}: {e}"))?;
+            let mut monilog = MoniLog::restore(pipeline_config(format), &blob)
+                .map_err(|e| format!("invalid checkpoint: {e}"))?;
+            let lines = read_lines(&logfile)?;
+            let mut anomalies = Vec::new();
+            // Live sequence numbers continue far past any training range.
+            for (i, line) in lines.iter().enumerate() {
+                anomalies.extend(monilog.ingest(&RawLog::new(
+                    SourceId(0),
+                    1_000_000_000 + i as u64,
+                    line.clone(),
+                )));
+            }
+            anomalies.extend(monilog.flush());
+            let _ = writeln!(
+                out,
+                "monitored {} lines: {} anomalies",
+                lines.len(),
+                anomalies.len()
+            );
+            for a in &anomalies {
+                let _ = writeln!(
+                    out,
+                    "[{}] {} anomaly (score {:.2}, {} events, pool {}, {})",
+                    a.report.id,
+                    a.report.kind,
+                    a.report.score,
+                    a.report.events.len(),
+                    a.assignment.pool,
+                    a.assignment.criticality,
+                );
+                if let Some((first, last)) = a.report.span() {
+                    let _ = writeln!(out, "      span {first} .. {last}");
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// For `parse` (template discovery only): drop headers so templates are
+/// message-level, tolerating lines that don't match the declared format.
+fn strip_headers(lines: &[String], format: HeaderChoice) -> Vec<String> {
+    use monilog_model::{parse_header, HeaderFormat, Timestamp};
+    let hf = match format {
+        HeaderChoice::Dash => HeaderFormat::DashSeparated,
+        HeaderChoice::Syslog => HeaderFormat::SyslogLike,
+        HeaderChoice::Bare => HeaderFormat::Bare,
+    };
+    lines
+        .iter()
+        .enumerate()
+        .map(|(i, line)| {
+            let raw = RawLog::new(SourceId(0), i as u64, line.clone());
+            match parse_header(&raw, &hf, Timestamp::EPOCH) {
+                Ok(record) => record.message,
+                Err(_) => line.clone(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monilog_loggen::{GenLog, HdfsWorkload, HdfsWorkloadConfig};
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn write_workload(path: &std::path::Path, logs: &[GenLog]) {
+        let text: Vec<String> = logs.iter().map(|l| l.record.to_line()).collect();
+        std::fs::write(path, text.join("\n")).expect("temp file writable");
+    }
+
+    #[test]
+    fn arg_parsing() {
+        assert_eq!(
+            parse_args(&args(&["parse", "app.log"])).unwrap(),
+            CliCommand::Parse { logfile: "app.log".into(), format: HeaderChoice::Dash }
+        );
+        assert_eq!(
+            parse_args(&args(&["train", "app.log", "--checkpoint", "m.bin", "--format", "syslog"]))
+                .unwrap(),
+            CliCommand::Train {
+                logfile: "app.log".into(),
+                checkpoint: "m.bin".into(),
+                format: HeaderChoice::Syslog,
+            }
+        );
+        assert_eq!(parse_args(&args(&["--help"])).unwrap(), CliCommand::Help);
+        assert!(parse_args(&args(&["train", "x.log"])).is_err(), "missing --checkpoint");
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+        assert!(parse_args(&args(&["parse", "x", "--format", "exotic"])).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn parse_command_discovers_templates() {
+        let dir = std::env::temp_dir().join("monilog_cli_parse_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let logfile = dir.join("app.log");
+        let logs = HdfsWorkload::new(HdfsWorkloadConfig {
+            n_sessions: 30,
+            sequential_anomaly_rate: 0.0,
+            quantitative_anomaly_rate: 0.0,
+            seed: 5,
+            ..Default::default()
+        })
+        .generate();
+        write_workload(&logfile, &logs);
+
+        let report = run(CliCommand::Parse {
+            logfile: logfile.to_string_lossy().into_owned(),
+            format: HeaderChoice::Dash,
+        })
+        .expect("parse succeeds");
+        assert!(report.contains("7 templates"), "{report}");
+        assert!(report.contains("Receiving block <*>"), "{report}");
+    }
+
+    #[test]
+    fn train_then_monitor_round_trip() {
+        let dir = std::env::temp_dir().join("monilog_cli_train_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let train_file = dir.join("train.log");
+        let live_file = dir.join("live.log");
+        let ckpt = dir.join("model.mlcp");
+
+        let training = HdfsWorkload::new(HdfsWorkloadConfig {
+            n_sessions: 120,
+            sequential_anomaly_rate: 0.0,
+            quantitative_anomaly_rate: 0.0,
+            seed: 6,
+            ..Default::default()
+        })
+        .generate();
+        write_workload(&train_file, &training);
+        let live = HdfsWorkload::new(HdfsWorkloadConfig {
+            n_sessions: 40,
+            sequential_anomaly_rate: 0.15,
+            quantitative_anomaly_rate: 0.0,
+            seed: 7,
+            start_ms: 1_600_003_600_000,
+            ..Default::default()
+        })
+        .generate();
+        write_workload(&live_file, &live);
+
+        let report = run(CliCommand::Train {
+            logfile: train_file.to_string_lossy().into_owned(),
+            checkpoint: ckpt.to_string_lossy().into_owned(),
+            format: HeaderChoice::Dash,
+        })
+        .expect("training succeeds");
+        assert!(report.contains("trained on"), "{report}");
+        assert!(ckpt.exists());
+
+        let report = run(CliCommand::Monitor {
+            logfile: live_file.to_string_lossy().into_owned(),
+            checkpoint: ckpt.to_string_lossy().into_owned(),
+            format: HeaderChoice::Dash,
+        })
+        .expect("monitoring succeeds");
+        assert!(report.contains("anomalies"), "{report}");
+        assert!(report.contains("sequential anomaly"), "anomalies found: {report}");
+    }
+
+    #[test]
+    fn calibrate_reports_parameters() {
+        let dir = std::env::temp_dir().join("monilog_cli_cal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let logfile = dir.join("cal.log");
+        let logs = HdfsWorkload::new(HdfsWorkloadConfig {
+            n_sessions: 40,
+            ..Default::default()
+        })
+        .generate();
+        // Calibration runs on raw messages.
+        let text: Vec<String> = logs.iter().map(|l| l.record.message.clone()).collect();
+        std::fs::write(&logfile, text.join("\n")).unwrap();
+        let report = run(CliCommand::Calibrate {
+            logfile: logfile.to_string_lossy().into_owned(),
+        })
+        .expect("calibration succeeds");
+        assert!(report.contains("depth"), "{report}");
+        assert!(report.contains("sim_threshold"), "{report}");
+    }
+
+    #[test]
+    fn missing_files_report_cleanly() {
+        let err = run(CliCommand::Parse {
+            logfile: "/definitely/not/here.log".into(),
+            format: HeaderChoice::Dash,
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+        let err = run(CliCommand::Monitor {
+            logfile: "/x.log".into(),
+            checkpoint: "/definitely/not/here.mlcp".into(),
+            format: HeaderChoice::Dash,
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+}

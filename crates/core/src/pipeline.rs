@@ -1,0 +1,635 @@
+//! The MoniLog pipeline facade.
+
+use crate::windowing::{ClosedWindow, WindowAssembler, WindowPolicy};
+use monilog_classify::{AnomalyClassifier, Assignment, PoolId};
+use monilog_detect::{
+    CoOccurrenceDetector, CoOccurrenceDetectorConfig, DeepLog, DeepLogConfig, Detector,
+    InvariantDetector, InvariantDetectorConfig, LogAnomaly, LogAnomalyConfig, LogClusterDetector,
+    LogClusterDetectorConfig, LogRobust, LogRobustConfig, PcaDetector, PcaDetectorConfig,
+    TrainSet, Window,
+};
+use monilog_model::codec::{CodecError, Decoder, Encoder};
+use monilog_model::{
+    extract_structured, parse_header, AnomalyKind, AnomalyReport, Criticality, EventId,
+    HeaderFormat, LogEvent, RawLog, SessionKey, TemplateStore, Timestamp,
+};
+use monilog_parse::{Drain, DrainConfig, OnlineParser};
+use monilog_stream::{BoundedReorderBuffer, DedupFilter, PipelineMetrics};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which detection model the pipeline runs (one per deployment; the
+/// experiment harnesses compare them side by side).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DetectorChoice {
+    DeepLog(DeepLogConfig),
+    LogAnomaly(LogAnomalyConfig),
+    LogRobust(LogRobustConfig),
+    Pca(PcaDetectorConfig),
+    InvariantMining(InvariantDetectorConfig),
+    LogClustering(LogClusterDetectorConfig),
+    CoOccurrence(CoOccurrenceDetectorConfig),
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MoniLogConfig {
+    /// Header layout of incoming lines (per-deployment; heterogeneous
+    /// sources can be normalized upstream).
+    pub header_format: HeaderFormatChoice,
+    /// Extract embedded `{k=v}` / JSON payloads before template parsing
+    /// (the Section IV recommendation; experiment P7 measures its effect).
+    pub extract_payloads: bool,
+    pub drain: DrainConfig,
+    /// Reorder-buffer bound for transport disorder (ms).
+    pub reorder_bound_ms: u64,
+    /// Duplicate-suppression window (events).
+    pub dedup_window: usize,
+    pub window: WindowPolicy,
+    pub detector: DetectorChoice,
+}
+
+/// `HeaderFormat` is not `Copy`; this mirror is, keeping the config plain
+/// data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeaderFormatChoice {
+    DashSeparated,
+    SyslogLike,
+    Bare,
+}
+
+impl HeaderFormatChoice {
+    fn as_format(self) -> HeaderFormat {
+        match self {
+            HeaderFormatChoice::DashSeparated => HeaderFormat::DashSeparated,
+            HeaderFormatChoice::SyslogLike => HeaderFormat::SyslogLike,
+            HeaderFormatChoice::Bare => HeaderFormat::Bare,
+        }
+    }
+}
+
+impl Default for MoniLogConfig {
+    fn default() -> Self {
+        MoniLogConfig {
+            header_format: HeaderFormatChoice::DashSeparated,
+            extract_payloads: true,
+            drain: DrainConfig::default(),
+            reorder_bound_ms: 1_000,
+            dedup_window: 65_536,
+            window: WindowPolicy::Session { idle_ms: 30_000, max_events: 256 },
+            detector: DetectorChoice::DeepLog(DeepLogConfig::default()),
+        }
+    }
+}
+
+/// A detected anomaly with its pool/criticality assignment — MoniLog's
+/// aimed output: "a stream of classified anomalies with an assigned
+/// criticality" (Section II).
+#[derive(Debug, Clone)]
+pub struct ClassifiedAnomaly {
+    pub report: AnomalyReport,
+    pub assignment: Assignment,
+}
+
+enum PipelineDetector {
+    DeepLog(DeepLog),
+    LogAnomaly(LogAnomaly),
+    LogRobust(LogRobust),
+    Pca(PcaDetector),
+    InvariantMining(InvariantDetector),
+    LogClustering(LogClusterDetector),
+    CoOccurrence(CoOccurrenceDetector),
+}
+
+impl PipelineDetector {
+    fn as_dyn(&self) -> &dyn Detector {
+        match self {
+            PipelineDetector::DeepLog(d) => d,
+            PipelineDetector::LogAnomaly(d) => d,
+            PipelineDetector::LogRobust(d) => d,
+            PipelineDetector::Pca(d) => d,
+            PipelineDetector::InvariantMining(d) => d,
+            PipelineDetector::LogClustering(d) => d,
+            PipelineDetector::CoOccurrence(d) => d,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn Detector {
+        match self {
+            PipelineDetector::DeepLog(d) => d,
+            PipelineDetector::LogAnomaly(d) => d,
+            PipelineDetector::LogRobust(d) => d,
+            PipelineDetector::Pca(d) => d,
+            PipelineDetector::InvariantMining(d) => d,
+            PipelineDetector::LogClustering(d) => d,
+            PipelineDetector::CoOccurrence(d) => d,
+        }
+    }
+
+    /// Anomaly kind of a flagged window, where the model can tell.
+    fn kind_of(&self, window: &Window) -> AnomalyKind {
+        match self {
+            PipelineDetector::DeepLog(d) => {
+                let (seq, quant) = d.violation_breakdown(window);
+                if quant > 0 && seq == 0 {
+                    AnomalyKind::Quantitative
+                } else {
+                    AnomalyKind::Sequential
+                }
+            }
+            PipelineDetector::LogAnomaly(d) => {
+                let (seq, quant) = d.violation_breakdown(window);
+                if quant > 0 && seq == 0 {
+                    AnomalyKind::Quantitative
+                } else {
+                    AnomalyKind::Sequential
+                }
+            }
+            // Counter/classifier models can't separate the two categories.
+            _ => AnomalyKind::Sequential,
+        }
+    }
+}
+
+/// The assembled MoniLog system.
+pub struct MoniLog {
+    config: MoniLogConfig,
+    dedup: DedupFilter,
+    reorder: BoundedReorderBuffer<monilog_model::LogRecord>,
+    parser: Drain,
+    assembler: WindowAssembler,
+    detector: PipelineDetector,
+    classifier: AnomalyClassifier,
+    metrics: Arc<PipelineMetrics>,
+    training_windows: Vec<Window>,
+    trained: bool,
+    next_event_id: u64,
+    next_report_id: u64,
+}
+
+impl MoniLog {
+    pub fn new(config: MoniLogConfig) -> Self {
+        let detector = match config.detector {
+            DetectorChoice::DeepLog(c) => PipelineDetector::DeepLog(DeepLog::new(c)),
+            DetectorChoice::LogAnomaly(c) => PipelineDetector::LogAnomaly(LogAnomaly::new(c)),
+            DetectorChoice::LogRobust(c) => PipelineDetector::LogRobust(LogRobust::new(c)),
+            DetectorChoice::Pca(c) => PipelineDetector::Pca(PcaDetector::new(c)),
+            DetectorChoice::InvariantMining(c) => {
+                PipelineDetector::InvariantMining(InvariantDetector::new(c))
+            }
+            DetectorChoice::LogClustering(c) => {
+                PipelineDetector::LogClustering(LogClusterDetector::new(c))
+            }
+            DetectorChoice::CoOccurrence(c) => {
+                PipelineDetector::CoOccurrence(CoOccurrenceDetector::new(c))
+            }
+        };
+        MoniLog {
+            dedup: DedupFilter::new(config.dedup_window),
+            reorder: BoundedReorderBuffer::new(config.reorder_bound_ms),
+            parser: Drain::new(config.drain),
+            assembler: WindowAssembler::new(config.window),
+            detector,
+            classifier: AnomalyClassifier::new(),
+            metrics: PipelineMetrics::shared(),
+            training_windows: Vec::new(),
+            trained: false,
+            next_event_id: 0,
+            next_report_id: 0,
+            config,
+        }
+    }
+
+    /// Build a pipeline whose parser is warm-started from a persisted
+    /// template store (`monilog.templates().encode()` from a previous
+    /// process) — known log lines keep their template ids across restarts,
+    /// so a checkpointed detector stays valid.
+    pub fn with_warm_templates(config: MoniLogConfig, store: TemplateStore) -> Self {
+        let mut pipeline = Self::new(config);
+        pipeline.parser = Drain::warm_start(config.drain, store);
+        pipeline
+    }
+
+    /// Pipeline metrics (shared snapshot).
+    pub fn metrics(&self) -> Arc<PipelineMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The template store discovered so far.
+    pub fn templates(&self) -> &TemplateStore {
+        self.parser.store()
+    }
+
+    /// The classifier (pool administration surface).
+    pub fn classifier_mut(&mut self) -> &mut AnomalyClassifier {
+        &mut self.classifier
+    }
+
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    // ----- ingestion ------------------------------------------------------
+
+    /// Feed a training-phase line: it flows through dedup/reorder/parse and
+    /// its windows are collected for [`MoniLog::train`].
+    pub fn ingest_training(&mut self, raw: &RawLog) {
+        for closed in self.advance(raw) {
+            self.training_windows.push(closed.window);
+        }
+    }
+
+    /// Fit the detector on everything collected so far. The training
+    /// stream is assumed normal — the realistic regime the paper insists
+    /// on ("creating a real-life dataset containing a lot of anomalies is
+    /// complicated due to their rare nature").
+    pub fn train(&mut self) {
+        // Close any windows still open from the training stream.
+        let mut remaining: Vec<Window> = Vec::new();
+        for (_, record) in self.reorder.flush() {
+            if let Some(event) = self.record_to_event(record) {
+                for closed in self.assembler.push(event) {
+                    remaining.push(closed.window);
+                }
+            }
+        }
+        for closed in self.assembler.flush() {
+            remaining.push(closed.window);
+        }
+        self.training_windows.extend(remaining);
+        assert!(
+            !self.training_windows.is_empty(),
+            "train() called with no ingested training data"
+        );
+        let train = TrainSet::unlabeled(std::mem::take(&mut self.training_windows))
+            .with_templates(self.parser.store().clone());
+        self.detector.as_dyn_mut().fit(&train);
+        self.trained = true;
+    }
+
+    /// Feed a live line; returns classified anomalies for every window the
+    /// line (transitively) closed.
+    pub fn ingest(&mut self, raw: &RawLog) -> Vec<ClassifiedAnomaly> {
+        assert!(self.trained, "call train() before live ingestion");
+        let closed = self.advance(raw);
+        self.detect_and_classify(closed)
+    }
+
+    /// End-of-stream: flush the reorder buffer and all open windows.
+    pub fn flush(&mut self) -> Vec<ClassifiedAnomaly> {
+        let mut closed = Vec::new();
+        for (_, record) in self.reorder.flush() {
+            if let Some(event) = self.record_to_event(record) {
+                closed.extend(self.assembler.push(event));
+            }
+        }
+        closed.extend(self.assembler.flush());
+        if self.trained {
+            self.detect_and_classify(closed)
+        } else {
+            for c in closed {
+                self.training_windows.push(c.window);
+            }
+            Vec::new()
+        }
+    }
+
+    // ----- persistence ------------------------------------------------------
+
+    /// Checkpoint the trained pipeline: the discovered template store plus
+    /// the fitted detector, in one restartable blob. Supported for the
+    /// checkpointable detectors (DeepLog with Gaussian/None value model,
+    /// LogAnomaly, LogRobust); other choices return an error — they
+    /// retrain in seconds from their training windows, so re-ingest
+    /// instead.
+    pub fn checkpoint(&self) -> Result<Vec<u8>, String> {
+        if !self.trained {
+            return Err("checkpoint requires a trained pipeline".to_string());
+        }
+        let detector_bytes = match &self.detector {
+            PipelineDetector::DeepLog(d) => d.save()?,
+            PipelineDetector::LogRobust(d) => d.save()?,
+            PipelineDetector::LogAnomaly(d) => d.save()?,
+            other => {
+                return Err(format!(
+                    "detector {} is not checkpointable (it refits in seconds — retrain instead)",
+                    other.as_dyn().name()
+                ))
+            }
+        };
+        let mut e = Encoder::with_header(*b"MLCP", 1);
+        let store_bytes = self.parser.store().encode();
+        e.put_len(store_bytes.len());
+        for b in &store_bytes {
+            e.put_u8(*b);
+        }
+        e.put_u8(match &self.detector {
+            PipelineDetector::DeepLog(_) => 0,
+            PipelineDetector::LogRobust(_) => 1,
+            PipelineDetector::LogAnomaly(_) => 2,
+            _ => unreachable!("rejected above"),
+        });
+        e.put_len(detector_bytes.len());
+        for b in &detector_bytes {
+            e.put_u8(*b);
+        }
+        Ok(e.finish())
+    }
+
+    /// Restore a pipeline from a [`MoniLog::checkpoint`] blob: the parser
+    /// is warm-started with the persisted templates (known lines keep their
+    /// ids) and the detector resumes fitted — live ingestion can start
+    /// immediately, no retraining.
+    pub fn restore(config: MoniLogConfig, bytes: &[u8]) -> Result<MoniLog, CodecError> {
+        let mut d = Decoder::new(bytes);
+        d.expect_header(*b"MLCP", 1)?;
+        let n = d.get_len()?;
+        let mut store_bytes = Vec::with_capacity(n);
+        for _ in 0..n {
+            store_bytes.push(d.get_u8()?);
+        }
+        let store = TemplateStore::decode(&store_bytes)?;
+        let tag = d.get_u8()?;
+        let n = d.get_len()?;
+        let mut detector_bytes = Vec::with_capacity(n);
+        for _ in 0..n {
+            detector_bytes.push(d.get_u8()?);
+        }
+        if !d.is_exhausted() {
+            return Err(CodecError::Corrupt("trailing bytes"));
+        }
+        let mut pipeline = MoniLog::with_warm_templates(config, store);
+        pipeline.detector = match tag {
+            0 => PipelineDetector::DeepLog(DeepLog::load(&detector_bytes)?),
+            1 => PipelineDetector::LogRobust(LogRobust::load(&detector_bytes)?),
+            2 => PipelineDetector::LogAnomaly(LogAnomaly::load(&detector_bytes)?),
+            _ => return Err(CodecError::Corrupt("detector tag")),
+        };
+        pipeline.trained = true;
+        Ok(pipeline)
+    }
+
+    // ----- feedback (Section V) -------------------------------------------
+
+    /// Administrator moved an anomaly to `pool` — passive training signal.
+    pub fn feedback_move(&mut self, anomaly: &ClassifiedAnomaly, pool: PoolId) {
+        self.classifier.observe_move(&anomaly.report, pool);
+    }
+
+    /// Administrator adjusted an anomaly's criticality.
+    pub fn feedback_criticality(&mut self, anomaly: &ClassifiedAnomaly, level: Criticality) {
+        self.classifier.observe_criticality(&anomaly.report, level);
+    }
+
+    // ----- internals -------------------------------------------------------
+
+    /// Dedup → header parse → reorder; returns windows closed by released
+    /// records.
+    fn advance(&mut self, raw: &RawLog) -> Vec<ClosedWindow> {
+        PipelineMetrics::incr(&self.metrics.lines_ingested);
+        if !self.dedup.admit(raw.source, raw.seq) {
+            PipelineMetrics::incr(&self.metrics.duplicates_dropped);
+            return Vec::new();
+        }
+        let record = match parse_header(
+            raw,
+            &self.config.header_format.as_format(),
+            Timestamp::EPOCH,
+        ) {
+            Ok(r) => r,
+            Err(_) => {
+                PipelineMetrics::incr(&self.metrics.header_errors);
+                return Vec::new();
+            }
+        };
+        let ts = record.header.timestamp;
+        let released = self.reorder.push(ts, record);
+        let mut closed = Vec::new();
+        for (_, record) in released {
+            if let Some(event) = self.record_to_event(record) {
+                closed.extend(self.assembler.push(event));
+            }
+        }
+        closed
+    }
+
+    /// Payload extraction + template parsing + session derivation.
+    fn record_to_event(&mut self, record: monilog_model::LogRecord) -> Option<LogEvent> {
+        let (text, payload) = if self.config.extract_payloads {
+            extract_structured(&record.message)
+        } else {
+            (record.message.clone(), Default::default())
+        };
+        let before = self.parser.store().len();
+        let outcome = self.parser.parse(&text);
+        let discovered = self.parser.store().len() - before;
+        PipelineMetrics::add(&self.metrics.templates_discovered, discovered as u64);
+        PipelineMetrics::incr(&self.metrics.lines_parsed);
+
+        let mut variables = outcome.variables;
+        for (_, value) in payload.fields {
+            variables.push(value);
+        }
+        let session = derive_session(&variables);
+        let event = LogEvent::new(
+            EventId(self.next_event_id),
+            record.header.timestamp,
+            record.source,
+            record.header.level,
+            outcome.template,
+            variables,
+            session,
+        );
+        self.next_event_id += 1;
+        Some(event)
+    }
+
+    fn detect_and_classify(&mut self, closed: Vec<ClosedWindow>) -> Vec<ClassifiedAnomaly> {
+        if closed.is_empty() {
+            return Vec::new();
+        }
+        // Templates keep evolving; refresh the semantic detectors' view.
+        self.detector.as_dyn_mut().update_templates(self.parser.store());
+        let mut out = Vec::new();
+        for c in closed {
+            let detector = self.detector.as_dyn();
+            if !detector.predict(&c.window) {
+                continue;
+            }
+            let kind = self.detector.kind_of(&c.window);
+            let score = detector.score(&c.window);
+            let report = AnomalyReport {
+                id: self.next_report_id,
+                kind,
+                score,
+                detector: detector.name().to_string(),
+                explanation: format!(
+                    "{} flagged a {}-event window with score {score:.3}",
+                    detector.name(),
+                    c.events.len()
+                ),
+                events: c.events,
+            };
+            self.next_report_id += 1;
+            PipelineMetrics::incr(&self.metrics.anomalies_reported);
+            let assignment = self.classifier.classify(&report);
+            out.push(ClassifiedAnomaly { report, assignment });
+        }
+        out
+    }
+}
+
+/// Heuristic session-key derivation: the first variable shaped like
+/// `word_1234` (an id with a flow prefix and a counter) — the shape of
+/// session keys across our workloads and of HDFS block ids
+/// (`blk_<digits>`).
+fn derive_session(variables: &[String]) -> Option<SessionKey> {
+    variables
+        .iter()
+        .find(|v| {
+            match v.split_once('_') {
+                Some((prefix, digits)) => {
+                    !prefix.is_empty()
+                        && prefix.bytes().all(|b| b.is_ascii_alphanumeric())
+                        && prefix.bytes().any(|b| b.is_ascii_alphabetic())
+                        && !digits.is_empty()
+                        && digits.bytes().all(|b| b.is_ascii_digit())
+                }
+                None => false,
+            }
+        })
+        .map(|v| SessionKey(v.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_session_recognizes_flow_keys() {
+        let vars = vec!["10.0.0.1".to_string(), "blk_1234".to_string(), "42".to_string()];
+        assert_eq!(derive_session(&vars), Some(SessionKey("blk_1234".into())));
+        assert_eq!(derive_session(&["10.0.0.1".to_string()]), None);
+        assert_eq!(derive_session(&["_123".to_string()]), None);
+        assert_eq!(derive_session(&["user_id".to_string()]), None);
+        assert_eq!(derive_session(&[]), None);
+    }
+
+    #[test]
+    fn config_default_is_consistent() {
+        let c = MoniLogConfig::default();
+        assert!(c.extract_payloads);
+        assert!(matches!(c.detector, DetectorChoice::DeepLog(_)));
+        // The pipeline can be constructed from it.
+        let m = MoniLog::new(c);
+        assert!(!m.is_trained());
+    }
+
+    #[test]
+    #[should_panic(expected = "call train() before live ingestion")]
+    fn live_ingestion_requires_training() {
+        let mut m = MoniLog::new(MoniLogConfig::default());
+        m.ingest(&RawLog::new(monilog_model::SourceId(0), 0, "x"));
+    }
+
+    #[test]
+    fn every_detector_choice_constructs() {
+        use monilog_detect::{
+            CoOccurrenceDetectorConfig, InvariantDetectorConfig, LogAnomalyConfig,
+            LogClusterDetectorConfig, LogRobustConfig, PcaDetectorConfig,
+        };
+        for choice in [
+            DetectorChoice::DeepLog(DeepLogConfig::default()),
+            DetectorChoice::LogAnomaly(LogAnomalyConfig::default()),
+            DetectorChoice::LogRobust(LogRobustConfig::default()),
+            DetectorChoice::Pca(PcaDetectorConfig::default()),
+            DetectorChoice::InvariantMining(InvariantDetectorConfig::default()),
+            DetectorChoice::LogClustering(LogClusterDetectorConfig::default()),
+            DetectorChoice::CoOccurrence(CoOccurrenceDetectorConfig::default()),
+        ] {
+            let m = MoniLog::new(MoniLogConfig { detector: choice, ..MoniLogConfig::default() });
+            assert!(!m.is_trained());
+        }
+    }
+
+    #[test]
+    fn syslog_header_format_flows_through() {
+        use monilog_model::SourceId;
+        let mut m = MoniLog::new(MoniLogConfig {
+            header_format: HeaderFormatChoice::SyslogLike,
+            window: crate::windowing::WindowPolicy::Tumbling { size: 4 },
+            detector: DetectorChoice::Pca(monilog_detect::PcaDetectorConfig::default()),
+            ..MoniLogConfig::default()
+        });
+        // Syslog-like lines: `<ts> LEVEL component: message`.
+        for i in 0..40u64 {
+            let line = format!(
+                "2021-06-01 10:00:{:02},000 INFO scheduler: job j{} scheduled on node n{}",
+                i % 60,
+                i,
+                i % 4
+            );
+            m.ingest_training(&RawLog::new(SourceId(0), i, line));
+        }
+        m.train();
+        assert!(m.is_trained());
+        assert!(m.templates().len() >= 1);
+        assert_eq!(
+            PipelineMetrics::get(&m.metrics().header_errors),
+            0,
+            "syslog lines must parse"
+        );
+        // A dash-formatted line under the syslog config is a header error,
+        // counted and skipped, not fatal.
+        let out = m.ingest(&RawLog::new(
+            SourceId(0),
+            1_000,
+            "2021-06-01 10:01:00,000 - scheduler - INFO - job j999 scheduled on node n1",
+        ));
+        assert!(out.is_empty());
+        assert_eq!(PipelineMetrics::get(&m.metrics().header_errors), 1);
+    }
+
+    #[test]
+    fn bare_header_format_uses_collector_time() {
+        use monilog_model::SourceId;
+        let mut m = MoniLog::new(MoniLogConfig {
+            header_format: HeaderFormatChoice::Bare,
+            window: crate::windowing::WindowPolicy::Tumbling { size: 2 },
+            detector: DetectorChoice::Pca(monilog_detect::PcaDetectorConfig::default()),
+            ..MoniLogConfig::default()
+        });
+        for i in 0..20u64 {
+            m.ingest_training(&RawLog::new(SourceId(0), i, format!("bare message number m{i}")));
+        }
+        m.train();
+        assert!(m.is_trained());
+        assert_eq!(PipelineMetrics::get(&m.metrics().header_errors), 0);
+    }
+
+    #[test]
+    fn checkpoint_requires_training_and_supported_detector() {
+        let m = MoniLog::new(MoniLogConfig::default());
+        assert!(m.checkpoint().is_err(), "untrained pipeline");
+        // PCA pipelines refuse (documented) even when trained.
+        use monilog_model::SourceId;
+        let mut m = MoniLog::new(MoniLogConfig {
+            header_format: HeaderFormatChoice::Bare,
+            window: crate::windowing::WindowPolicy::Tumbling { size: 2 },
+            detector: DetectorChoice::Pca(monilog_detect::PcaDetectorConfig::default()),
+            ..MoniLogConfig::default()
+        });
+        for i in 0..10u64 {
+            m.ingest_training(&RawLog::new(SourceId(0), i, format!("msg v{i}")));
+        }
+        m.train();
+        let err = m.checkpoint().unwrap_err();
+        assert!(err.contains("not checkpointable"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no ingested training data")]
+    fn training_requires_data() {
+        MoniLog::new(MoniLogConfig::default()).train();
+    }
+}

@@ -1,0 +1,218 @@
+//! Online window assembly.
+//!
+//! Detection operates on windows; a streaming pipeline must *close*
+//! windows as data flows. Two policies:
+//! - [`WindowPolicy::Session`] — group by derived session key, close a
+//!   session once it has been idle for `idle_ms` (watermark time) or grew
+//!   past `max_events`.
+//! - [`WindowPolicy::Tumbling`] — fixed-size windows over the merged
+//!   stream, the fallback when no session key exists (multi-source mixed
+//!   streams, experiment P3).
+
+use monilog_detect::Window;
+use monilog_model::{LogEvent, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How the pipeline cuts the event stream into detection windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowPolicy {
+    /// Session windows keyed by [`LogEvent::session`]; events without a
+    /// session fall back to per-source tumbling.
+    Session { idle_ms: u64, max_events: usize },
+    /// Fixed-size tumbling windows over the whole stream.
+    Tumbling { size: usize },
+}
+
+/// A closed window plus the events that formed it (for anomaly reports).
+#[derive(Debug, Clone)]
+pub struct ClosedWindow {
+    pub window: Window,
+    pub events: Vec<LogEvent>,
+}
+
+/// Stateful window assembler.
+#[derive(Debug)]
+pub struct WindowAssembler {
+    policy: WindowPolicy,
+    /// Open sessions: key → (events, last activity).
+    sessions: HashMap<String, (Vec<LogEvent>, Timestamp)>,
+    /// Buffer for tumbling / sessionless events.
+    buffer: Vec<LogEvent>,
+}
+
+impl WindowAssembler {
+    pub fn new(policy: WindowPolicy) -> Self {
+        if let WindowPolicy::Tumbling { size } = policy {
+            assert!(size >= 1, "tumbling windows need size >= 1");
+        }
+        WindowAssembler { policy, sessions: HashMap::new(), buffer: Vec::new() }
+    }
+
+    /// Number of currently open sessions / buffered events.
+    pub fn open_count(&self) -> usize {
+        self.sessions.len() + usize::from(!self.buffer.is_empty())
+    }
+
+    /// Feed one event (watermark = event time, monotone after the reorder
+    /// buffer); returns any windows this event closed.
+    pub fn push(&mut self, event: LogEvent) -> Vec<ClosedWindow> {
+        let now = event.timestamp;
+        let mut closed = Vec::new();
+        match self.policy {
+            WindowPolicy::Tumbling { size } => {
+                self.buffer.push(event);
+                if self.buffer.len() >= size {
+                    closed.push(Self::close(std::mem::take(&mut self.buffer)));
+                }
+            }
+            WindowPolicy::Session { idle_ms, max_events } => {
+                match event.session.clone() {
+                    Some(key) => {
+                        let entry = self
+                            .sessions
+                            .entry(key.0.clone())
+                            .or_insert_with(|| (Vec::new(), now));
+                        entry.0.push(event);
+                        entry.1 = now;
+                        if entry.0.len() >= max_events {
+                            let (events, _) =
+                                self.sessions.remove(&key.0).expect("just filled");
+                            closed.push(Self::close(events));
+                        }
+                    }
+                    None => {
+                        // Sessionless events tumble in a side buffer.
+                        self.buffer.push(event);
+                        if self.buffer.len() >= max_events {
+                            closed.push(Self::close(std::mem::take(&mut self.buffer)));
+                        }
+                    }
+                }
+                // Idle-session sweep.
+                let expired: Vec<String> = self
+                    .sessions
+                    .iter()
+                    .filter(|(_, (_, last))| now.millis_since(*last) > idle_ms)
+                    .map(|(k, _)| k.clone())
+                    .collect();
+                for key in expired {
+                    let (events, _) = self.sessions.remove(&key).expect("listed");
+                    closed.push(Self::close(events));
+                }
+            }
+        }
+        closed
+    }
+
+    /// Close everything still open (end of stream).
+    pub fn flush(&mut self) -> Vec<ClosedWindow> {
+        let mut closed: Vec<ClosedWindow> = Vec::new();
+        let mut keys: Vec<String> = self.sessions.keys().cloned().collect();
+        keys.sort(); // deterministic flush order
+        for key in keys {
+            let (events, _) = self.sessions.remove(&key).expect("listed");
+            closed.push(Self::close(events));
+        }
+        if !self.buffer.is_empty() {
+            closed.push(Self::close(std::mem::take(&mut self.buffer)));
+        }
+        closed
+    }
+
+    fn close(events: Vec<LogEvent>) -> ClosedWindow {
+        let window = Window {
+            sequence: events.iter().map(|e| e.template.0).collect(),
+            numerics: events.iter().map(|e| e.numeric_values().collect()).collect(),
+        };
+        ClosedWindow { window, events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monilog_model::{EventId, SessionKey, Severity, SourceId, TemplateId};
+
+    fn event(ts: u64, template: u32, session: Option<&str>) -> LogEvent {
+        LogEvent::new(
+            EventId(ts),
+            Timestamp::from_millis(ts),
+            SourceId(0),
+            Severity::Info,
+            TemplateId(template),
+            vec!["42".into()],
+            session.map(|s| SessionKey(s.to_string())),
+        )
+    }
+
+    #[test]
+    fn tumbling_closes_at_size() {
+        let mut a = WindowAssembler::new(WindowPolicy::Tumbling { size: 3 });
+        assert!(a.push(event(1, 0, None)).is_empty());
+        assert!(a.push(event(2, 1, None)).is_empty());
+        let closed = a.push(event(3, 2, None));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].window.sequence, vec![0, 1, 2]);
+        assert_eq!(closed[0].window.numerics[0], vec![42.0]);
+        assert_eq!(a.open_count(), 0);
+    }
+
+    #[test]
+    fn sessions_close_on_idle() {
+        let mut a = WindowAssembler::new(WindowPolicy::Session { idle_ms: 100, max_events: 100 });
+        a.push(event(0, 0, Some("s1")));
+        a.push(event(50, 1, Some("s1")));
+        // A much later event on another session expires s1.
+        let closed = a.push(event(500, 9, Some("s2")));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].window.sequence, vec![0, 1]);
+        assert_eq!(a.open_count(), 1, "s2 still open");
+    }
+
+    #[test]
+    fn sessions_close_on_max_events() {
+        let mut a = WindowAssembler::new(WindowPolicy::Session { idle_ms: 1_000_000, max_events: 2 });
+        assert!(a.push(event(1, 0, Some("s"))).is_empty());
+        let closed = a.push(event(2, 1, Some("s")));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].window.sequence, vec![0, 1]);
+    }
+
+    #[test]
+    fn interleaved_sessions_stay_separate() {
+        let mut a = WindowAssembler::new(WindowPolicy::Session { idle_ms: 1_000, max_events: 100 });
+        a.push(event(1, 0, Some("a")));
+        a.push(event(2, 10, Some("b")));
+        a.push(event(3, 1, Some("a")));
+        a.push(event(4, 11, Some("b")));
+        let mut closed = a.flush();
+        closed.sort_by_key(|c| c.window.sequence[0]);
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].window.sequence, vec![0, 1]);
+        assert_eq!(closed[1].window.sequence, vec![10, 11]);
+    }
+
+    #[test]
+    fn sessionless_events_fall_back_to_buffer() {
+        let mut a = WindowAssembler::new(WindowPolicy::Session { idle_ms: 100, max_events: 2 });
+        assert!(a.push(event(1, 0, None)).is_empty());
+        let closed = a.push(event(2, 1, None));
+        assert_eq!(closed.len(), 1);
+    }
+
+    #[test]
+    fn flush_is_deterministic_and_complete() {
+        let mut a = WindowAssembler::new(WindowPolicy::Session { idle_ms: 1_000, max_events: 100 });
+        for (i, s) in ["z", "a", "m"].iter().enumerate() {
+            a.push(event(i as u64, i as u32, Some(s)));
+        }
+        let closed = a.flush();
+        assert_eq!(closed.len(), 3);
+        // Sorted by key: a, m, z.
+        assert_eq!(closed[0].window.sequence, vec![1]);
+        assert_eq!(closed[1].window.sequence, vec![2]);
+        assert_eq!(closed[2].window.sequence, vec![0]);
+        assert_eq!(a.open_count(), 0);
+    }
+}

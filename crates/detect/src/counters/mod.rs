@@ -1,0 +1,9 @@
+//! Log-message-counter detection approaches (Section III): PCA, Invariant
+//! Mining and LogClustering. All three see a window as an event-count
+//! vector, which makes them order-invariant — the property experiment P3
+//! probes on mixed multi-source streams.
+
+pub mod cooccur;
+pub mod invariants;
+pub mod logcluster;
+pub mod pca;

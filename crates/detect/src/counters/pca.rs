@@ -1,0 +1,215 @@
+//! PCA-based anomaly detection (Xu et al., SOSP 2009: "Large-scale system
+//! problem detection by mining console logs").
+//!
+//! Normal windows live close to a low-dimensional subspace of count-vector
+//! space. Fit: mean-center training count vectors, eigendecompose their
+//! covariance, keep the top components explaining `variance_kept` of the
+//! variance. Score: squared prediction error (SPE) — the squared norm of a
+//! window's projection onto the *residual* subspace. Threshold: a high
+//! quantile of training SPEs (a practical stand-in for the Q-statistic).
+
+use crate::api::{Detector, TrainSet, Window};
+use crate::linalg::{dot, sym_eigen};
+use crate::window::count_vector;
+use serde::{Deserialize, Serialize};
+
+/// PCA detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcaDetectorConfig {
+    /// Fraction of variance the principal subspace must capture.
+    pub variance_kept: f64,
+    /// Training-SPE quantile used as the anomaly threshold.
+    pub threshold_quantile: f64,
+}
+
+impl Default for PcaDetectorConfig {
+    fn default() -> Self {
+        PcaDetectorConfig { variance_kept: 0.95, threshold_quantile: 0.995 }
+    }
+}
+
+/// The PCA / SPE detector.
+#[derive(Debug, Clone)]
+pub struct PcaDetector {
+    config: PcaDetectorConfig,
+    dim: usize,
+    mean: Vec<f64>,
+    /// Principal components (rows), spanning the normal subspace.
+    components: Vec<Vec<f64>>,
+    threshold: f64,
+}
+
+impl PcaDetector {
+    pub fn new(config: PcaDetectorConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.variance_kept));
+        assert!((0.0..=1.0).contains(&config.threshold_quantile));
+        PcaDetector { config, dim: 2, mean: Vec::new(), components: Vec::new(), threshold: f64::MAX }
+    }
+
+    fn spe(&self, window: &Window) -> f64 {
+        let x = count_vector(window, self.dim);
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
+        // Residual = x - Σ (x·v) v over principal components.
+        let mut residual = centered.clone();
+        for comp in &self.components {
+            let proj = dot(&centered, comp);
+            for (r, c) in residual.iter_mut().zip(comp) {
+                *r -= proj * c;
+            }
+        }
+        dot(&residual, &residual)
+    }
+}
+
+impl Detector for PcaDetector {
+    fn name(&self) -> &'static str {
+        "PCA"
+    }
+
+    fn fit(&mut self, train: &TrainSet) {
+        let normal = train.normal_windows();
+        assert!(!normal.is_empty(), "PCA needs at least one training window");
+        // Vocabulary: train ids + one unseen bucket.
+        self.dim = train.max_template_id().map(|m| m as usize + 2).unwrap_or(2);
+        let n = normal.len() as f64;
+
+        let vectors: Vec<Vec<f64>> = normal.iter().map(|w| count_vector(w, self.dim)).collect();
+        self.mean = vec![0.0; self.dim];
+        for v in &vectors {
+            for (m, x) in self.mean.iter_mut().zip(v) {
+                *m += x / n;
+            }
+        }
+
+        // Covariance.
+        let mut cov = vec![vec![0.0; self.dim]; self.dim];
+        for v in &vectors {
+            let c: Vec<f64> = v.iter().zip(&self.mean).map(|(x, m)| x - m).collect();
+            for i in 0..self.dim {
+                if c[i] == 0.0 {
+                    continue;
+                }
+                for j in i..self.dim {
+                    cov[i][j] += c[i] * c[j] / n;
+                }
+            }
+        }
+        for i in 0..self.dim {
+            for j in 0..i {
+                cov[i][j] = cov[j][i];
+            }
+        }
+
+        let eig = sym_eigen(&cov);
+        let total: f64 = eig.values.iter().filter(|v| **v > 0.0).sum();
+        self.components.clear();
+        if total > 0.0 {
+            let mut captured = 0.0;
+            for (value, vector) in eig.values.iter().zip(&eig.vectors) {
+                if *value <= 0.0 || captured / total >= self.config.variance_kept {
+                    break;
+                }
+                captured += value;
+                self.components.push(vector.clone());
+            }
+        }
+
+        // Threshold from the training-SPE quantile (with a floor so exact
+        // reconstruction of all training points doesn't zero the threshold).
+        let mut spes: Vec<f64> = normal.iter().map(|w| self.spe(w)).collect();
+        spes.sort_by(|a, b| a.partial_cmp(b).expect("SPE is finite"));
+        let idx = ((spes.len() as f64 - 1.0) * self.config.threshold_quantile).round() as usize;
+        self.threshold = (spes[idx.min(spes.len() - 1)] * 1.5).max(1e-6);
+    }
+
+    fn score(&self, window: &Window) -> f64 {
+        self.spe(window)
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Normal windows alternate two patterns; anomalies add a never-seen
+    /// burst of id 3.
+    fn train_set() -> TrainSet {
+        let mut windows = Vec::new();
+        for i in 0..60 {
+            let w = if i % 2 == 0 {
+                Window::from_ids(vec![0, 1, 1, 2])
+            } else {
+                Window::from_ids(vec![0, 1, 2, 2])
+            };
+            windows.push(w);
+        }
+        TrainSet::unlabeled(windows)
+    }
+
+    #[test]
+    fn normal_windows_score_low() {
+        let mut d = PcaDetector::new(PcaDetectorConfig::default());
+        let train = train_set();
+        d.fit(&train);
+        for w in &train.windows {
+            assert!(!d.predict(w), "training-like window flagged: SPE {}", d.score(w));
+        }
+    }
+
+    #[test]
+    fn count_deviations_score_high() {
+        let mut d = PcaDetector::new(PcaDetectorConfig::default());
+        d.fit(&train_set());
+        // Massive burst of a known event.
+        let burst = Window::from_ids(vec![0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2]);
+        assert!(d.predict(&burst), "SPE {} <= {}", d.score(&burst), d.threshold());
+        // Unseen template id (folds into the unseen bucket).
+        let unseen = Window::from_ids(vec![0, 1, 99, 99, 99, 2]);
+        assert!(d.predict(&unseen));
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        // PCA is count-based: shuffling a window never changes its score —
+        // exactly why the paper wants it compared on multi-source streams.
+        let mut d = PcaDetector::new(PcaDetectorConfig::default());
+        d.fit(&train_set());
+        let a = Window::from_ids(vec![0, 1, 1, 2]);
+        let b = Window::from_ids(vec![2, 1, 0, 1]);
+        assert_eq!(d.score(&a), d.score(&b));
+    }
+
+    #[test]
+    fn empty_window_scores_as_deviation_from_mean() {
+        let mut d = PcaDetector::new(PcaDetectorConfig::default());
+        d.fit(&train_set());
+        let empty = Window::default();
+        assert!(d.score(&empty) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one training window")]
+    fn empty_training_rejected() {
+        PcaDetector::new(PcaDetectorConfig::default()).fit(&TrainSet::default());
+    }
+
+    #[test]
+    fn variance_kept_controls_component_count() {
+        let train = train_set();
+        let mut tight = PcaDetector::new(PcaDetectorConfig {
+            variance_kept: 0.5,
+            ..Default::default()
+        });
+        tight.fit(&train);
+        let mut loose = PcaDetector::new(PcaDetectorConfig {
+            variance_kept: 0.9999,
+            ..Default::default()
+        });
+        loose.fit(&train);
+        assert!(loose.components.len() >= tight.components.len());
+    }
+}

@@ -1,0 +1,6 @@
+//! Deep-learning detection approaches (Section III): DeepLog, LogAnomaly
+//! and LogRobust, built on the `monilog-nn` substrate.
+
+pub mod deeplog;
+pub mod loganomaly;
+pub mod logrobust;

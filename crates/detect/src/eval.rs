@@ -1,0 +1,217 @@
+//! Detection evaluation — the exact metrics of Section III.
+//!
+//! "TP represents the number of abnormal log sequences that are correctly
+//! detected by the model, FP the number of normal log sequences that are
+//! wrongly identified as anomalies, and FN the number of abnormal log
+//! sequences that are not detected."
+
+use crate::api::{Detector, Window};
+
+/// Raw confusion counts over a labeled test set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionCounts {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    pub fn_: usize,
+}
+
+impl ConfusionCounts {
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// `Precision = TP / (TP + FP)`; 1.0 when nothing was flagged (no
+    /// false alarms were raised).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// `Recall = TP / (TP + FN)`; 1.0 when there was nothing to find.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// `F1 = 2PR / (P + R)`.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Precision/recall/F1 summary for one detector run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionScores {
+    pub counts: ConfusionCounts,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+/// Area under the ROC curve of a detector's *scores* over a labeled set —
+/// the threshold-free companion to [`evaluate`]: it compares score
+/// *rankings*, so detectors with incomparable score scales (violation
+/// counts vs probabilities vs distances) can still be compared. Computed
+/// as the Mann–Whitney U statistic with midrank tie handling. Returns 0.5
+/// when either class is empty (no ranking information).
+pub fn auc(detector: &dyn Detector, windows: &[Window], labels: &[bool]) -> f64 {
+    assert_eq!(windows.len(), labels.len(), "one label per window");
+    let mut scored: Vec<(f64, bool)> = windows
+        .iter()
+        .zip(labels)
+        .map(|(w, &l)| (detector.score(w), l))
+        .collect();
+    let n_pos = scored.iter().filter(|(_, l)| *l).count();
+    let n_neg = scored.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    // Midranks over ties.
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < scored.len() {
+        let mut j = i;
+        while j + 1 < scored.len() && scored[j + 1].0 == scored[i].0 {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for item in &scored[i..=j] {
+            if item.1 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Run a fitted detector over a labeled test set.
+pub fn evaluate(detector: &dyn Detector, windows: &[Window], labels: &[bool]) -> DetectionScores {
+    assert_eq!(windows.len(), labels.len(), "one label per window");
+    let mut counts = ConfusionCounts::default();
+    for (w, &actual) in windows.iter().zip(labels) {
+        counts.record(detector.predict(w), actual);
+    }
+    DetectionScores {
+        counts,
+        precision: counts.precision(),
+        recall: counts.recall(),
+        f1: counts.f1(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::TrainSet;
+
+    #[test]
+    fn counts_and_formulas() {
+        let mut c = ConfusionCounts::default();
+        // 3 TP, 1 FP, 2 FN, 4 TN.
+        for _ in 0..3 {
+            c.record(true, true);
+        }
+        c.record(true, false);
+        for _ in 0..2 {
+            c.record(false, true);
+        }
+        for _ in 0..4 {
+            c.record(false, false);
+        }
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (3, 1, 2, 4));
+        assert!((c.precision() - 0.75).abs() < 1e-12);
+        assert!((c.recall() - 0.6).abs() < 1e-12);
+        let f1 = 2.0 * 0.75 * 0.6 / (0.75 + 0.6);
+        assert!((c.f1() - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let silent = ConfusionCounts { tp: 0, fp: 0, tn: 5, fn_: 5 };
+        assert_eq!(silent.precision(), 1.0);
+        assert_eq!(silent.recall(), 0.0);
+        assert_eq!(silent.f1(), 0.0);
+
+        let perfect = ConfusionCounts { tp: 5, fp: 0, tn: 5, fn_: 0 };
+        assert_eq!(perfect.f1(), 1.0);
+    }
+
+    /// A trivial threshold detector to exercise `evaluate` end to end.
+    struct LongWindowDetector;
+
+    impl Detector for LongWindowDetector {
+        fn name(&self) -> &'static str {
+            "long-window"
+        }
+        fn fit(&mut self, _train: &TrainSet) {}
+        fn score(&self, window: &Window) -> f64 {
+            window.len() as f64
+        }
+        fn threshold(&self) -> f64 {
+            3.0
+        }
+    }
+
+    #[test]
+    fn auc_ranks_scores_threshold_free() {
+        // LongWindowDetector scores by length: anomalies are the longest
+        // windows → perfect ranking regardless of its threshold.
+        let windows = vec![
+            Window::from_ids(vec![1]),
+            Window::from_ids(vec![1, 2]),
+            Window::from_ids(vec![1, 2, 3, 4, 5, 6]),
+            Window::from_ids(vec![1, 2, 3, 4, 5, 6, 7]),
+        ];
+        let labels = vec![false, false, true, true];
+        assert_eq!(auc(&LongWindowDetector, &windows, &labels), 1.0);
+        // Inverted labels → worst ranking.
+        let inverted = vec![true, true, false, false];
+        assert_eq!(auc(&LongWindowDetector, &windows, &inverted), 0.0);
+        // Uninformative single-class sets → 0.5.
+        assert_eq!(auc(&LongWindowDetector, &windows, &[false; 4]), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_ties_with_midranks() {
+        // Two positives and two negatives all scoring identically → 0.5.
+        let windows = vec![Window::from_ids(vec![1]); 4];
+        let labels = vec![true, false, true, false];
+        assert!((auc(&LongWindowDetector, &windows, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_runs_a_detector() {
+        let windows = vec![
+            Window::from_ids(vec![1, 2]),          // normal, predicted normal (TN)
+            Window::from_ids(vec![1, 2, 3, 4, 5]), // anomalous, predicted anomalous (TP)
+            Window::from_ids(vec![1, 2, 3, 4]),    // normal, predicted anomalous (FP)
+        ];
+        let labels = vec![false, true, false];
+        let scores = evaluate(&LongWindowDetector, &windows, &labels);
+        assert_eq!(scores.counts.tp, 1);
+        assert_eq!(scores.counts.fp, 1);
+        assert_eq!(scores.counts.tn, 1);
+        assert_eq!(scores.recall, 1.0);
+        assert!((scores.precision - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,207 @@
+//! Windowing and count vectors.
+//!
+//! Counter-based detectors see a window as a bag of template counts;
+//! sequence detectors see it as an ordered id sequence. Both views are
+//! built here, along with the session/sliding window assemblers used by
+//! the experiment harnesses.
+
+use crate::api::Window;
+use std::collections::HashMap;
+
+/// Event-count vector of a window over a fixed vocabulary of `dim`
+/// template ids; ids `>= dim - 1` (unseen at training time) fold into the
+/// last bucket, so test windows with brand-new templates still score.
+pub fn count_vector(window: &Window, dim: usize) -> Vec<f64> {
+    assert!(dim >= 2, "count vector needs at least one id bucket plus the unseen bucket");
+    let mut v = vec![0.0; dim];
+    for &id in &window.sequence {
+        let idx = (id as usize).min(dim - 1);
+        v[idx] += 1.0;
+    }
+    v
+}
+
+/// L2-normalized variant of [`count_vector`] (used by LogClustering).
+pub fn normalized_count_vector(window: &Window, dim: usize) -> Vec<f64> {
+    let mut v = count_vector(window, dim);
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+/// Group a stream of `(session key, template id, numerics)` into session
+/// windows, preserving stream order inside each session and the order of
+/// first appearance across sessions.
+pub fn session_windows<K: Eq + std::hash::Hash + Clone>(
+    events: impl IntoIterator<Item = (K, u32, Vec<f64>)>,
+) -> Vec<(K, Window)> {
+    let mut order: Vec<K> = Vec::new();
+    let mut map: HashMap<K, Window> = HashMap::new();
+    for (key, id, numerics) in events {
+        let w = map.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            Window::default()
+        });
+        w.sequence.push(id);
+        w.numerics.push(numerics);
+    }
+    order
+        .into_iter()
+        .map(|k| {
+            let w = map.remove(&k).expect("keys in order are in map");
+            (k, w)
+        })
+        .collect()
+}
+
+/// Cut a continuous stream into fixed-size tumbling windows of `size`
+/// events (the multi-source regime of experiment P3, where no session key
+/// exists). The final partial window is kept if it has at least
+/// `size / 2` events.
+pub fn tumbling_windows(ids: &[u32], numerics: &[Vec<f64>], size: usize) -> Vec<Window> {
+    assert!(size >= 1);
+    assert_eq!(ids.len(), numerics.len());
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < ids.len() {
+        let end = (start + size).min(ids.len());
+        if end - start >= size.div_ceil(2) || out.is_empty() {
+            out.push(Window {
+                sequence: ids[start..end].to_vec(),
+                numerics: numerics[start..end].to_vec(),
+            });
+        }
+        start = end;
+    }
+    out
+}
+
+/// Cut a continuous stream into overlapping sliding windows of `size`
+/// events advancing by `stride` (DeepLog's original windowing for
+/// continuous streams; `stride == size` degenerates to
+/// [`tumbling_windows`]). Windows are only emitted where a full `size`
+/// events exist, except that a stream shorter than `size` yields one
+/// partial window.
+pub fn sliding_windows(
+    ids: &[u32],
+    numerics: &[Vec<f64>],
+    size: usize,
+    stride: usize,
+) -> Vec<Window> {
+    assert!(size >= 1 && stride >= 1);
+    assert_eq!(ids.len(), numerics.len());
+    if ids.is_empty() {
+        return Vec::new();
+    }
+    if ids.len() < size {
+        return vec![Window { sequence: ids.to_vec(), numerics: numerics.to_vec() }];
+    }
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start + size <= ids.len() {
+        out.push(Window {
+            sequence: ids[start..start + size].to_vec(),
+            numerics: numerics[start..start + size].to_vec(),
+        });
+        start += stride;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_vector_counts() {
+        let w = Window::from_ids(vec![0, 1, 1, 3]);
+        assert_eq!(count_vector(&w, 5), vec![1.0, 2.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn count_vector_folds_unseen_ids() {
+        let w = Window::from_ids(vec![0, 99, 100]);
+        // dim 4: ids >= 3 fold into the last bucket.
+        assert_eq!(count_vector(&w, 4), vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn normalized_vector_has_unit_norm() {
+        let w = Window::from_ids(vec![0, 0, 1]);
+        let v = normalized_count_vector(&w, 3);
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-12);
+        // Empty window: all-zero vector stays zero.
+        let z = normalized_count_vector(&Window::default(), 3);
+        assert_eq!(z, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn session_windows_group_and_preserve_order() {
+        let events = vec![
+            ("a", 1, vec![]),
+            ("b", 9, vec![]),
+            ("a", 2, vec![1.5]),
+            ("a", 3, vec![]),
+            ("b", 8, vec![]),
+        ];
+        let sessions = session_windows(events);
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].0, "a");
+        assert_eq!(sessions[0].1.sequence, vec![1, 2, 3]);
+        assert_eq!(sessions[0].1.numerics[1], vec![1.5]);
+        assert_eq!(sessions[1].0, "b");
+        assert_eq!(sessions[1].1.sequence, vec![9, 8]);
+    }
+
+    #[test]
+    fn tumbling_windows_cut_and_keep_half_full_tail() {
+        let ids: Vec<u32> = (0..10).collect();
+        let nums = vec![Vec::new(); 10];
+        let ws = tumbling_windows(&ids, &nums, 4);
+        // 4 + 4 + 2: the 2-event tail is exactly size/2, kept.
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].sequence, vec![0, 1, 2, 3]);
+        assert_eq!(ws[2].sequence, vec![8, 9]);
+
+        let ws = tumbling_windows(&ids[..9], &nums[..9], 4);
+        // 4 + 4 + 1: the 1-event tail is below half, dropped.
+        assert_eq!(ws.len(), 2);
+    }
+
+    #[test]
+    fn sliding_windows_overlap_by_stride() {
+        let ids: Vec<u32> = (0..6).collect();
+        let nums = vec![Vec::new(); 6];
+        let ws = sliding_windows(&ids, &nums, 4, 1);
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].sequence, vec![0, 1, 2, 3]);
+        assert_eq!(ws[1].sequence, vec![1, 2, 3, 4]);
+        assert_eq!(ws[2].sequence, vec![2, 3, 4, 5]);
+        // stride == size degenerates to tumbling (full windows only).
+        let ws = sliding_windows(&ids, &nums, 3, 3);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[1].sequence, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn sliding_windows_short_stream_and_empty() {
+        let ids = [7u32, 8];
+        let nums = vec![Vec::new(); 2];
+        let ws = sliding_windows(&ids, &nums, 5, 2);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].sequence, vec![7, 8]);
+        assert!(sliding_windows(&[], &[], 3, 1).is_empty());
+    }
+
+    #[test]
+    fn tumbling_keeps_short_streams() {
+        let ws = tumbling_windows(&[7], &[vec![]], 10);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].sequence, vec![7]);
+    }
+}

@@ -1,0 +1,49 @@
+//! # monilog-loggen
+//!
+//! Synthetic log-workload substrate with full ground truth.
+//!
+//! The MoniLog paper evaluates on 3DS OUTSCALE production logs ("one system
+//! is connected to 24 different log sources and generates millions of log
+//! lines each second") and on the public HDFS benchmark. Neither the
+//! proprietary traces nor the labeled datasets ship with this repository,
+//! so this crate builds their closest synthetic equivalents — with a key
+//! advantage over the originals: **every line carries exact ground truth**
+//! (its true template, the static/variable kind of every token, its session,
+//! and whether it is anomalous), which the paper's Eq. 1 token metric and
+//! all detection experiments need.
+//!
+//! Components:
+//! - [`varspec`] — typed variable generators (ints, IPs, hex ids, paths...)
+//!   with separate *normal* and *anomalous* value distributions.
+//! - [`flow`] — execution-flow models: programs as probabilistic state
+//!   machines whose states emit log templates ("programs are usually
+//!   executed according to a fixed flow, and logs are produced according to
+//!   those sequences", Section III).
+//! - [`truth`] — per-line ground-truth labels.
+//! - [`hdfs`] — an HDFS-like session workload (block lifecycle flows),
+//!   mirroring the dataset used by DeepLog / LogRobust / LogAnomaly.
+//! - [`cloud`] — a multi-source Cloud-platform workload: 24 sources,
+//!   embedded JSON payloads, cross-source correlated anomalies.
+//! - [`instability`] — LogRobust-style log-evolution injection (badly
+//!   parsed lines, twisted statements, duplicates, shuffling) and
+//!   parse-error injection on event streams.
+//! - [`noise`] — transport noise: reordering, duplication, loss ("logs can
+//!   arrive in mixed order or sometimes be duplicated", Section I).
+//! - [`corpus`] — fixed corpora for the parser benchmarks (P4/P5/P6).
+
+pub mod cloud;
+pub mod corpus;
+pub mod flow;
+pub mod hdfs;
+pub mod instability;
+pub mod noise;
+pub mod truth;
+pub mod varspec;
+
+pub use cloud::{CloudWorkload, CloudWorkloadConfig};
+pub use flow::{FlowSpec, FlowState, FlowWorkload, StateId, Transition};
+pub use hdfs::{HdfsWorkload, HdfsWorkloadConfig, Session};
+pub use instability::{corrupt_events, InstabilityConfig, InstabilityInjector, InstabilityKind};
+pub use noise::{NoiseConfig, NoiseInjector};
+pub use truth::{GenLog, LineTruth, TokenKind, TruthTemplateId};
+pub use varspec::{VarKind, VarSpec};

@@ -1,0 +1,188 @@
+//! Anomaly kinds, reports and criticality — the detection component's
+//! output and the classification component's input (Fig. 1 and Section V).
+//!
+//! "Log-related anomalous events can be broadly divided into two categories:
+//! sequential anomalies [...] and quantitative anomalies" (Section III).
+//! An [`AnomalyReport`] is "composed of all the logs linked to the
+//! identified anomalous sequence" (Section II).
+
+use crate::event::LogEvent;
+use crate::log::SourceId;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two anomaly categories of Section III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// The log sequence deviates from the normal flow
+    /// (Table I example: `L1 → L4`).
+    Sequential,
+    /// Logs follow the normal flow but carry unusual values leading to an
+    /// undesired outcome (Table I example: `L3`).
+    Quantitative,
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AnomalyKind::Sequential => "sequential",
+            AnomalyKind::Quantitative => "quantitative",
+        })
+    }
+}
+
+/// Criticality scale assigned by the classification component.
+///
+/// "A common practice to prioritize the tasks is to assign anomalies a level
+/// of criticality such as low, moderate or high" (Section V).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Criticality {
+    Low,
+    Moderate,
+    High,
+}
+
+impl Criticality {
+    pub const ALL: [Criticality; 3] = [Criticality::Low, Criticality::Moderate, Criticality::High];
+
+    /// Ordinal value used by the criticality regressor (0, 1, 2).
+    pub fn ordinal(self) -> u8 {
+        match self {
+            Criticality::Low => 0,
+            Criticality::Moderate => 1,
+            Criticality::High => 2,
+        }
+    }
+
+    /// Inverse of [`Criticality::ordinal`], clamping out-of-range values.
+    pub fn from_ordinal(v: u8) -> Criticality {
+        match v {
+            0 => Criticality::Low,
+            1 => Criticality::Moderate,
+            _ => Criticality::High,
+        }
+    }
+}
+
+impl fmt::Display for Criticality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Criticality::Low => "low",
+            Criticality::Moderate => "moderate",
+            Criticality::High => "high",
+        })
+    }
+}
+
+/// A detected anomaly with all the evidence the detector saw.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyReport {
+    /// Dense report id, assigned by the detection stage.
+    pub id: u64,
+    pub kind: AnomalyKind,
+    /// Detector-specific anomaly score; larger is more anomalous. Scores
+    /// are comparable within one detector, not across detectors.
+    pub score: f64,
+    /// Name of the detector that raised the report (e.g. `"deeplog"`).
+    pub detector: String,
+    /// All events in the anomalous window/sequence, in stream order.
+    pub events: Vec<LogEvent>,
+    /// Short human-readable explanation (e.g. the expected vs observed
+    /// next template for a sequential anomaly).
+    pub explanation: String,
+}
+
+impl AnomalyReport {
+    /// Time span covered by the report's events, if any.
+    pub fn span(&self) -> Option<(Timestamp, Timestamp)> {
+        let first = self.events.iter().map(|e| e.timestamp).min()?;
+        let last = self.events.iter().map(|e| e.timestamp).max()?;
+        Some((first, last))
+    }
+
+    /// Distinct sources that contributed events, ascending.
+    pub fn sources(&self) -> Vec<SourceId> {
+        let mut v: Vec<SourceId> = self.events.iter().map(|e| e.source).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of events in the report.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use crate::severity::Severity;
+    use crate::template::TemplateId;
+
+    fn event(ts: u64, src: u16) -> LogEvent {
+        LogEvent::new(
+            EventId(ts),
+            Timestamp::from_millis(ts),
+            SourceId(src),
+            Severity::Info,
+            TemplateId(0),
+            vec![],
+            None,
+        )
+    }
+
+    fn report(events: Vec<LogEvent>) -> AnomalyReport {
+        AnomalyReport {
+            id: 0,
+            kind: AnomalyKind::Sequential,
+            score: 1.0,
+            detector: "test".into(),
+            events,
+            explanation: String::new(),
+        }
+    }
+
+    #[test]
+    fn span_covers_min_max() {
+        let r = report(vec![event(5, 0), event(2, 0), event(9, 1)]);
+        assert_eq!(
+            r.span(),
+            Some((Timestamp::from_millis(2), Timestamp::from_millis(9)))
+        );
+    }
+
+    #[test]
+    fn empty_report_has_no_span() {
+        assert_eq!(report(vec![]).span(), None);
+        assert!(report(vec![]).is_empty());
+    }
+
+    #[test]
+    fn sources_are_deduplicated_and_sorted() {
+        let r = report(vec![event(1, 3), event(2, 1), event(3, 3)]);
+        assert_eq!(r.sources(), vec![SourceId(1), SourceId(3)]);
+    }
+
+    #[test]
+    fn criticality_ordinal_round_trip() {
+        for c in Criticality::ALL {
+            assert_eq!(Criticality::from_ordinal(c.ordinal()), c);
+        }
+        assert_eq!(Criticality::from_ordinal(99), Criticality::High);
+    }
+
+    #[test]
+    fn criticality_is_ordered() {
+        assert!(Criticality::Low < Criticality::Moderate);
+        assert!(Criticality::Moderate < Criticality::High);
+    }
+}

@@ -1,0 +1,145 @@
+//! Structured log events.
+//!
+//! After the parsing component, each log line becomes a [`LogEvent`]: the
+//! header fields, the discovered [`TemplateId`], and the extracted variable
+//! values. This is the "structured log-stream" of Fig. 1 that the detection
+//! component consumes.
+
+use crate::log::SourceId;
+use crate::severity::Severity;
+use crate::template::TemplateId;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique event identifier (dense, assigned at parse time).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct EventId(pub u64);
+
+/// Key used to group events into sessions (e.g. an HDFS block id or a
+/// request id). Detection models that use *session windows* group by this;
+/// models that use *sliding windows* ignore it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SessionKey(pub String);
+
+impl fmt::Display for SessionKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A fully structured log event — the unit flowing from the parsing
+/// component to the detection component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogEvent {
+    pub id: EventId,
+    pub timestamp: Timestamp,
+    pub source: SourceId,
+    pub level: Severity,
+    pub template: TemplateId,
+    /// Values extracted at the template's wildcard positions, in order.
+    pub variables: Vec<String>,
+    /// Numeric reinterpretations of `variables` where possible (`None` for
+    /// non-numeric variables). Pre-computed once at parse time because the
+    /// quantitative-anomaly models consume numbers, not strings.
+    pub numeric_variables: Vec<Option<f64>>,
+    /// Session this event belongs to, when a session key could be derived.
+    pub session: Option<SessionKey>,
+}
+
+impl LogEvent {
+    /// Build an event, deriving `numeric_variables` from `variables`.
+    pub fn new(
+        id: EventId,
+        timestamp: Timestamp,
+        source: SourceId,
+        level: Severity,
+        template: TemplateId,
+        variables: Vec<String>,
+        session: Option<SessionKey>,
+    ) -> Self {
+        let numeric_variables = variables.iter().map(|v| parse_numeric(v)).collect();
+        LogEvent { id, timestamp, source, level, template, variables, numeric_variables, session }
+    }
+
+    /// The numeric variables only, in order, skipping non-numeric ones.
+    pub fn numeric_values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.numeric_variables.iter().filter_map(|v| *v)
+    }
+}
+
+/// Interpret a variable token as a number if it looks like one.
+///
+/// Accepts integers, decimals and simple sign prefixes; rejects tokens with
+/// trailing junk (`42ms`) so that unit-suffixed values don't silently parse
+/// as their magnitude.
+pub fn parse_numeric(token: &str) -> Option<f64> {
+    if token.is_empty() {
+        return None;
+    }
+    let body = token.strip_prefix(['-', '+']).unwrap_or(token);
+    if body.is_empty() {
+        return None;
+    }
+    let mut dots = 0;
+    for b in body.bytes() {
+        match b {
+            b'0'..=b'9' => {}
+            b'.' => {
+                dots += 1;
+                if dots > 1 {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    }
+    token.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_parsing_accepts_numbers() {
+        assert_eq!(parse_numeric("42"), Some(42.0));
+        assert_eq!(parse_numeric("-7"), Some(-7.0));
+        assert_eq!(parse_numeric("3.5"), Some(3.5));
+        assert_eq!(parse_numeric("+0.25"), Some(0.25));
+        assert_eq!(parse_numeric("745675869"), Some(745_675_869.0));
+    }
+
+    #[test]
+    fn numeric_parsing_rejects_junk() {
+        for bad in ["", "x92", "42ms", "1.2.3", "10.250.11.53", "-", "+", "4e2"] {
+            assert_eq!(parse_numeric(bad), None, "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn event_derives_numeric_variables() {
+        let ev = LogEvent::new(
+            EventId(1),
+            Timestamp::from_millis(0),
+            SourceId(0),
+            Severity::Info,
+            TemplateId(0),
+            vec!["x92".into(), "42".into()],
+            None,
+        );
+        assert_eq!(ev.numeric_variables, vec![None, Some(42.0)]);
+        assert_eq!(ev.numeric_values().collect::<Vec<_>>(), vec![42.0]);
+    }
+
+    #[test]
+    fn table1_l3_value_is_numeric() {
+        // Table I, L3: "Sending 745675869 bytes ..." — the unusual byte count
+        // must be visible to quantitative-anomaly models as a number.
+        assert_eq!(parse_numeric("745675869"), Some(745_675_869.0));
+        // ...while the IP variables are not numbers.
+        assert_eq!(parse_numeric("10.250.11.53"), None);
+    }
+}

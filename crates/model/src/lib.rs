@@ -1,0 +1,47 @@
+//! # monilog-model
+//!
+//! Core data model shared by every MoniLog crate.
+//!
+//! MoniLog (Vervaet, ICDE 2021) models its input as a *log stream fueled by
+//! various log sources*. A log line splits into a **header** (timestamp,
+//! source, criticality level — already structured) and a **message** (free
+//! text composed of a static *template* and variable parts). This crate
+//! defines those types plus the anomaly-report types produced by the
+//! detection component and consumed by the classification component.
+//!
+//! Modules:
+//! - [`time`] — millisecond timestamps and the `YYYY-MM-DD HH:MM:SS,mmm`
+//!   format used throughout the paper's examples (Fig. 2).
+//! - [`severity`] — log criticality levels.
+//! - [`log`] — raw lines, headers, records.
+//! - [`header`] — header parsing (Fig. 2, left-to-right field extraction).
+//! - [`template`] — parsed message templates (static tokens + wildcards).
+//! - [`event`] — structured events flowing between pipeline stages.
+//! - [`anomaly`] — anomaly kinds, reports, criticality levels (Section V).
+//! - [`structured`] — extraction of embedded JSON / `key=value` payloads
+//!   (the Section IV "preliminary step" recommendation).
+//! - [`tokenize`] — whitespace tokenization helpers shared by parsers and
+//!   metrics (a *token* is "a sequence delimited by spaces", Section IV).
+//! - [`codec`] — the small versioned binary codec behind template-store and
+//!   detector-checkpoint persistence.
+
+pub mod anomaly;
+pub mod codec;
+pub mod event;
+pub mod header;
+pub mod log;
+pub mod severity;
+pub mod structured;
+pub mod template;
+pub mod time;
+pub mod tokenize;
+
+pub use anomaly::{AnomalyKind, AnomalyReport, Criticality};
+pub use codec::{CodecError, Decoder, Encoder};
+pub use event::{EventId, LogEvent, SessionKey};
+pub use header::{parse_header, HeaderFormat, HeaderParseError};
+pub use log::{LogHeader, LogRecord, RawLog, SourceId};
+pub use severity::Severity;
+pub use structured::{extract_structured, StructuredPayload};
+pub use template::{Template, TemplateId, TemplateStore, TemplateToken};
+pub use time::Timestamp;

@@ -1,0 +1,136 @@
+//! Raw and structured log records.
+//!
+//! A *raw* log is a line of text tagged with the source that produced it and
+//! a monotone ingestion sequence number. Header parsing turns it into a
+//! [`LogRecord`]: a structured [`LogHeader`] plus the free-text message that
+//! the parsing component will template-ize.
+
+use crate::severity::Severity;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a log source (one of the paper's "24 different log sources"
+/// feeding a single system). Dense small integers so per-source state can
+/// live in a `Vec`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SourceId(pub u16);
+
+impl SourceId {
+    pub fn as_index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "src{}", self.0)
+    }
+}
+
+/// An unparsed log line as it arrives from a source.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawLog {
+    /// Which source emitted the line.
+    pub source: SourceId,
+    /// Ingestion sequence number, assigned by the collector. Strictly
+    /// increasing per source; used to detect duplicates and reordering.
+    pub seq: u64,
+    /// The raw line, header included.
+    pub line: String,
+}
+
+impl RawLog {
+    pub fn new(source: SourceId, seq: u64, line: impl Into<String>) -> Self {
+        RawLog { source, seq, line: line.into() }
+    }
+}
+
+/// The structured header of a log line (Fig. 2: TIMESTAMP / SOURCE / LEVEL).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHeader {
+    pub timestamp: Timestamp,
+    /// The component name written in the header (e.g. `serviceManager`).
+    /// Distinct from [`SourceId`], which identifies the *stream* the line
+    /// arrived on; one stream can carry several components.
+    pub component: String,
+    pub level: Severity,
+}
+
+impl LogHeader {
+    pub fn new(timestamp: Timestamp, component: impl Into<String>, level: Severity) -> Self {
+        LogHeader { timestamp, component: component.into(), level }
+    }
+}
+
+/// A log line after header parsing: structured header + free-text message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogRecord {
+    pub source: SourceId,
+    pub seq: u64,
+    pub header: LogHeader,
+    /// The MESSAGE field — "a text field without format constraint".
+    pub message: String,
+}
+
+impl LogRecord {
+    /// Render back to the canonical single-line textual form used by the
+    /// generators: `<timestamp> - <component> - <LEVEL> - <message>`.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{} - {} - {} - {}",
+            self.header.timestamp.to_log_format(),
+            self.header.component,
+            self.header.level,
+            self.message
+        )
+    }
+}
+
+impl fmt::Display for LogRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> LogRecord {
+        LogRecord {
+            source: SourceId(3),
+            seq: 42,
+            header: LogHeader::new(
+                Timestamp::parse_log_format("2020-03-19 15:38:55,977").unwrap(),
+                "serviceManager",
+                Severity::Info,
+            ),
+            message: "New process started: process x92 started on port 42".to_string(),
+        }
+    }
+
+    #[test]
+    fn renders_fig2_line() {
+        // The exact log line of Fig. 2 in the paper.
+        assert_eq!(
+            record().to_line(),
+            "2020-03-19 15:38:55,977 - serviceManager - INFO - \
+             New process started: process x92 started on port 42"
+        );
+    }
+
+    #[test]
+    fn display_matches_to_line() {
+        let r = record();
+        assert_eq!(format!("{r}"), r.to_line());
+    }
+
+    #[test]
+    fn source_id_index() {
+        assert_eq!(SourceId(7).as_index(), 7);
+        assert_eq!(format!("{}", SourceId(7)), "src7");
+    }
+}

@@ -1,0 +1,278 @@
+//! Finite-difference gradient verification.
+//!
+//! The one tool that keeps a hand-rolled autograd honest: perturb each
+//! parameter element, measure the loss difference, and compare against the
+//! analytic gradient. Used extensively by this crate's tests (including
+//! property tests over random shapes).
+
+use crate::matrix::Matrix;
+use crate::optim::{ParamId, ParamSet};
+
+/// Result of a gradient check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest relative error across all checked elements.
+    pub max_rel_error: f64,
+    /// Number of elements checked.
+    pub checked: usize,
+}
+
+/// Verify analytic gradients of `loss_fn` against central finite
+/// differences for every element of every parameter.
+///
+/// `loss_fn` must be a pure function of the parameter values: it builds a
+/// graph, runs backward (accumulating into the `ParamSet`), and returns the
+/// scalar loss. Returns the worst relative error.
+pub fn gradient_check(
+    params: &mut ParamSet,
+    ids: &[ParamId],
+    mut loss_fn: impl FnMut(&mut ParamSet) -> f64,
+    eps: f64,
+) -> GradCheckReport {
+    // Analytic pass.
+    params.zero_grads();
+    let _ = loss_fn(params);
+    let analytic: Vec<Matrix> = ids.iter().map(|&id| params.grad(id).clone()).collect();
+
+    let mut max_rel_error: f64 = 0.0;
+    let mut checked = 0;
+    for (k, &id) in ids.iter().enumerate() {
+        let (rows, cols) = params.value(id).shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                let original = params.value(id).get(r, c);
+
+                params.value_mut(id).set(r, c, original + eps);
+                params.zero_grads();
+                let plus = loss_fn(params);
+
+                params.value_mut(id).set(r, c, original - eps);
+                params.zero_grads();
+                let minus = loss_fn(params);
+
+                params.value_mut(id).set(r, c, original);
+
+                let numeric = (plus - minus) / (2.0 * eps);
+                let a = analytic[k].get(r, c);
+                let denom = a.abs().max(numeric.abs()).max(1e-8);
+                let rel = (a - numeric).abs() / denom;
+                // Ignore positions where both are essentially zero.
+                if a.abs() > 1e-10 || numeric.abs() > 1e-10 {
+                    max_rel_error = max_rel_error.max(rel);
+                    checked += 1;
+                }
+            }
+        }
+    }
+    GradCheckReport { max_rel_error, checked }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Graph, Var};
+    use crate::layers::{Attention, BiLstm, Dense, Embedding, Lstm};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const TOL: f64 = 1e-5;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn dense_sigmoid_xent_gradients() {
+        let mut r = rng();
+        let mut params = ParamSet::new();
+        let layer = Dense::new(&mut params, 4, 3, &mut r);
+        let x = Matrix::xavier(2, 4, &mut r);
+        let ids = [layer.w, layer.b];
+        let report = gradient_check(
+            &mut params,
+            &ids,
+            |p| {
+                let mut g = Graph::new();
+                let xv = g.input(x.clone());
+                let h = layer.forward(&mut g, p, xv);
+                let s = g.sigmoid(h);
+                let loss = g.softmax_xent(s, vec![0, 2]);
+                let out = g.value(loss).get(0, 0);
+                g.backward(loss, p);
+                out
+            },
+            1e-5,
+        );
+        assert!(report.checked > 0);
+        assert!(report.max_rel_error < TOL, "rel error {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn lstm_bptt_gradients() {
+        let mut r = rng();
+        let mut params = ParamSet::new();
+        let lstm = Lstm::new(&mut params, 3, 5, &mut r);
+        let head = Dense::new(&mut params, 5, 4, &mut r);
+        let xs: Vec<Matrix> = (0..4).map(|_| Matrix::xavier(1, 3, &mut r)).collect();
+        let ids = [lstm.w, lstm.b, head.w, head.b];
+        let report = gradient_check(
+            &mut params,
+            &ids,
+            |p| {
+                let mut g = Graph::new();
+                let xvars: Vec<Var> = xs.iter().map(|x| g.input(x.clone())).collect();
+                let states = lstm.run(&mut g, p, &xvars);
+                let logits = head.forward(&mut g, p, states.last().unwrap().h);
+                let loss = g.softmax_xent(logits, vec![2]);
+                let out = g.value(loss).get(0, 0);
+                g.backward(loss, p);
+                out
+            },
+            1e-5,
+        );
+        assert!(report.checked > 50, "too few elements checked: {}", report.checked);
+        assert!(report.max_rel_error < TOL, "rel error {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn bilstm_attention_pipeline_gradients() {
+        // The full LogRobust-shaped pipeline: embedding → BiLSTM →
+        // attention → dense → cross-entropy.
+        let mut r = rng();
+        let mut params = ParamSet::new();
+        let emb = Embedding::new(&mut params, 6, 3, &mut r);
+        let bi = BiLstm::new(&mut params, 3, 4, &mut r);
+        let attn = Attention::new(&mut params, 8, 4, &mut r);
+        let head = Dense::new(&mut params, 8, 2, &mut r);
+        let window = [1usize, 4, 2, 5];
+        let ids = [
+            emb.table, bi.fwd.w, bi.fwd.b, bi.bwd.w, bi.bwd.b, attn.w, attn.v, head.w, head.b,
+        ];
+        let report = gradient_check(
+            &mut params,
+            &ids,
+            |p| {
+                let mut g = Graph::new();
+                let embedded = emb.forward(&mut g, p, &window);
+                let xs: Vec<Var> = (0..window.len()).map(|t| g.select_row(embedded, t)).collect();
+                let enc = bi.run(&mut g, p, &xs);
+                // Stack per-step encodings into a T×d matrix.
+                let mut stacked = enc[0];
+                for &e in &enc[1..] {
+                    let et = g.transpose(e);
+                    let st = g.transpose(stacked);
+                    let cat = g.concat_cols(st, et);
+                    stacked = g.transpose(cat);
+                }
+                let pooled = attn.forward(&mut g, p, stacked);
+                let logits = head.forward(&mut g, p, pooled);
+                let loss = g.softmax_xent(logits, vec![1]);
+                let out = g.value(loss).get(0, 0);
+                g.backward(loss, p);
+                out
+            },
+            1e-5,
+        );
+        assert!(report.checked > 100);
+        // Deeper pipeline → slightly looser numerical tolerance.
+        assert!(report.max_rel_error < 1e-4, "rel error {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn mse_and_elementwise_op_gradients() {
+        let mut r = rng();
+        let mut params = ParamSet::new();
+        let w = params.add(Matrix::xavier(2, 3, &mut r));
+        let target = Matrix::xavier(2, 3, &mut r);
+        let report = gradient_check(
+            &mut params,
+            &[w],
+            |p| {
+                let mut g = Graph::new();
+                let wv = g.param(p, w);
+                let t = g.tanh(wv);
+                let rl = g.relu(t);
+                let h = g.hadamard(rl, wv);
+                let sc = g.scale(h, 0.7);
+                let loss = g.mse(sc, target.clone());
+                let out = g.value(loss).get(0, 0);
+                g.backward(loss, p);
+                out
+            },
+            1e-6,
+        );
+        assert!(report.max_rel_error < 1e-4, "rel error {}", report.max_rel_error);
+    }
+
+    #[test]
+    fn mean_rows_and_softmax_gradients() {
+        let mut r = rng();
+        let mut params = ParamSet::new();
+        let w = params.add(Matrix::xavier(3, 4, &mut r));
+        let target = Matrix::xavier(1, 4, &mut r);
+        let report = gradient_check(
+            &mut params,
+            &[w],
+            |p| {
+                let mut g = Graph::new();
+                let wv = g.param(p, w);
+                let sm = g.row_softmax(wv);
+                let mean = g.mean_rows(sm);
+                let loss = g.mse(mean, target.clone());
+                let out = g.value(loss).get(0, 0);
+                g.backward(loss, p);
+                out
+            },
+            1e-6,
+        );
+        assert!(report.max_rel_error < 1e-4, "rel error {}", report.max_rel_error);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::layers::Dense;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Random dense-net shapes and seeds all pass the gradient check —
+        /// the autograd is correct, not correct-for-one-seed.
+        #[test]
+        fn random_dense_nets_pass_gradcheck(seed: u64,
+                                            in_dim in 1usize..5,
+                                            hidden in 1usize..5,
+                                            classes in 2usize..5,
+                                            batch in 1usize..3) {
+            let mut r = StdRng::seed_from_u64(seed);
+            let mut params = ParamSet::new();
+            let l1 = Dense::new(&mut params, in_dim, hidden, &mut r);
+            let l2 = Dense::new(&mut params, hidden, classes, &mut r);
+            let x = Matrix::xavier(batch, in_dim, &mut r);
+            let targets: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+            let ids = [l1.w, l1.b, l2.w, l2.b];
+            let report = gradient_check(
+                &mut params,
+                &ids,
+                |p| {
+                    let mut g = Graph::new();
+                    let xv = g.input(x.clone());
+                    let h = l1.forward(&mut g, p, xv);
+                    let a = g.tanh(h);
+                    let logits = l2.forward(&mut g, p, a);
+                    let loss = g.softmax_xent(logits, targets.clone());
+                    let out = g.value(loss).get(0, 0);
+                    g.backward(loss, p);
+                    out
+                },
+                1e-5,
+            );
+            prop_assert!(report.max_rel_error < 1e-4,
+                         "rel error {} at seed {seed}", report.max_rel_error);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Parameter storage and optimizers.
+
+use crate::matrix::Matrix;
+
+/// Handle to a parameter slot in a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamId(usize);
+
+/// Owns model parameters and their accumulated gradients across graph
+/// rebuilds.
+#[derive(Debug, Default, Clone)]
+pub struct ParamSet {
+    values: Vec<Matrix>,
+    grads: Vec<Matrix>,
+}
+
+impl ParamSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter, returning its handle.
+    pub fn add(&mut self, value: Matrix) -> ParamId {
+        self.grads.push(Matrix::zeros(value.rows, value.cols));
+        self.values.push(value);
+        ParamId(self.values.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id.0]
+    }
+
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.grads[id.0]
+    }
+
+    /// Reset all gradients to zero (call before each backward pass unless
+    /// accumulating across a minibatch on purpose).
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.clear();
+        }
+    }
+
+    /// Global L2 norm of all gradients (for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f64 {
+        self.grads
+            .iter()
+            .map(|g| g.norm().powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Clip gradients to a maximum global norm, the standard LSTM-training
+    /// safeguard against exploding gradients.
+    pub fn clip_grad_norm(&mut self, max_norm: f64) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for g in &mut self.grads {
+                for x in g.data_mut() {
+                    *x *= scale;
+                }
+            }
+        }
+    }
+
+    fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Snapshot all parameter values (registration order) — the checkpoint
+    /// payload.
+    pub fn export_matrices(&self) -> Vec<Matrix> {
+        self.values.clone()
+    }
+
+    /// Restore parameter values from a snapshot. The layer structure must
+    /// already exist (same count and shapes); gradients are reset.
+    pub fn import_matrices(&mut self, matrices: Vec<Matrix>) -> Result<(), String> {
+        if matrices.len() != self.values.len() {
+            return Err(format!(
+                "parameter count mismatch: checkpoint has {}, model has {}",
+                matrices.len(),
+                self.values.len()
+            ));
+        }
+        for (i, (current, new)) in self.values.iter().zip(&matrices).enumerate() {
+            if current.shape() != new.shape() {
+                return Err(format!(
+                    "parameter {i} shape mismatch: checkpoint {:?}, model {:?}",
+                    new.shape(),
+                    current.shape()
+                ));
+            }
+        }
+        self.values = matrices;
+        self.zero_grads();
+        Ok(())
+    }
+}
+
+/// An optimizer updates a [`ParamSet`] from its gradients.
+pub trait Optimizer {
+    fn step(&mut self, params: &mut ParamSet);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    pub lr: f64,
+    pub momentum: f64,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    pub fn new(lr: f64, momentum: f64) -> Self {
+        assert!(lr > 0.0);
+        assert!((0.0..1.0).contains(&momentum));
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamSet) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params
+                .ids()
+                .map(|id| Matrix::zeros(params.value(id).rows, params.value(id).cols))
+                .collect();
+        }
+        for (i, id) in params.ids().collect::<Vec<_>>().into_iter().enumerate() {
+            let grad = params.grad(id).clone();
+            let v = &mut self.velocity[i];
+            for (vx, gx) in v.data_mut().iter_mut().zip(grad.data()) {
+                *vx = self.momentum * *vx + gx;
+            }
+            let v = self.velocity[i].clone();
+            params.value_mut(id).add_scaled(&v, -self.lr);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015).
+#[derive(Debug)]
+pub struct Adam {
+    pub lr: f64,
+    pub beta1: f64,
+    pub beta2: f64,
+    pub eps: f64,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0);
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamSet) {
+        if self.m.len() != params.len() {
+            self.m = params
+                .ids()
+                .map(|id| Matrix::zeros(params.value(id).rows, params.value(id).cols))
+                .collect();
+            self.v = self.m.clone();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, id) in params.ids().collect::<Vec<_>>().into_iter().enumerate() {
+            let grad = params.grad(id).clone();
+            for ((mx, vx), gx) in self.m[i]
+                .data_mut()
+                .iter_mut()
+                .zip(self.v[i].data_mut())
+                .zip(grad.data())
+            {
+                *mx = self.beta1 * *mx + (1.0 - self.beta1) * gx;
+                *vx = self.beta2 * *vx + (1.0 - self.beta2) * gx * gx;
+            }
+            let value = params.value_mut(id);
+            for ((x, mx), vx) in value
+                .data_mut()
+                .iter_mut()
+                .zip(self.m[i].data())
+                .zip(self.v[i].data())
+            {
+                let m_hat = mx / bc1;
+                let v_hat = vx / bc2;
+                *x -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn quadratic_step(params: &mut ParamSet, w: ParamId, target: f64) {
+        params.zero_grads();
+        let mut g = Graph::new();
+        let wv = g.param(params, w);
+        let loss = g.mse(wv, Matrix::from_vec(1, 1, vec![target]));
+        g.backward(loss, params);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut params = ParamSet::new();
+        let w = params.add(Matrix::from_vec(1, 1, vec![-5.0]));
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..300 {
+            quadratic_step(&mut params, w, 2.0);
+            opt.step(&mut params);
+        }
+        assert!((params.value(w).get(0, 0) - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |momentum: f64, steps: usize| {
+            let mut params = ParamSet::new();
+            let w = params.add(Matrix::from_vec(1, 1, vec![-5.0]));
+            let mut opt = Sgd::new(0.01, momentum);
+            for _ in 0..steps {
+                quadratic_step(&mut params, w, 2.0);
+                opt.step(&mut params);
+            }
+            (params.value(w).get(0, 0) - 2.0).abs()
+        };
+        assert!(run(0.9, 100) < run(0.0, 100), "momentum should be closer after equal steps");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut params = ParamSet::new();
+        let w = params.add(Matrix::from_vec(1, 1, vec![50.0]));
+        let mut opt = Adam::new(0.5);
+        for _ in 0..500 {
+            quadratic_step(&mut params, w, -1.0);
+            opt.step(&mut params);
+        }
+        assert!((params.value(w).get(0, 0) + 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn grad_clipping_bounds_norm() {
+        let mut params = ParamSet::new();
+        let w = params.add(Matrix::from_vec(1, 2, vec![0.0, 0.0]));
+        params.grad_mut(w).set(0, 0, 30.0);
+        params.grad_mut(w).set(0, 1, 40.0);
+        assert_eq!(params.grad_norm(), 50.0);
+        params.clip_grad_norm(5.0);
+        assert!((params.grad_norm() - 5.0).abs() < 1e-9);
+        // Direction preserved.
+        let g = params.grad(w);
+        assert!((g.get(0, 0) / g.get(0, 1) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let mut params = ParamSet::new();
+        let a = params.add(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = params.add(Matrix::from_vec(2, 1, vec![3.0, 4.0]));
+        let snapshot = params.export_matrices();
+        params.value_mut(a).set(0, 0, 99.0);
+        params.grad_mut(b).set(0, 0, 5.0);
+        params.import_matrices(snapshot).expect("shapes match");
+        assert_eq!(params.value(a).get(0, 0), 1.0);
+        assert_eq!(params.grad(b).get(0, 0), 0.0, "grads reset on import");
+    }
+
+    #[test]
+    fn import_rejects_mismatches() {
+        let mut params = ParamSet::new();
+        params.add(Matrix::zeros(2, 2));
+        assert!(params.import_matrices(vec![]).is_err(), "count");
+        assert!(
+            params.import_matrices(vec![Matrix::zeros(3, 2)]).is_err(),
+            "shape"
+        );
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut params = ParamSet::new();
+        let w = params.add(Matrix::from_vec(1, 1, vec![1.0]));
+        params.grad_mut(w).set(0, 0, 7.0);
+        params.zero_grads();
+        assert_eq!(params.grad(w).get(0, 0), 0.0);
+    }
+}

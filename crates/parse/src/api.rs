@@ -1,0 +1,79 @@
+//! Parser traits and shared outcome types.
+
+use monilog_model::{TemplateId, TemplateStore};
+
+/// Result of parsing one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOutcome {
+    /// The template the message was assigned to.
+    pub template: TemplateId,
+    /// True if this message caused a brand-new template to be created.
+    pub is_new: bool,
+    /// Values at the template's variable positions at the time of parsing,
+    /// in token order. (Templates can widen later; variables reflect the
+    /// template state when the line was parsed, as in streaming deployment.)
+    pub variables: Vec<String>,
+}
+
+/// Which parser produced an outcome — used by benchmark tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParserKind {
+    Drain,
+    Spell,
+    LenMa,
+    Logan,
+    Shiso,
+    Logram,
+    ShardedDrain,
+    IpLoM,
+    Slct,
+}
+
+impl ParserKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ParserKind::Drain => "Drain",
+            ParserKind::Spell => "Spell",
+            ParserKind::LenMa => "LenMa",
+            ParserKind::Logan => "Logan",
+            ParserKind::Shiso => "SHISO",
+            ParserKind::Logram => "Logram",
+            ParserKind::ShardedDrain => "ShardedDrain",
+            ParserKind::IpLoM => "IPLoM",
+            ParserKind::Slct => "SLCT",
+        }
+    }
+}
+
+/// A streaming log parser: consumes one message at a time, discovering
+/// templates on the job ("online parsing methods can discover new patterns
+/// on the job", Section IV).
+pub trait OnlineParser {
+    /// Parse one message, updating internal state.
+    fn parse(&mut self, message: &str) -> ParseOutcome;
+
+    /// The templates discovered so far.
+    fn store(&self) -> &TemplateStore;
+
+    /// Parser identity for reports.
+    fn kind(&self) -> ParserKind;
+
+    /// Parse a whole slice, returning per-line outcomes. Provided for
+    /// benchmarking convenience; semantics identical to repeated `parse`.
+    fn parse_all(&mut self, messages: &[&str]) -> Vec<ParseOutcome> {
+        messages.iter().map(|m| self.parse(m)).collect()
+    }
+}
+
+/// A batch log parser: needs the whole corpus up front. The paper rejects
+/// these for deployment ("log statement instability made it impossible to
+/// collect a representative training set") but benchmarks them as baselines.
+pub trait BatchParser {
+    /// Parse the corpus, returning one outcome per message (same order).
+    fn parse_batch(&mut self, messages: &[&str]) -> Vec<ParseOutcome>;
+
+    /// The templates discovered by the last `parse_batch` call.
+    fn store(&self) -> &TemplateStore;
+
+    fn kind(&self) -> ParserKind;
+}

@@ -1,0 +1,185 @@
+//! Grouping accuracy and pairwise clustering scores.
+
+use std::collections::HashMap;
+
+/// Grouping accuracy (Zhu et al., ICSE-SEIP 2019): a line is correctly
+/// parsed iff the set of lines sharing its *parsed* template equals the set
+/// of lines sharing its *true* template. Returns the fraction of correctly
+/// parsed lines.
+///
+/// `parsed[i]` and `truth[i]` are the template ids (any integer labeling)
+/// of line `i`.
+pub fn grouping_accuracy(parsed: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(parsed.len(), truth.len(), "label slices must align");
+    if parsed.is_empty() {
+        return 1.0;
+    }
+    let mut parsed_groups: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (i, &p) in parsed.iter().enumerate() {
+        parsed_groups.entry(p).or_default().push(i);
+    }
+    let mut truth_sizes: HashMap<u32, usize> = HashMap::new();
+    for &t in truth {
+        *truth_sizes.entry(t).or_default() += 1;
+    }
+    let mut correct = 0usize;
+    for lines in parsed_groups.values() {
+        let t0 = truth[lines[0]];
+        // The parsed group equals the truth group iff every member shares
+        // the same truth label and the truth group has no members outside
+        // this parsed group.
+        let homogeneous = lines.iter().all(|&i| truth[i] == t0);
+        if homogeneous && truth_sizes[&t0] == lines.len() {
+            correct += lines.len();
+        }
+    }
+    correct as f64 / parsed.len() as f64
+}
+
+/// Pairwise clustering precision / recall / F1.
+///
+/// Over all unordered line pairs: a *true-positive* pair shares both the
+/// parsed and the true template. Softer than [`grouping_accuracy`]: a
+/// single stray line does not zero out a whole group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairwiseScores {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+/// Compute pairwise scores via the contingency table (O(n) memory, no
+/// quadratic pair enumeration).
+pub fn pairwise_scores(parsed: &[u32], truth: &[u32]) -> PairwiseScores {
+    assert_eq!(parsed.len(), truth.len());
+    let choose2 = |n: usize| (n * n.saturating_sub(1) / 2) as f64;
+
+    let mut cells: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut parsed_sizes: HashMap<u32, usize> = HashMap::new();
+    let mut truth_sizes: HashMap<u32, usize> = HashMap::new();
+    for (&p, &t) in parsed.iter().zip(truth) {
+        *cells.entry((p, t)).or_default() += 1;
+        *parsed_sizes.entry(p).or_default() += 1;
+        *truth_sizes.entry(t).or_default() += 1;
+    }
+    let tp: f64 = cells.values().map(|&n| choose2(n)).sum();
+    let parsed_pairs: f64 = parsed_sizes.values().map(|&n| choose2(n)).sum();
+    let truth_pairs: f64 = truth_sizes.values().map(|&n| choose2(n)).sum();
+
+    let precision = if parsed_pairs > 0.0 { tp / parsed_pairs } else { 1.0 };
+    let recall = if truth_pairs > 0.0 { tp / truth_pairs } else { 1.0 };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    PairwiseScores { precision, recall, f1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_grouping() {
+        let labels = [0, 0, 1, 1, 2];
+        assert_eq!(grouping_accuracy(&labels, &labels), 1.0);
+        let s = pairwise_scores(&labels, &labels);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn relabeling_does_not_matter() {
+        let parsed = [7, 7, 3, 3, 9];
+        let truth = [0, 0, 1, 1, 2];
+        assert_eq!(grouping_accuracy(&parsed, &truth), 1.0);
+    }
+
+    #[test]
+    fn one_stray_line_zeroes_both_groups_in_ga() {
+        // Truth: {0,1,2} and {3,4}. Parser puts line 2 with {3,4}.
+        let truth = [0, 0, 0, 1, 1];
+        let parsed = [0, 0, 1, 1, 1];
+        // Strict GA: every line is wrong (no parsed group equals a truth group).
+        assert_eq!(grouping_accuracy(&parsed, &truth), 0.0);
+        // Pairwise scores degrade gracefully instead.
+        let s = pairwise_scores(&parsed, &truth);
+        assert!(s.f1 > 0.0 && s.f1 < 1.0);
+    }
+
+    #[test]
+    fn split_template_counts_partial() {
+        // Truth has one group of 4; parser splits it 2+2, and also has a
+        // perfect second group.
+        let truth = [0, 0, 0, 0, 1, 1];
+        let parsed = [0, 0, 1, 1, 2, 2];
+        // The split group is fully wrong, the other fully right.
+        assert!((grouping_accuracy(&parsed, &truth) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_merging_is_penalized() {
+        let truth = [0, 0, 1, 1];
+        let parsed = [5, 5, 5, 5];
+        assert_eq!(grouping_accuracy(&parsed, &truth), 0.0);
+        let s = pairwise_scores(&parsed, &truth);
+        assert!(s.recall > s.precision, "merging keeps recall, kills precision");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(grouping_accuracy(&[], &[]), 1.0);
+        let s = pairwise_scores(&[], &[]);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn singletons_everywhere() {
+        let truth = [0, 1, 2, 3];
+        let parsed = [9, 8, 7, 6];
+        assert_eq!(grouping_accuracy(&parsed, &truth), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label slices must align")]
+    fn mismatched_lengths_panic() {
+        grouping_accuracy(&[0], &[0, 1]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// GA and pairwise scores are always in [0,1]; identical labelings
+        /// score 1.
+        #[test]
+        fn bounds(labels in proptest::collection::vec(0u32..6, 0..40),
+                  other in proptest::collection::vec(0u32..6, 0..40)) {
+            let n = labels.len().min(other.len());
+            let (a, b) = (&labels[..n], &other[..n]);
+            let ga = grouping_accuracy(a, b);
+            prop_assert!((0.0..=1.0).contains(&ga));
+            let s = pairwise_scores(a, b);
+            prop_assert!((0.0..=1.0).contains(&s.precision));
+            prop_assert!((0.0..=1.0).contains(&s.recall));
+            prop_assert!((0.0..=1.0).contains(&s.f1));
+            prop_assert_eq!(grouping_accuracy(a, a), 1.0);
+        }
+
+        /// GA is symmetric in parsed/truth (group equality is symmetric).
+        #[test]
+        fn ga_symmetric(a in proptest::collection::vec(0u32..5, 1..30),
+                        b in proptest::collection::vec(0u32..5, 1..30)) {
+            let n = a.len().min(b.len());
+            prop_assert_eq!(
+                grouping_accuracy(&a[..n], &b[..n]),
+                grouping_accuracy(&b[..n], &a[..n])
+            );
+        }
+    }
+}

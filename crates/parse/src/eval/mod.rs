@@ -1,0 +1,19 @@
+//! Parser evaluation metrics (Section IV).
+//!
+//! - [`grouping`] — the literature's reference metric ("log messages L1 &
+//!   L3 are considered correctly classified if they are identified as
+//!   coming from the same log class") plus pairwise precision/recall.
+//! - [`token_acc`] — **the paper's Eq. 1**: token-level accuracy of the
+//!   static/variable split, "to evaluate whether the static and variable
+//!   parts of a log message are correctly identified".
+//! - [`unsupervised`] — label-free quality estimates ("unsupervised metrics
+//!   open promising perspectives for auto-parametrizing log parsers"),
+//!   consumed by [`crate::autotune`].
+
+pub mod grouping;
+pub mod token_acc;
+pub mod unsupervised;
+
+pub use grouping::{grouping_accuracy, pairwise_scores, PairwiseScores};
+pub use token_acc::{classify_tokens, token_accuracy, TokenAccuracyInput, TokenPrediction};
+pub use unsupervised::{unsupervised_quality, UnsupervisedReport};

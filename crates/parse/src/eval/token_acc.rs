@@ -1,0 +1,288 @@
+//! The paper's Eq. 1: token-level parsing accuracy.
+//!
+//! "We would like to propose a metric to evaluate whether the static and
+//! variable parts of a log message are correctly identified. [...]
+//! Considering a pool of n parsed loglines, l_i represents the number of
+//! tokens within logline i, t_j the value of the j-th token (static or
+//! variable), and T_j the expected value of the j-th token."
+//!
+//! ```text
+//!   (1/n) Σ_i (1/l_i) Σ_j  [ t_j == T_j ]
+//! ```
+//!
+//! A parsed token is correct when the parser classified it as the ground
+//! truth says: a *static* token must be kept literally (same text), a
+//! *variable* token must be wildcarded. Grouping accuracy cannot see the
+//! difference ("detection [of quantitative anomalies] is only possible if
+//! the variable parts were correctly identified") — this metric can.
+
+use monilog_model::{Template, TemplateToken};
+
+/// The parser's decision for one message token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenPrediction {
+    /// Template kept the token static and the text matches.
+    StaticMatch,
+    /// Template kept a static token whose text does NOT match the message —
+    /// wrong whichever way the truth goes (`t_j` equals neither a correct
+    /// literal nor a wildcard).
+    StaticMismatch,
+    /// Template wildcards the position.
+    Variable,
+}
+
+/// Per-line input to the Eq. 1 metric.
+#[derive(Debug, Clone)]
+pub struct TokenAccuracyInput<'a> {
+    /// The message's whitespace tokens.
+    pub tokens: Vec<&'a str>,
+    /// Ground truth: `true` at static positions, `false` at variable ones.
+    pub truth_static: Vec<bool>,
+    /// The template the parser assigned to this line (its *final* state,
+    /// as read back from the parser's store after the run).
+    pub template: &'a Template,
+}
+
+/// Classify each message token as static/variable according to `template`.
+///
+/// When the template has the same token count as the message, the mapping
+/// is positional. When it differs (LCS-style parsers collapse wildcard
+/// runs), static template tokens are aligned to message tokens by longest
+/// common subsequence and everything unmatched counts as variable.
+pub fn classify_tokens(template: &Template, tokens: &[&str]) -> Vec<TokenPrediction> {
+    if template.tokens.len() == tokens.len() {
+        return template
+            .tokens
+            .iter()
+            .zip(tokens)
+            .map(|(t, tok)| match t {
+                TemplateToken::Static(s) if s == tok => TokenPrediction::StaticMatch,
+                TemplateToken::Static(_) => TokenPrediction::StaticMismatch,
+                TemplateToken::Wildcard => TokenPrediction::Variable,
+            })
+            .collect();
+    }
+    // LCS alignment of template statics to the message tokens.
+    let statics: Vec<&str> = template
+        .tokens
+        .iter()
+        .filter_map(|t| match t {
+            TemplateToken::Static(s) => Some(s.as_str()),
+            TemplateToken::Wildcard => None,
+        })
+        .collect();
+    let n = statics.len();
+    let m = tokens.len();
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for i in 0..n {
+        for j in 0..m {
+            dp[i + 1][j + 1] = if statics[i] == tokens[j] {
+                dp[i][j] + 1
+            } else {
+                dp[i][j + 1].max(dp[i + 1][j])
+            };
+        }
+    }
+    let mut out = vec![TokenPrediction::Variable; m];
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        if statics[i - 1] == tokens[j - 1] {
+            out[j - 1] = TokenPrediction::StaticMatch;
+            i -= 1;
+            j -= 1;
+        } else if dp[i - 1][j] >= dp[i][j - 1] {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    out
+}
+
+/// Eq. 1 over a pool of parsed lines. Lines with zero tokens are skipped
+/// (they contribute no token decisions). Returns a value in [0, 1]; an
+/// empty pool scores 1.
+pub fn token_accuracy(lines: &[TokenAccuracyInput<'_>]) -> f64 {
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for line in lines {
+        let l = line.tokens.len();
+        if l == 0 {
+            continue;
+        }
+        assert_eq!(
+            line.truth_static.len(),
+            l,
+            "ground truth must align with tokens"
+        );
+        let predicted = classify_tokens(line.template, &line.tokens);
+        let correct = predicted
+            .iter()
+            .zip(&line.truth_static)
+            .filter(|(p, truth_static)| match p {
+                TokenPrediction::StaticMatch => **truth_static,
+                TokenPrediction::StaticMismatch => false,
+                TokenPrediction::Variable => !**truth_static,
+            })
+            .count();
+        total += correct as f64 / l as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        1.0
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monilog_model::TemplateId;
+
+    fn template(pattern: &str) -> Template {
+        Template::from_pattern(TemplateId(0), pattern)
+    }
+
+    #[test]
+    fn perfect_line_scores_one() {
+        let t = template("Sending <*> bytes src: <*> dest: <*>");
+        let tokens: Vec<&str> = "Sending 138 bytes src: 10.250.11.53 dest: /10.250.11.53"
+            .split_whitespace()
+            .collect();
+        let truth = vec![true, false, true, true, false, true, false];
+        let input = TokenAccuracyInput { tokens, truth_static: truth, template: &t };
+        assert_eq!(token_accuracy(&[input]), 1.0);
+    }
+
+    #[test]
+    fn overgeneralized_template_loses_static_tokens() {
+        // Parser wildcarded "bytes" although it is static: 1 of 7 wrong.
+        let t = template("Sending <*> <*> src: <*> dest: <*>");
+        let tokens: Vec<&str> = "Sending 138 bytes src: 10.250.11.53 dest: /10.250.11.53"
+            .split_whitespace()
+            .collect();
+        let truth = vec![true, false, true, true, false, true, false];
+        let input = TokenAccuracyInput { tokens, truth_static: truth, template: &t };
+        assert!((token_accuracy(&[input]) - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undergeneralized_template_misses_variables() {
+        // Parser kept the byte count literal: correct grouping is possible
+        // but the quantitative variable was NOT extracted — Eq. 1 sees it.
+        let t = template("Sending 138 bytes src: <*> dest: <*>");
+        let tokens: Vec<&str> = "Sending 138 bytes src: 10.250.11.53 dest: /10.250.11.53"
+            .split_whitespace()
+            .collect();
+        let truth = vec![true, false, true, true, false, true, false];
+        let input = TokenAccuracyInput { tokens, truth_static: truth, template: &t };
+        assert!((token_accuracy(&[input]) - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_static_text_is_wrong_even_if_classified_static() {
+        // Template says "Transmitting" where the message says "Sending":
+        // a positional static with mismatching text cannot be correct.
+        let t = template("Transmitting <*> bytes");
+        let tokens = vec!["Sending", "138", "bytes"];
+        let truth = vec![true, false, true];
+        let input = TokenAccuracyInput { tokens, truth_static: truth, template: &t };
+        assert!((token_accuracy(&[input]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapsed_wildcard_template_aligns_by_lcs() {
+        // A Spell-style template with one collapsed wildcard run and 4
+        // message tokens: "job <*> done".
+        let t = template("job <*> done");
+        let tokens = vec!["job", "alpha", "beta", "done"];
+        let truth = vec![true, false, false, true];
+        let input = TokenAccuracyInput { tokens, truth_static: truth, template: &t };
+        assert_eq!(token_accuracy(&[input]), 1.0);
+    }
+
+    #[test]
+    fn averaging_over_lines_matches_eq1() {
+        // Line 1 scores 1.0 (1 token), line 2 scores 0.5 (2 tokens):
+        // Eq. 1 averages per-line scores → 0.75 (not 2/3 as a flat token
+        // average would give).
+        let t1 = template("tick");
+        let t2 = template("a b");
+        let l1 = TokenAccuracyInput {
+            tokens: vec!["tick"],
+            truth_static: vec![true],
+            template: &t1,
+        };
+        let l2 = TokenAccuracyInput {
+            tokens: vec!["a", "x"],
+            truth_static: vec![true, false],
+            template: &t2,
+        };
+        assert!((token_accuracy(&[l1, l2]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pool_scores_one() {
+        assert_eq!(token_accuracy(&[]), 1.0);
+    }
+
+    #[test]
+    fn zero_token_lines_are_skipped() {
+        let t = template("a");
+        let empty = TokenAccuracyInput {
+            tokens: vec![],
+            truth_static: vec![],
+            template: &t,
+        };
+        let full = TokenAccuracyInput {
+            tokens: vec!["a"],
+            truth_static: vec![true],
+            template: &t,
+        };
+        assert_eq!(token_accuracy(&[empty, full]), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use monilog_model::TemplateId;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Eq. 1 is always within [0,1].
+        #[test]
+        fn bounded(tokens in proptest::collection::vec("[a-c]{1,3}", 1..8),
+                   truth in proptest::collection::vec(any::<bool>(), 8),
+                   pattern in proptest::collection::vec(prop_oneof![Just("<*>"), Just("a"), Just("bb")], 1..8)) {
+            let t = Template::from_pattern(
+                TemplateId(0),
+                &pattern.join(" "),
+            );
+            let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+            let input = TokenAccuracyInput {
+                truth_static: truth[..refs.len()].to_vec(),
+                tokens: refs,
+                template: &t,
+            };
+            let acc = token_accuracy(&[input]);
+            prop_assert!((0.0..=1.0).contains(&acc));
+        }
+
+        /// A template that exactly reproduces the truth scores 1.
+        #[test]
+        fn exact_template_scores_one(spec in proptest::collection::vec(
+            prop_oneof![Just(("lit", true)), Just(("<*>", false))], 1..10)) {
+            let pattern: Vec<&str> = spec.iter().map(|(p, _)| *p).collect();
+            let t = Template::from_pattern(TemplateId(0), &pattern.join(" "));
+            let tokens: Vec<&str> = spec
+                .iter()
+                .map(|(p, is_static)| if *is_static { *p } else { "9234" })
+                .collect();
+            let truth: Vec<bool> = spec.iter().map(|(_, s)| *s).collect();
+            let input = TokenAccuracyInput { tokens, truth_static: truth, template: &t };
+            prop_assert_eq!(token_accuracy(&[input]), 1.0);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # monilog-parse
+//!
+//! The parsing component of MoniLog (Fig. 1, step 1) and the full panel of
+//! log parsers the paper surveys and plans to benchmark (Section IV).
+//!
+//! "The MESSAGE field is composed of a static part (template) and of a
+//! variable part (variables). The log parsing challenge lies within the
+//! discovery of those two parts."
+//!
+//! ## Online parsers ([`OnlineParser`])
+//! - [`parsers::drain::Drain`] — fixed-depth parse tree (He et al., ICWS'17);
+//!   the paper's reference for "the most efficient existing parsing solution".
+//! - [`parsers::spell::Spell`] — LCS-based streaming parser (Du & Li, ICDM'16).
+//! - [`parsers::lenma::LenMa`] — word-length clustering (Shima, 2016).
+//! - [`parsers::logan::Logan`] — distributed multi-agent parsing with
+//!   periodic pattern reconciliation (Agrawal et al., ICDE 2019).
+//! - [`parsers::shiso::Shiso`] — incremental tree mining (Mizutani, SCC'13).
+//! - [`parsers::logram::Logram`] — n-gram dictionaries (Dai et al., 2020).
+//! - [`parsers::sharded::ShardedDrain`] — the paper's planned contribution: a
+//!   distributable research-tree parser.
+//!
+//! ## Batch parsers ([`BatchParser`])
+//! - [`parsers::iplom::IpLoM`] — iterative partitioning (Makanju et al., KDD'09).
+//! - [`parsers::slct::Slct`] — frequent-token clustering (Vaarandi, IPOM'03).
+//!
+//! ## Evaluation ([`eval`])
+//! - grouping accuracy (the literature's reference metric),
+//! - the paper's **Eq. 1 token accuracy** (static/variable recovery),
+//! - unsupervised quality metrics (Section IV's auto-parametrization idea),
+//!   driving [`autotune`].
+//!
+//! ## Preprocessing ([`preprocess`])
+//! Mask-based variable hinting (numbers, IPs, hex ids, paths) implemented as
+//! hand-rolled scanners — no regex engine on the hot path.
+
+pub mod autotune;
+pub mod eval;
+pub mod parsers;
+pub mod preprocess;
+
+mod api;
+
+pub use api::{BatchParser, OnlineParser, ParseOutcome, ParserKind};
+pub use parsers::drain::{Drain, DrainConfig};
+pub use parsers::iplom::{IpLoM, IpLoMConfig};
+pub use parsers::lenma::{LenMa, LenMaConfig};
+pub use parsers::logan::{Logan, LoganConfig};
+pub use parsers::logram::{Logram, LogramConfig};
+pub use parsers::sharded::{ShardedDrain, ShardedDrainConfig};
+pub use parsers::shiso::{Shiso, ShisoConfig};
+pub use parsers::slct::{Slct, SlctConfig};
+pub use parsers::spell::{Spell, SpellConfig};
+pub use preprocess::{MaskConfig, Preprocessor};

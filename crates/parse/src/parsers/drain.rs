@@ -1,0 +1,502 @@
+//! Drain: online log parsing with a fixed-depth tree (He et al., ICWS 2017).
+//!
+//! The paper singles Drain out: "According to recent studies, Drain is the
+//! most efficient existing parsing solution" — and identifies its two
+//! automation limits, which experiments P4/P6 quantify:
+//! 1. accuracy is influenced by preprocessing, and
+//! 2. its two hyper-parameters (tree depth and similarity threshold) have a
+//!    significant impact on precision.
+//!
+//! Structure: a prefix tree of fixed depth. Level 1 groups by token count;
+//! the next `depth - 2` levels route by the first message tokens (tokens
+//! containing digits route to a `<*>` child; full nodes overflow to `<*>`);
+//! leaves hold template groups compared by token-wise similarity.
+
+use crate::api::{OnlineParser, ParseOutcome, ParserKind};
+use crate::preprocess::{MaskConfig, Preprocessor};
+use monilog_model::{TemplateId, TemplateStore, TemplateToken};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Drain hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DrainConfig {
+    /// Total tree depth. The classic setting is 4: root → length →
+    /// (depth-2) token levels → leaf.
+    pub depth: usize,
+    /// Similarity threshold `st` in `[0,1]`: a message joins the best group
+    /// if the fraction of matching static tokens reaches `st`.
+    pub sim_threshold: f64,
+    /// Maximum children per internal node before overflowing to `<*>`.
+    pub max_children: usize,
+    /// Preprocessing masks.
+    pub mask: MaskConfig,
+}
+
+impl Default for DrainConfig {
+    fn default() -> Self {
+        DrainConfig {
+            depth: 4,
+            sim_threshold: 0.4,
+            max_children: 100,
+            mask: MaskConfig::STANDARD,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Node {
+    children: HashMap<String, Node>,
+    /// Template groups at this leaf (only non-empty at leaf depth).
+    groups: Vec<TemplateId>,
+}
+
+/// The Drain parser.
+#[derive(Debug)]
+pub struct Drain {
+    config: DrainConfig,
+    pre: Preprocessor,
+    /// Root children keyed by token count.
+    by_len: HashMap<usize, Node>,
+    store: TemplateStore,
+    /// Lines parsed so far (for diagnostics/benchmarks).
+    lines: u64,
+}
+
+impl Drain {
+    pub fn new(config: DrainConfig) -> Self {
+        assert!(config.depth >= 3, "depth must be at least 3 (root, length, leaf)");
+        assert!(
+            (0.0..=1.0).contains(&config.sim_threshold),
+            "similarity threshold must be in [0,1]"
+        );
+        assert!(config.max_children >= 2, "need at least two children per node");
+        Drain {
+            pre: Preprocessor::new(config.mask),
+            config,
+            by_len: HashMap::new(),
+            store: TemplateStore::new(),
+            lines: 0,
+        }
+    }
+
+    pub fn config(&self) -> &DrainConfig {
+        &self.config
+    }
+
+    /// Rebuild a parser from a persisted template store (see
+    /// `TemplateStore::encode`): every template is routed back into the
+    /// tree by its own tokens, so the warm-started parser assigns the
+    /// *same ids* to known log lines as the original instance did — the
+    /// restart contract a deployed pipeline needs (detectors key on ids).
+    ///
+    /// Group order inside a leaf follows id order, which can differ from
+    /// the original discovery order; this only affects tie-breaks between
+    /// equally-similar groups.
+    pub fn warm_start(config: DrainConfig, store: TemplateStore) -> Self {
+        let mut drain = Drain::new(config);
+        for template in store.iter() {
+            let masked: Vec<&str> = template.tokens.iter().map(|t| t.as_str()).collect();
+            let leaf = Self::leaf_mut(&mut drain.by_len, &drain.config, &masked);
+            leaf.groups.push(template.id);
+        }
+        drain.store = store;
+        drain
+    }
+
+    /// Number of lines parsed so far.
+    pub fn lines_parsed(&self) -> u64 {
+        self.lines
+    }
+
+    /// Similarity of `template` to `tokens`: fraction of positions where a
+    /// static template token equals the message token. Also returns the
+    /// template's wildcard count (used to break ties toward more general
+    /// templates, as in the reference implementation).
+    fn seq_dist(template: &[TemplateToken], tokens: &[&str]) -> (f64, usize) {
+        debug_assert_eq!(template.len(), tokens.len());
+        if template.is_empty() {
+            return (1.0, 0);
+        }
+        let mut sim = 0usize;
+        let mut wildcards = 0usize;
+        for (t, tok) in template.iter().zip(tokens) {
+            match t {
+                TemplateToken::Wildcard => wildcards += 1,
+                TemplateToken::Static(s) => {
+                    if s == tok {
+                        sim += 1;
+                    }
+                }
+            }
+        }
+        (sim as f64 / template.len() as f64, wildcards)
+    }
+
+    /// Route to the leaf for `masked`, creating internal nodes as needed.
+    /// Takes the tree by field so the caller can keep using the template
+    /// store while holding the returned leaf borrow.
+    fn leaf_mut<'t>(
+        by_len: &'t mut HashMap<usize, Node>,
+        config: &DrainConfig,
+        masked: &[&str],
+    ) -> &'t mut Node {
+        let mut node = by_len.entry(masked.len()).or_default();
+        let internal_levels = config.depth - 2;
+        for level in 0..internal_levels {
+            let Some(token) = masked.get(level) else { break };
+            let key = if *token == "<*>" || token.bytes().any(|b| b.is_ascii_digit()) {
+                "<*>"
+            } else {
+                token
+            };
+            // Route to an existing child, or create one if capacity allows;
+            // otherwise overflow into the `<*>` child.
+            let has_room = node.children.contains_key(key)
+                || node.children.len() < config.max_children
+                || key == "<*>";
+            let use_key = if has_room { key.to_string() } else { "<*>".to_string() };
+            node = node.children.entry(use_key).or_default();
+        }
+        node
+    }
+}
+
+impl OnlineParser for Drain {
+    fn parse(&mut self, message: &str) -> ParseOutcome {
+        self.lines += 1;
+        let (masked, original) = self.pre.mask(message);
+        let leaf = Self::leaf_mut(&mut self.by_len, &self.config, &masked);
+
+        // Find the most similar group in the leaf.
+        let mut best: Option<(TemplateId, f64, usize)> = None;
+        for &gid in &leaf.groups {
+            let template = self.store.get(gid).expect("group ids are valid");
+            let (sim, wild) = Self::seq_dist(&template.tokens, &masked);
+            let better = match best {
+                None => true,
+                Some((_, bs, bw)) => sim > bs || (sim == bs && wild > bw),
+            };
+            if better {
+                best = Some((gid, sim, wild));
+            }
+        }
+
+        let matched = best.filter(|(_, sim, _)| *sim >= self.config.sim_threshold);
+        match matched {
+            Some((gid, _, _)) => {
+                // Merge: widen mismatching positions to wildcards.
+                let template = self.store.get(gid).expect("valid id");
+                let mut tokens = template.tokens.clone();
+                let mut changed = false;
+                for (t, tok) in tokens.iter_mut().zip(&masked) {
+                    if let TemplateToken::Static(s) = t {
+                        if s != tok {
+                            *t = TemplateToken::Wildcard;
+                            changed = true;
+                        }
+                    }
+                }
+                if changed {
+                    self.store.update(gid, tokens.clone());
+                }
+                let variables = tokens
+                    .iter()
+                    .zip(&original)
+                    .filter(|(t, _)| t.is_wildcard())
+                    .map(|(_, tok)| (*tok).to_string())
+                    .collect();
+                ParseOutcome { template: gid, is_new: false, variables }
+            }
+            None => {
+                let tokens: Vec<TemplateToken> = masked
+                    .iter()
+                    .map(|t| {
+                        if *t == "<*>" {
+                            TemplateToken::Wildcard
+                        } else {
+                            TemplateToken::Static((*t).to_string())
+                        }
+                    })
+                    .collect();
+                let variables = tokens
+                    .iter()
+                    .zip(&original)
+                    .filter(|(t, _)| t.is_wildcard())
+                    .map(|(_, tok)| (*tok).to_string())
+                    .collect();
+                let gid = self.store.intern(tokens);
+                leaf.groups.push(gid);
+                ParseOutcome { template: gid, is_new: true, variables }
+            }
+        }
+    }
+
+    fn store(&self) -> &TemplateStore {
+        &self.store
+    }
+
+    fn kind(&self) -> ParserKind {
+        ParserKind::Drain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain() -> Drain {
+        Drain::new(DrainConfig::default())
+    }
+
+    #[test]
+    fn identical_messages_share_template() {
+        let mut d = drain();
+        let a = d.parse("Connection established to backend be3");
+        let b = d.parse("Connection established to backend be3");
+        assert_eq!(a.template, b.template);
+        assert!(a.is_new);
+        assert!(!b.is_new);
+    }
+
+    #[test]
+    fn table1_grouping() {
+        // Section IV: "log message L1 & L3 are considered correctly
+        // classified if they are identified as coming from the same class".
+        let mut d = drain();
+        let l1 = d.parse("Sending 138 bytes src: 10.250.11.53 dest: /10.250.11.53");
+        let l3 = d.parse("Sending 745675869 bytes src: 10.250.11.53 dest: /10.250.11.53");
+        assert_eq!(l1.template, l3.template);
+        // And the error line L2 (different length) is a different class.
+        let l2 = d.parse("Error while receiving data src: 10.250.11.53 dest: /10.250.11.53");
+        assert_ne!(l1.template, l2.template);
+    }
+
+    #[test]
+    fn variables_extracted_at_masked_positions() {
+        let mut d = drain();
+        let out = d.parse("Sending 138 bytes src: 10.250.11.53 dest: /10.250.11.53");
+        assert_eq!(out.variables, vec!["138", "10.250.11.53", "/10.250.11.53"]);
+    }
+
+    #[test]
+    fn fig2_template_discovery() {
+        let mut d = Drain::new(DrainConfig {
+            mask: MaskConfig::AGGRESSIVE,
+            ..DrainConfig::default()
+        });
+        d.parse("New process started: process x92 started on port 42");
+        d.parse("New process started: process b7 started on port 9000");
+        let t = d.store().iter().next().unwrap();
+        assert_eq!(
+            t.render(),
+            "New process started: process <*> started on port <*>"
+        );
+    }
+
+    #[test]
+    fn template_widens_on_unmasked_variables() {
+        // Without masking, Drain still converges by widening mismatches —
+        // provided the variable sits past the routing prefix (the first
+        // depth-2 tokens), which is where Drain's design expects variables.
+        let mut d = Drain::new(DrainConfig {
+            mask: MaskConfig::NONE,
+            sim_threshold: 0.5,
+            ..DrainConfig::default()
+        });
+        let a = d.parse("job run alpha done fast mode");
+        let b = d.parse("job run beta done slow mode");
+        assert_eq!(a.template, b.template);
+        let t = d.store().get(a.template).unwrap();
+        assert_eq!(t.render(), "job run <*> done <*> mode");
+    }
+
+    #[test]
+    fn unmasked_variable_in_routing_prefix_splits_groups() {
+        // The flip side — and the reason the paper calls preprocessing an
+        // automation limit: a variable within the first depth-2 tokens
+        // routes identical templates to different leaves.
+        let mut d = Drain::new(DrainConfig {
+            mask: MaskConfig::NONE,
+            sim_threshold: 0.5,
+            ..DrainConfig::default()
+        });
+        let a = d.parse("job alpha finished in fast mode");
+        let b = d.parse("job beta finished in fast mode");
+        assert_ne!(a.template, b.template);
+        // With masking, the same pair converges.
+        let mut masked = Drain::new(DrainConfig {
+            mask: MaskConfig::AGGRESSIVE,
+            sim_threshold: 0.5,
+            ..DrainConfig::default()
+        });
+        let a = masked.parse("job alpha17 finished in fast mode");
+        let b = masked.parse("job beta9 finished in fast mode");
+        assert_eq!(a.template, b.template);
+    }
+
+    #[test]
+    fn below_threshold_creates_new_group() {
+        let mut d = Drain::new(DrainConfig {
+            mask: MaskConfig::NONE,
+            sim_threshold: 0.9,
+            ..DrainConfig::default()
+        });
+        let a = d.parse("alpha beta gamma delta");
+        let b = d.parse("alpha zzz yyy xxx");
+        assert_ne!(a.template, b.template, "0.25 similarity must not merge at st=0.9");
+    }
+
+    #[test]
+    fn different_lengths_never_share_template() {
+        let mut d = drain();
+        let a = d.parse("one two three");
+        let b = d.parse("one two three four");
+        assert_ne!(a.template, b.template);
+    }
+
+    #[test]
+    fn empty_message_is_handled() {
+        let mut d = drain();
+        let out = d.parse("");
+        assert!(out.is_new);
+        assert!(out.variables.is_empty());
+        let again = d.parse("   ");
+        assert_eq!(out.template, again.template, "all-empty messages share a class");
+    }
+
+    #[test]
+    fn max_children_overflows_to_wildcard() {
+        let mut d = Drain::new(DrainConfig {
+            max_children: 2,
+            mask: MaskConfig::NONE,
+            sim_threshold: 0.5,
+            ..DrainConfig::default()
+        });
+        // Three distinct first tokens at the same length: the third must
+        // overflow into the <*> child rather than growing the node.
+        d.parse("alpha path one");
+        d.parse("beta path one");
+        d.parse("gamma path one");
+        d.parse("delta path one");
+        // All messages parsed without panic; at most 3 templates exist
+        // (two named children plus the shared overflow group).
+        assert!(d.store().len() <= 3, "{} templates", d.store().len());
+    }
+
+    #[test]
+    fn high_depth_uses_more_prefix_tokens() {
+        let mut shallow = Drain::new(DrainConfig {
+            depth: 3,
+            mask: MaskConfig::NONE,
+            sim_threshold: 0.45,
+            ..DrainConfig::default()
+        });
+        // depth 3 → 1 token level. Same first token, so these meet in one
+        // leaf and merge at 2/4 similarity.
+        let a = shallow.parse("op read file alpha");
+        let b = shallow.parse("op read sock beta");
+        assert_eq!(a.template, b.template);
+
+        let mut deep = Drain::new(DrainConfig {
+            depth: 5,
+            mask: MaskConfig::NONE,
+            sim_threshold: 0.45,
+            ..DrainConfig::default()
+        });
+        // depth 5 → 3 token levels: "op read file ..." and "op read sock
+        // ..." part ways at level 3 and never meet.
+        let a = deep.parse("op read file alpha");
+        let b = deep.parse("op read sock beta");
+        assert_ne!(a.template, b.template);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be at least 3")]
+    fn rejects_tiny_depth() {
+        Drain::new(DrainConfig { depth: 2, ..DrainConfig::default() });
+    }
+
+    #[test]
+    fn warm_start_preserves_template_ids() {
+        // Train a parser, persist its store, warm-start a new one: known
+        // lines must map to the same ids; new templates continue the id
+        // sequence.
+        let mut original = Drain::new(DrainConfig::default());
+        let lines = [
+            "Receiving block blk_1 src: 10.0.0.1 dest: 10.0.0.2",
+            "Verification succeeded for blk_1",
+            "Deleting block blk_1 file /data/1",
+        ];
+        let original_ids: Vec<_> = lines.iter().map(|l| original.parse(l).template).collect();
+
+        let bytes = original.store().encode();
+        let store = monilog_model::TemplateStore::decode(&bytes).expect("round trip");
+        let mut restored = Drain::warm_start(DrainConfig::default(), store);
+        for (line, expected) in lines.iter().zip(&original_ids) {
+            let out = restored.parse(line);
+            assert_eq!(out.template, *expected, "id changed across restart for {line}");
+            assert!(!out.is_new);
+        }
+        let fresh = restored.parse("an entirely different statement shape");
+        assert!(fresh.is_new);
+        assert_eq!(fresh.template.as_index(), original_ids.len());
+    }
+
+    #[test]
+    fn warm_start_empty_store_behaves_like_new() {
+        let mut a = Drain::new(DrainConfig::default());
+        let mut b = Drain::warm_start(DrainConfig::default(), monilog_model::TemplateStore::new());
+        let la = a.parse("x y z");
+        let lb = b.parse("x y z");
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn parse_all_matches_sequential_parse() {
+        let msgs = vec![
+            "Receiving block blk_1 src: 10.0.0.1 dest: 10.0.0.2",
+            "Receiving block blk_2 src: 10.0.0.3 dest: 10.0.0.4",
+            "Verification succeeded for blk_1",
+        ];
+        let refs: Vec<&str> = msgs.clone();
+        let mut d1 = drain();
+        let batch = d1.parse_all(&refs);
+        let mut d2 = drain();
+        let seq: Vec<ParseOutcome> = msgs.iter().map(|m| d2.parse(m)).collect();
+        assert_eq!(batch, seq);
+    }
+}
+
+#[cfg(test)]
+mod corpus_tests {
+    use super::*;
+    use monilog_loggen::corpus;
+    use std::collections::HashMap;
+
+    /// Drain must recover the HDFS-like corpus almost perfectly: the
+    /// per-line truth→parsed mapping should be a near-bijection.
+    #[test]
+    fn high_grouping_fidelity_on_hdfs_like() {
+        let corpus = corpus::hdfs_like(200, 11);
+        let mut d = Drain::new(DrainConfig::default());
+        let mut pairs: HashMap<(u32, u32), usize> = HashMap::new();
+        for log in &corpus.logs {
+            let out = d.parse(&log.record.message);
+            *pairs.entry((log.truth.template.0, out.template.0)).or_default() += 1;
+        }
+        // Every truth template maps predominantly to one parsed template.
+        let mut by_truth: HashMap<u32, Vec<usize>> = HashMap::new();
+        for ((truth, _), n) in &pairs {
+            by_truth.entry(*truth).or_default().push(*n);
+        }
+        for (truth, counts) in by_truth {
+            let total: usize = counts.iter().sum();
+            let max = counts.iter().max().copied().unwrap_or(0);
+            assert!(
+                max as f64 / total as f64 > 0.95,
+                "truth template {truth} is split: {counts:?}"
+            );
+        }
+    }
+}

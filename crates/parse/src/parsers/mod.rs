@@ -1,0 +1,11 @@
+//! Parser implementations.
+
+pub mod drain;
+pub mod iplom;
+pub mod lenma;
+pub mod logan;
+pub mod logram;
+pub mod sharded;
+pub mod shiso;
+pub mod slct;
+pub mod spell;

@@ -1,0 +1,116 @@
+//! Robustness: no parser may panic (or corrupt its invariants) on
+//! arbitrary input. "A text field without format constraint" means exactly
+//! that — production logs contain unicode, control bytes, pathological
+//! token counts, and empty lines, and one bad line must never take down
+//! the parsing component.
+
+use monilog_parse::{
+    BatchParser, Drain, DrainConfig, IpLoM, IpLoMConfig, LenMa, LenMaConfig, Logan, LoganConfig,
+    Logram, LogramConfig, OnlineParser, ShardedDrain, ShardedDrainConfig, Shiso, ShisoConfig,
+    Slct, SlctConfig, Spell, SpellConfig,
+};
+use proptest::prelude::*;
+
+/// Nasty line generator: unicode, repeated separators, huge tokens, masks'
+/// own sentinel `<*>`, JSON-ish fragments, embedded newlines are excluded
+/// (a line is a line) but everything else goes.
+fn nasty_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Arbitrary printable-ish unicode.
+        "\\PC{0,80}",
+        // Whitespace pathologies.
+        Just("".to_string()),
+        Just("    ".to_string()),
+        Just("\t\t \t".to_string()),
+        // The wildcard sentinel appearing literally in a message.
+        Just("<*> <*> <*>".to_string()),
+        Just("prefix <*> suffix".to_string()),
+        // Long single token.
+        Just("x".repeat(500)),
+        // Many tiny tokens.
+        Just("a ".repeat(200).trim_end().to_string()),
+        // Number/IP/hex soup for the maskers.
+        Just("999999999999999999999 256.300.1.2 0x 0xgg -".to_string()),
+        // JSON-ish fragments.
+        Just(r#"{"unterminated": "#.to_string()),
+        Just("}}{{ ]][[ =,=,= {a=}".to_string()),
+    ]
+}
+
+fn check_online(parser: &mut dyn OnlineParser, lines: &[String]) {
+    for line in lines {
+        let out = parser.parse(line);
+        // Invariants that must hold for *any* input:
+        // the returned id resolves in the store...
+        let template = parser
+            .store()
+            .get(out.template)
+            .unwrap_or_else(|| panic!("{:?}: dangling template id", parser.kind()));
+        // ...and same-length templates never have more wildcards than the
+        // message has tokens.
+        let n_tokens = line.split_whitespace().count();
+        if template.len() == n_tokens {
+            assert!(
+                out.variables.len() <= n_tokens,
+                "{:?}: more variables than tokens",
+                parser.kind()
+            );
+        }
+        // Id stability: most parsers must return the same template for an
+        // immediately repeated line. Logram is the documented exception —
+        // its n-gram dictionaries warm up across the first repetitions —
+        // but it must stabilize once counts pass the threshold.
+        if parser.kind() == monilog_parse::ParserKind::Logram {
+            let a = parser.parse(line);
+            let b = parser.parse(line);
+            assert_eq!(
+                a.template, b.template,
+                "Logram failed to stabilize for {line:?}"
+            );
+        } else {
+            let again = parser.parse(line);
+            assert_eq!(
+                out.template,
+                again.template,
+                "{:?}: unstable id for {line:?}",
+                parser.kind()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn online_parsers_survive_arbitrary_input(
+        lines in proptest::collection::vec(nasty_line(), 1..40)
+    ) {
+        check_online(&mut Drain::new(DrainConfig::default()), &lines);
+        check_online(&mut Spell::new(SpellConfig::default()), &lines);
+        check_online(&mut LenMa::new(LenMaConfig::default()), &lines);
+        check_online(&mut Logan::new(LoganConfig::default()), &lines);
+        check_online(&mut Shiso::new(ShisoConfig::default()), &lines);
+        check_online(&mut Logram::new(LogramConfig::default()), &lines);
+        check_online(&mut ShardedDrain::new(ShardedDrainConfig::default()), &lines);
+    }
+
+    #[test]
+    fn batch_parsers_survive_arbitrary_input(
+        lines in proptest::collection::vec(nasty_line(), 0..40)
+    ) {
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let mut iplom = IpLoM::new(IpLoMConfig::default());
+        let outs = iplom.parse_batch(&refs);
+        prop_assert_eq!(outs.len(), refs.len());
+        for o in &outs {
+            prop_assert!(iplom.store().get(o.template).is_some());
+        }
+        let mut slct = Slct::new(SlctConfig::default());
+        let outs = slct.parse_batch(&refs);
+        prop_assert_eq!(outs.len(), refs.len());
+        for o in &outs {
+            prop_assert!(slct.store().get(o.template).is_some());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # monilog-stream
+//!
+//! The distributed streaming substrate of MoniLog (Section II: "It is
+//! important for MoniLog components to be distributable in order to ensure
+//! scalability").
+//!
+//! - [`merge`] — k-way merging of per-source streams with a bounded
+//!   reorder buffer, absorbing the transport noise of Section I ("logs can
+//!   arrive in mixed order or sometimes be duplicated"): watermark-based
+//!   release plus duplicate suppression by `(source, seq)`.
+//! - [`partition`] — deterministic hash partitioning of a stream across
+//!   workers.
+//! - [`pipeline`] — parallel stages over crossbeam channels, including the
+//!   multi-threaded sharded-Drain runner measured by experiment D1.
+//! - [`service`] — the long-lived deployment shape: standing Drain workers
+//!   behind bounded queues with end-to-end backpressure.
+//! - [`metrics`] — cheap shared counters for pipeline observability.
+
+pub mod merge;
+pub mod metrics;
+pub mod partition;
+pub mod pipeline;
+pub mod service;
+
+pub use merge::{BoundedReorderBuffer, DedupFilter};
+pub use metrics::PipelineMetrics;
+pub use partition::HashPartitioner;
+pub use pipeline::{parallel_map, ParallelShardedDrain};
+pub use service::{ParsedItem, ShardedParseService, SHARD_ID_STRIDE};

@@ -1,0 +1,104 @@
+//! Deterministic hash partitioning.
+//!
+//! Distributable components need a stable answer to "which worker owns this
+//! item": same key → same partition, across processes and runs. We use the
+//! FNV-1a/splitmix composition rather than `DefaultHasher` because the
+//! standard hasher's output is not guaranteed stable across Rust versions,
+//! and partition assignments may be persisted.
+
+use serde::{Deserialize, Serialize};
+
+/// Routes hashable byte keys to one of `n` partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashPartitioner {
+    n: usize,
+}
+
+impl HashPartitioner {
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one partition");
+        HashPartitioner { n }
+    }
+
+    pub fn partitions(&self) -> usize {
+        self.n
+    }
+
+    /// Partition of a byte key.
+    pub fn partition(&self, key: &[u8]) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in key {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        // splitmix finalizer for avalanche on short keys.
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        (h % self.n as u64) as usize
+    }
+
+    /// Partition of a string key.
+    pub fn partition_str(&self, key: &str) -> usize {
+        self.partition(key.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_and_in_range() {
+        let p = HashPartitioner::new(8);
+        for key in ["a", "source-12", "blk_99", ""] {
+            let first = p.partition_str(key);
+            assert!(first < 8);
+            assert_eq!(first, p.partition_str(key), "unstable for {key:?}");
+        }
+    }
+
+    #[test]
+    fn single_partition_takes_everything() {
+        let p = HashPartitioner::new(1);
+        assert_eq!(p.partition_str("anything"), 0);
+    }
+
+    #[test]
+    fn spreads_keys_reasonably() {
+        let p = HashPartitioner::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..4_000 {
+            counts[p.partition_str(&format!("session-{i}"))] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(c),
+                "partition {i} got {c} of 4000 keys"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one partition")]
+    fn zero_partitions_rejected() {
+        HashPartitioner::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Determinism and range over arbitrary keys and sizes.
+        #[test]
+        fn partition_in_range(key in proptest::collection::vec(any::<u8>(), 0..64),
+                              n in 1usize..32) {
+            let p = HashPartitioner::new(n);
+            let part = p.partition(&key);
+            prop_assert!(part < n);
+            prop_assert_eq!(part, p.partition(&key));
+        }
+    }
+}

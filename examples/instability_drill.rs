@@ -1,0 +1,129 @@
+//! Instability drill: what continuous integration does to detectors.
+//!
+//! "The code base and log statements evolve at a fast pace, which
+//! eventually induces instability within the log stream" (Section I).
+//! This example trains DeepLog and LogAnomaly on a stable stream, then
+//! replays the *same normal behaviour* after a simulated code change
+//! (twisted statements). DeepLog's closed-world assumption turns every
+//! evolved line into a false alarm; LogAnomaly's semantic matching
+//! absorbs most of them — the contrast that motivates the MoniLog design.
+//!
+//! Run with: `cargo run --release -p monilog-core --example instability_drill`
+
+use monilog_core::detect::window::session_windows;
+use monilog_core::detect::{
+    DeepLog, DeepLogConfig, Detector, LogAnomaly, LogAnomalyConfig, TrainSet, Window,
+};
+use monilog_core::parse::{Drain, DrainConfig, OnlineParser};
+use monilog_loggen::{
+    GenLog, HdfsWorkload, HdfsWorkloadConfig, InstabilityConfig, InstabilityInjector,
+    InstabilityKind,
+};
+
+/// Parse a stream and group it into per-session windows.
+fn windows_of(parser: &mut Drain, logs: &[GenLog]) -> Vec<Window> {
+    let events = logs.iter().map(|log| {
+        let outcome = parser.parse(&log.record.message);
+        let numerics: Vec<f64> = outcome
+            .variables
+            .iter()
+            .filter_map(|v| monilog_core::model::event::parse_numeric(v))
+            .collect();
+        (
+            log.truth.session.clone().expect("hdfs lines have sessions"),
+            outcome.template.0,
+            numerics,
+        )
+    });
+    session_windows(events).into_iter().map(|(_, w)| w).collect()
+}
+
+fn false_alarm_rate(detector: &dyn Detector, windows: &[Window]) -> f64 {
+    let flagged = windows.iter().filter(|w| detector.predict(w)).count();
+    flagged as f64 / windows.len().max(1) as f64
+}
+
+fn main() {
+    println!("=== Instability drill: a simulated code change ===\n");
+
+    // Stable normal stream → parse → train both detectors.
+    let stable = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 300,
+        sequential_anomaly_rate: 0.0,
+        quantitative_anomaly_rate: 0.0,
+        seed: 21,
+        ..Default::default()
+    })
+    .generate();
+    let mut parser = Drain::new(DrainConfig::default());
+    let train_windows = windows_of(&mut parser, &stable);
+    let train = TrainSet::unlabeled(train_windows).with_templates(parser.store().clone());
+
+    let mut deeplog = DeepLog::new(DeepLogConfig {
+        history: 6,
+        top_g: 2,
+        epochs: 3,
+        ..DeepLogConfig::default()
+    });
+    deeplog.fit(&train);
+    let mut loganomaly = LogAnomaly::new(LogAnomalyConfig {
+        history: 6,
+        top_g: 2,
+        epochs: 3,
+        ..LogAnomalyConfig::default()
+    });
+    loganomaly.fit(&train);
+
+    // The same normal behaviour, before and after the "deploy".
+    let fresh_normal = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 150,
+        sequential_anomaly_rate: 0.0,
+        quantitative_anomaly_rate: 0.0,
+        seed: 22,
+        ..Default::default()
+    })
+    .generate();
+    let evolved = InstabilityInjector::new(InstabilityConfig {
+        ratio: 0.30,
+        kinds: vec![InstabilityKind::TwistStatement],
+        seed: 23,
+    })
+    .apply(&fresh_normal);
+    let twisted_lines = evolved.iter().filter(|l| l.truth.unstable).count();
+    println!(
+        "simulated code change twisted {} of {} lines ({:.0}%)\n",
+        twisted_lines,
+        evolved.len(),
+        100.0 * twisted_lines as f64 / evolved.len() as f64
+    );
+
+    // Parse both streams with the SAME evolving parser (new templates get
+    // discovered on the fly, as in production), refresh semantic views.
+    let before = windows_of(&mut parser, &fresh_normal);
+    let after = windows_of(&mut parser, &evolved);
+    deeplog.update_templates(parser.store());
+    loganomaly.update_templates(parser.store());
+
+    println!(
+        "{:<12} {:>22} {:>22}",
+        "detector", "false alarms (stable)", "false alarms (evolved)"
+    );
+    for (name, detector) in [
+        ("DeepLog", &deeplog as &dyn Detector),
+        ("LogAnomaly", &loganomaly as &dyn Detector),
+    ] {
+        println!(
+            "{:<12} {:>21.1}% {:>21.1}%",
+            name,
+            100.0 * false_alarm_rate(detector, &before),
+            100.0 * false_alarm_rate(detector, &after),
+        );
+    }
+
+    println!(
+        "\nEvery line in both test streams is behaviourally NORMAL — only the \
+         wording of some statements changed. DeepLog treats each new template id \
+         as an anomaly (closed world); LogAnomaly matches evolved templates to \
+         their nearest known neighbour and stays quiet."
+    );
+}

@@ -1,0 +1,354 @@
+//! Integration tests: the full MoniLog pipeline across crates.
+
+use monilog_core::detect::DeepLogConfig;
+use monilog_core::model::{RawLog, SourceId};
+use monilog_core::{DetectorChoice, MoniLog, MoniLogConfig, WindowPolicy};
+use monilog_loggen::{
+    GenLog, HdfsWorkload, HdfsWorkloadConfig, NoiseConfig, NoiseInjector,
+};
+use monilog_stream::PipelineMetrics;
+
+/// Convert generated logs to raw lines. `seq_offset` keeps sequence
+/// numbers disjoint across independently-generated streams — a real
+/// collector's sequence numbers never restart, and the pipeline's
+/// duplicate suppression rightly relies on that.
+fn to_raw(log: &GenLog, seq_offset: u64) -> RawLog {
+    RawLog::new(log.record.source, log.record.seq + seq_offset, log.record.to_line())
+}
+
+const LIVE_SEQ: u64 = 10_000_000;
+/// Live streams begin an hour after the (default-based) training streams —
+/// wall clocks move forward between training and deployment.
+const LIVE_START_MS: u64 = 1_600_003_600_000;
+
+fn hdfs_pipeline() -> MoniLog {
+    MoniLog::new(MoniLogConfig {
+        window: WindowPolicy::Session { idle_ms: 2_000, max_events: 64 },
+        detector: DetectorChoice::DeepLog(DeepLogConfig {
+            history: 6,
+            top_g: 2,
+            epochs: 3,
+            ..DeepLogConfig::default()
+        }),
+        ..MoniLogConfig::default()
+    })
+}
+
+fn train_on_normal(monilog: &mut MoniLog, sessions: usize, seed: u64) {
+    let training = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: sessions,
+        sequential_anomaly_rate: 0.0,
+        quantitative_anomaly_rate: 0.0,
+        seed,
+        ..Default::default()
+    })
+    .generate();
+    for log in &training {
+        monilog.ingest_training(&to_raw(log, 0));
+    }
+    monilog.train();
+}
+
+#[test]
+fn pipeline_detects_injected_anomalies_with_high_recall() {
+    let mut monilog = hdfs_pipeline();
+    train_on_normal(&mut monilog, 250, 31);
+
+    let live = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 150,
+        sequential_anomaly_rate: 0.06,
+        quantitative_anomaly_rate: 0.04,
+        seed: 32,
+        start_ms: LIVE_START_MS,
+    })
+    .generate();
+    let sessions = HdfsWorkload::sessions(&live);
+    let anomalous_keys: std::collections::HashSet<&str> = sessions
+        .iter()
+        .filter(|s| s.anomalous)
+        .map(|s| s.key.as_str())
+        .collect();
+    assert!(!anomalous_keys.is_empty(), "test stream has no anomalies");
+
+    let mut anomalies = Vec::new();
+    for log in &live {
+        anomalies.extend(monilog.ingest(&to_raw(log, LIVE_SEQ)));
+    }
+    anomalies.extend(monilog.flush());
+
+    // Which flagged windows correspond to truly anomalous sessions? The
+    // session key is one of the report's event variables.
+    let mut hit_keys = std::collections::HashSet::new();
+    let mut false_alarms = 0;
+    for a in &anomalies {
+        let keys: std::collections::HashSet<&str> = a
+            .report
+            .events
+            .iter()
+            .filter_map(|e| e.session.as_ref())
+            .map(|s| s.0.as_str())
+            .collect();
+        let mut hit = false;
+        for k in keys {
+            if anomalous_keys.contains(k) {
+                hit_keys.insert(k.to_string());
+                hit = true;
+            }
+        }
+        if !hit {
+            false_alarms += 1;
+        }
+    }
+    let recall = hit_keys.len() as f64 / anomalous_keys.len() as f64;
+    assert!(recall >= 0.6, "recall {recall} too low ({}/{})", hit_keys.len(), anomalous_keys.len());
+    let precision = 1.0 - false_alarms as f64 / anomalies.len().max(1) as f64;
+    assert!(precision >= 0.5, "precision {precision} too low ({false_alarms} false alarms of {})", anomalies.len());
+}
+
+#[test]
+fn clean_stream_produces_few_false_alarms() {
+    let mut monilog = hdfs_pipeline();
+    train_on_normal(&mut monilog, 250, 41);
+
+    let live = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 120,
+        sequential_anomaly_rate: 0.0,
+        quantitative_anomaly_rate: 0.0,
+        seed: 42,
+        start_ms: LIVE_START_MS,
+    })
+    .generate();
+    let mut anomalies = Vec::new();
+    for log in &live {
+        anomalies.extend(monilog.ingest(&to_raw(log, LIVE_SEQ)));
+    }
+    anomalies.extend(monilog.flush());
+    let rate = anomalies.len() as f64 / 120.0;
+    assert!(rate < 0.10, "false-alarm rate {rate} on a clean stream");
+}
+
+#[test]
+fn transport_noise_is_absorbed() {
+    // Duplicated and re-ordered delivery must not change what the pipeline
+    // detects (dedup + reorder buffer at work).
+    let mut monilog = hdfs_pipeline();
+    train_on_normal(&mut monilog, 250, 51);
+
+    let live = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 100,
+        sequential_anomaly_rate: 0.0,
+        quantitative_anomaly_rate: 0.0,
+        seed: 52,
+        start_ms: LIVE_START_MS,
+    })
+    .generate();
+    let noisy = NoiseInjector::new(NoiseConfig {
+        max_delay_ms: 300,
+        duplicate_prob: 0.10,
+        drop_prob: 0.0,
+        seed: 53,
+    })
+    .apply(&live);
+    assert!(noisy.len() > live.len(), "duplicates exist");
+
+    let mut anomalies = Vec::new();
+    for log in &noisy {
+        anomalies.extend(monilog.ingest(&to_raw(log, LIVE_SEQ)));
+    }
+    anomalies.extend(monilog.flush());
+
+    let metrics = monilog.metrics();
+    assert_eq!(
+        PipelineMetrics::get(&metrics.duplicates_dropped) as usize,
+        noisy.len() - live.len(),
+        "every duplicate dropped exactly once"
+    );
+    let rate = anomalies.len() as f64 / 100.0;
+    assert!(rate < 0.12, "noise alone caused {rate} false alarms");
+}
+
+#[test]
+fn metrics_are_consistent() {
+    let mut monilog = hdfs_pipeline();
+    train_on_normal(&mut monilog, 60, 61);
+    let live = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 30,
+        sequential_anomaly_rate: 0.05,
+        quantitative_anomaly_rate: 0.0,
+        seed: 62,
+        start_ms: LIVE_START_MS,
+    })
+    .generate();
+    for log in &live {
+        monilog.ingest(&to_raw(log, LIVE_SEQ));
+    }
+    monilog.flush();
+    let m = monilog.metrics();
+    let ingested = PipelineMetrics::get(&m.lines_ingested);
+    let parsed = PipelineMetrics::get(&m.lines_parsed);
+    let dropped = PipelineMetrics::get(&m.duplicates_dropped);
+    let errors = PipelineMetrics::get(&m.header_errors);
+    assert_eq!(parsed + dropped + errors, ingested);
+    assert_eq!(errors, 0);
+    assert!(PipelineMetrics::get(&m.templates_discovered) >= 5);
+}
+
+#[test]
+fn malformed_lines_are_counted_not_fatal() {
+    let mut monilog = hdfs_pipeline();
+    // Train normally, then feed garbage.
+    train_on_normal(&mut monilog, 60, 71);
+    for (i, junk) in ["", "not a log line", "2020-99-99 99:99:99,999 - x - y - z"]
+        .iter()
+        .enumerate()
+    {
+        let out = monilog.ingest(&RawLog::new(SourceId(9), i as u64, *junk));
+        assert!(out.is_empty());
+    }
+    assert_eq!(PipelineMetrics::get(&monilog.metrics().header_errors), 3);
+}
+
+#[test]
+fn classifier_feedback_loop_routes_future_anomalies() {
+    use monilog_core::classify::PoolRegistry;
+
+    let mut monilog = hdfs_pipeline();
+    train_on_normal(&mut monilog, 200, 81);
+    let live = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 200,
+        sequential_anomaly_rate: 0.10,
+        quantitative_anomaly_rate: 0.0,
+        seed: 82,
+        start_ms: LIVE_START_MS,
+    })
+    .generate();
+    let mut anomalies = Vec::new();
+    for log in &live {
+        anomalies.extend(monilog.ingest(&to_raw(log, LIVE_SEQ)));
+    }
+    anomalies.extend(monilog.flush());
+    assert!(anomalies.len() >= 6, "need anomalies to exercise feedback, got {}", anomalies.len());
+
+    let ops = monilog.classifier_mut().create_pool("hdfs-ops");
+    // Cold start: everything goes to the default pool.
+    assert!(anomalies
+        .iter()
+        .all(|a| a.assignment.pool == PoolRegistry::DEFAULT));
+    // The admin moves the first half to hdfs-ops...
+    let half = anomalies.len() / 2;
+    for a in &anomalies[..half] {
+        monilog.feedback_move(a, ops);
+    }
+    // ...after which similar anomalies are routed there automatically.
+    let routed = anomalies[half..]
+        .iter()
+        .filter(|a| monilog.classifier_mut().classify(&a.report).pool == ops)
+        .count();
+    assert!(
+        routed as f64 / (anomalies.len() - half) as f64 > 0.7,
+        "only {routed}/{} routed after feedback",
+        anomalies.len() - half
+    );
+}
+
+#[test]
+fn template_ids_survive_restart() {
+    // Train, persist the template store, "restart" into a warm pipeline:
+    // the same lines must map to the same template ids (a checkpointed
+    // detector depends on it).
+    let mut first = hdfs_pipeline();
+    train_on_normal(&mut first, 80, 91);
+    let live = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 40,
+        sequential_anomaly_rate: 0.0,
+        quantitative_anomaly_rate: 0.0,
+        seed: 92,
+        start_ms: LIVE_START_MS,
+        ..Default::default()
+    })
+    .generate();
+    for log in &live {
+        first.ingest(&to_raw(log, LIVE_SEQ));
+    }
+    first.flush();
+    let bytes = first.templates().encode();
+
+    let store = monilog_core::model::TemplateStore::decode(&bytes).expect("round trip");
+    let restarted = monilog_core::MoniLog::with_warm_templates(
+        monilog_core::MoniLogConfig {
+            window: monilog_core::WindowPolicy::Session { idle_ms: 2_000, max_events: 64 },
+            ..monilog_core::MoniLogConfig::default()
+        },
+        store,
+    );
+    // Compare template assignment line by line via the underlying stores:
+    // every template known to the first pipeline resolves identically.
+    for template in first.templates().iter() {
+        let found = restarted
+            .templates()
+            .find_by_pattern(&template.render())
+            .expect("template survived restart");
+        assert_eq!(found, template.id);
+    }
+}
+
+#[test]
+fn pipeline_checkpoint_restores_detection_behaviour() {
+    // Train → checkpoint → restore in a "new process" → the restored
+    // pipeline detects the same anomalies on the same live stream.
+    let mut original = hdfs_pipeline();
+    train_on_normal(&mut original, 150, 95);
+    let blob = original.checkpoint().expect("DeepLog pipeline checkpoints");
+
+    let restored_config = monilog_core::MoniLogConfig {
+        window: monilog_core::WindowPolicy::Session { idle_ms: 2_000, max_events: 64 },
+        detector: monilog_core::DetectorChoice::DeepLog(
+            monilog_core::detect::DeepLogConfig {
+                history: 6,
+                top_g: 2,
+                epochs: 3,
+                ..monilog_core::detect::DeepLogConfig::default()
+            },
+        ),
+        ..monilog_core::MoniLogConfig::default()
+    };
+    let mut restored = monilog_core::MoniLog::restore(restored_config, &blob)
+        .expect("valid checkpoint");
+    assert!(restored.is_trained(), "restored pipeline skips retraining");
+
+    let live = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 80,
+        sequential_anomaly_rate: 0.08,
+        quantitative_anomaly_rate: 0.04,
+        seed: 96,
+        start_ms: LIVE_START_MS,
+        ..Default::default()
+    })
+    .generate();
+
+    let run = |pipeline: &mut monilog_core::MoniLog| -> Vec<u64> {
+        let mut flagged = Vec::new();
+        for log in &live {
+            for a in pipeline.ingest(&to_raw(log, LIVE_SEQ)) {
+                flagged.push(a.report.events[0].timestamp.as_millis());
+            }
+        }
+        for a in pipeline.flush() {
+            flagged.push(a.report.events[0].timestamp.as_millis());
+        }
+        flagged.sort_unstable();
+        flagged
+    };
+    let from_original = run(&mut original);
+    let from_restored = run(&mut restored);
+    assert_eq!(
+        from_original, from_restored,
+        "restored pipeline flags different windows"
+    );
+    assert!(!from_restored.is_empty(), "stream contains anomalies to find");
+
+    // Corrupt blobs are rejected, not misinterpreted.
+    let mut bad = blob.clone();
+    bad.truncate(bad.len() / 2);
+    assert!(monilog_core::MoniLog::restore(restored_config, &bad).is_err());
+}
