@@ -2,12 +2,10 @@
 //! the latency budget of the online detection stage.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use monilog_bench::{
-    experiment_deeplog, experiment_loganomaly, parse_session_windows,
-};
+use monilog_bench::{experiment_deeplog, experiment_loganomaly, parse_session_windows};
 use monilog_core::detect::{
-    DeepLog, Detector, InvariantDetector, InvariantDetectorConfig, LogAnomaly,
-    LogClusterDetector, LogClusterDetectorConfig, PcaDetector, PcaDetectorConfig, TrainSet,
+    DeepLog, Detector, InvariantDetector, InvariantDetectorConfig, LogAnomaly, LogClusterDetector,
+    LogClusterDetectorConfig, PcaDetector, PcaDetectorConfig, TrainSet,
 };
 use monilog_core::parse::{Drain, DrainConfig, OnlineParser};
 use monilog_loggen::{HdfsWorkload, HdfsWorkloadConfig};

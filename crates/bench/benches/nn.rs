@@ -41,7 +41,9 @@ fn nn_primitives(c: &mut Criterion) {
     let lstm = Lstm::new(&mut params, 16, 32, &mut rng);
     let head = Dense::new(&mut params, 32, 16, &mut rng);
     let mut opt = Adam::new(0.01);
-    let windows: Vec<Vec<usize>> = (0..64).map(|i| (0..6).map(|k| (i + k) % 16).collect()).collect();
+    let windows: Vec<Vec<usize>> = (0..64)
+        .map(|i| (0..6).map(|k| (i + k) % 16).collect())
+        .collect();
     let targets: Vec<usize> = (0..64).map(|i| i % 16).collect();
     group.bench_function("deeplog_train_step_b64", |bencher| {
         bencher.iter(|| {

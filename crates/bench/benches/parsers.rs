@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use monilog_core::parse::{
     BatchParser, Drain, DrainConfig, IpLoM, IpLoMConfig, LenMa, LenMaConfig, Logan, LoganConfig,
-    Logram, LogramConfig, OnlineParser, ShardedDrain, ShardedDrainConfig, Shiso, ShisoConfig,
-    Slct, SlctConfig, Spell, SpellConfig,
+    Logram, LogramConfig, OnlineParser, ShardedDrain, ShardedDrainConfig, Shiso, ShisoConfig, Slct,
+    SlctConfig, Spell, SpellConfig,
 };
 use monilog_loggen::corpus;
 use std::hint::black_box;

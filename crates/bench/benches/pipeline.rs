@@ -33,7 +33,10 @@ fn pipeline_throughput(c: &mut Criterion) {
 
     // Train once outside the measurement loop.
     let mut monilog = MoniLog::new(MoniLogConfig {
-        window: WindowPolicy::Session { idle_ms: 2_000, max_events: 64 },
+        window: WindowPolicy::Session {
+            idle_ms: 2_000,
+            max_events: 64,
+        },
         detector: DetectorChoice::DeepLog(DeepLogConfig {
             history: 6,
             top_g: 2,
@@ -43,7 +46,11 @@ fn pipeline_throughput(c: &mut Criterion) {
         ..MoniLogConfig::default()
     });
     for log in &train_logs {
-        monilog.ingest_training(&RawLog::new(log.record.source, log.record.seq, log.record.to_line()));
+        monilog.ingest_training(&RawLog::new(
+            log.record.source,
+            log.record.seq,
+            log.record.to_line(),
+        ));
     }
     monilog.train();
 

@@ -37,7 +37,8 @@ fn sharded_scaling(c: &mut Criterion) {
         });
         group.bench_function(BenchmarkId::new("parallel", n_shards), |b| {
             b.iter(|| {
-                let p = ParallelShardedDrain::new(n_shards, DrainConfig::default());
+                let p = ParallelShardedDrain::new(n_shards, DrainConfig::default())
+                    .expect("valid config");
                 black_box(p.parse_batch(&messages));
             })
         });

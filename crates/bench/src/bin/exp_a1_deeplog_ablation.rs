@@ -41,19 +41,42 @@ fn main() {
     let (test_windows, test_labels) = parse_session_windows(&mut parser, &test_logs);
     let train = TrainSet::unlabeled(train_windows).with_templates(parser.store().clone());
 
-    let base = DeepLogConfig { history: 6, top_g: 2, epochs: 3, ..DeepLogConfig::default() };
+    let base = DeepLogConfig {
+        history: 6,
+        top_g: 2,
+        epochs: 3,
+        ..DeepLogConfig::default()
+    };
     let variants: Vec<(&str, DeepLogConfig)> = vec![
         ("full (Gaussian values, EOS, prob floor)", base),
         (
             "value model: LSTM forecast",
-            DeepLogConfig { value_model: ValueModelKind::Lstm, ..base },
+            DeepLogConfig {
+                value_model: ValueModelKind::Lstm,
+                ..base
+            },
         ),
         (
             "− value model",
-            DeepLogConfig { value_model: ValueModelKind::None, ..base },
+            DeepLogConfig {
+                value_model: ValueModelKind::None,
+                ..base
+            },
         ),
-        ("− EOS", DeepLogConfig { use_eos: false, ..base }),
-        ("− probability floor", DeepLogConfig { min_prob: 0.0, ..base }),
+        (
+            "− EOS",
+            DeepLogConfig {
+                use_eos: false,
+                ..base
+            },
+        ),
+        (
+            "− probability floor",
+            DeepLogConfig {
+                min_prob: 0.0,
+                ..base
+            },
+        ),
         (
             "sequence-only, no refinements",
             DeepLogConfig {

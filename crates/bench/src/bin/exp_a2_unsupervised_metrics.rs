@@ -63,7 +63,13 @@ fn main() {
     let panel = benchmark_panel(60, 1301);
     let grid = TuneGrid::default();
 
-    let signals = ["quality", "cohesion", "−separation", "coverage", "−template count"];
+    let signals = [
+        "quality",
+        "cohesion",
+        "−separation",
+        "coverage",
+        "−template count",
+    ];
     let mut per_corpus: Vec<Vec<f64>> = Vec::new();
 
     for corpus in &panel {

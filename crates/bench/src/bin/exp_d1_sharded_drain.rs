@@ -37,7 +37,11 @@ fn main() {
     let corpus = corpus::cloud_mixed(400, 801);
     let messages: Vec<&str> = corpus.messages().collect();
     let truth: Vec<u32> = corpus.logs.iter().map(|l| l.truth.template.0).collect();
-    println!("corpus: {} lines, {} true templates\n", messages.len(), corpus.truth_template_count());
+    println!(
+        "corpus: {} lines, {} true templates\n",
+        messages.len(),
+        corpus.truth_template_count()
+    );
 
     // Baseline: plain single-tree Drain.
     let mut plain = Drain::new(DrainConfig::default());
@@ -58,14 +62,18 @@ fn main() {
             n_shards,
             drain: DrainConfig::default(),
         });
-        let parsed: Vec<u32> = messages.iter().map(|m| sharded.parse(m).template.0).collect();
+        let parsed: Vec<u32> = messages
+            .iter()
+            .map(|m| sharded.parse(m).template.0)
+            .collect();
         let ga = grouping_accuracy(&parsed, &truth);
         let loads = sharded.shard_loads();
         let max_load = *loads.iter().max().expect("shards exist") as f64;
         let balance = (messages.len() as f64 / n_shards as f64) / max_load;
 
         // Parallel deployment: wall-clock on this host + modeled speedup.
-        let parallel = ParallelShardedDrain::new(n_shards, DrainConfig::default());
+        let parallel =
+            ParallelShardedDrain::new(n_shards, DrainConfig::default()).expect("valid config");
         let start = Instant::now();
         let (_, _) = parallel.parse_batch(&messages);
         let secs = start.elapsed().as_secs_f64();
@@ -90,7 +98,9 @@ fn main() {
     );
     println!(
         "\nhost cores: {}",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     println!(
         "\nShape check: accuracy stays at the plain-Drain level for every shard\n\

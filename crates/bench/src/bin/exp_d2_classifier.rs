@@ -34,7 +34,11 @@ fn synth_report(rng: &mut StdRng, id: u64) -> AnomalyReport {
     let error_heavy = rng.random_bool(0.3);
     let events = (0..n_events)
         .map(|i| {
-            let source = if rng.random_bool(0.8) { dominant } else { rng.random_range(0..8) };
+            let source = if rng.random_bool(0.8) {
+                dominant
+            } else {
+                rng.random_range(0..8)
+            };
             LogEvent::new(
                 EventId(id * 100 + i as u64),
                 Timestamp::from_millis(1_000 * id + 50 * i as u64),
@@ -80,7 +84,9 @@ fn main() {
     let pools = [PoolRegistry::DEFAULT, network, storage, capacity];
 
     // Held-out evaluation set.
-    let holdout: Vec<AnomalyReport> = (0..400).map(|i| synth_report(&mut rng, 1_000_000 + i)).collect();
+    let holdout: Vec<AnomalyReport> = (0..400)
+        .map(|i| synth_report(&mut rng, 1_000_000 + i))
+        .collect();
     let eval = |classifier: &AnomalyClassifier| -> (f64, f64) {
         let mut correct = 0usize;
         let mut mae = 0.0;
@@ -92,7 +98,10 @@ fn main() {
             mae += (a.criticality.ordinal() as f64 - policy.true_criticality(r).ordinal() as f64)
                 .abs();
         }
-        (correct as f64 / holdout.len() as f64, mae / holdout.len() as f64)
+        (
+            correct as f64 / holdout.len() as f64,
+            mae / holdout.len() as f64,
+        )
     };
 
     // LogClass baseline: at each checkpoint, retrain from scratch on the
@@ -108,8 +117,7 @@ fn main() {
         }
         let mut lc = LogClass::new(LogClassConfig::default());
         let reports: Vec<&AnomalyReport> = history.iter().map(|(r, _)| r).collect();
-        let labels: Vec<monilog_core::classify::PoolId> =
-            history.iter().map(|(_, p)| *p).collect();
+        let labels: Vec<monilog_core::classify::PoolId> = history.iter().map(|(_, p)| *p).collect();
         lc.fit(&reports, &labels);
         holdout
             .iter()

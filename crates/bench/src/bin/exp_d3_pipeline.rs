@@ -13,7 +13,11 @@ use monilog_loggen::{GenLog, HdfsWorkload, HdfsWorkloadConfig};
 use std::time::Instant;
 
 fn to_raw(log: &GenLog, offset: u64) -> RawLog {
-    RawLog::new(log.record.source, log.record.seq + offset, log.record.to_line())
+    RawLog::new(
+        log.record.source,
+        log.record.seq + offset,
+        log.record.to_line(),
+    )
 }
 
 fn main() {
@@ -32,12 +36,14 @@ fn main() {
         quantitative_anomaly_rate: 0.02,
         seed: 1002,
         start_ms: 1_600_003_600_000,
-        ..Default::default()
     })
     .generate();
 
     let mut monilog = MoniLog::new(MoniLogConfig {
-        window: WindowPolicy::Session { idle_ms: 2_000, max_events: 64 },
+        window: WindowPolicy::Session {
+            idle_ms: 2_000,
+            max_events: 64,
+        },
         detector: DetectorChoice::DeepLog(DeepLogConfig {
             history: 6,
             top_g: 2,
@@ -78,7 +84,10 @@ fn main() {
         vec![
             "training ingest".to_string(),
             format!("{} lines", train_logs.len()),
-            format!("{:.0}k lines/s", train_logs.len() as f64 / ingest_secs / 1_000.0),
+            format!(
+                "{:.0}k lines/s",
+                train_logs.len() as f64 / ingest_secs / 1_000.0
+            ),
         ],
         vec![
             "model fit".to_string(),
@@ -88,7 +97,10 @@ fn main() {
         vec![
             "live monitoring".to_string(),
             format!("{} lines", live_logs.len()),
-            format!("{:.0}k lines/s", live_logs.len() as f64 / live_secs / 1_000.0),
+            format!(
+                "{:.0}k lines/s",
+                live_logs.len() as f64 / live_secs / 1_000.0
+            ),
         ],
         vec![
             "templates discovered".to_string(),

@@ -62,7 +62,16 @@ fn main() {
         ]);
     }
     print_table(
-        &["detector", "precision", "recall", "F1", "AUC", "TP", "FP", "FN"],
+        &[
+            "detector",
+            "precision",
+            "recall",
+            "F1",
+            "AUC",
+            "TP",
+            "FP",
+            "FN",
+        ],
         &rows,
     );
     println!(

@@ -12,7 +12,9 @@
 //!
 //! Run: `cargo run --release -p monilog-bench --bin exp_p3_multisource`
 
-use monilog_bench::{detector_panel, f3, parse_session_windows, parse_tumbling_windows, print_table};
+use monilog_bench::{
+    detector_panel, f3, parse_session_windows, parse_tumbling_windows, print_table,
+};
 use monilog_core::detect::{evaluate, TrainSet};
 use monilog_core::parse::{Drain, DrainConfig, OnlineParser};
 use monilog_loggen::{CloudWorkload, CloudWorkloadConfig, HdfsWorkload, HdfsWorkloadConfig};
@@ -46,7 +48,10 @@ fn main() {
     for mut d in detector_panel() {
         d.fit(&train);
         d.update_templates(parser.store());
-        keyed.push((d.name().to_string(), evaluate(d.as_ref(), &test_w, &test_l).f1));
+        keyed.push((
+            d.name().to_string(),
+            evaluate(d.as_ref(), &test_w, &test_l).f1,
+        ));
     }
 
     // ── Regime B: mixed multi-source stream with incidents ──────────────
@@ -74,7 +79,10 @@ fn main() {
     for mut d in detector_panel() {
         d.fit(&train);
         d.update_templates(parser.store());
-        mixed.push((d.name().to_string(), evaluate(d.as_ref(), &test_w, &test_l).f1));
+        mixed.push((
+            d.name().to_string(),
+            evaluate(d.as_ref(), &test_w, &test_l).f1,
+        ));
     }
 
     let rows: Vec<Vec<String>> = keyed

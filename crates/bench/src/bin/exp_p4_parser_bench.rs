@@ -34,7 +34,10 @@ fn score(parsed: &[u32], corpus: &Corpus, secs: f64) -> (f64, f64, f64) {
 fn run_online(parser: &mut dyn OnlineParser, corpus: &Corpus) -> (f64, f64, f64) {
     let messages: Vec<&str> = corpus.messages().collect();
     let start = Instant::now();
-    let parsed: Vec<u32> = messages.iter().map(|m| parser.parse(m).template.0).collect();
+    let parsed: Vec<u32> = messages
+        .iter()
+        .map(|m| parser.parse(m).template.0)
+        .collect();
     score(&parsed, corpus, start.elapsed().as_secs_f64())
 }
 
@@ -61,7 +64,15 @@ fn main() {
 
     // ── Part 1: accuracy per corpus + mean throughput ─────────────────────
     let parsers: Vec<&str> = vec![
-        "Drain", "Spell", "LenMa", "Logan", "SHISO", "Logram", "ShardedDrain", "IPLoM", "SLCT",
+        "Drain",
+        "Spell",
+        "LenMa",
+        "Logan",
+        "SHISO",
+        "Logram",
+        "ShardedDrain",
+        "IPLoM",
+        "SLCT",
     ];
     let mut ga_rows = Vec::new();
     let mut f1_rows = Vec::new();
@@ -77,9 +88,10 @@ fn main() {
                 "Logan" => run_online(&mut Logan::new(LoganConfig::default()), corpus),
                 "SHISO" => run_online(&mut Shiso::new(ShisoConfig::default()), corpus),
                 "Logram" => run_online(&mut Logram::new(LogramConfig::default()), corpus),
-                "ShardedDrain" => {
-                    run_online(&mut ShardedDrain::new(ShardedDrainConfig::default()), corpus)
-                }
+                "ShardedDrain" => run_online(
+                    &mut ShardedDrain::new(ShardedDrainConfig::default()),
+                    corpus,
+                ),
                 "IPLoM" => run_batch(&mut IpLoM::new(IpLoMConfig::default()), corpus),
                 "SLCT" => run_batch(&mut Slct::new(SlctConfig::default()), corpus),
                 _ => unreachable!(),
@@ -124,13 +136,20 @@ fn main() {
     ] {
         let mut row = vec![name.to_string()];
         for st in [0.2, 0.4, 0.6, 0.8] {
-            let mut p = Drain::new(DrainConfig { mask, sim_threshold: st, ..Default::default() });
+            let mut p = Drain::new(DrainConfig {
+                mask,
+                sim_threshold: st,
+                ..Default::default()
+            });
             let parsed: Vec<u32> = messages.iter().map(|m| p.parse(m).template.0).collect();
             row.push(pct(grouping_accuracy(&parsed, &truth)));
         }
         rows.push(row);
     }
-    print_table(&["preprocessing", "st=0.2", "st=0.4", "st=0.6", "st=0.8"], &rows);
+    print_table(
+        &["preprocessing", "st=0.2", "st=0.4", "st=0.6", "st=0.8"],
+        &rows,
+    );
     println!(
         "\nShape check: with masking, every threshold works (the whole row is\n\
          flat); without it, accuracy collapses from 100% to ~0% as st rises —\n\

@@ -15,8 +15,8 @@ use monilog_core::model::TemplateStore;
 use monilog_core::parse::eval::{grouping_accuracy, token_accuracy, TokenAccuracyInput};
 use monilog_core::parse::{
     BatchParser, Drain, DrainConfig, IpLoM, IpLoMConfig, LenMa, LenMaConfig, Logan, LoganConfig,
-    Logram, LogramConfig, OnlineParser, ParseOutcome, Shiso, ShisoConfig, Slct, SlctConfig,
-    Spell, SpellConfig,
+    Logram, LogramConfig, OnlineParser, ParseOutcome, Shiso, ShisoConfig, Slct, SlctConfig, Spell,
+    SpellConfig,
 };
 use monilog_loggen::corpus::{benchmark_panel, Corpus};
 use monilog_loggen::TokenKind;
@@ -77,7 +77,10 @@ fn main() {
         online!("Logram", Logram::new(LogramConfig::default()));
         batch!("IPLoM", IpLoM::new(IpLoMConfig::default()));
         batch!("SLCT", Slct::new(SlctConfig::default()));
-        print_table(&["parser", "grouping acc", "token acc (Eq.1)", "gap"], &rows);
+        print_table(
+            &["parser", "grouping acc", "token acc (Eq.1)", "gap"],
+            &rows,
+        );
         println!();
     }
     println!(

@@ -65,7 +65,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["corpus", "tuned params", "F1 (autotuned)", "F1 (supervised best)", "F1 (worst point)", "regret"],
+        &[
+            "corpus",
+            "tuned params",
+            "F1 (autotuned)",
+            "F1 (supervised best)",
+            "F1 (worst point)",
+            "regret",
+        ],
         &rows,
     );
     println!(

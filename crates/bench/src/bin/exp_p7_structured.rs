@@ -59,8 +59,10 @@ fn main() {
     macro_rules! compare {
         ($name:expr, $make:expr) => {{
             let mut with_payload = $make;
-            let parsed_raw: Vec<u32> =
-                raw.iter().map(|m| with_payload.parse(m).template.0).collect();
+            let parsed_raw: Vec<u32> = raw
+                .iter()
+                .map(|m| with_payload.parse(m).template.0)
+                .collect();
             let mut without_payload = $make;
             let parsed_clean: Vec<u32> = clean
                 .iter()
@@ -83,7 +85,14 @@ fn main() {
     compare!("LenMa", LenMa::new(LenMaConfig::default()));
     compare!("SHISO", Shiso::new(ShisoConfig::default()));
     print_table(
-        &["parser", "GA raw", "templates raw", "GA extracted", "templates extracted", "gain"],
+        &[
+            "parser",
+            "GA raw",
+            "templates raw",
+            "GA extracted",
+            "templates extracted",
+            "gain",
+        ],
         &rows,
     );
     println!(

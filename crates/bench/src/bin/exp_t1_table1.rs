@@ -61,7 +61,10 @@ fn main() {
         })
         .collect();
     print_table(&["line", "class", "template"], &rows);
-    assert_eq!(outs[0].template, outs[2].template, "L1 and L3 share a class");
+    assert_eq!(
+        outs[0].template, outs[2].template,
+        "L1 and L3 share a class"
+    );
     println!("\n✓ L1 and L3 are identified as coming from the same log class (Section IV).");
 
     // ── Table I anomalies: train on the normal flow, test both kinds ─────
@@ -99,7 +102,11 @@ fn main() {
     println!(
         "L1 → L4 sequence: {} sequential violation(s) → {}",
         seq_violations,
-        if deeplog.predict(&seq_window) { "SEQUENTIAL ANOMALY" } else { "normal" }
+        if deeplog.predict(&seq_window) {
+            "SEQUENTIAL ANOMALY"
+        } else {
+            "normal"
+        }
     );
     assert!(deeplog.predict(&seq_window));
 
@@ -112,7 +119,11 @@ fn main() {
     println!(
         "L3 value 745675869: {} quantitative violation(s) → {}",
         value_violations,
-        if value_violations > 0 { "QUANTITATIVE ANOMALY" } else { "normal" }
+        if value_violations > 0 {
+            "QUANTITATIVE ANOMALY"
+        } else {
+            "normal"
+        }
     );
     assert!(value_violations > 0);
 

@@ -13,9 +13,7 @@
 //!
 //! Run: `cargo run --release -p monilog-bench --bin exp_x1_instability`
 
-use monilog_bench::{
-    detector_panel, f3, parse_session_windows, print_table,
-};
+use monilog_bench::{detector_panel, f3, parse_session_windows, print_table};
 use monilog_core::detect::{evaluate, TrainSet};
 use monilog_core::parse::{Drain, DrainConfig, OnlineParser};
 use monilog_loggen::{HdfsWorkload, HdfsWorkloadConfig, InstabilityConfig, InstabilityInjector};
@@ -43,8 +41,8 @@ fn main() {
 
     let mut parser = Drain::new(DrainConfig::default());
     let (train_windows, train_labels) = parse_session_windows(&mut parser, &train_logs);
-    let train = TrainSet::labeled(train_windows, train_labels)
-        .with_templates(parser.store().clone());
+    let train =
+        TrainSet::labeled(train_windows, train_labels).with_templates(parser.store().clone());
 
     let mut detectors = detector_panel();
     for d in detectors.iter_mut() {

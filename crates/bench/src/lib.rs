@@ -86,7 +86,9 @@ pub fn detector_panel() -> Vec<Box<dyn Detector>> {
         Box::new(PcaDetector::new(PcaDetectorConfig::default())),
         Box::new(InvariantDetector::new(InvariantDetectorConfig::default())),
         Box::new(LogClusterDetector::new(LogClusterDetectorConfig::default())),
-        Box::new(CoOccurrenceDetector::new(CoOccurrenceDetectorConfig::default())),
+        Box::new(CoOccurrenceDetector::new(
+            CoOccurrenceDetectorConfig::default(),
+        )),
         Box::new(DeepLog::new(experiment_deeplog())),
         Box::new(LogAnomaly::new(experiment_loganomaly())),
         Box::new(LogRobust::new(experiment_logrobust())),
@@ -94,15 +96,28 @@ pub fn detector_panel() -> Vec<Box<dyn Detector>> {
 }
 
 pub fn experiment_deeplog() -> DeepLogConfig {
-    DeepLogConfig { history: 6, top_g: 2, epochs: 3, ..DeepLogConfig::default() }
+    DeepLogConfig {
+        history: 6,
+        top_g: 2,
+        epochs: 3,
+        ..DeepLogConfig::default()
+    }
 }
 
 pub fn experiment_loganomaly() -> LogAnomalyConfig {
-    LogAnomalyConfig { history: 6, top_g: 2, epochs: 3, ..LogAnomalyConfig::default() }
+    LogAnomalyConfig {
+        history: 6,
+        top_g: 2,
+        epochs: 3,
+        ..LogAnomalyConfig::default()
+    }
 }
 
 pub fn experiment_logrobust() -> LogRobustConfig {
-    LogRobustConfig { epochs: 4, ..LogRobustConfig::default() }
+    LogRobustConfig {
+        epochs: 4,
+        ..LogRobustConfig::default()
+    }
 }
 
 /// Print a markdown table: header row + aligned body rows.
@@ -157,10 +172,7 @@ mod tests {
         let (windows, labels) = parse_session_windows(&mut parser, &logs);
         assert_eq!(windows.len(), 30);
         assert_eq!(labels.len(), 30);
-        assert_eq!(
-            windows.iter().map(Window::len).sum::<usize>(),
-            logs.len()
-        );
+        assert_eq!(windows.iter().map(Window::len).sum::<usize>(), logs.len());
     }
 
     #[test]

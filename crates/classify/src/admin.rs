@@ -90,7 +90,10 @@ pub struct AdminSimulator {
 impl AdminSimulator {
     pub fn new(policy: AdminPolicy, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&policy.noise));
-        AdminSimulator { policy, rng: StdRng::seed_from_u64(seed) }
+        AdminSimulator {
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// What the administrator *does* for this report: the true pool and
@@ -125,7 +128,11 @@ mod tests {
                     EventId(i as u64),
                     Timestamp::from_millis(i as u64),
                     SourceId(s),
-                    if i < errors { Severity::Error } else { Severity::Info },
+                    if i < errors {
+                        Severity::Error
+                    } else {
+                        Severity::Info
+                    },
                     TemplateId(0),
                     vec![],
                     None,
@@ -154,15 +161,27 @@ mod tests {
     #[test]
     fn routes_by_dominant_source() {
         let p = policy();
-        assert_eq!(p.true_pool(&report(AnomalyKind::Sequential, &[1, 1, 5], 0)), PoolId(1));
-        assert_eq!(p.true_pool(&report(AnomalyKind::Sequential, &[6, 6, 1], 0)), PoolId(2));
-        assert_eq!(p.true_pool(&report(AnomalyKind::Sequential, &[99], 0)), PoolId(0));
+        assert_eq!(
+            p.true_pool(&report(AnomalyKind::Sequential, &[1, 1, 5], 0)),
+            PoolId(1)
+        );
+        assert_eq!(
+            p.true_pool(&report(AnomalyKind::Sequential, &[6, 6, 1], 0)),
+            PoolId(2)
+        );
+        assert_eq!(
+            p.true_pool(&report(AnomalyKind::Sequential, &[99], 0)),
+            PoolId(0)
+        );
     }
 
     #[test]
     fn quantitative_override() {
         let p = policy();
-        assert_eq!(p.true_pool(&report(AnomalyKind::Quantitative, &[1, 1], 0)), PoolId(3));
+        assert_eq!(
+            p.true_pool(&report(AnomalyKind::Quantitative, &[1, 1], 0)),
+            PoolId(3)
+        );
     }
 
     #[test]

@@ -65,14 +65,15 @@ impl AnomalyClassifier {
     /// accepts.
     pub fn classify(&self, report: &AnomalyReport) -> Assignment {
         let x = featurize(report);
-        let mut pool = self
-            .router
-            .predict_with_default(&x, PoolRegistry::DEFAULT);
+        let mut pool = self.router.predict_with_default(&x, PoolRegistry::DEFAULT);
         if !self.pools.is_active(pool) {
             pool = PoolRegistry::DEFAULT;
         }
         let level = Criticality::from_ordinal(self.criticality.predict(&x));
-        Assignment { pool, criticality: level }
+        Assignment {
+            pool,
+            criticality: level,
+        }
     }
 
     /// Passive signal: an administrator moved `report` to `target` pool
@@ -108,7 +109,9 @@ impl Default for AnomalyClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use monilog_model::{AnomalyKind, EventId, LogEvent, Severity, SourceId, TemplateId, Timestamp};
+    use monilog_model::{
+        AnomalyKind, EventId, LogEvent, Severity, SourceId, TemplateId, Timestamp,
+    };
 
     /// A report whose events all come from `source` with template base
     /// `t0` — enough signal for the router to separate by source.
@@ -119,7 +122,11 @@ mod tests {
                     EventId(i),
                     Timestamp::from_millis(i * 100),
                     SourceId(source),
-                    if i == 2 { Severity::Error } else { Severity::Info },
+                    if i == 2 {
+                        Severity::Error
+                    } else {
+                        Severity::Info
+                    },
                     TemplateId(t0 + (i % 3) as u32),
                     vec![],
                     None,
@@ -156,7 +163,10 @@ mod tests {
             c.observe_move(&report(AnomalyKind::Quantitative, 4, 40 + i % 5), sto);
         }
         assert_eq!(c.classify(&report(AnomalyKind::Sequential, 3, 2)).pool, net);
-        assert_eq!(c.classify(&report(AnomalyKind::Quantitative, 4, 41)).pool, sto);
+        assert_eq!(
+            c.classify(&report(AnomalyKind::Quantitative, 4, 41)).pool,
+            sto
+        );
     }
 
     #[test]
@@ -165,15 +175,23 @@ mod tests {
         for i in 0..40 {
             // Sequential anomalies from source 1 are high; quantitative
             // from source 2 are low.
-            c.observe_criticality(&report(AnomalyKind::Sequential, 1, i % 4), Criticality::High);
-            c.observe_criticality(&report(AnomalyKind::Quantitative, 2, 20 + i % 4), Criticality::Low);
+            c.observe_criticality(
+                &report(AnomalyKind::Sequential, 1, i % 4),
+                Criticality::High,
+            );
+            c.observe_criticality(
+                &report(AnomalyKind::Quantitative, 2, 20 + i % 4),
+                Criticality::Low,
+            );
         }
         assert_eq!(
-            c.classify(&report(AnomalyKind::Sequential, 1, 1)).criticality,
+            c.classify(&report(AnomalyKind::Sequential, 1, 1))
+                .criticality,
             Criticality::High
         );
         assert_eq!(
-            c.classify(&report(AnomalyKind::Quantitative, 2, 21)).criticality,
+            c.classify(&report(AnomalyKind::Quantitative, 2, 21))
+                .criticality,
             Criticality::Low
         );
     }
@@ -208,7 +226,10 @@ mod tests {
         let mut c = AnomalyClassifier::new();
         let p = c.create_pool("x");
         c.observe_move(&report(AnomalyKind::Sequential, 0, 0), p);
-        c.observe_criticality(&report(AnomalyKind::Sequential, 0, 0), Criticality::Moderate);
+        c.observe_criticality(
+            &report(AnomalyKind::Sequential, 0, 0),
+            Criticality::Moderate,
+        );
         assert_eq!(c.feedback_events(), 2);
     }
 }

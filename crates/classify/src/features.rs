@@ -64,7 +64,11 @@ pub fn featurize(report: &AnomalyReport) -> Vec<f64> {
     if let Some((first, last)) = report.span() {
         let ms = last.millis_since(first) as f64;
         out[s + 5] = (ms / 60_000.0).min(1.0); // span, capped at a minute
-        out[s + 6] = if ms > 0.0 { (n / (ms / 1_000.0 + 1.0)).min(50.0) / 50.0 } else { 1.0 };
+        out[s + 6] = if ms > 0.0 {
+            (n / (ms / 1_000.0 + 1.0)).min(50.0) / 50.0
+        } else {
+            1.0
+        };
     }
     out[s + 7] = (report.score / 10.0).tanh(); // detector score, squashed
     out
@@ -100,7 +104,10 @@ mod tests {
 
     #[test]
     fn dimension_is_stable() {
-        let r = report(AnomalyKind::Sequential, vec![event(0, 0, 0, Severity::Info)]);
+        let r = report(
+            AnomalyKind::Sequential,
+            vec![event(0, 0, 0, Severity::Info)],
+        );
         assert_eq!(featurize(&r).len(), FEATURE_DIM);
         let empty = report(AnomalyKind::Quantitative, vec![]);
         assert_eq!(featurize(&empty).len(), FEATURE_DIM);
@@ -110,19 +117,29 @@ mod tests {
     fn histograms_are_normalized() {
         let r = report(
             AnomalyKind::Sequential,
-            (0..10).map(|i| event(i, (i % 3) as u16, i as u32, Severity::Info)).collect(),
+            (0..10)
+                .map(|i| event(i, (i % 3) as u16, i as u32, Severity::Info))
+                .collect(),
         );
         let f = featurize(&r);
         let template_mass: f64 = f[..TEMPLATE_BUCKETS].iter().sum();
-        let source_mass: f64 = f[TEMPLATE_BUCKETS..TEMPLATE_BUCKETS + SOURCE_BUCKETS].iter().sum();
+        let source_mass: f64 = f[TEMPLATE_BUCKETS..TEMPLATE_BUCKETS + SOURCE_BUCKETS]
+            .iter()
+            .sum();
         assert!((template_mass - 1.0).abs() < 1e-9);
         assert!((source_mass - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn kind_flag_distinguishes_reports() {
-        let seq = report(AnomalyKind::Sequential, vec![event(0, 0, 0, Severity::Info)]);
-        let quant = report(AnomalyKind::Quantitative, vec![event(0, 0, 0, Severity::Info)]);
+        let seq = report(
+            AnomalyKind::Sequential,
+            vec![event(0, 0, 0, Severity::Info)],
+        );
+        let quant = report(
+            AnomalyKind::Quantitative,
+            vec![event(0, 0, 0, Severity::Info)],
+        );
         let fs = featurize(&seq);
         let fq = featurize(&quant);
         assert_eq!(fs[TEMPLATE_BUCKETS + SOURCE_BUCKETS], 1.0);
@@ -133,11 +150,17 @@ mod tests {
     fn different_template_mixes_give_different_features() {
         let a = report(
             AnomalyKind::Sequential,
-            vec![event(0, 0, 1, Severity::Info), event(1, 0, 1, Severity::Info)],
+            vec![
+                event(0, 0, 1, Severity::Info),
+                event(1, 0, 1, Severity::Info),
+            ],
         );
         let b = report(
             AnomalyKind::Sequential,
-            vec![event(0, 0, 7, Severity::Info), event(1, 0, 9, Severity::Info)],
+            vec![
+                event(0, 0, 7, Severity::Info),
+                event(1, 0, 9, Severity::Info),
+            ],
         );
         assert_ne!(featurize(&a), featurize(&b));
     }

@@ -31,8 +31,8 @@ pub mod perceptron;
 pub mod pools;
 
 pub use admin::{AdminPolicy, AdminSimulator};
-pub use logclass::{LogClass, LogClassConfig};
 pub use classifier::{AnomalyClassifier, Assignment};
 pub use features::{featurize, FEATURE_DIM};
+pub use logclass::{LogClass, LogClassConfig};
 pub use perceptron::{AveragedPerceptron, OrdinalPerceptron};
 pub use pools::{PoolId, PoolRegistry};

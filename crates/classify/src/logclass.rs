@@ -30,7 +30,10 @@ pub struct LogClassConfig {
 
 impl Default for LogClassConfig {
     fn default() -> Self {
-        LogClassConfig { feature_dim: 256, epochs: 5 }
+        LogClassConfig {
+            feature_dim: 256,
+            epochs: 5,
+        }
     }
 }
 
@@ -254,10 +257,12 @@ mod tests {
 
     #[test]
     fn learns_to_separate_report_families() {
-        let net: Vec<AnomalyReport> =
-            (0..20).map(|i| report(&[1, 2, 3], &format!("eth{i}"))).collect();
-        let disk: Vec<AnomalyReport> =
-            (0..20).map(|i| report(&[7, 8, 9], &format!("sda{i}"))).collect();
+        let net: Vec<AnomalyReport> = (0..20)
+            .map(|i| report(&[1, 2, 3], &format!("eth{i}")))
+            .collect();
+        let disk: Vec<AnomalyReport> = (0..20)
+            .map(|i| report(&[7, 8, 9], &format!("sda{i}")))
+            .collect();
         let mut reports: Vec<&AnomalyReport> = Vec::new();
         let mut labels: Vec<u8> = Vec::new();
         for r in &net {

@@ -22,7 +22,11 @@ pub struct AveragedPerceptron<C: std::hash::Hash + Eq + Copy> {
 
 impl<C: std::hash::Hash + Eq + Copy> AveragedPerceptron<C> {
     pub fn new(dim: usize) -> Self {
-        AveragedPerceptron { dim, weights: HashMap::new(), updates: 0 }
+        AveragedPerceptron {
+            dim,
+            weights: HashMap::new(),
+            updates: 0,
+        }
     }
 
     /// Make sure a class exists (zero-initialized).

@@ -50,7 +50,11 @@ impl PoolRegistry {
         if id == Self::DEFAULT {
             return false;
         }
-        match self.pools.iter_mut().find(|(pid, _, active)| *pid == id && *active) {
+        match self
+            .pools
+            .iter_mut()
+            .find(|(pid, _, active)| *pid == id && *active)
+        {
             Some(entry) => {
                 entry.2 = false;
                 true
@@ -109,7 +113,11 @@ mod tests {
         assert!(r.delete(net));
         assert!(!r.is_active(net));
         assert!(r.is_active(sec));
-        assert_eq!(r.name(net), Some("network"), "deleted pools keep their name");
+        assert_eq!(
+            r.name(net),
+            Some("network"),
+            "deleted pools keep their name"
+        );
     }
 
     #[test]

@@ -13,20 +13,36 @@
 //! selects the header layout (default `dash`, the Fig. 2 format). The
 //! logic lives here (unit-testable); `src/bin/monilog.rs` is a thin shell.
 
-use crate::{DetectorChoice, MoniLog, MoniLogConfig, WindowPolicy};
+use crate::{DetectorChoice, FaultToleranceConfig, MoniLog, MoniLogConfig, WindowPolicy};
 use monilog_detect::DeepLogConfig;
 use monilog_model::{RawLog, SourceId};
 use monilog_parse::autotune::{autotune_drain, TuneGrid};
 use monilog_parse::{Drain, DrainConfig, OnlineParser};
+use monilog_stream::OverloadPolicy;
 use std::fmt::Write as _;
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CliCommand {
-    Parse { logfile: String, format: HeaderChoice },
-    Calibrate { logfile: String },
-    Train { logfile: String, checkpoint: String, format: HeaderChoice },
-    Monitor { logfile: String, checkpoint: String, format: HeaderChoice },
+    Parse {
+        logfile: String,
+        format: HeaderChoice,
+    },
+    Calibrate {
+        logfile: String,
+    },
+    Train {
+        logfile: String,
+        checkpoint: String,
+        format: HeaderChoice,
+        fault: FaultToleranceConfig,
+    },
+    Monitor {
+        logfile: String,
+        checkpoint: String,
+        format: HeaderChoice,
+        fault: FaultToleranceConfig,
+    },
     Help,
 }
 
@@ -55,14 +71,19 @@ monilog — automated log-based anomaly detection (MoniLog, ICDE 2021)
 USAGE:
     monilog parse     <logfile> [--format dash|syslog|bare]
     monilog calibrate <logfile>
-    monilog train     <logfile> --checkpoint <out> [--format ...]
-    monilog monitor   <logfile> --checkpoint <in>  [--format ...]
+    monilog train     <logfile> --checkpoint <out> [--format ...] [fault opts]
+    monilog monitor   <logfile> --checkpoint <in>  [--format ...] [fault opts]
 
   parse      discover and print the log templates of <logfile>
   calibrate  auto-parametrize the parser on <logfile> (no labels needed)
   train      fit the anomaly detector on <logfile> (assumed normal) and
              write a restartable checkpoint
   monitor    restore a checkpoint and report anomalies found in <logfile>
+
+fault-tolerance options (streaming deployments):
+  --on-overload block|shed|dead-letter   submit() behaviour when saturated
+  --max-retries <n>                      parse retries before quarantine
+  --heartbeat-ms <n>                     worker heartbeat / supervisor poll
 ";
 
 /// Parse argv (without the program name).
@@ -70,13 +91,13 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     let mut positional = Vec::new();
     let mut checkpoint: Option<String> = None;
     let mut format = HeaderChoice::default();
+    let mut fault = FaultToleranceConfig::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--checkpoint" => {
                 i += 1;
-                checkpoint =
-                    Some(args.get(i).ok_or("--checkpoint needs a path")?.clone());
+                checkpoint = Some(args.get(i).ok_or("--checkpoint needs a path")?.clone());
             }
             "--format" => {
                 i += 1;
@@ -86,6 +107,29 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                     Some("bare") => HeaderChoice::Bare,
                     other => return Err(format!("unknown --format {other:?}")),
                 };
+            }
+            "--on-overload" => {
+                i += 1;
+                let value = args.get(i).ok_or("--on-overload needs a policy")?;
+                fault.on_overload = OverloadPolicy::parse(value)?;
+            }
+            "--max-retries" => {
+                i += 1;
+                let value = args.get(i).ok_or("--max-retries needs a count")?;
+                fault.max_retries = value
+                    .parse()
+                    .map_err(|_| format!("invalid --max-retries {value:?}"))?;
+            }
+            "--heartbeat-ms" => {
+                i += 1;
+                let value = args.get(i).ok_or("--heartbeat-ms needs milliseconds")?;
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --heartbeat-ms {value:?}"))?;
+                if ms == 0 {
+                    return Err("--heartbeat-ms must be at least 1".to_string());
+                }
+                fault.heartbeat_ms = ms;
             }
             "--help" | "-h" => return Ok(CliCommand::Help),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
@@ -107,11 +151,13 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             logfile: positional.next().ok_or("train needs a <logfile>")?,
             checkpoint: checkpoint.ok_or("train needs --checkpoint <out>")?,
             format,
+            fault,
         }),
         "monitor" => Ok(CliCommand::Monitor {
             logfile: positional.next().ok_or("monitor needs a <logfile>")?,
             checkpoint: checkpoint.ok_or("monitor needs --checkpoint <in>")?,
             format,
+            fault,
         }),
         "help" => Ok(CliCommand::Help),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
@@ -119,8 +165,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
 }
 
 fn read_lines(path: &str) -> Result<Vec<String>, String> {
-    let content =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Ok(content
         .lines()
         .filter(|l| !l.trim().is_empty())
@@ -128,16 +173,20 @@ fn read_lines(path: &str) -> Result<Vec<String>, String> {
         .collect())
 }
 
-fn pipeline_config(format: HeaderChoice) -> MoniLogConfig {
+fn pipeline_config(format: HeaderChoice, fault: FaultToleranceConfig) -> MoniLogConfig {
     MoniLogConfig {
         header_format: format.to_config(),
-        window: WindowPolicy::Session { idle_ms: 30_000, max_events: 128 },
+        window: WindowPolicy::Session {
+            idle_ms: 30_000,
+            max_events: 128,
+        },
         detector: DetectorChoice::DeepLog(DeepLogConfig {
             history: 8,
             top_g: 3,
             epochs: 3,
             ..DeepLogConfig::default()
         }),
+        fault_tolerance: fault,
         ..MoniLogConfig::default()
     }
 }
@@ -186,11 +235,20 @@ pub fn run(command: CliCommand) -> Result<String, String> {
             let _ = writeln!(out, "  depth            = {}", c.depth);
             let _ = writeln!(out, "  sim_threshold    = {}", c.sim_threshold);
             let _ = writeln!(out, "  masking          = {:?}", c.mask);
-            let _ = writeln!(out, "  quality estimate = {:.3}", result.best.report.quality);
+            let _ = writeln!(
+                out,
+                "  quality estimate = {:.3}",
+                result.best.report.quality
+            );
         }
-        CliCommand::Train { logfile, checkpoint, format } => {
+        CliCommand::Train {
+            logfile,
+            checkpoint,
+            format,
+            fault,
+        } => {
             let lines = read_lines(&logfile)?;
-            let mut monilog = MoniLog::new(pipeline_config(format));
+            let mut monilog = MoniLog::new(pipeline_config(format, fault));
             for (i, line) in lines.iter().enumerate() {
                 monilog.ingest_training(&RawLog::new(SourceId(0), i as u64, line.clone()));
             }
@@ -207,10 +265,15 @@ pub fn run(command: CliCommand) -> Result<String, String> {
                 blob.len()
             );
         }
-        CliCommand::Monitor { logfile, checkpoint, format } => {
-            let blob = std::fs::read(&checkpoint)
-                .map_err(|e| format!("cannot read {checkpoint}: {e}"))?;
-            let mut monilog = MoniLog::restore(pipeline_config(format), &blob)
+        CliCommand::Monitor {
+            logfile,
+            checkpoint,
+            format,
+            fault,
+        } => {
+            let blob =
+                std::fs::read(&checkpoint).map_err(|e| format!("cannot read {checkpoint}: {e}"))?;
+            let mut monilog = MoniLog::restore(pipeline_config(format, fault), &blob)
                 .map_err(|e| format!("invalid checkpoint: {e}"))?;
             let lines = read_lines(&logfile)?;
             let mut anomalies = Vec::new();
@@ -289,22 +352,77 @@ mod tests {
     fn arg_parsing() {
         assert_eq!(
             parse_args(&args(&["parse", "app.log"])).unwrap(),
-            CliCommand::Parse { logfile: "app.log".into(), format: HeaderChoice::Dash }
+            CliCommand::Parse {
+                logfile: "app.log".into(),
+                format: HeaderChoice::Dash
+            }
         );
         assert_eq!(
-            parse_args(&args(&["train", "app.log", "--checkpoint", "m.bin", "--format", "syslog"]))
-                .unwrap(),
+            parse_args(&args(&[
+                "train",
+                "app.log",
+                "--checkpoint",
+                "m.bin",
+                "--format",
+                "syslog"
+            ]))
+            .unwrap(),
             CliCommand::Train {
                 logfile: "app.log".into(),
                 checkpoint: "m.bin".into(),
                 format: HeaderChoice::Syslog,
+                fault: FaultToleranceConfig::default(),
             }
         );
         assert_eq!(parse_args(&args(&["--help"])).unwrap(), CliCommand::Help);
-        assert!(parse_args(&args(&["train", "x.log"])).is_err(), "missing --checkpoint");
+        assert!(
+            parse_args(&args(&["train", "x.log"])).is_err(),
+            "missing --checkpoint"
+        );
         assert!(parse_args(&args(&["frobnicate"])).is_err());
         assert!(parse_args(&args(&["parse", "x", "--format", "exotic"])).is_err());
         assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn fault_tolerance_flags_parse() {
+        let parsed = parse_args(&args(&[
+            "monitor",
+            "app.log",
+            "--checkpoint",
+            "m.bin",
+            "--on-overload",
+            "shed",
+            "--max-retries",
+            "5",
+            "--heartbeat-ms",
+            "50",
+        ]))
+        .unwrap();
+        match parsed {
+            CliCommand::Monitor { fault, .. } => {
+                assert_eq!(fault.on_overload, OverloadPolicy::ShedToCatchAll);
+                assert_eq!(fault.max_retries, 5);
+                assert_eq!(fault.heartbeat_ms, 50);
+            }
+            other => panic!("expected Monitor, got {other:?}"),
+        }
+        assert!(parse_args(&args(&["parse", "x", "--on-overload", "explode"])).is_err());
+        assert!(parse_args(&args(&["parse", "x", "--max-retries", "many"])).is_err());
+        assert!(parse_args(&args(&["parse", "x", "--heartbeat-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn fault_flags_reach_the_supervisor_config() {
+        let fault = FaultToleranceConfig {
+            on_overload: OverloadPolicy::DeadLetter,
+            max_retries: 7,
+            heartbeat_ms: 40,
+        };
+        let sup = pipeline_config(HeaderChoice::Dash, fault).supervisor_config();
+        assert_eq!(sup.overload, OverloadPolicy::DeadLetter);
+        assert_eq!(sup.retry.max_retries, 7);
+        assert_eq!(sup.heartbeat_interval, std::time::Duration::from_millis(40));
     }
 
     #[test]
@@ -363,6 +481,7 @@ mod tests {
             logfile: train_file.to_string_lossy().into_owned(),
             checkpoint: ckpt.to_string_lossy().into_owned(),
             format: HeaderChoice::Dash,
+            fault: FaultToleranceConfig::default(),
         })
         .expect("training succeeds");
         assert!(report.contains("trained on"), "{report}");
@@ -372,10 +491,14 @@ mod tests {
             logfile: live_file.to_string_lossy().into_owned(),
             checkpoint: ckpt.to_string_lossy().into_owned(),
             format: HeaderChoice::Dash,
+            fault: FaultToleranceConfig::default(),
         })
         .expect("monitoring succeeds");
         assert!(report.contains("anomalies"), "{report}");
-        assert!(report.contains("sequential anomaly"), "anomalies found: {report}");
+        assert!(
+            report.contains("sequential anomaly"),
+            "anomalies found: {report}"
+        );
     }
 
     #[test]
@@ -411,6 +534,7 @@ mod tests {
             logfile: "/x.log".into(),
             checkpoint: "/definitely/not/here.mlcp".into(),
             format: HeaderChoice::Dash,
+            fault: FaultToleranceConfig::default(),
         })
         .unwrap_err();
         assert!(err.contains("cannot read"), "{err}");

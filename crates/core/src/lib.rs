@@ -20,7 +20,10 @@ pub mod cli;
 mod pipeline;
 pub mod windowing;
 
-pub use pipeline::{ClassifiedAnomaly, DetectorChoice, HeaderFormatChoice, MoniLog, MoniLogConfig};
+pub use pipeline::{
+    ClassifiedAnomaly, DetectorChoice, FaultToleranceConfig, HeaderFormatChoice, MoniLog,
+    MoniLogConfig,
+};
 pub use windowing::WindowPolicy;
 
 // Re-export the component crates so downstream users (and the examples)

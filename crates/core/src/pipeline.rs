@@ -5,8 +5,8 @@ use monilog_classify::{AnomalyClassifier, Assignment, PoolId};
 use monilog_detect::{
     CoOccurrenceDetector, CoOccurrenceDetectorConfig, DeepLog, DeepLogConfig, Detector,
     InvariantDetector, InvariantDetectorConfig, LogAnomaly, LogAnomalyConfig, LogClusterDetector,
-    LogClusterDetectorConfig, LogRobust, LogRobustConfig, PcaDetector, PcaDetectorConfig,
-    TrainSet, Window,
+    LogClusterDetectorConfig, LogRobust, LogRobustConfig, PcaDetector, PcaDetectorConfig, TrainSet,
+    Window,
 };
 use monilog_model::codec::{CodecError, Decoder, Encoder};
 use monilog_model::{
@@ -47,6 +47,34 @@ pub struct MoniLogConfig {
     pub dedup_window: usize,
     pub window: WindowPolicy,
     pub detector: DetectorChoice,
+    /// Knobs for the supervised streaming deployment shape
+    /// ([`monilog_stream::SupervisedParseService`]); the sequential facade
+    /// ignores them.
+    pub fault_tolerance: FaultToleranceConfig,
+}
+
+/// Fault-tolerance knobs surfaced through the CLI (`--on-overload`,
+/// `--max-retries`, `--heartbeat-ms`); everything else in
+/// [`monilog_stream::SupervisorConfig`] keeps its default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultToleranceConfig {
+    /// What `submit()` does when the pipeline is saturated.
+    pub on_overload: monilog_stream::OverloadPolicy,
+    /// Parse retries before a panicking line is quarantined.
+    pub max_retries: u32,
+    /// Worker heartbeat / supervisor poll interval, in milliseconds.
+    pub heartbeat_ms: u64,
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> Self {
+        let defaults = monilog_stream::SupervisorConfig::default();
+        FaultToleranceConfig {
+            on_overload: defaults.overload,
+            max_retries: defaults.retry.max_retries,
+            heartbeat_ms: defaults.heartbeat_interval.as_millis() as u64,
+        }
+    }
 }
 
 /// `HeaderFormat` is not `Copy`; this mirror is, keeping the config plain
@@ -76,8 +104,32 @@ impl Default for MoniLogConfig {
             drain: DrainConfig::default(),
             reorder_bound_ms: 1_000,
             dedup_window: 65_536,
-            window: WindowPolicy::Session { idle_ms: 30_000, max_events: 256 },
+            window: WindowPolicy::Session {
+                idle_ms: 30_000,
+                max_events: 256,
+            },
             detector: DetectorChoice::DeepLog(DeepLogConfig::default()),
+            fault_tolerance: FaultToleranceConfig::default(),
+        }
+    }
+}
+
+impl MoniLogConfig {
+    /// The supervisor configuration this pipeline config implies: the
+    /// entry point for deploying the parsing stage as a
+    /// [`monilog_stream::SupervisedParseService`] instead of the inline
+    /// sequential parser.
+    pub fn supervisor_config(&self) -> monilog_stream::SupervisorConfig {
+        let ft = self.fault_tolerance;
+        monilog_stream::SupervisorConfig {
+            drain: self.drain,
+            overload: ft.on_overload,
+            retry: monilog_stream::RetryPolicy {
+                max_retries: ft.max_retries,
+                ..monilog_stream::RetryPolicy::default()
+            },
+            heartbeat_interval: std::time::Duration::from_millis(ft.heartbeat_ms.max(1)),
+            ..monilog_stream::SupervisorConfig::default()
         }
     }
 }
@@ -449,7 +501,9 @@ impl MoniLog {
             return Vec::new();
         }
         // Templates keep evolving; refresh the semantic detectors' view.
-        self.detector.as_dyn_mut().update_templates(self.parser.store());
+        self.detector
+            .as_dyn_mut()
+            .update_templates(self.parser.store());
         let mut out = Vec::new();
         for c in closed {
             let detector = self.detector.as_dyn();
@@ -486,17 +540,15 @@ impl MoniLog {
 fn derive_session(variables: &[String]) -> Option<SessionKey> {
     variables
         .iter()
-        .find(|v| {
-            match v.split_once('_') {
-                Some((prefix, digits)) => {
-                    !prefix.is_empty()
-                        && prefix.bytes().all(|b| b.is_ascii_alphanumeric())
-                        && prefix.bytes().any(|b| b.is_ascii_alphabetic())
-                        && !digits.is_empty()
-                        && digits.bytes().all(|b| b.is_ascii_digit())
-                }
-                None => false,
+        .find(|v| match v.split_once('_') {
+            Some((prefix, digits)) => {
+                !prefix.is_empty()
+                    && prefix.bytes().all(|b| b.is_ascii_alphanumeric())
+                    && prefix.bytes().any(|b| b.is_ascii_alphabetic())
+                    && !digits.is_empty()
+                    && digits.bytes().all(|b| b.is_ascii_digit())
             }
+            None => false,
         })
         .map(|v| SessionKey(v.clone()))
 }
@@ -507,7 +559,11 @@ mod tests {
 
     #[test]
     fn derive_session_recognizes_flow_keys() {
-        let vars = vec!["10.0.0.1".to_string(), "blk_1234".to_string(), "42".to_string()];
+        let vars = vec![
+            "10.0.0.1".to_string(),
+            "blk_1234".to_string(),
+            "42".to_string(),
+        ];
         assert_eq!(derive_session(&vars), Some(SessionKey("blk_1234".into())));
         assert_eq!(derive_session(&["10.0.0.1".to_string()]), None);
         assert_eq!(derive_session(&["_123".to_string()]), None);
@@ -547,7 +603,10 @@ mod tests {
             DetectorChoice::LogClustering(LogClusterDetectorConfig::default()),
             DetectorChoice::CoOccurrence(CoOccurrenceDetectorConfig::default()),
         ] {
-            let m = MoniLog::new(MoniLogConfig { detector: choice, ..MoniLogConfig::default() });
+            let m = MoniLog::new(MoniLogConfig {
+                detector: choice,
+                ..MoniLogConfig::default()
+            });
             assert!(!m.is_trained());
         }
     }
@@ -600,7 +659,11 @@ mod tests {
             ..MoniLogConfig::default()
         });
         for i in 0..20u64 {
-            m.ingest_training(&RawLog::new(SourceId(0), i, format!("bare message number m{i}")));
+            m.ingest_training(&RawLog::new(
+                SourceId(0),
+                i,
+                format!("bare message number m{i}"),
+            ));
         }
         m.train();
         assert!(m.is_trained());

@@ -46,7 +46,11 @@ impl WindowAssembler {
         if let WindowPolicy::Tumbling { size } = policy {
             assert!(size >= 1, "tumbling windows need size >= 1");
         }
-        WindowAssembler { policy, sessions: HashMap::new(), buffer: Vec::new() }
+        WindowAssembler {
+            policy,
+            sessions: HashMap::new(),
+            buffer: Vec::new(),
+        }
     }
 
     /// Number of currently open sessions / buffered events.
@@ -66,7 +70,10 @@ impl WindowAssembler {
                     closed.push(Self::close(std::mem::take(&mut self.buffer)));
                 }
             }
-            WindowPolicy::Session { idle_ms, max_events } => {
+            WindowPolicy::Session {
+                idle_ms,
+                max_events,
+            } => {
                 match event.session.clone() {
                     Some(key) => {
                         let entry = self
@@ -76,8 +83,7 @@ impl WindowAssembler {
                         entry.0.push(event);
                         entry.1 = now;
                         if entry.0.len() >= max_events {
-                            let (events, _) =
-                                self.sessions.remove(&key.0).expect("just filled");
+                            let (events, _) = self.sessions.remove(&key.0).expect("just filled");
                             closed.push(Self::close(events));
                         }
                     }
@@ -123,7 +129,10 @@ impl WindowAssembler {
     fn close(events: Vec<LogEvent>) -> ClosedWindow {
         let window = Window {
             sequence: events.iter().map(|e| e.template.0).collect(),
-            numerics: events.iter().map(|e| e.numeric_values().collect()).collect(),
+            numerics: events
+                .iter()
+                .map(|e| e.numeric_values().collect())
+                .collect(),
         };
         ClosedWindow { window, events }
     }
@@ -160,7 +169,10 @@ mod tests {
 
     #[test]
     fn sessions_close_on_idle() {
-        let mut a = WindowAssembler::new(WindowPolicy::Session { idle_ms: 100, max_events: 100 });
+        let mut a = WindowAssembler::new(WindowPolicy::Session {
+            idle_ms: 100,
+            max_events: 100,
+        });
         a.push(event(0, 0, Some("s1")));
         a.push(event(50, 1, Some("s1")));
         // A much later event on another session expires s1.
@@ -172,7 +184,10 @@ mod tests {
 
     #[test]
     fn sessions_close_on_max_events() {
-        let mut a = WindowAssembler::new(WindowPolicy::Session { idle_ms: 1_000_000, max_events: 2 });
+        let mut a = WindowAssembler::new(WindowPolicy::Session {
+            idle_ms: 1_000_000,
+            max_events: 2,
+        });
         assert!(a.push(event(1, 0, Some("s"))).is_empty());
         let closed = a.push(event(2, 1, Some("s")));
         assert_eq!(closed.len(), 1);
@@ -181,7 +196,10 @@ mod tests {
 
     #[test]
     fn interleaved_sessions_stay_separate() {
-        let mut a = WindowAssembler::new(WindowPolicy::Session { idle_ms: 1_000, max_events: 100 });
+        let mut a = WindowAssembler::new(WindowPolicy::Session {
+            idle_ms: 1_000,
+            max_events: 100,
+        });
         a.push(event(1, 0, Some("a")));
         a.push(event(2, 10, Some("b")));
         a.push(event(3, 1, Some("a")));
@@ -195,7 +213,10 @@ mod tests {
 
     #[test]
     fn sessionless_events_fall_back_to_buffer() {
-        let mut a = WindowAssembler::new(WindowPolicy::Session { idle_ms: 100, max_events: 2 });
+        let mut a = WindowAssembler::new(WindowPolicy::Session {
+            idle_ms: 100,
+            max_events: 2,
+        });
         assert!(a.push(event(1, 0, None)).is_empty());
         let closed = a.push(event(2, 1, None));
         assert_eq!(closed.len(), 1);
@@ -203,7 +224,10 @@ mod tests {
 
     #[test]
     fn flush_is_deterministic_and_complete() {
-        let mut a = WindowAssembler::new(WindowPolicy::Session { idle_ms: 1_000, max_events: 100 });
+        let mut a = WindowAssembler::new(WindowPolicy::Session {
+            idle_ms: 1_000,
+            max_events: 100,
+        });
         for (i, s) in ["z", "a", "m"].iter().enumerate() {
             a.push(event(i as u64, i as u32, Some(s)));
         }

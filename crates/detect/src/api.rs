@@ -53,12 +53,20 @@ pub struct TrainSet {
 impl TrainSet {
     /// All-normal training data (the anomaly-free regime of experiment P1).
     pub fn unlabeled(windows: Vec<Window>) -> Self {
-        TrainSet { windows, labels: None, templates: None }
+        TrainSet {
+            windows,
+            labels: None,
+            templates: None,
+        }
     }
 
     pub fn labeled(windows: Vec<Window>, labels: Vec<bool>) -> Self {
         assert_eq!(windows.len(), labels.len(), "one label per window");
-        TrainSet { windows, labels: Some(labels), templates: None }
+        TrainSet {
+            windows,
+            labels: Some(labels),
+            templates: None,
+        }
     }
 
     /// Attach the parser's template store (builder style).

@@ -136,7 +136,10 @@ impl Detector for CoOccurrenceDetector {
 
     fn fit(&mut self, train: &TrainSet) {
         let normal = train.normal_windows();
-        assert!(!normal.is_empty(), "co-occurrence mining needs training windows");
+        assert!(
+            !normal.is_empty(),
+            "co-occurrence mining needs training windows"
+        );
         self.pair_max_joint.clear();
         self.n_windows = normal.len() as f64;
         let mut template_counts: HashMap<u32, usize> = HashMap::new();
@@ -208,7 +211,11 @@ mod tests {
         let train = train_set();
         d.fit(&train);
         for w in &train.windows {
-            assert!(!d.predict(w), "training window flagged, surprise {}", d.score(w));
+            assert!(
+                !d.predict(w),
+                "training window flagged, surprise {}",
+                d.score(w)
+            );
         }
         // A fresh window with only template 5 (rare but known) passes.
         assert!(!d.predict(&Window::from_ids(vec![0, 1, 5, 0])));
@@ -267,7 +274,10 @@ mod tests {
         d.fit(&TrainSet::unlabeled(windows));
         let common = d.score(&Window::from_ids(vec![0, 2, 3]));
         let rare = d.score(&Window::from_ids(vec![0, 4, 5]));
-        assert!(rare > common, "rarer pair must be more surprising: {rare} vs {common}");
+        assert!(
+            rare > common,
+            "rarer pair must be more surprising: {rare} vs {common}"
+        );
     }
 
     #[test]
@@ -311,7 +321,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "needs training windows")]
     fn empty_training_rejected() {
-        CoOccurrenceDetector::new(CoOccurrenceDetectorConfig::default())
-            .fit(&TrainSet::default());
+        CoOccurrenceDetector::new(CoOccurrenceDetectorConfig::default()).fit(&TrainSet::default());
     }
 }

@@ -65,7 +65,11 @@ impl InvariantDetector {
     pub fn new(config: InvariantDetectorConfig) -> Self {
         assert!((0.0..=1.0).contains(&config.min_support));
         assert!(config.max_coefficient >= 1);
-        InvariantDetector { config, dim: 2, invariants: Vec::new() }
+        InvariantDetector {
+            config,
+            dim: 2,
+            invariants: Vec::new(),
+        }
     }
 
     /// The mined invariants (exposed for the ablation bench / debugging).
@@ -86,7 +90,10 @@ impl Detector for InvariantDetector {
 
     fn fit(&mut self, train: &TrainSet) {
         let normal = train.normal_windows();
-        assert!(!normal.is_empty(), "invariant mining needs training windows");
+        assert!(
+            !normal.is_empty(),
+            "invariant mining needs training windows"
+        );
         self.dim = train.max_template_id().map(|m| m as usize + 2).unwrap_or(2);
         let vectors: Vec<Vec<f64>> = normal.iter().map(|w| count_vector(w, self.dim)).collect();
 
@@ -110,7 +117,9 @@ impl Detector for InvariantDetector {
                         if gcd(a, b) != 1 {
                             continue;
                         }
-                        let candidate = Invariant { terms: vec![(i, a), (j, -b)] };
+                        let candidate = Invariant {
+                            terms: vec![(i, a), (j, -b)],
+                        };
                         if self.support(&candidate, &vectors) >= self.config.min_support {
                             self.invariants.push(candidate);
                             break 'coeffs; // one invariant per pair suffices
@@ -133,12 +142,16 @@ impl Detector for InvariantDetector {
                         continue;
                     }
                     let covered = self.invariants.iter().any(|inv| {
-                        inv.terms.iter().all(|(id, _)| *id == i || *id == j || *id == k)
+                        inv.terms
+                            .iter()
+                            .all(|(id, _)| *id == i || *id == j || *id == k)
                     });
                     if covered {
                         continue;
                     }
-                    let candidate = Invariant { terms: vec![(i, 1), (j, -1), (k, -1)] };
+                    let candidate = Invariant {
+                        terms: vec![(i, 1), (j, -1), (k, -1)],
+                    };
                     if self.support(&candidate, &vectors) >= self.config.min_support {
                         self.invariants.push(candidate);
                     }

@@ -22,7 +22,10 @@ pub struct LogClusterDetectorConfig {
 
 impl Default for LogClusterDetectorConfig {
     fn default() -> Self {
-        LogClusterDetectorConfig { merge_distance: 0.10, threshold_quantile: 0.995 }
+        LogClusterDetectorConfig {
+            merge_distance: 0.10,
+            threshold_quantile: 0.995,
+        }
     }
 }
 
@@ -44,7 +47,12 @@ fn cosine_distance(a: &[f64], b: &[f64]) -> f64 {
 impl LogClusterDetector {
     pub fn new(config: LogClusterDetectorConfig) -> Self {
         assert!((0.0..=2.0).contains(&config.merge_distance));
-        LogClusterDetector { config, dim: 2, representatives: Vec::new(), threshold: f64::MAX }
+        LogClusterDetector {
+            config,
+            dim: 2,
+            representatives: Vec::new(),
+            threshold: f64::MAX,
+        }
     }
 
     /// Number of normal-behaviour clusters found (diagnostics).
@@ -108,7 +116,8 @@ impl Detector for LogClusterDetector {
 
         let mut distances: Vec<f64> = vectors.iter().map(|v| self.nearest_distance(v)).collect();
         distances.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let idx = ((distances.len() as f64 - 1.0) * self.config.threshold_quantile).round() as usize;
+        let idx =
+            ((distances.len() as f64 - 1.0) * self.config.threshold_quantile).round() as usize;
         self.threshold = (distances[idx.min(distances.len() - 1)] * 1.5)
             .max(self.config.merge_distance * 0.5)
             .max(1e-6);

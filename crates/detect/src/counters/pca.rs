@@ -24,7 +24,10 @@ pub struct PcaDetectorConfig {
 
 impl Default for PcaDetectorConfig {
     fn default() -> Self {
-        PcaDetectorConfig { variance_kept: 0.95, threshold_quantile: 0.995 }
+        PcaDetectorConfig {
+            variance_kept: 0.95,
+            threshold_quantile: 0.995,
+        }
     }
 }
 
@@ -43,7 +46,13 @@ impl PcaDetector {
     pub fn new(config: PcaDetectorConfig) -> Self {
         assert!((0.0..=1.0).contains(&config.variance_kept));
         assert!((0.0..=1.0).contains(&config.threshold_quantile));
-        PcaDetector { config, dim: 2, mean: Vec::new(), components: Vec::new(), threshold: f64::MAX }
+        PcaDetector {
+            config,
+            dim: 2,
+            mean: Vec::new(),
+            components: Vec::new(),
+            threshold: f64::MAX,
+        }
     }
 
     fn spe(&self, window: &Window) -> f64 {
@@ -66,6 +75,7 @@ impl Detector for PcaDetector {
         "PCA"
     }
 
+    #[allow(clippy::needless_range_loop)] // triangular covariance accumulation
     fn fit(&mut self, train: &TrainSet) {
         let normal = train.normal_windows();
         assert!(!normal.is_empty(), "PCA needs at least one training window");
@@ -156,7 +166,11 @@ mod tests {
         let train = train_set();
         d.fit(&train);
         for w in &train.windows {
-            assert!(!d.predict(w), "training-like window flagged: SPE {}", d.score(w));
+            assert!(
+                !d.predict(w),
+                "training-like window flagged: SPE {}",
+                d.score(w)
+            );
         }
     }
 
@@ -166,7 +180,12 @@ mod tests {
         d.fit(&train_set());
         // Massive burst of a known event.
         let burst = Window::from_ids(vec![0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2]);
-        assert!(d.predict(&burst), "SPE {} <= {}", d.score(&burst), d.threshold());
+        assert!(
+            d.predict(&burst),
+            "SPE {} <= {}",
+            d.score(&burst),
+            d.threshold()
+        );
         // Unseen template id (folds into the unseen bucket).
         let unseen = Window::from_ids(vec![0, 1, 99, 99, 99, 2]);
         assert!(d.predict(&unseen));

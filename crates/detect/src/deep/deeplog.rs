@@ -205,9 +205,15 @@ impl DeepLog {
         );
         let mut g = Graph::new();
         let embedded = emb.forward(&mut g, &self.params, window);
-        let xs: Vec<Var> = (0..window.len()).map(|t| g.select_row(embedded, t)).collect();
+        let xs: Vec<Var> = (0..window.len())
+            .map(|t| g.select_row(embedded, t))
+            .collect();
         let states = lstm.run(&mut g, &self.params, &xs);
-        let logits = head.forward(&mut g, &self.params, states.last().expect("nonempty window").h);
+        let logits = head.forward(
+            &mut g,
+            &self.params,
+            states.last().expect("nonempty window").h,
+        );
         let probs = g.row_softmax(logits);
         let row = g.value(probs);
         (0..row.cols).map(|c| row.get(0, c)).collect()
@@ -314,8 +320,18 @@ impl DeepLog {
             config.embedding_dim,
             &mut rng,
         );
-        let lstm = Lstm::new(&mut detector.params, config.embedding_dim, config.hidden, &mut rng);
-        let head = Dense::new(&mut detector.params, config.hidden, detector.vocab, &mut rng);
+        let lstm = Lstm::new(
+            &mut detector.params,
+            config.embedding_dim,
+            config.hidden,
+            &mut rng,
+        );
+        let head = Dense::new(
+            &mut detector.params,
+            config.hidden,
+            detector.vocab,
+            &mut rng,
+        );
         let n = d.get_len()?;
         let mut matrices = Vec::with_capacity(n);
         for _ in 0..n {
@@ -339,7 +355,11 @@ impl DeepLog {
         for _ in 0..n {
             let id = d.get_u32()?;
             let slot = d.get_u32()? as usize;
-            let stats = ValueStats { n: d.get_f64()?, mean: d.get_f64()?, m2: d.get_f64()? };
+            let stats = ValueStats {
+                n: d.get_f64()?,
+                mean: d.get_f64()?,
+                m2: d.get_f64()?,
+            };
             detector.value_stats.insert((id, slot), stats);
         }
         if !d.is_exhausted() {
@@ -351,7 +371,10 @@ impl DeepLog {
     /// `(sequential, quantitative)` violation counts — lets the pipeline
     /// label the anomaly kind of a report (Table I's two categories).
     pub fn violation_breakdown(&self, window: &Window) -> (usize, usize) {
-        (self.sequence_violations(window), self.value_violations(window))
+        (
+            self.sequence_violations(window),
+            self.value_violations(window),
+        )
     }
 
     /// Count of sequential violations (events outside top-g or below the
@@ -475,7 +498,15 @@ impl ValueLstm {
             opt.step(&mut params);
         }
 
-        let mut model = ValueLstm { params, lstm, head, mean, std, error_std: 0.0, context };
+        let mut model = ValueLstm {
+            params,
+            lstm,
+            head,
+            mean,
+            std,
+            error_std: 0.0,
+            context,
+        };
         // Calibrate the prediction-error interval on the training stream.
         let mut errors = Vec::new();
         for i in context..norm.len() {
@@ -483,7 +514,10 @@ impl ValueLstm {
             errors.push(pred - norm[i]);
         }
         let e_mean = errors.iter().sum::<f64>() / errors.len() as f64;
-        let e_var = errors.iter().map(|e| (e - e_mean) * (e - e_mean)).sum::<f64>()
+        let e_var = errors
+            .iter()
+            .map(|e| (e - e_mean) * (e - e_mean))
+            .sum::<f64>()
             / errors.len() as f64;
         model.error_std = e_var.sqrt().max(0.05);
         Some(model)
@@ -496,9 +530,11 @@ impl ValueLstm {
             .map(|&x| g.input(Matrix::from_vec(1, 1, vec![x])))
             .collect();
         let states = self.lstm.run(&mut g, &self.params, &xs);
-        let pred = self
-            .head
-            .forward(&mut g, &self.params, states.last().expect("nonempty context").h);
+        let pred = self.head.forward(
+            &mut g,
+            &self.params,
+            states.last().expect("nonempty context").h,
+        );
         g.value(pred).get(0, 0)
     }
 
@@ -536,7 +572,12 @@ impl Detector for DeepLog {
 
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         self.params = ParamSet::new();
-        let emb = Embedding::new(&mut self.params, self.vocab, self.config.embedding_dim, &mut rng);
+        let emb = Embedding::new(
+            &mut self.params,
+            self.vocab,
+            self.config.embedding_dim,
+            &mut rng,
+        );
         let lstm = Lstm::new(
             &mut self.params,
             self.config.embedding_dim,
@@ -772,7 +813,11 @@ mod tests {
             },
         ];
         for w in &probes {
-            assert_eq!(d.score(w), restored.score(w), "scores diverged after restore");
+            assert_eq!(
+                d.score(w),
+                restored.score(w),
+                "scores diverged after restore"
+            );
             assert_eq!(d.predict(w), restored.predict(w));
         }
     }
@@ -793,7 +838,10 @@ mod tests {
             windows.push(w);
         }
         d.fit(&TrainSet::unlabeled(windows));
-        assert!(d.save().is_err(), "lstm value models are not checkpointable");
+        assert!(
+            d.save().is_err(),
+            "lstm value models are not checkpointable"
+        );
     }
 
     #[test]

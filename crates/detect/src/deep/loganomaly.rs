@@ -21,8 +21,8 @@ use crate::api::{Detector, TrainSet, Window};
 use crate::semantic::TemplateVectorizer;
 use crate::window::count_vector;
 use monilog_model::codec::{CodecError, Decoder, Encoder};
-use monilog_nn::{Adam, Dense, Graph, Lstm, Matrix, Optimizer, ParamSet, Var};
 use monilog_model::{Template, TemplateStore};
+use monilog_nn::{Adam, Dense, Graph, Lstm, Matrix, Optimizer, ParamSet, Var};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -165,10 +165,7 @@ impl LogAnomaly {
             self.head.as_ref().expect("fitted"),
         );
         let mut g = Graph::new();
-        let xs: Vec<Var> = hist
-            .iter()
-            .map(|v| g.input(Matrix::row(v)))
-            .collect();
+        let xs: Vec<Var> = hist.iter().map(|v| g.input(Matrix::row(v))).collect();
         let states = lstm.run(&mut g, &self.params, &xs);
         let logits = head.forward(&mut g, &self.params, states.last().expect("h ≥ 1").h);
         let row = g.value(logits);
@@ -281,7 +278,12 @@ impl LogAnomaly {
             detector.known_vectors.insert(id, v);
         }
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let lstm = Lstm::new(&mut detector.params, config.semantic_dim, config.hidden, &mut rng);
+        let lstm = Lstm::new(
+            &mut detector.params,
+            config.semantic_dim,
+            config.hidden,
+            &mut rng,
+        );
         let head = Dense::new(
             &mut detector.params,
             config.hidden,
@@ -323,7 +325,10 @@ impl LogAnomaly {
 
     /// `(sequential, quantitative)` violation counts.
     pub fn violation_breakdown(&self, window: &Window) -> (usize, usize) {
-        (self.sequence_violations(window), self.count_violations(window))
+        (
+            self.sequence_violations(window),
+            self.count_violations(window),
+        )
     }
 
     fn sequence_violations(&self, window: &Window) -> usize {
@@ -492,7 +497,10 @@ impl Detector for LogAnomaly {
         let n = normal.len() as f64;
         let mut mean = vec![0.0; self.count_dim];
         let mut m2 = vec![0.0; self.count_dim];
-        let vectors: Vec<Vec<f64>> = normal.iter().map(|w| count_vector(w, self.count_dim)).collect();
+        let vectors: Vec<Vec<f64>> = normal
+            .iter()
+            .map(|w| count_vector(w, self.count_dim))
+            .collect();
         for v in &vectors {
             for (m, x) in mean.iter_mut().zip(v) {
                 *m += x / n;
@@ -520,7 +528,9 @@ impl Detector for LogAnomaly {
     /// Vectorize templates discovered after training so unseen ids can be
     /// semantically matched instead of flagged.
     fn update_templates(&mut self, templates: &TemplateStore) {
-        let Some(vectorizer) = &self.vectorizer else { return };
+        let Some(vectorizer) = &self.vectorizer else {
+            return;
+        };
         for t in templates.iter() {
             let id = t.id.0;
             if !self.known_vectors.contains_key(&id) {
@@ -538,8 +548,7 @@ mod tests {
     fn store_with(patterns: &[&str]) -> TemplateStore {
         let mut store = TemplateStore::new();
         for p in patterns {
-            let tokens: Vec<TemplateToken> =
-                Template::from_pattern(TemplateId(0), p).tokens;
+            let tokens: Vec<TemplateToken> = Template::from_pattern(TemplateId(0), p).tokens;
             store.intern(tokens);
         }
         store
@@ -605,7 +614,11 @@ mod tests {
         d.update_templates(&store);
         assert_eq!(d.resolve(4), Some(1), "variant not matched to its origin");
         let w = Window::from_ids(vec![0, 4, 2, 3]);
-        assert_eq!(d.sequence_violations(&w), 0, "matched variant still flagged");
+        assert_eq!(
+            d.sequence_violations(&w),
+            0,
+            "matched variant still flagged"
+        );
     }
 
     #[test]
@@ -644,12 +657,21 @@ mod tests {
             Window::from_ids(vec![0, 1, 2, 3]),
             Window::from_ids(vec![0, 3, 1, 2]),
         ] {
-            assert_eq!(d.score(&w), restored.score(&w), "diverged on {:?}", w.sequence);
+            assert_eq!(
+                d.score(&w),
+                restored.score(&w),
+                "diverged on {:?}",
+                w.sequence
+            );
         }
         // The headline: a template discovered AFTER the restart (id 4, the
         // evolved variant) still resolves to its origin.
         restored.update_templates(&store);
-        assert_eq!(restored.resolve(4), Some(1), "semantic matching lost across restart");
+        assert_eq!(
+            restored.resolve(4),
+            Some(1),
+            "semantic matching lost across restart"
+        );
         assert_eq!(
             restored.sequence_violations(&Window::from_ids(vec![0, 4, 2, 3])),
             0

@@ -159,7 +159,12 @@ impl LogRobust {
             detector.vectors.insert(id, v);
         }
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let encoder = BiLstm::new(&mut detector.params, config.semantic_dim, config.hidden, &mut rng);
+        let encoder = BiLstm::new(
+            &mut detector.params,
+            config.semantic_dim,
+            config.hidden,
+            &mut rng,
+        );
         let attention = Attention::new(
             &mut detector.params,
             2 * config.hidden,
@@ -249,7 +254,10 @@ impl Detector for LogRobust {
     }
 
     fn fit(&mut self, train: &TrainSet) {
-        assert!(!train.windows.is_empty(), "LogRobust needs training windows");
+        assert!(
+            !train.windows.is_empty(),
+            "LogRobust needs training windows"
+        );
         let store = train
             .templates
             .as_ref()
@@ -306,12 +314,7 @@ impl Detector for LogRobust {
             .min(self.config.max_windows / 2)
             .max(1);
         let mut order: Vec<usize> = (0..per_class)
-            .flat_map(|k| {
-                [
-                    normal[k % normal.len()],
-                    anomalous[k % anomalous.len()],
-                ]
-            })
+            .flat_map(|k| [normal[k % normal.len()], anomalous[k % anomalous.len()]])
             .collect();
 
         let mut opt = Adam::new(self.config.learning_rate);
@@ -331,22 +334,22 @@ impl Detector for LogRobust {
                 let t_len = steps_matrix.rows;
                 let input = g.input(steps_matrix);
                 let xs: Vec<Var> = (0..t_len).map(|t| g.select_row(input, t)).collect();
-                let encoded = self
-                    .encoder
-                    .as_ref()
-                    .expect("set above")
-                    .run(&mut g, &self.params, &xs);
+                let encoded =
+                    self.encoder
+                        .as_ref()
+                        .expect("set above")
+                        .run(&mut g, &self.params, &xs);
                 let stacked = stack_rows(&mut g, &encoded);
-                let pooled = self
-                    .attention
-                    .as_ref()
-                    .expect("set above")
-                    .forward(&mut g, &self.params, stacked);
-                let logits = self
-                    .head
-                    .as_ref()
-                    .expect("set above")
-                    .forward(&mut g, &self.params, pooled);
+                let pooled = self.attention.as_ref().expect("set above").forward(
+                    &mut g,
+                    &self.params,
+                    stacked,
+                );
+                let logits =
+                    self.head
+                        .as_ref()
+                        .expect("set above")
+                        .forward(&mut g, &self.params, pooled);
                 let target = if labels[wi] { 1 } else { 0 };
                 let loss = g.softmax_xent(logits, vec![target]);
                 g.backward(loss, &mut self.params);
@@ -370,7 +373,9 @@ impl Detector for LogRobust {
     /// Vectorize newly discovered templates so evolved statements keep
     /// scoring sensibly — LogRobust's whole point.
     fn update_templates(&mut self, templates: &TemplateStore) {
-        let Some(vectorizer) = &self.vectorizer else { return };
+        let Some(vectorizer) = &self.vectorizer else {
+            return;
+        };
         for t in templates.iter() {
             self.vectors
                 .entry(t.id.0)
@@ -490,7 +495,12 @@ mod tests {
             Window::from_ids(vec![0, 3, 1]),
             Window::from_ids(vec![0, 4, 2, 3]),
         ] {
-            assert_eq!(d.score(&w), restored.score(&w), "diverged on {:?}", w.sequence);
+            assert_eq!(
+                d.score(&w),
+                restored.score(&w),
+                "diverged on {:?}",
+                w.sequence
+            );
         }
     }
 

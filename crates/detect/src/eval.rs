@@ -147,12 +147,22 @@ mod tests {
 
     #[test]
     fn degenerate_cases() {
-        let silent = ConfusionCounts { tp: 0, fp: 0, tn: 5, fn_: 5 };
+        let silent = ConfusionCounts {
+            tp: 0,
+            fp: 0,
+            tn: 5,
+            fn_: 5,
+        };
         assert_eq!(silent.precision(), 1.0);
         assert_eq!(silent.recall(), 0.0);
         assert_eq!(silent.f1(), 0.0);
 
-        let perfect = ConfusionCounts { tp: 5, fp: 0, tn: 5, fn_: 0 };
+        let perfect = ConfusionCounts {
+            tp: 5,
+            fp: 0,
+            tn: 5,
+            fn_: 0,
+        };
         assert_eq!(perfect.f1(), 1.0);
     }
 

@@ -18,6 +18,7 @@ pub struct SymEigen {
 ///
 /// # Panics
 /// If `a` is not square or is asymmetric beyond `1e-9`.
+#[allow(clippy::needless_range_loop)] // Jacobi rotations index rows and columns
 pub fn sym_eigen(a: &[Vec<f64>]) -> SymEigen {
     let n = a.len();
     for row in a {
@@ -25,10 +26,7 @@ pub fn sym_eigen(a: &[Vec<f64>]) -> SymEigen {
     }
     for i in 0..n {
         for j in 0..i {
-            assert!(
-                (a[i][j] - a[j][i]).abs() < 1e-9,
-                "matrix must be symmetric"
-            );
+            assert!((a[i][j] - a[j][i]).abs() < 1e-9, "matrix must be symmetric");
         }
     }
     let mut m: Vec<Vec<f64>> = a.to_vec();

@@ -58,9 +58,9 @@ fn template_words(template: &Template) -> Vec<String> {
 /// Deterministic unit vector for a word (random indexing): splitmix64 over
 /// the word hash seeds a tiny generator.
 fn base_vector(word: &str, dim: usize) -> Vec<f64> {
-    let mut state = word
-        .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3));
+    let mut state = word.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
     let mut next = move || {
         state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = state;
@@ -239,7 +239,12 @@ impl TemplateVectorizer {
         if !d.is_exhausted() {
             return Err(CodecError::Corrupt("trailing bytes"));
         }
-        Ok(TemplateVectorizer { dim, word_vectors, doc_freq, n_templates: n_templates.max(1) })
+        Ok(TemplateVectorizer {
+            dim,
+            word_vectors,
+            doc_freq,
+            n_templates: n_templates.max(1),
+        })
     }
 
     /// Cosine similarity of two template vectors.
@@ -266,7 +271,10 @@ mod tests {
 
     #[test]
     fn vectors_are_unit_norm_and_fixed_dim() {
-        let (vz, templates) = fit(&["Receiving block <*> src: <*>", "Verification succeeded for <*>"]);
+        let (vz, templates) = fit(&[
+            "Receiving block <*> src: <*>",
+            "Verification succeeded for <*>",
+        ]);
         for tpl in &templates {
             let v = vz.vectorize(tpl);
             assert_eq!(v.len(), 16);
@@ -300,7 +308,9 @@ mod tests {
             "Job <*> scheduled on node <*>",
         ]);
         let orig = vz.vectorize(&t("Request <*> completed status <*> in <*> ms"));
-        let twisted = vz.vectorize(&t("Request <*> successfully completed status <*> in <*> ms"));
+        let twisted = vz.vectorize(&t(
+            "Request <*> successfully completed status <*> in <*> ms",
+        ));
         let other = vz.vectorize(&t("Job <*> scheduled on node <*>"));
         assert!(
             TemplateVectorizer::similarity(&orig, &twisted)
@@ -351,6 +361,9 @@ mod tests {
         let b = base_vector("receiving", 16);
         assert_ne!(a, b);
         let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-        assert!(dot.abs() < 0.9, "random base vectors should not be collinear");
+        assert!(
+            dot.abs() < 0.9,
+            "random base vectors should not be collinear"
+        );
     }
 }

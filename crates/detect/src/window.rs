@@ -12,7 +12,10 @@ use std::collections::HashMap;
 /// template ids; ids `>= dim - 1` (unseen at training time) fold into the
 /// last bucket, so test windows with brand-new templates still score.
 pub fn count_vector(window: &Window, dim: usize) -> Vec<f64> {
-    assert!(dim >= 2, "count vector needs at least one id bucket plus the unseen bucket");
+    assert!(
+        dim >= 2,
+        "count vector needs at least one id bucket plus the unseen bucket"
+    );
     let mut v = vec![0.0; dim];
     for &id in &window.sequence {
         let idx = (id as usize).min(dim - 1);
@@ -98,7 +101,10 @@ pub fn sliding_windows(
         return Vec::new();
     }
     if ids.len() < size {
-        return vec![Window { sequence: ids.to_vec(), numerics: numerics.to_vec() }];
+        return vec![Window {
+            sequence: ids.to_vec(),
+            numerics: numerics.to_vec(),
+        }];
     }
     let mut out = Vec::new();
     let mut start = 0;

@@ -49,7 +49,10 @@ pub fn hdfs_like(n_sessions: usize, seed: u64) -> Corpus {
         ..Default::default()
     })
     .generate();
-    Corpus { name: "hdfs_like", logs }
+    Corpus {
+        name: "hdfs_like",
+        logs,
+    }
 }
 
 /// Corpus of mixed 24-source cloud lines, no payloads.
@@ -61,7 +64,10 @@ pub fn cloud_mixed(walks_per_source: usize, seed: u64) -> Corpus {
         ..Default::default()
     })
     .generate();
-    Corpus { name: "cloud_mixed", logs }
+    Corpus {
+        name: "cloud_mixed",
+        logs,
+    }
 }
 
 /// Corpus of API-gateway traffic where every line carries a `{k=v}`
@@ -76,7 +82,10 @@ pub fn api_json(walks_per_source: usize, seed: u64) -> Corpus {
         ..Default::default()
     })
     .generate();
-    Corpus { name: "api_json", logs }
+    Corpus {
+        name: "api_json",
+        logs,
+    }
 }
 
 /// Cloud mix with 10% LogRobust-style instability.
@@ -88,9 +97,12 @@ pub fn unstable(walks_per_source: usize, seed: u64) -> Corpus {
         ..Default::default()
     })
     .generate();
-    let logs = InstabilityInjector::new(InstabilityConfig::all_kinds(0.10, seed ^ 0x5eed))
-        .apply(&base);
-    Corpus { name: "unstable", logs }
+    let logs =
+        InstabilityInjector::new(InstabilityConfig::all_kinds(0.10, seed ^ 0x5eed)).apply(&base);
+    Corpus {
+        name: "unstable",
+        logs,
+    }
 }
 
 /// The standard benchmark panel at a given scale.
@@ -112,10 +124,17 @@ mod tests {
         let panel = benchmark_panel(10, 1);
         assert_eq!(panel.len(), 4);
         let names: Vec<&str> = panel.iter().map(|c| c.name).collect();
-        assert_eq!(names, vec!["hdfs_like", "cloud_mixed", "api_json", "unstable"]);
+        assert_eq!(
+            names,
+            vec!["hdfs_like", "cloud_mixed", "api_json", "unstable"]
+        );
         for c in &panel {
             assert!(!c.logs.is_empty(), "{} is empty", c.name);
-            assert!(c.truth_template_count() >= 3, "{} too few templates", c.name);
+            assert!(
+                c.truth_template_count() >= 3,
+                "{} too few templates",
+                c.name
+            );
         }
     }
 

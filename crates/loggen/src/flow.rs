@@ -31,7 +31,11 @@ enum Piece {
     Static(String),
     /// A token containing a variable, possibly wrapped in literal text
     /// (Table I's `/{dest}` renders as `/10.250.11.53`).
-    Var { var: usize, prefix: String, suffix: String },
+    Var {
+        var: usize,
+        prefix: String,
+        suffix: String,
+    },
 }
 
 /// A log statement: the generator-side analogue of a template.
@@ -209,7 +213,11 @@ impl Statement {
                     message.push_str(s);
                     token_kinds.push(TokenKind::Static);
                 }
-                Piece::Var { var, prefix, suffix } => {
+                Piece::Var {
+                    var,
+                    prefix,
+                    suffix,
+                } => {
                     message.push_str(prefix);
                     message.push_str(&values[*var]);
                     message.push_str(suffix);
@@ -256,7 +264,11 @@ impl Statement {
             token_kinds.push(TokenKind::Variable);
             variables.push((self.vars.len() + pi, value));
         }
-        RenderedLine { message, token_kinds, variables }
+        RenderedLine {
+            message,
+            token_kinds,
+            variables,
+        }
     }
 }
 
@@ -269,7 +281,10 @@ pub struct Transition {
 
 impl Transition {
     pub fn to(state: usize, weight: f64) -> Self {
-        Transition { to: Some(StateId(state)), weight }
+        Transition {
+            to: Some(StateId(state)),
+            weight,
+        }
     }
 
     pub fn end(weight: f64) -> Self {
@@ -445,7 +460,11 @@ pub struct FlowWorkload {
 impl FlowWorkload {
     pub fn new(source: SourceId, flows: Vec<FlowSpec>, config: WalkConfig) -> Self {
         assert!(!flows.is_empty(), "a workload needs at least one flow");
-        FlowWorkload { source, flows, config }
+        FlowWorkload {
+            source,
+            flows,
+            config,
+        }
     }
 
     /// Generate `n_sessions` interleaved session walks starting at `start`,
@@ -467,7 +486,8 @@ impl FlowWorkload {
 
             let seq_anomaly = rng.random_bool(self.config.sequential_anomaly_rate);
             let (states, is_seq_anomalous) = if seq_anomaly {
-                let kind = SequentialAnomaly::ALL[rng.random_range(0..SequentialAnomaly::ALL.len())];
+                let kind =
+                    SequentialAnomaly::ALL[rng.random_range(0..SequentialAnomaly::ALL.len())];
                 match flow.perturb(&states, kind, rng) {
                     Some(p) => (p, true),
                     None => (states, false),
@@ -477,28 +497,27 @@ impl FlowWorkload {
             };
 
             // Pick a line/variable for a quantitative anomaly, if any.
-            let quant_target: Option<(usize, usize)> = if !is_seq_anomalous
-                && rng.random_bool(self.config.quantitative_anomaly_rate)
-            {
-                let candidates: Vec<(usize, usize)> = states
-                    .iter()
-                    .enumerate()
-                    .flat_map(|(li, sid)| {
-                        flow.states[sid.0]
-                            .statement
-                            .numeric_vars()
-                            .into_iter()
-                            .map(move |vi| (li, vi))
-                    })
-                    .collect();
-                if candidates.is_empty() {
-                    None
+            let quant_target: Option<(usize, usize)> =
+                if !is_seq_anomalous && rng.random_bool(self.config.quantitative_anomaly_rate) {
+                    let candidates: Vec<(usize, usize)> = states
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(li, sid)| {
+                            flow.states[sid.0]
+                                .statement
+                                .numeric_vars()
+                                .into_iter()
+                                .map(move |vi| (li, vi))
+                        })
+                        .collect();
+                    if candidates.is_empty() {
+                        None
+                    } else {
+                        Some(candidates[rng.random_range(0..candidates.len())])
+                    }
                 } else {
-                    Some(candidates[rng.random_range(0..candidates.len())])
-                }
-            } else {
-                None
-            };
+                    None
+                };
 
             let mut ts = session_start;
             for (li, sid) in states.iter().enumerate() {
@@ -509,9 +528,7 @@ impl FlowWorkload {
                     .map(|name| (name, session_key.as_str()))
                     .into_iter()
                     .collect();
-                let anomalous_var = quant_target
-                    .filter(|(l, _)| *l == li)
-                    .map(|(_, v)| v);
+                let anomalous_var = quant_target.filter(|(l, _)| *l == li).map(|(_, v)| v);
                 let rendered = statement.render(rng, &overrides, anomalous_var);
                 let anomaly = if is_seq_anomalous {
                     Some(AnomalyKind::Sequential)
@@ -591,12 +608,18 @@ mod tests {
             name: "job".into(),
             component: "worker".into(),
             states: vec![
-                FlowState { statement: s0, transitions: vec![Transition::to(1, 1.0)] },
+                FlowState {
+                    statement: s0,
+                    transitions: vec![Transition::to(1, 1.0)],
+                },
                 FlowState {
                     statement: s1,
                     transitions: vec![Transition::to(1, 0.5), Transition::to(2, 0.5)],
                 },
-                FlowState { statement: s2, transitions: vec![] },
+                FlowState {
+                    statement: s2,
+                    transitions: vec![],
+                },
             ],
             start: StateId(0),
             session_var: Some("session".into()),
@@ -624,7 +647,11 @@ mod tests {
         );
         let toks: Vec<&str> = line.message.split_whitespace().collect();
         assert_eq!(toks[0], "Sending");
-        assert!(toks[6].starts_with("/10.250."), "embedded prefix kept: {}", toks[6]);
+        assert!(
+            toks[6].starts_with("/10.250."),
+            "embedded prefix kept: {}",
+            toks[6]
+        );
     }
 
     #[test]
@@ -676,7 +703,12 @@ mod tests {
         )
         .with_payload(vec![
             VarSpec::new("user_id", VarKind::Int { lo: 1, hi: 500 }),
-            VarSpec::new("service_name", VarKind::Word { choices: vec!["dart_vader".into()] }),
+            VarSpec::new(
+                "service_name",
+                VarKind::Word {
+                    choices: vec!["dart_vader".into()],
+                },
+            ),
         ]);
         assert_eq!(st.token_len(), 7);
         let mut rng = StdRng::seed_from_u64(11);
@@ -705,8 +737,19 @@ mod tests {
             vec![],
         )
         .with_xml_payload(vec![
-            VarSpec::new("vm_id", VarKind::PrefixedId { prefix: "i-".into(), max: 100 }),
-            VarSpec::new("state", VarKind::Word { choices: vec!["running".into()] }),
+            VarSpec::new(
+                "vm_id",
+                VarKind::PrefixedId {
+                    prefix: "i-".into(),
+                    max: 100,
+                },
+            ),
+            VarSpec::new(
+                "state",
+                VarKind::Word {
+                    choices: vec!["running".into()],
+                },
+            ),
         ]);
         assert_eq!(st.token_len(), 5);
         let mut rng = StdRng::seed_from_u64(12);
@@ -764,7 +807,9 @@ mod tests {
         let flow = two_state_flow();
         let mut rng = StdRng::seed_from_u64(7);
         let states = vec![StateId(0), StateId(1), StateId(1), StateId(2)];
-        let p = flow.perturb(&states, SequentialAnomaly::SkipState, &mut rng).unwrap();
+        let p = flow
+            .perturb(&states, SequentialAnomaly::SkipState, &mut rng)
+            .unwrap();
         assert_eq!(p.len(), states.len() - 1);
         assert_eq!(p[0], StateId(0));
         assert_eq!(*p.last().unwrap(), StateId(2));
@@ -772,11 +817,8 @@ mod tests {
 
     #[test]
     fn generate_produces_time_ordered_sessions() {
-        let workload = FlowWorkload::new(
-            SourceId(1),
-            vec![two_state_flow()],
-            WalkConfig::default(),
-        );
+        let workload =
+            FlowWorkload::new(SourceId(1), vec![two_state_flow()], WalkConfig::default());
         let mut rng = StdRng::seed_from_u64(8);
         let mut counter = 0;
         let logs = workload.generate(&mut rng, 20, Timestamp::from_millis(1_000), &mut counter);
@@ -825,8 +867,14 @@ mod tests {
         let n = all_sessions.len() as f64;
         let seq_rate = seq_sessions.len() as f64 / n;
         let quant_rate = quant_sessions.len() as f64 / n;
-        assert!((0.30..=0.65).contains(&seq_rate), "sequential rate {seq_rate}");
-        assert!((0.10..=0.50).contains(&quant_rate), "quantitative rate {quant_rate}");
+        assert!(
+            (0.30..=0.65).contains(&seq_rate),
+            "sequential rate {seq_rate}"
+        );
+        assert!(
+            (0.10..=0.50).contains(&quant_rate),
+            "quantitative rate {quant_rate}"
+        );
     }
 
     #[test]
@@ -842,7 +890,9 @@ mod tests {
         let mut by_session: std::collections::HashMap<String, usize> = Default::default();
         for l in &logs {
             if l.truth.anomaly == Some(AnomalyKind::Quantitative) {
-                *by_session.entry(l.truth.session.clone().unwrap()).or_default() += 1;
+                *by_session
+                    .entry(l.truth.session.clone().unwrap())
+                    .or_default() += 1;
             }
         }
         for (session, count) in by_session {

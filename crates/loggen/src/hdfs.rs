@@ -8,7 +8,7 @@
 //! whose walks are the sessions, with the same anomaly structure
 //! (sequence deviations and absurd sizes) and exact labels.
 
-use crate::flow::{FlowSpec, FlowState, FlowWorkload, Statement, StateId, Transition, WalkConfig};
+use crate::flow::{FlowSpec, FlowState, FlowWorkload, StateId, Statement, Transition, WalkConfig};
 use crate::truth::{GenLog, TruthTemplateId};
 use crate::varspec::{VarKind, VarSpec};
 use monilog_model::{Severity, SourceId, Timestamp};
@@ -22,13 +22,23 @@ use std::collections::BTreeMap;
 pub fn hdfs_flow() -> FlowSpec {
     let blk = || VarSpec::new("block", VarKind::Hex { len: 10 });
     let ip = |name: &str| VarSpec::new(name, VarKind::Ip { prefix: [10, 250] });
-    let size = VarSpec::new("size", VarKind::Int { lo: 1_024, hi: 67_108_864 });
+    let size = VarSpec::new(
+        "size",
+        VarKind::Int {
+            lo: 1_024,
+            hi: 67_108_864,
+        },
+    );
 
     let mut states = Vec::new();
     // Truth ids are per *pattern*, not per state: the three pipeline
     // replicas log the same statement, and no parser can (or should)
     // distinguish them.
-    let mut add = |tid: u32, pattern: &str, level: Severity, vars: Vec<VarSpec>, transitions: Vec<Transition>| {
+    let mut add = |tid: u32,
+                   pattern: &str,
+                   level: Severity,
+                   vars: Vec<VarSpec>,
+                   transitions: Vec<Transition>| {
         states.push(FlowState {
             statement: Statement::from_pattern(TruthTemplateId(tid), level, pattern, vars),
             transitions,
@@ -40,7 +50,10 @@ pub fn hdfs_flow() -> FlowSpec {
         0,
         "NameSystem.allocateBlock: /user/data/job/part-{part} {block}",
         Severity::Info,
-        vec![VarSpec::new("part", VarKind::Int { lo: 0, hi: 9999 }), blk()],
+        vec![
+            VarSpec::new("part", VarKind::Int { lo: 0, hi: 9999 }),
+            blk(),
+        ],
         vec![Transition::to(1, 1.0)],
     );
     // 1-3: the three-replica receiving pipeline.
@@ -92,7 +105,10 @@ pub fn hdfs_flow() -> FlowSpec {
         3,
         "PacketResponder {responder} for block {block} terminating",
         Severity::Info,
-        vec![VarSpec::new("responder", VarKind::Int { lo: 0, hi: 2 }), blk()],
+        vec![
+            VarSpec::new("responder", VarKind::Int { lo: 0, hi: 2 }),
+            blk(),
+        ],
         vec![Transition::to(8, 0.85), Transition::to(9, 0.15)],
     );
     // 8: registration in the block map (common path).
@@ -116,7 +132,10 @@ pub fn hdfs_flow() -> FlowSpec {
         6,
         "BLOCK* ask {node} to delete {block}",
         Severity::Info,
-        vec![VarSpec::new("node", VarKind::Ip { prefix: [10, 250] }), blk()],
+        vec![
+            VarSpec::new("node", VarKind::Ip { prefix: [10, 250] }),
+            blk(),
+        ],
         vec![Transition::end(1.0)],
     );
 
@@ -291,7 +310,10 @@ mod tests {
         let sessions = HdfsWorkload::sessions(&logs);
         let anomalous = sessions.iter().filter(|s| s.anomalous).count() as f64;
         let rate = anomalous / sessions.len() as f64;
-        assert!((0.04..=0.13).contains(&rate), "anomalous session rate {rate}");
+        assert!(
+            (0.04..=0.13).contains(&rate),
+            "anomalous session rate {rate}"
+        );
         // Both kinds occur.
         let kinds: std::collections::HashSet<_> =
             logs.iter().filter_map(|l| l.truth.anomaly).collect();
@@ -301,7 +323,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let c = HdfsWorkloadConfig { n_sessions: 20, ..Default::default() };
+        let c = HdfsWorkloadConfig {
+            n_sessions: 20,
+            ..Default::default()
+        };
         let a = HdfsWorkload::new(c.clone()).generate();
         let b = HdfsWorkload::new(c).generate();
         assert_eq!(a, b);
@@ -309,10 +334,18 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = HdfsWorkload::new(HdfsWorkloadConfig { n_sessions: 20, seed: 1, ..Default::default() })
-            .generate();
-        let b = HdfsWorkload::new(HdfsWorkloadConfig { n_sessions: 20, seed: 2, ..Default::default() })
-            .generate();
+        let a = HdfsWorkload::new(HdfsWorkloadConfig {
+            n_sessions: 20,
+            seed: 1,
+            ..Default::default()
+        })
+        .generate();
+        let b = HdfsWorkload::new(HdfsWorkloadConfig {
+            n_sessions: 20,
+            seed: 2,
+            ..Default::default()
+        })
+        .generate();
         assert_ne!(a, b);
     }
 
@@ -328,11 +361,12 @@ mod tests {
         }
         // Interleaving: at least one session's lines are not contiguous.
         let sessions = HdfsWorkload::sessions(&logs);
-        let interleaved = sessions.iter().any(|s| {
-            s.line_indices
-                .windows(2)
-                .any(|w| w[1] != w[0] + 1)
-        });
-        assert!(interleaved, "sessions never interleave — unrealistic stream");
+        let interleaved = sessions
+            .iter()
+            .any(|s| s.line_indices.windows(2).any(|w| w[1] != w[0] + 1));
+        assert!(
+            interleaved,
+            "sessions never interleave — unrealistic stream"
+        );
     }
 }

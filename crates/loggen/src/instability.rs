@@ -52,7 +52,11 @@ pub struct InstabilityConfig {
 
 impl InstabilityConfig {
     pub fn all_kinds(ratio: f64, seed: u64) -> Self {
-        InstabilityConfig { ratio, kinds: InstabilityKind::ALL.to_vec(), seed }
+        InstabilityConfig {
+            ratio,
+            kinds: InstabilityKind::ALL.to_vec(),
+            seed,
+        }
     }
 }
 
@@ -84,7 +88,10 @@ const SYNONYMS: &[(&str, &str)] = &[
 
 impl InstabilityInjector {
     pub fn new(config: InstabilityConfig) -> Self {
-        assert!((0.0..=1.0).contains(&config.ratio), "ratio must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&config.ratio),
+            "ratio must be in [0,1]"
+        );
         assert!(!config.kinds.is_empty(), "at least one instability kind");
         InstabilityInjector { config }
     }
@@ -124,11 +131,7 @@ impl InstabilityInjector {
                 let pick = if !eligible.is_empty() {
                     eligible[rng.random_range(0..eligible.len())]
                 } else if twisted.is_empty() {
-                    match templates
-                        .iter()
-                        .copied()
-                        .min_by_key(|t| by_template[t])
-                    {
+                    match templates.iter().copied().min_by_key(|t| by_template[t]) {
                         Some(t) => t,
                         None => break,
                     }
@@ -257,9 +260,7 @@ impl Twist {
                     .zip(&kinds)
                     .map(|(tok, kind)| {
                         if *kind == TokenKind::Static {
-                            if let Some((_, syn)) =
-                                SYNONYMS.iter().find(|(w, _)| w == tok)
-                            {
+                            if let Some((_, syn)) = SYNONYMS.iter().find(|(w, _)| w == tok) {
                                 changed = true;
                                 return (*syn).to_string();
                             }
@@ -467,8 +468,10 @@ mod tests {
         // Every duplicate is adjacent to its original and marked unstable.
         let dups = altered
             .windows(2)
-            .filter(|w| w[0].record.message == w[1].record.message
-                && w[0].record.header.timestamp == w[1].record.header.timestamp)
+            .filter(|w| {
+                w[0].record.message == w[1].record.message
+                    && w[0].record.header.timestamp == w[1].record.header.timestamp
+            })
             .count();
         assert!(dups > 0);
     }

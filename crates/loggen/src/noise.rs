@@ -30,7 +30,12 @@ pub struct NoiseConfig {
 
 impl Default for NoiseConfig {
     fn default() -> Self {
-        NoiseConfig { max_delay_ms: 0, duplicate_prob: 0.0, drop_prob: 0.0, seed: 0 }
+        NoiseConfig {
+            max_delay_ms: 0,
+            duplicate_prob: 0.0,
+            drop_prob: 0.0,
+            seed: 0,
+        }
     }
 }
 
@@ -114,17 +119,30 @@ mod tests {
     #[test]
     fn reordering_respects_delay_bound() {
         let logs = base();
-        let cfg = NoiseConfig { max_delay_ms: 500, seed: 4, ..Default::default() };
+        let cfg = NoiseConfig {
+            max_delay_ms: 500,
+            seed: 4,
+            ..Default::default()
+        };
         let out = NoiseInjector::new(cfg).apply(&logs);
         assert_eq!(out.len(), logs.len());
         // Arrival order differs from emission order...
-        let emitted: Vec<u64> = out.iter().map(|l| l.record.header.timestamp.as_millis()).collect();
-        assert!(emitted.windows(2).any(|w| w[0] > w[1]), "nothing was reordered");
+        let emitted: Vec<u64> = out
+            .iter()
+            .map(|l| l.record.header.timestamp.as_millis())
+            .collect();
+        assert!(
+            emitted.windows(2).any(|w| w[0] > w[1]),
+            "nothing was reordered"
+        );
         // ...but disorder is bounded: a line can only appear before lines
         // emitted at most max_delay_ms earlier.
         let mut max_seen = 0u64;
         for &e in &emitted {
-            assert!(e + 500 >= max_seen, "disorder beyond bound: {e} after {max_seen}");
+            assert!(
+                e + 500 >= max_seen,
+                "disorder beyond bound: {e} after {max_seen}"
+            );
             max_seen = max_seen.max(e);
         }
     }
@@ -172,7 +190,12 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let logs = base();
-        let cfg = NoiseConfig { max_delay_ms: 100, duplicate_prob: 0.05, drop_prob: 0.05, seed: 9 };
+        let cfg = NoiseConfig {
+            max_delay_ms: 100,
+            duplicate_prob: 0.05,
+            drop_prob: 0.05,
+            seed: 9,
+        };
         assert_eq!(
             NoiseInjector::new(cfg.clone()).apply(&logs),
             NoiseInjector::new(cfg).apply(&logs)

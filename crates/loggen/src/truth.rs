@@ -39,7 +39,13 @@ pub struct LineTruth {
 
 impl LineTruth {
     pub fn normal(template: TruthTemplateId, token_kinds: Vec<TokenKind>) -> Self {
-        LineTruth { template, token_kinds, session: None, anomaly: None, unstable: false }
+        LineTruth {
+            template,
+            token_kinds,
+            session: None,
+            anomaly: None,
+            unstable: false,
+        }
     }
 
     pub fn with_session(mut self, session: impl Into<String>) -> Self {
@@ -77,9 +83,12 @@ mod tests {
 
     #[test]
     fn truth_builders() {
-        let t = LineTruth::normal(TruthTemplateId(3), vec![TokenKind::Static, TokenKind::Variable])
-            .with_session("blk_42")
-            .with_anomaly(AnomalyKind::Quantitative);
+        let t = LineTruth::normal(
+            TruthTemplateId(3),
+            vec![TokenKind::Static, TokenKind::Variable],
+        )
+        .with_session("blk_42")
+        .with_anomaly(AnomalyKind::Quantitative);
         assert_eq!(t.template, TruthTemplateId(3));
         assert_eq!(t.session.as_deref(), Some("blk_42"));
         assert!(t.is_anomalous());

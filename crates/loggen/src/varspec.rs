@@ -48,7 +48,10 @@ pub struct VarSpec {
 
 impl VarSpec {
     pub fn new(name: impl Into<String>, kind: VarKind) -> Self {
-        VarSpec { name: name.into(), kind }
+        VarSpec {
+            name: name.into(),
+            kind,
+        }
     }
 
     /// Sample a value from the normal distribution of this variable.
@@ -236,7 +239,12 @@ mod tests {
     #[test]
     fn word_anomaly_is_outside_choices() {
         let choices = vec!["read".to_string(), "write".to_string()];
-        let spec = VarSpec::new("op", VarKind::Word { choices: choices.clone() });
+        let spec = VarSpec::new(
+            "op",
+            VarKind::Word {
+                choices: choices.clone(),
+            },
+        );
         let mut r = rng();
         for _ in 0..50 {
             assert!(choices.contains(&spec.sample(&mut r)));
@@ -252,19 +260,39 @@ mod tests {
             VarSpec::new("a", VarKind::Int { lo: -5, hi: 5 }),
             VarSpec::new("b", VarKind::Float { lo: 0.0, hi: 1.0 }),
             VarSpec::new("c", VarKind::Ip { prefix: [192, 168] }),
-            VarSpec::new("d", VarKind::Port { usual: vec![80, 443] }),
+            VarSpec::new(
+                "d",
+                VarKind::Port {
+                    usual: vec![80, 443],
+                },
+            ),
             VarSpec::new("e", VarKind::Hex { len: 8 }),
-            VarSpec::new("f", VarKind::Word { choices: vec!["x".into()] }),
+            VarSpec::new(
+                "f",
+                VarKind::Word {
+                    choices: vec!["x".into()],
+                },
+            ),
             VarSpec::new("g", VarKind::Path { depth: 3 }),
             VarSpec::new("h", VarKind::DurationMs { lo: 1, hi: 1000 }),
-            VarSpec::new("i", VarKind::PrefixedId { prefix: "x".into(), max: 100 }),
+            VarSpec::new(
+                "i",
+                VarKind::PrefixedId {
+                    prefix: "x".into(),
+                    max: 100,
+                },
+            ),
         ];
         let mut r = rng();
         for spec in &specs {
             for _ in 0..20 {
                 let normal = spec.sample(&mut r);
                 let anom = spec.sample_anomalous(&mut r);
-                assert_eq!(normal.split_whitespace().count(), 1, "{spec:?} -> {normal:?}");
+                assert_eq!(
+                    normal.split_whitespace().count(),
+                    1,
+                    "{spec:?} -> {normal:?}"
+                );
                 assert_eq!(anom.split_whitespace().count(), 1, "{spec:?} -> {anom:?}");
             }
         }

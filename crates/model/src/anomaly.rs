@@ -36,9 +36,7 @@ impl fmt::Display for AnomalyKind {
 ///
 /// "A common practice to prioritize the tasks is to assign anomalies a level
 /// of criticality such as low, moderate or high" (Section V).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Criticality {
     Low,
     Moderate,

@@ -132,11 +132,17 @@ impl<'a> Decoder<'a> {
         let mut found = [0u8; 4];
         self.buf.copy_to_slice(&mut found);
         if found != magic {
-            return Err(CodecError::BadMagic { expected: magic, found });
+            return Err(CodecError::BadMagic {
+                expected: magic,
+                found,
+            });
         }
         let v = self.buf.get_u16_le();
         if v != version {
-            return Err(CodecError::BadVersion { expected: version, found: v });
+            return Err(CodecError::BadVersion {
+                expected: version,
+                found: v,
+            });
         }
         Ok(())
     }
@@ -259,7 +265,10 @@ mod tests {
         let mut wrong_version = Decoder::new(&bytes);
         assert!(matches!(
             wrong_version.expect_header(*b"TPLS", 2),
-            Err(CodecError::BadVersion { expected: 2, found: 1 })
+            Err(CodecError::BadVersion {
+                expected: 2,
+                found: 1
+            })
         ));
     }
 

@@ -61,7 +61,16 @@ impl LogEvent {
         session: Option<SessionKey>,
     ) -> Self {
         let numeric_variables = variables.iter().map(|v| parse_numeric(v)).collect();
-        LogEvent { id, timestamp, source, level, template, variables, numeric_variables, session }
+        LogEvent {
+            id,
+            timestamp,
+            source,
+            level,
+            template,
+            variables,
+            numeric_variables,
+            session,
+        }
     }
 
     /// The numeric variables only, in order, skipping non-numeric ones.

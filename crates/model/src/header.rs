@@ -66,7 +66,12 @@ pub fn parse_header(
             raw.line.clone(),
         ),
     };
-    Ok(LogRecord { source: raw.source, seq: raw.seq, header, message })
+    Ok(LogRecord {
+        source: raw.source,
+        seq: raw.seq,
+        header,
+        message,
+    })
 }
 
 fn parse_dash_separated(line: &str) -> Result<(LogHeader, String), HeaderParseError> {
@@ -76,13 +81,18 @@ fn parse_dash_separated(line: &str) -> Result<(LogHeader, String), HeaderParseEr
     if line.len() < ts_end {
         return Err(HeaderParseError::MissingFields);
     }
-    let timestamp = Timestamp::parse_log_format(line.get(..ts_end).ok_or(HeaderParseError::MissingFields)?)
-        .ok_or(HeaderParseError::BadTimestamp)?;
+    let timestamp =
+        Timestamp::parse_log_format(line.get(..ts_end).ok_or(HeaderParseError::MissingFields)?)
+            .ok_or(HeaderParseError::BadTimestamp)?;
     let rest = line[ts_end..]
         .strip_prefix(" - ")
         .ok_or(HeaderParseError::MissingFields)?;
-    let (component, rest) = rest.split_once(" - ").ok_or(HeaderParseError::MissingFields)?;
-    let (level, message) = rest.split_once(" - ").ok_or(HeaderParseError::MissingFields)?;
+    let (component, rest) = rest
+        .split_once(" - ")
+        .ok_or(HeaderParseError::MissingFields)?;
+    let (level, message) = rest
+        .split_once(" - ")
+        .ok_or(HeaderParseError::MissingFields)?;
     let level: Severity = level.parse().expect("severity parsing is infallible");
     Ok((
         LogHeader::new(timestamp, component, level),
@@ -101,8 +111,12 @@ fn parse_syslog_like(line: &str) -> Result<(LogHeader, String), HeaderParseError
     let rest = line[ts_end..]
         .strip_prefix(' ')
         .ok_or(HeaderParseError::MissingFields)?;
-    let (level, rest) = rest.split_once(' ').ok_or(HeaderParseError::MissingFields)?;
-    let (component, message) = rest.split_once(": ").ok_or(HeaderParseError::MissingFields)?;
+    let (level, rest) = rest
+        .split_once(' ')
+        .ok_or(HeaderParseError::MissingFields)?;
+    let (component, message) = rest
+        .split_once(": ")
+        .ok_or(HeaderParseError::MissingFields)?;
     let level: Severity = level.parse().expect("severity parsing is infallible");
     Ok((
         LogHeader::new(timestamp, component, level),
@@ -125,10 +139,16 @@ mod tests {
         let line = "2020-03-19 15:38:55,977 - serviceManager - INFO - \
                     New process started: process x92 started on port 42";
         let rec = parse_header(&raw(line), &HeaderFormat::DashSeparated, Timestamp::EPOCH).unwrap();
-        assert_eq!(rec.header.timestamp.to_log_format(), "2020-03-19 15:38:55,977");
+        assert_eq!(
+            rec.header.timestamp.to_log_format(),
+            "2020-03-19 15:38:55,977"
+        );
         assert_eq!(rec.header.component, "serviceManager");
         assert_eq!(rec.header.level, Severity::Info);
-        assert_eq!(rec.message, "New process started: process x92 started on port 42");
+        assert_eq!(
+            rec.message,
+            "New process started: process x92 started on port 42"
+        );
     }
 
     #[test]

@@ -44,7 +44,11 @@ pub struct RawLog {
 
 impl RawLog {
     pub fn new(source: SourceId, seq: u64, line: impl Into<String>) -> Self {
-        RawLog { source, seq, line: line.into() }
+        RawLog {
+            source,
+            seq,
+            line: line.into(),
+        }
     }
 }
 
@@ -61,7 +65,11 @@ pub struct LogHeader {
 
 impl LogHeader {
     pub fn new(timestamp: Timestamp, component: impl Into<String>, level: Severity) -> Self {
-        LogHeader { timestamp, component: component.into(), level }
+        LogHeader {
+            timestamp,
+            component: component.into(),
+            level,
+        }
     }
 }
 

@@ -121,7 +121,9 @@ mod tests {
     fn unknown_never_fails() {
         assert_eq!("???".parse::<Severity>().unwrap(), Severity::Unknown);
         assert_eq!(
-            "a-very-long-unrecognized-level-name".parse::<Severity>().unwrap(),
+            "a-very-long-unrecognized-level-name"
+                .parse::<Severity>()
+                .unwrap(),
             Severity::Unknown
         );
         assert_eq!("".parse::<Severity>().unwrap(), Severity::Unknown);

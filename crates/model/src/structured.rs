@@ -56,12 +56,24 @@ pub fn extract_structured(message: &str) -> (String, StructuredPayload) {
         let body = &message[start..end];
         if let Some(fields) = parse_brace_payload(body) {
             let text = splice_out(message, start, end);
-            return (text, StructuredPayload { fields, raw_len: end - start });
+            return (
+                text,
+                StructuredPayload {
+                    fields,
+                    raw_len: end - start,
+                },
+            );
         }
     }
     if let Some((start, end, fields)) = find_xml_run(message) {
         let text = splice_out(message, start, end);
-        return (text, StructuredPayload { fields, raw_len: end - start });
+        return (
+            text,
+            StructuredPayload {
+                fields,
+                raw_len: end - start,
+            },
+        );
     }
     (message.trim().to_string(), StructuredPayload::default())
 }
@@ -176,7 +188,10 @@ mod json {
         body: &str,
         out: &mut Vec<(String, String)>,
     ) -> Option<()> {
-        let mut p = Parser { s: body.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            s: body.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         p.object(prefix, out)?;
         p.skip_ws();
@@ -330,11 +345,9 @@ mod json {
             let text = std::str::from_utf8(&self.s[start..self.pos]).ok()?;
             // Only JSON scalars are valid here; bare words reject the body
             // so the k=v fallback (or no extraction) can take over.
-            let is_number = text
-                .strip_prefix('-')
-                .unwrap_or(text)
-                .bytes()
-                .all(|b| b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-');
+            let is_number = text.strip_prefix('-').unwrap_or(text).bytes().all(|b| {
+                b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-'
+            });
             if is_number || text == "true" || text == "false" || text == "null" {
                 Some(text.to_string())
             } else {
@@ -344,9 +357,12 @@ mod json {
     }
 }
 
+/// Flattened `(path, text)` pairs extracted from an XML run.
+type XmlFields = Vec<(String, String)>;
+
 /// Find a run of XML elements `<a>..</a><b>..</b>` and flatten leaf elements
 /// to `(path, text)` pairs. Returns `(start, end, fields)`.
-fn find_xml_run(s: &str) -> Option<(usize, usize, Vec<(String, String)>)> {
+fn find_xml_run(s: &str) -> Option<(usize, usize, XmlFields)> {
     let start = s.find('<')?;
     // Require the run to begin with a well-formed opening tag.
     let mut fields = Vec::new();
@@ -423,8 +439,9 @@ mod tests {
 
     #[test]
     fn extracts_json_object() {
-        let (text, payload) =
-            extract_structured(r#"request failed {"code": 503, "retry": true, "route": "/api/v1"}"#);
+        let (text, payload) = extract_structured(
+            r#"request failed {"code": 503, "retry": true, "route": "/api/v1"}"#,
+        );
         assert_eq!(text, "request failed");
         assert_eq!(payload.get("code"), Some("503"));
         assert_eq!(payload.get("retry"), Some("true"));

@@ -123,10 +123,14 @@ impl Template {
     /// length, statics equal, wildcards match anything)?
     pub fn matches(&self, message_tokens: &[&str]) -> bool {
         self.tokens.len() == message_tokens.len()
-            && self.tokens.iter().zip(message_tokens).all(|(t, m)| match t {
-                TemplateToken::Static(s) => s == m,
-                TemplateToken::Wildcard => true,
-            })
+            && self
+                .tokens
+                .iter()
+                .zip(message_tokens)
+                .all(|(t, m)| match t {
+                    TemplateToken::Static(s) => s == m,
+                    TemplateToken::Wildcard => true,
+                })
     }
 
     /// Extract the variable values of `message_tokens` at this template's
@@ -180,7 +184,11 @@ impl TemplateStore {
     /// Register `tokens` as a template, returning its id. If an identical
     /// pattern already exists, the existing id is returned.
     pub fn intern(&mut self, tokens: Vec<TemplateToken>) -> TemplateId {
-        let pattern = Template { id: TemplateId(0), tokens: tokens.clone() }.render();
+        let pattern = Template {
+            id: TemplateId(0),
+            tokens: tokens.clone(),
+        }
+        .render();
         if let Some(&id) = self.by_pattern.get(&pattern) {
             return id;
         }
@@ -276,7 +284,10 @@ impl TemplateStore {
         if !d.is_exhausted() {
             return Err(CodecError::Corrupt("trailing bytes"));
         }
-        Ok(TemplateStore { templates, by_pattern })
+        Ok(TemplateStore {
+            templates,
+            by_pattern,
+        })
     }
 }
 
@@ -294,7 +305,10 @@ mod tests {
     #[test]
     fn fig2_template_round_trip() {
         let t = fig2_template();
-        assert_eq!(t.render(), "New process started: process <*> started on port <*>");
+        assert_eq!(
+            t.render(),
+            "New process started: process <*> started on port <*>"
+        );
         assert_eq!(t.wildcard_count(), 2);
         assert_eq!(t.len(), 9);
     }
@@ -354,11 +368,17 @@ mod tests {
         let mut store = TemplateStore::new();
         let a = store.intern(fig2_template().tokens);
         let b = store.intern(Template::from_pattern(TemplateId(0), "send 42 bytes").tokens);
-        store.update(b, Template::from_pattern(TemplateId(0), "send <*> bytes").tokens);
+        store.update(
+            b,
+            Template::from_pattern(TemplateId(0), "send <*> bytes").tokens,
+        );
         let bytes = store.encode();
         let restored = TemplateStore::decode(&bytes).expect("round trip");
         assert_eq!(restored.len(), store.len());
-        assert_eq!(restored.get(a).unwrap().render(), store.get(a).unwrap().render());
+        assert_eq!(
+            restored.get(a).unwrap().render(),
+            store.get(a).unwrap().render()
+        );
         // Alias from before the update still resolves.
         assert_eq!(restored.find_by_pattern("send 42 bytes"), Some(b));
         assert_eq!(restored.find_by_pattern("send <*> bytes"), Some(b));
@@ -380,7 +400,10 @@ mod tests {
     fn store_update_widens_template() {
         let mut store = TemplateStore::new();
         let id = store.intern(Template::from_pattern(TemplateId(0), "send 42 bytes").tokens);
-        store.update(id, Template::from_pattern(TemplateId(0), "send <*> bytes").tokens);
+        store.update(
+            id,
+            Template::from_pattern(TemplateId(0), "send <*> bytes").tokens,
+        );
         assert_eq!(store.get(id).unwrap().render(), "send <*> bytes");
         // Both the old and the new rendering resolve to the same id.
         assert_eq!(store.find_by_pattern("send 42 bytes"), Some(id));

@@ -53,8 +53,12 @@ impl Timestamp {
             return None;
         }
         let check = |idx: usize, ch: u8| bytes[idx] == ch;
-        if !(check(4, b'-') && check(7, b'-') && check(10, b' ')
-            && check(13, b':') && check(16, b':') && check(19, b','))
+        if !(check(4, b'-')
+            && check(7, b'-')
+            && check(10, b' ')
+            && check(13, b':')
+            && check(16, b':')
+            && check(19, b','))
         {
             return None;
         }
@@ -128,7 +132,7 @@ impl fmt::Display for Timestamp {
 }
 
 fn is_leap(year: u64) -> bool {
-    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
 }
 
 fn days_in_month(year: u64, month: u64) -> u64 {
@@ -181,13 +185,13 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "2020-03-19T15:38:55,977",  // wrong separator
-            "2020-03-19 15:38:55.977",  // dot millis
-            "2020-13-19 15:38:55,977",  // month 13
-            "2020-02-30 15:38:55,977",  // Feb 30
-            "2021-02-29 15:38:55,977",  // non-leap Feb 29
-            "2020-03-19 24:38:55,977",  // hour 24
-            "2020-03-19 15:38:55,97",   // short millis
+            "2020-03-19T15:38:55,977", // wrong separator
+            "2020-03-19 15:38:55.977", // dot millis
+            "2020-13-19 15:38:55,977", // month 13
+            "2020-02-30 15:38:55,977", // Feb 30
+            "2021-02-29 15:38:55,977", // non-leap Feb 29
+            "2020-03-19 24:38:55,977", // hour 24
+            "2020-03-19 15:38:55,97",  // short millis
             "garbage",
             "",
         ] {

@@ -86,7 +86,10 @@ mod tests {
 
     #[test]
     fn identifier_splitting() {
-        assert_eq!(split_identifier("serviceManager"), vec!["service", "manager"]);
+        assert_eq!(
+            split_identifier("serviceManager"),
+            vec!["service", "manager"]
+        );
         assert_eq!(split_identifier("block_report"), vec!["block", "report"]);
         assert_eq!(split_identifier("HTTPServer2"), vec!["httpserver"]);
         assert_eq!(split_identifier("x92"), vec!["x"]);

@@ -64,7 +64,10 @@ pub fn gradient_check(
             }
         }
     }
-    GradCheckReport { max_rel_error, checked }
+    GradCheckReport {
+        max_rel_error,
+        checked,
+    }
 }
 
 #[cfg(test)]
@@ -104,7 +107,11 @@ mod tests {
             1e-5,
         );
         assert!(report.checked > 0);
-        assert!(report.max_rel_error < TOL, "rel error {}", report.max_rel_error);
+        assert!(
+            report.max_rel_error < TOL,
+            "rel error {}",
+            report.max_rel_error
+        );
     }
 
     #[test]
@@ -130,8 +137,16 @@ mod tests {
             },
             1e-5,
         );
-        assert!(report.checked > 50, "too few elements checked: {}", report.checked);
-        assert!(report.max_rel_error < TOL, "rel error {}", report.max_rel_error);
+        assert!(
+            report.checked > 50,
+            "too few elements checked: {}",
+            report.checked
+        );
+        assert!(
+            report.max_rel_error < TOL,
+            "rel error {}",
+            report.max_rel_error
+        );
     }
 
     #[test]
@@ -154,7 +169,9 @@ mod tests {
             |p| {
                 let mut g = Graph::new();
                 let embedded = emb.forward(&mut g, p, &window);
-                let xs: Vec<Var> = (0..window.len()).map(|t| g.select_row(embedded, t)).collect();
+                let xs: Vec<Var> = (0..window.len())
+                    .map(|t| g.select_row(embedded, t))
+                    .collect();
                 let enc = bi.run(&mut g, p, &xs);
                 // Stack per-step encodings into a T×d matrix.
                 let mut stacked = enc[0];
@@ -175,7 +192,11 @@ mod tests {
         );
         assert!(report.checked > 100);
         // Deeper pipeline → slightly looser numerical tolerance.
-        assert!(report.max_rel_error < 1e-4, "rel error {}", report.max_rel_error);
+        assert!(
+            report.max_rel_error < 1e-4,
+            "rel error {}",
+            report.max_rel_error
+        );
     }
 
     #[test]
@@ -201,7 +222,11 @@ mod tests {
             },
             1e-6,
         );
-        assert!(report.max_rel_error < 1e-4, "rel error {}", report.max_rel_error);
+        assert!(
+            report.max_rel_error < 1e-4,
+            "rel error {}",
+            report.max_rel_error
+        );
     }
 
     #[test]
@@ -225,7 +250,11 @@ mod tests {
             },
             1e-6,
         );
-        assert!(report.max_rel_error < 1e-4, "rel error {}", report.max_rel_error);
+        assert!(
+            report.max_rel_error < 1e-4,
+            "rel error {}",
+            report.max_rel_error
+        );
     }
 }
 

@@ -43,9 +43,15 @@ enum Op {
     /// Mean softmax cross-entropy against one class index per row;
     /// produces a 1×1 scalar. Cached probabilities live in the node value
     /// of the associated softmax (recomputed in backward).
-    SoftmaxXent { logits: Var, targets: Vec<usize> },
+    SoftmaxXent {
+        logits: Var,
+        targets: Vec<usize>,
+    },
     /// Mean squared error against a constant target; 1×1 scalar.
-    Mse { pred: Var, target: Matrix },
+    Mse {
+        pred: Var,
+        target: Matrix,
+    },
 }
 
 struct Node {
@@ -132,7 +138,12 @@ impl Graph {
     pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
         let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(av.shape(), bv.shape(), "hadamard shape mismatch");
-        let data: Vec<f64> = av.data().iter().zip(bv.data()).map(|(x, y)| x * y).collect();
+        let data: Vec<f64> = av
+            .data()
+            .iter()
+            .zip(bv.data())
+            .map(|(x, y)| x * y)
+            .collect();
         let value = Matrix::from_vec(av.rows, av.cols, data);
         self.push(Op::Hadamard(a, b), value)
     }
@@ -398,9 +409,7 @@ impl Graph {
                     let y = self.nodes[idx].value.clone();
                     let mut ga = Matrix::zeros(grad.rows, grad.cols);
                     for r in 0..grad.rows {
-                        let dot: f64 = (0..grad.cols)
-                            .map(|c| grad.get(r, c) * y.get(r, c))
-                            .sum();
+                        let dot: f64 = (0..grad.cols).map(|c| grad.get(r, c) * y.get(r, c)).sum();
                         for c in 0..grad.cols {
                             ga.set(r, c, y.get(r, c) * (grad.get(r, c) - dot));
                         }
@@ -492,7 +501,10 @@ mod tests {
         let x = g.input(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
         let b = g.input(Matrix::row(&[10.0, 20.0]));
         let y = g.add(x, b);
-        assert_eq!(g.value(y), &Matrix::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]]));
+        assert_eq!(
+            g.value(y),
+            &Matrix::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]])
+        );
     }
 
     #[test]

@@ -28,7 +28,12 @@ impl Dense {
     ) -> Self {
         let w = params.add(Matrix::xavier(in_dim, out_dim, rng));
         let b = params.add(Matrix::zeros(1, out_dim));
-        Dense { w, b, in_dim, out_dim }
+        Dense {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     pub fn forward(&self, g: &mut Graph, params: &ParamSet, x: Var) -> Var {
@@ -106,7 +111,12 @@ impl Lstm {
             bias.set(0, c, 1.0); // forget gate
         }
         let b = params.add(bias);
-        Lstm { w, b, in_dim, hidden }
+        Lstm {
+            w,
+            b,
+            in_dim,
+            hidden,
+        }
     }
 
     /// Zero initial state for a batch of `batch` sequences.
@@ -144,10 +154,7 @@ impl Lstm {
     /// Run a full sequence (`xs[t]` is the input at step t); returns the
     /// hidden state after every step.
     pub fn run(&self, g: &mut Graph, params: &ParamSet, xs: &[Var]) -> Vec<LstmState> {
-        let batch = xs
-            .first()
-            .map(|x| g.value(*x).rows)
-            .unwrap_or(1);
+        let batch = xs.first().map(|x| g.value(*x).rows).unwrap_or(1);
         let mut state = self.zero_state(g, batch);
         let mut out = Vec::with_capacity(xs.len());
         for &x in xs {

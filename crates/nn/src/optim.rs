@@ -133,7 +133,11 @@ impl Sgd {
     pub fn new(lr: f64, momentum: f64) -> Self {
         assert!(lr > 0.0);
         assert!((0.0..1.0).contains(&momentum));
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -172,7 +176,15 @@ pub struct Adam {
 impl Adam {
     pub fn new(lr: f64) -> Self {
         assert!(lr > 0.0);
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -252,7 +264,10 @@ mod tests {
             }
             (params.value(w).get(0, 0) - 2.0).abs()
         };
-        assert!(run(0.9, 100) < run(0.0, 100), "momentum should be closer after equal steps");
+        assert!(
+            run(0.9, 100) < run(0.0, 100),
+            "momentum should be closer after equal steps"
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl Default for TuneGrid {
         TuneGrid {
             depths: vec![3, 4, 5],
             sim_thresholds: vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7],
-            masks: vec![MaskConfig::NONE, MaskConfig::STANDARD, MaskConfig::AGGRESSIVE],
+            masks: vec![
+                MaskConfig::NONE,
+                MaskConfig::STANDARD,
+                MaskConfig::AGGRESSIVE,
+            ],
         }
     }
 }
@@ -61,12 +65,14 @@ pub fn autotune_drain(sample: &[&str], grid: &TuneGrid, max_pairs: usize) -> Tun
     for &depth in &grid.depths {
         for &st in &grid.sim_thresholds {
             for &mask in &grid.masks {
-                let config = DrainConfig { depth, sim_threshold: st, mask, ..DrainConfig::default() };
+                let config = DrainConfig {
+                    depth,
+                    sim_threshold: st,
+                    mask,
+                    ..DrainConfig::default()
+                };
                 let mut parser = Drain::new(config);
-                let labels: Vec<u32> = sample
-                    .iter()
-                    .map(|m| parser.parse(m).template.0)
-                    .collect();
+                let labels: Vec<u32> = sample.iter().map(|m| parser.parse(m).template.0).collect();
                 let report = unsupervised_quality(sample, &labels, max_pairs);
                 all.push(TunePoint { config, report });
             }
@@ -101,7 +107,10 @@ mod tests {
             .sim_thresholds
             .iter()
             .any(|&s| (s - result.best.config.sim_threshold).abs() < 1e-12));
-        assert_eq!(result.all.len(), grid.depths.len() * grid.sim_thresholds.len() * grid.masks.len());
+        assert_eq!(
+            result.all.len(),
+            grid.depths.len() * grid.sim_thresholds.len() * grid.masks.len()
+        );
     }
 
     #[test]

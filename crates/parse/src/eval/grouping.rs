@@ -66,14 +66,26 @@ pub fn pairwise_scores(parsed: &[u32], truth: &[u32]) -> PairwiseScores {
     let parsed_pairs: f64 = parsed_sizes.values().map(|&n| choose2(n)).sum();
     let truth_pairs: f64 = truth_sizes.values().map(|&n| choose2(n)).sum();
 
-    let precision = if parsed_pairs > 0.0 { tp / parsed_pairs } else { 1.0 };
-    let recall = if truth_pairs > 0.0 { tp / truth_pairs } else { 1.0 };
+    let precision = if parsed_pairs > 0.0 {
+        tp / parsed_pairs
+    } else {
+        1.0
+    };
+    let recall = if truth_pairs > 0.0 {
+        tp / truth_pairs
+    } else {
+        1.0
+    };
     let f1 = if precision + recall > 0.0 {
         2.0 * precision * recall / (precision + recall)
     } else {
         0.0
     };
-    PairwiseScores { precision, recall, f1 }
+    PairwiseScores {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +137,10 @@ mod tests {
         let parsed = [5, 5, 5, 5];
         assert_eq!(grouping_accuracy(&parsed, &truth), 0.0);
         let s = pairwise_scores(&parsed, &truth);
-        assert!(s.recall > s.precision, "merging keeps recall, kills precision");
+        assert!(
+            s.recall > s.precision,
+            "merging keeps recall, kills precision"
+        );
     }
 
     #[test]

@@ -151,7 +151,11 @@ mod tests {
             .split_whitespace()
             .collect();
         let truth = vec![true, false, true, true, false, true, false];
-        let input = TokenAccuracyInput { tokens, truth_static: truth, template: &t };
+        let input = TokenAccuracyInput {
+            tokens,
+            truth_static: truth,
+            template: &t,
+        };
         assert_eq!(token_accuracy(&[input]), 1.0);
     }
 
@@ -163,7 +167,11 @@ mod tests {
             .split_whitespace()
             .collect();
         let truth = vec![true, false, true, true, false, true, false];
-        let input = TokenAccuracyInput { tokens, truth_static: truth, template: &t };
+        let input = TokenAccuracyInput {
+            tokens,
+            truth_static: truth,
+            template: &t,
+        };
         assert!((token_accuracy(&[input]) - 6.0 / 7.0).abs() < 1e-12);
     }
 
@@ -176,7 +184,11 @@ mod tests {
             .split_whitespace()
             .collect();
         let truth = vec![true, false, true, true, false, true, false];
-        let input = TokenAccuracyInput { tokens, truth_static: truth, template: &t };
+        let input = TokenAccuracyInput {
+            tokens,
+            truth_static: truth,
+            template: &t,
+        };
         assert!((token_accuracy(&[input]) - 6.0 / 7.0).abs() < 1e-12);
     }
 
@@ -187,7 +199,11 @@ mod tests {
         let t = template("Transmitting <*> bytes");
         let tokens = vec!["Sending", "138", "bytes"];
         let truth = vec![true, false, true];
-        let input = TokenAccuracyInput { tokens, truth_static: truth, template: &t };
+        let input = TokenAccuracyInput {
+            tokens,
+            truth_static: truth,
+            template: &t,
+        };
         assert!((token_accuracy(&[input]) - 2.0 / 3.0).abs() < 1e-12);
     }
 
@@ -198,7 +214,11 @@ mod tests {
         let t = template("job <*> done");
         let tokens = vec!["job", "alpha", "beta", "done"];
         let truth = vec![true, false, false, true];
-        let input = TokenAccuracyInput { tokens, truth_static: truth, template: &t };
+        let input = TokenAccuracyInput {
+            tokens,
+            truth_static: truth,
+            template: &t,
+        };
         assert_eq!(token_accuracy(&[input]), 1.0);
     }
 

@@ -91,8 +91,16 @@ impl XorShift {
 /// `messages[i]` was assigned template label `labels[i]`. `max_pairs`
 /// bounds the sampled pair count per side (cohesion / separation); 2000 is
 /// plenty for stable estimates.
-pub fn unsupervised_quality(messages: &[&str], labels: &[u32], max_pairs: usize) -> UnsupervisedReport {
-    assert_eq!(messages.len(), labels.len(), "labels must align with messages");
+pub fn unsupervised_quality(
+    messages: &[&str],
+    labels: &[u32],
+    max_pairs: usize,
+) -> UnsupervisedReport {
+    assert_eq!(
+        messages.len(),
+        labels.len(),
+        "labels must align with messages"
+    );
     let tokenized: Vec<Vec<&str>> = messages
         .iter()
         .map(|m| m.split_whitespace().collect())
@@ -138,7 +146,11 @@ pub fn unsupervised_quality(messages: &[&str], labels: &[u32], max_pairs: usize)
     }
     // A parsing with only singleton groups has undefined cohesion; treat it
     // as 0 so singleton-everything never wins the tuning search.
-    let cohesion = if cohesion_n > 0 { cohesion_sum / cohesion_n as f64 } else { 0.0 };
+    let cohesion = if cohesion_n > 0 {
+        cohesion_sum / cohesion_n as f64
+    } else {
+        0.0
+    };
 
     // Separation: pairs across templates.
     let mut separation_sum = 0.0;

@@ -65,12 +65,18 @@ pub struct Drain {
 
 impl Drain {
     pub fn new(config: DrainConfig) -> Self {
-        assert!(config.depth >= 3, "depth must be at least 3 (root, length, leaf)");
+        assert!(
+            config.depth >= 3,
+            "depth must be at least 3 (root, length, leaf)"
+        );
         assert!(
             (0.0..=1.0).contains(&config.sim_threshold),
             "similarity threshold must be in [0,1]"
         );
-        assert!(config.max_children >= 2, "need at least two children per node");
+        assert!(
+            config.max_children >= 2,
+            "need at least two children per node"
+        );
         Drain {
             pre: Preprocessor::new(config.mask),
             config,
@@ -144,7 +150,9 @@ impl Drain {
         let mut node = by_len.entry(masked.len()).or_default();
         let internal_levels = config.depth - 2;
         for level in 0..internal_levels {
-            let Some(token) = masked.get(level) else { break };
+            let Some(token) = masked.get(level) else {
+                break;
+            };
             let key = if *token == "<*>" || token.bytes().any(|b| b.is_ascii_digit()) {
                 "<*>"
             } else {
@@ -155,7 +163,11 @@ impl Drain {
             let has_room = node.children.contains_key(key)
                 || node.children.len() < config.max_children
                 || key == "<*>";
-            let use_key = if has_room { key.to_string() } else { "<*>".to_string() };
+            let use_key = if has_room {
+                key.to_string()
+            } else {
+                "<*>".to_string()
+            };
             node = node.children.entry(use_key).or_default();
         }
         node
@@ -206,7 +218,11 @@ impl OnlineParser for Drain {
                     .filter(|(t, _)| t.is_wildcard())
                     .map(|(_, tok)| (*tok).to_string())
                     .collect();
-                ParseOutcome { template: gid, is_new: false, variables }
+                ParseOutcome {
+                    template: gid,
+                    is_new: false,
+                    variables,
+                }
             }
             None => {
                 let tokens: Vec<TemplateToken> = masked
@@ -227,7 +243,11 @@ impl OnlineParser for Drain {
                     .collect();
                 let gid = self.store.intern(tokens);
                 leaf.groups.push(gid);
-                ParseOutcome { template: gid, is_new: true, variables }
+                ParseOutcome {
+                    template: gid,
+                    is_new: true,
+                    variables,
+                }
             }
         }
     }
@@ -344,7 +364,10 @@ mod tests {
         });
         let a = d.parse("alpha beta gamma delta");
         let b = d.parse("alpha zzz yyy xxx");
-        assert_ne!(a.template, b.template, "0.25 similarity must not merge at st=0.9");
+        assert_ne!(
+            a.template, b.template,
+            "0.25 similarity must not merge at st=0.9"
+        );
     }
 
     #[test]
@@ -362,7 +385,10 @@ mod tests {
         assert!(out.is_new);
         assert!(out.variables.is_empty());
         let again = d.parse("   ");
-        assert_eq!(out.template, again.template, "all-empty messages share a class");
+        assert_eq!(
+            out.template, again.template,
+            "all-empty messages share a class"
+        );
     }
 
     #[test]
@@ -414,7 +440,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "depth must be at least 3")]
     fn rejects_tiny_depth() {
-        Drain::new(DrainConfig { depth: 2, ..DrainConfig::default() });
+        Drain::new(DrainConfig {
+            depth: 2,
+            ..DrainConfig::default()
+        });
     }
 
     #[test]
@@ -435,7 +464,10 @@ mod tests {
         let mut restored = Drain::warm_start(DrainConfig::default(), store);
         for (line, expected) in lines.iter().zip(&original_ids) {
             let out = restored.parse(line);
-            assert_eq!(out.template, *expected, "id changed across restart for {line}");
+            assert_eq!(
+                out.template, *expected,
+                "id changed across restart for {line}"
+            );
             assert!(!out.is_new);
         }
         let fresh = restored.parse("an entirely different statement shape");
@@ -483,7 +515,9 @@ mod corpus_tests {
         let mut pairs: HashMap<(u32, u32), usize> = HashMap::new();
         for log in &corpus.logs {
             let out = d.parse(&log.record.message);
-            *pairs.entry((log.truth.template.0, out.template.0)).or_default() += 1;
+            *pairs
+                .entry((log.truth.template.0, out.template.0))
+                .or_default() += 1;
         }
         // Every truth template maps predominantly to one parsed template.
         let mut by_truth: HashMap<u32, Vec<usize>> = HashMap::new();

@@ -69,6 +69,7 @@ impl IpLoM {
     }
 
     /// Position with the lowest cardinality > 1, if any qualifies.
+    #[allow(clippy::needless_range_loop)] // column scan across rows
     fn split_position(tokenized: &[Vec<&str>], lines: &[usize], width: usize) -> Option<usize> {
         let mut best: Option<(usize, usize)> = None; // (position, cardinality)
         for pos in 0..width {
@@ -77,10 +78,8 @@ impl IpLoM {
                 seen.insert(tokenized[li][pos], ());
             }
             let card = seen.len();
-            if card > 1 {
-                if best.is_none_or(|(_, bc)| card < bc) {
-                    best = Some((pos, card));
-                }
+            if card > 1 && best.is_none_or(|(_, bc)| card < bc) {
+                best = Some((pos, card));
             }
         }
         best.map(|(p, _)| p)
@@ -88,6 +87,7 @@ impl IpLoM {
 }
 
 impl BatchParser for IpLoM {
+    #[allow(clippy::needless_range_loop)] // column scan across rows
     fn parse_batch(&mut self, messages: &[&str]) -> Vec<ParseOutcome> {
         self.store = TemplateStore::new();
         let masked_and_original: Vec<(Vec<&str>, Vec<&str>)> =
@@ -113,8 +113,8 @@ impl BatchParser for IpLoM {
                 finished.push(part.lines);
                 continue;
             }
-            let min_child = ((part.lines.len() as f64 * self.config.partition_support) as usize)
-                .max(1);
+            let min_child =
+                ((part.lines.len() as f64 * self.config.partition_support) as usize).max(1);
             match Self::split_position(&tokenized, &part.lines, width) {
                 Some(pos) => {
                     // Cardinality guard: don't split on near-unique positions.
@@ -132,7 +132,10 @@ impl BatchParser for IpLoM {
                         if lines.len() < min_child {
                             outliers.extend(lines);
                         } else {
-                            work.push(Partition { lines, step: part.step + 1 });
+                            work.push(Partition {
+                                lines,
+                                step: part.step + 1,
+                            });
                         }
                     }
                     if !outliers.is_empty() {
@@ -168,8 +171,11 @@ impl BatchParser for IpLoM {
                     .filter(|(t, _)| t.is_wildcard())
                     .map(|(_, tok)| (*tok).to_string())
                     .collect();
-                outcome_by_line[li] =
-                    Some(ParseOutcome { template: id, is_new: false, variables });
+                outcome_by_line[li] = Some(ParseOutcome {
+                    template: id,
+                    is_new: false,
+                    variables,
+                });
             }
         }
         outcome_by_line
@@ -237,7 +243,12 @@ mod tests {
         }
         let refs: Vec<&str> = msgs.iter().map(String::as_str).collect();
         let (p, outs) = parse(&refs);
-        assert_eq!(p.store().len(), 2, "{:?}", p.store().iter().map(|t| t.render()).collect::<Vec<_>>());
+        assert_eq!(
+            p.store().len(),
+            2,
+            "{:?}",
+            p.store().iter().map(|t| t.render()).collect::<Vec<_>>()
+        );
         assert_ne!(outs[0].template, outs[1].template);
         assert_eq!(outs[0].template, outs[2].template);
     }
@@ -260,7 +271,12 @@ mod tests {
 
     #[test]
     fn masked_tokens_are_variables() {
-        let msgs = vec!["sent 42 bytes", "sent 43 bytes", "sent 44 bytes", "sent 45 bytes"];
+        let msgs = vec![
+            "sent 42 bytes",
+            "sent 43 bytes",
+            "sent 44 bytes",
+            "sent 45 bytes",
+        ];
         let (p, outs) = parse(&msgs);
         let t = p.store().get(outs[0].template).unwrap();
         assert_eq!(t.render(), "sent <*> bytes");

@@ -25,7 +25,10 @@ pub struct LenMaConfig {
 
 impl Default for LenMaConfig {
     fn default() -> Self {
-        LenMaConfig { threshold: 0.78, mask: MaskConfig::STANDARD }
+        LenMaConfig {
+            threshold: 0.78,
+            mask: MaskConfig::STANDARD,
+        }
     }
 }
 
@@ -73,10 +76,7 @@ impl LenMa {
     /// Positional agreement on static tokens: LenMa's secondary check that
     /// prevents merging templates that merely *look* length-similar.
     fn static_agreement(skeleton: &[TemplateToken], tokens: &[&str]) -> f64 {
-        let statics = skeleton
-            .iter()
-            .filter(|t| !t.is_wildcard())
-            .count();
+        let statics = skeleton.iter().filter(|t| !t.is_wildcard()).count();
         if statics == 0 {
             return 1.0;
         }
@@ -131,7 +131,11 @@ impl OnlineParser for LenMa {
                     self.store.update(cluster.id, cluster.skeleton.clone());
                 }
                 let variables = extract_vars(&cluster.skeleton, &original);
-                ParseOutcome { template: cluster.id, is_new: false, variables }
+                ParseOutcome {
+                    template: cluster.id,
+                    is_new: false,
+                    variables,
+                }
             }
             None => {
                 let skeleton: Vec<TemplateToken> = masked
@@ -146,10 +150,18 @@ impl OnlineParser for LenMa {
                     .collect();
                 let id = self.store.intern(skeleton.clone());
                 if !clusters.iter().any(|c| c.id == id) {
-                    clusters.push(Cluster { id, lengths, skeleton: skeleton.clone() });
+                    clusters.push(Cluster {
+                        id,
+                        lengths,
+                        skeleton: skeleton.clone(),
+                    });
                 }
                 let variables = extract_vars(&skeleton, &original);
-                ParseOutcome { template: id, is_new: true, variables }
+                ParseOutcome {
+                    template: id,
+                    is_new: true,
+                    variables,
+                }
             }
         }
     }
@@ -219,11 +231,17 @@ mod tests {
 
     #[test]
     fn template_widens_on_merge() {
-        let mut p = LenMa::new(LenMaConfig { threshold: 0.9, mask: MaskConfig::NONE });
+        let mut p = LenMa::new(LenMaConfig {
+            threshold: 0.9,
+            mask: MaskConfig::NONE,
+        });
         let a = p.parse("worker node17 ready");
         let b = p.parse("worker node42 ready");
         assert_eq!(a.template, b.template);
-        assert_eq!(p.store().get(a.template).unwrap().render(), "worker <*> ready");
+        assert_eq!(
+            p.store().get(a.template).unwrap().render(),
+            "worker <*> ready"
+        );
         assert_eq!(b.variables, vec!["node42"]);
     }
 

@@ -67,6 +67,7 @@ pub struct Logan {
 
 /// Token-level edit distance between a pattern skeleton and message
 /// tokens; a wildcard matches any token at cost 0.
+#[allow(clippy::needless_range_loop)] // DP table indexed by (i, j)
 fn edit_distance(skeleton: &[TemplateToken], tokens: &[&str]) -> usize {
     let n = skeleton.len();
     let m = tokens.len();
@@ -103,7 +104,7 @@ fn normalized_distance(skeleton: &[TemplateToken], tokens: &[&str]) -> f64 {
 /// different lengths keep the skeleton unchanged (Logan aligns only
 /// equal-length merges; length differences are absorbed by the distance
 /// threshold at match time).
-fn widen(skeleton: &mut Vec<TemplateToken>, tokens: &[&str]) -> bool {
+fn widen(skeleton: &mut [TemplateToken], tokens: &[&str]) -> bool {
     if skeleton.len() != tokens.len() {
         return false;
     }
@@ -140,11 +141,7 @@ impl Logan {
         let mut consolidated: Vec<Pattern> = Vec::new();
         for agent in &self.agents {
             for pattern in agent {
-                let tokens: Vec<&str> = pattern
-                    .skeleton
-                    .iter()
-                    .map(|t| t.as_str())
-                    .collect();
+                let tokens: Vec<&str> = pattern.skeleton.iter().map(|t| t.as_str()).collect();
                 let similar = consolidated.iter_mut().find(|c| {
                     c.skeleton.len() == pattern.skeleton.len()
                         && normalized_distance(&c.skeleton, &tokens)
@@ -193,7 +190,11 @@ impl OnlineParser for Logan {
                     self.store.update(pattern.id, pattern.skeleton.clone());
                 }
                 let variables = variables_of(&pattern.skeleton, &original);
-                ParseOutcome { template: pattern.id, is_new: false, variables }
+                ParseOutcome {
+                    template: pattern.id,
+                    is_new: false,
+                    variables,
+                }
             }
             None => {
                 let skeleton: Vec<TemplateToken> = masked
@@ -208,10 +209,17 @@ impl OnlineParser for Logan {
                     .collect();
                 let id = self.store.intern(skeleton.clone());
                 if !agent.iter().any(|p| p.id == id) {
-                    agent.push(Pattern { id, skeleton: skeleton.clone() });
+                    agent.push(Pattern {
+                        id,
+                        skeleton: skeleton.clone(),
+                    });
                 }
                 let variables = variables_of(&skeleton, &original);
-                ParseOutcome { template: id, is_new: true, variables }
+                ParseOutcome {
+                    template: id,
+                    is_new: true,
+                    variables,
+                }
             }
         };
 
@@ -269,14 +277,16 @@ mod tests {
     use super::*;
 
     fn logan(n_agents: usize, merge_interval: usize) -> Logan {
-        Logan::new(LoganConfig { n_agents, merge_interval, ..Default::default() })
+        Logan::new(LoganConfig {
+            n_agents,
+            merge_interval,
+            ..Default::default()
+        })
     }
 
     #[test]
     fn edit_distance_basics() {
-        let skel = |p: &str| {
-            monilog_model::Template::from_pattern(TemplateId(0), p).tokens
-        };
+        let skel = |p: &str| monilog_model::Template::from_pattern(TemplateId(0), p).tokens;
         assert_eq!(edit_distance(&skel("a b c"), &["a", "b", "c"]), 0);
         assert_eq!(edit_distance(&skel("a b c"), &["a", "x", "c"]), 1);
         assert_eq!(edit_distance(&skel("a <*> c"), &["a", "anything", "c"]), 0);
@@ -304,7 +314,10 @@ mod tests {
         let mut p = logan(2, 4);
         let a = p.parse("disk sda ok"); // agent 0
         let b = p.parse("disk sdb ok"); // agent 1
-        assert_ne!(a.template, b.template, "agents are independent before merging");
+        assert_ne!(
+            a.template, b.template,
+            "agents are independent before merging"
+        );
         p.parse("disk sdc ok"); // agent 0
         p.parse("disk sdd ok"); // agent 1 → triggers reconcile
         let c = p.parse("disk sde ok");
@@ -363,8 +376,8 @@ mod tests {
 #[cfg(test)]
 mod corpus_tests {
     use super::*;
-    use monilog_loggen::corpus;
     use crate::eval::pairwise_scores;
+    use monilog_loggen::corpus;
 
     #[test]
     fn good_grouping_on_hdfs_like() {

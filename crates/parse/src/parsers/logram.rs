@@ -109,8 +109,7 @@ impl Logram {
                         .copied()
                         .unwrap_or(0)
                 };
-                if i + 2 < padded.len() && tg(i, i + 1, i + 2) >= self.config.three_gram_threshold
-                {
+                if i + 2 < padded.len() && tg(i, i + 1, i + 2) >= self.config.three_gram_threshold {
                     return true;
                 }
                 let left = self
@@ -153,7 +152,11 @@ impl OnlineParser for Logram {
             .collect();
         let before = self.store.len();
         let id = self.store.intern(skeleton);
-        ParseOutcome { template: id, is_new: self.store.len() > before, variables }
+        ParseOutcome {
+            template: id,
+            is_new: self.store.len() > before,
+            variables,
+        }
     }
 
     fn store(&self) -> &TemplateStore {
@@ -171,7 +174,10 @@ mod tests {
 
     #[test]
     fn warm_dictionaries_separate_statics_from_variables() {
-        let mut p = Logram::new(LogramConfig { mask: MaskConfig::NONE, ..Default::default() });
+        let mut p = Logram::new(LogramConfig {
+            mask: MaskConfig::NONE,
+            ..Default::default()
+        });
         // Warm up with repeated template, distinct variable values.
         for v in ["alpha", "beta", "gamma", "delta", "epsilon"] {
             p.parse(&format!("task {v} finished ok"));
@@ -185,7 +191,10 @@ mod tests {
 
     #[test]
     fn cold_start_overestimates_variables() {
-        let mut p = Logram::new(LogramConfig { mask: MaskConfig::NONE, ..Default::default() });
+        let mut p = Logram::new(LogramConfig {
+            mask: MaskConfig::NONE,
+            ..Default::default()
+        });
         let out = p.parse("first line ever seen");
         // Nothing is frequent yet: everything is variable.
         let t = p.store().get(out.template).unwrap();
@@ -196,7 +205,9 @@ mod tests {
     fn converged_lines_share_template() {
         let mut p = Logram::new(LogramConfig::default());
         for i in 0..10 {
-            p.parse(&format!("Receiving block blk_{i} src: 10.0.0.{i} dest: 10.0.0.9"));
+            p.parse(&format!(
+                "Receiving block blk_{i} src: 10.0.0.{i} dest: 10.0.0.9"
+            ));
         }
         let a = p.parse("Receiving block blk_77 src: 10.0.0.3 dest: 10.0.0.9");
         let b = p.parse("Receiving block blk_78 src: 10.0.0.4 dest: 10.0.0.9");
@@ -235,6 +246,10 @@ mod tests {
         }
         let out = strict.parse("stable template line");
         let t = strict.store().get(out.template).unwrap();
-        assert_eq!(t.wildcard_count(), 3, "everything still variable at high threshold");
+        assert_eq!(
+            t.wildcard_count(),
+            3,
+            "everything still variable at high threshold"
+        );
     }
 }

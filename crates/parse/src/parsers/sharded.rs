@@ -35,7 +35,10 @@ pub struct ShardedDrainConfig {
 
 impl Default for ShardedDrainConfig {
     fn default() -> Self {
-        ShardedDrainConfig { n_shards: 4, drain: DrainConfig::default() }
+        ShardedDrainConfig {
+            n_shards: 4,
+            drain: DrainConfig::default(),
+        }
     }
 }
 
@@ -53,7 +56,9 @@ impl ShardedDrain {
     pub fn new(config: ShardedDrainConfig) -> Self {
         assert!(config.n_shards >= 1, "need at least one shard");
         ShardedDrain {
-            shards: (0..config.n_shards).map(|_| Drain::new(config.drain)).collect(),
+            shards: (0..config.n_shards)
+                .map(|_| Drain::new(config.drain))
+                .collect(),
             config,
             global_ids: HashMap::new(),
             store: TemplateStore::new(),
@@ -80,10 +85,7 @@ impl ShardedDrain {
     /// whole line and would serialize half the parsing cost into the
     /// router (measured in experiment D1).
     pub fn route_static(message: &str, n_shards: usize) -> usize {
-        let first = message
-            .split_whitespace()
-            .next()
-            .unwrap_or("");
+        let first = message.split_whitespace().next().unwrap_or("");
         let first_key = if first.bytes().any(|b| b.is_ascii_digit()) {
             "<*>"
         } else {
@@ -118,7 +120,11 @@ impl OnlineParser for ShardedDrain {
             .or_insert_with(|| store.intern(local_template.clone()));
         // Keep the global view in sync with template widening in the shard.
         self.store.update(gid, local_template);
-        ParseOutcome { template: gid, is_new: local.is_new, variables: local.variables }
+        ParseOutcome {
+            template: gid,
+            is_new: local.is_new,
+            variables: local.variables,
+        }
     }
 
     fn store(&self) -> &TemplateStore {
@@ -160,7 +166,10 @@ mod tests {
         let a = sharded.route("Sending 138 bytes src: 10.0.0.1 dest: /10.0.0.2");
         let b = sharded.route("Sending 999 bytes src: 10.9.9.9 dest: /10.0.0.1");
         assert_eq!(a, b);
-        assert_eq!(a, sharded.route("Sending 138 bytes src: 10.0.0.1 dest: /10.0.0.2"));
+        assert_eq!(
+            a,
+            sharded.route("Sending 138 bytes src: 10.0.0.1 dest: /10.0.0.2")
+        );
     }
 
     #[test]
@@ -202,7 +211,10 @@ mod tests {
         let loads = sharded.shard_loads();
         assert_eq!(loads.iter().sum::<u64>() as usize, corpus.logs.len());
         let active = loads.iter().filter(|&&l| l > 0).count();
-        assert!(active >= 3, "load concentrated on {active} shards: {loads:?}");
+        assert!(
+            active >= 3,
+            "load concentrated on {active} shards: {loads:?}"
+        );
     }
 
     #[test]
@@ -225,6 +237,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "need at least one shard")]
     fn zero_shards_rejected() {
-        ShardedDrain::new(ShardedDrainConfig { n_shards: 0, drain: DrainConfig::default() });
+        ShardedDrain::new(ShardedDrainConfig {
+            n_shards: 0,
+            drain: DrainConfig::default(),
+        });
     }
 }

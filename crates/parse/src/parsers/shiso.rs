@@ -25,7 +25,11 @@ pub struct ShisoConfig {
 
 impl Default for ShisoConfig {
     fn default() -> Self {
-        ShisoConfig { max_children: 4, threshold: 0.6, mask: MaskConfig::STANDARD }
+        ShisoConfig {
+            max_children: 4,
+            threshold: 0.6,
+            mask: MaskConfig::STANDARD,
+        }
     }
 }
 
@@ -92,7 +96,11 @@ fn token_sim(a: &str, b: &str) -> f64 {
         }
     }
     let union = (a.len() + b.len()) as i32 - inter;
-    let char_sim = if union == 0 { 1.0 } else { inter as f64 / union as f64 };
+    let char_sim = if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    };
     0.4 * char_sim + 0.6 * class_sim
 }
 
@@ -149,7 +157,7 @@ impl Shiso {
         }
     }
 
-    fn node_at_mut<'a>(nodes: &'a mut Vec<ShisoNode>, path: &[usize]) -> &'a mut ShisoNode {
+    fn node_at_mut<'a>(nodes: &'a mut [ShisoNode], path: &[usize]) -> &'a mut ShisoNode {
         let (first, rest) = path.split_first().expect("path is never empty");
         let node = &mut nodes[*first];
         if rest.is_empty() {
@@ -165,7 +173,13 @@ impl OnlineParser for Shiso {
         let (masked, original) = self.pre.mask(message);
 
         let mut best = None;
-        Self::find_best(&self.roots, &masked, self.config.threshold, &mut Vec::new(), &mut best);
+        Self::find_best(
+            &self.roots,
+            &masked,
+            self.config.threshold,
+            &mut Vec::new(),
+            &mut best,
+        );
         if let Some((path, _)) = best {
             let node = Self::node_at_mut(&mut self.roots, &path);
             // Adjust the format: widen mismatches.
@@ -188,7 +202,11 @@ impl OnlineParser for Shiso {
                 .filter(|(t, _)| t.is_wildcard())
                 .map(|(_, tok)| (*tok).to_string())
                 .collect();
-            return ParseOutcome { template: node.id, is_new: false, variables };
+            return ParseOutcome {
+                template: node.id,
+                is_new: false,
+                variables,
+            };
         }
 
         // No match: insert a new node, descending while nodes are full.
@@ -212,7 +230,11 @@ impl OnlineParser for Shiso {
         // intern() may dedup to an existing node's template; in that case
         // do not insert a duplicate node.
         if !node_exists(&self.roots, id) {
-            let node = ShisoNode { id, skeleton, children: Vec::new() };
+            let node = ShisoNode {
+                id,
+                skeleton,
+                children: Vec::new(),
+            };
             let max = self.config.max_children;
             let mut level = &mut self.roots;
             loop {
@@ -233,7 +255,11 @@ impl OnlineParser for Shiso {
                 level = &mut level[best_idx].children;
             }
         }
-        ParseOutcome { template: id, is_new: true, variables }
+        ParseOutcome {
+            template: id,
+            is_new: true,
+            variables,
+        }
     }
 
     fn store(&self) -> &TemplateStore {
@@ -283,7 +309,10 @@ mod tests {
 
     #[test]
     fn similar_messages_adjust_format() {
-        let mut p = Shiso::new(ShisoConfig { mask: MaskConfig::NONE, ..Default::default() });
+        let mut p = Shiso::new(ShisoConfig {
+            mask: MaskConfig::NONE,
+            ..Default::default()
+        });
         let a = p.parse("process x92 exited code 0");
         let b = p.parse("process b07 exited code 0");
         assert_eq!(a.template, b.template);
@@ -308,15 +337,10 @@ mod tests {
         });
         // Four dissimilar messages with a tiny budget: the tree must grow
         // in depth rather than width, and all messages still parse.
-        let outs: Vec<ParseOutcome> = [
-            "alpha beta",
-            "gamma delta",
-            "epsilon zeta",
-            "eta theta",
-        ]
-        .iter()
-        .map(|m| p.parse(m))
-        .collect();
+        let outs: Vec<ParseOutcome> = ["alpha beta", "gamma delta", "epsilon zeta", "eta theta"]
+            .iter()
+            .map(|m| p.parse(m))
+            .collect();
         let mut ids: Vec<u32> = outs.iter().map(|o| o.template.0).collect();
         ids.sort_unstable();
         ids.dedup();
@@ -325,7 +349,10 @@ mod tests {
 
     #[test]
     fn length_mismatch_is_penalized() {
-        let mut p = Shiso::new(ShisoConfig { threshold: 0.7, ..Default::default() });
+        let mut p = Shiso::new(ShisoConfig {
+            threshold: 0.7,
+            ..Default::default()
+        });
         let a = p.parse("connection closed");
         let b = p.parse("connection closed by remote peer after timeout");
         assert_ne!(a.template, b.template);

@@ -24,7 +24,10 @@ pub struct SlctConfig {
 
 impl Default for SlctConfig {
     fn default() -> Self {
-        SlctConfig { support: 10, mask: MaskConfig::STANDARD }
+        SlctConfig {
+            support: 10,
+            mask: MaskConfig::STANDARD,
+        }
     }
 }
 
@@ -66,16 +69,13 @@ impl BatchParser for Slct {
 
         // Pass 2: build each line's cluster candidate.
         let mut candidate_count: HashMap<Vec<TemplateToken>, usize> = HashMap::new();
-        let mut line_candidates: Vec<Vec<TemplateToken>> =
-            Vec::with_capacity(messages.len());
+        let mut line_candidates: Vec<Vec<TemplateToken>> = Vec::with_capacity(messages.len());
         for (masked, _) in &masked_and_original {
             let skeleton: Vec<TemplateToken> = masked
                 .iter()
                 .enumerate()
                 .map(|(pos, tok)| {
-                    if *tok != "<*>"
-                        && freq[&(masked.len(), pos, *tok)] >= self.config.support
-                    {
+                    if *tok != "<*>" && freq[&(masked.len(), pos, *tok)] >= self.config.support {
                         TemplateToken::Static((*tok).to_string())
                     } else {
                         TemplateToken::Wildcard
@@ -89,9 +89,7 @@ impl BatchParser for Slct {
         // Clusters with support become templates; the rest share a per-length
         // outlier template (all wildcards).
         let mut outcomes = Vec::with_capacity(messages.len());
-        for ((masked, original), skeleton) in
-            masked_and_original.iter().zip(line_candidates)
-        {
+        for ((masked, original), skeleton) in masked_and_original.iter().zip(line_candidates) {
             let final_skeleton = if candidate_count[&skeleton] >= self.config.support {
                 skeleton
             } else {
@@ -104,7 +102,11 @@ impl BatchParser for Slct {
                 .map(|(_, tok)| (*tok).to_string())
                 .collect();
             let id = self.store.intern(final_skeleton);
-            outcomes.push(ParseOutcome { template: id, is_new: false, variables });
+            outcomes.push(ParseOutcome {
+                template: id,
+                is_new: false,
+                variables,
+            });
         }
         outcomes
     }
@@ -124,11 +126,12 @@ mod tests {
 
     #[test]
     fn frequent_pattern_forms_cluster() {
-        let msgs: Vec<String> = (0..30)
-            .map(|i| format!("user u{i} logged in"))
-            .collect();
+        let msgs: Vec<String> = (0..30).map(|i| format!("user u{i} logged in")).collect();
         let refs: Vec<&str> = msgs.iter().map(String::as_str).collect();
-        let mut p = Slct::new(SlctConfig { support: 10, mask: MaskConfig::NONE });
+        let mut p = Slct::new(SlctConfig {
+            support: 10,
+            mask: MaskConfig::NONE,
+        });
         let outs = p.parse_batch(&refs);
         assert!(outs.iter().all(|o| o.template == outs[0].template));
         let t = p.store().get(outs[0].template).unwrap();
@@ -141,7 +144,10 @@ mod tests {
         let mut msgs: Vec<String> = (0..30).map(|i| format!("ping host h{i} ok")).collect();
         msgs.push("kernel panic imminent now".to_string());
         let refs: Vec<&str> = msgs.iter().map(String::as_str).collect();
-        let mut p = Slct::new(SlctConfig { support: 10, mask: MaskConfig::NONE });
+        let mut p = Slct::new(SlctConfig {
+            support: 10,
+            mask: MaskConfig::NONE,
+        });
         let outs = p.parse_batch(&refs);
         let outlier = outs.last().unwrap();
         assert_ne!(outlier.template, outs[0].template);
@@ -157,7 +163,10 @@ mod tests {
             msgs.push(format!("close sock s{i} ok"));
         }
         let refs: Vec<&str> = msgs.iter().map(String::as_str).collect();
-        let mut p = Slct::new(SlctConfig { support: 10, mask: MaskConfig::NONE });
+        let mut p = Slct::new(SlctConfig {
+            support: 10,
+            mask: MaskConfig::NONE,
+        });
         let outs = p.parse_batch(&refs);
         assert_ne!(outs[0].template, outs[1].template);
         assert_eq!(outs[0].template, outs[2].template);
@@ -169,12 +178,18 @@ mod tests {
         let msgs: Vec<String> = (0..5).map(|i| format!("beat n{i}")).collect();
         let refs: Vec<&str> = msgs.iter().map(String::as_str).collect();
         // support 6 > corpus: everything is outlier.
-        let mut strict = Slct::new(SlctConfig { support: 6, mask: MaskConfig::NONE });
+        let mut strict = Slct::new(SlctConfig {
+            support: 6,
+            mask: MaskConfig::NONE,
+        });
         let outs = strict.parse_batch(&refs);
         let t = strict.store().get(outs[0].template).unwrap();
         assert_eq!(t.wildcard_count(), 2);
         // support 3: "beat" is frequent.
-        let mut loose = Slct::new(SlctConfig { support: 3, mask: MaskConfig::NONE });
+        let mut loose = Slct::new(SlctConfig {
+            support: 3,
+            mask: MaskConfig::NONE,
+        });
         let outs = loose.parse_batch(&refs);
         let t = loose.store().get(outs[0].template).unwrap();
         assert_eq!(t.render(), "beat <*>");

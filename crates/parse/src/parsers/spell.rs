@@ -24,7 +24,10 @@ pub struct SpellConfig {
 
 impl Default for SpellConfig {
     fn default() -> Self {
-        SpellConfig { tau: 0.5, mask: MaskConfig::STANDARD }
+        SpellConfig {
+            tau: 0.5,
+            mask: MaskConfig::STANDARD,
+        }
     }
 }
 
@@ -170,7 +173,11 @@ impl OnlineParser for Spell {
                     self.store.update(obj.id, skeleton);
                 }
                 let variables = variables_of(&original, &keep);
-                ParseOutcome { template: obj.id, is_new: false, variables }
+                ParseOutcome {
+                    template: obj.id,
+                    is_new: false,
+                    variables,
+                }
             }
             None => {
                 let keep: Vec<usize> = masked
@@ -190,7 +197,11 @@ impl OnlineParser for Spell {
                     });
                 }
                 let variables = variables_of(&original, &keep);
-                ParseOutcome { template: id, is_new: true, variables }
+                ParseOutcome {
+                    template: id,
+                    is_new: true,
+                    variables,
+                }
             }
         }
     }
@@ -247,7 +258,10 @@ mod tests {
 
     #[test]
     fn lcs_positions_recover_subsequence() {
-        let a: Vec<String> = ["send", "bytes", "to"].iter().map(|s| s.to_string()).collect();
+        let a: Vec<String> = ["send", "bytes", "to"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let b = ["send", "42", "bytes", "to", "host"];
         assert_eq!(Spell::lcs_positions(&a, &b), vec![0, 2, 3]);
     }
@@ -263,7 +277,10 @@ mod tests {
 
     #[test]
     fn variable_positions_become_wildcards() {
-        let mut s = Spell::new(SpellConfig { tau: 0.5, mask: MaskConfig::NONE });
+        let mut s = Spell::new(SpellConfig {
+            tau: 0.5,
+            mask: MaskConfig::NONE,
+        });
         let a = s.parse("job alpha finished ok");
         let b = s.parse("job beta finished ok");
         assert_eq!(a.template, b.template);
@@ -275,7 +292,10 @@ mod tests {
     #[test]
     fn lcs_handles_length_differences() {
         // Unlike Drain, Spell can group messages of different lengths.
-        let mut s = Spell::new(SpellConfig { tau: 0.6, mask: MaskConfig::NONE });
+        let mut s = Spell::new(SpellConfig {
+            tau: 0.6,
+            mask: MaskConfig::NONE,
+        });
         let a = s.parse("opening file for read");
         let b = s.parse("opening temp file for read");
         assert_eq!(a.template, b.template, "subsequence match across lengths");
@@ -306,12 +326,21 @@ mod tests {
 
     #[test]
     fn tau_controls_merging() {
-        let mut strict = Spell::new(SpellConfig { tau: 0.9, mask: MaskConfig::NONE });
+        let mut strict = Spell::new(SpellConfig {
+            tau: 0.9,
+            mask: MaskConfig::NONE,
+        });
         let a = strict.parse("alpha beta gamma delta eps");
         let b = strict.parse("alpha beta zzz yyy xxx");
-        assert_ne!(a.template, b.template, "2/5 overlap must not merge at tau=0.9");
+        assert_ne!(
+            a.template, b.template,
+            "2/5 overlap must not merge at tau=0.9"
+        );
 
-        let mut loose = Spell::new(SpellConfig { tau: 0.3, mask: MaskConfig::NONE });
+        let mut loose = Spell::new(SpellConfig {
+            tau: 0.3,
+            mask: MaskConfig::NONE,
+        });
         let a = loose.parse("alpha beta gamma delta eps");
         let b = loose.parse("alpha beta zzz yyy xxx");
         assert_eq!(a.template, b.template, "2/5 overlap merges at tau=0.3");

@@ -258,8 +258,7 @@ mod tests {
     #[test]
     fn standard_masking_on_table1_line() {
         let p = Preprocessor::new(MaskConfig::STANDARD);
-        let (masked, original) =
-            p.mask("Sending 138 bytes src: 10.250.11.53 dest: /10.250.11.53");
+        let (masked, original) = p.mask("Sending 138 bytes src: 10.250.11.53 dest: /10.250.11.53");
         assert_eq!(original.len(), 7);
         assert_eq!(
             masked,

@@ -6,8 +6,8 @@
 
 use monilog_parse::{
     BatchParser, Drain, DrainConfig, IpLoM, IpLoMConfig, LenMa, LenMaConfig, Logan, LoganConfig,
-    Logram, LogramConfig, OnlineParser, ShardedDrain, ShardedDrainConfig, Shiso, ShisoConfig,
-    Slct, SlctConfig, Spell, SpellConfig,
+    Logram, LogramConfig, OnlineParser, ShardedDrain, ShardedDrainConfig, Shiso, ShisoConfig, Slct,
+    SlctConfig, Spell, SpellConfig,
 };
 use proptest::prelude::*;
 

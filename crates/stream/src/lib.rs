@@ -14,16 +14,33 @@
 //!   multi-threaded sharded-Drain runner measured by experiment D1.
 //! - [`service`] — the long-lived deployment shape: standing Drain workers
 //!   behind bounded queues with end-to-end backpressure.
+//! - [`supervisor`] — the fault-tolerant deployment shape: the service
+//!   topology plus per-line retry/quarantine, crashed-worker respawn that
+//!   keeps template ids stable, crash-loop degradation, and configurable
+//!   overload policies.
+//! - [`chaos`] — deterministic fault injection (worker kills, poison
+//!   lines, transient faults) for testing the supervisor's guarantees.
+//! - [`config`] — typed configuration errors and the overload-policy
+//!   vocabulary shared with the CLI.
 //! - [`metrics`] — cheap shared counters for pipeline observability.
 
+pub mod chaos;
+pub mod config;
 pub mod merge;
 pub mod metrics;
 pub mod partition;
 pub mod pipeline;
 pub mod service;
+pub mod supervisor;
 
+pub use chaos::{FaultContext, FaultInjector, FaultPlan, WorkerKill};
+pub use config::{ConfigError, OverloadPolicy, RetryPolicy};
 pub use merge::{BoundedReorderBuffer, DedupFilter};
 pub use metrics::PipelineMetrics;
 pub use partition::HashPartitioner;
 pub use pipeline::{parallel_map, ParallelShardedDrain};
 pub use service::{ParsedItem, ShardedParseService, SHARD_ID_STRIDE};
+pub use supervisor::{
+    DeadLetter, FailureReason, ShardHealth, SubmitError, SubmitOutcome, SupervisedParseService,
+    SupervisorConfig, CATCH_ALL_TEMPLATE_ID,
+};

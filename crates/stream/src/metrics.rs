@@ -3,6 +3,28 @@
 //! Cheap, shareable atomics — stages on different threads bump them
 //! without coordination; the monitoring loop reads a consistent-enough
 //! snapshot.
+//!
+//! ## Counter semantics
+//!
+//! Ingestion and parsing:
+//! - `lines_ingested` — raw lines accepted into the pipeline.
+//! - `lines_parsed` — lines that produced a parse outcome.
+//! - `header_errors` — lines whose header failed to parse.
+//! - `duplicates_dropped` — lines suppressed by the dedup filter.
+//! - `templates_discovered` — new templates minted by the parser.
+//! - `anomalies_reported` — anomaly reports emitted downstream.
+//!
+//! Fault tolerance (see [`crate::supervisor`]):
+//! - `worker_restarts` — shard workers respawned after a crash; each
+//!   restart warm-starts from the shard's last template snapshot.
+//! - `lines_quarantined` — lines moved to the dead-letter queue, either
+//!   after exhausting parse retries (poison lines) or because they were
+//!   in flight when a worker crashed, or shed there by the
+//!   `DeadLetter` overload policy.
+//! - `lines_shed` — lines dropped at `submit()` by the `ShedToCatchAll`
+//!   overload policy and accounted to the reserved catch-all template.
+//! - `retries_attempted` — individual parse retry attempts (a line that
+//!   succeeds on its second try contributes 1).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -16,6 +38,10 @@ pub struct PipelineMetrics {
     pub duplicates_dropped: AtomicU64,
     pub templates_discovered: AtomicU64,
     pub anomalies_reported: AtomicU64,
+    pub worker_restarts: AtomicU64,
+    pub lines_quarantined: AtomicU64,
+    pub lines_shed: AtomicU64,
+    pub retries_attempted: AtomicU64,
 }
 
 impl PipelineMetrics {
@@ -38,13 +64,18 @@ impl PipelineMetrics {
     /// One-line human-readable snapshot.
     pub fn snapshot(&self) -> String {
         format!(
-            "ingested={} parsed={} header_errors={} dups_dropped={} templates={} anomalies={}",
+            "ingested={} parsed={} header_errors={} dups_dropped={} templates={} anomalies={} \
+             restarts={} quarantined={} shed={} retries={}",
             Self::get(&self.lines_ingested),
             Self::get(&self.lines_parsed),
             Self::get(&self.header_errors),
             Self::get(&self.duplicates_dropped),
             Self::get(&self.templates_discovered),
             Self::get(&self.anomalies_reported),
+            Self::get(&self.worker_restarts),
+            Self::get(&self.lines_quarantined),
+            Self::get(&self.lines_shed),
+            Self::get(&self.retries_attempted),
         )
     }
 }
@@ -81,7 +112,31 @@ mod tests {
     fn snapshot_mentions_every_counter() {
         let m = PipelineMetrics::default();
         let s = m.snapshot();
-        for field in ["ingested", "parsed", "header_errors", "dups_dropped", "templates", "anomalies"] {
+        for field in [
+            "ingested",
+            "parsed",
+            "header_errors",
+            "dups_dropped",
+            "templates",
+            "anomalies",
+            "restarts",
+            "quarantined",
+            "shed",
+            "retries",
+        ] {
+            assert!(s.contains(field), "{field} missing from {s}");
+        }
+    }
+
+    #[test]
+    fn snapshot_reports_fault_tolerance_counters() {
+        let m = PipelineMetrics::default();
+        PipelineMetrics::incr(&m.worker_restarts);
+        PipelineMetrics::add(&m.lines_quarantined, 3);
+        PipelineMetrics::add(&m.lines_shed, 7);
+        PipelineMetrics::add(&m.retries_attempted, 11);
+        let s = m.snapshot();
+        for field in ["restarts=1", "quarantined=3", "shed=7", "retries=11"] {
             assert!(s.contains(field), "{field} missing from {s}");
         }
     }

@@ -67,9 +67,11 @@ pub struct ParallelShardedDrain {
 }
 
 impl ParallelShardedDrain {
-    pub fn new(n_shards: usize, drain: DrainConfig) -> Self {
-        assert!(n_shards >= 1);
-        ParallelShardedDrain { n_shards, drain }
+    pub fn new(n_shards: usize, drain: DrainConfig) -> Result<Self, crate::config::ConfigError> {
+        if n_shards == 0 {
+            return Err(crate::config::ConfigError::ZeroShards);
+        }
+        Ok(ParallelShardedDrain { n_shards, drain })
     }
 
     /// Parse a batch in parallel. Returns per-message outcomes (input
@@ -159,7 +161,7 @@ mod tests {
         let corpus = corpus::cloud_mixed(15, 3);
         let messages: Vec<&str> = corpus.messages().collect();
 
-        let parallel = ParallelShardedDrain::new(4, DrainConfig::default());
+        let parallel = ParallelShardedDrain::new(4, DrainConfig::default()).expect("valid config");
         let (par_out, shard_templates) = parallel.parse_batch(&messages);
 
         let mut sequential = monilog_parse::ShardedDrain::new(ShardedDrainConfig {
@@ -173,8 +175,14 @@ mod tests {
         let mut par_groups = std::collections::HashMap::new();
         let mut seq_groups = std::collections::HashMap::new();
         for (i, (p, s)) in par_out.iter().zip(&seq_out).enumerate() {
-            par_groups.entry(p.template).or_insert_with(Vec::new).push(i);
-            seq_groups.entry(s.template).or_insert_with(Vec::new).push(i);
+            par_groups
+                .entry(p.template)
+                .or_insert_with(Vec::new)
+                .push(i);
+            seq_groups
+                .entry(s.template)
+                .or_insert_with(Vec::new)
+                .push(i);
         }
         let mut par_partition: Vec<Vec<usize>> = par_groups.into_values().collect();
         let mut seq_partition: Vec<Vec<usize>> = seq_groups.into_values().collect();
@@ -195,7 +203,7 @@ mod tests {
     fn shard_count_one_matches_plain_drain() {
         let corpus = corpus::hdfs_like(40, 5);
         let messages: Vec<&str> = corpus.messages().collect();
-        let parallel = ParallelShardedDrain::new(1, DrainConfig::default());
+        let parallel = ParallelShardedDrain::new(1, DrainConfig::default()).expect("valid config");
         let (par_out, _) = parallel.parse_batch(&messages);
         let mut plain = Drain::new(DrainConfig::default());
         for (m, p) in messages.iter().zip(&par_out) {

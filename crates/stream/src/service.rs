@@ -50,9 +50,17 @@ pub struct ShardedParseService {
 impl ShardedParseService {
     /// Spawn the service: `n_shards` Drain workers, all queues bounded by
     /// `capacity` items.
-    pub fn spawn(n_shards: usize, drain: DrainConfig, capacity: usize) -> Self {
-        assert!(n_shards >= 1, "need at least one shard");
-        assert!(capacity >= 1, "queues need capacity");
+    pub fn spawn(
+        n_shards: usize,
+        drain: DrainConfig,
+        capacity: usize,
+    ) -> Result<Self, crate::config::ConfigError> {
+        if n_shards == 0 {
+            return Err(crate::config::ConfigError::ZeroShards);
+        }
+        if capacity == 0 {
+            return Err(crate::config::ConfigError::ZeroCapacity);
+        }
         let (input_tx, input_rx) = bounded::<Item>(capacity);
         let (output_tx, output_rx) = bounded::<ParsedItem>(capacity);
 
@@ -69,7 +77,14 @@ impl ShardedParseService {
                     outcome.template = monilog_model::TemplateId(
                         shard as u32 * SHARD_ID_STRIDE + outcome.template.0,
                     );
-                    if out.send(ParsedItem { seq, shard, outcome }).is_err() {
+                    if out
+                        .send(ParsedItem {
+                            seq,
+                            shard,
+                            outcome,
+                        })
+                        .is_err()
+                    {
                         break; // consumer went away: stop quietly
                     }
                 }
@@ -88,12 +103,12 @@ impl ShardedParseService {
             // input closed: dropping shard_txs lets workers drain and exit.
         });
 
-        ShardedParseService {
+        Ok(ShardedParseService {
             input: Some(input_tx),
             output: output_rx,
             router: Some(router),
             workers,
-        }
+        })
     }
 
     /// Submit a line; **blocks** when the pipeline is saturated (this is
@@ -158,8 +173,13 @@ impl ShardedParseService {
 impl Drop for ShardedParseService {
     fn drop(&mut self) {
         self.input = None;
-        // Drain so workers don't block on a full output queue forever.
-        while self.output.try_recv().is_ok() {}
+        // Drain until the output channel disconnects, not merely until it
+        // is momentarily empty: items still queued upstream (input queue,
+        // router in-flight, shard queues) keep refilling the bounded
+        // output queue, and a worker blocked on a full output queue would
+        // deadlock the joins below. Disconnect happens exactly when the
+        // router and every worker have flushed and exited.
+        while self.output.recv().is_ok() {}
         if let Some(router) = self.router.take() {
             let _ = router.join();
         }
@@ -178,7 +198,8 @@ mod tests {
     #[test]
     fn round_trip_is_complete_and_tagged() {
         let corpus = corpus::hdfs_like(50, 61);
-        let mut service = ShardedParseService::spawn(4, DrainConfig::default(), 64);
+        let mut service =
+            ShardedParseService::spawn(4, DrainConfig::default(), 64).expect("valid config");
         let n = corpus.logs.len();
         // Producer thread feeds while we consume (bounded queues would
         // deadlock a single-threaded feed-everything-then-read pattern —
@@ -188,7 +209,8 @@ mod tests {
             let svc = &service;
             s.spawn(move || {
                 for (i, log) in corpus.logs.iter().enumerate() {
-                    svc.submit(i as u64, log.record.message.clone()).expect("accepts");
+                    svc.submit(i as u64, log.record.message.clone())
+                        .expect("accepts");
                 }
             });
             while received.len() < n {
@@ -202,8 +224,15 @@ mod tests {
         assert!(rest.is_empty());
         let mut seqs: Vec<u64> = received.iter().map(|p| p.seq).collect();
         seqs.sort_unstable();
-        assert_eq!(seqs, (0..n as u64).collect::<Vec<_>>(), "every line exactly once");
-        assert!(counts.iter().sum::<usize>() >= 7, "templates discovered across shards");
+        assert_eq!(
+            seqs,
+            (0..n as u64).collect::<Vec<_>>(),
+            "every line exactly once"
+        );
+        assert!(
+            counts.iter().sum::<usize>() >= 7,
+            "templates discovered across shards"
+        );
     }
 
     fn svc_recv(svc: &ShardedParseService) -> Option<ParsedItem> {
@@ -215,7 +244,8 @@ mod tests {
         let corpus = corpus::cloud_mixed(10, 63);
         let messages: Vec<&str> = corpus.messages().collect();
 
-        let mut service = ShardedParseService::spawn(4, DrainConfig::default(), 32);
+        let mut service =
+            ShardedParseService::spawn(4, DrainConfig::default(), 32).expect("valid config");
         let mut by_seq: HashMap<u64, u32> = HashMap::new();
         std::thread::scope(|s| {
             let svc = &service;
@@ -236,7 +266,8 @@ mod tests {
             service.shutdown()
         };
 
-        let batch = crate::pipeline::ParallelShardedDrain::new(4, DrainConfig::default());
+        let batch = crate::pipeline::ParallelShardedDrain::new(4, DrainConfig::default())
+            .expect("valid config");
         let (batch_out, _) = batch.parse_batch(&messages);
 
         // Same partition of lines into templates.
@@ -266,7 +297,8 @@ mod tests {
     fn try_submit_reports_saturation() {
         // Capacity 1 everywhere and no consumer: the pipeline must fill and
         // try_submit must start failing rather than buffering unboundedly.
-        let service = ShardedParseService::spawn(1, DrainConfig::default(), 1);
+        let service =
+            ShardedParseService::spawn(1, DrainConfig::default(), 1).expect("valid config");
         let mut accepted = 0;
         let mut saturated = false;
         for i in 0..1_000 {
@@ -282,15 +314,22 @@ mod tests {
                 std::thread::yield_now();
             }
         }
-        assert!(saturated, "pipeline never saturated after {accepted} unconsumed lines");
+        assert!(
+            saturated,
+            "pipeline never saturated after {accepted} unconsumed lines"
+        );
         assert!(accepted < 1_000);
         // accepted items ≤ total queue capacity (input + shard + output + in-flight).
-        assert!(accepted <= 8, "buffered {accepted} items with capacity-1 queues");
+        assert!(
+            accepted <= 8,
+            "buffered {accepted} items with capacity-1 queues"
+        );
     }
 
     #[test]
     fn close_then_drain_terminates() {
-        let mut service = ShardedParseService::spawn(2, DrainConfig::default(), 16);
+        let mut service =
+            ShardedParseService::spawn(2, DrainConfig::default(), 16).expect("valid config");
         for i in 0..8 {
             service.submit(i, format!("alpha beta {i}")).expect("space");
         }
@@ -302,7 +341,8 @@ mod tests {
 
     #[test]
     fn drop_without_shutdown_does_not_hang() {
-        let service = ShardedParseService::spawn(2, DrainConfig::default(), 4);
+        let service =
+            ShardedParseService::spawn(2, DrainConfig::default(), 4).expect("valid config");
         for i in 0..4 {
             let _ = service.try_submit(i, "x y z".to_string());
         }
@@ -310,8 +350,20 @@ mod tests {
     }
 
     #[test]
+    fn spawn_rejects_degenerate_configs() {
+        use crate::config::ConfigError;
+        let err = ShardedParseService::spawn(0, DrainConfig::default(), 8).err();
+        assert_eq!(err, Some(ConfigError::ZeroShards));
+        let err = ShardedParseService::spawn(2, DrainConfig::default(), 0).err();
+        assert_eq!(err, Some(ConfigError::ZeroCapacity));
+        let err = crate::pipeline::ParallelShardedDrain::new(0, DrainConfig::default()).err();
+        assert_eq!(err, Some(ConfigError::ZeroShards));
+    }
+
+    #[test]
     fn submit_after_close_errors() {
-        let mut service = ShardedParseService::spawn(1, DrainConfig::default(), 4);
+        let mut service =
+            ShardedParseService::spawn(1, DrainConfig::default(), 4).expect("valid config");
         service.close();
         assert!(service.submit(0, "line".into()).is_err());
         assert!(service.try_submit(0, "line".into()).is_err());

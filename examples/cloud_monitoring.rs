@@ -32,7 +32,11 @@ fn main() {
 
     println!("training on {} lines from 24 sources ...", training.len());
     for log in &training {
-        monilog.ingest_training(&RawLog::new(log.record.source, log.record.seq, log.record.to_line()));
+        monilog.ingest_training(&RawLog::new(
+            log.record.source,
+            log.record.seq,
+            log.record.to_line(),
+        ));
     }
     monilog.train();
     println!("templates discovered: {}", monilog.templates().len());
@@ -55,7 +59,10 @@ fn main() {
     })
     .apply(&live);
 
-    println!("\nmonitoring {} live lines (noise: reordering + duplicates) ...", noisy.len());
+    println!(
+        "\nmonitoring {} live lines (noise: reordering + duplicates) ...",
+        noisy.len()
+    );
     let mut anomalies = Vec::new();
     for log in &noisy {
         // Live sequence numbers continue after the training range.
@@ -98,7 +105,9 @@ fn main() {
                     policy: &AdminPolicy| {
         let hits = anomalies
             .iter()
-            .filter(|a| monilog.classifier_mut().classify(&a.report).pool == policy.true_pool(&a.report))
+            .filter(|a| {
+                monilog.classifier_mut().classify(&a.report).pool == policy.true_pool(&a.report)
+            })
             .count();
         100.0 * hits as f64 / anomalies.len().max(1) as f64
     };

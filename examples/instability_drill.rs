@@ -35,7 +35,10 @@ fn windows_of(parser: &mut Drain, logs: &[GenLog]) -> Vec<Window> {
             numerics,
         )
     });
-    session_windows(events).into_iter().map(|(_, w)| w).collect()
+    session_windows(events)
+        .into_iter()
+        .map(|(_, w)| w)
+        .collect()
 }
 
 fn false_alarm_rate(detector: &dyn Detector, windows: &[Window]) -> f64 {

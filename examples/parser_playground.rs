@@ -28,7 +28,10 @@ fn main() {
         "parser", "templates", "grouping", "token-acc", "time(ms)", "lines/sec"
     );
 
-    let report = |name: &str, outcomes: &[ParseOutcome], store: &monilog_core::model::TemplateStore, elapsed_ms: f64| {
+    let report = |name: &str,
+                  outcomes: &[ParseOutcome],
+                  store: &monilog_core::model::TemplateStore,
+                  elapsed_ms: f64| {
         let parsed: Vec<u32> = outcomes.iter().map(|o| o.template.0).collect();
         let ga = grouping_accuracy(&parsed, &truth);
         let inputs: Vec<TokenAccuracyInput> = corpus
@@ -83,7 +86,10 @@ fn main() {
     run_online!("Logan", Logan::new(LoganConfig::default()));
     run_online!("SHISO", Shiso::new(ShisoConfig::default()));
     run_online!("Logram", Logram::new(LogramConfig::default()));
-    run_online!("ShardedDrain", ShardedDrain::new(ShardedDrainConfig::default()));
+    run_online!(
+        "ShardedDrain",
+        ShardedDrain::new(ShardedDrainConfig::default())
+    );
     run_batch!("IPLoM", IpLoM::new(IpLoMConfig::default()));
     run_batch!("SLCT", Slct::new(SlctConfig::default()));
 

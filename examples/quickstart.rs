@@ -16,7 +16,11 @@ use monilog_loggen::{GenLog, HdfsWorkload, HdfsWorkloadConfig};
 /// Sequence numbers must stay disjoint across streams (a collector never
 /// restarts them); the dedup stage depends on it.
 fn to_raw(log: &GenLog, seq_offset: u64) -> RawLog {
-    RawLog::new(log.record.source, log.record.seq + seq_offset, log.record.to_line())
+    RawLog::new(
+        log.record.source,
+        log.record.seq + seq_offset,
+        log.record.to_line(),
+    )
 }
 
 fn main() {
@@ -31,7 +35,10 @@ fn main() {
     .generate();
 
     let mut monilog = MoniLog::new(MoniLogConfig {
-        window: WindowPolicy::Session { idle_ms: 2_000, max_events: 64 },
+        window: WindowPolicy::Session {
+            idle_ms: 2_000,
+            max_events: 64,
+        },
         detector: DetectorChoice::DeepLog(DeepLogConfig {
             history: 6,
             top_g: 2,

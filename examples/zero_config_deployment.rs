@@ -28,7 +28,10 @@ fn main() {
         ..CloudWorkloadConfig::default()
     })
     .generate();
-    println!("environment: unknown 24-source platform, {} lines observed", logs.len());
+    println!(
+        "environment: unknown 24-source platform, {} lines observed",
+        logs.len()
+    );
 
     // ── Step 1: acquire a fixed quantity of loglines ─────────────────────
     let calibration_size = 1_000.min(logs.len() / 4);
@@ -46,14 +49,18 @@ fn main() {
          (quality {:.3} over {} grid points, no labels used)",
         config.depth,
         config.sim_threshold,
-        if config.mask == monilog_core::parse::MaskConfig::NONE { "off" } else { "on" },
+        if config.mask == monilog_core::parse::MaskConfig::NONE {
+            "off"
+        } else {
+            "on"
+        },
         result.best.report.quality,
         result.all.len(),
     );
 
     // ── Step 3: start parsing logs (standing service, backpressure) ──────
     let live = &logs[calibration_size..];
-    let mut service = ShardedParseService::spawn(4, config, 256);
+    let mut service = ShardedParseService::spawn(4, config, 256).expect("valid service config");
     let mut parsed = vec![0u32; live.len()];
     std::thread::scope(|s| {
         let svc = &service;

@@ -3,9 +3,7 @@
 use monilog_core::detect::DeepLogConfig;
 use monilog_core::model::{RawLog, SourceId};
 use monilog_core::{DetectorChoice, MoniLog, MoniLogConfig, WindowPolicy};
-use monilog_loggen::{
-    GenLog, HdfsWorkload, HdfsWorkloadConfig, NoiseConfig, NoiseInjector,
-};
+use monilog_loggen::{GenLog, HdfsWorkload, HdfsWorkloadConfig, NoiseConfig, NoiseInjector};
 use monilog_stream::PipelineMetrics;
 
 /// Convert generated logs to raw lines. `seq_offset` keeps sequence
@@ -13,7 +11,11 @@ use monilog_stream::PipelineMetrics;
 /// collector's sequence numbers never restart, and the pipeline's
 /// duplicate suppression rightly relies on that.
 fn to_raw(log: &GenLog, seq_offset: u64) -> RawLog {
-    RawLog::new(log.record.source, log.record.seq + seq_offset, log.record.to_line())
+    RawLog::new(
+        log.record.source,
+        log.record.seq + seq_offset,
+        log.record.to_line(),
+    )
 }
 
 const LIVE_SEQ: u64 = 10_000_000;
@@ -23,7 +25,10 @@ const LIVE_START_MS: u64 = 1_600_003_600_000;
 
 fn hdfs_pipeline() -> MoniLog {
     MoniLog::new(MoniLogConfig {
-        window: WindowPolicy::Session { idle_ms: 2_000, max_events: 64 },
+        window: WindowPolicy::Session {
+            idle_ms: 2_000,
+            max_events: 64,
+        },
         detector: DetectorChoice::DeepLog(DeepLogConfig {
             history: 6,
             top_g: 2,
@@ -100,9 +105,18 @@ fn pipeline_detects_injected_anomalies_with_high_recall() {
         }
     }
     let recall = hit_keys.len() as f64 / anomalous_keys.len() as f64;
-    assert!(recall >= 0.6, "recall {recall} too low ({}/{})", hit_keys.len(), anomalous_keys.len());
+    assert!(
+        recall >= 0.6,
+        "recall {recall} too low ({}/{})",
+        hit_keys.len(),
+        anomalous_keys.len()
+    );
     let precision = 1.0 - false_alarms as f64 / anomalies.len().max(1) as f64;
-    assert!(precision >= 0.5, "precision {precision} too low ({false_alarms} false alarms of {})", anomalies.len());
+    assert!(
+        precision >= 0.5,
+        "precision {precision} too low ({false_alarms} false alarms of {})",
+        anomalies.len()
+    );
 }
 
 #[test]
@@ -227,7 +241,11 @@ fn classifier_feedback_loop_routes_future_anomalies() {
         anomalies.extend(monilog.ingest(&to_raw(log, LIVE_SEQ)));
     }
     anomalies.extend(monilog.flush());
-    assert!(anomalies.len() >= 6, "need anomalies to exercise feedback, got {}", anomalies.len());
+    assert!(
+        anomalies.len() >= 6,
+        "need anomalies to exercise feedback, got {}",
+        anomalies.len()
+    );
 
     let ops = monilog.classifier_mut().create_pool("hdfs-ops");
     // Cold start: everything goes to the default pool.
@@ -276,7 +294,10 @@ fn template_ids_survive_restart() {
     let store = monilog_core::model::TemplateStore::decode(&bytes).expect("round trip");
     let restarted = monilog_core::MoniLog::with_warm_templates(
         monilog_core::MoniLogConfig {
-            window: monilog_core::WindowPolicy::Session { idle_ms: 2_000, max_events: 64 },
+            window: monilog_core::WindowPolicy::Session {
+                idle_ms: 2_000,
+                max_events: 64,
+            },
             ..monilog_core::MoniLogConfig::default()
         },
         store,
@@ -301,19 +322,20 @@ fn pipeline_checkpoint_restores_detection_behaviour() {
     let blob = original.checkpoint().expect("DeepLog pipeline checkpoints");
 
     let restored_config = monilog_core::MoniLogConfig {
-        window: monilog_core::WindowPolicy::Session { idle_ms: 2_000, max_events: 64 },
-        detector: monilog_core::DetectorChoice::DeepLog(
-            monilog_core::detect::DeepLogConfig {
-                history: 6,
-                top_g: 2,
-                epochs: 3,
-                ..monilog_core::detect::DeepLogConfig::default()
-            },
-        ),
+        window: monilog_core::WindowPolicy::Session {
+            idle_ms: 2_000,
+            max_events: 64,
+        },
+        detector: monilog_core::DetectorChoice::DeepLog(monilog_core::detect::DeepLogConfig {
+            history: 6,
+            top_g: 2,
+            epochs: 3,
+            ..monilog_core::detect::DeepLogConfig::default()
+        }),
         ..monilog_core::MoniLogConfig::default()
     };
-    let mut restored = monilog_core::MoniLog::restore(restored_config, &blob)
-        .expect("valid checkpoint");
+    let mut restored =
+        monilog_core::MoniLog::restore(restored_config, &blob).expect("valid checkpoint");
     assert!(restored.is_trained(), "restored pipeline skips retraining");
 
     let live = HdfsWorkload::new(HdfsWorkloadConfig {
@@ -345,7 +367,10 @@ fn pipeline_checkpoint_restores_detection_behaviour() {
         from_original, from_restored,
         "restored pipeline flags different windows"
     );
-    assert!(!from_restored.is_empty(), "stream contains anomalies to find");
+    assert!(
+        !from_restored.is_empty(),
+        "stream contains anomalies to find"
+    );
 
     // Corrupt blobs are rejected, not misinterpreted.
     let mut bad = blob.clone();

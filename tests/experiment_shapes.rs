@@ -47,11 +47,21 @@ fn parse_sessions(parser: &mut Drain, logs: &[GenLog]) -> (Vec<Window>, Vec<bool
 }
 
 fn small_deeplog() -> DeepLog {
-    DeepLog::new(DeepLogConfig { history: 6, top_g: 2, epochs: 3, ..DeepLogConfig::default() })
+    DeepLog::new(DeepLogConfig {
+        history: 6,
+        top_g: 2,
+        epochs: 3,
+        ..DeepLogConfig::default()
+    })
 }
 
 fn small_loganomaly() -> LogAnomaly {
-    LogAnomaly::new(LogAnomalyConfig { history: 6, top_g: 2, epochs: 3, ..LogAnomalyConfig::default() })
+    LogAnomaly::new(LogAnomalyConfig {
+        history: 6,
+        top_g: 2,
+        epochs: 3,
+        ..LogAnomalyConfig::default()
+    })
 }
 
 /// P1 shape: trained anomaly-free, DeepLog and LogAnomaly detect well;
@@ -94,7 +104,10 @@ fn p1_anomaly_free_training_shape() {
     logrobust.fit(&train);
     assert!(logrobust.is_degraded());
     let lr = evaluate(&logrobust, &test_windows, &test_labels);
-    assert_eq!(lr.recall, 0.0, "supervised model can't recall without labels");
+    assert_eq!(
+        lr.recall, 0.0,
+        "supervised model can't recall without labels"
+    );
     assert!(lr.f1 < dl.f1 && lr.f1 < la.f1, "P1 ordering violated");
 }
 
@@ -151,7 +164,10 @@ fn x1_instability_hurts_deeplog_more_than_loganomaly() {
         deeplog_far > loganomaly_far,
         "instability shape violated: DeepLog {deeplog_far:.3} vs LogAnomaly {loganomaly_far:.3}"
     );
-    assert!(deeplog_far > 0.2, "a big deploy should trip DeepLog's closed world: {deeplog_far}");
+    assert!(
+        deeplog_far > 0.2,
+        "a big deploy should trip DeepLog's closed world: {deeplog_far}"
+    );
 }
 
 /// P3 shape: on an unkeyed multi-source mixed stream (tumbling windows),
@@ -211,7 +227,10 @@ fn p3_multisource_counts_stay_competitive() {
 
     let (train_windows, _) = to_windows(&mut parser, &train_logs);
     let (test_windows, test_labels) = to_windows(&mut parser, &test_logs);
-    assert!(test_labels.iter().any(|&l| l), "incidents must label some windows");
+    assert!(
+        test_labels.iter().any(|&l| l),
+        "incidents must label some windows"
+    );
     let train = TrainSet::unlabeled(train_windows).with_templates(parser.store().clone());
 
     let mut pca = PcaDetector::new(PcaDetectorConfig::default());
@@ -234,7 +253,10 @@ fn p5_token_metric_shape() {
     let truth_ids: Vec<u32> = corpus.logs.iter().map(|l| l.truth.template.0).collect();
 
     let run = |mask: MaskConfig| -> (f64, f64) {
-        let mut parser = Drain::new(DrainConfig { mask, ..DrainConfig::default() });
+        let mut parser = Drain::new(DrainConfig {
+            mask,
+            ..DrainConfig::default()
+        });
         let outcomes: Vec<_> = corpus
             .logs
             .iter()
@@ -286,7 +308,10 @@ fn p6_autotune_low_regret_shape() {
     let result = autotune_drain(&messages[..split], &TuneGrid::default(), 800);
     let f1_of = |config| {
         let mut p = Drain::new(config);
-        let parsed: Vec<u32> = messages[split..].iter().map(|m| p.parse(m).template.0).collect();
+        let parsed: Vec<u32> = messages[split..]
+            .iter()
+            .map(|m| p.parse(m).template.0)
+            .collect();
         pairwise_scores(&parsed, &truth[split..]).f1
     };
     let tuned = f1_of(result.best.config);
@@ -306,9 +331,7 @@ fn p6_autotune_low_regret_shape() {
 /// modest number of feedback signals.
 #[test]
 fn d2_classifier_learns_from_passive_feedback() {
-    use monilog_core::classify::{
-        AdminPolicy, AdminSimulator, AnomalyClassifier, PoolRegistry,
-    };
+    use monilog_core::classify::{AdminPolicy, AdminSimulator, AnomalyClassifier, PoolRegistry};
     use monilog_core::model::{
         AnomalyKind, AnomalyReport, EventId, LogEvent, Severity, SourceId, TemplateId, Timestamp,
     };
@@ -327,7 +350,14 @@ fn d2_classifier_learns_from_passive_feedback() {
                 )
             })
             .collect();
-        AnomalyReport { id, kind, score: 2.0, detector: "t".into(), events, explanation: String::new() }
+        AnomalyReport {
+            id,
+            kind,
+            score: 2.0,
+            detector: "t".into(),
+            events,
+            explanation: String::new(),
+        }
     };
 
     let mut classifier = AnomalyClassifier::new();
@@ -362,5 +392,8 @@ fn d2_classifier_learns_from_passive_feedback() {
         classifier.observe_move(&r, pool);
     }
     let learned = accuracy(&classifier);
-    assert!(learned > 0.8, "classifier only reached {learned} after 120 signals");
+    assert!(
+        learned > 0.8,
+        "classifier only reached {learned} after 120 signals"
+    );
 }

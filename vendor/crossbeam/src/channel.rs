@@ -1,0 +1,521 @@
+//! MPMC channels with crossbeam-compatible semantics (see crate docs).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A bounded channel: `send` blocks while `cap` messages are queued.
+///
+/// Zero-capacity rendezvous channels are not supported by this vendored
+/// subset; `cap` must be at least 1.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(
+        cap >= 1,
+        "vendored crossbeam does not support capacity-0 rendezvous channels"
+    );
+    new_channel(Some(cap))
+}
+
+/// An unbounded channel: `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    new_channel(None)
+}
+
+fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+// ---- errors ---------------------------------------------------------------
+
+/// The message could not be sent because the channel is disconnected.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum TrySendError<T> {
+    /// The channel is full (bounded channels only).
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum SendTimeoutError<T> {
+    /// The deadline passed with the channel still full.
+    Timeout(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+/// The channel is empty and all senders are gone.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
+
+impl<T> fmt::Debug for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("Timeout(..)"),
+            SendTimeoutError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("timed out sending on a full channel"),
+            SendTimeoutError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T> std::error::Error for SendTimeoutError<T> {}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out receiving on an empty channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+// ---- sender ---------------------------------------------------------------
+
+/// The sending half; clone for more producers.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Send, blocking while the channel is full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if inner.cap.is_none_or(|c| inner.queue.len() < c) {
+                inner.queue.push_back(value);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.chan.not_full.wait(inner).unwrap();
+        }
+    }
+
+    /// Send without blocking.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if inner.cap.is_some_and(|c| inner.queue.len() >= c) {
+            return Err(TrySendError::Full(value));
+        }
+        inner.queue.push_back(value);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Send, blocking at most `timeout` for space.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.chan.inner.lock().unwrap();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            if inner.cap.is_none_or(|c| inner.queue.len() < c) {
+                inner.queue.push_back(value);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SendTimeoutError::Timeout(value));
+            }
+            let (guard, _timed_out) = self
+                .chan
+                .not_full
+                .wait_timeout(inner, deadline - now)
+                .unwrap();
+            inner = guard;
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan.inner.lock().unwrap().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.inner.lock().unwrap().senders += 1;
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.chan.inner.lock().unwrap();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Wake receivers blocked on an empty queue so they observe the
+            // disconnect.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+// ---- receiver -------------------------------------------------------------
+
+/// The receiving half; clone for more consumers (messages go to exactly
+/// one receiver each).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Receive, blocking while the channel is empty and senders remain.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.chan.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.chan.inner.lock().unwrap();
+        if let Some(v) = inner.queue.pop_front() {
+            self.chan.not_full.notify_one();
+            return Ok(v);
+        }
+        if inner.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Receive, blocking at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.chan.inner.lock().unwrap();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .chan
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap();
+            inner = guard;
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan.inner.lock().unwrap().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking iterator: yields until the channel is empty and
+    /// disconnected.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.inner.lock().unwrap().receivers += 1;
+        Receiver {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.chan.inner.lock().unwrap();
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            // Wake senders blocked on a full queue so they observe the
+            // disconnect.
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+pub struct IntoIter<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { rx: self }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_blocks_and_unblocks() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        let handle = std::thread::spawn(move || tx.send(3));
+        assert_eq!(rx.recv(), Ok(1));
+        handle.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn recv_drains_then_disconnects() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+        assert!(matches!(tx.try_send(9), Err(TrySendError::Disconnected(9))));
+    }
+
+    #[test]
+    fn mpmc_delivers_each_message_once() {
+        let (tx, rx) = bounded::<u64>(8);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for i in 0..1_000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timeouts_fire() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(1));
+        tx.send(2).unwrap();
+        assert!(matches!(
+            tx.send_timeout(3, Duration::from_millis(20)),
+            Err(SendTimeoutError::Timeout(3))
+        ));
+    }
+
+    #[test]
+    fn iteration_terminates_on_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<u32> = rx.into_iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline vendored subset of `crossbeam`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the piece of crossbeam the workspace uses: [`channel`] — multi-producer
+//! **multi-consumer** channels, bounded (blocking, for backpressure) and
+//! unbounded, with disconnect semantics matching the real crate:
+//!
+//! - `send` fails only when every `Receiver` is gone;
+//! - `recv` drains remaining messages, then fails when every `Sender` is
+//!   gone;
+//! - cloning a `Sender`/`Receiver` adds a peer on the same queue.
+//!
+//! Built on `Mutex` + `Condvar` — per-operation cost is a lock, which is
+//! fine for the coarse-grained line-at-a-time pipelines here. `select!`,
+//! zero-capacity rendezvous channels, and the scope/deque/epoch modules
+//! are not implemented.
+
+pub mod channel;

@@ -1,0 +1,101 @@
+//! Collection strategies (`collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Size specification for generated collections. Built from an exact
+/// `usize`, a `Range<usize>`, or a `RangeInclusive<usize>`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_incl: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi_incl: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi_incl: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_incl: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.lo == self.hi_incl {
+            self.lo
+        } else {
+            self.lo + rng.below((self.hi_incl - self.lo + 1) as u64) as usize
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length is
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn exact_and_ranged_sizes() {
+        let mut rng = TestRng::for_test("exact_and_ranged_sizes");
+        let exact = vec(0u8..10, 12);
+        for _ in 0..50 {
+            let v = exact.generate(&mut rng);
+            assert_eq!(v.len(), 12);
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        let ranged = vec(0u8..10, 2..5);
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..200 {
+            lens.insert(ranged.generate(&mut rng).len());
+        }
+        assert_eq!(lens, [2, 3, 4].into_iter().collect());
+        let incl = vec(0u8..10, 1..=2);
+        for _ in 0..50 {
+            let n = incl.generate(&mut rng).len();
+            assert!((1..=2).contains(&n));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline vendored mini property-testing harness.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the subset of the `proptest` API the workspace's tests use, with the
+//! same surface syntax:
+//!
+//! - [`strategy::Strategy`] with `prop_map` and `boxed`;
+//! - ranges, `&str` regex-subset patterns, [`strategy::Just`],
+//!   [`strategy::any`], [`collection::vec`], tuples, and `prop_oneof!` as
+//!   strategies;
+//! - the [`proptest!`] macro (optional `#![proptest_config(..)]` header),
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`;
+//! - a deterministic per-test RNG, so failures reproduce across runs.
+//!
+//! Differences from the real crate: cases are generated independently with
+//! **no shrinking** (a failing case reports the generated inputs verbatim
+//! instead), and string patterns support the regex subset actually used in
+//! this workspace (character classes, groups, `{m,n}`/`*`/`+`/`?`
+//! quantifiers, and `\PC` for printable non-control characters).
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!` syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0u64..100, s in "[a-z]{1,4}", seed: u64) { ... }
+/// }
+/// ```
+///
+/// Parameters come in two forms, freely mixed: `pat in strategy` and the
+/// typed shorthand `name: Type` (equivalent to `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Splits a `proptest!` block into its test functions. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $crate::__proptest_item!(@munch ($cfg) ($(#[$meta])*) ($name) ($body) [] $($params)*);
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Munches one parameter list into `(pattern) (strategy)` pairs, then
+/// emits the runner. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_item {
+    // Typed shorthand: `name: Type` ≡ `name in any::<Type>()`.
+    (@munch $cfg:tt $metas:tt $name:tt $body:tt [$($acc:tt)*]
+     $pname:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_item!(@munch $cfg $metas $name $body
+            [$($acc)* (($pname) ($crate::strategy::any::<$ty>()))] $($rest)*);
+    };
+    (@munch $cfg:tt $metas:tt $name:tt $body:tt [$($acc:tt)*]
+     $pname:ident : $ty:ty) => {
+        $crate::__proptest_item!(@munch $cfg $metas $name $body
+            [$($acc)* (($pname) ($crate::strategy::any::<$ty>()))]);
+    };
+    // Explicit strategy: `pat in strategy`.
+    (@munch $cfg:tt $metas:tt $name:tt $body:tt [$($acc:tt)*]
+     $pat:pat in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_item!(@munch $cfg $metas $name $body
+            [$($acc)* (($pat) ($strat))] $($rest)*);
+    };
+    (@munch $cfg:tt $metas:tt $name:tt $body:tt [$($acc:tt)*]
+     $pat:pat in $strat:expr) => {
+        $crate::__proptest_item!(@munch $cfg $metas $name $body
+            [$($acc)* (($pat) ($strat))]);
+    };
+    // All parameters munched: emit the test function.
+    (@munch ($cfg:expr) ($(#[$meta:meta])*) ($name:ident) ($body:block)
+     [$((($pat:pat) ($strat:expr)))+]) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                // One value per strategy; the tuple is formatted up front
+                // so a panicking body can report its inputs (this harness
+                // reports instead of shrinking).
+                let __inputs = (
+                    $($crate::strategy::Strategy::generate(&($strat), &mut __rng),)+
+                );
+                let __described = format!("{:#?}", &__inputs);
+                let ($($pat,)+) = __inputs;
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed with inputs:\n{}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __described,
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Picks uniformly between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,374 @@
+//! The [`Strategy`] trait and the built-in strategies.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real proptest (value *trees* supporting shrinking), this
+/// mini-harness generates plain values; the runner reports failing inputs
+/// instead of shrinking them.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filter generated values; regenerates until `f` accepts one (gives
+    /// up after a bounded number of attempts).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 candidates in a row",
+            self.whence
+        );
+    }
+}
+
+/// Uniform choice between boxed strategies (the `prop_oneof!` backend).
+pub struct OneOf<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> OneOf<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+// ---- ranges ---------------------------------------------------------------
+
+/// Numeric types generable from ranges and `any()`.
+pub trait Num: Sized + Copy {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    fn sample_any(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_num_int {
+    ($($t:ty),*) => {$(
+        impl Num for $t {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                Self::sample_inclusive(lo, hi - 1, rng)
+            }
+
+            // Implemented directly (not via `hi + 1`) so ranges ending at
+            // the type's maximum don't overflow.
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                ((lo as i128) + off as i128) as $t
+            }
+
+            fn sample_any(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_num_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_num_float {
+    ($($t:ty),*) => {$(
+        impl Num for $t {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+
+            /// The inclusive upper bound is hit with probability ~0; the
+            /// distinction is meaningless for floats.
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                if lo == hi { lo } else { Self::sample_half_open(lo, hi, rng) }
+            }
+
+            /// Finite floats plus signed zeros and infinities — matching
+            /// the real crate's default of excluding NaN, so equality
+            /// round-trip properties hold.
+            fn sample_any(rng: &mut TestRng) -> Self {
+                match rng.below(16) {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => <$t>::INFINITY,
+                    3 => <$t>::NEG_INFINITY,
+                    4 => <$t>::MIN_POSITIVE,
+                    5 => <$t>::MAX,
+                    _ => {
+                        let mag = (rng.unit_f64() * 2.0 - 1.0) * 1e12;
+                        let scale = 10f64.powi((rng.below(24) as i32) - 12);
+                        (mag * scale) as $t
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_num_float!(f32, f64);
+
+impl<T: Num> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: Num> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+// ---- string patterns ------------------------------------------------------
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+// ---- any ------------------------------------------------------------------
+
+/// Full-domain generation for primitives, via `any::<T>()`.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_num {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                <$t as Num>::sample_any(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly ASCII with occasional wider codepoints.
+        match rng.below(4) {
+            0 => char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap(),
+            _ => char::from_u32(rng.below(0xD7FF) as u32).unwrap_or('\u{FFFD}'),
+        }
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---- tuples ---------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = TestRng::for_test("ranges_and_maps");
+        for _ in 0..500 {
+            let v = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let v = (0i64..=4).generate(&mut rng);
+            assert!((0..=4).contains(&v));
+            let v = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&v));
+        }
+        let doubled = (1u32..5).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = doubled.generate(&mut rng);
+            assert!(v % 2 == 0 && (2..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::for_test("oneof_hits_every_arm");
+        let strat = OneOf::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn any_floats_are_not_nan() {
+        let mut rng = TestRng::for_test("any_floats_are_not_nan");
+        for _ in 0..2_000 {
+            let f: f64 = Arbitrary::arbitrary(&mut rng);
+            assert!(!f.is_nan());
+        }
+    }
+
+    #[test]
+    fn filter_regenerates() {
+        let mut rng = TestRng::for_test("filter_regenerates");
+        let even = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(even.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = TestRng::for_test("tuples_generate_componentwise");
+        let (a, b) = (0u8..10, Just("x")).generate(&mut rng);
+        assert!(a < 10);
+        assert_eq!(b, "x");
+    }
+}

@@ -1,0 +1,317 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supports the constructs this workspace's tests actually use: literal
+//! characters, character classes `[...]` (with `a-z`-style ranges),
+//! groups `(...)`, quantifiers `{m}` / `{m,n}` / `*` / `+` / `?`, and the
+//! escape `\PC` (printable non-control characters). Anything else panics
+//! with a clear message rather than silently generating the wrong language.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// One uniformly-chosen character from the listed alternatives.
+    Class(Vec<char>),
+    Group(Vec<Quantified>),
+}
+
+#[derive(Debug, Clone)]
+struct Quantified {
+    node: Node,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let seq = parse_sequence(pattern, &chars, &mut pos, /*in_group=*/ false);
+    assert!(
+        pos == chars.len(),
+        "unsupported trailing construct at byte offset {pos} in pattern {pattern:?}"
+    );
+    let mut out = String::new();
+    emit_sequence(&seq, rng, &mut out);
+    out
+}
+
+fn emit_sequence(seq: &[Quantified], rng: &mut TestRng, out: &mut String) {
+    for q in seq {
+        let n = if q.min == q.max {
+            q.min
+        } else {
+            q.min + rng.below((q.max - q.min + 1) as u64) as usize
+        };
+        for _ in 0..n {
+            emit_node(&q.node, rng, out);
+        }
+    }
+}
+
+fn emit_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(alts) => out.push(alts[rng.below(alts.len() as u64) as usize]),
+        Node::Group(seq) => emit_sequence(seq, rng, out),
+    }
+}
+
+fn parse_sequence(
+    pattern: &str,
+    chars: &[char],
+    pos: &mut usize,
+    in_group: bool,
+) -> Vec<Quantified> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        let node = match c {
+            ')' if in_group => break,
+            '[' => {
+                *pos += 1;
+                Node::Class(parse_class(pattern, chars, pos))
+            }
+            '(' => {
+                *pos += 1;
+                let inner = parse_sequence(pattern, chars, pos, true);
+                assert!(
+                    *pos < chars.len() && chars[*pos] == ')',
+                    "unclosed group in pattern {pattern:?}"
+                );
+                *pos += 1;
+                Node::Group(inner)
+            }
+            '\\' => {
+                *pos += 1;
+                parse_escape(pattern, chars, pos)
+            }
+            '.' => {
+                *pos += 1;
+                Node::Class(printable_chars())
+            }
+            '|' | '^' | '$' => {
+                panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+            }
+            _ => {
+                *pos += 1;
+                Node::Literal(c)
+            }
+        };
+        let (min, max) = parse_quantifier(pattern, chars, pos);
+        seq.push(Quantified { node, min, max });
+    }
+    seq
+}
+
+/// Parses an escape with `pos` already past the backslash.
+fn parse_escape(pattern: &str, chars: &[char], pos: &mut usize) -> Node {
+    assert!(
+        *pos < chars.len(),
+        "dangling backslash in pattern {pattern:?}"
+    );
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        // \PC — "not a control character". Approximated by a printable
+        // pool including a few multibyte codepoints, plenty for fuzzing
+        // tokenizer robustness.
+        'P' => {
+            assert!(
+                *pos < chars.len() && chars[*pos] == 'C',
+                "only the \\PC escape class is supported, in pattern {pattern:?}"
+            );
+            *pos += 1;
+            Node::Class(printable_chars())
+        }
+        'd' => Node::Class(('0'..='9').collect()),
+        'w' => {
+            let mut v: Vec<char> = ('a'..='z').collect();
+            v.extend('A'..='Z');
+            v.extend('0'..='9');
+            v.push('_');
+            Node::Class(v)
+        }
+        's' => Node::Class(vec![' ', '\t']),
+        'n' => Node::Literal('\n'),
+        't' => Node::Literal('\t'),
+        'r' => Node::Literal('\r'),
+        // Escaped metacharacter → literal.
+        '\\' | '.' | '[' | ']' | '(' | ')' | '{' | '}' | '*' | '+' | '?' | '|' | '^' | '$'
+        | '-' | '/' => Node::Literal(c),
+        other => panic!("unsupported escape \\{other} in pattern {pattern:?}"),
+    }
+}
+
+/// Parses a `[...]` class body with `pos` just past the `[`.
+fn parse_class(pattern: &str, chars: &[char], pos: &mut usize) -> Vec<char> {
+    assert!(
+        *pos < chars.len() && chars[*pos] != '^',
+        "negated classes are not supported, in pattern {pattern:?}"
+    );
+    let mut alts = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let lo = if chars[*pos] == '\\' {
+            *pos += 1;
+            assert!(
+                *pos < chars.len(),
+                "dangling backslash in class in {pattern:?}"
+            );
+            let e = chars[*pos];
+            *pos += 1;
+            e
+        } else {
+            let c = chars[*pos];
+            *pos += 1;
+            c
+        };
+        // `a-z` range — only when `-` is sandwiched between two chars.
+        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            let hi = chars[*pos + 1];
+            *pos += 2;
+            assert!(
+                lo <= hi,
+                "inverted class range {lo}-{hi} in pattern {pattern:?}"
+            );
+            alts.extend(lo..=hi);
+        } else {
+            alts.push(lo);
+        }
+    }
+    assert!(
+        *pos < chars.len() && chars[*pos] == ']',
+        "unclosed character class in pattern {pattern:?}"
+    );
+    *pos += 1;
+    assert!(
+        !alts.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    alts
+}
+
+/// Parses an optional quantifier after a node; returns `(min, max)`.
+fn parse_quantifier(pattern: &str, chars: &[char], pos: &mut usize) -> (usize, usize) {
+    const UNBOUNDED_CAP: usize = 16;
+    if *pos >= chars.len() {
+        return (1, 1);
+    }
+    match chars[*pos] {
+        '*' => {
+            *pos += 1;
+            (0, UNBOUNDED_CAP)
+        }
+        '+' => {
+            *pos += 1;
+            (1, UNBOUNDED_CAP)
+        }
+        '?' => {
+            *pos += 1;
+            (0, 1)
+        }
+        '{' => {
+            let close = chars[*pos..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+            let body: String = chars[*pos + 1..*pos + close].iter().collect();
+            *pos += close + 1;
+            let parse_n = |s: &str| -> usize {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier bound {s:?} in {pattern:?}"))
+            };
+            match body.split_once(',') {
+                None => {
+                    let n = parse_n(&body);
+                    (n, n)
+                }
+                Some((lo, hi)) if hi.trim().is_empty() => (parse_n(lo), UNBOUNDED_CAP),
+                Some((lo, hi)) => (parse_n(lo), parse_n(hi)),
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+/// Printable, non-control characters: the `\PC` pool (and `.`).
+fn printable_chars() -> Vec<char> {
+    let mut v: Vec<char> = (' '..='~').collect();
+    // A few multibyte codepoints so UTF-8 boundary handling gets exercised.
+    v.extend(['é', 'ß', 'λ', '中', '漢', '→', '°', '…']);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn gen(pattern: &str, rng: &mut TestRng) -> String {
+        generate(pattern, rng)
+    }
+
+    #[test]
+    fn classes_with_ranges() {
+        let mut rng = TestRng::for_test("classes_with_ranges");
+        for _ in 0..300 {
+            let s = gen("[ a-zA-Z0-9:./]{0,80}", &mut rng);
+            assert!(s.len() <= 80);
+            assert!(s
+                .chars()
+                .all(|c| c == ' ' || c.is_ascii_alphanumeric() || ":./".contains(c)));
+        }
+    }
+
+    #[test]
+    fn ascii_printable_class() {
+        let mut rng = TestRng::for_test("ascii_printable_class");
+        for _ in 0..300 {
+            let s = gen("[!-~]{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| ('!'..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn groups_with_quantifiers() {
+        let mut rng = TestRng::for_test("groups_with_quantifiers");
+        for _ in 0..300 {
+            let s = gen("[a-d]{1,3}( [a-d]{1,3}){0,5}", &mut rng);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=6).contains(&words.len()));
+            for w in words {
+                assert!((1..=3).contains(&w.len()));
+                assert!(w.chars().all(|c| ('a'..='d').contains(&c)));
+            }
+        }
+    }
+
+    #[test]
+    fn pc_escape_is_printable() {
+        let mut rng = TestRng::for_test("pc_escape_is_printable");
+        for _ in 0..300 {
+            let s = gen("\\PC{0,80}", &mut rng);
+            assert!(s.chars().count() <= 80);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn star_plus_question() {
+        let mut rng = TestRng::for_test("star_plus_question");
+        for _ in 0..100 {
+            let s = gen("ab?c*d+", &mut rng);
+            assert!(s.starts_with('a'));
+            assert!(s.ends_with('d'));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn alternation_panics_loudly() {
+        let mut rng = TestRng::for_test("alternation_panics_loudly");
+        gen("a|b", &mut rng);
+    }
+}

@@ -1,0 +1,323 @@
+//! Offline vendored subset of the `rand` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the slice of the `rand` API it uses: [`RngExt::random_range`] over
+//! integer and float ranges, [`RngExt::random_bool`],
+//! [`SeedableRng::seed_from_u64`],
+//! and a deterministic [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64).
+//! Determinism per seed is the property the workspace's tests rely on;
+//! statistical quality is adequate for workload generation, not for
+//! cryptography.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of randomness. Used as a generic bound throughout the
+/// workspace; only [`Rng::next_u64`] is required. The sampling helpers
+/// live on [`RngExt`] so that every call site needs exactly one extension
+/// trait in scope.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// A uniform sample from `range` (half-open or inclusive).
+    ///
+    /// Panics if the range is empty, matching the real crate.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(&mut || self.next_u64())
+    }
+
+    /// A uniform value of `T` over its full domain.
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// `true` with probability `p` (values outside `[0,1]` clamp).
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Types constructible from a seed.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via SplitMix64 (the upstream
+    /// construction, so identical seeds give identical streams everywhere
+    /// in the workspace).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Marker for full-domain sampling via [`Rng::random`].
+pub trait Standard {
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> Self {
+        unit_f64(bits)
+    }
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 random mantissa bits → uniform in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types uniformly sampleable from a range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Sample uniformly from `[lo, hi)` given a raw 64-bit draw.
+    fn sample_half_open(lo: Self, hi: Self, draw: &mut dyn FnMut() -> u64) -> Self;
+
+    /// Sample uniformly from `[lo, hi]`. Implemented directly (not via
+    /// `hi + 1`) so ranges ending at the type's maximum don't overflow.
+    fn sample_inclusive(lo: Self, hi: Self, draw: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, draw: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                Self::sample_inclusive(lo, hi - 1, draw)
+            }
+
+            fn sample_inclusive(lo: Self, hi: Self, draw: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                // Span fits u128 even for the full u64 domain. Modulo bias
+                // is ≤ span/2^64 — irrelevant for workload generation and
+                // tests, which is all this crate serves.
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                let off = (draw() as u128) % span;
+                ((lo as i128) + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, draw: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                lo + (unit_f64(draw()) as $t) * (hi - lo)
+            }
+
+            /// The inclusive upper bound is hit with probability ~0; the
+            /// distinction is meaningless for floats.
+            fn sample_inclusive(lo: Self, hi: Self, draw: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                if lo == hi { lo } else { Self::sample_half_open(lo, hi, draw) }
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Ranges acceptable to [`RngExt::random_range`].
+pub trait SampleRange<T: SampleUniform> {
+    fn sample_from(self, draw: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, draw: &mut dyn FnMut() -> u64) -> T {
+        T::sample_half_open(self.start, self.end, draw)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, draw: &mut dyn FnMut() -> u64) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, draw)
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic RNG: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn next_raw(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next_raw()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(b);
+            }
+            // All-zero state is a fixed point of xoshiro; nudge it.
+            if s.iter().all(|&x| x == 0) {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let v: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&v));
+            let v: f64 = rng.random_range(0.5..8.0);
+            assert!((0.5..8.0).contains(&v));
+            let v: u8 = rng.random_range(0..26u8);
+            assert!(v < 26);
+            let v: u16 = rng.random_range(49_152..=65_535u16);
+            assert!(v >= 49_152);
+        }
+    }
+
+    #[test]
+    fn integer_samples_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+        assert!((0..1_000).all(|_| !rng.random_bool(0.0)));
+        assert!((0..1_000).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn works_through_mut_reference_and_generics() {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.random_range(0..100)
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = sample(&mut rng);
+        assert!(v < 100);
+        assert!(RngExt::random_bool(&mut rng, 0.5) || true);
+    }
+
+    #[test]
+    fn full_range_values_cover_domain() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen_true = false;
+        let mut seen_false = false;
+        for _ in 0..64 {
+            if rng.random::<bool>() {
+                seen_true = true;
+            } else {
+                seen_false = true;
+            }
+        }
+        assert!(seen_true && seen_false);
+        let f: f64 = rng.random();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline vendored stub of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config structs as
+//! forward-looking decoration, but contains no serde *format* crate and
+//! never uses the traits as bounds — all real persistence goes through
+//! `monilog-model::codec`. Since the build environment cannot reach
+//! crates.io, this stub supplies the two marker traits and no-op derive
+//! macros so those derives compile. If a future PR adds a format crate,
+//! replace this stub with the real dependency.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

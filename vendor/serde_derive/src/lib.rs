@@ -1,0 +1,18 @@
+//! Offline vendored stub of `serde_derive`.
+//!
+//! The workspace's `#[derive(Serialize, Deserialize)]` attributes are
+//! decoration (no format crate consumes the impls), so these derives
+//! expand to nothing. The `serde` helper attribute is still registered so
+//! any future `#[serde(...)]` field attribute parses.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
