@@ -14,8 +14,9 @@
 use monilog_bench::{pct, print_table};
 use monilog_core::parse::eval::grouping_accuracy;
 use monilog_core::parse::{Drain, DrainConfig, OnlineParser, ShardedDrain, ShardedDrainConfig};
-use monilog_core::stream::ParallelShardedDrain;
+use monilog_core::stream::{MetricsRegistry, ParallelShardedDrain};
 use monilog_loggen::corpus;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Modeled parallel speedup of a sharded run: the wall-clock of a perfect
@@ -71,12 +72,20 @@ fn main() {
         let max_load = *loads.iter().max().expect("shards exist") as f64;
         let balance = (messages.len() as f64 / n_shards as f64) / max_load;
 
-        // Parallel deployment: wall-clock on this host + modeled speedup.
-        let parallel =
-            ParallelShardedDrain::new(n_shards, DrainConfig::default()).expect("valid config");
+        // Parallel deployment: wall-clock on this host + modeled speedup,
+        // with per-message parse latency recorded into the registry.
+        let registry = MetricsRegistry::shared_with_shards(n_shards);
+        let parallel = ParallelShardedDrain::new(n_shards, DrainConfig::default())
+            .expect("valid config")
+            .with_registry(Arc::clone(&registry));
         let start = Instant::now();
         let (_, _) = parallel.parse_batch(&messages);
         let secs = start.elapsed().as_secs_f64();
+        let parse = registry
+            .snapshot()
+            .stage("parse")
+            .expect("parse stage recorded")
+            .clone();
 
         rows.push(vec![
             format!("{n_shards}"),
@@ -84,6 +93,12 @@ fn main() {
             format!("{:.2}", balance),
             format!("{:.2}x", modeled_speedup(&loads)),
             format!("{:.0}k", messages.len() as f64 / secs / 1_000.0),
+            format!(
+                "{:.1}/{:.1}/{:.1}",
+                parse.p50_ns as f64 / 1_000.0,
+                parse.p99_ns as f64 / 1_000.0,
+                parse.max_ns as f64 / 1_000.0
+            ),
         ]);
     }
     print_table(
@@ -93,6 +108,7 @@ fn main() {
             "load balance",
             "modeled speedup",
             "wall-clock (1-core host)",
+            "parse us p50/p99/max",
         ],
         &rows,
     );

@@ -1,6 +1,8 @@
 //! Experiment D3 (paper Section II, Fig. 1): end-to-end pipeline
 //! characterization — sustained throughput, detection latency, and
-//! report completeness of the full parse → detect → classify system.
+//! report completeness of the full parse → detect → classify system,
+//! plus the per-stage latency distribution from the observability
+//! registry (written to `results/metrics_baseline.json`).
 //!
 //! Run: `cargo run --release -p monilog-bench --bin exp_d3_pipeline`
 
@@ -125,4 +127,38 @@ fn main() {
         anomalies.len()
     );
     println!("metrics: {}", m.snapshot());
+
+    // Per-stage latency distribution from the observability registry.
+    let snap = monilog.registry().snapshot();
+    let us = |ns: u64| format!("{:.1} us", ns as f64 / 1_000.0);
+    let latency_rows: Vec<Vec<String>> = snap
+        .stages
+        .iter()
+        .filter(|s| s.latency.count > 0)
+        .map(|s| {
+            vec![
+                s.stage.to_string(),
+                format!("{}", s.latency.count),
+                us(s.latency.p50_ns),
+                us(s.latency.p95_ns),
+                us(s.latency.p99_ns),
+                us(s.latency.max_ns),
+            ]
+        })
+        .collect();
+    println!("\nper-stage latency (per-call, wall-clock):");
+    print_table(
+        &["stage", "samples", "p50", "p95", "p99", "max"],
+        &latency_rows,
+    );
+
+    // Baseline artifact for regression comparison across PRs.
+    let out_path = std::path::Path::new("results/metrics_baseline.json");
+    if let Some(dir) = out_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(out_path, snap.to_json()) {
+        Ok(()) => println!("\nwrote {}", out_path.display()),
+        Err(e) => println!("\ncould not write {}: {e}", out_path.display()),
+    }
 }

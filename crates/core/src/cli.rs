@@ -13,12 +13,14 @@
 //! selects the header layout (default `dash`, the Fig. 2 format). The
 //! logic lives here (unit-testable); `src/bin/monilog.rs` is a thin shell.
 
-use crate::{DetectorChoice, FaultToleranceConfig, MoniLog, MoniLogConfig, WindowPolicy};
+use crate::{
+    DetectorChoice, FaultToleranceConfig, MoniLog, MoniLogConfig, ObservabilityConfig, WindowPolicy,
+};
 use monilog_detect::DeepLogConfig;
 use monilog_model::{RawLog, SourceId};
 use monilog_parse::autotune::{autotune_drain, TuneGrid};
 use monilog_parse::{Drain, DrainConfig, OnlineParser};
-use monilog_stream::OverloadPolicy;
+use monilog_stream::{MetricsExporter, OverloadPolicy};
 use std::fmt::Write as _;
 
 /// A parsed CLI invocation.
@@ -36,12 +38,14 @@ pub enum CliCommand {
         checkpoint: String,
         format: HeaderChoice,
         fault: FaultToleranceConfig,
+        observability: ObservabilityConfig,
     },
     Monitor {
         logfile: String,
         checkpoint: String,
         format: HeaderChoice,
         fault: FaultToleranceConfig,
+        observability: ObservabilityConfig,
     },
     Help,
 }
@@ -84,6 +88,12 @@ fault-tolerance options (streaming deployments):
   --on-overload block|shed|dead-letter   submit() behaviour when saturated
   --max-retries <n>                      parse retries before quarantine
   --heartbeat-ms <n>                     worker heartbeat / supervisor poll
+
+observability options (train / monitor):
+  --metrics-addr <host:port>             serve Prometheus + JSON metrics
+                                         over HTTP while the run lasts
+  --metrics-interval-ms <n>              snapshot refresh interval
+                                         (default 1000)
 ";
 
 /// Parse argv (without the program name).
@@ -92,6 +102,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     let mut checkpoint: Option<String> = None;
     let mut format = HeaderChoice::default();
     let mut fault = FaultToleranceConfig::default();
+    let mut observability = ObservabilityConfig::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -131,6 +142,27 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 }
                 fault.heartbeat_ms = ms;
             }
+            "--metrics-addr" => {
+                i += 1;
+                let value = args.get(i).ok_or("--metrics-addr needs host:port")?;
+                let addr = value
+                    .parse()
+                    .map_err(|_| format!("invalid --metrics-addr {value:?}"))?;
+                observability.metrics_addr = Some(addr);
+            }
+            "--metrics-interval-ms" => {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or("--metrics-interval-ms needs milliseconds")?;
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --metrics-interval-ms {value:?}"))?;
+                if ms == 0 {
+                    return Err("--metrics-interval-ms must be at least 1".to_string());
+                }
+                observability.metrics_interval_ms = ms;
+            }
             "--help" | "-h" => return Ok(CliCommand::Help),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             positional_arg => positional.push(positional_arg.to_string()),
@@ -152,12 +184,14 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             checkpoint: checkpoint.ok_or("train needs --checkpoint <out>")?,
             format,
             fault,
+            observability,
         }),
         "monitor" => Ok(CliCommand::Monitor {
             logfile: positional.next().ok_or("monitor needs a <logfile>")?,
             checkpoint: checkpoint.ok_or("monitor needs --checkpoint <in>")?,
             format,
             fault,
+            observability,
         }),
         "help" => Ok(CliCommand::Help),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
@@ -189,6 +223,27 @@ fn pipeline_config(format: HeaderChoice, fault: FaultToleranceConfig) -> MoniLog
         fault_tolerance: fault,
         ..MoniLogConfig::default()
     }
+}
+
+/// Start the metrics endpoint when `--metrics-addr` was given. The
+/// returned guard keeps the listener alive for the duration of the run;
+/// it is dropped (and the listener joined) when the command finishes.
+fn spawn_exporter(
+    monilog: &MoniLog,
+    observability: ObservabilityConfig,
+    out: &mut String,
+) -> Result<Option<MetricsExporter>, String> {
+    let Some(addr) = observability.metrics_addr else {
+        return Ok(None);
+    };
+    let exporter = MetricsExporter::spawn(
+        addr,
+        monilog.registry(),
+        std::time::Duration::from_millis(observability.metrics_interval_ms),
+    )
+    .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+    let _ = writeln!(out, "metrics: http://{}/metrics", exporter.local_addr());
+    Ok(Some(exporter))
 }
 
 /// Execute a command, returning the human-readable report it prints.
@@ -246,9 +301,13 @@ pub fn run(command: CliCommand) -> Result<String, String> {
             checkpoint,
             format,
             fault,
+            observability,
         } => {
             let lines = read_lines(&logfile)?;
-            let mut monilog = MoniLog::new(pipeline_config(format, fault));
+            let mut config = pipeline_config(format, fault);
+            config.observability = observability;
+            let mut monilog = MoniLog::new(config);
+            let _exporter = spawn_exporter(&monilog, observability, &mut out)?;
             for (i, line) in lines.iter().enumerate() {
                 monilog.ingest_training(&RawLog::new(SourceId(0), i as u64, line.clone()));
             }
@@ -270,11 +329,15 @@ pub fn run(command: CliCommand) -> Result<String, String> {
             checkpoint,
             format,
             fault,
+            observability,
         } => {
             let blob =
                 std::fs::read(&checkpoint).map_err(|e| format!("cannot read {checkpoint}: {e}"))?;
-            let mut monilog = MoniLog::restore(pipeline_config(format, fault), &blob)
-                .map_err(|e| format!("invalid checkpoint: {e}"))?;
+            let mut config = pipeline_config(format, fault);
+            config.observability = observability;
+            let mut monilog =
+                MoniLog::restore(config, &blob).map_err(|e| format!("invalid checkpoint: {e}"))?;
+            let _exporter = spawn_exporter(&monilog, observability, &mut out)?;
             let lines = read_lines(&logfile)?;
             let mut anomalies = Vec::new();
             // Live sequence numbers continue far past any training range.
@@ -372,6 +435,7 @@ mod tests {
                 checkpoint: "m.bin".into(),
                 format: HeaderChoice::Syslog,
                 fault: FaultToleranceConfig::default(),
+                observability: ObservabilityConfig::default(),
             }
         );
         assert_eq!(parse_args(&args(&["--help"])).unwrap(), CliCommand::Help);
@@ -410,6 +474,113 @@ mod tests {
         assert!(parse_args(&args(&["parse", "x", "--on-overload", "explode"])).is_err());
         assert!(parse_args(&args(&["parse", "x", "--max-retries", "many"])).is_err());
         assert!(parse_args(&args(&["parse", "x", "--heartbeat-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let parsed = parse_args(&args(&[
+            "train",
+            "app.log",
+            "--checkpoint",
+            "m.bin",
+            "--metrics-addr",
+            "127.0.0.1:9187",
+            "--metrics-interval-ms",
+            "250",
+        ]))
+        .unwrap();
+        match parsed {
+            CliCommand::Train { observability, .. } => {
+                assert_eq!(
+                    observability.metrics_addr,
+                    Some("127.0.0.1:9187".parse().unwrap())
+                );
+                assert_eq!(observability.metrics_interval_ms, 250);
+            }
+            other => panic!("expected Train, got {other:?}"),
+        }
+        // Defaults: disabled endpoint, 1s interval.
+        let parsed = parse_args(&args(&["monitor", "a.log", "--checkpoint", "m.bin"])).unwrap();
+        match parsed {
+            CliCommand::Monitor { observability, .. } => {
+                assert_eq!(observability, ObservabilityConfig::default());
+                assert_eq!(observability.metrics_addr, None);
+            }
+            other => panic!("expected Monitor, got {other:?}"),
+        }
+        assert!(parse_args(&args(&["parse", "x", "--metrics-addr", "not-an-addr"])).is_err());
+        assert!(parse_args(&args(&["parse", "x", "--metrics-interval-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn train_with_metrics_endpoint_serves_prometheus() {
+        use std::io::{Read as _, Write as _};
+        let dir = std::env::temp_dir().join("monilog_cli_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let train_file = dir.join("train.log");
+        let ckpt = dir.join("model.mlcp");
+        let logs = HdfsWorkload::new(HdfsWorkloadConfig {
+            n_sessions: 20,
+            sequential_anomaly_rate: 0.0,
+            quantitative_anomaly_rate: 0.0,
+            seed: 11,
+            ..Default::default()
+        })
+        .generate();
+        write_workload(&train_file, &logs);
+
+        // The exporter lives only for the run, so bind a listener up
+        // front to learn a free port, then release it for the run.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+
+        // Keep the exporter alive past run() by scraping from a thread
+        // racing the (short) run; instead exercise the run-scoped path:
+        // the report advertises the endpoint, and a scrape during the
+        // run sees monilog_ metrics. Simplest deterministic form: run
+        // in a thread, scrape from here with retries.
+        let train_path = train_file.to_string_lossy().into_owned();
+        let ckpt_path = ckpt.to_string_lossy().into_owned();
+        let runner = std::thread::spawn(move || {
+            run(CliCommand::Train {
+                logfile: train_path,
+                checkpoint: ckpt_path,
+                format: HeaderChoice::Dash,
+                fault: FaultToleranceConfig::default(),
+                observability: ObservabilityConfig {
+                    metrics_addr: Some(addr),
+                    metrics_interval_ms: 10,
+                },
+            })
+        });
+        // Scrape while training runs; tolerate races where the run (and
+        // the endpoint with it) finishes before we connect.
+        let mut scraped = None;
+        for _ in 0..200 {
+            if let Ok(mut stream) = std::net::TcpStream::connect(addr) {
+                let _ = stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n");
+                let mut body = String::new();
+                if stream.read_to_string(&mut body).is_ok() && body.contains("monilog_") {
+                    scraped = Some(body);
+                    break;
+                }
+            }
+            if runner.is_finished() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let report = runner.join().expect("run thread").expect("train succeeds");
+        assert!(report.contains("metrics: http://"), "{report}");
+        assert!(report.contains("trained on"), "{report}");
+        if let Some(body) = scraped {
+            assert!(body.contains("monilog_lines_ingested_total"), "{body}");
+            assert!(
+                body.contains("monilog_stage_latency_seconds_bucket"),
+                "{body}"
+            );
+        }
     }
 
     #[test]
@@ -482,6 +653,7 @@ mod tests {
             checkpoint: ckpt.to_string_lossy().into_owned(),
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
+            observability: ObservabilityConfig::default(),
         })
         .expect("training succeeds");
         assert!(report.contains("trained on"), "{report}");
@@ -492,6 +664,7 @@ mod tests {
             checkpoint: ckpt.to_string_lossy().into_owned(),
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
+            observability: ObservabilityConfig::default(),
         })
         .expect("monitoring succeeds");
         assert!(report.contains("anomalies"), "{report}");
@@ -535,6 +708,7 @@ mod tests {
             checkpoint: "/definitely/not/here.mlcp".into(),
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
+            observability: ObservabilityConfig::default(),
         })
         .unwrap_err();
         assert!(err.contains("cannot read"), "{err}");

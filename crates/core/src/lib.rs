@@ -22,7 +22,7 @@ pub mod windowing;
 
 pub use pipeline::{
     ClassifiedAnomaly, DetectorChoice, FaultToleranceConfig, HeaderFormatChoice, MoniLog,
-    MoniLogConfig,
+    MoniLogConfig, ObservabilityConfig,
 };
 pub use windowing::WindowPolicy;
 

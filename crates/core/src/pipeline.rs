@@ -14,9 +14,11 @@ use monilog_model::{
     HeaderFormat, LogEvent, RawLog, SessionKey, TemplateStore, Timestamp,
 };
 use monilog_parse::{Drain, DrainConfig, OnlineParser};
+use monilog_stream::observe::{MetricsRegistry, Stage};
 use monilog_stream::{BoundedReorderBuffer, DedupFilter, PipelineMetrics};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Which detection model the pipeline runs (one per deployment; the
 /// experiment harnesses compare them side by side).
@@ -51,6 +53,29 @@ pub struct MoniLogConfig {
     /// ([`monilog_stream::SupervisedParseService`]); the sequential facade
     /// ignores them.
     pub fault_tolerance: FaultToleranceConfig,
+    /// Metrics export (`--metrics-addr`, `--metrics-interval-ms`).
+    pub observability: ObservabilityConfig,
+}
+
+/// Where and how often to export metrics snapshots. `metrics_addr: None`
+/// (the default) disables the endpoint; the in-process registry records
+/// either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservabilityConfig {
+    /// Bind address of the HTTP metrics endpoint (`/metrics` Prometheus,
+    /// `/metrics.json` JSON); `None` disables serving.
+    pub metrics_addr: Option<std::net::SocketAddr>,
+    /// Snapshot re-render cadence of the exporter thread, in milliseconds.
+    pub metrics_interval_ms: u64,
+}
+
+impl Default for ObservabilityConfig {
+    fn default() -> Self {
+        ObservabilityConfig {
+            metrics_addr: None,
+            metrics_interval_ms: 1_000,
+        }
+    }
 }
 
 /// Fault-tolerance knobs surfaced through the CLI (`--on-overload`,
@@ -110,6 +135,7 @@ impl Default for MoniLogConfig {
             },
             detector: DetectorChoice::DeepLog(DeepLogConfig::default()),
             fault_tolerance: FaultToleranceConfig::default(),
+            observability: ObservabilityConfig::default(),
         }
     }
 }
@@ -212,6 +238,7 @@ pub struct MoniLog {
     assembler: WindowAssembler,
     detector: PipelineDetector,
     classifier: AnomalyClassifier,
+    registry: Arc<MetricsRegistry>,
     metrics: Arc<PipelineMetrics>,
     training_windows: Vec<Window>,
     trained: bool,
@@ -236,6 +263,7 @@ impl MoniLog {
                 PipelineDetector::CoOccurrence(CoOccurrenceDetector::new(c))
             }
         };
+        let registry = MetricsRegistry::shared();
         MoniLog {
             dedup: DedupFilter::new(config.dedup_window),
             reorder: BoundedReorderBuffer::new(config.reorder_bound_ms),
@@ -243,7 +271,8 @@ impl MoniLog {
             assembler: WindowAssembler::new(config.window),
             detector,
             classifier: AnomalyClassifier::new(),
-            metrics: PipelineMetrics::shared(),
+            metrics: Arc::clone(registry.counters()),
+            registry,
             training_windows: Vec::new(),
             trained: false,
             next_event_id: 0,
@@ -265,6 +294,12 @@ impl MoniLog {
     /// Pipeline metrics (shared snapshot).
     pub fn metrics(&self) -> Arc<PipelineMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The full observability registry: the counters above plus per-stage
+    /// latency histograms — what the metrics exporter serves.
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
     }
 
     /// The template store discovered so far.
@@ -300,9 +335,11 @@ impl MoniLog {
         let mut remaining: Vec<Window> = Vec::new();
         for (_, record) in self.reorder.flush() {
             if let Some(event) = self.record_to_event(record) {
+                let window_start = Instant::now();
                 for closed in self.assembler.push(event) {
                     remaining.push(closed.window);
                 }
+                self.registry.record(Stage::WindowAssembly, window_start);
             }
         }
         for closed in self.assembler.flush() {
@@ -332,7 +369,9 @@ impl MoniLog {
         let mut closed = Vec::new();
         for (_, record) in self.reorder.flush() {
             if let Some(event) = self.record_to_event(record) {
+                let window_start = Instant::now();
                 closed.extend(self.assembler.push(event));
+                self.registry.record(Stage::WindowAssembly, window_start);
             }
         }
         closed.extend(self.assembler.flush());
@@ -438,9 +477,11 @@ impl MoniLog {
     /// Dedup → header parse → reorder; returns windows closed by released
     /// records.
     fn advance(&mut self, raw: &RawLog) -> Vec<ClosedWindow> {
+        let ingest_start = Instant::now();
         PipelineMetrics::incr(&self.metrics.lines_ingested);
         if !self.dedup.admit(raw.source, raw.seq) {
             PipelineMetrics::incr(&self.metrics.duplicates_dropped);
+            self.registry.record(Stage::Ingest, ingest_start);
             return Vec::new();
         }
         let record = match parse_header(
@@ -451,15 +492,21 @@ impl MoniLog {
             Ok(r) => r,
             Err(_) => {
                 PipelineMetrics::incr(&self.metrics.header_errors);
+                self.registry.record(Stage::Ingest, ingest_start);
                 return Vec::new();
             }
         };
+        self.registry.record(Stage::Ingest, ingest_start);
         let ts = record.header.timestamp;
+        let merge_start = Instant::now();
         let released = self.reorder.push(ts, record);
+        self.registry.record(Stage::MergeDedup, merge_start);
         let mut closed = Vec::new();
         for (_, record) in released {
             if let Some(event) = self.record_to_event(record) {
+                let window_start = Instant::now();
                 closed.extend(self.assembler.push(event));
+                self.registry.record(Stage::WindowAssembly, window_start);
             }
         }
         closed
@@ -467,6 +514,7 @@ impl MoniLog {
 
     /// Payload extraction + template parsing + session derivation.
     fn record_to_event(&mut self, record: monilog_model::LogRecord) -> Option<LogEvent> {
+        let parse_start = Instant::now();
         let (text, payload) = if self.config.extract_payloads {
             extract_structured(&record.message)
         } else {
@@ -475,6 +523,7 @@ impl MoniLog {
         let before = self.parser.store().len();
         let outcome = self.parser.parse(&text);
         let discovered = self.parser.store().len() - before;
+        self.registry.record(Stage::Parse, parse_start);
         PipelineMetrics::add(&self.metrics.templates_discovered, discovered as u64);
         PipelineMetrics::incr(&self.metrics.lines_parsed);
 
@@ -506,12 +555,16 @@ impl MoniLog {
             .update_templates(self.parser.store());
         let mut out = Vec::new();
         for c in closed {
+            let detect_start = Instant::now();
             let detector = self.detector.as_dyn();
-            if !detector.predict(&c.window) {
+            let flagged = detector.predict(&c.window);
+            if !flagged {
+                self.registry.record(Stage::Detect, detect_start);
                 continue;
             }
             let kind = self.detector.kind_of(&c.window);
             let score = detector.score(&c.window);
+            self.registry.record(Stage::Detect, detect_start);
             let report = AnomalyReport {
                 id: self.next_report_id,
                 kind,
@@ -526,7 +579,9 @@ impl MoniLog {
             };
             self.next_report_id += 1;
             PipelineMetrics::incr(&self.metrics.anomalies_reported);
+            let classify_start = Instant::now();
             let assignment = self.classifier.classify(&report);
+            self.registry.record(Stage::Classify, classify_start);
             out.push(ClassifiedAnomaly { report, assignment });
         }
         out
@@ -694,5 +749,55 @@ mod tests {
     #[should_panic(expected = "no ingested training data")]
     fn training_requires_data() {
         MoniLog::new(MoniLogConfig::default()).train();
+    }
+
+    #[test]
+    fn stage_histograms_populate_end_to_end() {
+        use monilog_model::SourceId;
+        let mut m = MoniLog::new(MoniLogConfig {
+            header_format: HeaderFormatChoice::Bare,
+            window: crate::windowing::WindowPolicy::Tumbling { size: 4 },
+            detector: DetectorChoice::Pca(monilog_detect::PcaDetectorConfig::default()),
+            ..MoniLogConfig::default()
+        });
+        for i in 0..40u64 {
+            m.ingest_training(&RawLog::new(
+                SourceId(0),
+                i,
+                format!("task t{} finished on host h{}", i, i % 3),
+            ));
+        }
+        m.train();
+        for i in 40..60u64 {
+            m.ingest(&RawLog::new(
+                SourceId(0),
+                i,
+                format!("task t{} finished on host h{}", i, i % 3),
+            ));
+        }
+        m.flush();
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.stage("ingest").unwrap().count, 60, "one per line");
+        assert_eq!(snap.stage("merge_dedup").unwrap().count, 60);
+        assert_eq!(snap.stage("parse").unwrap().count, 60);
+        assert_eq!(
+            snap.stage("window").unwrap().count,
+            60,
+            "one assembly push per parsed event"
+        );
+        assert!(
+            snap.stage("detect").unwrap().count >= 5,
+            "one detect per closed window: {snap:?}"
+        );
+        // The typed snapshot carries the same counters the facade exposes.
+        assert_eq!(snap.counter("lines_ingested"), Some(60));
+        assert_eq!(snap.counter("lines_parsed"), Some(60));
+    }
+
+    #[test]
+    fn observability_config_defaults_to_disabled() {
+        let c = MoniLogConfig::default();
+        assert_eq!(c.observability.metrics_addr, None);
+        assert_eq!(c.observability.metrics_interval_ms, 1_000);
     }
 }

@@ -39,6 +39,9 @@ pub struct WindowAssembler {
     sessions: HashMap<String, (Vec<LogEvent>, Timestamp)>,
     /// Buffer for tumbling / sessionless events.
     buffer: Vec<LogEvent>,
+    /// Last activity of `buffer`, for the idle sweep under the session
+    /// policy (sessionless windows close on idle like named sessions).
+    buffer_last: Timestamp,
 }
 
 impl WindowAssembler {
@@ -50,6 +53,7 @@ impl WindowAssembler {
             policy,
             sessions: HashMap::new(),
             buffer: Vec::new(),
+            buffer_last: Timestamp::EPOCH,
         }
     }
 
@@ -90,6 +94,7 @@ impl WindowAssembler {
                     None => {
                         // Sessionless events tumble in a side buffer.
                         self.buffer.push(event);
+                        self.buffer_last = now;
                         if self.buffer.len() >= max_events {
                             closed.push(Self::close(std::mem::take(&mut self.buffer)));
                         }
@@ -105,6 +110,12 @@ impl WindowAssembler {
                 for key in expired {
                     let (events, _) = self.sessions.remove(&key).expect("listed");
                     closed.push(Self::close(events));
+                }
+                // The sessionless side buffer expires on idle too — a
+                // trailing partial window must not sit open until
+                // max_events or final flush, delaying anomaly reports.
+                if !self.buffer.is_empty() && now.millis_since(self.buffer_last) > idle_ms {
+                    closed.push(Self::close(std::mem::take(&mut self.buffer)));
                 }
             }
         }
@@ -220,6 +231,34 @@ mod tests {
         assert!(a.push(event(1, 0, None)).is_empty());
         let closed = a.push(event(2, 1, None));
         assert_eq!(closed.len(), 1);
+    }
+
+    #[test]
+    fn sessionless_buffer_closes_on_idle() {
+        // Regression: the sessionless side buffer used to be exempt from
+        // the idle sweep, so a trailing partial window stayed open until
+        // max_events or final flush.
+        let mut a = WindowAssembler::new(WindowPolicy::Session {
+            idle_ms: 100,
+            max_events: 100,
+        });
+        a.push(event(0, 0, None));
+        a.push(event(50, 1, None));
+        // Watermark advances far past the buffer's last activity via a
+        // *sessioned* event: the idle buffer must close like a session.
+        let closed = a.push(event(500, 9, Some("s1")));
+        assert_eq!(closed.len(), 1, "idle sessionless buffer closes");
+        assert_eq!(closed[0].window.sequence, vec![0, 1]);
+        assert_eq!(a.open_count(), 1, "s1 still open");
+        // A sessionless event exactly at the idle bound does not close
+        // (strictly-greater semantics, matching named sessions).
+        let mut b = WindowAssembler::new(WindowPolicy::Session {
+            idle_ms: 100,
+            max_events: 100,
+        });
+        b.push(event(0, 0, None));
+        assert!(b.push(event(100, 1, None)).is_empty());
+        assert_eq!(b.open_count(), 1);
     }
 
     #[test]

@@ -159,16 +159,19 @@ impl Drain {
                 token
             };
             // Route to an existing child, or create one if capacity allows;
-            // otherwise overflow into the `<*>` child.
-            let has_room = node.children.contains_key(key)
-                || node.children.len() < config.max_children
-                || key == "<*>";
-            let use_key = if has_room {
-                key.to_string()
+            // otherwise overflow into the `<*>` child. The existing-child
+            // case is the steady-state hot path (template counts plateau
+            // fast), so it must be a borrowed lookup — allocating a keyed
+            // String per level per line would dominate warm parsing.
+            node = if node.children.contains_key(key) {
+                node.children.get_mut(key).expect("checked above")
+            } else if node.children.len() < config.max_children || key == "<*>" {
+                node.children.entry(key.to_string()).or_default()
+            } else if node.children.contains_key("<*>") {
+                node.children.get_mut("<*>").expect("checked above")
             } else {
-                "<*>".to_string()
+                node.children.entry("<*>".to_string()).or_default()
             };
-            node = node.children.entry(use_key).or_default();
         }
         node
     }
@@ -262,11 +265,95 @@ impl OnlineParser for Drain {
 }
 
 #[cfg(test)]
+mod alloc_counter {
+    //! Thread-local allocation counting for the hot-path regression test:
+    //! wraps the system allocator and counts allocations made by the
+    //! *current* thread, so parallel tests don't interfere.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub struct CountingAllocator;
+
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            // try_with: TLS may be mid-teardown during thread exit.
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: CountingAllocator = CountingAllocator;
+
+    /// Allocations made by this thread so far.
+    pub fn current_thread_allocs() -> u64 {
+        ALLOCS.with(|c| c.get())
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
     fn drain() -> Drain {
         Drain::new(DrainConfig::default())
+    }
+
+    #[test]
+    fn warm_routing_path_does_not_allocate() {
+        // Regression: `leaf_mut` used to build `key.to_string()` at every
+        // routing level of every line even when the child already existed.
+        // On a warmed tree, routing must be pure borrowed lookups.
+        let mut d = Drain::new(DrainConfig {
+            mask: MaskConfig::NONE,
+            ..DrainConfig::default()
+        });
+        d.parse("alpha beta gamma delta");
+        d.parse("alpha beta gamma delta");
+        let tokens = ["alpha", "beta", "gamma", "delta"];
+        // Warm the lane (TLS init, hash state, etc.) before measuring.
+        let _ = Drain::leaf_mut(&mut d.by_len, &d.config, &tokens);
+        let before = super::alloc_counter::current_thread_allocs();
+        for _ in 0..1_000 {
+            let leaf = Drain::leaf_mut(&mut d.by_len, &d.config, &tokens);
+            assert!(!leaf.groups.is_empty(), "routed to the populated leaf");
+        }
+        let after = super::alloc_counter::current_thread_allocs();
+        assert_eq!(
+            after - before,
+            0,
+            "existing-child routing must not allocate"
+        );
+    }
+
+    #[test]
+    fn overflow_routing_still_reaches_wildcard_child() {
+        // The restructured routing keeps the capacity/overflow semantics:
+        // full node + unknown key routes to `<*>` (allocating only when
+        // that child is first created).
+        let mut d = Drain::new(DrainConfig {
+            max_children: 2,
+            mask: MaskConfig::NONE,
+            sim_threshold: 0.5,
+            ..DrainConfig::default()
+        });
+        d.parse("alpha path one");
+        d.parse("beta path one");
+        d.parse("gamma path one"); // overflows into <*>
+        let tokens = ["gamma", "path", "one"];
+        let before = super::alloc_counter::current_thread_allocs();
+        let _ = Drain::leaf_mut(&mut d.by_len, &d.config, &tokens);
+        let after = super::alloc_counter::current_thread_allocs();
+        assert_eq!(after - before, 0, "existing overflow path is borrowed too");
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Metrics export endpoint.
+//!
+//! [`MetricsExporter`] is a minimal blocking HTTP/1.1 server on
+//! `std::net::TcpListener` that serves [`crate::observe::MetricsSnapshot`]
+//! renderings:
+//!
+//! - `GET /metrics` — Prometheus text exposition format
+//! - `GET /metrics.json` — JSON
+//!
+//! A background thread re-renders the snapshot every `interval` (so a
+//! scrape never walks the histogram buckets on the request path) and
+//! accepts connections with a short poll timeout so `Drop` can stop it
+//! promptly. No external HTTP crate — the request parsing is the minimum
+//! needed for `curl`/Prometheus: read the first line, match the path.
+
+use crate::observe::MetricsRegistry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Rendered snapshot cache shared between the refresher and request
+/// handling.
+#[derive(Debug, Default)]
+struct Rendered {
+    prometheus: String,
+    json: String,
+}
+
+/// Periodic metrics exporter over a blocking TCP/HTTP endpoint.
+///
+/// Spawn with [`MetricsExporter::spawn`]; the endpoint serves until the
+/// exporter is dropped. Bind to port 0 to let the OS pick a free port and
+/// read it back with [`MetricsExporter::local_addr`].
+#[derive(Debug)]
+pub struct MetricsExporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsExporter {
+    /// Bind `addr` and start serving snapshots of `registry`, re-rendered
+    /// every `interval`.
+    pub fn spawn(
+        addr: SocketAddr,
+        registry: Arc<MetricsRegistry>,
+        interval: Duration,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(true));
+        let stop_flag = Arc::clone(&stop);
+        stop.store(false, Ordering::Release);
+        let handle = thread::Builder::new()
+            .name("monilog-metrics-exporter".into())
+            .spawn(move || serve_loop(listener, registry, interval, stop_flag))
+            .expect("spawn exporter thread");
+        Ok(MetricsExporter {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsExporter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_loop(
+    listener: TcpListener,
+    registry: Arc<MetricsRegistry>,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+) {
+    let cache = Mutex::new(Rendered::default());
+    render_into(&registry, &cache);
+    let mut since_render = Duration::ZERO;
+    const POLL: Duration = Duration::from_millis(20);
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Re-render on demand too, so a scrape right after a burst
+                // sees it even with a long interval.
+                render_into(&registry, &cache);
+                let _ = handle_request(stream, &cache);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(POLL);
+                since_render += POLL;
+                if since_render >= interval {
+                    render_into(&registry, &cache);
+                    since_render = Duration::ZERO;
+                }
+            }
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+fn render_into(registry: &MetricsRegistry, cache: &Mutex<Rendered>) {
+    let snapshot = registry.snapshot();
+    let mut slot = cache.lock().expect("render cache");
+    slot.prometheus = snapshot.to_prometheus();
+    slot.json = snapshot.to_json();
+}
+
+fn handle_request(mut stream: TcpStream, cache: &Mutex<Rendered>) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf)?;
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = {
+        let rendered = cache.lock().expect("render cache");
+        match path {
+            "/metrics" | "/" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                rendered.prometheus.clone(),
+            ),
+            "/metrics.json" => ("200 OK", "application/json", rendered.json.clone()),
+            _ => (
+                "404 Not Found",
+                "text/plain",
+                "not found; try /metrics or /metrics.json\n".to_string(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::PipelineMetrics;
+    use crate::observe::Stage;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect exporter");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("header/body separator");
+        (head.to_string(), body.to_string())
+    }
+
+    fn test_registry() -> Arc<MetricsRegistry> {
+        let r = MetricsRegistry::shared_with_shards(2);
+        PipelineMetrics::add(&r.counters().lines_ingested, 42);
+        r.stage(Stage::Parse).record(Duration::from_micros(15));
+        r
+    }
+
+    #[test]
+    fn serves_prometheus_over_http() {
+        let exporter = MetricsExporter::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            test_registry(),
+            Duration::from_millis(50),
+        )
+        .expect("bind");
+        let (head, body) = http_get(exporter.local_addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain"), "{head}");
+        assert!(body.contains("monilog_lines_ingested_total 42"), "{body}");
+        assert!(
+            body.contains("monilog_stage_latency_seconds_count{stage=\"parse\"} 1"),
+            "{body}"
+        );
+        assert!(
+            body.contains("monilog_shard_queue_depth{shard=\"1\"}"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn serves_json_and_404() {
+        let exporter = MetricsExporter::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            test_registry(),
+            Duration::from_millis(50),
+        )
+        .expect("bind");
+        let (head, body) = http_get(exporter.local_addr(), "/metrics.json");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert!(body.contains("\"lines_ingested\":42"), "{body}");
+        assert!(body.contains("\"parse\":{\"count\":1"), "{body}");
+        let (head, _) = http_get(exporter.local_addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn scrape_sees_updates_after_spawn() {
+        let registry = test_registry();
+        let exporter = MetricsExporter::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            Arc::clone(&registry),
+            Duration::from_secs(3600), // interval irrelevant: scrape re-renders
+        )
+        .expect("bind");
+        PipelineMetrics::add(&registry.counters().lines_parsed, 7);
+        let (_, body) = http_get(exporter.local_addr(), "/metrics");
+        assert!(body.contains("monilog_lines_parsed_total 7"), "{body}");
+    }
+
+    #[test]
+    fn drop_stops_the_listener() {
+        let exporter = MetricsExporter::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            test_registry(),
+            Duration::from_millis(50),
+        )
+        .expect("bind");
+        let addr = exporter.local_addr();
+        drop(exporter);
+        // Port released: either connect fails or a fresh bind succeeds.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "exporter did not release {addr}");
+    }
+}

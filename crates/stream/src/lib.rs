@@ -23,11 +23,17 @@
 //! - [`config`] — typed configuration errors and the overload-policy
 //!   vocabulary shared with the CLI.
 //! - [`metrics`] — cheap shared counters for pipeline observability.
+//! - [`observe`] — stage latency histograms, shard gauges, and the typed
+//!   [`observe::MetricsSnapshot`] with Prometheus/JSON renderings.
+//! - [`export`] — the periodic exporter thread serving snapshots over a
+//!   minimal blocking HTTP endpoint.
 
 pub mod chaos;
 pub mod config;
+pub mod export;
 pub mod merge;
 pub mod metrics;
+pub mod observe;
 pub mod partition;
 pub mod pipeline;
 pub mod service;
@@ -35,8 +41,13 @@ pub mod supervisor;
 
 pub use chaos::{FaultContext, FaultInjector, FaultPlan, WorkerKill};
 pub use config::{ConfigError, OverloadPolicy, RetryPolicy};
+pub use export::MetricsExporter;
 pub use merge::{BoundedReorderBuffer, DedupFilter};
 pub use metrics::PipelineMetrics;
+pub use observe::{
+    HistogramSnapshot, LatencyHistogram, MetricsRegistry, MetricsSnapshot, ShardGauges,
+    ShardSnapshot, Stage, StageSnapshot,
+};
 pub use partition::HashPartitioner;
 pub use pipeline::{parallel_map, ParallelShardedDrain};
 pub use service::{ParsedItem, ShardedParseService, SHARD_ID_STRIDE};

@@ -66,7 +66,11 @@ impl<T> BoundedReorderBuffer<T> {
     }
 
     /// Push an item; returns every item whose release the new watermark
-    /// allows, in timestamp order.
+    /// allows, in timestamp order. Release is inclusive of the watermark:
+    /// an item timestamped exactly `max_seen - bound` has fully elapsed
+    /// the disorder bound, so it is released rather than held for the next
+    /// watermark advance. (An equal-timestamp straggler arriving later is
+    /// still emitted — output stays non-strictly sorted.)
     pub fn push(&mut self, ts: Timestamp, item: T) -> Vec<(Timestamp, T)> {
         self.max_seen = self.max_seen.max(ts);
         self.heap.push(Reverse((ts, self.tie, HeapItem(item))));
@@ -75,7 +79,7 @@ impl<T> BoundedReorderBuffer<T> {
             Timestamp::from_millis(self.max_seen.as_millis().saturating_sub(self.bound_ms));
         let mut out = Vec::new();
         while let Some(Reverse((t, _, _))) = self.heap.peek() {
-            if *t >= watermark {
+            if *t > watermark {
                 break;
             }
             let Reverse((t, _, HeapItem(v))) = self.heap.pop().expect("peeked");
@@ -193,14 +197,28 @@ mod tests {
 
     #[test]
     fn zero_bound_is_passthrough_in_order() {
+        // With a zero disorder bound, an item is at the watermark the
+        // moment it arrives: release is immediate.
         let mut b = BoundedReorderBuffer::new(0);
         let out = b.push(Timestamp::from_millis(10), 1);
-        assert!(
-            out.is_empty(),
-            "needs a later event to advance the watermark"
-        );
+        assert_eq!(out.len(), 1, "zero bound releases immediately");
         let out = b.push(Timestamp::from_millis(11), 2);
         assert_eq!(out.len(), 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn releases_item_exactly_at_watermark() {
+        // Regression: an item timestamped exactly `max_seen - bound` used
+        // to be held until the *next* watermark advance even though the
+        // bound had fully elapsed.
+        let mut b = BoundedReorderBuffer::new(100);
+        assert!(b.push(Timestamp::from_millis(1_000), 'a').is_empty());
+        let released = b.push(Timestamp::from_millis(1_100), 'b');
+        // watermark = 1000: 'a' has elapsed the full bound — release it.
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].0.as_millis(), 1_000);
+        assert_eq!(b.len(), 1, "'b' itself is above the watermark");
     }
 
     #[test]
@@ -305,6 +323,42 @@ mod proptests {
             prop_assert_eq!(out.len(), n, "each event exactly once");
             for w in out.windows(2) {
                 prop_assert!(w[0] <= w[1], "output out of order");
+            }
+        }
+
+        /// Exact-boundary displacement: every event arrives displaced by
+        /// *exactly* the bound (the worst case the buffer guarantees to
+        /// absorb), and release at the watermark edge must still produce
+        /// complete, sorted output.
+        #[test]
+        fn sorts_exact_boundary_displacement(
+            n in 2usize..150,
+            bound in 1u64..200,
+        ) {
+            // Events emitted 1 ms apart; each odd event arrives exactly
+            // `bound` late, interleaving maximal disorder at the edge.
+            let mut arrivals: Vec<(u64, u64)> = (0..n as u64)
+                .map(|seq| {
+                    let displacement = if seq % 2 == 1 { bound } else { 0 };
+                    (seq + displacement, seq)
+                })
+                .collect();
+            arrivals.sort_by_key(|&(arrival, seq)| (arrival, seq));
+
+            let mut buffer = BoundedReorderBuffer::new(bound);
+            let mut out: Vec<u64> = Vec::new();
+            for &(_, seq) in &arrivals {
+                out.extend(
+                    buffer
+                        .push(Timestamp::from_millis(seq), seq)
+                        .into_iter()
+                        .map(|(t, _)| t.as_millis()),
+                );
+            }
+            out.extend(buffer.flush().into_iter().map(|(t, _)| t.as_millis()));
+            prop_assert_eq!(out.len(), n, "items lost or duplicated");
+            for w in out.windows(2) {
+                prop_assert!(w[0] <= w[1], "output out of order at the boundary");
             }
         }
 

@@ -61,22 +61,36 @@ impl PipelineMetrics {
         counter.load(Ordering::Relaxed)
     }
 
-    /// One-line human-readable snapshot.
-    pub fn snapshot(&self) -> String {
-        format!(
-            "ingested={} parsed={} header_errors={} dups_dropped={} templates={} anomalies={} \
-             restarts={} quarantined={} shed={} retries={}",
-            Self::get(&self.lines_ingested),
-            Self::get(&self.lines_parsed),
-            Self::get(&self.header_errors),
-            Self::get(&self.duplicates_dropped),
-            Self::get(&self.templates_discovered),
-            Self::get(&self.anomalies_reported),
-            Self::get(&self.worker_restarts),
-            Self::get(&self.lines_quarantined),
-            Self::get(&self.lines_shed),
-            Self::get(&self.retries_attempted),
-        )
+    /// `(name, value)` for every counter, in declaration order. The
+    /// stable vocabulary used by [`crate::observe::MetricsSnapshot`]
+    /// renderings.
+    pub fn counter_values(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("lines_ingested", Self::get(&self.lines_ingested)),
+            ("lines_parsed", Self::get(&self.lines_parsed)),
+            ("header_errors", Self::get(&self.header_errors)),
+            ("duplicates_dropped", Self::get(&self.duplicates_dropped)),
+            (
+                "templates_discovered",
+                Self::get(&self.templates_discovered),
+            ),
+            ("anomalies_reported", Self::get(&self.anomalies_reported)),
+            ("worker_restarts", Self::get(&self.worker_restarts)),
+            ("lines_quarantined", Self::get(&self.lines_quarantined)),
+            ("lines_shed", Self::get(&self.lines_shed)),
+            ("retries_attempted", Self::get(&self.retries_attempted)),
+        ]
+    }
+
+    /// Typed counters-only snapshot (no stage histograms or shard gauges —
+    /// use [`crate::observe::MetricsRegistry::snapshot`] for those). Its
+    /// `Display` impl keeps the old one-line human-readable form.
+    pub fn snapshot(&self) -> crate::observe::MetricsSnapshot {
+        crate::observe::MetricsSnapshot {
+            counters: self.counter_values(),
+            stages: Vec::new(),
+            shards: Vec::new(),
+        }
     }
 }
 
@@ -111,21 +125,27 @@ mod tests {
     #[test]
     fn snapshot_mentions_every_counter() {
         let m = PipelineMetrics::default();
-        let s = m.snapshot();
+        let snap = m.snapshot();
+        let s = snap.to_string();
         for field in [
-            "ingested",
-            "parsed",
+            "lines_ingested",
+            "lines_parsed",
             "header_errors",
-            "dups_dropped",
-            "templates",
-            "anomalies",
-            "restarts",
-            "quarantined",
-            "shed",
-            "retries",
+            "duplicates_dropped",
+            "templates_discovered",
+            "anomalies_reported",
+            "worker_restarts",
+            "lines_quarantined",
+            "lines_shed",
+            "retries_attempted",
         ] {
             assert!(s.contains(field), "{field} missing from {s}");
+            assert!(
+                snap.counter(field).is_some(),
+                "{field} missing from typed snapshot"
+            );
         }
+        assert_eq!(snap.counters.len(), 10);
     }
 
     #[test]
@@ -135,8 +155,13 @@ mod tests {
         PipelineMetrics::add(&m.lines_quarantined, 3);
         PipelineMetrics::add(&m.lines_shed, 7);
         PipelineMetrics::add(&m.retries_attempted, 11);
-        let s = m.snapshot();
-        for field in ["restarts=1", "quarantined=3", "shed=7", "retries=11"] {
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("worker_restarts"), Some(1));
+        assert_eq!(snap.counter("lines_quarantined"), Some(3));
+        assert_eq!(snap.counter("lines_shed"), Some(7));
+        assert_eq!(snap.counter("retries_attempted"), Some(11));
+        let s = snap.to_string();
+        for field in ["worker_restarts=1", "lines_quarantined=3", "lines_shed=7"] {
             assert!(s.contains(field), "{field} missing from {s}");
         }
     }

@@ -1,0 +1,789 @@
+//! Pipeline observability: stage latency histograms, per-shard gauges,
+//! and typed metric snapshots.
+//!
+//! The paper frames MoniLog as an *automated monitoring* system, and its
+//! planned experiments (§V) hinge on the parser being "the most efficient
+//! existing parsing solution" — a claim that is unfalsifiable without
+//! first-class latency instrumentation. This module provides it:
+//!
+//! - [`LatencyHistogram`] — a lock-free log-linear histogram with fixed
+//!   bucket boundaries. Stages on any thread record durations with a few
+//!   relaxed atomic adds; readers estimate p50/p95/p99 from the buckets
+//!   and read the exact max.
+//! - [`Stage`] — the instrumented pipeline stages (ingest, merge/dedup,
+//!   parse, window assembly, detect, classify).
+//! - [`MetricsRegistry`] — one histogram per stage plus per-shard gauges
+//!   (queue depth, templates, restarts) on top of the
+//!   [`PipelineMetrics`] counters.
+//! - [`MetricsSnapshot`] — a typed, serializable point-in-time view that
+//!   renders to Prometheus text format and JSON (see [`crate::export`]
+//!   for the HTTP endpoint).
+//!
+//! ## Bucket scheme
+//!
+//! Durations are recorded in nanoseconds into log-linear buckets: each
+//! power-of-two octave from 2^10 ns (≈1 µs) to 2^33 ns (≈8.6 s) is split
+//! into 4 linear sub-buckets, bracketed by an underflow bucket (< 1.024 µs)
+//! and an overflow bucket. Bucket boundaries are fixed at compile time, so
+//! histograms from different runs and different shards are directly
+//! mergeable and the relative quantile error is bounded by the sub-bucket
+//! width (≤ 25%, plus exact max).
+
+use crate::metrics::PipelineMetrics;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// First instrumented octave: values below `2^MIN_EXP` ns share the
+/// underflow bucket.
+const MIN_EXP: u32 = 10;
+/// Last instrumented octave: values at or above `2^(MAX_EXP + 1)` ns share
+/// the overflow bucket.
+const MAX_EXP: u32 = 33;
+/// Linear sub-buckets per octave (2^SUB_BITS).
+const SUB_BITS: u32 = 2;
+const SUBS: usize = 1 << SUB_BITS;
+/// Underflow + (octaves × sub-buckets) + overflow.
+pub const N_BUCKETS: usize = 2 + (MAX_EXP - MIN_EXP + 1) as usize * SUBS;
+
+/// An instrumented pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Raw-line admission: dedup check and header parse.
+    Ingest,
+    /// Stream merging: reorder-buffer push and release.
+    MergeDedup,
+    /// Template parsing (payload extraction + Drain).
+    Parse,
+    /// Window assembly (session/tumbling bookkeeping per released event).
+    WindowAssembly,
+    /// Detector predict/score per closed window.
+    Detect,
+    /// Anomaly classification per report.
+    Classify,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Ingest,
+        Stage::MergeDedup,
+        Stage::Parse,
+        Stage::WindowAssembly,
+        Stage::Detect,
+        Stage::Classify,
+    ];
+
+    /// Stable metric-label name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Ingest => "ingest",
+            Stage::MergeDedup => "merge_dedup",
+            Stage::Parse => "parse",
+            Stage::WindowAssembly => "window",
+            Stage::Detect => "detect",
+            Stage::Classify => "classify",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Ingest => 0,
+            Stage::MergeDedup => 1,
+            Stage::Parse => 2,
+            Stage::WindowAssembly => 3,
+            Stage::Detect => 4,
+            Stage::Classify => 5,
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Index of the log-linear bucket holding `ns`.
+fn bucket_index(ns: u64) -> usize {
+    if ns < (1 << MIN_EXP) {
+        return 0;
+    }
+    let exp = 63 - ns.leading_zeros();
+    if exp > MAX_EXP {
+        return N_BUCKETS - 1;
+    }
+    let sub = ((ns >> (exp - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    1 + (exp - MIN_EXP) as usize * SUBS + sub
+}
+
+/// Exclusive upper bound (ns) of bucket `i`; `u64::MAX` for the overflow
+/// bucket.
+fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        return 1 << MIN_EXP;
+    }
+    if i >= N_BUCKETS - 1 {
+        return u64::MAX;
+    }
+    let exp = MIN_EXP + ((i - 1) / SUBS) as u32;
+    let sub = ((i - 1) % SUBS) as u64;
+    (SUBS as u64 + sub + 1) << (exp - SUB_BITS)
+}
+
+/// Lock-free latency histogram with fixed log-linear buckets.
+///
+/// Recording is a handful of relaxed atomic RMWs — safe to call from every
+/// pipeline thread on every line. Snapshots are consistent-enough reads
+/// (buckets may trail the count by in-flight records), which is the same
+/// contract as [`PipelineMetrics`].
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record the time elapsed since `start`.
+    pub fn record_since(&self, start: Instant) {
+        self.record(start.elapsed());
+    }
+
+    /// Record one duration given in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Total recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time snapshot with quantile estimates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let max_ns = self.max_ns.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 { estimate_quantile(&buckets, count, max_ns, q) };
+        let mut cumulative = Vec::new();
+        let mut cum = 0u64;
+        for (i, &n) in buckets.iter().enumerate() {
+            if n > 0 {
+                cum += n;
+                cumulative.push((bucket_bound(i), cum));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns,
+            p50_ns: quantile(0.50),
+            p95_ns: quantile(0.95),
+            p99_ns: quantile(0.99),
+            buckets: cumulative,
+        }
+    }
+}
+
+/// Quantile estimate from bucket counts: find the bucket holding the
+/// target rank and interpolate linearly inside it, clamped to the exact
+/// observed max.
+fn estimate_quantile(buckets: &[u64], count: u64, max_ns: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = (q * count as f64).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if cum + n >= rank {
+            let lower = if i == 0 { 0 } else { bucket_bound(i - 1) };
+            let upper = bucket_bound(i).min(max_ns.max(lower));
+            let frac = (rank - cum) as f64 / n as f64;
+            return lower + ((upper - lower) as f64 * frac) as u64;
+        }
+        cum += n;
+    }
+    max_ns
+}
+
+/// Point-in-time view of one [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum_ns: u64,
+    /// Exact maximum recorded value.
+    pub max_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    /// `(exclusive upper bound ns, cumulative count)` for every non-empty
+    /// bucket, in increasing bound order — Prometheus-ready.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Per-shard gauges of a sharded parse deployment.
+#[derive(Debug, Default)]
+pub struct ShardGauges {
+    /// Items waiting in the shard's input queue (sampled by the worker).
+    pub queue_depth: AtomicU64,
+    /// Templates in the shard's store.
+    pub templates: AtomicU64,
+    /// Times this shard's worker was respawned.
+    pub restarts: AtomicU64,
+}
+
+impl ShardGauges {
+    /// Set a gauge to an absolute value.
+    pub fn set(gauge: &AtomicU64, value: u64) {
+        gauge.store(value, Ordering::Relaxed);
+    }
+}
+
+/// The observability root of one pipeline run: counters, per-stage latency
+/// histograms, and per-shard gauges. Shareable across every pipeline
+/// thread; all recording is lock-free.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    counters: Arc<PipelineMetrics>,
+    stages: [LatencyHistogram; Stage::ALL.len()],
+    shards: Vec<ShardGauges>,
+}
+
+impl MetricsRegistry {
+    /// A registry with no shard gauges (sequential deployments).
+    pub fn shared() -> Arc<Self> {
+        Self::shared_with_shards(0)
+    }
+
+    /// A registry tracking `n_shards` shard gauges (sharded services).
+    pub fn shared_with_shards(n_shards: usize) -> Arc<Self> {
+        Arc::new(MetricsRegistry {
+            counters: PipelineMetrics::shared(),
+            stages: std::array::from_fn(|_| LatencyHistogram::new()),
+            shards: (0..n_shards).map(|_| ShardGauges::default()).collect(),
+        })
+    }
+
+    /// The shared pipeline counters.
+    pub fn counters(&self) -> &Arc<PipelineMetrics> {
+        &self.counters
+    }
+
+    /// The latency histogram of one stage.
+    pub fn stage(&self, stage: Stage) -> &LatencyHistogram {
+        &self.stages[stage.index()]
+    }
+
+    /// Record `start.elapsed()` into a stage histogram.
+    pub fn record(&self, stage: Stage, start: Instant) {
+        self.stage(stage).record_since(start);
+    }
+
+    /// Time a closure into a stage histogram.
+    pub fn time<R>(&self, stage: Stage, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.stage(stage).record_since(start);
+        out
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The gauges of shard `i`.
+    pub fn shard(&self, i: usize) -> &ShardGauges {
+        &self.shards[i]
+    }
+
+    /// Typed point-in-time snapshot of everything the registry tracks.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.counter_values(),
+            stages: Stage::ALL
+                .iter()
+                .map(|s| StageSnapshot {
+                    stage: s.name(),
+                    latency: self.stage(*s).snapshot(),
+                })
+                .collect(),
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(shard, g)| ShardSnapshot {
+                    shard,
+                    queue_depth: g.queue_depth.load(Ordering::Relaxed),
+                    templates: g.templates.load(Ordering::Relaxed),
+                    restarts: g.restarts.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One stage's latency distribution inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSnapshot {
+    pub stage: &'static str,
+    pub latency: HistogramSnapshot,
+}
+
+/// One shard's gauges inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    pub shard: usize,
+    pub queue_depth: u64,
+    pub templates: u64,
+    pub restarts: u64,
+}
+
+/// Typed, serializable snapshot of a pipeline's metrics: every counter,
+/// every stage latency histogram, every shard gauge. Renders to
+/// Prometheus text format ([`MetricsSnapshot::to_prometheus`]), JSON
+/// ([`MetricsSnapshot::to_json`]), and a one-line human summary
+/// (`Display`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every pipeline counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Latency distribution per stage, in pipeline order.
+    pub stages: Vec<StageSnapshot>,
+    /// Gauges per shard (empty for sequential deployments).
+    pub shards: Vec<ShardSnapshot>,
+}
+
+fn seconds(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Format a float the way Prometheus expects (no exponent surprises, no
+/// trailing leftover zeros beyond precision).
+fn fmt_seconds(ns: u64) -> String {
+    let mut s = format!("{:.9}", seconds(ns));
+    while s.ends_with('0') {
+        s.pop();
+    }
+    if s.ends_with('.') {
+        s.push('0');
+    }
+    s
+}
+
+impl MetricsSnapshot {
+    /// Render in Prometheus text exposition format. Counters become
+    /// `monilog_<name>_total`, stage histograms become
+    /// `monilog_stage_latency_seconds{stage="..."}` with cumulative `le`
+    /// buckets, shard gauges become `monilog_shard_*{shard="..."}`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!(
+                "# TYPE monilog_{name}_total counter\nmonilog_{name}_total {value}\n"
+            ));
+        }
+        out.push_str("# TYPE monilog_stage_latency_seconds histogram\n");
+        for s in &self.stages {
+            let stage = s.stage;
+            for (bound, cum) in &s.latency.buckets {
+                let le = if *bound == u64::MAX {
+                    "+Inf".to_string()
+                } else {
+                    fmt_seconds(*bound)
+                };
+                out.push_str(&format!(
+                    "monilog_stage_latency_seconds_bucket{{stage=\"{stage}\",le=\"{le}\"}} {cum}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "monilog_stage_latency_seconds_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {}\n",
+                s.latency.count
+            ));
+            out.push_str(&format!(
+                "monilog_stage_latency_seconds_sum{{stage=\"{stage}\"}} {}\n",
+                fmt_seconds(s.latency.sum_ns)
+            ));
+            out.push_str(&format!(
+                "monilog_stage_latency_seconds_count{{stage=\"{stage}\"}} {}\n",
+                s.latency.count
+            ));
+            for (q, v) in [
+                ("p50", s.latency.p50_ns),
+                ("p95", s.latency.p95_ns),
+                ("p99", s.latency.p99_ns),
+                ("max", s.latency.max_ns),
+            ] {
+                out.push_str(&format!(
+                    "monilog_stage_latency_{q}_seconds{{stage=\"{stage}\"}} {}\n",
+                    fmt_seconds(v)
+                ));
+            }
+        }
+        if !self.shards.is_empty() {
+            out.push_str("# TYPE monilog_shard_queue_depth gauge\n");
+            for s in &self.shards {
+                out.push_str(&format!(
+                    "monilog_shard_queue_depth{{shard=\"{}\"}} {}\n",
+                    s.shard, s.queue_depth
+                ));
+            }
+            out.push_str("# TYPE monilog_shard_templates gauge\n");
+            for s in &self.shards {
+                out.push_str(&format!(
+                    "monilog_shard_templates{{shard=\"{}\"}} {}\n",
+                    s.shard, s.templates
+                ));
+            }
+            out.push_str("# TYPE monilog_shard_restarts_total counter\n");
+            for s in &self.shards {
+                out.push_str(&format!(
+                    "monilog_shard_restarts_total{{shard=\"{}\"}} {}\n",
+                    s.shard, s.restarts
+                ));
+            }
+        }
+        out
+    }
+
+    /// Render as a JSON object:
+    /// `{"counters":{...},"stages":{...},"shards":[...]}`. Hand-rolled —
+    /// the vendored serde shim has no format layer (see vendor/README.md).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{value}"));
+        }
+        out.push_str("},\"stages\":{");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let h = &s.latency;
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"buckets\":[",
+                s.stage, h.count, h.sum_ns, h.max_ns, h.p50_ns, h.p95_ns, h.p99_ns
+            ));
+            for (j, (bound, cum)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                // u64::MAX is the overflow bucket; emit null for its bound
+                // so JSON consumers don't choke on 2^64.
+                if *bound == u64::MAX {
+                    out.push_str(&format!("[null,{cum}]"));
+                } else {
+                    out.push_str(&format!("[{bound},{cum}]"));
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"shards\":[");
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"shard\":{},\"queue_depth\":{},\"templates\":{},\"restarts\":{}}}",
+                s.shard, s.queue_depth, s.templates, s.restarts
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Value of one counter by name (`None` if absent).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The snapshot of one stage by name (`None` if absent).
+    pub fn stage(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.stages
+            .iter()
+            .find(|s| s.stage == name)
+            .map(|s| &s.latency)
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    /// One-line human-readable summary: every counter, then per-stage
+    /// latency quantiles for stages that recorded anything.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        for s in &self.stages {
+            if s.latency.count == 0 {
+                continue;
+            }
+            write!(
+                f,
+                " {}[p50={}us p95={}us p99={}us max={}us]",
+                s.stage,
+                s.latency.p50_ns / 1_000,
+                s.latency.p95_ns / 1_000,
+                s.latency.p99_ns / 1_000,
+                s.latency.max_ns / 1_000,
+            )?;
+        }
+        for s in &self.shards {
+            write!(
+                f,
+                " shard{}[q={} templates={} restarts={}]",
+                s.shard, s.queue_depth, s.templates, s.restarts
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_monotone_and_roundtrip() {
+        // Boundaries strictly increase.
+        for i in 1..N_BUCKETS - 1 {
+            assert!(
+                bucket_bound(i) > bucket_bound(i - 1),
+                "bound({i}) = {} !> bound({}) = {}",
+                bucket_bound(i),
+                i - 1,
+                bucket_bound(i - 1)
+            );
+        }
+        assert_eq!(bucket_bound(N_BUCKETS - 1), u64::MAX);
+        // Every value lands in the bucket whose bounds bracket it.
+        for ns in [
+            0,
+            1,
+            1023,
+            1024,
+            1025,
+            4096,
+            5000,
+            1_000_000,
+            999_999_999,
+            u64::MAX,
+        ] {
+            let i = bucket_index(ns);
+            // The overflow bucket's bound stands in for +Inf, so its
+            // check is inclusive.
+            if i < N_BUCKETS - 1 {
+                assert!(ns < bucket_bound(i), "ns {ns} >= upper bound of bucket {i}");
+            }
+            if i > 0 {
+                assert!(
+                    ns >= bucket_bound(i - 1),
+                    "ns {ns} < lower bound of bucket {i}"
+                );
+            }
+        }
+        // Exhaustive over the instrumented range (sampled by octave).
+        for exp in MIN_EXP..=MAX_EXP {
+            for offset in [0u64, 1, (1 << exp) / 3, (1 << exp) - 1] {
+                let ns = (1u64 << exp) + offset;
+                let i = bucket_index(ns);
+                assert!(ns < bucket_bound(i));
+                assert!(ns >= bucket_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_estimate_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 1..=1000 µs uniformly: p50 ≈ 500 µs, p95 ≈ 950 µs, p99 ≈ 990 µs.
+        for us in 1..=1000u64 {
+            h.record_ns(us * 1_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max_ns, 1_000_000);
+        let within = |est: u64, truth: u64| {
+            let err = (est as f64 - truth as f64).abs() / truth as f64;
+            assert!(
+                err < 0.25,
+                "estimate {est} vs truth {truth}: {:.0}% off",
+                err * 100.0
+            );
+        };
+        within(s.p50_ns, 500_000);
+        within(s.p95_ns, 950_000);
+        within(s.p99_ns, 990_000);
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn quantiles_of_empty_and_single() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.p50_ns, s.p99_ns, s.max_ns), (0, 0, 0, 0));
+        h.record_ns(5_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.p50_ns <= 5_120, "single value stays in its bucket");
+        assert_eq!(s.max_ns, 5_000);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let h = Arc::new(LatencyHistogram::new());
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record_ns(1_000 + (t * PER_THREAD + i) % 100_000);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, THREADS * PER_THREAD);
+        let bucket_total: u64 = s.buckets.last().map(|(_, cum)| *cum).unwrap_or(0);
+        assert_eq!(
+            bucket_total,
+            THREADS * PER_THREAD,
+            "no bucket lost a record"
+        );
+        // Recorded values are 1_000 + x for x in 0..THREADS*PER_THREAD,
+        // all below the 100_000 modulus — the max is exact.
+        assert_eq!(s.max_ns, 1_000 + (THREADS * PER_THREAD - 1));
+    }
+
+    #[test]
+    fn registry_snapshot_covers_stages_and_shards() {
+        let r = MetricsRegistry::shared_with_shards(2);
+        r.time(Stage::Parse, || std::hint::black_box(7 * 6));
+        r.stage(Stage::Detect).record(Duration::from_micros(250));
+        ShardGauges::set(&r.shard(1).queue_depth, 17);
+        ShardGauges::set(&r.shard(1).templates, 4);
+        let s = r.snapshot();
+        assert_eq!(s.stages.len(), Stage::ALL.len());
+        assert_eq!(s.stage("parse").unwrap().count, 1);
+        assert_eq!(s.stage("detect").unwrap().count, 1);
+        assert_eq!(s.shards.len(), 2);
+        assert_eq!(s.shards[1].queue_depth, 17);
+        assert_eq!(s.shards[1].templates, 4);
+    }
+
+    /// Mirror of `snapshot_mentions_every_counter` for the typed snapshot:
+    /// every counter and every stage histogram appears in both renderings.
+    #[test]
+    fn renderings_mention_every_counter_and_stage() {
+        let r = MetricsRegistry::shared_with_shards(1);
+        PipelineMetrics::incr(&r.counters().lines_ingested);
+        r.stage(Stage::Ingest).record(Duration::from_micros(3));
+        let s = r.snapshot();
+        let prom = s.to_prometheus();
+        let json = s.to_json();
+        for (name, _) in &s.counters {
+            assert!(
+                prom.contains(&format!("monilog_{name}_total")),
+                "{name} missing from prometheus: {prom}"
+            );
+            assert!(
+                json.contains(&format!("\"{name}\":")),
+                "{name} missing from json: {json}"
+            );
+        }
+        for stage in Stage::ALL {
+            assert!(
+                prom.contains(&format!(
+                    "monilog_stage_latency_seconds_count{{stage=\"{stage}\"}}"
+                )),
+                "{stage} missing from prometheus"
+            );
+            assert!(
+                json.contains(&format!("\"{stage}\":{{\"count\":")),
+                "{stage} missing from json: {json}"
+            );
+        }
+        assert!(prom.contains("monilog_shard_queue_depth{shard=\"0\"}"));
+        assert!(json.contains("\"shards\":[{\"shard\":0,"));
+        // Histogram invariants in the prometheus text: +Inf bucket present
+        // and equal to the count.
+        assert!(prom.contains("le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let h = LatencyHistogram::new();
+        for us in [2u64, 2, 40, 900] {
+            h.record_ns(us * 1_000);
+        }
+        let s = h.snapshot();
+        let mut prev = 0;
+        for (_, cum) in &s.buckets {
+            assert!(*cum > prev, "cumulative counts must increase");
+            prev = *cum;
+        }
+        assert_eq!(prev, 4);
+    }
+
+    #[test]
+    fn display_is_one_line_and_complete() {
+        let r = MetricsRegistry::shared();
+        PipelineMetrics::add(&r.counters().lines_parsed, 5);
+        r.stage(Stage::Parse).record(Duration::from_micros(10));
+        let line = r.snapshot().to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("lines_parsed=5"), "{line}");
+        assert!(line.contains("parse[p50="), "{line}");
+    }
+
+    #[test]
+    fn fmt_seconds_is_prometheus_safe() {
+        assert_eq!(fmt_seconds(1_000_000_000), "1.0");
+        assert_eq!(fmt_seconds(1_024), "0.000001024");
+        assert_eq!(fmt_seconds(0), "0.0");
+        assert_eq!(fmt_seconds(500_000_000), "0.5");
+    }
+}

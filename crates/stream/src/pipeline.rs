@@ -10,9 +10,12 @@
 //!   throughput scaling and parsing agreement against the sequential
 //!   [`monilog_parse::ShardedDrain`].
 
+use crate::observe::{MetricsRegistry, ShardGauges, Stage};
 use crossbeam::channel;
 use monilog_parse::{Drain, DrainConfig, OnlineParser, ParseOutcome, ShardedDrain};
+use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 /// Apply `f` to every item on `workers` threads, returning results in
 /// input order. Item routing is round-robin; use this for stateless
@@ -64,6 +67,10 @@ where
 pub struct ParallelShardedDrain {
     pub n_shards: usize,
     pub drain: DrainConfig,
+    /// Optional observability: workers record per-message parse latency
+    /// into the [`Stage::Parse`] histogram and leave per-shard template
+    /// counts in the gauges after each batch.
+    registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl ParallelShardedDrain {
@@ -71,7 +78,22 @@ impl ParallelShardedDrain {
         if n_shards == 0 {
             return Err(crate::config::ConfigError::ZeroShards);
         }
-        Ok(ParallelShardedDrain { n_shards, drain })
+        Ok(ParallelShardedDrain {
+            n_shards,
+            drain,
+            registry: None,
+        })
+    }
+
+    /// Record parse latency and shard gauges into `registry` (must track
+    /// at least `n_shards` shard gauge sets).
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        assert!(
+            registry.n_shards() >= self.n_shards,
+            "registry tracks fewer shards than the parser"
+        );
+        self.registry = Some(registry);
+        self
     }
 
     /// Parse a batch in parallel. Returns per-message outcomes (input
@@ -87,6 +109,7 @@ impl ParallelShardedDrain {
         }
 
         let drain_config = self.drain;
+        let registry = self.registry.as_ref();
         let results: Vec<(Vec<(usize, ParseOutcome)>, usize)> = thread::scope(|scope| {
             let handles: Vec<_> = per_shard
                 .into_iter()
@@ -97,13 +120,23 @@ impl ParallelShardedDrain {
                         let outcomes: Vec<(usize, ParseOutcome)> = batch
                             .into_iter()
                             .map(|(orig, m)| {
+                                let start = Instant::now();
                                 let mut out = parser.parse(m);
+                                if let Some(reg) = registry {
+                                    reg.record(Stage::Parse, start);
+                                }
                                 out.template = monilog_model::TemplateId(
                                     shard_idx as u32 * STRIDE + out.template.0,
                                 );
                                 (orig, out)
                             })
                             .collect();
+                        if let Some(reg) = registry {
+                            ShardGauges::set(
+                                &reg.shard(shard_idx).templates,
+                                parser.store().len() as u64,
+                            );
+                        }
                         (outcomes, parser.store().len())
                     })
                 })
@@ -196,6 +229,26 @@ mod tests {
         // Variables identical line by line.
         for (p, s) in par_out.iter().zip(&seq_out) {
             assert_eq!(p.variables, s.variables);
+        }
+    }
+
+    #[test]
+    fn batch_parser_records_into_registry() {
+        let corpus = corpus::hdfs_like(25, 9);
+        let messages: Vec<&str> = corpus.messages().collect();
+        let registry = crate::observe::MetricsRegistry::shared_with_shards(2);
+        let parallel = ParallelShardedDrain::new(2, DrainConfig::default())
+            .expect("valid config")
+            .with_registry(Arc::clone(&registry));
+        let (out, shard_templates) = parallel.parse_batch(&messages);
+        assert_eq!(out.len(), messages.len());
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.stage("parse").expect("parse stage").count,
+            messages.len() as u64
+        );
+        for (i, n) in shard_templates.iter().enumerate() {
+            assert_eq!(snap.shards[i].templates, *n as u64);
         }
     }
 

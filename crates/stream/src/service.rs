@@ -19,9 +19,12 @@
 //! need global order reorder by the submitted sequence number (e.g. via
 //! [`crate::merge::BoundedReorderBuffer`]).
 
+use crate::observe::{MetricsRegistry, ShardGauges, Stage};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use monilog_parse::{Drain, DrainConfig, OnlineParser, ParseOutcome, ShardedDrain};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// An item flowing through the service: caller-chosen sequence tag + line.
 type Item = (u64, String);
@@ -45,21 +48,44 @@ pub struct ShardedParseService {
     output: Receiver<ParsedItem>,
     router: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<usize>>,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl ShardedParseService {
     /// Spawn the service: `n_shards` Drain workers, all queues bounded by
-    /// `capacity` items.
+    /// `capacity` items. Creates a fresh [`MetricsRegistry`] with one
+    /// gauge set per shard; use [`Self::spawn_with_registry`] to share one.
     pub fn spawn(
         n_shards: usize,
         drain: DrainConfig,
         capacity: usize,
+    ) -> Result<Self, crate::config::ConfigError> {
+        Self::spawn_with_registry(
+            n_shards,
+            drain,
+            capacity,
+            MetricsRegistry::shared_with_shards(n_shards),
+        )
+    }
+
+    /// Spawn the service recording into `registry`: workers record parse
+    /// latency into the [`Stage::Parse`] histogram and keep their shard's
+    /// queue-depth and template gauges current (the registry must track at
+    /// least `n_shards` shard gauge sets).
+    pub fn spawn_with_registry(
+        n_shards: usize,
+        drain: DrainConfig,
+        capacity: usize,
+        registry: Arc<MetricsRegistry>,
     ) -> Result<Self, crate::config::ConfigError> {
         if n_shards == 0 {
             return Err(crate::config::ConfigError::ZeroShards);
         }
         if capacity == 0 {
             return Err(crate::config::ConfigError::ZeroCapacity);
+        }
+        if registry.n_shards() < n_shards {
+            return Err(crate::config::ConfigError::ZeroShards);
         }
         let (input_tx, input_rx) = bounded::<Item>(capacity);
         let (output_tx, output_rx) = bounded::<ParsedItem>(capacity);
@@ -70,13 +96,19 @@ impl ShardedParseService {
             let (tx, rx) = bounded::<Item>(capacity);
             shard_txs.push(tx);
             let out = output_tx.clone();
+            let reg = Arc::clone(&registry);
             workers.push(std::thread::spawn(move || {
                 let mut parser = Drain::new(drain);
                 while let Ok((seq, line)) = rx.recv() {
+                    let start = Instant::now();
                     let mut outcome = parser.parse(&line);
+                    reg.record(Stage::Parse, start);
                     outcome.template = monilog_model::TemplateId(
                         shard as u32 * SHARD_ID_STRIDE + outcome.template.0,
                     );
+                    let gauges = reg.shard(shard);
+                    ShardGauges::set(&gauges.queue_depth, rx.len() as u64);
+                    ShardGauges::set(&gauges.templates, parser.store().len() as u64);
                     if out
                         .send(ParsedItem {
                             seq,
@@ -88,6 +120,7 @@ impl ShardedParseService {
                         break; // consumer went away: stop quietly
                     }
                 }
+                ShardGauges::set(&reg.shard(shard).queue_depth, 0);
                 parser.store().len()
             }));
         }
@@ -108,7 +141,13 @@ impl ShardedParseService {
             output: output_rx,
             router: Some(router),
             workers,
+            registry,
         })
+    }
+
+    /// The observability registry the workers record into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Submit a line; **blocks** when the pipeline is saturated (this is
@@ -358,6 +397,44 @@ mod tests {
         assert_eq!(err, Some(ConfigError::ZeroCapacity));
         let err = crate::pipeline::ParallelShardedDrain::new(0, DrainConfig::default()).err();
         assert_eq!(err, Some(ConfigError::ZeroShards));
+    }
+
+    #[test]
+    fn workers_record_parse_latency_and_gauges() {
+        let corpus = corpus::hdfs_like(30, 17);
+        let mut service =
+            ShardedParseService::spawn(2, DrainConfig::default(), 64).expect("valid config");
+        let n = corpus.logs.len();
+        let mut got = 0;
+        std::thread::scope(|s| {
+            let svc = &service;
+            s.spawn(move || {
+                for (i, log) in corpus.logs.iter().enumerate() {
+                    svc.submit(i as u64, log.record.message.clone())
+                        .expect("accepts");
+                }
+            });
+            while got < n {
+                if svc.recv().is_some() {
+                    got += 1;
+                }
+            }
+        });
+        service.close();
+        let snap = service.registry().snapshot();
+        assert_eq!(
+            snap.stage("parse").expect("parse stage").count,
+            n as u64,
+            "one parse latency sample per line"
+        );
+        assert!(snap.stage("parse").unwrap().max_ns > 0);
+        assert_eq!(snap.shards.len(), 2);
+        assert!(
+            snap.shards.iter().map(|s| s.templates).sum::<u64>() > 0,
+            "template gauges populated: {snap:?}"
+        );
+        let (_, counts) = service.shutdown();
+        assert_eq!(counts.len(), 2);
     }
 
     #[test]

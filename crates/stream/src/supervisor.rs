@@ -46,6 +46,7 @@
 use crate::chaos::{FaultContext, FaultInjector, WorkerKill};
 use crate::config::{ConfigError, OverloadPolicy, RetryPolicy};
 use crate::metrics::PipelineMetrics;
+use crate::observe::{MetricsRegistry, ShardGauges, Stage};
 use crate::service::{ParsedItem, SHARD_ID_STRIDE};
 use crossbeam::channel::{
     bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
@@ -232,6 +233,7 @@ impl ShardState {
 
 /// State shared by the handle, the workers, and the supervisor thread.
 struct Shared {
+    registry: Arc<MetricsRegistry>,
     metrics: Arc<PipelineMetrics>,
     epoch: Instant,
     shards: Vec<ShardState>,
@@ -282,8 +284,10 @@ impl SupervisedParseService {
         let (input_tx, input_rx) = bounded::<Item>(config.capacity);
         let (output_tx, output_rx) = bounded::<ParsedItem>(config.capacity);
 
+        let registry = MetricsRegistry::shared_with_shards(n);
         let shared = Arc::new(Shared {
-            metrics: PipelineMetrics::shared(),
+            metrics: Arc::clone(registry.counters()),
+            registry,
             epoch: Instant::now(),
             shards: (0..n).map(|_| ShardState::new()).collect(),
             dlq: Mutex::new(VecDeque::new()),
@@ -403,6 +407,13 @@ impl SupervisedParseService {
     /// The service's shared metrics (restarts, quarantines, sheds, …).
     pub fn metrics(&self) -> Arc<PipelineMetrics> {
         Arc::clone(&self.shared.metrics)
+    }
+
+    /// The full observability registry: the counters above plus the
+    /// [`Stage::Parse`] latency histogram and per-shard gauges (queue
+    /// depth, templates, restarts).
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.registry)
     }
 
     /// Lines attributed to [`CATCH_ALL_TEMPLATE_ID`] (shed + degraded).
@@ -574,13 +585,19 @@ fn worker_loop(
             Err(RecvTimeoutError::Disconnected) => break,
             Ok((seq, line)) => {
                 *state.in_flight.lock() = Some((seq, line.clone()));
-                match parse_with_retries(&mut parser, seq, &line, config, injector, shared) {
+                let parse_start = Instant::now();
+                let parsed = parse_with_retries(&mut parser, seq, &line, config, injector, shared);
+                shared.registry.record(Stage::Parse, parse_start);
+                let gauges = shared.registry.shard(shard);
+                ShardGauges::set(&gauges.queue_depth, rx.len() as u64);
+                match parsed {
                     Ok(mut outcome) => {
                         state.consecutive_crashes.store(0, Ordering::SeqCst);
                         if parser.store().len() > known_templates {
                             known_templates = parser.store().len();
                             *state.snapshot.lock() = Some(parser.store().encode());
                         }
+                        ShardGauges::set(&gauges.templates, known_templates as u64);
                         outcome.template =
                             TemplateId(shard as u32 * SHARD_ID_STRIDE + outcome.template.0);
                         PipelineMetrics::incr(&shared.metrics.lines_parsed);
@@ -727,6 +744,11 @@ fn supervise(
             }
             let crashes = state.consecutive_crashes.fetch_add(1, Ordering::SeqCst) + 1;
             PipelineMetrics::incr(&shared.metrics.worker_restarts);
+            shared
+                .registry
+                .shard(shard)
+                .restarts
+                .fetch_add(1, Ordering::Relaxed);
             state.alive.store(true, Ordering::SeqCst);
             workers[shard] = Some(if crashes >= config.max_consecutive_crashes {
                 state.degraded.store(true, Ordering::SeqCst);
@@ -1050,6 +1072,30 @@ mod tests {
             .all(|s| s.alive && !s.degraded && s.consecutive_crashes == 0));
         let (_, letters) = service.shutdown();
         assert!(letters.is_empty());
+    }
+
+    #[test]
+    fn registry_records_parse_latency_and_restart_gauges() {
+        let plan = FaultPlan::new().crash_every(12); // kills at seq 11
+        let service =
+            SupervisedParseService::spawn_with_injector(test_config(1, 32), Some(plan.injector()))
+                .expect("spawn");
+        let input = lines(20);
+        let received = pump(&service, &input);
+        assert_eq!(received.len(), 19);
+        let snap = service.registry().snapshot();
+        // One parse-latency sample per line that reached a worker: 19
+        // successes + 1 crash-boundary line whose timer never completes.
+        assert_eq!(snap.stage("parse").expect("parse stage").count, 19);
+        assert_eq!(snap.shards.len(), 1);
+        assert_eq!(snap.shards[0].restarts, 1, "restart gauge tracks respawn");
+        assert!(snap.shards[0].templates > 0, "template gauge populated");
+        assert_eq!(
+            snap.counter("worker_restarts"),
+            Some(1),
+            "registry counters are the service counters"
+        );
+        drop(service);
     }
 
     #[test]
