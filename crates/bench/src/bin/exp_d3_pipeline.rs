@@ -5,6 +5,12 @@
 //! registry (written to `results/metrics_baseline.json`).
 //!
 //! Run: `cargo run --release -p monilog-bench --bin exp_d3_pipeline`
+//!
+//! With `--check`, the run compares its live-monitoring throughput
+//! against the committed `results/exp_d3_throughput.json` and exits
+//! non-zero on a regression of more than 20% — the CI performance gate
+//! for the streaming hot path. (`--check` does not overwrite the
+//! baseline; a plain run does.)
 
 use monilog_bench::print_table;
 use monilog_core::detect::DeepLogConfig;
@@ -157,8 +163,68 @@ fn main() {
     if let Some(dir) = out_path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    match std::fs::write(out_path, snap.to_json()) {
-        Ok(()) => println!("\nwrote {}", out_path.display()),
-        Err(e) => println!("\ncould not write {}: {e}", out_path.display()),
+    let check = std::env::args().any(|a| a == "--check");
+    if !check {
+        match std::fs::write(out_path, snap.to_json()) {
+            Ok(()) => println!("\nwrote {}", out_path.display()),
+            Err(e) => println!("\ncould not write {}: {e}", out_path.display()),
+        }
     }
+
+    // Throughput baseline + regression gate.
+    let train_rate = train_logs.len() as f64 / ingest_secs;
+    let live_rate = live_logs.len() as f64 / live_secs;
+    let thr_path = std::path::Path::new("results/exp_d3_throughput.json");
+    if check {
+        let baseline = std::fs::read_to_string(thr_path)
+            .ok()
+            .and_then(|s| read_json_number(&s, "live_lines_per_s"));
+        match baseline {
+            Some(base) if base > 0.0 => {
+                let ratio = live_rate / base;
+                println!(
+                    "\nthroughput check: live {live_rate:.0} lines/s vs baseline {base:.0} \
+                     ({:.0}% of baseline, floor 80%)",
+                    ratio * 100.0
+                );
+                if ratio < 0.8 {
+                    eprintln!("FAIL: live throughput regressed more than 20%");
+                    std::process::exit(1);
+                }
+            }
+            _ => {
+                eprintln!(
+                    "FAIL: no committed baseline at {} to check against",
+                    thr_path.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let json = format!(
+            "{{\"experiment\":\"d3_pipeline\",\"train_lines\":{},\"train_lines_per_s\":{:.0},\
+             \"model_fit_s\":{:.2},\"live_lines\":{},\"live_lines_per_s\":{:.0}}}\n",
+            train_logs.len(),
+            train_rate,
+            train_secs,
+            live_logs.len(),
+            live_rate,
+        );
+        match std::fs::write(thr_path, json) {
+            Ok(()) => println!("wrote {}", thr_path.display()),
+            Err(e) => println!("could not write {}: {e}", thr_path.display()),
+        }
+    }
+}
+
+/// Minimal JSON number extraction (`"key": 123.4`) — the baseline file is
+/// machine-written by this binary, so a full parser buys nothing.
+fn read_json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }

@@ -779,7 +779,7 @@ mod tests {
         let snap = m.registry().snapshot();
         assert_eq!(snap.stage("ingest").unwrap().count, 60, "one per line");
         assert_eq!(snap.stage("merge_dedup").unwrap().count, 60);
-        assert_eq!(snap.stage("parse").unwrap().count, 60);
+        assert_eq!(snap.stage("parse_exec").unwrap().count, 60);
         assert_eq!(
             snap.stage("window").unwrap().count,
             60,

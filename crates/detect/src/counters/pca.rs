@@ -56,17 +56,20 @@ impl PcaDetector {
     }
 
     fn spe(&self, window: &Window) -> f64 {
-        let x = count_vector(window, self.dim);
-        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
-        // Residual = x - Σ (x·v) v over principal components.
-        let mut residual = centered.clone();
-        for comp in &self.components {
-            let proj = dot(&centered, comp);
-            for (r, c) in residual.iter_mut().zip(comp) {
+        // Center in place, compute all projections against the centered
+        // vector first, then subtract in place: one dim-sized allocation
+        // per score instead of three.
+        let mut x = count_vector(window, self.dim);
+        for (a, m) in x.iter_mut().zip(&self.mean) {
+            *a -= *m;
+        }
+        let projs: Vec<f64> = self.components.iter().map(|c| dot(&x, c)).collect();
+        for (comp, proj) in self.components.iter().zip(&projs) {
+            for (r, c) in x.iter_mut().zip(comp) {
                 *r -= proj * c;
             }
         }
-        dot(&residual, &residual)
+        dot(&x, &x)
     }
 }
 
@@ -91,10 +94,13 @@ impl Detector for PcaDetector {
             }
         }
 
-        // Covariance.
+        // Covariance (one reused centering buffer across the whole pass).
         let mut cov = vec![vec![0.0; self.dim]; self.dim];
+        let mut c = vec![0.0; self.dim];
         for v in &vectors {
-            let c: Vec<f64> = v.iter().zip(&self.mean).map(|(x, m)| x - m).collect();
+            for ((ci, x), m) in c.iter_mut().zip(v).zip(&self.mean) {
+                *ci = x - m;
+            }
             for i in 0..self.dim {
                 if c[i] == 0.0 {
                     continue;

@@ -27,6 +27,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Which parameter-value model to use for quantitative anomalies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -141,6 +142,13 @@ pub struct DeepLog {
     head: Option<Dense>,
     value_stats: HashMap<(u32, usize), ValueStats>,
     value_lstms: HashMap<(u32, usize), ValueLstm>,
+    /// Memoized next-event distributions keyed by mapped history window.
+    /// The weights are frozen between `fit`/`load` calls, so a history
+    /// window always yields the same distribution — and live log streams
+    /// repeat a small set of h-grams over and over, which makes the full
+    /// LSTM forward pass (the live-monitoring bottleneck in experiment D3)
+    /// cacheable. Cleared on refit; bounded by [`DeepLog::PROB_CACHE_CAP`].
+    prob_cache: Mutex<HashMap<Vec<usize>, Vec<f64>>>,
 }
 
 impl DeepLog {
@@ -159,8 +167,14 @@ impl DeepLog {
             head: None,
             value_stats: HashMap::new(),
             value_lstms: HashMap::new(),
+            prob_cache: Mutex::new(HashMap::new()),
         }
     }
+
+    /// Upper bound on memoized history windows (~a few MB at typical
+    /// vocabulary sizes); beyond it new windows are computed but not
+    /// cached, so pathological high-entropy streams can't balloon memory.
+    const PROB_CACHE_CAP: usize = 1 << 16;
 
     /// Map a raw template id into model vocabulary (unseen → UNK).
     fn lookup(&self, id: u32) -> usize {
@@ -196,8 +210,22 @@ impl DeepLog {
         out
     }
 
-    /// Class probabilities for the next event after a history window.
+    /// Class probabilities for the next event after a history window
+    /// (memoized — see the `prob_cache` field).
     fn probabilities(&self, window: &[usize]) -> Vec<f64> {
+        if let Some(hit) = self.prob_cache.lock().expect("prob cache").get(window) {
+            return hit.clone();
+        }
+        let out = self.probabilities_uncached(window);
+        let mut cache = self.prob_cache.lock().expect("prob cache");
+        if cache.len() < Self::PROB_CACHE_CAP {
+            cache.insert(window.to_vec(), out.clone());
+        }
+        out
+    }
+
+    /// The actual LSTM forward pass behind [`DeepLog::probabilities`].
+    fn probabilities_uncached(&self, window: &[usize]) -> Vec<f64> {
         let (emb, lstm, head) = (
             self.emb.as_ref().expect("fitted"),
             self.lstm.as_ref().expect("fitted"),
@@ -564,6 +592,8 @@ impl Detector for DeepLog {
     fn fit(&mut self, train: &TrainSet) {
         let normal = train.normal_windows();
         assert!(!normal.is_empty(), "DeepLog needs training windows");
+        // Stale distributions from a previous fit would be silently wrong.
+        self.prob_cache.lock().expect("prob cache").clear();
         let max_id = train.max_template_id().unwrap_or(0);
         self.unk = max_id + 1;
         self.pad = max_id + 2;
@@ -852,6 +882,29 @@ mod tests {
         let mut bytes = d.save().expect("checkpointable");
         bytes.truncate(bytes.len() / 2);
         assert!(DeepLog::load(&bytes).is_err());
+    }
+
+    #[test]
+    fn probability_cache_is_exact_and_cleared_on_refit() {
+        let mut d = DeepLog::new(small_config());
+        d.fit(&train_set());
+        let hist = vec![d.pad as usize, 0, 1, 2];
+        let first = d.probabilities(&hist); // populates the cache
+        assert_eq!(first, d.probabilities(&hist), "cached hit diverged");
+        assert_eq!(
+            first,
+            d.probabilities_uncached(&hist),
+            "cache must be invisible"
+        );
+        assert!(!d.prob_cache.lock().unwrap().is_empty());
+
+        // Retrain on a different flow: cached distributions for the old
+        // weights must not survive.
+        let other = TrainSet::unlabeled((0..80).map(|_| Window::from_ids(vec![3, 2, 0])).collect());
+        d.fit(&other);
+        let refit = d.probabilities(&hist);
+        assert_eq!(refit, d.probabilities_uncached(&hist));
+        assert_ne!(first, refit, "distribution unchanged after refit");
     }
 
     #[test]

@@ -356,14 +356,13 @@ impl LogAnomaly {
         // Counts are taken over *resolved* template ids: an evolved variant
         // contributes to its origin's count, exactly as the sequential
         // branch treats it. Unresolvable ids fold into the unseen bucket.
-        let resolved = Window::from_ids(
-            window
-                .sequence
-                .iter()
-                .map(|&id| self.resolve(id).unwrap_or(self.count_dim as u32 - 1))
-                .collect(),
-        );
-        let counts = count_vector(&resolved, self.count_dim);
+        // Counted directly (no intermediate resolved Window — this runs
+        // once per scored window on the live path).
+        let mut counts = vec![0.0f64; self.count_dim];
+        for &id in &window.sequence {
+            let rid = self.resolve(id).unwrap_or(self.count_dim as u32 - 1) as usize;
+            counts[rid.min(self.count_dim - 1)] += 1.0;
+        }
         counts
             .iter()
             .zip(&self.count_stats)

@@ -12,28 +12,45 @@ use std::collections::HashMap;
 /// template ids; ids `>= dim - 1` (unseen at training time) fold into the
 /// last bucket, so test windows with brand-new templates still score.
 pub fn count_vector(window: &Window, dim: usize) -> Vec<f64> {
+    let mut v = Vec::new();
+    count_vector_into(window, dim, &mut v);
+    v
+}
+
+/// [`count_vector`] into a caller-owned buffer. Hot loops (detector
+/// training over thousands of windows, per-window scoring) call this with
+/// one scratch vector instead of allocating `dim` floats per window; the
+/// buffer is cleared and resized, so capacity is reused across calls.
+pub fn count_vector_into(window: &Window, dim: usize, buf: &mut Vec<f64>) {
     assert!(
         dim >= 2,
         "count vector needs at least one id bucket plus the unseen bucket"
     );
-    let mut v = vec![0.0; dim];
+    buf.clear();
+    buf.resize(dim, 0.0);
     for &id in &window.sequence {
         let idx = (id as usize).min(dim - 1);
-        v[idx] += 1.0;
+        buf[idx] += 1.0;
     }
-    v
 }
 
 /// L2-normalized variant of [`count_vector`] (used by LogClustering).
 pub fn normalized_count_vector(window: &Window, dim: usize) -> Vec<f64> {
-    let mut v = count_vector(window, dim);
-    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let mut v = Vec::new();
+    normalized_count_vector_into(window, dim, &mut v);
+    v
+}
+
+/// [`normalized_count_vector`] into a caller-owned buffer; see
+/// [`count_vector_into`].
+pub fn normalized_count_vector_into(window: &Window, dim: usize, buf: &mut Vec<f64>) {
+    count_vector_into(window, dim, buf);
+    let norm: f64 = buf.iter().map(|x| x * x).sum::<f64>().sqrt();
     if norm > 0.0 {
-        for x in &mut v {
+        for x in buf.iter_mut() {
             *x /= norm;
         }
     }
-    v
 }
 
 /// Group a stream of `(session key, template id, numerics)` into session
@@ -133,6 +150,20 @@ mod tests {
         let w = Window::from_ids(vec![0, 99, 100]);
         // dim 4: ids >= 3 fold into the last bucket.
         assert_eq!(count_vector(&w, 4), vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn into_variants_reuse_and_match_allocating_ones() {
+        let a = Window::from_ids(vec![0, 1, 1, 3]);
+        let b = Window::from_ids(vec![2, 2]);
+        let mut buf = Vec::new();
+        count_vector_into(&a, 5, &mut buf);
+        assert_eq!(buf, count_vector(&a, 5));
+        // Reuse across windows and across dims: stale contents must not leak.
+        count_vector_into(&b, 3, &mut buf);
+        assert_eq!(buf, count_vector(&b, 3));
+        normalized_count_vector_into(&a, 5, &mut buf);
+        assert_eq!(buf, normalized_count_vector(&a, 5));
     }
 
     #[test]

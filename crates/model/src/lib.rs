@@ -43,5 +43,5 @@ pub use header::{parse_header, HeaderFormat, HeaderParseError};
 pub use log::{LogHeader, LogRecord, RawLog, SourceId};
 pub use severity::Severity;
 pub use structured::{extract_structured, StructuredPayload};
-pub use template::{Template, TemplateId, TemplateStore, TemplateToken};
+pub use template::{render_tokens, Template, TemplateId, TemplateStore, TemplateToken};
 pub use time::Timestamp;

@@ -109,14 +109,7 @@ impl Template {
     /// Render as the conventional pattern string, e.g.
     /// `"New process started: process <*> started on port <*>"` (Fig. 2).
     pub fn render(&self) -> String {
-        let mut out = String::with_capacity(self.tokens.len() * 8);
-        for (i, tok) in self.tokens.iter().enumerate() {
-            if i > 0 {
-                out.push(' ');
-            }
-            out.push_str(tok.as_str());
-        }
-        out
+        render_tokens(&self.tokens)
     }
 
     /// Does this template match the given message tokens exactly (same
@@ -156,6 +149,19 @@ impl fmt::Display for Template {
     }
 }
 
+/// Render a token slice as the conventional pattern string without
+/// needing an owning [`Template`].
+pub fn render_tokens(tokens: &[TemplateToken]) -> String {
+    let mut out = String::with_capacity(tokens.len() * 8);
+    for (i, tok) in tokens.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(tok.as_str());
+    }
+    out
+}
+
 /// Append-only registry of templates with dense ids.
 ///
 /// Parsers register the templates they discover; detectors look templates up
@@ -184,11 +190,9 @@ impl TemplateStore {
     /// Register `tokens` as a template, returning its id. If an identical
     /// pattern already exists, the existing id is returned.
     pub fn intern(&mut self, tokens: Vec<TemplateToken>) -> TemplateId {
-        let pattern = Template {
-            id: TemplateId(0),
-            tokens: tokens.clone(),
-        }
-        .render();
+        // Render from the borrowed slice — interning used to clone the
+        // whole token vector just to produce the lookup key.
+        let pattern = render_tokens(&tokens);
         if let Some(&id) = self.by_pattern.get(&pattern) {
             return id;
         }
@@ -202,10 +206,14 @@ impl TemplateStore {
     /// templates by widening statics to wildcards as new lines arrive).
     /// The id and pattern-lookup of the *new* rendering are updated; the old
     /// rendering keeps resolving to this id so previously-parsed lines stay
-    /// consistent.
+    /// consistent. A no-op (no render, no allocation) when `tokens` already
+    /// equals the stored sequence, so callers may sync unconditionally.
     pub fn update(&mut self, id: TemplateId, tokens: Vec<TemplateToken>) {
         let idx = id.as_index();
         assert!(idx < self.templates.len(), "unknown template id {id}");
+        if self.templates[idx].tokens == tokens {
+            return;
+        }
         self.templates[idx].tokens = tokens;
         let pattern = self.templates[idx].render();
         self.by_pattern.entry(pattern).or_insert(id);

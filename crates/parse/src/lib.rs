@@ -37,6 +37,7 @@ pub mod autotune;
 pub mod eval;
 pub mod parsers;
 pub mod preprocess;
+pub mod route;
 
 mod api;
 
@@ -51,3 +52,4 @@ pub use parsers::shiso::{Shiso, ShisoConfig};
 pub use parsers::slct::{Slct, SlctConfig};
 pub use parsers::spell::{Spell, SpellConfig};
 pub use preprocess::{MaskConfig, Preprocessor};
+pub use route::{BalancedRouter, BalancedRouterConfig, SplitEvent};

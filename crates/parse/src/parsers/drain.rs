@@ -31,6 +31,11 @@ pub struct DrainConfig {
     pub max_children: usize,
     /// Preprocessing masks.
     pub mask: MaskConfig,
+    /// Maximum entries in the match cache (0 disables it). The cache
+    /// memoizes *pure* matches — masked shape → template, no widening —
+    /// and is flushed whole on any tree or store mutation, so it can
+    /// never change parse output (see `MatchCache`).
+    pub cache_capacity: usize,
 }
 
 impl Default for DrainConfig {
@@ -40,6 +45,7 @@ impl Default for DrainConfig {
             sim_threshold: 0.4,
             max_children: 100,
             mask: MaskConfig::STANDARD,
+            cache_capacity: 4096,
         }
     }
 }
@@ -51,6 +57,112 @@ struct Node {
     groups: Vec<TemplateId>,
 }
 
+/// Memoized template matches in front of the tree walk.
+///
+/// Log streams are massively repetitive: once a template stabilizes,
+/// every further line of it walks the same tree path, scans the same
+/// leaf groups, and widens nothing. The cache short-circuits that whole
+/// sequence to one hash lookup, keyed by the masked token signature.
+///
+/// Output-invisibility argument (enforced by the differential proptest
+/// in `tests/cache_differential.rs`):
+/// - an entry is installed only for a *pure* match — similarity above
+///   threshold, zero positions widened, no new template minted — so a
+///   hit replays a parse whose result is a pure function of frozen
+///   parser state;
+/// - *any* mutation (template widened, template minted) flushes the
+///   entire cache, so no entry can outlive the state it memoized;
+/// - hits verify the stored masked tokens against the line (hash
+///   collisions fall through to the tree walk);
+/// - variables are re-extracted from the *current* line at the
+///   template's wildcard positions — lines with equal masked shape still
+///   differ in their raw variable tokens.
+///
+/// Respawn coherence comes for free: `Drain::warm_start` builds a fresh
+/// parser, and a fresh parser has an empty cache.
+#[derive(Debug, Default)]
+struct MatchCache {
+    map: HashMap<u64, CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    /// The masked tokens joined by `' '`, verified on every hit so a
+    /// hash collision degrades to a miss instead of a wrong template.
+    key: Box<str>,
+    template: TemplateId,
+    /// Wildcard positions of the template at install time.
+    wildcards: Box<[u32]>,
+}
+
+impl CacheEntry {
+    fn matches(&self, masked: &[&str]) -> bool {
+        let mut it = self.key.split(' ');
+        for tok in masked {
+            if it.next() != Some(*tok) {
+                return false;
+            }
+        }
+        it.next().is_none()
+    }
+}
+
+impl MatchCache {
+    /// FNV-1a over the masked tokens with a per-token terminator, so
+    /// `["ab","c"]` and `["a","bc"]` hash differently.
+    fn signature(masked: &[&str]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for tok in masked {
+            for &b in tok.as_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h ^= 0x1FF;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    fn install(
+        &mut self,
+        h: u64,
+        capacity: usize,
+        masked: &[&str],
+        gid: TemplateId,
+        store: &TemplateStore,
+    ) {
+        if self.map.len() >= capacity {
+            return;
+        }
+        let template = store.get(gid).expect("cached ids are valid");
+        let wildcards = template
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_wildcard())
+            .map(|(i, _)| i as u32)
+            .collect();
+        self.map.insert(
+            h,
+            CacheEntry {
+                key: masked.join(" ").into_boxed_str(),
+                template: gid,
+                wildcards,
+            },
+        );
+    }
+
+    /// Drop everything: the parser state an entry memoized no longer
+    /// exists. Coarse by design — mutations are rare once templates
+    /// plateau, and per-entry invalidation would need to know which
+    /// shapes a widened template *could* now match.
+    fn flush(&mut self) {
+        self.map.clear();
+    }
+}
+
 /// The Drain parser.
 #[derive(Debug)]
 pub struct Drain {
@@ -59,6 +171,7 @@ pub struct Drain {
     /// Root children keyed by token count.
     by_len: HashMap<usize, Node>,
     store: TemplateStore,
+    cache: MatchCache,
     /// Lines parsed so far (for diagnostics/benchmarks).
     lines: u64,
 }
@@ -82,6 +195,7 @@ impl Drain {
             config,
             by_len: HashMap::new(),
             store: TemplateStore::new(),
+            cache: MatchCache::default(),
             lines: 0,
         }
     }
@@ -110,9 +224,39 @@ impl Drain {
         drain
     }
 
+    /// Insert an already-discovered template into the tree — the handoff
+    /// path when a hot routing key splits to a new shard replica (see
+    /// `ShardedDrain`): the receiving shard learns the key's templates up
+    /// front so it groups the key's lines exactly as the source shard
+    /// does from the very first line. Returns the local id (the existing
+    /// one if the pattern is already known). A tree mutation, so the
+    /// match cache is flushed.
+    pub fn adopt(&mut self, tokens: &[TemplateToken]) -> TemplateId {
+        let before = self.store.len();
+        let id = self.store.intern(tokens.to_vec());
+        if self.store.len() > before {
+            let masked: Vec<&str> = tokens.iter().map(|t| t.as_str()).collect();
+            let leaf = Self::leaf_mut(&mut self.by_len, &self.config, &masked);
+            leaf.groups.push(id);
+            self.cache.flush();
+        }
+        id
+    }
+
     /// Number of lines parsed so far.
     pub fn lines_parsed(&self) -> u64 {
         self.lines
+    }
+
+    /// `(hits, misses)` of the match cache so far. Misses count every
+    /// cache-enabled parse that fell through to the tree walk.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits, self.cache.misses)
+    }
+
+    /// Entries currently memoized.
+    pub fn cache_len(&self) -> usize {
+        self.cache.map.len()
     }
 
     /// Similarity of `template` to `tokens`: fraction of positions where a
@@ -181,6 +325,30 @@ impl OnlineParser for Drain {
     fn parse(&mut self, message: &str) -> ParseOutcome {
         self.lines += 1;
         let (masked, original) = self.pre.mask(message);
+
+        // Fast path: a memoized pure match replays the tree walk's result
+        // on provably unchanged state (see `MatchCache`).
+        let sig = (self.config.cache_capacity > 0 && !masked.is_empty())
+            .then(|| MatchCache::signature(&masked));
+        if let Some(h) = sig {
+            if let Some(entry) = self.cache.map.get(&h) {
+                if entry.matches(&masked) {
+                    self.cache.hits += 1;
+                    let variables = entry
+                        .wildcards
+                        .iter()
+                        .map(|&i| original[i as usize].to_string())
+                        .collect();
+                    return ParseOutcome {
+                        template: entry.template,
+                        is_new: false,
+                        variables,
+                    };
+                }
+            }
+            self.cache.misses += 1;
+        }
+
         let leaf = Self::leaf_mut(&mut self.by_len, &self.config, &masked);
 
         // Find the most similar group in the leaf.
@@ -200,22 +368,33 @@ impl OnlineParser for Drain {
         let matched = best.filter(|(_, sim, _)| *sim >= self.config.sim_threshold);
         match matched {
             Some((gid, _, _)) => {
-                // Merge: widen mismatching positions to wildcards.
+                // Merge: widen mismatching positions to wildcards. The
+                // pure-match case (nothing to widen) is the steady state
+                // and must not clone the template.
                 let template = self.store.get(gid).expect("valid id");
-                let mut tokens = template.tokens.clone();
-                let mut changed = false;
-                for (t, tok) in tokens.iter_mut().zip(&masked) {
-                    if let TemplateToken::Static(s) = t {
-                        if s != tok {
-                            *t = TemplateToken::Wildcard;
-                            changed = true;
+                let changed = template
+                    .tokens
+                    .iter()
+                    .zip(&masked)
+                    .any(|(t, tok)| matches!(t, TemplateToken::Static(s) if s != tok));
+                if changed {
+                    let mut tokens = template.tokens.clone();
+                    for (t, tok) in tokens.iter_mut().zip(&masked) {
+                        if let TemplateToken::Static(s) = t {
+                            if s != tok {
+                                *t = TemplateToken::Wildcard;
+                            }
                         }
                     }
+                    self.store.update(gid, tokens);
+                    self.cache.flush();
+                } else if let Some(h) = sig {
+                    self.cache
+                        .install(h, self.config.cache_capacity, &masked, gid, &self.store);
                 }
-                if changed {
-                    self.store.update(gid, tokens.clone());
-                }
-                let variables = tokens
+                let template = self.store.get(gid).expect("valid id");
+                let variables = template
+                    .tokens
                     .iter()
                     .zip(&original)
                     .filter(|(t, _)| t.is_wildcard())
@@ -246,6 +425,7 @@ impl OnlineParser for Drain {
                     .collect();
                 let gid = self.store.intern(tokens);
                 leaf.groups.push(gid);
+                self.cache.flush();
                 ParseOutcome {
                     template: gid,
                     is_new: true,
@@ -569,6 +749,77 @@ mod tests {
         let la = a.parse("x y z");
         let lb = b.parse("x y z");
         assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn cache_hits_after_template_stabilizes() {
+        let mut d = drain();
+        d.parse("Sending 138 bytes src: 10.0.0.1 dest: /10.0.0.2");
+        // Second line of the same shape is a pure match → installs.
+        d.parse("Sending 999 bytes src: 10.9.9.9 dest: /10.0.0.1");
+        assert_eq!(d.cache_len(), 1);
+        let (hits_before, _) = d.cache_stats();
+        let out = d.parse("Sending 7 bytes src: 10.1.1.1 dest: /10.2.2.2");
+        let (hits_after, _) = d.cache_stats();
+        assert_eq!(hits_after, hits_before + 1, "third line must hit");
+        // Variables come from *this* line, not the memoized one.
+        assert_eq!(out.variables, vec!["7", "10.1.1.1", "/10.2.2.2"]);
+        assert!(!out.is_new);
+    }
+
+    #[test]
+    fn cache_flushes_on_any_mutation() {
+        let mut d = Drain::new(DrainConfig {
+            mask: MaskConfig::NONE,
+            sim_threshold: 0.5,
+            ..DrainConfig::default()
+        });
+        d.parse("job run alpha done fast mode");
+        d.parse("job run alpha done fast mode"); // pure match → installs
+        assert_eq!(d.cache_len(), 1);
+        // Widening mutation flushes...
+        d.parse("job run beta done slow mode");
+        assert_eq!(d.cache_len(), 0, "widening must flush the cache");
+        d.parse("job run beta done slow mode");
+        assert_eq!(d.cache_len(), 1);
+        // ...and so does minting a new template.
+        d.parse("an entirely different statement");
+        assert_eq!(d.cache_len(), 0, "new template must flush the cache");
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables() {
+        let mut d = Drain::new(DrainConfig {
+            cache_capacity: 0,
+            ..DrainConfig::default()
+        });
+        for _ in 0..5 {
+            d.parse("Sending 138 bytes src: 10.0.0.1 dest: /10.0.0.2");
+        }
+        assert_eq!(d.cache_stats(), (0, 0));
+        assert_eq!(d.cache_len(), 0);
+    }
+
+    #[test]
+    fn cached_and_uncached_agree_on_repeats() {
+        // Inline spot check of what tests/cache_differential.rs proves at
+        // scale: hit-path outcomes equal cold-parser outcomes.
+        let lines = [
+            "Receiving block blk_1 src: 10.0.0.1 dest: 10.0.0.2",
+            "Receiving block blk_9 src: 10.0.0.7 dest: 10.0.0.8",
+            "Receiving block blk_4 src: 10.0.0.2 dest: 10.0.0.3",
+            "Verification succeeded for blk_4",
+            "Receiving block blk_5 src: 10.0.0.1 dest: 10.0.0.9",
+        ];
+        let mut cached = drain();
+        let mut plain = Drain::new(DrainConfig {
+            cache_capacity: 0,
+            ..DrainConfig::default()
+        });
+        for line in lines {
+            assert_eq!(cached.parse(line), plain.parse(line));
+        }
+        assert!(cached.cache_stats().0 > 0, "repeats must hit the cache");
     }
 
     #[test]

@@ -6,24 +6,26 @@
 //! some encouraging results." (Section IV)
 //!
 //! Strategy: partition the stream across `n_shards` independent Drain
-//! trees. The routing key is `(token count, first stable token)` — exactly
-//! the first two levels of Drain's own tree — so every line of a given
-//! template deterministically lands on the same shard and per-shard
-//! accuracy matches single-tree Drain. Shards share no state, so they can
-//! run on separate threads/machines; a thin mapping layer translates
-//! (shard, local template) pairs into one global template space.
+//! trees behind a [`BalancedRouter`]: per-key sticky routing on the first
+//! stable token (the first level of Drain's own tree), with
+//! power-of-two-choices placement and hot-key splitting so one heavy
+//! template cannot cap the load balance. Shards share no state, so they
+//! can run on separate threads/machines; a thin mapping layer translates
+//! (shard, local template) pairs into one global template space by
+//! interning the *rendered pattern* — which is what keeps grouping exact
+//! when a hot key splits: replicas re-discover the same masked template
+//! and collapse onto one global id.
 //!
-//! Experiment D1 measures the two claims: near-identical accuracy and
-//! near-linear throughput scaling (the parallel harness lives in
+//! Experiment D1 measures the claims: identical accuracy, load balance,
+//! and near-linear throughput scaling (the parallel harness lives in
 //! `monilog-stream`; this type is the sequential core).
 
 use crate::api::{OnlineParser, ParseOutcome, ParserKind};
 use crate::parsers::drain::{Drain, DrainConfig};
-use monilog_model::{TemplateId, TemplateStore};
+use crate::route::{BalancedRouter, SplitEvent};
+use monilog_model::{TemplateId, TemplateStore, TemplateToken};
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 
 /// Sharded-Drain configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -47,6 +49,7 @@ impl Default for ShardedDrainConfig {
 pub struct ShardedDrain {
     config: ShardedDrainConfig,
     shards: Vec<Drain>,
+    router: BalancedRouter,
     /// (shard, local template id) → global template id.
     global_ids: HashMap<(usize, TemplateId), TemplateId>,
     store: TemplateStore,
@@ -59,6 +62,7 @@ impl ShardedDrain {
             shards: (0..config.n_shards)
                 .map(|_| Drain::new(config.drain))
                 .collect(),
+            router: BalancedRouter::new(config.n_shards),
             config,
             global_ids: HashMap::new(),
             store: TemplateStore::new(),
@@ -69,57 +73,90 @@ impl ShardedDrain {
         self.config.n_shards
     }
 
-    /// Deterministic shard for a message. Public so a parallel deployment
-    /// (one thread per shard) can route identically and be compared against
-    /// this sequential reference.
-    pub fn route(&self, message: &str) -> usize {
-        Self::route_static(message, self.config.n_shards)
+    /// Shard for the next occurrence of `message`'s routing key.
+    /// Stateful: the router tracks per-key and per-shard load to place
+    /// new keys and split hot ones — see [`BalancedRouter`]. Deterministic
+    /// in the input sequence, so a parallel deployment feeding its router
+    /// the same lines in the same order routes identically.
+    pub fn route(&mut self, message: &str) -> usize {
+        self.router.route(message)
     }
 
-    /// Routing function without a parser instance.
-    ///
-    /// The key is the first message token (digit-bearing tokens normalize
-    /// to `<*>`, mirroring Drain's own tree routing), which is constant
-    /// across all lines of a template — so routing is template-stable.
-    /// Deliberately *not* the full token count: counting tokens walks the
-    /// whole line and would serialize half the parsing cost into the
-    /// router (measured in experiment D1).
-    pub fn route_static(message: &str, n_shards: usize) -> usize {
-        let first = message.split_whitespace().next().unwrap_or("");
-        let first_key = if first.bytes().any(|b| b.is_ascii_digit()) {
-            "<*>"
-        } else {
-            first
-        };
-        let mut h = DefaultHasher::new();
-        first_key.len().hash(&mut h);
-        first_key.hash(&mut h);
-        (h.finish() % n_shards as u64) as usize
+    /// The router state (load and split diagnostics for D1).
+    pub fn router(&self) -> &BalancedRouter {
+        &self.router
     }
 
     /// Lines parsed by each shard — the load-balance diagnostic for D1.
     pub fn shard_loads(&self) -> Vec<u64> {
         self.shards.iter().map(|s| s.lines_parsed()).collect()
     }
+
+    /// Template handoff when a hot key splits: copy the key's templates
+    /// from the rendezvous-primary replica into the newly added one,
+    /// bound to the *same global ids*. Without this, the new replica
+    /// re-discovers the key's templates from scratch and its early lines
+    /// intern under pre-widening patterns — a second global id for the
+    /// same template, which strict grouping accuracy punishes. In a
+    /// deployed cluster this is the split protocol message: the
+    /// coordinator ships the key's current template set to the adopting
+    /// worker.
+    fn handoff(&mut self, key: &str, ev: SplitEvent) {
+        if ev.source == ev.added {
+            return;
+        }
+        let templates: Vec<(TemplateId, Vec<TemplateToken>)> = self.shards[ev.source]
+            .store()
+            .iter()
+            .filter(|t| match t.tokens.first() {
+                Some(TemplateToken::Static(s)) => s == key,
+                Some(TemplateToken::Wildcard) => key == "<*>",
+                None => false,
+            })
+            .map(|t| (t.id, t.tokens.clone()))
+            .collect();
+        for (src_local, tokens) in templates {
+            if let Some(&gid) = self.global_ids.get(&(ev.source, src_local)) {
+                let new_local = self.shards[ev.added].adopt(&tokens);
+                self.global_ids.entry((ev.added, new_local)).or_insert(gid);
+            }
+        }
+    }
 }
 
 impl OnlineParser for ShardedDrain {
     fn parse(&mut self, message: &str) -> ParseOutcome {
-        let shard_idx = self.route(message);
+        let (shard_idx, split) = self.router.route_detailed(message);
+        if let Some(ev) = split {
+            self.handoff(BalancedRouter::key_token(message), ev);
+        }
         let local = self.shards[shard_idx].parse(message);
-        let local_template = self.shards[shard_idx]
+        let local_tokens = &self.shards[shard_idx]
             .store()
             .get(local.template)
             .expect("shard returned a valid id")
-            .tokens
-            .clone();
-        let store = &mut self.store;
-        let gid = *self
-            .global_ids
-            .entry((shard_idx, local.template))
-            .or_insert_with(|| store.intern(local_template.clone()));
-        // Keep the global view in sync with template widening in the shard.
-        self.store.update(gid, local_template);
+            .tokens;
+        let gid = match self.global_ids.get(&(shard_idx, local.template)) {
+            Some(&gid) => {
+                // Sync the global view only when the shard actually
+                // widened its template — the warm path is a comparison,
+                // not a clone + re-render per line.
+                let stale = self
+                    .store
+                    .get(gid)
+                    .is_some_and(|global| &global.tokens != local_tokens);
+                if stale {
+                    let tokens = local_tokens.clone();
+                    self.store.update(gid, tokens);
+                }
+                gid
+            }
+            None => {
+                let gid = self.store.intern(local_tokens.clone());
+                self.global_ids.insert((shard_idx, local.template), gid);
+                gid
+            }
+        };
         ParseOutcome {
             template: gid,
             is_new: local.is_new,
@@ -161,8 +198,9 @@ mod tests {
 
     #[test]
     fn routing_is_deterministic_and_template_stable() {
-        let sharded = ShardedDrain::new(ShardedDrainConfig::default());
-        // Same template, different variable values → same shard.
+        let mut sharded = ShardedDrain::new(ShardedDrainConfig::default());
+        // Same template, different variable values → same shard (sticky
+        // until the key is hot enough to split, which 3 lines is not).
         let a = sharded.route("Sending 138 bytes src: 10.0.0.1 dest: /10.0.0.2");
         let b = sharded.route("Sending 999 bytes src: 10.9.9.9 dest: /10.0.0.1");
         assert_eq!(a, b);
@@ -170,6 +208,36 @@ mod tests {
             a,
             sharded.route("Sending 138 bytes src: 10.0.0.1 dest: /10.0.0.2")
         );
+    }
+
+    #[test]
+    fn hot_key_splitting_keeps_global_ids_collapsed() {
+        // Push one template hard enough to split its routing key across
+        // shards; the global intern layer must keep every line on one id.
+        let mut sharded = ShardedDrain::new(ShardedDrainConfig {
+            n_shards: 4,
+            drain: DrainConfig::default(),
+        });
+        let mut ids = std::collections::HashSet::new();
+        for i in 0..2_000u64 {
+            let out = sharded.parse(&format!(
+                "Forwarded connection {:08} to backend be{} weight {}",
+                i * 2654435761 % 99_999_999,
+                i % 60,
+                i % 40
+            ));
+            ids.insert(out.template);
+        }
+        assert!(
+            sharded.router().split_key_count() >= 1,
+            "a single-key stream at 2000 lines must split"
+        );
+        assert!(
+            sharded.shard_loads().iter().filter(|&&l| l > 0).count() > 1,
+            "split key must actually use several shards: {:?}",
+            sharded.shard_loads()
+        );
+        assert_eq!(ids.len(), 1, "replicas must collapse to one global id");
     }
 
     #[test]

@@ -191,7 +191,7 @@ mod tests {
         assert!(head.contains("text/plain"), "{head}");
         assert!(body.contains("monilog_lines_ingested_total 42"), "{body}");
         assert!(
-            body.contains("monilog_stage_latency_seconds_count{stage=\"parse\"} 1"),
+            body.contains("monilog_stage_latency_seconds_count{stage=\"parse_exec\"} 1"),
             "{body}"
         );
         assert!(
@@ -212,7 +212,7 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
         assert!(head.contains("application/json"), "{head}");
         assert!(body.contains("\"lines_ingested\":42"), "{body}");
-        assert!(body.contains("\"parse\":{\"count\":1"), "{body}");
+        assert!(body.contains("\"parse_exec\":{\"count\":1"), "{body}");
         let (head, _) = http_get(exporter.local_addr(), "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
     }

@@ -46,11 +46,14 @@ pub use merge::{BoundedReorderBuffer, DedupFilter};
 pub use metrics::PipelineMetrics;
 pub use observe::{
     HistogramSnapshot, LatencyHistogram, MetricsRegistry, MetricsSnapshot, ShardGauges,
-    ShardSnapshot, Stage, StageSnapshot,
+    ShardSnapshot, SizeHistogram, SizeSnapshot, Stage, StageSnapshot,
 };
 pub use partition::HashPartitioner;
 pub use pipeline::{parallel_map, ParallelShardedDrain};
-pub use service::{ParsedItem, ShardedParseService, SHARD_ID_STRIDE};
+pub use service::{
+    ParsedItem, ShardedParseService, TrySubmitError, BATCH_FLUSH_INTERVAL, MAX_BATCH,
+    SHARD_ID_STRIDE,
+};
 pub use supervisor::{
     DeadLetter, FailureReason, ShardHealth, SubmitError, SubmitOutcome, SupervisedParseService,
     SupervisorConfig, CATCH_ALL_TEMPLATE_ID,

@@ -25,6 +25,12 @@
 //!   overload policy and accounted to the reserved catch-all template.
 //! - `retries_attempted` — individual parse retry attempts (a line that
 //!   succeeds on its second try contributes 1).
+//!
+//! Batched fast path (see [`crate::service`] and the Drain match cache):
+//! - `batches_submitted` — batches accepted by `submit_batch` (a single
+//!   `submit` counts as a batch of one).
+//! - `cache_hits` / `cache_misses` — per-shard Drain match-cache outcomes,
+//!   summed across shards. Hit rate = hits / (hits + misses).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -42,6 +48,9 @@ pub struct PipelineMetrics {
     pub lines_quarantined: AtomicU64,
     pub lines_shed: AtomicU64,
     pub retries_attempted: AtomicU64,
+    pub batches_submitted: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
 }
 
 impl PipelineMetrics {
@@ -79,6 +88,9 @@ impl PipelineMetrics {
             ("lines_quarantined", Self::get(&self.lines_quarantined)),
             ("lines_shed", Self::get(&self.lines_shed)),
             ("retries_attempted", Self::get(&self.retries_attempted)),
+            ("batches_submitted", Self::get(&self.batches_submitted)),
+            ("cache_hits", Self::get(&self.cache_hits)),
+            ("cache_misses", Self::get(&self.cache_misses)),
         ]
     }
 
@@ -89,6 +101,7 @@ impl PipelineMetrics {
         crate::observe::MetricsSnapshot {
             counters: self.counter_values(),
             stages: Vec::new(),
+            batch_sizes: crate::observe::SizeSnapshot::default(),
             shards: Vec::new(),
         }
     }
@@ -138,6 +151,9 @@ mod tests {
             "lines_quarantined",
             "lines_shed",
             "retries_attempted",
+            "batches_submitted",
+            "cache_hits",
+            "cache_misses",
         ] {
             assert!(s.contains(field), "{field} missing from {s}");
             assert!(
@@ -145,7 +161,7 @@ mod tests {
                 "{field} missing from typed snapshot"
             );
         }
-        assert_eq!(snap.counters.len(), 10);
+        assert_eq!(snap.counters.len(), 13);
     }
 
     #[test]

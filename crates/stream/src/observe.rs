@@ -54,7 +54,12 @@ pub enum Stage {
     Ingest,
     /// Stream merging: reorder-buffer push and release.
     MergeDedup,
-    /// Template parsing (payload extraction + Drain).
+    /// Time a line (or batch) sat in a shard queue before its worker
+    /// picked it up. Split out of the parse timer: queue wait measures
+    /// provisioning/backpressure, not the parser, and folding it into one
+    /// number misreported parse p99 by orders of magnitude under load.
+    ParseQueueWait,
+    /// Template parsing (payload extraction + Drain), execution only.
     Parse,
     /// Window assembly (session/tumbling bookkeeping per released event).
     WindowAssembly,
@@ -66,9 +71,10 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Ingest,
         Stage::MergeDedup,
+        Stage::ParseQueueWait,
         Stage::Parse,
         Stage::WindowAssembly,
         Stage::Detect,
@@ -80,7 +86,8 @@ impl Stage {
         match self {
             Stage::Ingest => "ingest",
             Stage::MergeDedup => "merge_dedup",
-            Stage::Parse => "parse",
+            Stage::ParseQueueWait => "parse_queue_wait",
+            Stage::Parse => "parse_exec",
             Stage::WindowAssembly => "window",
             Stage::Detect => "detect",
             Stage::Classify => "classify",
@@ -91,10 +98,11 @@ impl Stage {
         match self {
             Stage::Ingest => 0,
             Stage::MergeDedup => 1,
-            Stage::Parse => 2,
-            Stage::WindowAssembly => 3,
-            Stage::Detect => 4,
-            Stage::Classify => 5,
+            Stage::ParseQueueWait => 2,
+            Stage::Parse => 3,
+            Stage::WindowAssembly => 4,
+            Stage::Detect => 5,
+            Stage::Classify => 6,
         }
     }
 }
@@ -174,9 +182,20 @@ impl LatencyHistogram {
 
     /// Record one duration given in nanoseconds.
     pub fn record_ns(&self, ns: u64) {
-        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.record_ns_n(ns, 1);
+    }
+
+    /// Record the same duration `n` times in O(1) — how a batched worker
+    /// attributes one measured queue wait to every line in the batch
+    /// without `n` bucket RMWs.
+    pub fn record_ns_n(&self, ns: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(ns)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(ns.saturating_mul(n), Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
@@ -254,6 +273,99 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+/// Power-of-two buckets for the batch-size histogram: `2^0 .. 2^16`
+/// inclusive bounds plus an overflow bucket.
+pub const N_SIZE_BUCKETS: usize = 18;
+
+/// Lock-free histogram of discrete sizes (lines per submitted batch) in
+/// power-of-two buckets. Bucket `i` counts observations with
+/// `size <= 2^i` (above the previous bound); sizes beyond `2^16` share
+/// the overflow bucket. Same relaxed-atomic recording contract as
+/// [`LatencyHistogram`].
+#[derive(Debug, Default)]
+pub struct SizeHistogram {
+    buckets: [AtomicU64; N_SIZE_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Inclusive upper bound of size bucket `i`; `u64::MAX` for overflow.
+fn size_bucket_bound(i: usize) -> u64 {
+    if i >= N_SIZE_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1 << i
+    }
+}
+
+impl SizeHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observed size.
+    pub fn record(&self, size: u64) {
+        let idx = if size <= 1 {
+            0
+        } else {
+            // ceil(log2(size)), clamped into the overflow bucket.
+            let log = (64 - (size - 1).leading_zeros()) as usize;
+            log.min(N_SIZE_BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(size, Ordering::Relaxed);
+        self.max.fetch_max(size, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time snapshot.
+    pub fn snapshot(&self) -> SizeSnapshot {
+        let mut cumulative = Vec::new();
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                cum += n;
+                cumulative.push((size_bucket_bound(i), cum));
+            }
+        }
+        SizeSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: cumulative,
+        }
+    }
+}
+
+/// Point-in-time view of one [`SizeHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SizeSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// Exact maximum recorded size.
+    pub max: u64,
+    /// `(inclusive upper bound, cumulative count)` per non-empty bucket,
+    /// increasing bound order; `u64::MAX` bound is the overflow bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl SizeSnapshot {
+    /// Mean observed size (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
 /// Per-shard gauges of a sharded parse deployment.
 #[derive(Debug, Default)]
 pub struct ShardGauges {
@@ -279,6 +391,8 @@ impl ShardGauges {
 pub struct MetricsRegistry {
     counters: Arc<PipelineMetrics>,
     stages: [LatencyHistogram; Stage::ALL.len()],
+    /// Lines per submitted batch across the batched ingestion path.
+    batch_sizes: SizeHistogram,
     shards: Vec<ShardGauges>,
 }
 
@@ -293,6 +407,7 @@ impl MetricsRegistry {
         Arc::new(MetricsRegistry {
             counters: PipelineMetrics::shared(),
             stages: std::array::from_fn(|_| LatencyHistogram::new()),
+            batch_sizes: SizeHistogram::new(),
             shards: (0..n_shards).map(|_| ShardGauges::default()).collect(),
         })
     }
@@ -320,6 +435,11 @@ impl MetricsRegistry {
         out
     }
 
+    /// The batch-size histogram of the ingestion path.
+    pub fn batch_sizes(&self) -> &SizeHistogram {
+        &self.batch_sizes
+    }
+
     pub fn n_shards(&self) -> usize {
         self.shards.len()
     }
@@ -340,6 +460,7 @@ impl MetricsRegistry {
                     latency: self.stage(*s).snapshot(),
                 })
                 .collect(),
+            batch_sizes: self.batch_sizes.snapshot(),
             shards: self
                 .shards
                 .iter()
@@ -382,6 +503,9 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(&'static str, u64)>,
     /// Latency distribution per stage, in pipeline order.
     pub stages: Vec<StageSnapshot>,
+    /// Distribution of lines per submitted batch (empty when nothing
+    /// went through the batched ingestion path).
+    pub batch_sizes: SizeSnapshot,
     /// Gauges per shard (empty for sequential deployments).
     pub shards: Vec<ShardSnapshot>,
 }
@@ -452,6 +576,35 @@ impl MetricsSnapshot {
                 ));
             }
         }
+        if self.batch_sizes.count > 0 {
+            out.push_str("# TYPE monilog_batch_size_lines histogram\n");
+            for (bound, cum) in &self.batch_sizes.buckets {
+                let le = if *bound == u64::MAX {
+                    "+Inf".to_string()
+                } else {
+                    bound.to_string()
+                };
+                out.push_str(&format!(
+                    "monilog_batch_size_lines_bucket{{le=\"{le}\"}} {cum}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "monilog_batch_size_lines_bucket{{le=\"+Inf\"}} {}\n",
+                self.batch_sizes.count
+            ));
+            out.push_str(&format!(
+                "monilog_batch_size_lines_sum {}\n",
+                self.batch_sizes.sum
+            ));
+            out.push_str(&format!(
+                "monilog_batch_size_lines_count {}\n",
+                self.batch_sizes.count
+            ));
+            out.push_str(&format!(
+                "monilog_batch_size_lines_max {}\n",
+                self.batch_sizes.max
+            ));
+        }
         if !self.shards.is_empty() {
             out.push_str("# TYPE monilog_shard_queue_depth gauge\n");
             for s in &self.shards {
@@ -513,7 +666,22 @@ impl MetricsSnapshot {
             }
             out.push_str("]}");
         }
-        out.push_str("},\"shards\":[");
+        let b = &self.batch_sizes;
+        out.push_str(&format!(
+            "}},\"batch_sizes\":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+            b.count, b.sum, b.max
+        ));
+        for (j, (bound, cum)) in b.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            if *bound == u64::MAX {
+                out.push_str(&format!("[null,{cum}]"));
+            } else {
+                out.push_str(&format!("[{bound},{cum}]"));
+            }
+        }
+        out.push_str("]},\"shards\":[");
         for (i, s) in self.shards.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -566,6 +734,15 @@ impl fmt::Display for MetricsSnapshot {
                 s.latency.p95_ns / 1_000,
                 s.latency.p99_ns / 1_000,
                 s.latency.max_ns / 1_000,
+            )?;
+        }
+        if self.batch_sizes.count > 0 {
+            write!(
+                f,
+                " batches[n={} mean={:.1} max={}]",
+                self.batch_sizes.count,
+                self.batch_sizes.mean(),
+                self.batch_sizes.max
             )?;
         }
         for s in &self.shards {
@@ -707,7 +884,7 @@ mod tests {
         ShardGauges::set(&r.shard(1).templates, 4);
         let s = r.snapshot();
         assert_eq!(s.stages.len(), Stage::ALL.len());
-        assert_eq!(s.stage("parse").unwrap().count, 1);
+        assert_eq!(s.stage("parse_exec").unwrap().count, 1);
         assert_eq!(s.stage("detect").unwrap().count, 1);
         assert_eq!(s.shards.len(), 2);
         assert_eq!(s.shards[1].queue_depth, 17);
@@ -776,7 +953,63 @@ mod tests {
         let line = r.snapshot().to_string();
         assert!(!line.contains('\n'));
         assert!(line.contains("lines_parsed=5"), "{line}");
-        assert!(line.contains("parse[p50="), "{line}");
+        assert!(line.contains("parse_exec[p50="), "{line}");
+    }
+
+    #[test]
+    fn size_histogram_buckets_and_stats() {
+        let h = SizeHistogram::new();
+        for n in [1u64, 1, 2, 3, 64, 100_000] {
+            h.record(n);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1 + 1 + 2 + 3 + 64 + 100_000);
+        assert_eq!(s.max, 100_000);
+        // 1,1 → bound 1; 2 → bound 2; 3 → bound 4; 64 → bound 64;
+        // 100_000 > 2^16 → overflow.
+        assert_eq!(
+            s.buckets,
+            vec![(1, 2), (2, 3), (4, 4), (64, 5), (u64::MAX, 6)]
+        );
+        assert!((s.mean() - s.sum as f64 / 6.0).abs() < 1e-9);
+        assert_eq!(SizeSnapshot::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn batch_sizes_flow_into_snapshot_and_renderings() {
+        let r = MetricsRegistry::shared();
+        r.batch_sizes().record(32);
+        r.batch_sizes().record(7);
+        let s = r.snapshot();
+        assert_eq!(s.batch_sizes.count, 2);
+        assert_eq!(s.batch_sizes.sum, 39);
+        let prom = s.to_prometheus();
+        assert!(prom.contains("monilog_batch_size_lines_count 2"), "{prom}");
+        assert!(
+            prom.contains("monilog_batch_size_lines_bucket{le=\"32\"} 2"),
+            "{prom}"
+        );
+        let json = s.to_json();
+        assert!(json.contains("\"batch_sizes\":{\"count\":2"), "{json}");
+        assert!(s.to_string().contains("batches[n=2 mean=19.5 max=32]"));
+        // Empty histograms stay out of the prometheus text but keep the
+        // JSON shape stable.
+        let empty = MetricsRegistry::shared().snapshot();
+        assert!(!empty.to_prometheus().contains("monilog_batch_size"));
+        assert!(empty.to_json().contains("\"batch_sizes\":{\"count\":0"));
+    }
+
+    #[test]
+    fn bulk_recording_matches_repeated_single_records() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for _ in 0..5 {
+            a.record_ns(3_000);
+        }
+        b.record_ns_n(3_000, 5);
+        b.record_ns_n(9_999, 0); // no-op
+        assert_eq!(a.snapshot(), b.snapshot());
     }
 
     #[test]

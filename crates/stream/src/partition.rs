@@ -5,7 +5,15 @@
 //! FNV-1a/splitmix composition rather than `DefaultHasher` because the
 //! standard hasher's output is not guaranteed stable across Rust versions,
 //! and partition assignments may be persisted.
+//!
+//! [`HashPartitioner`] is the *stateless* primitive: pure modulo placement,
+//! right for keys that are already high-cardinality and well spread
+//! (session ids, block ids). Log-*message* routing is a different problem —
+//! template keys are few and heavily skewed, so the parse path uses the
+//! stateful, load-aware [`BalancedRouter`] (re-exported here) with
+//! rendezvous placement and hot-key splitting instead of naive modulo.
 
+pub use monilog_parse::{BalancedRouter, BalancedRouterConfig};
 use serde::{Deserialize, Serialize};
 
 /// Routes hashable byte keys to one of `n` partitions.

@@ -6,13 +6,14 @@
 //!   primitive of the MoniLog pipeline.
 //! - [`ParallelShardedDrain`] — the deployment shape of the paper's
 //!   planned distributed parser: one Drain tree per worker thread, routed
-//!   by the template-stable sharding key. Experiment D1 compares its
+//!   by the load-balanced sticky router. Experiment D1 compares its
 //!   throughput scaling and parsing agreement against the sequential
 //!   [`monilog_parse::ShardedDrain`].
 
 use crate::observe::{MetricsRegistry, ShardGauges, Stage};
 use crossbeam::channel;
-use monilog_parse::{Drain, DrainConfig, OnlineParser, ParseOutcome, ShardedDrain};
+use monilog_parse::{BalancedRouter, Drain, DrainConfig, OnlineParser, ParseOutcome};
+use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
@@ -60,13 +61,17 @@ where
 }
 
 /// Multi-threaded sharded Drain: each worker owns one shard tree; messages
-/// are routed by [`ShardedDrain::route_static`], so the parse results are
-/// identical to the sequential sharded parser (same tree sees the same
-/// messages in the same relative order).
+/// are routed by a persistent [`BalancedRouter`] — deterministic in the
+/// input sequence, so the parse results are identical to the sequential
+/// sharded parser fed the same lines in the same order (same tree sees
+/// the same messages in the same relative order).
 #[derive(Debug)]
 pub struct ParallelShardedDrain {
     pub n_shards: usize,
     pub drain: DrainConfig,
+    /// Routing state persists across batches so sticky keys and split
+    /// decisions survive; the lock is batch-granular, not per-line.
+    router: Mutex<BalancedRouter>,
     /// Optional observability: workers record per-message parse latency
     /// into the [`Stage::Parse`] histogram and leave per-shard template
     /// counts in the gauges after each batch.
@@ -81,6 +86,7 @@ impl ParallelShardedDrain {
         Ok(ParallelShardedDrain {
             n_shards,
             drain,
+            router: Mutex::new(BalancedRouter::new(n_shards)),
             registry: None,
         })
     }
@@ -104,8 +110,11 @@ impl ParallelShardedDrain {
         let n_shards = self.n_shards;
         // Route messages to shards, remembering original positions.
         let mut per_shard: Vec<Vec<(usize, &str)>> = vec![Vec::new(); n_shards];
-        for (i, m) in messages.iter().enumerate() {
-            per_shard[ShardedDrain::route_static(m, n_shards)].push((i, m));
+        {
+            let mut router = self.router.lock();
+            for (i, m) in messages.iter().enumerate() {
+                per_shard[router.route(m)].push((i, m));
+            }
         }
 
         let drain_config = self.drain;
@@ -244,7 +253,7 @@ mod tests {
         assert_eq!(out.len(), messages.len());
         let snap = registry.snapshot();
         assert_eq!(
-            snap.stage("parse").expect("parse stage").count,
+            snap.stage("parse_exec").expect("parse stage").count,
             messages.len() as u64
         );
         for (i, n) in shard_templates.iter().enumerate() {
