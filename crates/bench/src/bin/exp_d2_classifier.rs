@@ -63,6 +63,7 @@ fn synth_report(rng: &mut StdRng, id: u64) -> AnomalyReport {
         detector: "synthetic".into(),
         events,
         explanation: String::new(),
+        provenance: Default::default(),
     }
 }
 

@@ -9,14 +9,16 @@
 //! With `--check`, the run compares its live-monitoring throughput
 //! against the committed `results/exp_d3_throughput.json` and exits
 //! non-zero on a regression of more than 20% — the CI performance gate
-//! for the streaming hot path. (`--check` does not overwrite the
-//! baseline; a plain run does.)
+//! for the streaming hot path. It also gates the span-tracing overhead:
+//! replaying the live stream untraced (sample rate 0) vs traced at the
+//! default 1/1024 rate must cost less than 5% throughput. (`--check`
+//! does not overwrite the baseline; a plain run does.)
 
 use monilog_bench::print_table;
 use monilog_core::detect::DeepLogConfig;
 use monilog_core::model::RawLog;
 use monilog_core::stream::PipelineMetrics;
-use monilog_core::{DetectorChoice, MoniLog, MoniLogConfig, WindowPolicy};
+use monilog_core::{DetectorChoice, MoniLog, MoniLogConfig, ObservabilityConfig, WindowPolicy};
 use monilog_loggen::{GenLog, HdfsWorkload, HdfsWorkloadConfig};
 use std::time::Instant;
 
@@ -26,6 +28,49 @@ fn to_raw(log: &GenLog, offset: u64) -> RawLog {
         log.record.seq + offset,
         log.record.to_line(),
     )
+}
+
+/// The pipeline configuration shared by the main run and the tracing
+/// overhead comparison (which varies only the sample rate).
+fn pipeline_config(trace_sample_rate: u32) -> MoniLogConfig {
+    MoniLogConfig {
+        window: WindowPolicy::Session {
+            idle_ms: 2_000,
+            max_events: 64,
+        },
+        detector: DetectorChoice::DeepLog(DeepLogConfig {
+            history: 6,
+            top_g: 2,
+            epochs: 3,
+            ..DeepLogConfig::default()
+        }),
+        observability: ObservabilityConfig {
+            trace_sample_rate,
+            ..ObservabilityConfig::default()
+        },
+        ..MoniLogConfig::default()
+    }
+}
+
+/// Replay the live stream through restored copies of the trained pipeline
+/// at the given trace sample rate, returning the best lines/s of three
+/// replays (a single replay lasts tens of milliseconds, so scheduler
+/// noise swamps a one-shot measurement).
+fn live_rate_at(ckpt: &[u8], live_logs: &[GenLog], trace_sample_rate: u32) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let mut monilog =
+            MoniLog::restore(pipeline_config(trace_sample_rate), ckpt).expect("restore checkpoint");
+        let start = Instant::now();
+        let mut flagged = 0usize;
+        for log in live_logs {
+            flagged += monilog.ingest(&to_raw(log, 10_000_000)).len();
+        }
+        flagged += monilog.flush().len();
+        std::hint::black_box(flagged);
+        best = best.max(live_logs.len() as f64 / start.elapsed().as_secs_f64());
+    }
+    best
 }
 
 fn main() {
@@ -47,19 +92,11 @@ fn main() {
     })
     .generate();
 
-    let mut monilog = MoniLog::new(MoniLogConfig {
-        window: WindowPolicy::Session {
-            idle_ms: 2_000,
-            max_events: 64,
-        },
-        detector: DetectorChoice::DeepLog(DeepLogConfig {
-            history: 6,
-            top_g: 2,
-            epochs: 3,
-            ..DeepLogConfig::default()
-        }),
-        ..MoniLogConfig::default()
-    });
+    // The main run keeps tracing on at the default 1/1024 rate: the gate
+    // below proves the hot path affords it.
+    let mut monilog = MoniLog::new(pipeline_config(
+        ObservabilityConfig::default().trace_sample_rate,
+    ));
 
     // Training phase (parse throughput + model fit time).
     let start = Instant::now();
@@ -70,6 +107,7 @@ fn main() {
     let start = Instant::now();
     monilog.train();
     let train_secs = start.elapsed().as_secs_f64();
+    let ckpt = monilog.checkpoint().expect("checkpoint trained pipeline");
 
     // Live phase: sustained throughput + detection latency (stream time
     // between an anomalous window's last event and its report emission is
@@ -158,12 +196,51 @@ fn main() {
         &latency_rows,
     );
 
+    // Tracing overhead: replay the live stream through two restored
+    // copies of the same trained pipeline, untraced (rate 0) vs traced at
+    // the default 1/1024 rate. The observability design budget is <5%
+    // throughput overhead; under --check a violation fails the run (with
+    // retries, since a shared CI box is noisy at these durations).
+    let check = std::env::args().any(|a| a == "--check");
+    let mut untraced = live_rate_at(&ckpt, &live_logs, 0);
+    let mut traced = live_rate_at(
+        &ckpt,
+        &live_logs,
+        ObservabilityConfig::default().trace_sample_rate,
+    );
+    if check {
+        let mut attempts = 1;
+        while traced < 0.95 * untraced && attempts < 4 {
+            attempts += 1;
+            untraced = live_rate_at(&ckpt, &live_logs, 0);
+            traced = live_rate_at(
+                &ckpt,
+                &live_logs,
+                ObservabilityConfig::default().trace_sample_rate,
+            );
+        }
+        println!(
+            "\ntracing overhead: untraced {untraced:.0} lines/s, traced {traced:.0} lines/s \
+             ({:.1}% of untraced, floor 95%, {attempts} attempt(s))",
+            traced / untraced * 100.0
+        );
+        if traced < 0.95 * untraced {
+            eprintln!("FAIL: tracing at the default rate costs more than 5% throughput");
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "\ntracing overhead: untraced {untraced:.0} lines/s, traced {traced:.0} lines/s \
+             ({:.1}% of untraced)",
+            traced / untraced * 100.0
+        );
+    }
+
     // Baseline artifact for regression comparison across PRs.
     let out_path = std::path::Path::new("results/metrics_baseline.json");
     if let Some(dir) = out_path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    let check = std::env::args().any(|a| a == "--check");
     if !check {
         match std::fs::write(out_path, snap.to_json()) {
             Ok(()) => println!("\nwrote {}", out_path.display()),
@@ -203,12 +280,15 @@ fn main() {
     } else {
         let json = format!(
             "{{\"experiment\":\"d3_pipeline\",\"train_lines\":{},\"train_lines_per_s\":{:.0},\
-             \"model_fit_s\":{:.2},\"live_lines\":{},\"live_lines_per_s\":{:.0}}}\n",
+             \"model_fit_s\":{:.2},\"live_lines\":{},\"live_lines_per_s\":{:.0},\
+             \"untraced_lines_per_s\":{:.0},\"traced_lines_per_s\":{:.0}}}\n",
             train_logs.len(),
             train_rate,
             train_secs,
             live_logs.len(),
             live_rate,
+            untraced,
+            traced,
         );
         match std::fs::write(thr_path, json) {
             Ok(()) => println!("wrote {}", thr_path.display()),

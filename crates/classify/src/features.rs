@@ -99,6 +99,7 @@ mod tests {
             detector: "test".into(),
             events,
             explanation: String::new(),
+            provenance: Default::default(),
         }
     }
 

@@ -244,6 +244,7 @@ mod tests {
             detector: "t".into(),
             events,
             explanation: String::new(),
+            provenance: Default::default(),
         }
     }
 

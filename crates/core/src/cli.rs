@@ -39,6 +39,9 @@ pub enum CliCommand {
         format: HeaderChoice,
         fault: FaultToleranceConfig,
         observability: ObservabilityConfig,
+        /// Write a Chrome trace-event JSON file of the recorded spans here
+        /// after the run (`--trace-out`).
+        trace_out: Option<String>,
     },
     Monitor {
         logfile: String,
@@ -46,6 +49,9 @@ pub enum CliCommand {
         format: HeaderChoice,
         fault: FaultToleranceConfig,
         observability: ObservabilityConfig,
+        /// Write a Chrome trace-event JSON file of the recorded spans here
+        /// after the run (`--trace-out`).
+        trace_out: Option<String>,
     },
     Help,
 }
@@ -90,10 +96,17 @@ fault-tolerance options (streaming deployments):
   --heartbeat-ms <n>                     worker heartbeat / supervisor poll
 
 observability options (train / monitor):
-  --metrics-addr <host:port>             serve Prometheus + JSON metrics
-                                         over HTTP while the run lasts
+  --metrics-addr <host:port>             serve Prometheus + JSON metrics,
+                                         /trace/{id} and /flight over HTTP
+                                         while the run lasts
   --metrics-interval-ms <n>              snapshot refresh interval
                                          (default 1000)
+  --trace-sample-rate <n>                trace 1 line in n end-to-end
+                                         (default 1024; 0 disables)
+  --flight-capacity <n>                  span slots in the flight-recorder
+                                         ring (default 4096)
+  --trace-out <path>                     write recorded spans as Chrome
+                                         trace-event JSON after the run
 ";
 
 /// Parse argv (without the program name).
@@ -103,6 +116,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     let mut format = HeaderChoice::default();
     let mut fault = FaultToleranceConfig::default();
     let mut observability = ObservabilityConfig::default();
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -163,6 +177,28 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 }
                 observability.metrics_interval_ms = ms;
             }
+            "--trace-sample-rate" => {
+                i += 1;
+                let value = args.get(i).ok_or("--trace-sample-rate needs a rate")?;
+                observability.trace_sample_rate = value
+                    .parse()
+                    .map_err(|_| format!("invalid --trace-sample-rate {value:?}"))?;
+            }
+            "--flight-capacity" => {
+                i += 1;
+                let value = args.get(i).ok_or("--flight-capacity needs a count")?;
+                let capacity: u32 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --flight-capacity {value:?}"))?;
+                if capacity == 0 {
+                    return Err("--flight-capacity must be at least 1".to_string());
+                }
+                observability.flight_capacity = capacity;
+            }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(args.get(i).ok_or("--trace-out needs a path")?.clone());
+            }
             "--help" | "-h" => return Ok(CliCommand::Help),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             positional_arg => positional.push(positional_arg.to_string()),
@@ -185,6 +221,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             format,
             fault,
             observability,
+            trace_out,
         }),
         "monitor" => Ok(CliCommand::Monitor {
             logfile: positional.next().ok_or("monitor needs a <logfile>")?,
@@ -192,6 +229,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             format,
             fault,
             observability,
+            trace_out,
         }),
         "help" => Ok(CliCommand::Help),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
@@ -236,14 +274,32 @@ fn spawn_exporter(
     let Some(addr) = observability.metrics_addr else {
         return Ok(None);
     };
-    let exporter = MetricsExporter::spawn(
+    let exporter = MetricsExporter::spawn_with_tracer(
         addr,
         monilog.registry(),
         std::time::Duration::from_millis(observability.metrics_interval_ms),
+        Some(monilog.tracer()),
     )
     .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
     let _ = writeln!(out, "metrics: http://{}/metrics", exporter.local_addr());
+    let _ = writeln!(out, "flight:  http://{}/flight", exporter.local_addr());
     Ok(Some(exporter))
+}
+
+/// Honour `--trace-out`: write everything still in the flight recorder as
+/// Chrome trace-event JSON (open in `chrome://tracing` or Perfetto).
+fn write_trace_out(
+    monilog: &MoniLog,
+    trace_out: Option<String>,
+    out: &mut String,
+) -> Result<(), String> {
+    let Some(path) = trace_out else {
+        return Ok(());
+    };
+    std::fs::write(&path, monilog.tracer().chrome_trace_json())
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    let _ = writeln!(out, "trace events: {path}");
+    Ok(())
 }
 
 /// Execute a command, returning the human-readable report it prints.
@@ -302,6 +358,7 @@ pub fn run(command: CliCommand) -> Result<String, String> {
             format,
             fault,
             observability,
+            trace_out,
         } => {
             let lines = read_lines(&logfile)?;
             let mut config = pipeline_config(format, fault);
@@ -323,6 +380,7 @@ pub fn run(command: CliCommand) -> Result<String, String> {
                 checkpoint,
                 blob.len()
             );
+            write_trace_out(&monilog, trace_out, &mut out)?;
         }
         CliCommand::Monitor {
             logfile,
@@ -330,6 +388,7 @@ pub fn run(command: CliCommand) -> Result<String, String> {
             format,
             fault,
             observability,
+            trace_out,
         } => {
             let blob =
                 std::fs::read(&checkpoint).map_err(|e| format!("cannot read {checkpoint}: {e}"))?;
@@ -369,7 +428,18 @@ pub fn run(command: CliCommand) -> Result<String, String> {
                 if let Some((first, last)) = a.report.span() {
                     let _ = writeln!(out, "      span {first} .. {last}");
                 }
+                if !a.report.provenance.trace_ids.is_empty() {
+                    let ids: Vec<String> = a
+                        .report
+                        .provenance
+                        .trace_ids
+                        .iter()
+                        .map(|t| t.0.to_string())
+                        .collect();
+                    let _ = writeln!(out, "      traces {}", ids.join(", "));
+                }
             }
+            write_trace_out(&monilog, trace_out, &mut out)?;
         }
     }
     Ok(out)
@@ -436,6 +506,7 @@ mod tests {
                 format: HeaderChoice::Syslog,
                 fault: FaultToleranceConfig::default(),
                 observability: ObservabilityConfig::default(),
+                trace_out: None,
             }
         );
         assert_eq!(parse_args(&args(&["--help"])).unwrap(), CliCommand::Help);
@@ -487,29 +558,108 @@ mod tests {
             "127.0.0.1:9187",
             "--metrics-interval-ms",
             "250",
+            "--trace-sample-rate",
+            "64",
+            "--flight-capacity",
+            "512",
+            "--trace-out",
+            "trace.json",
         ]))
         .unwrap();
         match parsed {
-            CliCommand::Train { observability, .. } => {
+            CliCommand::Train {
+                observability,
+                trace_out,
+                ..
+            } => {
                 assert_eq!(
                     observability.metrics_addr,
                     Some("127.0.0.1:9187".parse().unwrap())
                 );
                 assert_eq!(observability.metrics_interval_ms, 250);
+                assert_eq!(observability.trace_sample_rate, 64);
+                assert_eq!(observability.flight_capacity, 512);
+                assert_eq!(trace_out.as_deref(), Some("trace.json"));
             }
             other => panic!("expected Train, got {other:?}"),
         }
-        // Defaults: disabled endpoint, 1s interval.
+        // Defaults: disabled endpoint, 1s interval, 1/1024 sampling.
         let parsed = parse_args(&args(&["monitor", "a.log", "--checkpoint", "m.bin"])).unwrap();
         match parsed {
-            CliCommand::Monitor { observability, .. } => {
+            CliCommand::Monitor {
+                observability,
+                trace_out,
+                ..
+            } => {
                 assert_eq!(observability, ObservabilityConfig::default());
                 assert_eq!(observability.metrics_addr, None);
+                assert_eq!(observability.trace_sample_rate, 1_024);
+                assert_eq!(trace_out, None);
             }
             other => panic!("expected Monitor, got {other:?}"),
         }
         assert!(parse_args(&args(&["parse", "x", "--metrics-addr", "not-an-addr"])).is_err());
         assert!(parse_args(&args(&["parse", "x", "--metrics-interval-ms", "0"])).is_err());
+        assert!(parse_args(&args(&["parse", "x", "--trace-sample-rate", "lots"])).is_err());
+        assert!(parse_args(&args(&["parse", "x", "--flight-capacity", "0"])).is_err());
+    }
+
+    #[test]
+    fn monitor_writes_chrome_trace_out() {
+        let dir = std::env::temp_dir().join("monilog_cli_traceout_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let train_file = dir.join("train.log");
+        let live_file = dir.join("live.log");
+        let ckpt = dir.join("model.mlcp");
+        let trace_path = dir.join("trace.json");
+        let training = HdfsWorkload::new(HdfsWorkloadConfig {
+            n_sessions: 40,
+            sequential_anomaly_rate: 0.0,
+            quantitative_anomaly_rate: 0.0,
+            seed: 21,
+            ..Default::default()
+        })
+        .generate();
+        write_workload(&train_file, &training);
+        let live = HdfsWorkload::new(HdfsWorkloadConfig {
+            n_sessions: 10,
+            sequential_anomaly_rate: 0.0,
+            quantitative_anomaly_rate: 0.0,
+            seed: 22,
+            start_ms: 1_600_003_600_000,
+            ..Default::default()
+        })
+        .generate();
+        write_workload(&live_file, &live);
+
+        run(CliCommand::Train {
+            logfile: train_file.to_string_lossy().into_owned(),
+            checkpoint: ckpt.to_string_lossy().into_owned(),
+            format: HeaderChoice::Dash,
+            fault: FaultToleranceConfig::default(),
+            observability: ObservabilityConfig::default(),
+            trace_out: None,
+        })
+        .expect("training succeeds");
+
+        // Sample every line so the short live stream records spans.
+        let report = run(CliCommand::Monitor {
+            logfile: live_file.to_string_lossy().into_owned(),
+            checkpoint: ckpt.to_string_lossy().into_owned(),
+            format: HeaderChoice::Dash,
+            fault: FaultToleranceConfig::default(),
+            observability: ObservabilityConfig {
+                trace_sample_rate: 1,
+                ..ObservabilityConfig::default()
+            },
+            trace_out: Some(trace_path.to_string_lossy().into_owned()),
+        })
+        .expect("monitoring succeeds");
+        assert!(report.contains("trace events:"), "{report}");
+        let body = std::fs::read_to_string(&trace_path).expect("trace file written");
+        assert!(body.starts_with("{\"traceEvents\":["), "{body}");
+        assert!(body.contains("\"ph\":\"X\""), "{body}");
+        assert!(body.contains("\"name\":\"parse_exec\""), "{body}");
     }
 
     #[test]
@@ -551,7 +701,9 @@ mod tests {
                 observability: ObservabilityConfig {
                     metrics_addr: Some(addr),
                     metrics_interval_ms: 10,
+                    ..ObservabilityConfig::default()
                 },
+                trace_out: None,
             })
         });
         // Scrape while training runs; tolerate races where the run (and
@@ -654,6 +806,7 @@ mod tests {
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
             observability: ObservabilityConfig::default(),
+            trace_out: None,
         })
         .expect("training succeeds");
         assert!(report.contains("trained on"), "{report}");
@@ -665,6 +818,7 @@ mod tests {
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
             observability: ObservabilityConfig::default(),
+            trace_out: None,
         })
         .expect("monitoring succeeds");
         assert!(report.contains("anomalies"), "{report}");
@@ -709,6 +863,7 @@ mod tests {
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
             observability: ObservabilityConfig::default(),
+            trace_out: None,
         })
         .unwrap_err();
         assert!(err.contains("cannot read"), "{err}");

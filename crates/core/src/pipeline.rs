@@ -11,11 +11,14 @@ use monilog_detect::{
 use monilog_model::codec::{CodecError, Decoder, Encoder};
 use monilog_model::{
     extract_structured, parse_header, AnomalyKind, AnomalyReport, Criticality, EventId,
-    HeaderFormat, LogEvent, RawLog, SessionKey, TemplateStore, Timestamp,
+    HeaderFormat, LogEvent, Provenance, RawLog, SessionKey, TemplateStore, Timestamp, TraceId,
 };
 use monilog_parse::{Drain, DrainConfig, OnlineParser};
 use monilog_stream::observe::{MetricsRegistry, Stage};
-use monilog_stream::{BoundedReorderBuffer, DedupFilter, PipelineMetrics};
+use monilog_stream::{
+    BoundedReorderBuffer, DedupFilter, PipelineMetrics, SpanStage, TraceConfig, Tracer,
+    DEFAULT_FLIGHT_CAPACITY, DEFAULT_SAMPLE_RATE,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -63,10 +66,16 @@ pub struct MoniLogConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ObservabilityConfig {
     /// Bind address of the HTTP metrics endpoint (`/metrics` Prometheus,
-    /// `/metrics.json` JSON); `None` disables serving.
+    /// `/metrics.json` JSON, `/trace/{id}`, `/flight`); `None` disables
+    /// serving.
     pub metrics_addr: Option<std::net::SocketAddr>,
     /// Snapshot re-render cadence of the exporter thread, in milliseconds.
     pub metrics_interval_ms: u64,
+    /// Trace one line in `trace_sample_rate` end-to-end (`--trace-sample-rate`;
+    /// 0 disables span sampling).
+    pub trace_sample_rate: u32,
+    /// Span slots in the flight-recorder ring (`--flight-capacity`).
+    pub flight_capacity: u32,
 }
 
 impl Default for ObservabilityConfig {
@@ -74,6 +83,8 @@ impl Default for ObservabilityConfig {
         ObservabilityConfig {
             metrics_addr: None,
             metrics_interval_ms: 1_000,
+            trace_sample_rate: DEFAULT_SAMPLE_RATE,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -240,6 +251,7 @@ pub struct MoniLog {
     classifier: AnomalyClassifier,
     registry: Arc<MetricsRegistry>,
     metrics: Arc<PipelineMetrics>,
+    tracer: Arc<Tracer>,
     training_windows: Vec<Window>,
     trained: bool,
     next_event_id: u64,
@@ -264,6 +276,14 @@ impl MoniLog {
             }
         };
         let registry = MetricsRegistry::shared();
+        let tracer = Tracer::shared(
+            &TraceConfig {
+                sample_rate: config.observability.trace_sample_rate,
+                ring_capacity: config.observability.flight_capacity,
+                dump_dir: None,
+            },
+            1,
+        );
         MoniLog {
             dedup: DedupFilter::new(config.dedup_window),
             reorder: BoundedReorderBuffer::new(config.reorder_bound_ms),
@@ -273,6 +293,7 @@ impl MoniLog {
             classifier: AnomalyClassifier::new(),
             metrics: Arc::clone(registry.counters()),
             registry,
+            tracer,
             training_windows: Vec::new(),
             trained: false,
             next_event_id: 0,
@@ -300,6 +321,13 @@ impl MoniLog {
     /// latency histograms — what the metrics exporter serves.
     pub fn registry(&self) -> Arc<MetricsRegistry> {
         Arc::clone(&self.registry)
+    }
+
+    /// The span tracer / flight recorder this pipeline records into — hand
+    /// it to [`monilog_stream::MetricsExporter::spawn_with_tracer`] to serve
+    /// `/trace/{id}` and `/flight`.
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.tracer)
     }
 
     /// The template store discovered so far.
@@ -474,14 +502,24 @@ impl MoniLog {
 
     // ----- internals -------------------------------------------------------
 
+    /// Record a stage latency (with the trace as a p99 exemplar candidate)
+    /// and, for sampled lines, the matching span.
+    fn record_stage(&self, stage: Stage, span: SpanStage, start: Instant, trace: Option<TraceId>) {
+        self.registry.record_traced(stage, start, trace);
+        if let Some(t) = trace {
+            self.tracer.record_since(t, span, 0, start, None, None);
+        }
+    }
+
     /// Dedup → header parse → reorder; returns windows closed by released
     /// records.
     fn advance(&mut self, raw: &RawLog) -> Vec<ClosedWindow> {
+        let trace = self.tracer.trace_for(raw.seq);
         let ingest_start = Instant::now();
         PipelineMetrics::incr(&self.metrics.lines_ingested);
         if !self.dedup.admit(raw.source, raw.seq) {
             PipelineMetrics::incr(&self.metrics.duplicates_dropped);
-            self.registry.record(Stage::Ingest, ingest_start);
+            self.record_stage(Stage::Ingest, SpanStage::Ingest, ingest_start, trace);
             return Vec::new();
         }
         let record = match parse_header(
@@ -492,21 +530,27 @@ impl MoniLog {
             Ok(r) => r,
             Err(_) => {
                 PipelineMetrics::incr(&self.metrics.header_errors);
-                self.registry.record(Stage::Ingest, ingest_start);
+                self.record_stage(Stage::Ingest, SpanStage::Ingest, ingest_start, trace);
                 return Vec::new();
             }
         };
-        self.registry.record(Stage::Ingest, ingest_start);
+        self.record_stage(Stage::Ingest, SpanStage::Ingest, ingest_start, trace);
         let ts = record.header.timestamp;
         let merge_start = Instant::now();
         let released = self.reorder.push(ts, record);
-        self.registry.record(Stage::MergeDedup, merge_start);
+        self.record_stage(Stage::MergeDedup, SpanStage::MergeDedup, merge_start, trace);
         let mut closed = Vec::new();
         for (_, record) in released {
             if let Some(event) = self.record_to_event(record) {
+                let etrace = event.trace;
                 let window_start = Instant::now();
                 closed.extend(self.assembler.push(event));
-                self.registry.record(Stage::WindowAssembly, window_start);
+                self.record_stage(
+                    Stage::WindowAssembly,
+                    SpanStage::Window,
+                    window_start,
+                    etrace,
+                );
             }
         }
         closed
@@ -514,6 +558,7 @@ impl MoniLog {
 
     /// Payload extraction + template parsing + session derivation.
     fn record_to_event(&mut self, record: monilog_model::LogRecord) -> Option<LogEvent> {
+        let trace = self.tracer.trace_for(record.seq);
         let parse_start = Instant::now();
         let (text, payload) = if self.config.extract_payloads {
             extract_structured(&record.message)
@@ -523,7 +568,18 @@ impl MoniLog {
         let before = self.parser.store().len();
         let outcome = self.parser.parse(&text);
         let discovered = self.parser.store().len() - before;
-        self.registry.record(Stage::Parse, parse_start);
+        self.registry
+            .record_traced(Stage::Parse, parse_start, trace);
+        if let Some(t) = trace {
+            self.tracer.record_since(
+                t,
+                SpanStage::Parse,
+                0,
+                parse_start,
+                Some(outcome.template.0),
+                Some(self.parser.last_parse_cache_hit()),
+            );
+        }
         PipelineMetrics::add(&self.metrics.templates_discovered, discovered as u64);
         PipelineMetrics::incr(&self.metrics.lines_parsed);
 
@@ -540,7 +596,8 @@ impl MoniLog {
             outcome.template,
             variables,
             session,
-        );
+        )
+        .with_trace(trace);
         self.next_event_id += 1;
         Some(event)
     }
@@ -555,16 +612,34 @@ impl MoniLog {
             .update_templates(self.parser.store());
         let mut out = Vec::new();
         for c in closed {
+            // A window's trace is its first sampled event — detect/classify
+            // spans and latency exemplars attach to it.
+            let wtrace = c.events.iter().find_map(|e| e.trace);
             let detect_start = Instant::now();
             let detector = self.detector.as_dyn();
             let flagged = detector.predict(&c.window);
             if !flagged {
-                self.registry.record(Stage::Detect, detect_start);
+                self.record_stage(Stage::Detect, SpanStage::Detect, detect_start, wtrace);
                 continue;
             }
             let kind = self.detector.kind_of(&c.window);
             let score = detector.score(&c.window);
-            self.registry.record(Stage::Detect, detect_start);
+            let provenance = Provenance {
+                trace_ids: c.events.iter().filter_map(|e| e.trace).collect(),
+                template_ids: {
+                    let mut ids: Vec<u32> = c.events.iter().map(|e| e.template.0).collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    ids
+                },
+                window: c
+                    .events
+                    .first()
+                    .zip(c.events.last())
+                    .map(|(a, b)| (a.timestamp, b.timestamp)),
+                score_components: detector.score_components(&c.window),
+            };
+            self.record_stage(Stage::Detect, SpanStage::Detect, detect_start, wtrace);
             let report = AnomalyReport {
                 id: self.next_report_id,
                 kind,
@@ -576,12 +651,13 @@ impl MoniLog {
                     c.events.len()
                 ),
                 events: c.events,
+                provenance,
             };
             self.next_report_id += 1;
             PipelineMetrics::incr(&self.metrics.anomalies_reported);
             let classify_start = Instant::now();
             let assignment = self.classifier.classify(&report);
-            self.registry.record(Stage::Classify, classify_start);
+            self.record_stage(Stage::Classify, SpanStage::Classify, classify_start, wtrace);
             out.push(ClassifiedAnomaly { report, assignment });
         }
         out
@@ -799,5 +875,74 @@ mod tests {
         let c = MoniLogConfig::default();
         assert_eq!(c.observability.metrics_addr, None);
         assert_eq!(c.observability.metrics_interval_ms, 1_000);
+        assert_eq!(c.observability.trace_sample_rate, 1_024);
+        assert_eq!(c.observability.flight_capacity, 4_096);
+    }
+
+    #[test]
+    fn anomalies_carry_resolvable_provenance() {
+        use monilog_model::SourceId;
+        // Trace every line so the flagged window is fully attributable.
+        let mut m = MoniLog::new(MoniLogConfig {
+            header_format: HeaderFormatChoice::Bare,
+            window: crate::windowing::WindowPolicy::Tumbling { size: 4 },
+            detector: DetectorChoice::DeepLog(DeepLogConfig {
+                history: 3,
+                top_g: 1,
+                ..DeepLogConfig::default()
+            }),
+            observability: ObservabilityConfig {
+                trace_sample_rate: 1,
+                ..ObservabilityConfig::default()
+            },
+            ..MoniLogConfig::default()
+        });
+        for i in 0..80u64 {
+            m.ingest_training(&RawLog::new(
+                SourceId(0),
+                i,
+                format!(
+                    "step {} of job j{}",
+                    ["a", "b", "c", "d"][i as usize % 4],
+                    i / 4
+                ),
+            ));
+        }
+        m.train();
+        // Live stream with an out-of-vocabulary burst: DeepLog must flag it.
+        let mut anomalies = Vec::new();
+        for i in 80..120u64 {
+            anomalies.extend(m.ingest(&RawLog::new(
+                SourceId(0),
+                i,
+                format!("totally unseen failure mode f{i} exploding"),
+            )));
+        }
+        anomalies.extend(m.flush());
+        assert!(!anomalies.is_empty(), "OOV burst must be flagged");
+        let report = &anomalies[0].report;
+        let prov = &report.provenance;
+        assert!(!prov.is_empty());
+        assert_eq!(
+            prov.trace_ids.len(),
+            report.events.len(),
+            "sample rate 1 traces every event"
+        );
+        assert!(!prov.template_ids.is_empty());
+        assert!(prov.window.is_some());
+        assert!(prov
+            .score_components
+            .iter()
+            .any(|c| c.name == "sequential_violations"));
+        // Every trace id in the provenance resolves in the flight recorder.
+        let tracer = m.tracer();
+        for t in &prov.trace_ids {
+            let json = tracer.trace_json(*t).expect("trace resolvable");
+            assert!(json.contains("\"stage\":\"parse_exec\""), "{json}");
+        }
+        // And the report's JSON carries the provenance block.
+        let json = report.to_json();
+        assert!(json.contains("\"provenance\":{"), "{json}");
+        assert!(json.contains("\"trace_ids\":["), "{json}");
     }
 }

@@ -1,6 +1,6 @@
 //! Detector traits and shared input types.
 
-use monilog_model::TemplateStore;
+use monilog_model::{ScoreComponent, TemplateStore};
 use serde::{Deserialize, Serialize};
 
 /// One detection window: the unit every detector scores.
@@ -124,6 +124,17 @@ pub trait Detector {
     /// keep appearing in a streaming deployment). Default: no-op; only the
     /// semantic detectors care.
     fn update_templates(&mut self, _templates: &TemplateStore) {}
+
+    /// Named breakdown of `score(window)` for anomaly provenance: how the
+    /// detector arrived at its verdict, in report-ready terms. The default
+    /// exposes the score and the calibrated threshold; detectors with
+    /// richer internals (violation counts, per-model terms) override it.
+    fn score_components(&self, window: &Window) -> Vec<ScoreComponent> {
+        vec![
+            ScoreComponent::new("score", self.score(window)),
+            ScoreComponent::new("threshold", self.threshold()),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -166,5 +177,32 @@ mod tests {
     #[should_panic(expected = "one label per window")]
     fn labeled_requires_alignment() {
         TrainSet::labeled(vec![Window::from_ids(vec![1])], vec![true, false]);
+    }
+
+    #[test]
+    fn default_score_components_expose_score_and_threshold() {
+        struct Fixed;
+        impl Detector for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn fit(&mut self, _train: &TrainSet) {}
+            fn score(&self, window: &Window) -> f64 {
+                window.len() as f64
+            }
+            fn threshold(&self) -> f64 {
+                1.5
+            }
+        }
+        let comps = Fixed.score_components(&Window::from_ids(vec![1, 2, 3]));
+        let get = |name: &str| {
+            comps
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("missing component {name}"))
+                .value
+        };
+        assert_eq!(get("score"), 3.0);
+        assert_eq!(get("threshold"), 1.5);
     }
 }

@@ -693,6 +693,16 @@ impl Detector for DeepLog {
     fn threshold(&self) -> f64 {
         0.0
     }
+
+    fn score_components(&self, window: &Window) -> Vec<monilog_model::ScoreComponent> {
+        let (seq, quant) = self.violation_breakdown(window);
+        vec![
+            monilog_model::ScoreComponent::new("score", (seq + quant) as f64),
+            monilog_model::ScoreComponent::new("threshold", self.threshold()),
+            monilog_model::ScoreComponent::new("sequential_violations", seq as f64),
+            monilog_model::ScoreComponent::new("quantitative_violations", quant as f64),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -747,6 +757,16 @@ mod tests {
         // Table I's L1 → L4 shape: known events, impossible order.
         let w = Window::from_ids(vec![0, 3, 1, 2]);
         assert!(d.predict(&w), "violations: {}", d.score(&w));
+        // The provenance breakdown must agree with the verdict: sequential
+        // violations drive the score, the quantitative term stays zero.
+        let comps = d.score_components(&w);
+        let get = |name: &str| comps.iter().find(|c| c.name == name).unwrap().value;
+        assert!(get("sequential_violations") > 0.0);
+        assert_eq!(get("quantitative_violations"), 0.0);
+        assert_eq!(
+            get("score"),
+            get("sequential_violations") + get("quantitative_violations")
+        );
     }
 
     #[test]

@@ -524,6 +524,16 @@ impl Detector for LogAnomaly {
         0.0
     }
 
+    fn score_components(&self, window: &Window) -> Vec<monilog_model::ScoreComponent> {
+        let (seq, quant) = self.violation_breakdown(window);
+        vec![
+            monilog_model::ScoreComponent::new("score", (seq + quant) as f64),
+            monilog_model::ScoreComponent::new("threshold", self.threshold()),
+            monilog_model::ScoreComponent::new("sequential_violations", seq as f64),
+            monilog_model::ScoreComponent::new("quantitative_violations", quant as f64),
+        ]
+    }
+
     /// Vectorize templates discovered after training so unseen ids can be
     /// semantically matched instead of flagged.
     fn update_templates(&mut self, templates: &TemplateStore) {

@@ -9,6 +9,7 @@
 use crate::event::LogEvent;
 use crate::log::SourceId;
 use crate::time::Timestamp;
+use crate::trace::{json_string, Provenance};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -91,6 +92,9 @@ pub struct AnomalyReport {
     /// Short human-readable explanation (e.g. the expected vs observed
     /// next template for a sequential anomaly).
     pub explanation: String,
+    /// Evidence trail: contributing trace ids, template ids, window bounds
+    /// and the per-detector score breakdown. Empty when tracing is off.
+    pub provenance: Provenance,
 }
 
 impl AnomalyReport {
@@ -116,6 +120,40 @@ impl AnomalyReport {
 
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// JSON rendering of the report for operators and tooling, including
+    /// the provenance evidence trail. Events are summarized (id, timestamp,
+    /// source, template) — the full window is available in `events`.
+    pub fn to_json(&self) -> String {
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"id\":{},\"ts_ms\":{},\"source\":{},\"template\":{}{}}}",
+                    e.id.0,
+                    e.timestamp.as_millis(),
+                    e.source.0,
+                    e.template.0,
+                    match e.trace {
+                        Some(t) => format!(",\"trace_id\":{}", t.0),
+                        None => String::new(),
+                    }
+                )
+            })
+            .collect();
+        format!(
+            "{{\"id\":{},\"kind\":\"{}\",\"score\":{},\"detector\":{},\
+             \"explanation\":{},\"events\":[{}],\"provenance\":{}}}",
+            self.id,
+            self.kind,
+            crate::trace::json_f64(self.score),
+            json_string(&self.detector),
+            json_string(&self.explanation),
+            events.join(","),
+            self.provenance.to_json()
+        )
     }
 }
 
@@ -146,6 +184,7 @@ mod tests {
             detector: "test".into(),
             events,
             explanation: String::new(),
+            provenance: Provenance::default(),
         }
     }
 
@@ -176,6 +215,26 @@ mod tests {
             assert_eq!(Criticality::from_ordinal(c.ordinal()), c);
         }
         assert_eq!(Criticality::from_ordinal(99), Criticality::High);
+    }
+
+    #[test]
+    fn report_json_carries_provenance() {
+        use crate::trace::{ScoreComponent, TraceId};
+        let mut r = report(vec![event(5, 0).with_trace(Some(TraceId(1)))]);
+        r.provenance = Provenance {
+            trace_ids: vec![TraceId(1)],
+            template_ids: vec![0],
+            window: Some((Timestamp::from_millis(5), Timestamp::from_millis(5))),
+            score_components: vec![ScoreComponent::new("score", 1.0)],
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"provenance\":{\"trace_ids\":[1]"), "{json}");
+        assert!(json.contains("\"trace_id\":1"), "{json}");
+        assert!(json.contains("\"kind\":\"sequential\""), "{json}");
+        assert!(
+            json.contains("\"score_components\":[{\"name\":\"score\""),
+            "{json}"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::log::SourceId;
 use crate::severity::Severity;
 use crate::template::TemplateId;
 use crate::time::Timestamp;
+use crate::trace::TraceId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -47,6 +48,9 @@ pub struct LogEvent {
     pub numeric_variables: Vec<Option<f64>>,
     /// Session this event belongs to, when a session key could be derived.
     pub session: Option<SessionKey>,
+    /// Trace identity when the source line was sampled by the span tracer
+    /// (`None` for the untraced majority of lines).
+    pub trace: Option<TraceId>,
 }
 
 impl LogEvent {
@@ -70,7 +74,15 @@ impl LogEvent {
             variables,
             numeric_variables,
             session,
+            trace: None,
         }
+    }
+
+    /// Attach a trace identity (builder-style, used by the parse stage for
+    /// sampled lines).
+    pub fn with_trace(mut self, trace: Option<TraceId>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The numeric variables only, in order, skipping non-numeric ones.
@@ -141,6 +153,22 @@ mod tests {
         );
         assert_eq!(ev.numeric_variables, vec![None, Some(42.0)]);
         assert_eq!(ev.numeric_values().collect::<Vec<_>>(), vec![42.0]);
+    }
+
+    #[test]
+    fn events_are_untraced_by_default() {
+        let ev = LogEvent::new(
+            EventId(1),
+            Timestamp::from_millis(0),
+            SourceId(0),
+            Severity::Info,
+            TemplateId(0),
+            vec![],
+            None,
+        );
+        assert_eq!(ev.trace, None);
+        let traced = ev.with_trace(Some(TraceId(7)));
+        assert_eq!(traced.trace, Some(TraceId(7)));
     }
 
     #[test]

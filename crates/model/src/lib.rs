@@ -24,6 +24,8 @@
 //!   metrics (a *token* is "a sequence delimited by spaces", Section IV).
 //! - [`codec`] — the small versioned binary codec behind template-store and
 //!   detector-checkpoint persistence.
+//! - [`trace`] — trace identities and anomaly provenance (the per-line
+//!   evidence trail behind each report).
 
 pub mod anomaly;
 pub mod codec;
@@ -35,6 +37,7 @@ pub mod structured;
 pub mod template;
 pub mod time;
 pub mod tokenize;
+pub mod trace;
 
 pub use anomaly::{AnomalyKind, AnomalyReport, Criticality};
 pub use codec::{CodecError, Decoder, Encoder};
@@ -45,3 +48,4 @@ pub use severity::Severity;
 pub use structured::{extract_structured, StructuredPayload};
 pub use template::{render_tokens, Template, TemplateId, TemplateStore, TemplateToken};
 pub use time::Timestamp;
+pub use trace::{Provenance, ScoreComponent, TraceId};

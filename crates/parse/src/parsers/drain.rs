@@ -174,6 +174,10 @@ pub struct Drain {
     cache: MatchCache,
     /// Lines parsed so far (for diagnostics/benchmarks).
     lines: u64,
+    /// Whether the most recent `parse` was served from the match cache —
+    /// the per-line span hook behind trace provenance (`cache_stats` only
+    /// gives totals).
+    last_cache_hit: bool,
 }
 
 impl Drain {
@@ -197,6 +201,7 @@ impl Drain {
             store: TemplateStore::new(),
             cache: MatchCache::default(),
             lines: 0,
+            last_cache_hit: false,
         }
     }
 
@@ -257,6 +262,12 @@ impl Drain {
     /// Entries currently memoized.
     pub fn cache_len(&self) -> usize {
         self.cache.map.len()
+    }
+
+    /// Whether the most recent [`OnlineParser::parse`] call hit the match
+    /// cache (`false` before the first parse).
+    pub fn last_parse_cache_hit(&self) -> bool {
+        self.last_cache_hit
     }
 
     /// Similarity of `template` to `tokens`: fraction of positions where a
@@ -324,6 +335,7 @@ impl Drain {
 impl OnlineParser for Drain {
     fn parse(&mut self, message: &str) -> ParseOutcome {
         self.lines += 1;
+        self.last_cache_hit = false;
         let (masked, original) = self.pre.mask(message);
 
         // Fast path: a memoized pure match replays the tree walk's result
@@ -334,6 +346,7 @@ impl OnlineParser for Drain {
             if let Some(entry) = self.cache.map.get(&h) {
                 if entry.matches(&masked) {
                     self.cache.hits += 1;
+                    self.last_cache_hit = true;
                     let variables = entry
                         .wildcards
                         .iter()
@@ -765,6 +778,20 @@ mod tests {
         // Variables come from *this* line, not the memoized one.
         assert_eq!(out.variables, vec!["7", "10.1.1.1", "/10.2.2.2"]);
         assert!(!out.is_new);
+    }
+
+    #[test]
+    fn last_parse_cache_hit_tracks_each_line() {
+        let mut d = drain();
+        assert!(!d.last_parse_cache_hit(), "false before the first parse");
+        d.parse("Sending 138 bytes src: 10.0.0.1 dest: /10.0.0.2");
+        assert!(!d.last_parse_cache_hit(), "first line can't hit");
+        d.parse("Sending 999 bytes src: 10.9.9.9 dest: /10.0.0.1");
+        assert!(!d.last_parse_cache_hit(), "install, not a hit");
+        d.parse("Sending 7 bytes src: 10.1.1.1 dest: /10.2.2.2");
+        assert!(d.last_parse_cache_hit(), "steady state hits");
+        d.parse("a line of an entirely different shape");
+        assert!(!d.last_parse_cache_hit(), "resets on a miss");
     }
 
     #[test]

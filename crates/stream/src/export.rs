@@ -2,24 +2,34 @@
 //!
 //! [`MetricsExporter`] is a minimal blocking HTTP/1.1 server on
 //! `std::net::TcpListener` that serves [`crate::observe::MetricsSnapshot`]
-//! renderings:
+//! renderings and, when a [`Tracer`] is attached, the span-tracing views:
 //!
 //! - `GET /metrics` — Prometheus text exposition format
 //! - `GET /metrics.json` — JSON
+//! - `GET /trace/{id}` — span tree of one sampled trace (JSON)
+//! - `GET /flight` — current flight-recorder ring contents (JSON)
 //!
 //! A background thread re-renders the snapshot every `interval` (so a
 //! scrape never walks the histogram buckets on the request path) and
 //! accepts connections with a short poll timeout so `Drop` can stop it
 //! promptly. No external HTTP crate — the request parsing is the minimum
-//! needed for `curl`/Prometheus: read the first line, match the path.
+//! needed for `curl`/Prometheus: read the request head (capped at 4 KiB,
+//! under read *and* write timeouts so a slow or malicious client cannot
+//! wedge the single-threaded accept loop), match the path.
 
 use crate::observe::MetricsRegistry;
+use crate::trace::Tracer;
+use monilog_model::TraceId;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
+
+/// Upper bound on the bytes of request head we are willing to read.
+/// Anything larger is a client error (431-ish; we answer 400).
+const MAX_REQUEST_BYTES: usize = 4096;
 
 /// Rendered snapshot cache shared between the refresher and request
 /// handling.
@@ -43,11 +53,23 @@ pub struct MetricsExporter {
 
 impl MetricsExporter {
     /// Bind `addr` and start serving snapshots of `registry`, re-rendered
-    /// every `interval`.
+    /// every `interval`. `/trace/{id}` and `/flight` answer 404 — attach a
+    /// tracer with [`MetricsExporter::spawn_with_tracer`] to enable them.
     pub fn spawn(
         addr: SocketAddr,
         registry: Arc<MetricsRegistry>,
         interval: Duration,
+    ) -> io::Result<Self> {
+        Self::spawn_with_tracer(addr, registry, interval, None)
+    }
+
+    /// Like [`MetricsExporter::spawn`], additionally serving the span
+    /// tracer's `/trace/{id}` and `/flight` views.
+    pub fn spawn_with_tracer(
+        addr: SocketAddr,
+        registry: Arc<MetricsRegistry>,
+        interval: Duration,
+        tracer: Option<Arc<Tracer>>,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -57,7 +79,7 @@ impl MetricsExporter {
         stop.store(false, Ordering::Release);
         let handle = thread::Builder::new()
             .name("monilog-metrics-exporter".into())
-            .spawn(move || serve_loop(listener, registry, interval, stop_flag))
+            .spawn(move || serve_loop(listener, registry, interval, stop_flag, tracer))
             .expect("spawn exporter thread");
         Ok(MetricsExporter {
             addr,
@@ -86,6 +108,7 @@ fn serve_loop(
     registry: Arc<MetricsRegistry>,
     interval: Duration,
     stop: Arc<AtomicBool>,
+    tracer: Option<Arc<Tracer>>,
 ) {
     let cache = Mutex::new(Rendered::default());
     render_into(&registry, &cache);
@@ -97,7 +120,7 @@ fn serve_loop(
                 // Re-render on demand too, so a scrape right after a burst
                 // sees it even with a long interval.
                 render_into(&registry, &cache);
-                let _ = handle_request(stream, &cache);
+                let _ = handle_request(stream, &cache, tracer.as_deref());
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(POLL);
@@ -119,32 +142,75 @@ fn render_into(registry: &MetricsRegistry, cache: &Mutex<Rendered>) {
     slot.json = snapshot.to_json();
 }
 
-fn handle_request(mut stream: TcpStream, cache: &Mutex<Rendered>) -> io::Result<()> {
+/// Read the request head: up to the end of the request line (or header
+/// block), the 4 KiB cap, or the read timeout — whichever comes first.
+/// Returns `None` when the client sent more than the cap allows.
+fn read_request_head(stream: &mut TcpStream) -> io::Result<Option<String>> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            // A timeout with a partial request in hand: serve what we got.
+            Err(e)
+                if !buf.is_empty()
+                    && (e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut) =>
+            {
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.len() > MAX_REQUEST_BYTES {
+            drain(stream);
+            return Ok(None);
+        }
+        // The request line is all we route on; stop at its end.
+        if buf.windows(2).any(|w| w == b"\r\n") || buf.contains(&b'\n') {
+            break;
+        }
+    }
+    Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+}
+
+/// Discard (bounded) whatever else an over-limit client sent. Closing with
+/// unread bytes in the receive buffer makes the kernel RST the connection,
+/// which would destroy the 400 response before the client reads it.
+fn drain(stream: &mut TcpStream) {
+    let mut sink = [0u8; 1024];
+    let mut total = 0usize;
+    while total < 64 * 1024 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => total += n,
+        }
+    }
+}
+
+fn handle_request(
+    mut stream: TcpStream,
+    cache: &Mutex<Rendered>,
+    tracer: Option<&Tracer>,
+) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_millis(500)))?;
-    let mut buf = [0u8; 1024];
-    let n = stream.read(&mut buf)?;
-    let request = String::from_utf8_lossy(&buf[..n]);
-    let path = request
-        .lines()
-        .next()
-        .and_then(|l| l.split_whitespace().nth(1))
-        .unwrap_or("/");
-    let (status, content_type, body) = {
-        let rendered = cache.lock().expect("render cache");
-        match path {
-            "/metrics" | "/" => (
-                "200 OK",
-                "text/plain; version=0.0.4",
-                rendered.prometheus.clone(),
-            ),
-            "/metrics.json" => ("200 OK", "application/json", rendered.json.clone()),
-            _ => (
-                "404 Not Found",
+    let request = read_request_head(&mut stream)?;
+    let (status, content_type, body) = match request {
+        None => (
+            "400 Bad Request",
+            "text/plain",
+            "request head exceeds 4096 bytes\n".to_string(),
+        ),
+        Some(request) => match request.lines().next().map(parse_request_line) {
+            None | Some(None) => (
+                "400 Bad Request",
                 "text/plain",
-                "not found; try /metrics or /metrics.json\n".to_string(),
+                "malformed request line\n".to_string(),
             ),
-        }
+            Some(Some(path)) => route(&path, cache, tracer),
+        },
     };
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -154,11 +220,80 @@ fn handle_request(mut stream: TcpStream, cache: &Mutex<Rendered>) -> io::Result<
     stream.flush()
 }
 
+/// Extract the path from `GET <path> HTTP/1.1`; `None` when the line is
+/// not a plausible HTTP request line.
+fn parse_request_line(line: &str) -> Option<String> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if !method.chars().all(|c| c.is_ascii_uppercase()) || !path.starts_with('/') {
+        return None;
+    }
+    Some(path.to_string())
+}
+
+fn route(
+    path: &str,
+    cache: &Mutex<Rendered>,
+    tracer: Option<&Tracer>,
+) -> (&'static str, &'static str, String) {
+    match path {
+        "/metrics" | "/" => {
+            let rendered = cache.lock().expect("render cache");
+            (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                rendered.prometheus.clone(),
+            )
+        }
+        "/metrics.json" => {
+            let rendered = cache.lock().expect("render cache");
+            ("200 OK", "application/json", rendered.json.clone())
+        }
+        "/flight" => match tracer {
+            Some(t) => ("200 OK", "application/json", t.flight_json()),
+            None => (
+                "404 Not Found",
+                "application/json",
+                "{\"error\":\"tracing disabled\"}\n".to_string(),
+            ),
+        },
+        _ => match path.strip_prefix("/trace/") {
+            Some(id) => match (id.parse::<u64>(), tracer) {
+                (Err(_), _) | (Ok(0), _) => (
+                    "400 Bad Request",
+                    "application/json",
+                    "{\"error\":\"trace id must be a positive integer\"}\n".to_string(),
+                ),
+                (Ok(_), None) => (
+                    "404 Not Found",
+                    "application/json",
+                    "{\"error\":\"tracing disabled\"}\n".to_string(),
+                ),
+                (Ok(id), Some(t)) => match t.trace_json(TraceId(id)) {
+                    Some(json) => ("200 OK", "application/json", json),
+                    None => (
+                        "404 Not Found",
+                        "application/json",
+                        format!("{{\"error\":\"no spans for trace {id}\"}}\n"),
+                    ),
+                },
+            },
+            None => (
+                "404 Not Found",
+                "text/plain",
+                "not found; try /metrics, /metrics.json, /trace/{id} or /flight\n".to_string(),
+            ),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::metrics::PipelineMetrics;
     use crate::observe::Stage;
+    use crate::trace::{SpanRecord, SpanStage, TraceConfig};
 
     fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).expect("connect exporter");
@@ -171,11 +306,37 @@ mod tests {
         (head.to_string(), body.to_string())
     }
 
+    /// Body length must match the advertised Content-Length exactly.
+    fn assert_content_length(head: &str, body: &str) {
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length header")
+            .trim()
+            .parse()
+            .expect("numeric Content-Length");
+        assert_eq!(len, body.len(), "Content-Length mismatch: {head}");
+    }
+
     fn test_registry() -> Arc<MetricsRegistry> {
         let r = MetricsRegistry::shared_with_shards(2);
         PipelineMetrics::add(&r.counters().lines_ingested, 42);
         r.stage(Stage::Parse).record(Duration::from_micros(15));
         r
+    }
+
+    fn test_tracer() -> Arc<Tracer> {
+        let t = Tracer::shared(&TraceConfig::default(), 1);
+        t.record(SpanRecord {
+            trace: monilog_model::TraceId(1),
+            stage: SpanStage::Parse,
+            shard: 0,
+            start_ns: 100,
+            end_ns: 300,
+            template: Some(4),
+            cache_hit: Some(false),
+        });
+        t
     }
 
     #[test]
@@ -213,8 +374,9 @@ mod tests {
         assert!(head.contains("application/json"), "{head}");
         assert!(body.contains("\"lines_ingested\":42"), "{body}");
         assert!(body.contains("\"parse_exec\":{\"count\":1"), "{body}");
-        let (head, _) = http_get(exporter.local_addr(), "/nope");
+        let (head, body) = http_get(exporter.local_addr(), "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        assert_content_length(&head, &body);
     }
 
     #[test]
@@ -244,5 +406,82 @@ mod tests {
         // Port released: either connect fails or a fresh bind succeeds.
         let rebind = TcpListener::bind(addr);
         assert!(rebind.is_ok(), "exporter did not release {addr}");
+    }
+
+    #[test]
+    fn serves_trace_and_flight_views() {
+        let exporter = MetricsExporter::spawn_with_tracer(
+            "127.0.0.1:0".parse().unwrap(),
+            test_registry(),
+            Duration::from_millis(50),
+            Some(test_tracer()),
+        )
+        .expect("bind");
+        let (head, body) = http_get(exporter.local_addr(), "/trace/1");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert!(body.starts_with("{\"trace_id\":1,"), "{body}");
+        assert!(body.contains("\"stage\":\"parse_exec\""), "{body}");
+        assert_content_length(&head, &body);
+
+        let (head, body) = http_get(exporter.local_addr(), "/flight");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("\"spans\":[{\"trace_id\":1,"), "{body}");
+        assert_content_length(&head, &body);
+
+        // Unknown trace id → 404; junk id → 400.
+        let (head, body) = http_get(exporter.local_addr(), "/trace/999");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        assert_content_length(&head, &body);
+        let (head, body) = http_get(exporter.local_addr(), "/trace/bogus");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+        assert_content_length(&head, &body);
+    }
+
+    #[test]
+    fn trace_routes_404_without_a_tracer() {
+        let exporter = MetricsExporter::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            test_registry(),
+            Duration::from_millis(50),
+        )
+        .expect("bind");
+        for path in ["/trace/1", "/flight"] {
+            let (head, body) = http_get(exporter.local_addr(), path);
+            assert!(head.starts_with("HTTP/1.1 404"), "{path}: {head}");
+            assert!(body.contains("tracing disabled"), "{path}: {body}");
+            assert_content_length(&head, &body);
+        }
+    }
+
+    #[test]
+    fn oversized_and_malformed_requests_get_400() {
+        let exporter = MetricsExporter::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            test_registry(),
+            Duration::from_millis(50),
+        )
+        .expect("bind");
+        // A request line well past the 4 KiB cap: the exporter must answer
+        // 400 instead of buffering without bound or hanging the loop.
+        let mut stream = TcpStream::connect(exporter.local_addr()).unwrap();
+        let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(8192));
+        stream.write_all(huge.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").expect("response split");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+        assert_content_length(head, body);
+
+        // Garbage that is not an HTTP request line at all.
+        let mut stream = TcpStream::connect(exporter.local_addr()).unwrap();
+        stream.write_all(b"\x00\x01\x02 garbage\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+        // The loop survives both and keeps serving.
+        let (head, _) = http_get(exporter.local_addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
     }
 }

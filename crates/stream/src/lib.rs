@@ -38,6 +38,7 @@ pub mod partition;
 pub mod pipeline;
 pub mod service;
 pub mod supervisor;
+pub mod trace;
 
 pub use chaos::{FaultContext, FaultInjector, FaultPlan, WorkerKill};
 pub use config::{ConfigError, OverloadPolicy, RetryPolicy};
@@ -45,11 +46,15 @@ pub use export::MetricsExporter;
 pub use merge::{BoundedReorderBuffer, DedupFilter};
 pub use metrics::PipelineMetrics;
 pub use observe::{
-    HistogramSnapshot, LatencyHistogram, MetricsRegistry, MetricsSnapshot, ShardGauges,
+    Exemplar, HistogramSnapshot, LatencyHistogram, MetricsRegistry, MetricsSnapshot, ShardGauges,
     ShardSnapshot, SizeHistogram, SizeSnapshot, Stage, StageSnapshot,
 };
 pub use partition::HashPartitioner;
 pub use pipeline::{parallel_map, ParallelShardedDrain};
+pub use trace::{
+    SpanRecord, SpanStage, TraceConfig, Tracer, DEFAULT_FLIGHT_CAPACITY, DEFAULT_SAMPLE_RATE,
+};
+
 pub use service::{
     ParsedItem, ShardedParseService, TrySubmitError, BATCH_FLUSH_INTERVAL, MAX_BATCH,
     SHARD_ID_STRIDE,

@@ -30,6 +30,7 @@
 //! width (≤ 25%, plus exact max).
 
 use crate::metrics::PipelineMetrics;
+use monilog_model::TraceId;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -152,6 +153,11 @@ pub struct LatencyHistogram {
     count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
+    /// Largest duration recorded with a trace id — the p99 *exemplar*:
+    /// a tail latency an operator can resolve to a full span tree via
+    /// `GET /trace/{id}` instead of staring at an anonymous percentile.
+    exemplar_ns: AtomicU64,
+    exemplar_trace: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -167,6 +173,8 @@ impl LatencyHistogram {
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
+            exemplar_ns: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
         }
     }
 
@@ -183,6 +191,28 @@ impl LatencyHistogram {
     /// Record one duration given in nanoseconds.
     pub fn record_ns(&self, ns: u64) {
         self.record_ns_n(ns, 1);
+    }
+
+    /// Record one duration, attaching the trace id as a tail exemplar
+    /// when the line was sampled. The exemplar kept is the largest traced
+    /// duration seen — a best-effort pairing (the trace id may briefly
+    /// disagree with the duration under write races), matching the
+    /// relaxed-read contract of the rest of the histogram.
+    pub fn record_ns_traced(&self, ns: u64, trace: Option<TraceId>) {
+        self.record_ns(ns);
+        if let Some(t) = trace {
+            let prev = self.exemplar_ns.fetch_max(ns, Ordering::Relaxed);
+            if ns >= prev {
+                self.exemplar_trace.store(t.0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Record the time since `start`, attaching a trace exemplar if
+    /// sampled.
+    pub fn record_since_traced(&self, start: Instant, trace: Option<TraceId>) {
+        let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.record_ns_traced(ns, trace);
     }
 
     /// Record the same duration `n` times in O(1) — how a batched worker
@@ -222,6 +252,7 @@ impl LatencyHistogram {
                 cumulative.push((bucket_bound(i), cum));
             }
         }
+        let exemplar_trace = self.exemplar_trace.load(Ordering::Relaxed);
         HistogramSnapshot {
             count,
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
@@ -230,6 +261,10 @@ impl LatencyHistogram {
             p95_ns: quantile(0.95),
             p99_ns: quantile(0.99),
             buckets: cumulative,
+            exemplar: (exemplar_trace != 0).then(|| Exemplar {
+                trace_id: exemplar_trace,
+                ns: self.exemplar_ns.load(Ordering::Relaxed),
+            }),
         }
     }
 }
@@ -251,11 +286,26 @@ fn estimate_quantile(buckets: &[u64], count: u64, max_ns: u64, q: f64) -> u64 {
             let lower = if i == 0 { 0 } else { bucket_bound(i - 1) };
             let upper = bucket_bound(i).min(max_ns.max(lower));
             let frac = (rank - cum) as f64 / n as f64;
-            return lower + ((upper - lower) as f64 * frac) as u64;
+            // Saturating math and a final clamp: in the top octave and the
+            // overflow bucket `upper - lower` spans most of the u64 range,
+            // so the float round-trip can overshoot — and a snapshot race
+            // (bucket counts read before a concurrent record updates
+            // max_ns) can leave `lower > max_ns`. Either way the estimate
+            // must never exceed the exact observed max.
+            let est = lower.saturating_add(((upper - lower) as f64 * frac) as u64);
+            return est.min(max_ns);
         }
         cum += n;
     }
     max_ns
+}
+
+/// A tail-latency exemplar: the largest traced duration a histogram has
+/// seen, resolvable to a span tree via `GET /trace/{trace_id}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    pub trace_id: u64,
+    pub ns: u64,
 }
 
 /// Point-in-time view of one [`LatencyHistogram`].
@@ -271,6 +321,8 @@ pub struct HistogramSnapshot {
     /// `(exclusive upper bound ns, cumulative count)` for every non-empty
     /// bucket, in increasing bound order — Prometheus-ready.
     pub buckets: Vec<(u64, u64)>,
+    /// Largest traced sample (`None` until a sampled line lands here).
+    pub exemplar: Option<Exemplar>,
 }
 
 /// Power-of-two buckets for the batch-size histogram: `2^0 .. 2^16`
@@ -427,6 +479,12 @@ impl MetricsRegistry {
         self.stage(stage).record_since(start);
     }
 
+    /// Record `start.elapsed()` into a stage histogram, attaching a trace
+    /// exemplar when the line was sampled.
+    pub fn record_traced(&self, stage: Stage, start: Instant, trace: Option<TraceId>) {
+        self.stage(stage).record_since_traced(start, trace);
+    }
+
     /// Time a closure into a stage histogram.
     pub fn time<R>(&self, stage: Stage, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
@@ -575,6 +633,14 @@ impl MetricsSnapshot {
                     fmt_seconds(v)
                 ));
             }
+            if let Some(e) = s.latency.exemplar {
+                out.push_str(&format!(
+                    "monilog_stage_latency_exemplar_trace_id{{stage=\"{stage}\"}} {}\n\
+                     monilog_stage_latency_exemplar_seconds{{stage=\"{stage}\"}} {}\n",
+                    e.trace_id,
+                    fmt_seconds(e.ns)
+                ));
+            }
         }
         if self.batch_sizes.count > 0 {
             out.push_str("# TYPE monilog_batch_size_lines histogram\n");
@@ -664,7 +730,13 @@ impl MetricsSnapshot {
                     out.push_str(&format!("[{bound},{cum}]"));
                 }
             }
-            out.push_str("]}");
+            match h.exemplar {
+                Some(e) => out.push_str(&format!(
+                    "],\"exemplar\":{{\"trace_id\":{},\"ns\":{}}}}}",
+                    e.trace_id, e.ns
+                )),
+                None => out.push_str("],\"exemplar\":null}"),
+            }
         }
         let b = &self.batch_sizes;
         out.push_str(&format!(
@@ -835,6 +907,87 @@ mod tests {
         assert!(s.p99_ns <= s.max_ns);
     }
 
+    /// Regression for the top-octave interpolation bug: samples saturating
+    /// the final (~17 s) bucket and the overflow bucket must report
+    /// `p99_ns <= max_ns` exactly. The old code overflowed u64 (debug
+    /// panic) interpolating inside the overflow bucket and could overshoot
+    /// the observed max in the top octave.
+    #[test]
+    fn top_octave_quantiles_never_exceed_max() {
+        // Saturate the last instrumented bucket (values just below 2^34).
+        let h = LatencyHistogram::new();
+        let top = (1u64 << 34) - 1; // ≈ 17.18 s
+        for i in 0..1000u64 {
+            h.record_ns(top - i); // all land in the final octave bucket
+        }
+        let s = h.snapshot();
+        assert_eq!(s.max_ns, top);
+        assert!(
+            s.p99_ns <= s.max_ns,
+            "p99 {} exceeds max {}",
+            s.p99_ns,
+            s.max_ns
+        );
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
+
+        // A single overflow-bucket sample: interpolation across the
+        // [2^34, u64::MAX) range must neither panic nor overshoot.
+        let h = LatencyHistogram::new();
+        h.record_ns(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.max_ns, u64::MAX);
+        assert!(s.p99_ns <= s.max_ns);
+
+        // Mixed: mostly-normal traffic with a 20 s straggler.
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record_ns(1_000_000);
+        }
+        h.record_ns(20_000_000_000);
+        let s = h.snapshot();
+        assert!(s.p99_ns <= s.max_ns, "p99 {} > max {}", s.p99_ns, s.max_ns);
+        assert_eq!(s.max_ns, 20_000_000_000);
+    }
+
+    #[test]
+    fn exemplars_track_the_largest_traced_sample() {
+        let h = LatencyHistogram::new();
+        h.record_ns(50_000); // untraced tail — never an exemplar
+        assert_eq!(h.snapshot().exemplar, None);
+        h.record_ns_traced(2_000, Some(TraceId(5)));
+        h.record_ns_traced(9_000, Some(TraceId(9)));
+        h.record_ns_traced(3_000, Some(TraceId(7))); // smaller, ignored
+        h.record_ns_traced(4_000, None); // unsampled, ignored
+        let s = h.snapshot();
+        assert_eq!(
+            s.exemplar,
+            Some(Exemplar {
+                trace_id: 9,
+                ns: 9_000
+            })
+        );
+        assert_eq!(s.count, 5, "traced records still count normally");
+    }
+
+    #[test]
+    fn exemplars_surface_in_renderings() {
+        let r = MetricsRegistry::shared();
+        let start = Instant::now();
+        r.record_traced(Stage::Detect, start, Some(TraceId(33)));
+        let s = r.snapshot();
+        let e = s.stage("detect").unwrap().exemplar.expect("exemplar set");
+        assert_eq!(e.trace_id, 33);
+        let prom = s.to_prometheus();
+        assert!(
+            prom.contains("monilog_stage_latency_exemplar_trace_id{stage=\"detect\"} 33"),
+            "{prom}"
+        );
+        let json = s.to_json();
+        assert!(json.contains("\"exemplar\":{\"trace_id\":33,"), "{json}");
+        // Stages without a traced sample render a null exemplar.
+        assert!(json.contains("\"exemplar\":null"), "{json}");
+    }
+
     #[test]
     fn quantiles_of_empty_and_single() {
         let h = LatencyHistogram::new();
@@ -901,6 +1054,14 @@ mod tests {
         let s = r.snapshot();
         let prom = s.to_prometheus();
         let json = s.to_json();
+        // The PR 3 batching/caching counters must be part of the stable
+        // vocabulary, not just whatever happens to be in `counters`.
+        for name in ["batches_submitted", "cache_hits", "cache_misses"] {
+            assert!(
+                s.counters.iter().any(|(n, _)| *n == name),
+                "{name} missing from snapshot counters"
+            );
+        }
         for (name, _) in &s.counters {
             assert!(
                 prom.contains(&format!("monilog_{name}_total")),
@@ -949,10 +1110,16 @@ mod tests {
     fn display_is_one_line_and_complete() {
         let r = MetricsRegistry::shared();
         PipelineMetrics::add(&r.counters().lines_parsed, 5);
+        PipelineMetrics::add(&r.counters().batches_submitted, 2);
+        PipelineMetrics::add(&r.counters().cache_hits, 40);
+        PipelineMetrics::add(&r.counters().cache_misses, 3);
         r.stage(Stage::Parse).record(Duration::from_micros(10));
         let line = r.snapshot().to_string();
         assert!(!line.contains('\n'));
         assert!(line.contains("lines_parsed=5"), "{line}");
+        assert!(line.contains("batches_submitted=2"), "{line}");
+        assert!(line.contains("cache_hits=40"), "{line}");
+        assert!(line.contains("cache_misses=3"), "{line}");
         assert!(line.contains("parse_exec[p50="), "{line}");
     }
 

@@ -39,6 +39,7 @@
 
 use crate::metrics::PipelineMetrics;
 use crate::observe::{MetricsRegistry, ShardGauges, Stage};
+use crate::trace::{SpanRecord, SpanStage, Tracer};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use monilog_parse::{BalancedRouter, Drain, DrainConfig, OnlineParser, ParseOutcome};
 use parking_lot::Mutex;
@@ -163,6 +164,19 @@ impl ShardedParseService {
         capacity: usize,
         registry: Arc<MetricsRegistry>,
     ) -> Result<Self, crate::config::ConfigError> {
+        Self::spawn_with_tracer(n_shards, drain, capacity, registry, None)
+    }
+
+    /// Spawn with a span tracer in addition to the registry: workers record
+    /// queue-wait and parse spans (template id, cache hit/miss) for every
+    /// sampled line into the tracer's flight recorder.
+    pub fn spawn_with_tracer(
+        n_shards: usize,
+        drain: DrainConfig,
+        capacity: usize,
+        registry: Arc<MetricsRegistry>,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Result<Self, crate::config::ConfigError> {
         if n_shards == 0 {
             return Err(crate::config::ConfigError::ZeroShards);
         }
@@ -175,6 +189,7 @@ impl ShardedParseService {
         let (input_tx, input_rx) = bounded::<InBatch>(capacity);
         let (output_tx, output_rx) = bounded::<Vec<ParsedItem>>(capacity);
 
+        let tracer = tracer.unwrap_or_else(Tracer::disabled);
         let mut shard_txs = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
         for shard in 0..n_shards {
@@ -182,6 +197,7 @@ impl ShardedParseService {
             shard_txs.push(tx);
             let out = output_tx.clone();
             let reg = Arc::clone(&registry);
+            let tracer = Arc::clone(&tracer);
             workers.push(std::thread::spawn(move || {
                 let mut parser = Drain::new(drain);
                 let (mut seen_hits, mut seen_misses) = (0u64, 0u64);
@@ -189,14 +205,37 @@ impl ShardedParseService {
                     let wait_ns = enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                     reg.stage(Stage::ParseQueueWait)
                         .record_ns_n(wait_ns, items.len() as u64);
+                    // The batch's pickup moment, for queue-wait spans of any
+                    // sampled lines it carries.
+                    let wait_end_ns = tracer.now_ns();
                     let mut parsed = Vec::with_capacity(items.len());
                     for (seq, line) in items {
+                        let trace = tracer.trace_for(seq);
                         let start = Instant::now();
                         let mut outcome = parser.parse(&line);
                         reg.record(Stage::Parse, start);
                         outcome.template = monilog_model::TemplateId(
                             shard as u32 * SHARD_ID_STRIDE + outcome.template.0,
                         );
+                        if let Some(t) = trace {
+                            tracer.record(SpanRecord {
+                                trace: t,
+                                stage: SpanStage::QueueWait,
+                                shard: shard as u16,
+                                start_ns: wait_end_ns.saturating_sub(wait_ns),
+                                end_ns: wait_end_ns,
+                                template: None,
+                                cache_hit: None,
+                            });
+                            tracer.record_since(
+                                t,
+                                SpanStage::Parse,
+                                shard as u16,
+                                start,
+                                Some(outcome.template.0),
+                                Some(parser.last_parse_cache_hit()),
+                            );
+                        }
                         parsed.push(ParsedItem {
                             seq,
                             shard,

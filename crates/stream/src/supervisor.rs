@@ -48,10 +48,11 @@ use crate::config::{ConfigError, OverloadPolicy, RetryPolicy};
 use crate::metrics::PipelineMetrics;
 use crate::observe::{MetricsRegistry, ShardGauges, Stage};
 use crate::service::{ParsedItem, SHARD_ID_STRIDE};
+use crate::trace::{SpanStage, Tracer};
 use crossbeam::channel::{
     bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
 };
-use monilog_model::{TemplateId, TemplateStore};
+use monilog_model::{TemplateId, TemplateStore, TraceId};
 use monilog_parse::{BalancedRouter, Drain, DrainConfig, OnlineParser, ParseOutcome};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -252,6 +253,7 @@ impl ShardState {
 struct Shared {
     registry: Arc<MetricsRegistry>,
     metrics: Arc<PipelineMetrics>,
+    tracer: Arc<Tracer>,
     epoch: Instant,
     shards: Vec<ShardState>,
     dlq: Mutex<VecDeque<DeadLetter>>,
@@ -296,6 +298,17 @@ impl SupervisedParseService {
         config: SupervisorConfig,
         injector: Option<FaultInjector>,
     ) -> Result<Self, ConfigError> {
+        Self::spawn_with_tracer(config, injector, None)
+    }
+
+    /// Spawn with both a chaos injector and a span tracer. Sampled lines
+    /// get queue-wait and parse spans; crash, quarantine and degradation
+    /// events are marked in — and dump — the flight recorder.
+    pub fn spawn_with_tracer(
+        config: SupervisorConfig,
+        injector: Option<FaultInjector>,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Result<Self, ConfigError> {
         config.validate()?;
         let n = config.n_shards;
         let (input_tx, input_rx) = bounded::<InBatch>(config.capacity);
@@ -305,6 +318,7 @@ impl SupervisedParseService {
         let shared = Arc::new(Shared {
             metrics: Arc::clone(registry.counters()),
             registry,
+            tracer: tracer.unwrap_or_else(Tracer::disabled),
             epoch: Instant::now(),
             shards: (0..n).map(|_| ShardState::new()).collect(),
             dlq: Mutex::new(VecDeque::new()),
@@ -583,6 +597,9 @@ fn run_worker(
         Ok(()) => state.finished.store(true, Ordering::SeqCst),
         Err(_) => {
             if let Some((seq, line)) = state.in_flight.lock().take() {
+                shared
+                    .tracer
+                    .mark(TraceId(seq + 1), SpanStage::Crash, shard as u16, None);
                 shared.push_dead_letter(DeadLetter {
                     seq,
                     shard: Some(shard),
@@ -592,6 +609,9 @@ fn run_worker(
                 });
                 PipelineMetrics::incr(&shared.metrics.lines_quarantined);
             }
+            // Dump before flagging dead: the flight recorder must hit disk
+            // before a respawned worker starts overwriting ring slots.
+            shared.tracer.dump("crash");
             // Flag last: once false, the supervisor may respawn, and the
             // replacement must see the dead letter already recorded.
             state.alive.store(false, Ordering::SeqCst);
@@ -628,11 +648,22 @@ fn worker_loop(
             Err(RecvTimeoutError::Timeout) => continue, // idle: keep beating
             Err(RecvTimeoutError::Disconnected) => break,
             Ok((enqueued, (seq, line))) => {
+                let trace = shared.tracer.trace_for(seq);
                 let wait_ns = enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 shared
                     .registry
                     .stage(Stage::ParseQueueWait)
                     .record_ns(wait_ns);
+                if let Some(t) = trace {
+                    shared.tracer.record_since(
+                        t,
+                        SpanStage::QueueWait,
+                        shard as u16,
+                        enqueued,
+                        None,
+                        None,
+                    );
+                }
                 *state.in_flight.lock() = Some((seq, line.clone()));
                 let parse_start = Instant::now();
                 let parsed = parse_with_retries(&mut parser, seq, &line, config, injector, shared);
@@ -654,6 +685,16 @@ fn worker_loop(
                         outcome.template =
                             TemplateId(shard as u32 * SHARD_ID_STRIDE + outcome.template.0);
                         PipelineMetrics::incr(&shared.metrics.lines_parsed);
+                        if let Some(t) = trace {
+                            shared.tracer.record_since(
+                                t,
+                                SpanStage::Parse,
+                                shard as u16,
+                                parse_start,
+                                Some(outcome.template.0),
+                                Some(parser.last_parse_cache_hit()),
+                            );
+                        }
                         let item = ParsedItem {
                             seq,
                             shard,
@@ -675,6 +716,17 @@ fn worker_loop(
                             attempts,
                         });
                         PipelineMetrics::incr(&shared.metrics.lines_quarantined);
+                        // Quarantine is forensic gold: mark it whether or
+                        // not the line was sampled, and preserve the ring
+                        // contents on disk while they still show the
+                        // lead-up.
+                        shared.tracer.mark(
+                            TraceId(seq + 1),
+                            SpanStage::Quarantine,
+                            shard as u16,
+                            None,
+                        );
+                        shared.tracer.dump("quarantine");
                     }
                 }
             }
@@ -805,6 +857,12 @@ fn supervise(
             state.alive.store(true, Ordering::SeqCst);
             workers[shard] = Some(if crashes >= config.max_consecutive_crashes {
                 state.degraded.store(true, Ordering::SeqCst);
+                // TraceId 0 is never produced by sampling: degradation is a
+                // shard-level event with no single line to attribute.
+                shared
+                    .tracer
+                    .mark(TraceId(0), SpanStage::Degrade, shard as u16, None);
+                shared.tracer.dump("degrade");
                 let rx = shard_rxs[shard].clone();
                 let out = output_tx.clone();
                 let shared = Arc::clone(&shared);

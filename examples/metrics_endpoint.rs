@@ -9,7 +9,12 @@
 //!     --metrics-addr 127.0.0.1:9187 --serve-secs 10
 //! curl http://127.0.0.1:9187/metrics        # Prometheus text format
 //! curl http://127.0.0.1:9187/metrics.json   # same snapshot as JSON
+//! curl http://127.0.0.1:9187/trace/1        # spans of sampled line seq 0
+//! curl http://127.0.0.1:9187/flight         # flight-recorder contents
 //! ```
+//!
+//! Tracing runs at the default 1/1024 sample rate; sequence number 0 is
+//! always a multiple of the rate, so trace id 1 is always resolvable.
 
 use monilog_core::detect::DeepLogConfig;
 use monilog_core::model::RawLog;
@@ -75,10 +80,17 @@ fn main() {
     });
 
     // Serve from the start so training latencies are scrapable too.
-    let exporter = MetricsExporter::spawn(addr, monilog.registry(), Duration::from_millis(250))
-        .expect("bind metrics endpoint");
+    let exporter = MetricsExporter::spawn_with_tracer(
+        addr,
+        monilog.registry(),
+        Duration::from_millis(250),
+        Some(monilog.tracer()),
+    )
+    .expect("bind metrics endpoint");
     println!("metrics: http://{}/metrics", exporter.local_addr());
     println!("         http://{}/metrics.json", exporter.local_addr());
+    println!("trace:   http://{}/trace/1", exporter.local_addr());
+    println!("flight:  http://{}/flight", exporter.local_addr());
 
     let training = HdfsWorkload::new(HdfsWorkloadConfig {
         n_sessions: 150,

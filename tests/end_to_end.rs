@@ -377,3 +377,86 @@ fn pipeline_checkpoint_restores_detection_behaviour() {
     bad.truncate(bad.len() / 2);
     assert!(monilog_core::MoniLog::restore(restored_config, &bad).is_err());
 }
+
+#[test]
+fn anomaly_provenance_resolves_over_http() {
+    use monilog_core::ObservabilityConfig;
+    use monilog_stream::MetricsExporter;
+    use std::io::{Read as _, Write as _};
+
+    // Sample every line so the flagged window's events all carry traces.
+    let mut monilog = MoniLog::new(MoniLogConfig {
+        window: WindowPolicy::Session {
+            idle_ms: 2_000,
+            max_events: 64,
+        },
+        detector: DetectorChoice::DeepLog(DeepLogConfig {
+            history: 6,
+            top_g: 2,
+            epochs: 3,
+            ..DeepLogConfig::default()
+        }),
+        observability: ObservabilityConfig {
+            trace_sample_rate: 1,
+            ..ObservabilityConfig::default()
+        },
+        ..MoniLogConfig::default()
+    });
+    train_on_normal(&mut monilog, 120, 42);
+
+    let live = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 40,
+        sequential_anomaly_rate: 0.2,
+        quantitative_anomaly_rate: 0.0,
+        seed: 43,
+        start_ms: LIVE_START_MS,
+        ..Default::default()
+    })
+    .generate();
+    let mut anomalies = Vec::new();
+    for log in &live {
+        anomalies.extend(monilog.ingest(&to_raw(log, LIVE_SEQ)));
+    }
+    anomalies.extend(monilog.flush());
+    assert!(!anomalies.is_empty(), "anomalous live stream must flag");
+
+    let report = &anomalies[0].report;
+    assert!(
+        !report.provenance.trace_ids.is_empty(),
+        "sample-everything run must attribute traces"
+    );
+    let json = report.to_json();
+    assert!(json.contains("\"provenance\":{"), "{json}");
+
+    // Serve the tracer and resolve every provenance trace id over HTTP.
+    let exporter = MetricsExporter::spawn_with_tracer(
+        "127.0.0.1:0".parse().unwrap(),
+        monilog.registry(),
+        std::time::Duration::from_millis(20),
+        Some(monilog.tracer()),
+    )
+    .expect("exporter binds");
+    let addr = exporter.local_addr();
+    let fetch = |path: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+            .expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    };
+    for trace in &report.provenance.trace_ids {
+        let response = fetch(&format!("/trace/{}", trace.0));
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap_or_default();
+        assert!(
+            body.starts_with(&format!("{{\"trace_id\":{}", trace.0)),
+            "{body}"
+        );
+        assert!(body.contains("\"stage\":\"parse_exec\""), "{body}");
+    }
+    let response = fetch("/flight");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("\"sample_rate\":1"), "{response}");
+}

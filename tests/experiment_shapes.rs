@@ -357,6 +357,7 @@ fn d2_classifier_learns_from_passive_feedback() {
             detector: "t".into(),
             events,
             explanation: String::new(),
+            provenance: Default::default(),
         }
     };
 

@@ -341,3 +341,159 @@ fn dropping_a_service_mid_chaos_does_not_deadlock() {
     }
     drop(service);
 }
+
+// ----- flight-recorder dumps under chaos (observability PR) --------------
+
+use monilog_core::stream::{TraceConfig, Tracer};
+use std::path::{Path, PathBuf};
+
+/// Minimal JSON well-formedness check (no JSON parser dependency in this
+/// workspace): strings/escapes respected, brackets balanced, non-empty.
+fn assert_well_formed_json(body: &str) {
+    let mut stack = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in body.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => stack.push(c),
+            '}' => assert_eq!(stack.pop(), Some('{'), "unbalanced }} in {body}"),
+            ']' => assert_eq!(stack.pop(), Some('['), "unbalanced ] in {body}"),
+            _ => {}
+        }
+    }
+    assert!(!in_string, "unterminated string in {body}");
+    assert!(stack.is_empty(), "unbalanced brackets in {body}");
+    assert!(body.trim_start().starts_with('{'), "not an object: {body}");
+}
+
+fn dump_files(dir: &Path, reason: &str) -> Vec<PathBuf> {
+    let prefix = format!("monilog-flight-{reason}-");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+fn dump_dir_for(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("monilog-chaos-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn crash_loop_degradation_dumps_the_flight_recorder() {
+    let dir = dump_dir_for("degrade");
+    let tracer = Tracer::shared(
+        &TraceConfig {
+            sample_rate: 1,
+            ring_capacity: 256,
+            dump_dir: Some(dir.clone()),
+        },
+        2,
+    );
+    let plan = FaultPlan::new().crash_every(1);
+    let mut cfg = test_config(FaultToleranceConfig::default());
+    cfg.n_shards = 1;
+    cfg.capacity = 8;
+    cfg.max_consecutive_crashes = 2;
+    let service = SupervisedParseService::spawn_with_tracer(
+        cfg,
+        Some(plan.injector()),
+        Some(std::sync::Arc::clone(&tracer)),
+    )
+    .expect("valid config");
+    let lines = corpus(10, 31);
+    let got = pump(&service, &lines);
+    assert!(!got.is_empty(), "degraded shard keeps flowing");
+    drop(service);
+
+    // Two worker crashes dump "crash"; the degradation itself dumps once.
+    let crash_dumps = dump_files(&dir, "crash");
+    assert!(
+        crash_dumps.len() >= 2,
+        "each worker crash preserved the rings: {crash_dumps:?}"
+    );
+    let degrade_dumps = dump_files(&dir, "degrade");
+    assert_eq!(
+        degrade_dumps.len(),
+        1,
+        "exactly one degradation: {degrade_dumps:?}"
+    );
+    for path in crash_dumps.iter().chain(&degrade_dumps) {
+        let body = std::fs::read_to_string(path).expect("dump readable");
+        assert_well_formed_json(&body);
+        assert!(body.contains("\"flight\":{"), "{body}");
+        assert!(body.contains("\"spans\":["), "{body}");
+    }
+    let degrade_body = std::fs::read_to_string(&degrade_dumps[0]).unwrap();
+    assert!(
+        degrade_body.starts_with("{\"reason\":\"degrade\""),
+        "{degrade_body}"
+    );
+    assert!(
+        degrade_body.contains("\"stage\":\"degrade\""),
+        "degradation mark recorded: {degrade_body}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quarantine_dumps_the_flight_recorder() {
+    let dir = dump_dir_for("quarantine");
+    let tracer = Tracer::shared(
+        &TraceConfig {
+            sample_rate: 1,
+            ring_capacity: 256,
+            dump_dir: Some(dir.clone()),
+        },
+        2,
+    );
+    let plan = FaultPlan::new().poison([3]);
+    let service = SupervisedParseService::spawn_with_tracer(
+        test_config(FaultToleranceConfig::default()),
+        Some(plan.injector()),
+        Some(std::sync::Arc::clone(&tracer)),
+    )
+    .expect("valid config");
+    let lines = corpus(12, 32);
+    let got = pump(&service, &lines);
+    assert_eq!(got.len(), lines.len() - 1, "only the poison line is lost");
+    let (_, letters) = service.shutdown();
+    assert_eq!(letters.len(), 1);
+    assert_eq!(letters[0].reason, FailureReason::Panic);
+
+    let dumps = dump_files(&dir, "quarantine");
+    assert_eq!(dumps.len(), 1, "one quarantine, one dump: {dumps:?}");
+    let body = std::fs::read_to_string(&dumps[0]).expect("dump readable");
+    assert_well_formed_json(&body);
+    assert!(body.starts_with("{\"reason\":\"quarantine\""), "{body}");
+    // The quarantine mark carries the poisoned line's trace id (seq 3 → 4).
+    assert!(body.contains("\"stage\":\"quarantine\""), "{body}");
+    assert!(body.contains("\"trace_id\":4"), "{body}");
+    // Sampled-at-1 traffic left parse spans in the rings too.
+    assert!(body.contains("\"stage\":\"parse_exec\""), "{body}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
