@@ -238,11 +238,8 @@ fn main() {
 
     // Baseline artifact for regression comparison across PRs.
     let out_path = std::path::Path::new("results/metrics_baseline.json");
-    if let Some(dir) = out_path.parent() {
-        let _ = std::fs::create_dir_all(dir);
-    }
     if !check {
-        match std::fs::write(out_path, snap.to_json()) {
+        match monilog_bench::write_json_atomic(out_path, &snap.to_json()) {
             Ok(()) => println!("\nwrote {}", out_path.display()),
             Err(e) => println!("\ncould not write {}: {e}", out_path.display()),
         }
@@ -290,7 +287,7 @@ fn main() {
             untraced,
             traced,
         );
-        match std::fs::write(thr_path, json) {
+        match monilog_bench::write_json_atomic(thr_path, &json) {
             Ok(()) => println!("wrote {}", thr_path.display()),
             Err(e) => println!("could not write {}: {e}", thr_path.display()),
         }

@@ -13,14 +13,16 @@
 //! selects the header layout (default `dash`, the Fig. 2 format). The
 //! logic lives here (unit-testable); `src/bin/monilog.rs` is a thin shell.
 
+use crate::durable::{DurableConfig, DurableMoniLog};
 use crate::{
-    DetectorChoice, FaultToleranceConfig, MoniLog, MoniLogConfig, ObservabilityConfig, WindowPolicy,
+    ClassifiedAnomaly, DetectorChoice, FaultToleranceConfig, MoniLog, MoniLogConfig,
+    ObservabilityConfig, WindowPolicy,
 };
 use monilog_detect::DeepLogConfig;
 use monilog_model::{RawLog, SourceId};
 use monilog_parse::autotune::{autotune_drain, TuneGrid};
 use monilog_parse::{Drain, DrainConfig, OnlineParser};
-use monilog_stream::{MetricsExporter, OverloadPolicy};
+use monilog_stream::{JournalConfig, MetricsExporter, OverloadPolicy};
 use std::fmt::Write as _;
 
 /// A parsed CLI invocation.
@@ -52,8 +54,38 @@ pub enum CliCommand {
         /// Write a Chrome trace-event JSON file of the recorded spans here
         /// after the run (`--trace-out`).
         trace_out: Option<String>,
+        /// Durable operation (`--state-dir` and friends); `None` runs the
+        /// classic in-memory monitor.
+        durable: Option<DurableOptions>,
     },
     Help,
+}
+
+/// Durability flags (`--state-dir`, `--checkpoint-interval-ms`,
+/// `--journal-fsync-ms`, `--journal-segment-bytes`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableOptions {
+    /// Root of the WAL + checkpoint + anomaly-sink layout.
+    pub state_dir: String,
+    /// Full-state checkpoint cadence, in milliseconds.
+    pub checkpoint_interval_ms: u64,
+    /// WAL group-commit interval, in milliseconds (0 = every line).
+    pub journal_fsync_ms: u64,
+    /// WAL segment rotation threshold, in bytes.
+    pub journal_segment_bytes: u64,
+}
+
+impl DurableOptions {
+    fn to_config(&self) -> DurableConfig {
+        DurableConfig {
+            state_dir: self.state_dir.clone().into(),
+            checkpoint_interval_ms: self.checkpoint_interval_ms,
+            journal: JournalConfig {
+                fsync_interval_ms: self.journal_fsync_ms,
+                segment_bytes: self.journal_segment_bytes,
+            },
+        }
+    }
 }
 
 /// CLI-level header format flag.
@@ -107,6 +139,19 @@ observability options (train / monitor):
                                          ring (default 4096)
   --trace-out <path>                     write recorded spans as Chrome
                                          trace-event JSON after the run
+
+durability options (monitor):
+  --state-dir <dir>                      journal input to a WAL and
+                                         checkpoint full pipeline state so
+                                         a restart (even after SIGKILL)
+                                         resumes exactly where it left off;
+                                         SIGTERM/ctrl-c drain gracefully
+  --checkpoint-interval-ms <n>           full-state checkpoint cadence
+                                         (default 5000)
+  --journal-fsync-ms <n>                 WAL group-commit interval
+                                         (default 50; 0 fsyncs every line)
+  --journal-segment-bytes <n>            WAL segment rotation threshold
+                                         (default 8388608)
 ";
 
 /// Parse argv (without the program name).
@@ -117,6 +162,11 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     let mut fault = FaultToleranceConfig::default();
     let mut observability = ObservabilityConfig::default();
     let mut trace_out: Option<String> = None;
+    let mut state_dir: Option<String> = None;
+    let mut checkpoint_interval_ms = 5_000u64;
+    let mut journal_fsync_ms = JournalConfig::default().fsync_interval_ms;
+    let mut journal_segment_bytes = JournalConfig::default().segment_bytes;
+    let mut durable_tuning_given = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -199,14 +249,71 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 i += 1;
                 trace_out = Some(args.get(i).ok_or("--trace-out needs a path")?.clone());
             }
+            "--state-dir" => {
+                i += 1;
+                state_dir = Some(args.get(i).ok_or("--state-dir needs a directory")?.clone());
+            }
+            "--checkpoint-interval-ms" => {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or("--checkpoint-interval-ms needs milliseconds")?;
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --checkpoint-interval-ms {value:?}"))?;
+                if ms == 0 {
+                    return Err("--checkpoint-interval-ms must be at least 1".to_string());
+                }
+                checkpoint_interval_ms = ms;
+                durable_tuning_given = true;
+            }
+            "--journal-fsync-ms" => {
+                i += 1;
+                let value = args.get(i).ok_or("--journal-fsync-ms needs milliseconds")?;
+                journal_fsync_ms = value
+                    .parse()
+                    .map_err(|_| format!("invalid --journal-fsync-ms {value:?}"))?;
+                durable_tuning_given = true;
+            }
+            "--journal-segment-bytes" => {
+                i += 1;
+                let value = args.get(i).ok_or("--journal-segment-bytes needs a size")?;
+                let bytes: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --journal-segment-bytes {value:?}"))?;
+                if bytes < 1_024 {
+                    return Err("--journal-segment-bytes must be at least 1024".to_string());
+                }
+                journal_segment_bytes = bytes;
+                durable_tuning_given = true;
+            }
             "--help" | "-h" => return Ok(CliCommand::Help),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             positional_arg => positional.push(positional_arg.to_string()),
         }
         i += 1;
     }
+    let durable = match state_dir {
+        Some(dir) => Some(DurableOptions {
+            state_dir: dir,
+            checkpoint_interval_ms,
+            journal_fsync_ms,
+            journal_segment_bytes,
+        }),
+        None if durable_tuning_given => {
+            return Err(
+                "--checkpoint-interval-ms / --journal-fsync-ms / --journal-segment-bytes \
+                 require --state-dir"
+                    .to_string(),
+            );
+        }
+        None => None,
+    };
     let mut positional = positional.into_iter();
     let command = positional.next().ok_or(USAGE.to_string())?;
+    if durable.is_some() && command != "monitor" {
+        return Err("--state-dir is only supported by the monitor command".to_string());
+    }
     match command.as_str() {
         "parse" => Ok(CliCommand::Parse {
             logfile: positional.next().ok_or("parse needs a <logfile>")?,
@@ -230,6 +337,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             fault,
             observability,
             trace_out,
+            durable,
         }),
         "help" => Ok(CliCommand::Help),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
@@ -389,11 +497,16 @@ pub fn run(command: CliCommand) -> Result<String, String> {
             fault,
             observability,
             trace_out,
+            durable,
         } => {
             let blob =
                 std::fs::read(&checkpoint).map_err(|e| format!("cannot read {checkpoint}: {e}"))?;
             let mut config = pipeline_config(format, fault);
             config.observability = observability;
+            if let Some(opts) = durable {
+                run_durable_monitor(config, &blob, &logfile, &opts, trace_out, &mut out)?;
+                return Ok(out);
+            }
             let mut monilog =
                 MoniLog::restore(config, &blob).map_err(|e| format!("invalid checkpoint: {e}"))?;
             let _exporter = spawn_exporter(&monilog, observability, &mut out)?;
@@ -414,35 +527,126 @@ pub fn run(command: CliCommand) -> Result<String, String> {
                 lines.len(),
                 anomalies.len()
             );
-            for a in &anomalies {
-                let _ = writeln!(
-                    out,
-                    "[{}] {} anomaly (score {:.2}, {} events, pool {}, {})",
-                    a.report.id,
-                    a.report.kind,
-                    a.report.score,
-                    a.report.events.len(),
-                    a.assignment.pool,
-                    a.assignment.criticality,
-                );
-                if let Some((first, last)) = a.report.span() {
-                    let _ = writeln!(out, "      span {first} .. {last}");
-                }
-                if !a.report.provenance.trace_ids.is_empty() {
-                    let ids: Vec<String> = a
-                        .report
-                        .provenance
-                        .trace_ids
-                        .iter()
-                        .map(|t| t.0.to_string())
-                        .collect();
-                    let _ = writeln!(out, "      traces {}", ids.join(", "));
-                }
-            }
+            write_report_lines(&mut out, &anomalies);
             write_trace_out(&monilog, trace_out, &mut out)?;
         }
     }
     Ok(out)
+}
+
+/// Render the per-anomaly report block shared by both monitor paths.
+fn write_report_lines(out: &mut String, anomalies: &[ClassifiedAnomaly]) {
+    for a in anomalies {
+        let _ = writeln!(
+            out,
+            "[{}] {} anomaly (score {:.2}, {} events, pool {}, {})",
+            a.report.id,
+            a.report.kind,
+            a.report.score,
+            a.report.events.len(),
+            a.assignment.pool,
+            a.assignment.criticality,
+        );
+        if let Some((first, last)) = a.report.span() {
+            let _ = writeln!(out, "      span {first} .. {last}");
+        }
+        if !a.report.provenance.trace_ids.is_empty() {
+            let ids: Vec<String> = a
+                .report
+                .provenance
+                .trace_ids
+                .iter()
+                .map(|t| t.0.to_string())
+                .collect();
+            let _ = writeln!(out, "      traces {}", ids.join(", "));
+        }
+    }
+}
+
+/// The `--state-dir` monitor path: WAL-gated ingestion with crash
+/// recovery and SIGTERM/SIGINT graceful drain. The model checkpoint
+/// (`--checkpoint`) seeds the pipeline only on the first run against a
+/// state directory; afterwards the durable checkpoint wins.
+fn run_durable_monitor(
+    config: MoniLogConfig,
+    model_blob: &[u8],
+    logfile: &str,
+    opts: &DurableOptions,
+    trace_out: Option<String>,
+    out: &mut String,
+) -> Result<(), String> {
+    monilog_stream::install_shutdown_handler();
+    let (mut durable, stats) = DurableMoniLog::open(config, opts.to_config(), || {
+        MoniLog::restore(config, model_blob).map_err(|e| format!("invalid checkpoint: {e}"))
+    })?;
+    let _exporter = spawn_exporter(durable.pipeline(), config.observability, out)?;
+    match stats.resumed_generation {
+        Some(generation) => {
+            let fallback_note = if stats.fell_back {
+                " (newest generation was corrupt; fell back one)"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "recovery: resumed checkpoint generation {generation}{fallback_note}"
+            );
+        }
+        None => {
+            let _ = writeln!(out, "recovery: fresh state directory");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "recovery: replayed {} journal lines in {} ms ({} duplicate reports suppressed)",
+        stats.replayed_lines, stats.replay_ms, stats.suppressed_duplicates
+    );
+
+    let lines = read_lines(logfile)?;
+    let mut anomalies = stats.anomalies;
+    // Sequence i+1 identifies input line i; everything at or below the
+    // journal high-water mark was already journaled by a previous life.
+    let skip = (durable.next_seq(SourceId(0)) - 1) as usize;
+    if skip > 0 {
+        let _ = writeln!(out, "input: skipping {skip} lines already journaled");
+    }
+    let mut drained = false;
+    let mut processed = 0usize;
+    for (i, line) in lines.iter().enumerate().skip(skip) {
+        if monilog_stream::shutdown_requested() {
+            drained = true;
+            break;
+        }
+        anomalies.extend(durable.ingest(&RawLog::new(SourceId(0), i as u64 + 1, line.clone()))?);
+        processed += 1;
+    }
+    // Keep a tracer handle: drain/finish consume the durable pipeline.
+    let tracer = durable.pipeline().tracer();
+    let (tail, generation) = if drained {
+        durable.drain()?
+    } else {
+        durable.finish()?
+    };
+    anomalies.extend(tail);
+    if drained {
+        let _ = writeln!(
+            out,
+            "drained gracefully at checkpoint generation {generation}; \
+             restart resumes with zero replay"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "monitored {processed} lines: {} anomalies (checkpoint generation {generation})",
+        anomalies.len()
+    );
+    write_report_lines(out, &anomalies);
+    if let Some(path) = trace_out {
+        std::fs::write(&path, tracer.chrome_trace_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "trace events: {path}");
+    }
+    Ok(())
 }
 
 /// For `parse` (template discovery only): drop headers so templates are
@@ -653,6 +857,7 @@ mod tests {
                 ..ObservabilityConfig::default()
             },
             trace_out: Some(trace_path.to_string_lossy().into_owned()),
+            durable: None,
         })
         .expect("monitoring succeeds");
         assert!(report.contains("trace events:"), "{report}");
@@ -819,6 +1024,7 @@ mod tests {
             fault: FaultToleranceConfig::default(),
             observability: ObservabilityConfig::default(),
             trace_out: None,
+            durable: None,
         })
         .expect("monitoring succeeds");
         assert!(report.contains("anomalies"), "{report}");
@@ -864,8 +1070,169 @@ mod tests {
             fault: FaultToleranceConfig::default(),
             observability: ObservabilityConfig::default(),
             trace_out: None,
+            durable: None,
         })
         .unwrap_err();
         assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn durability_flags_parse() {
+        let parsed = parse_args(&args(&[
+            "monitor",
+            "app.log",
+            "--checkpoint",
+            "m.bin",
+            "--state-dir",
+            "/var/lib/monilog",
+            "--checkpoint-interval-ms",
+            "2500",
+            "--journal-fsync-ms",
+            "0",
+            "--journal-segment-bytes",
+            "65536",
+        ]))
+        .unwrap();
+        match parsed {
+            CliCommand::Monitor { durable, .. } => {
+                assert_eq!(
+                    durable,
+                    Some(DurableOptions {
+                        state_dir: "/var/lib/monilog".into(),
+                        checkpoint_interval_ms: 2500,
+                        journal_fsync_ms: 0,
+                        journal_segment_bytes: 65536,
+                    })
+                );
+            }
+            other => panic!("expected Monitor, got {other:?}"),
+        }
+        // Defaults when only --state-dir is given.
+        let parsed = parse_args(&args(&[
+            "monitor",
+            "a.log",
+            "--checkpoint",
+            "m.bin",
+            "--state-dir",
+            "s",
+        ]))
+        .unwrap();
+        match parsed {
+            CliCommand::Monitor { durable, .. } => {
+                let opts = durable.unwrap();
+                assert_eq!(opts.checkpoint_interval_ms, 5_000);
+                assert_eq!(
+                    opts.journal_fsync_ms,
+                    JournalConfig::default().fsync_interval_ms
+                );
+                assert_eq!(
+                    opts.journal_segment_bytes,
+                    JournalConfig::default().segment_bytes
+                );
+            }
+            other => panic!("expected Monitor, got {other:?}"),
+        }
+        // Tuning without a state dir, or a state dir on another command,
+        // is a configuration mistake — fail loudly.
+        assert!(parse_args(&args(&[
+            "monitor",
+            "a.log",
+            "--checkpoint",
+            "m.bin",
+            "--journal-fsync-ms",
+            "10"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "train",
+            "a.log",
+            "--checkpoint",
+            "m.bin",
+            "--state-dir",
+            "s"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&["parse", "x", "--checkpoint-interval-ms", "0"])).is_err());
+        assert!(parse_args(&args(&["parse", "x", "--journal-segment-bytes", "10"])).is_err());
+    }
+
+    #[test]
+    fn durable_monitor_completes_and_restarts_with_zero_replay() {
+        let dir = std::env::temp_dir().join("monilog_cli_durable_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let train_file = dir.join("train.log");
+        let live_file = dir.join("live.log");
+        let ckpt = dir.join("model.mlcp");
+        let state_dir = dir.join("state");
+
+        let training = HdfsWorkload::new(HdfsWorkloadConfig {
+            n_sessions: 120,
+            sequential_anomaly_rate: 0.0,
+            quantitative_anomaly_rate: 0.0,
+            seed: 6,
+            ..Default::default()
+        })
+        .generate();
+        write_workload(&train_file, &training);
+        let live = HdfsWorkload::new(HdfsWorkloadConfig {
+            n_sessions: 40,
+            sequential_anomaly_rate: 0.15,
+            quantitative_anomaly_rate: 0.0,
+            seed: 7,
+            start_ms: 1_600_003_600_000,
+            ..Default::default()
+        })
+        .generate();
+        write_workload(&live_file, &live);
+
+        run(CliCommand::Train {
+            logfile: train_file.to_string_lossy().into_owned(),
+            checkpoint: ckpt.to_string_lossy().into_owned(),
+            format: HeaderChoice::Dash,
+            fault: FaultToleranceConfig::default(),
+            observability: ObservabilityConfig::default(),
+            trace_out: None,
+        })
+        .expect("training succeeds");
+
+        let monitor = || CliCommand::Monitor {
+            logfile: live_file.to_string_lossy().into_owned(),
+            checkpoint: ckpt.to_string_lossy().into_owned(),
+            format: HeaderChoice::Dash,
+            fault: FaultToleranceConfig::default(),
+            observability: ObservabilityConfig::default(),
+            trace_out: None,
+            durable: Some(DurableOptions {
+                state_dir: state_dir.to_string_lossy().into_owned(),
+                checkpoint_interval_ms: 5_000,
+                journal_fsync_ms: 0,
+                journal_segment_bytes: JournalConfig::default().segment_bytes,
+            }),
+        };
+
+        let report = run(monitor()).expect("first durable run succeeds");
+        assert!(
+            report.contains("recovery: fresh state directory"),
+            "{report}"
+        );
+        assert!(report.contains("sequential anomaly"), "{report}");
+        let sink = state_dir.join(crate::durable::ANOMALIES_FILE);
+        let first_sink = std::fs::read_to_string(&sink).expect("anomaly sink written");
+        assert!(!first_sink.is_empty());
+
+        // Same input, same state dir: everything is already journaled and
+        // checkpointed, so the rerun replays nothing, skips every line,
+        // and emits no report twice.
+        let report = run(monitor()).expect("second durable run succeeds");
+        assert!(report.contains("replayed 0 journal lines"), "{report}");
+        assert!(report.contains("skipping"), "{report}");
+        assert!(
+            report.contains("monitored 0 lines: 0 anomalies"),
+            "{report}"
+        );
+        let second_sink = std::fs::read_to_string(&sink).unwrap();
+        assert_eq!(first_sink, second_sink, "rerun must not duplicate reports");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -17,9 +17,11 @@
 //! Section V's passive training.
 
 pub mod cli;
+pub mod durable;
 mod pipeline;
 pub mod windowing;
 
+pub use durable::{DurableConfig, DurableMoniLog, RecoveryStats};
 pub use pipeline::{
     ClassifiedAnomaly, DetectorChoice, FaultToleranceConfig, HeaderFormatChoice, MoniLog,
     MoniLogConfig, ObservabilityConfig,

@@ -488,6 +488,115 @@ impl MoniLog {
         Ok(pipeline)
     }
 
+    /// Serialize the *entire* live pipeline for crash recovery: parser,
+    /// fitted detector, open windows, in-flight reorder buffer, dedup
+    /// history, and the id counters that make report emission
+    /// deterministic. Unlike [`MoniLog::checkpoint`] (templates + model
+    /// only), a pipeline imported from this blob continues mid-stream as if
+    /// the process had never stopped — the contract the durable journal
+    /// replay relies on for exactly-once reporting.
+    pub fn export_durable_state(&self) -> Result<Vec<u8>, String> {
+        if !self.trained {
+            return Err("durable state requires a trained pipeline".to_string());
+        }
+        let tag = match &self.detector {
+            PipelineDetector::DeepLog(_) => 0u8,
+            PipelineDetector::LogRobust(_) => 1,
+            PipelineDetector::LogAnomaly(_) => 2,
+            PipelineDetector::Pca(_) => 3,
+            PipelineDetector::InvariantMining(_) => 4,
+            other => {
+                return Err(format!(
+                    "detector {} does not support durable checkpointing",
+                    other.as_dyn().name()
+                ))
+            }
+        };
+        let detector_bytes = self.detector.as_dyn().save_state()?;
+        let mut e = Encoder::with_header(*b"MLDS", 1);
+        e.put_bytes(&self.parser.export_state());
+        e.put_u8(tag);
+        e.put_bytes(&detector_bytes);
+        e.put_bytes(&self.assembler.export_state());
+        // Reorder buffer: in-flight records in release order, plus the
+        // watermark that gates future releases.
+        let in_flight = self.reorder.snapshot();
+        e.put_len(in_flight.len());
+        for (ts, record) in &in_flight {
+            e.put_u64(ts.as_millis());
+            record.encode_into(&mut e);
+        }
+        e.put_u64(self.reorder.max_seen().as_millis());
+        // Dedup history in insertion order (restore preserves eviction).
+        e.put_len(self.dedup.keys().count());
+        for (source, seq) in self.dedup.keys() {
+            e.put_u16(source.0);
+            e.put_u64(seq);
+        }
+        e.put_u64(self.next_event_id);
+        e.put_u64(self.next_report_id);
+        Ok(e.finish())
+    }
+
+    /// Rebuild a mid-stream pipeline from [`MoniLog::export_durable_state`].
+    /// `config` must describe the same deployment (detector choice, window
+    /// policy, drain knobs) the state was exported under.
+    pub fn import_durable_state(config: MoniLogConfig, bytes: &[u8]) -> Result<MoniLog, String> {
+        let err = |e: CodecError| e.to_string();
+        let mut d = Decoder::new(bytes);
+        d.expect_header(*b"MLDS", 1).map_err(err)?;
+        let parser_bytes = d.get_bytes().map_err(err)?;
+        let tag = d.get_u8().map_err(err)?;
+        let detector_bytes = d.get_bytes().map_err(err)?;
+        let assembler_bytes = d.get_bytes().map_err(err)?;
+        let n = d.get_len().map_err(err)?;
+        let mut in_flight = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ts = Timestamp::from_millis(d.get_u64().map_err(err)?);
+            let record = monilog_model::LogRecord::decode_from(&mut d).map_err(err)?;
+            in_flight.push((ts, record));
+        }
+        let max_seen = Timestamp::from_millis(d.get_u64().map_err(err)?);
+        let n = d.get_len().map_err(err)?;
+        let mut dedup_keys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let source = monilog_model::SourceId(d.get_u16().map_err(err)?);
+            dedup_keys.push((source, d.get_u64().map_err(err)?));
+        }
+        let next_event_id = d.get_u64().map_err(err)?;
+        let next_report_id = d.get_u64().map_err(err)?;
+        if !d.is_exhausted() {
+            return Err("trailing bytes after durable state".to_string());
+        }
+
+        let mut pipeline = MoniLog::new(config);
+        let expected = matches!(
+            (&pipeline.detector, tag),
+            (PipelineDetector::DeepLog(_), 0)
+                | (PipelineDetector::LogRobust(_), 1)
+                | (PipelineDetector::LogAnomaly(_), 2)
+                | (PipelineDetector::Pca(_), 3)
+                | (PipelineDetector::InvariantMining(_), 4)
+        );
+        if !expected {
+            return Err(format!(
+                "durable state was exported for a different detector (tag {tag}, config wants {})",
+                pipeline.detector.as_dyn().name()
+            ));
+        }
+        pipeline.parser = Drain::import_state(config.drain, &parser_bytes).map_err(err)?;
+        pipeline.detector.as_dyn_mut().load_state(&detector_bytes)?;
+        pipeline.assembler =
+            WindowAssembler::import_state(config.window, &assembler_bytes).map_err(err)?;
+        pipeline.reorder =
+            BoundedReorderBuffer::restore(config.reorder_bound_ms, in_flight, max_seen);
+        pipeline.dedup = DedupFilter::restore(config.dedup_window, dedup_keys);
+        pipeline.next_event_id = next_event_id;
+        pipeline.next_report_id = next_report_id;
+        pipeline.trained = true;
+        Ok(pipeline)
+    }
+
     // ----- feedback (Section V) -------------------------------------------
 
     /// Administrator moved an anomaly to `pool` — passive training signal.
@@ -825,6 +934,92 @@ mod tests {
     #[should_panic(expected = "no ingested training data")]
     fn training_requires_data() {
         MoniLog::new(MoniLogConfig::default()).train();
+    }
+
+    /// The crash-recovery contract: exporting mid-stream and importing must
+    /// continue exactly where the original left off — same reports, same
+    /// ids, same scores — or journal-replay dedup cannot be exactly-once.
+    #[test]
+    fn durable_state_continues_identically_mid_stream() {
+        use monilog_model::SourceId;
+        let config = MoniLogConfig {
+            header_format: HeaderFormatChoice::Bare,
+            window: crate::windowing::WindowPolicy::Tumbling { size: 4 },
+            detector: DetectorChoice::DeepLog(DeepLogConfig {
+                history: 3,
+                top_g: 1,
+                ..DeepLogConfig::default()
+            }),
+            ..MoniLogConfig::default()
+        };
+        let line = |i: u64| {
+            if (40..52).contains(&i) {
+                format!("unseen failure mode f{i} exploding")
+            } else {
+                format!(
+                    "step {} of job j{}",
+                    ["a", "b", "c", "d"][i as usize % 4],
+                    i / 4
+                )
+            }
+        };
+        let build = || {
+            let mut m = MoniLog::new(config);
+            for i in 0..32u64 {
+                m.ingest_training(&RawLog::new(SourceId(0), i, line(i)));
+            }
+            m.train();
+            m
+        };
+
+        // Shadow: uninterrupted run over the live stream.
+        let mut shadow = build();
+        let mut expected = Vec::new();
+        for i in 32..64u64 {
+            expected.extend(shadow.ingest(&RawLog::new(SourceId(0), i, line(i))));
+        }
+        expected.extend(shadow.flush());
+
+        // Subject: stop mid-burst (windows open, ids advanced), export,
+        // import, continue.
+        let mut subject = build();
+        let mut got = Vec::new();
+        for i in 32..45u64 {
+            got.extend(subject.ingest(&RawLog::new(SourceId(0), i, line(i))));
+        }
+        let state = subject.export_durable_state().unwrap();
+        let mut resumed = MoniLog::import_durable_state(config, &state).unwrap();
+        for i in 45..64u64 {
+            got.extend(resumed.ingest(&RawLog::new(SourceId(0), i, line(i))));
+        }
+        got.extend(resumed.flush());
+
+        assert!(!expected.is_empty(), "burst must be flagged");
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.report.id, e.report.id);
+            assert_eq!(g.report.kind, e.report.kind);
+            assert_eq!(g.report.score, e.report.score);
+            let gids: Vec<u64> = g.report.events.iter().map(|ev| ev.id.0).collect();
+            let eids: Vec<u64> = e.report.events.iter().map(|ev| ev.id.0).collect();
+            assert_eq!(gids, eids, "event ids must survive the restart");
+        }
+
+        // Untrained pipelines refuse; truncations are typed errors.
+        assert!(MoniLog::new(config).export_durable_state().is_err());
+        for cut in [0, 4, 7, state.len() / 2, state.len() - 1] {
+            assert!(MoniLog::import_durable_state(config, &state[..cut]).is_err());
+        }
+        // Config mismatch (different detector) is refused, not garbage.
+        let other = MoniLogConfig {
+            detector: DetectorChoice::Pca(monilog_detect::PcaDetectorConfig::default()),
+            ..config
+        };
+        let err = match MoniLog::import_durable_state(other, &state) {
+            Ok(_) => panic!("detector mismatch must be refused"),
+            Err(e) => e,
+        };
+        assert!(err.contains("different detector"), "{err}");
     }
 
     #[test]

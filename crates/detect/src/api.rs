@@ -125,6 +125,21 @@ pub trait Detector {
     /// semantic detectors care.
     fn update_templates(&mut self, _templates: &TemplateStore) {}
 
+    /// Serialize the fitted detector into versioned bytes for the durable
+    /// checkpoint. The default refuses with a typed error so detectors
+    /// without persistence degrade gracefully (the durable pipeline
+    /// surfaces the message instead of silently losing model state).
+    fn save_state(&self) -> Result<Vec<u8>, String> {
+        Err(format!("{} does not support checkpointing", self.name()))
+    }
+
+    /// Replace this detector's fitted state with bytes produced by
+    /// [`Detector::save_state`] on a detector of the same type. The
+    /// restored detector must score identically to the saved one.
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Err(format!("{} does not support checkpointing", self.name()))
+    }
+
     /// Named breakdown of `score(window)` for anomaly provenance: how the
     /// detector arrived at its verdict, in report-ready terms. The default
     /// exposes the score and the calibrated threshold; detectors with

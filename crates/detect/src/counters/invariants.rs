@@ -11,6 +11,7 @@
 
 use crate::api::{Detector, TrainSet, Window};
 use crate::window::count_vector;
+use monilog_model::codec::{CodecError, Decoder, Encoder};
 use serde::{Deserialize, Serialize};
 
 /// Invariant-mining parameters.
@@ -81,11 +82,77 @@ impl InvariantDetector {
         let holding = vectors.iter().filter(|v| candidate.holds(v)).count();
         holding as f64 / vectors.len() as f64
     }
+
+    /// Serialize a fitted detector: config, vocabulary size, and the mined
+    /// invariants. Coefficients are i64; they ride the wire as two's-
+    /// complement u64.
+    pub fn save(&self) -> Result<Vec<u8>, String> {
+        let mut e = Encoder::with_header(*b"INVD", 1);
+        e.put_f64(self.config.min_support);
+        e.put_u64(self.config.max_coefficient as u64);
+        e.put_f64(self.config.min_event_frequency);
+        e.put_u64(self.dim as u64);
+        e.put_len(self.invariants.len());
+        for inv in &self.invariants {
+            e.put_len(inv.terms.len());
+            for &(id, coef) in &inv.terms {
+                e.put_u32(id);
+                e.put_u64(coef as u64);
+            }
+        }
+        Ok(e.finish())
+    }
+
+    /// Restore from an [`InvariantDetector::save`] checkpoint.
+    pub fn load(bytes: &[u8]) -> Result<InvariantDetector, CodecError> {
+        let mut d = Decoder::new(bytes);
+        d.expect_header(*b"INVD", 1)?;
+        let config = InvariantDetectorConfig {
+            min_support: d.get_f64()?,
+            max_coefficient: d.get_u64()? as i64,
+            min_event_frequency: d.get_f64()?,
+        };
+        if !(0.0..=1.0).contains(&config.min_support) || config.max_coefficient < 1 {
+            return Err(CodecError::Corrupt("invariant config out of range"));
+        }
+        let dim = d.get_u64()? as usize;
+        let n = d.get_len()?;
+        let mut invariants = Vec::with_capacity(n);
+        for _ in 0..n {
+            let n_terms = d.get_len()?;
+            let mut terms = Vec::with_capacity(n_terms);
+            for _ in 0..n_terms {
+                let id = d.get_u32()?;
+                if id as usize >= dim {
+                    return Err(CodecError::Corrupt("invariant term out of vocabulary"));
+                }
+                terms.push((id, d.get_u64()? as i64));
+            }
+            invariants.push(Invariant { terms });
+        }
+        if !d.is_exhausted() {
+            return Err(CodecError::Corrupt("trailing bytes after invariant state"));
+        }
+        Ok(InvariantDetector {
+            config,
+            dim,
+            invariants,
+        })
+    }
 }
 
 impl Detector for InvariantDetector {
     fn name(&self) -> &'static str {
         "InvariantMining"
+    }
+
+    fn save_state(&self) -> Result<Vec<u8>, String> {
+        self.save()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        *self = InvariantDetector::load(bytes).map_err(|e| e.to_string())?;
+        Ok(())
     }
 
     fn fit(&mut self, train: &TrainSet) {
@@ -276,5 +343,46 @@ mod tests {
         assert_eq!(gcd(2, 4), 2);
         assert_eq!(gcd(3, 7), 1);
         assert_eq!(gcd(5, 0), 5);
+    }
+
+    #[test]
+    fn save_load_round_trips_and_rejects_corruption() {
+        let mut original = InvariantDetector::new(InvariantDetectorConfig::default());
+        // Every open (id 0) pairs with one close (id 1) and three writes
+        // (id 2) — the invariant-rich shape the miner is built for.
+        let windows: Vec<Window> = (1..6)
+            .map(|k| {
+                let mut ids = Vec::new();
+                for _ in 0..k {
+                    ids.extend([0, 1, 2, 2, 2]);
+                }
+                Window::from_ids(ids)
+            })
+            .collect();
+        original.fit(&TrainSet::unlabeled(windows.clone()));
+        assert!(!original.invariants().is_empty(), "test needs invariants");
+
+        let bytes = original.save().unwrap();
+        let restored = InvariantDetector::load(&bytes).unwrap();
+        assert_eq!(restored.invariants(), original.invariants());
+        let probes = [
+            Window::from_ids(vec![0, 1, 2]),
+            Window::from_ids(vec![0, 0, 0, 1, 2, 2, 2, 2, 2, 2]),
+            Window::from_ids(vec![9, 9, 9]),
+        ];
+        for w in &probes {
+            assert_eq!(restored.score(w), original.score(w));
+            assert_eq!(restored.threshold(), original.threshold());
+        }
+        // The trait surface delegates to the same codec.
+        let mut via_trait = InvariantDetector::new(InvariantDetectorConfig::default());
+        via_trait
+            .load_state(&original.save_state().unwrap())
+            .unwrap();
+        assert_eq!(via_trait.invariants(), original.invariants());
+        // Truncations are typed errors, never panics or garbage.
+        for cut in 0..bytes.len() {
+            assert!(InvariantDetector::load(&bytes[..cut]).is_err(), "cut {cut}");
+        }
     }
 }

@@ -589,6 +589,15 @@ impl Detector for DeepLog {
         "DeepLog"
     }
 
+    fn save_state(&self) -> Result<Vec<u8>, String> {
+        self.save()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        *self = DeepLog::load(bytes).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
     fn fit(&mut self, train: &TrainSet) {
         let normal = train.normal_windows();
         assert!(!normal.is_empty(), "DeepLog needs training windows");

@@ -384,6 +384,15 @@ impl Detector for LogAnomaly {
         "LogAnomaly"
     }
 
+    fn save_state(&self) -> Result<Vec<u8>, String> {
+        self.save()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        *self = LogAnomaly::load(bytes).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
     fn fit(&mut self, train: &TrainSet) {
         let normal = train.normal_windows();
         assert!(!normal.is_empty(), "LogAnomaly needs training windows");

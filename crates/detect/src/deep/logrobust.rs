@@ -253,6 +253,15 @@ impl Detector for LogRobust {
         "LogRobust"
     }
 
+    fn save_state(&self) -> Result<Vec<u8>, String> {
+        self.save()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        *self = LogRobust::load(bytes).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
     fn fit(&mut self, train: &TrainSet) {
         assert!(
             !train.windows.is_empty(),

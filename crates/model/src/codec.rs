@@ -46,6 +46,40 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) lookup table,
+/// built at compile time. The workspace has no checksum crate; the durable
+/// journal and checkpoint files frame every payload with this CRC so torn
+/// or bit-flipped state is detected instead of decoded.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the checksum framing durable journal records
+/// and checkpoint snapshots.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
 /// Append-only binary writer.
 #[derive(Debug, Default)]
 pub struct Encoder {
@@ -98,6 +132,13 @@ impl Encoder {
     /// Sequence length prefix (callers then encode each element).
     pub fn put_len(&mut self, n: usize) {
         self.put_u32(n as u32);
+    }
+
+    /// Length-prefixed opaque byte blob (nested encodings, e.g. a detector
+    /// checkpoint embedded in a pipeline snapshot).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_len(bytes.len());
+        self.buf.put_slice(bytes);
     }
 
     /// A whole f64 slice with length prefix.
@@ -207,6 +248,15 @@ impl<'a> Decoder<'a> {
         Ok(n)
     }
 
+    /// Length-prefixed opaque byte blob (inverse of [`Encoder::put_bytes`]).
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.get_u32()? as usize;
+        self.need(len)?;
+        let mut bytes = vec![0u8; len];
+        self.buf.copy_to_slice(&mut bytes);
+        Ok(bytes)
+    }
+
     pub fn get_f64_slice(&mut self) -> Result<Vec<f64>, CodecError> {
         let n = self.get_u32()? as usize;
         self.need(n.saturating_mul(8))?;
@@ -226,6 +276,29 @@ impl<'a> Decoder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let payload = b"2020-03-19 15:38:55,977 - serviceManager - INFO - ok";
+        let base = crc32(payload);
+        let mut copy = payload.to_vec();
+        for i in 0..copy.len() {
+            copy[i] ^= 0x10;
+            assert_ne!(crc32(&copy), base, "flip at byte {i} undetected");
+            copy[i] ^= 0x10;
+        }
+    }
 
     #[test]
     fn scalar_round_trips() {

@@ -5,6 +5,7 @@
 //! values. This is the "structured log-stream" of Fig. 1 that the detection
 //! component consumes.
 
+use crate::codec::{CodecError, Decoder, Encoder};
 use crate::log::SourceId;
 use crate::severity::Severity;
 use crate::template::TemplateId;
@@ -89,6 +90,64 @@ impl LogEvent {
     pub fn numeric_values(&self) -> impl Iterator<Item = f64> + '_ {
         self.numeric_variables.iter().filter_map(|v| *v)
     }
+
+    /// Append this event to an in-progress binary encoding. Used by the
+    /// durable pipeline checkpoint to persist open window-assembler
+    /// sessions. `numeric_variables` is derived, not stored.
+    pub fn encode_into(&self, e: &mut Encoder) {
+        e.put_u64(self.id.0);
+        e.put_u64(self.timestamp.as_millis());
+        e.put_u16(self.source.0);
+        e.put_u8(self.level.to_tag());
+        e.put_u32(self.template.0);
+        e.put_len(self.variables.len());
+        for v in &self.variables {
+            e.put_str(v);
+        }
+        match &self.session {
+            Some(key) => {
+                e.put_bool(true);
+                e.put_str(&key.0);
+            }
+            None => e.put_bool(false),
+        }
+        match self.trace {
+            Some(id) => {
+                e.put_bool(true);
+                e.put_u64(id.0);
+            }
+            None => e.put_bool(false),
+        }
+    }
+
+    /// Inverse of [`LogEvent::encode_into`]; re-derives
+    /// `numeric_variables` from the decoded variable strings.
+    pub fn decode_from(d: &mut Decoder<'_>) -> Result<LogEvent, CodecError> {
+        let id = EventId(d.get_u64()?);
+        let timestamp = Timestamp::from_millis(d.get_u64()?);
+        let source = SourceId(d.get_u16()?);
+        let level = Severity::from_tag(d.get_u8()?).ok_or(CodecError::Corrupt("severity tag"))?;
+        let template = TemplateId(d.get_u32()?);
+        let n = d.get_len()?;
+        let mut variables = Vec::with_capacity(n);
+        for _ in 0..n {
+            variables.push(d.get_str()?);
+        }
+        let session = if d.get_bool()? {
+            Some(SessionKey(d.get_str()?))
+        } else {
+            None
+        };
+        let trace = if d.get_bool()? {
+            Some(TraceId(d.get_u64()?))
+        } else {
+            None
+        };
+        Ok(
+            LogEvent::new(id, timestamp, source, level, template, variables, session)
+                .with_trace(trace),
+        )
+    }
 }
 
 /// Interpret a variable token as a number if it looks like one.
@@ -169,6 +228,32 @@ mod tests {
         assert_eq!(ev.trace, None);
         let traced = ev.with_trace(Some(TraceId(7)));
         assert_eq!(traced.trace, Some(TraceId(7)));
+    }
+
+    #[test]
+    fn event_codec_round_trips() {
+        let ev = LogEvent::new(
+            EventId(9),
+            Timestamp::from_millis(1_584_632_335_977),
+            SourceId(3),
+            Severity::Warning,
+            TemplateId(12),
+            vec!["x92".into(), "42".into()],
+            Some(SessionKey("blk_-42".into())),
+        )
+        .with_trace(Some(TraceId(1024)));
+        let mut e = Encoder::new();
+        ev.encode_into(&mut e);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        let back = LogEvent::decode_from(&mut d).unwrap();
+        assert_eq!(back, ev);
+        assert_eq!(back.numeric_variables, vec![None, Some(42.0)]);
+        assert!(d.is_exhausted());
+        for cut in 0..bytes.len() {
+            let mut d = Decoder::new(&bytes[..cut]);
+            assert!(LogEvent::decode_from(&mut d).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -23,11 +23,15 @@
 //! - [`tokenize`] — whitespace tokenization helpers shared by parsers and
 //!   metrics (a *token* is "a sequence delimited by spaces", Section IV).
 //! - [`codec`] — the small versioned binary codec behind template-store and
-//!   detector-checkpoint persistence.
+//!   detector-checkpoint persistence, plus the CRC-32 used to frame
+//!   durable journal records and checkpoint files.
+//! - [`checkpoint`] — the checkpoint manifest: journal replay positions +
+//!   named opaque state sections, CRC-framed for crash safety.
 //! - [`trace`] — trace identities and anomaly provenance (the per-line
 //!   evidence trail behind each report).
 
 pub mod anomaly;
+pub mod checkpoint;
 pub mod codec;
 pub mod event;
 pub mod header;
@@ -40,7 +44,8 @@ pub mod tokenize;
 pub mod trace;
 
 pub use anomaly::{AnomalyKind, AnomalyReport, Criticality};
-pub use codec::{CodecError, Decoder, Encoder};
+pub use checkpoint::{CheckpointManifest, JournalPosition};
+pub use codec::{crc32, CodecError, Decoder, Encoder};
 pub use event::{EventId, LogEvent, SessionKey};
 pub use header::{parse_header, HeaderFormat, HeaderParseError};
 pub use log::{LogHeader, LogRecord, RawLog, SourceId};

@@ -47,6 +47,34 @@ impl Severity {
         }
     }
 
+    /// Stable one-byte wire tag for the binary codec. Checkpoints outlive
+    /// process restarts, so this mapping must never be reordered.
+    pub fn to_tag(self) -> u8 {
+        match self {
+            Severity::Trace => 0,
+            Severity::Debug => 1,
+            Severity::Info => 2,
+            Severity::Warning => 3,
+            Severity::Error => 4,
+            Severity::Critical => 5,
+            Severity::Unknown => 6,
+        }
+    }
+
+    /// Inverse of [`Severity::to_tag`]; `None` for out-of-range bytes.
+    pub fn from_tag(tag: u8) -> Option<Severity> {
+        Some(match tag {
+            0 => Severity::Trace,
+            1 => Severity::Debug,
+            2 => Severity::Info,
+            3 => Severity::Warning,
+            4 => Severity::Error,
+            5 => Severity::Critical,
+            6 => Severity::Unknown,
+            _ => return None,
+        })
+    }
+
     /// True for levels that usually indicate a problem (`Error` and above).
     pub fn is_errorlike(self) -> bool {
         matches!(self, Severity::Error | Severity::Critical)
@@ -101,6 +129,15 @@ impl fmt::Display for Severity {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_tags_round_trip() {
+        for sev in Severity::ALL.into_iter().chain([Severity::Unknown]) {
+            assert_eq!(Severity::from_tag(sev.to_tag()), Some(sev));
+        }
+        assert_eq!(Severity::from_tag(7), None);
+        assert_eq!(Severity::from_tag(255), None);
+    }
 
     #[test]
     fn parses_canonical_names() {

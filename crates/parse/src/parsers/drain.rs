@@ -14,7 +14,7 @@
 
 use crate::api::{OnlineParser, ParseOutcome, ParserKind};
 use crate::preprocess::{MaskConfig, Preprocessor};
-use monilog_model::{TemplateId, TemplateStore, TemplateToken};
+use monilog_model::{CodecError, Decoder, Encoder, TemplateId, TemplateStore, TemplateToken};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -251,6 +251,33 @@ impl Drain {
     /// Number of lines parsed so far.
     pub fn lines_parsed(&self) -> u64 {
         self.lines
+    }
+
+    /// Serialize parser state for the durable checkpoint: the template
+    /// store plus the parsed-line counter. The tree and match cache are
+    /// derived state — [`Drain::import_state`] rebuilds the tree via
+    /// [`Drain::warm_start`] and starts with a cold cache.
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut e = Encoder::with_header(*b"DRNS", 1);
+        e.put_bytes(&self.store.encode());
+        e.put_u64(self.lines);
+        e.finish()
+    }
+
+    /// Rebuild a parser from [`Drain::export_state`] bytes. Known lines
+    /// map to the same template ids as in the exporting instance.
+    pub fn import_state(config: DrainConfig, bytes: &[u8]) -> Result<Drain, CodecError> {
+        let mut d = Decoder::new(bytes);
+        d.expect_header(*b"DRNS", 1)?;
+        let store_bytes = d.get_bytes()?;
+        let lines = d.get_u64()?;
+        if !d.is_exhausted() {
+            return Err(CodecError::Corrupt("trailing bytes after drain state"));
+        }
+        let store = TemplateStore::decode(&store_bytes)?;
+        let mut drain = Drain::warm_start(config, store);
+        drain.lines = lines;
+        Ok(drain)
     }
 
     /// `(hits, misses)` of the match cache so far. Misses count every
@@ -753,6 +780,31 @@ mod tests {
         let fresh = restored.parse("an entirely different statement shape");
         assert!(fresh.is_new);
         assert_eq!(fresh.template.as_index(), original_ids.len());
+    }
+
+    #[test]
+    fn export_import_state_round_trips() {
+        let mut original = Drain::new(DrainConfig::default());
+        let lines = [
+            "Receiving block blk_1 src: 10.0.0.1 dest: 10.0.0.2",
+            "Verification succeeded for blk_1",
+            "Deleting block blk_1 file /data/1",
+        ];
+        let ids: Vec<_> = lines.iter().map(|l| original.parse(l).template).collect();
+        let bytes = original.export_state();
+        let mut restored =
+            Drain::import_state(DrainConfig::default(), &bytes).expect("import state");
+        assert_eq!(restored.lines_parsed(), original.lines_parsed());
+        for (line, expected) in lines.iter().zip(&ids) {
+            assert_eq!(restored.parse(line).template, *expected);
+        }
+        // Corrupt or truncated state is a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                Drain::import_state(DrainConfig::default(), &bytes[..cut]).is_err(),
+                "prefix of {cut} bytes imported"
+            );
+        }
     }
 
     #[test]

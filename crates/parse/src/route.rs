@@ -35,7 +35,13 @@
 //! parser, the scoped-thread harness, and the streaming services be
 //! compared line-for-line.
 
+use monilog_model::{CodecError, Decoder, Encoder};
 use std::collections::HashMap;
+
+/// Magic bytes of a serialized router state (see
+/// [`BalancedRouter::export_state`]).
+const ROUTER_MAGIC: [u8; 4] = *b"RTRS";
+const ROUTER_VERSION: u16 = 1;
 
 /// Tuning knobs for [`BalancedRouter`]. The defaults are what experiment
 /// D1 runs with.
@@ -220,6 +226,94 @@ impl BalancedRouter {
     pub fn split_key_count(&self) -> usize {
         self.keys.values().filter(|k| k.replicas.len() > 1).count()
     }
+
+    /// Serialize placement + split state for the durable checkpoint. The
+    /// encoding is deterministic (keys sorted by hash) so two identical
+    /// routers export identical bytes. Each key stores its hash, count,
+    /// and replica set; the full rendezvous `order` is a pure function of
+    /// the hash and shard count, so it is recomputed on import rather
+    /// than stored.
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut e = Encoder::with_header(ROUTER_MAGIC, ROUTER_VERSION);
+        e.put_u32(self.config.n_shards as u32);
+        e.put_u64(self.total);
+        e.put_len(self.loads.len());
+        for &l in &self.loads {
+            e.put_u64(l);
+        }
+        let mut hashes: Vec<u64> = self.keys.keys().copied().collect();
+        hashes.sort_unstable();
+        e.put_len(hashes.len());
+        for h in hashes {
+            let ks = &self.keys[&h];
+            e.put_u64(h);
+            e.put_u64(ks.count);
+            e.put_len(ks.replicas.len());
+            for &r in &ks.replicas {
+                e.put_u32(r);
+            }
+        }
+        e.finish()
+    }
+
+    /// Rebuild a router from [`BalancedRouter::export_state`] bytes. The
+    /// restored router makes decisions identical to the original's from
+    /// the next line on. `config.n_shards` must match the exporter's.
+    pub fn import_state(
+        config: BalancedRouterConfig,
+        bytes: &[u8],
+    ) -> Result<BalancedRouter, CodecError> {
+        let mut d = Decoder::new(bytes);
+        d.expect_header(ROUTER_MAGIC, ROUTER_VERSION)?;
+        let n = d.get_u32()? as usize;
+        if n != config.n_shards {
+            return Err(CodecError::Corrupt("router shard count mismatch"));
+        }
+        let total = d.get_u64()?;
+        let n_loads = d.get_len()?;
+        if n_loads != n {
+            return Err(CodecError::Corrupt("router load vector length"));
+        }
+        let mut loads = Vec::with_capacity(n_loads);
+        for _ in 0..n_loads {
+            loads.push(d.get_u64()?);
+        }
+        let n_keys = d.get_len()?;
+        let mut keys = HashMap::with_capacity(n_keys);
+        for _ in 0..n_keys {
+            let h = d.get_u64()?;
+            let count = d.get_u64()?;
+            let n_replicas = d.get_len()?;
+            if n_replicas == 0 || n_replicas > n {
+                return Err(CodecError::Corrupt("router replica set size"));
+            }
+            let mut replicas = Vec::with_capacity(n_replicas);
+            for _ in 0..n_replicas {
+                let r = d.get_u32()?;
+                if r as usize >= n {
+                    return Err(CodecError::Corrupt("router replica out of range"));
+                }
+                replicas.push(r);
+            }
+            keys.insert(
+                h,
+                KeyState {
+                    order: rendezvous_order(h, n),
+                    replicas,
+                    count,
+                },
+            );
+        }
+        if !d.is_exhausted() {
+            return Err(CodecError::Corrupt("trailing bytes after router state"));
+        }
+        Ok(BalancedRouter {
+            config,
+            loads,
+            total,
+            keys,
+        })
+    }
 }
 
 /// Rank every shard for a key by highest-random-weight score.
@@ -344,5 +438,62 @@ mod tests {
     #[should_panic(expected = "need at least one shard")]
     fn zero_shards_rejected() {
         BalancedRouter::new(0);
+    }
+
+    #[test]
+    fn export_import_resumes_identically() {
+        // Route a warm-up prefix with some hot keys, snapshot, and check
+        // the restored router is indistinguishable from the original on
+        // the continuation — placement, splits, loads, the lot.
+        let mut original = BalancedRouter::new(8);
+        for i in 0..2_000u64 {
+            let key = if i % 3 == 0 {
+                "hot".into()
+            } else {
+                word_key(i)
+            };
+            original.route(&format!("{key} payload {i}"));
+        }
+        let bytes = original.export_state();
+        let mut restored =
+            BalancedRouter::import_state(BalancedRouterConfig::new(8), &bytes).unwrap();
+        assert_eq!(restored.loads(), original.loads());
+        assert_eq!(restored.total(), original.total());
+        assert_eq!(restored.key_count(), original.key_count());
+        assert_eq!(restored.split_key_count(), original.split_key_count());
+        for i in 2_000..3_000u64 {
+            let key = if i % 3 == 0 {
+                "hot".into()
+            } else {
+                word_key(i)
+            };
+            let line = format!("{key} payload {i}");
+            assert_eq!(
+                original.route_detailed(&line),
+                restored.route_detailed(&line),
+                "divergence at line {i}"
+            );
+        }
+        // Determinism of the encoding itself.
+        assert_eq!(original.export_state(), restored.export_state());
+    }
+
+    #[test]
+    fn import_rejects_corrupt_state() {
+        let mut r = BalancedRouter::new(4);
+        for i in 0..200u64 {
+            r.route(&format!("{} x {i}", word_key(i)));
+        }
+        let bytes = r.export_state();
+        let config = BalancedRouterConfig::new(4);
+        // Shard-count mismatch is a typed error, not a bad router.
+        assert!(BalancedRouter::import_state(BalancedRouterConfig::new(8), &bytes).is_err());
+        // Truncations never panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                BalancedRouter::import_state(config, &bytes[..cut]).is_err(),
+                "prefix of {cut} bytes imported"
+            );
+        }
     }
 }

@@ -1,0 +1,274 @@
+//! Persistent dead-letter log: quarantined lines as replayable JSONL.
+//!
+//! The in-memory dead-letter queue (see [`crate::supervisor`]) vanishes
+//! with the process; under `--state-dir` every quarantined line is also
+//! appended here, one JSON object per line, so poison lines survive
+//! restarts and can be replayed after a parser fix. The file is
+//! size-capped: when it grows past the cap it rotates to `<name>.old`
+//! (keeping one previous file), bounding disk use. Loading tolerates a
+//! torn final line — a crash mid-append loses at most that line.
+
+use super::DurabilityError;
+use crate::supervisor::{DeadLetter, FailureReason};
+use monilog_model::trace::json_string;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Append-side handle to the JSONL dead-letter file.
+pub struct DeadLetterLog {
+    path: PathBuf,
+    cap_bytes: u64,
+}
+
+impl DeadLetterLog {
+    /// Open (creating parent directories if needed) the log at `path`.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        cap_bytes: u64,
+    ) -> Result<DeadLetterLog, DurabilityError> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        Ok(DeadLetterLog { path, cap_bytes })
+    }
+
+    /// Append letters, rotating first if the file is over its cap. Each
+    /// append is fsync'd — quarantine is rare and must survive a crash.
+    pub fn append(&self, letters: &[DeadLetter]) -> Result<(), DurabilityError> {
+        if letters.is_empty() {
+            return Ok(());
+        }
+        let size = fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
+        if size > self.cap_bytes {
+            fs::rename(&self.path, self.path.with_extension("jsonl.old"))?;
+        }
+        let mut buf = String::new();
+        for l in letters {
+            buf.push_str(&render(l));
+            buf.push('\n');
+        }
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        f.write_all(buf.as_bytes())?;
+        f.sync_data()?;
+        Ok(())
+    }
+
+    /// Everything replayable: the rotated file (if any) then the current
+    /// one. Unparseable lines — a torn tail, hand-edited damage — are
+    /// skipped, never fatal.
+    pub fn load(&self) -> Result<Vec<DeadLetter>, DurabilityError> {
+        let mut out = Vec::new();
+        for path in [self.path.with_extension("jsonl.old"), self.path.clone()] {
+            let Ok(mut f) = File::open(&path) else {
+                continue;
+            };
+            let mut text = String::new();
+            if f.read_to_string(&mut text).is_err() {
+                continue; // non-UTF-8 damage: nothing salvageable here
+            }
+            out.extend(text.lines().filter_map(parse));
+        }
+        Ok(out)
+    }
+
+    /// The current (non-rotated) file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn reason_str(reason: FailureReason) -> &'static str {
+    match reason {
+        FailureReason::Panic => "panic",
+        FailureReason::Overload => "overload",
+        FailureReason::WorkerCrash => "worker_crash",
+    }
+}
+
+fn render(l: &DeadLetter) -> String {
+    let shard = match l.shard {
+        Some(s) => s.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"seq\":{},\"shard\":{},\"line\":{},\"reason\":\"{}\",\"attempts\":{}}}",
+        l.seq,
+        shard,
+        json_string(&l.line),
+        reason_str(l.reason),
+        l.attempts
+    )
+}
+
+/// Parse one rendered line back. Fields are consumed in writing order, so
+/// a `line` body containing `"reason":` look-alikes can't confuse it.
+fn parse(text: &str) -> Option<DeadLetter> {
+    let mut rest = text.trim();
+    rest = rest.strip_prefix('{')?;
+    rest = rest.strip_prefix("\"seq\":")?;
+    let (seq, r) = take_u64(rest)?;
+    rest = r.strip_prefix(",\"shard\":")?;
+    let shard = if let Some(r) = rest.strip_prefix("null") {
+        rest = r;
+        None
+    } else {
+        let (s, r) = take_u64(rest)?;
+        rest = r;
+        Some(s as usize)
+    };
+    rest = rest.strip_prefix(",\"line\":\"")?;
+    let (line, r) = take_json_string(rest)?;
+    rest = r.strip_prefix(",\"reason\":\"")?;
+    let end = rest.find('"')?;
+    let reason = match &rest[..end] {
+        "panic" => FailureReason::Panic,
+        "overload" => FailureReason::Overload,
+        "worker_crash" => FailureReason::WorkerCrash,
+        _ => return None,
+    };
+    rest = rest[end + 1..].strip_prefix(",\"attempts\":")?;
+    let (attempts, r) = take_u64(rest)?;
+    if r != "}" {
+        return None;
+    }
+    Some(DeadLetter {
+        seq,
+        shard,
+        line,
+        reason,
+        attempts: attempts as u32,
+    })
+}
+
+fn take_u64(s: &str) -> Option<(u64, &str)> {
+    let end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    if end == 0 {
+        return None;
+    }
+    Some((s[..end].parse().ok()?, &s[end..]))
+}
+
+/// Consume a JSON string body (opening quote already stripped) up to its
+/// closing quote, unescaping [`json_string`]'s escapes.
+fn take_json_string(s: &str) -> Option<(String, &str)> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &s[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'b' => out.push('\u{8}'),
+                'f' => out.push('\u{c}'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            _ => out.push(c),
+        }
+    }
+    None // unterminated: a torn tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("monilog-dlq-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir.join("dead_letters.jsonl")
+    }
+
+    fn letter(seq: u64, line: &str) -> DeadLetter {
+        DeadLetter {
+            seq,
+            shard: if seq.is_multiple_of(2) {
+                Some(seq as usize % 4)
+            } else {
+                None
+            },
+            line: line.to_string(),
+            reason: match seq % 3 {
+                0 => FailureReason::Panic,
+                1 => FailureReason::Overload,
+                _ => FailureReason::WorkerCrash,
+            },
+            attempts: seq as u32 % 5,
+        }
+    }
+
+    #[test]
+    fn append_load_round_trips_including_nasty_lines() {
+        let path = tmp_path("roundtrip");
+        let log = DeadLetterLog::open(&path, 1 << 20).unwrap();
+        let letters: Vec<DeadLetter> = vec![
+            letter(1, "plain poison"),
+            letter(2, "embedded \"quotes\" and \\backslashes\\"),
+            letter(3, "looks like json: {\"reason\":\"panic\",\"attempts\":9}"),
+            letter(4, "newline\nand\ttab and control\u{1}char"),
+            letter(5, "unicode: héllo wörld — ☃"),
+        ];
+        log.append(&letters).unwrap();
+        assert_eq!(log.load().unwrap(), letters);
+        // A second process appends more; both batches load.
+        let log2 = DeadLetterLog::open(&path, 1 << 20).unwrap();
+        log2.append(&[letter(6, "later")]).unwrap();
+        assert_eq!(log2.load().unwrap().len(), 6);
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_and_garbage_lines_are_skipped() {
+        let path = tmp_path("torn");
+        let log = DeadLetterLog::open(&path, 1 << 20).unwrap();
+        log.append(&[letter(1, "ok one"), letter(2, "ok two")])
+            .unwrap();
+        // Simulate a crash mid-append: half a record, no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"seq\":3,\"shard\":null,\"line\":\"cut of")
+            .unwrap();
+        drop(f);
+        let loaded = log.load().unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[1].line, "ok two");
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn rotation_caps_disk_and_keeps_one_previous_file() {
+        let path = tmp_path("rotate");
+        let log = DeadLetterLog::open(&path, 200).unwrap();
+        for batch in 0..20u64 {
+            log.append(&[letter(
+                batch,
+                &format!("poison batch {batch} {}", "x".repeat(40)),
+            )])
+            .unwrap();
+        }
+        let current = fs::metadata(&path).unwrap().len();
+        assert!(current <= 400, "current file stays near the cap: {current}");
+        assert!(path.with_extension("jsonl.old").exists());
+        let loaded = log.load().unwrap();
+        assert!(!loaded.is_empty());
+        assert!(loaded.len() < 20, "rotation dropped the oldest records");
+        let last = loaded.last().unwrap();
+        assert_eq!(last.seq, 19);
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+}

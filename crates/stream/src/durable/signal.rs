@@ -1,0 +1,85 @@
+//! Graceful-shutdown signalling.
+//!
+//! SIGTERM and SIGINT set a process-wide latch; the ingestion loop polls
+//! [`shutdown_requested`] between lines and, when set, quiesces: stops
+//! reading input, syncs the journal, writes a final checkpoint, and exits
+//! cleanly — so the next start replays zero journal lines. The handler
+//! itself only stores an atomic flag (the only thing that's async-signal
+//! safe); all real work happens on the main thread.
+//!
+//! No libc crate: `signal(2)` is declared directly. On non-Unix targets
+//! installation is a no-op and drain must be requested programmatically.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod ffi {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn latch(_signum: i32) {
+        super::SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, latch);
+            signal(SIGINT, latch);
+        }
+    }
+}
+
+/// Install the SIGTERM/SIGINT latch. Idempotent; call once near startup,
+/// before the ingestion loop.
+pub fn install_shutdown_handler() {
+    #[cfg(unix)]
+    ffi::install();
+}
+
+/// Whether a shutdown signal has arrived since the last reset.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Clear the latch (tests, or a supervisor restarting the loop in-process).
+pub fn reset_shutdown_flag() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test (not several) because the latch is process-global state and
+    // the test harness runs in parallel.
+    #[test]
+    fn latch_sets_resets_and_trips_on_a_real_signal() {
+        reset_shutdown_flag();
+        assert!(!shutdown_requested());
+        SHUTDOWN.store(true, Ordering::SeqCst);
+        assert!(shutdown_requested());
+        reset_shutdown_flag();
+        assert!(!shutdown_requested());
+        #[cfg(unix)]
+        {
+            install_shutdown_handler();
+            // Raise SIGTERM at ourselves through the installed handler.
+            extern "C" {
+                fn raise(signum: i32) -> i32;
+            }
+            unsafe {
+                raise(15);
+            }
+            assert!(shutdown_requested());
+            reset_shutdown_flag();
+        }
+    }
+}

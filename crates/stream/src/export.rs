@@ -71,7 +71,7 @@ impl MetricsExporter {
         interval: Duration,
         tracer: Option<Arc<Tracer>>,
     ) -> io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
+        let listener = bind_reusable(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(true));
@@ -91,6 +91,97 @@ impl MetricsExporter {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+}
+
+/// Bind the exporter socket with `SO_REUSEADDR` so a restarting process
+/// (the crash-recovery path) can re-bind its old address while the dead
+/// process's connections sit in TIME_WAIT. On targets without the raw
+/// syscall shim — or if it fails — fall back to plain binds under a short
+/// exponential backoff, which rides out the same window more slowly.
+fn bind_reusable(addr: SocketAddr) -> io::Result<TcpListener> {
+    let mut delay = Duration::from_millis(50);
+    let mut last_err = None;
+    for attempt in 0..5 {
+        #[cfg(target_os = "linux")]
+        let result = match addr {
+            SocketAddr::V4(v4) => reuseaddr::bind_v4(v4).or_else(|_| TcpListener::bind(addr)),
+            _ => TcpListener::bind(addr),
+        };
+        #[cfg(not(target_os = "linux"))]
+        let result = TcpListener::bind(addr);
+        match result {
+            Ok(listener) => return Ok(listener),
+            Err(e) => last_err = Some(e),
+        }
+        if attempt < 4 {
+            thread::sleep(delay);
+            delay *= 2;
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("bind failed")))
+}
+
+/// `socket(2)`/`setsockopt(2)`/`bind(2)`/`listen(2)` declared directly (no
+/// libc crate) — the constants and `sockaddr_in` layout are Linux ABI.
+#[cfg(target_os = "linux")]
+mod reuseaddr {
+    use std::io;
+    use std::net::{SocketAddrV4, TcpListener};
+    use std::os::unix::io::FromRawFd;
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    #[repr(C)]
+    struct SockAddrIn {
+        sin_family: u16,
+        /// Network byte order.
+        sin_port: u16,
+        /// Network byte order.
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockAddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub fn bind_v4(addr: SocketAddrV4) -> io::Result<TcpListener> {
+        unsafe {
+            let fd = socket(AF_INET, SOCK_STREAM, 0);
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let fail = |fd: i32| -> io::Error {
+                let e = io::Error::last_os_error();
+                close(fd);
+                e
+            };
+            let one: i32 = 1;
+            if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) != 0 {
+                return Err(fail(fd));
+            }
+            let sa = SockAddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: addr.port().to_be(),
+                sin_addr: u32::from_ne_bytes(addr.ip().octets()),
+                sin_zero: [0; 8],
+            };
+            if bind(fd, &sa, std::mem::size_of::<SockAddrIn>() as u32) != 0 {
+                return Err(fail(fd));
+            }
+            if listen(fd, 128) != 0 {
+                return Err(fail(fd));
+            }
+            Ok(TcpListener::from_raw_fd(fd))
+        }
     }
 }
 
@@ -452,6 +543,46 @@ mod tests {
             assert!(body.contains("tracing disabled"), "{path}: {body}");
             assert_content_length(&head, &body);
         }
+    }
+
+    #[test]
+    fn restart_rebinds_the_same_address_immediately() {
+        // A restarting process must be able to reclaim its metrics address
+        // right away: bind, serve, drop, and rebind the same port twice.
+        let registry = test_registry();
+        let first = MetricsExporter::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            Arc::clone(&registry),
+            Duration::from_millis(50),
+        )
+        .expect("initial bind");
+        let addr = first.local_addr();
+        let (head, _) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        drop(first);
+        for generation in 0..2 {
+            let again =
+                MetricsExporter::spawn(addr, Arc::clone(&registry), Duration::from_millis(50))
+                    .unwrap_or_else(|e| panic!("rebind generation {generation} failed: {e}"));
+            let (head, _) = http_get(again.local_addr(), "/metrics");
+            assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+            assert_eq!(again.local_addr(), addr);
+        }
+    }
+
+    #[test]
+    fn bind_conflict_is_reported_after_retries() {
+        // A port that stays occupied: bind_reusable must back off, retry,
+        // and surface the error instead of hanging or panicking.
+        let occupant = TcpListener::bind("127.0.0.1:0").expect("occupant");
+        let addr = occupant.local_addr().unwrap();
+        let started = std::time::Instant::now();
+        let result = MetricsExporter::spawn(addr, test_registry(), Duration::from_millis(50));
+        assert!(result.is_err(), "bind to an occupied port must fail");
+        assert!(
+            started.elapsed() >= Duration::from_millis(300),
+            "failure must come after backoff retries, not instantly"
+        );
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   lines, transient faults) for testing the supervisor's guarantees.
 //! - [`config`] — typed configuration errors and the overload-policy
 //!   vocabulary shared with the CLI.
+//! - [`durable`] — the write-ahead ingest journal, atomic generational
+//!   checkpoints, the persistent dead-letter log, and shutdown
+//!   signalling: crash recovery across process restarts.
 //! - [`metrics`] — cheap shared counters for pipeline observability.
 //! - [`observe`] — stage latency histograms, shard gauges, and the typed
 //!   [`observe::MetricsSnapshot`] with Prometheus/JSON renderings.
@@ -30,6 +33,7 @@
 
 pub mod chaos;
 pub mod config;
+pub mod durable;
 pub mod export;
 pub mod merge;
 pub mod metrics;
@@ -42,6 +46,10 @@ pub mod trace;
 
 pub use chaos::{FaultContext, FaultInjector, FaultPlan, WorkerKill};
 pub use config::{ConfigError, OverloadPolicy, RetryPolicy};
+pub use durable::{
+    install_shutdown_handler, shutdown_requested, CheckpointStore, DeadLetterLog, DurabilityError,
+    Journal, JournalConfig, LoadedCheckpoint,
+};
 pub use export::MetricsExporter;
 pub use merge::{BoundedReorderBuffer, DedupFilter};
 pub use metrics::PipelineMetrics;

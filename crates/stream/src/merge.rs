@@ -96,6 +96,41 @@ impl<T> BoundedReorderBuffer<T> {
         }
         out
     }
+
+    /// The watermark anchor: the highest timestamp pushed so far.
+    pub fn max_seen(&self) -> Timestamp {
+        self.max_seen
+    }
+
+    /// Rebuild a buffer from a [`BoundedReorderBuffer::snapshot`]: items
+    /// are re-inserted (in the given order, which preserves arrival
+    /// tie-breaks) without triggering any release, and the watermark
+    /// anchor is restored so the first post-restore push behaves exactly
+    /// as it would have in the original instance.
+    pub fn restore(bound_ms: u64, items: Vec<(Timestamp, T)>, max_seen: Timestamp) -> Self {
+        let mut b = Self::new(bound_ms);
+        b.max_seen = max_seen;
+        for (t, v) in items {
+            b.heap.push(Reverse((t, b.tie, HeapItem(v))));
+            b.tie += 1;
+        }
+        b
+    }
+}
+
+impl<T: Clone> BoundedReorderBuffer<T> {
+    /// Non-destructive snapshot of the buffered items in release order
+    /// (timestamp, then arrival) — the durable checkpoint's view of
+    /// in-flight records. Pair with [`BoundedReorderBuffer::max_seen`].
+    pub fn snapshot(&self) -> Vec<(Timestamp, T)> {
+        let mut items: Vec<(Timestamp, u64, T)> = self
+            .heap
+            .iter()
+            .map(|Reverse((t, tie, HeapItem(v)))| (*t, *tie, v.clone()))
+            .collect();
+        items.sort_by_key(|&(t, tie, _)| (t, tie));
+        items.into_iter().map(|(t, _, v)| (t, v)).collect()
+    }
 }
 
 /// Sliding-window duplicate suppression by `(source, seq)`.
@@ -115,6 +150,27 @@ impl DedupFilter {
             seen: HashSet::new(),
             order: VecDeque::new(),
         }
+    }
+
+    /// The remembered keys in insertion order — the durable checkpoint's
+    /// view of the dedup window.
+    pub fn keys(&self) -> impl Iterator<Item = (SourceId, u64)> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// The configured window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Rebuild a filter from [`DedupFilter::keys`] output (in the same
+    /// order, so eviction resumes identically).
+    pub fn restore(window: usize, keys: impl IntoIterator<Item = (SourceId, u64)>) -> Self {
+        let mut d = Self::new(window);
+        for (source, seq) in keys {
+            d.admit(source, seq);
+        }
+        d
     }
 
     /// Returns `true` the first time a key is seen (keep the item),
@@ -219,6 +275,49 @@ mod tests {
         assert_eq!(released.len(), 1);
         assert_eq!(released[0].0.as_millis(), 1_000);
         assert_eq!(b.len(), 1, "'b' itself is above the watermark");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        // Fill two buffers identically, snapshot/restore one, and check
+        // the pair stays line-for-line identical on a continuation that
+        // exercises held items, watermark releases, and ties.
+        let feed = [(1_000u64, 'a'), (1_050, 'b'), (1_020, 'c'), (1_050, 'd')];
+        let mut original = BoundedReorderBuffer::new(100);
+        let mut shadow = BoundedReorderBuffer::new(100);
+        for &(ts, v) in &feed {
+            original.push(Timestamp::from_millis(ts), v);
+            shadow.push(Timestamp::from_millis(ts), v);
+        }
+        let items = original.snapshot();
+        assert_eq!(items.len(), original.len());
+        let mut restored = BoundedReorderBuffer::restore(100, items, original.max_seen());
+        assert_eq!(restored.len(), shadow.len());
+        assert_eq!(restored.max_seen(), shadow.max_seen());
+        for &(ts, v) in &[(1_120u64, 'e'), (1_050, 'f'), (1_400, 'g')] {
+            assert_eq!(
+                restored.push(Timestamp::from_millis(ts), v),
+                shadow.push(Timestamp::from_millis(ts), v),
+                "divergence at ts {ts}"
+            );
+        }
+        assert_eq!(restored.flush(), shadow.flush());
+    }
+
+    #[test]
+    fn dedup_restore_preserves_window_and_order() {
+        let mut original = DedupFilter::new(3);
+        for seq in [1u64, 2, 3, 4] {
+            original.admit(SourceId(0), seq);
+        }
+        let keys: Vec<_> = original.keys().collect();
+        assert_eq!(keys.len(), 3, "window caps remembered keys");
+        let mut restored = DedupFilter::restore(original.window(), keys);
+        // Same memory: 2..4 are duplicates, evicted 1 admits again, and
+        // eviction order continues from the restored state.
+        assert!(restored.admit(SourceId(0), 1));
+        assert!(!restored.admit(SourceId(0), 4));
+        assert!(!original.admit(SourceId(0), 4), "original agrees");
     }
 
     #[test]

@@ -31,6 +31,13 @@
 //!   `submit` counts as a batch of one).
 //! - `cache_hits` / `cache_misses` — per-shard Drain match-cache outcomes,
 //!   summed across shards. Hit rate = hits / (hits + misses).
+//!
+//! Durability (see [`crate::durable`]):
+//! - `checkpoints_written` — durable pipeline checkpoints committed to the
+//!   state directory.
+//! - `journal_bytes` — bytes appended to the write-ahead ingest journal.
+//! - `recovery_replayed_lines` — journal lines replayed into the pipeline
+//!   during crash recovery (0 after a graceful drain).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -51,6 +58,9 @@ pub struct PipelineMetrics {
     pub batches_submitted: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
+    pub checkpoints_written: AtomicU64,
+    pub journal_bytes: AtomicU64,
+    pub recovery_replayed_lines: AtomicU64,
 }
 
 impl PipelineMetrics {
@@ -91,6 +101,12 @@ impl PipelineMetrics {
             ("batches_submitted", Self::get(&self.batches_submitted)),
             ("cache_hits", Self::get(&self.cache_hits)),
             ("cache_misses", Self::get(&self.cache_misses)),
+            ("checkpoints_written", Self::get(&self.checkpoints_written)),
+            ("journal_bytes", Self::get(&self.journal_bytes)),
+            (
+                "recovery_replayed_lines",
+                Self::get(&self.recovery_replayed_lines),
+            ),
         ]
     }
 
@@ -154,6 +170,9 @@ mod tests {
             "batches_submitted",
             "cache_hits",
             "cache_misses",
+            "checkpoints_written",
+            "journal_bytes",
+            "recovery_replayed_lines",
         ] {
             assert!(s.contains(field), "{field} missing from {s}");
             assert!(
@@ -161,7 +180,7 @@ mod tests {
                 "{field} missing from typed snapshot"
             );
         }
-        assert_eq!(snap.counters.len(), 13);
+        assert_eq!(snap.counters.len(), 16);
     }
 
     #[test]

@@ -68,11 +68,13 @@ pub enum Stage {
     Detect,
     /// Anomaly classification per report.
     Classify,
+    /// Durable checkpoint commit: state export + atomic write + fsync.
+    Checkpoint,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Ingest,
         Stage::MergeDedup,
         Stage::ParseQueueWait,
@@ -80,6 +82,7 @@ impl Stage {
         Stage::WindowAssembly,
         Stage::Detect,
         Stage::Classify,
+        Stage::Checkpoint,
     ];
 
     /// Stable metric-label name.
@@ -92,6 +95,7 @@ impl Stage {
             Stage::WindowAssembly => "window",
             Stage::Detect => "detect",
             Stage::Classify => "classify",
+            Stage::Checkpoint => "checkpoint",
         }
     }
 
@@ -104,6 +108,7 @@ impl Stage {
             Stage::WindowAssembly => 4,
             Stage::Detect => 5,
             Stage::Classify => 6,
+            Stage::Checkpoint => 7,
         }
     }
 }
