@@ -29,6 +29,7 @@ pub mod features;
 pub mod logclass;
 pub mod perceptron;
 pub mod pools;
+pub mod routing;
 
 pub use admin::{AdminPolicy, AdminSimulator};
 pub use classifier::{AnomalyClassifier, Assignment};
@@ -36,3 +37,4 @@ pub use features::{featurize, FEATURE_DIM};
 pub use logclass::{LogClass, LogClassConfig};
 pub use perceptron::{AveragedPerceptron, OrdinalPerceptron};
 pub use pools::{PoolId, PoolRegistry};
+pub use routing::SeverityRouter;

@@ -1,0 +1,87 @@
+//! Severity routing: criticality levels → delivery classes.
+//!
+//! The classifier's criticality scale (Section V: low / moderate / high)
+//! only matters if it changes what happens to the report. This module is
+//! the hook between classification and the delivery layer in
+//! `monilog-stream::sinks`: it maps a [`Criticality`] to a
+//! [`DeliveryClass`] — page a human, open a ticket, or just log — with
+//! configurable thresholds so operators can tune how hot their pager runs.
+
+use monilog_model::{Criticality, DeliveryClass};
+
+/// Threshold-based mapping from criticality to delivery class.
+///
+/// Reports at or above `page_at` become [`DeliveryClass::Page`]; reports
+/// at or above `ticket_at` (but below `page_at`) become
+/// [`DeliveryClass::Ticket`]; everything else is [`DeliveryClass::Log`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeverityRouter {
+    pub page_at: Criticality,
+    pub ticket_at: Criticality,
+}
+
+impl Default for SeverityRouter {
+    /// The paper's operating point: high-criticality anomalies interrupt
+    /// an administrator, moderate ones queue for follow-up, low ones are
+    /// recorded.
+    fn default() -> Self {
+        SeverityRouter {
+            page_at: Criticality::High,
+            ticket_at: Criticality::Moderate,
+        }
+    }
+}
+
+impl SeverityRouter {
+    /// Route a criticality level to its delivery class.
+    pub fn class_for(&self, criticality: Criticality) -> DeliveryClass {
+        if criticality >= self.page_at {
+            DeliveryClass::Page
+        } else if criticality >= self.ticket_at {
+            DeliveryClass::Ticket
+        } else {
+            DeliveryClass::Log
+        }
+    }
+
+    /// A router that pages on everything — useful when a deployment has a
+    /// single webhook sink and no ticketing path.
+    pub fn page_everything() -> Self {
+        SeverityRouter {
+            page_at: Criticality::Low,
+            ticket_at: Criticality::Low,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_maps_the_three_levels_to_three_classes() {
+        let r = SeverityRouter::default();
+        assert_eq!(r.class_for(Criticality::High), DeliveryClass::Page);
+        assert_eq!(r.class_for(Criticality::Moderate), DeliveryClass::Ticket);
+        assert_eq!(r.class_for(Criticality::Low), DeliveryClass::Log);
+    }
+
+    #[test]
+    fn page_everything_never_demotes() {
+        let r = SeverityRouter::page_everything();
+        for c in Criticality::ALL {
+            assert_eq!(r.class_for(c), DeliveryClass::Page);
+        }
+    }
+
+    #[test]
+    fn thresholds_are_inclusive() {
+        let r = SeverityRouter {
+            page_at: Criticality::Moderate,
+            ticket_at: Criticality::Low,
+        };
+        assert_eq!(r.class_for(Criticality::High), DeliveryClass::Page);
+        assert_eq!(r.class_for(Criticality::Moderate), DeliveryClass::Page);
+        assert_eq!(r.class_for(Criticality::Low), DeliveryClass::Ticket);
+    }
+}

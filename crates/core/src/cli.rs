@@ -13,13 +13,13 @@
 //! selects the header layout (default `dash`, the Fig. 2 format). The
 //! logic lives here (unit-testable); `src/bin/monilog.rs` is a thin shell.
 
-use crate::durable::{DurableConfig, DurableMoniLog};
+use crate::durable::{DeliverySetup, DurableConfig, DurableMoniLog};
 use crate::{
     ClassifiedAnomaly, DetectorChoice, FaultToleranceConfig, MoniLog, MoniLogConfig,
     ObservabilityConfig, WindowPolicy,
 };
 use monilog_detect::DeepLogConfig;
-use monilog_model::{RawLog, SourceId};
+use monilog_model::{Criticality, RawLog, SourceId};
 use monilog_parse::autotune::{autotune_drain, TuneGrid};
 use monilog_parse::{Drain, DrainConfig, OnlineParser};
 use monilog_stream::{JournalConfig, MetricsExporter, OverloadPolicy};
@@ -73,6 +73,47 @@ pub struct DurableOptions {
     pub journal_fsync_ms: u64,
     /// WAL segment rotation threshold, in bytes.
     pub journal_segment_bytes: u64,
+    /// Outbound anomaly delivery (`--sink-http` / `--sink-tcp` and
+    /// friends); `None` keeps reports local to `anomalies.jsonl`.
+    pub sinks: Option<SinkOptions>,
+}
+
+/// Outbound delivery flags (`--sink-http`, `--sink-tcp`,
+/// `--sink-retry-max-ms`, `--sink-buffer-bytes`, `--route-critical`).
+/// All of them require `--state-dir`: delivery is disk-buffered and its
+/// cursors live in the durable checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkOptions {
+    /// Webhook endpoint for page-level reports (`http://host:port/path`).
+    pub http: Option<String>,
+    /// Length-framed TCP endpoint (`host:port`).
+    pub tcp: Option<String>,
+    /// Cap on the exponential retry backoff, in milliseconds.
+    pub retry_max_ms: u64,
+    /// Per-route delivery buffer cap before oldest reports spill locally.
+    pub buffer_bytes: u64,
+    /// Which sink receives page-level (critical) reports: `http`, `tcp`
+    /// or `file`. Defaults to the most interactive sink configured.
+    pub route_critical: Option<String>,
+    /// Criticality at or above which a report is page-level (`low`,
+    /// `moderate`, `high`). Defaults to `high`. `low` pages on everything
+    /// — the right setting while the criticality head is still untrained,
+    /// since a cold classifier rates every anomaly `low` and would
+    /// otherwise starve the network sinks.
+    pub page_at: Criticality,
+}
+
+impl Default for SinkOptions {
+    fn default() -> SinkOptions {
+        SinkOptions {
+            http: None,
+            tcp: None,
+            retry_max_ms: 5_000,
+            buffer_bytes: 64 * 1024 * 1024,
+            route_critical: None,
+            page_at: Criticality::High,
+        }
+    }
 }
 
 impl DurableOptions {
@@ -152,6 +193,25 @@ durability options (monitor):
                                          (default 50; 0 fsyncs every line)
   --journal-segment-bytes <n>            WAL segment rotation threshold
                                          (default 8388608)
+
+delivery options (monitor, require --state-dir):
+  --sink-http <url>                      POST anomaly reports (ndjson) to
+                                         this webhook; healthchecked via
+                                         GET /healthz
+  --sink-tcp <host:port>                 stream reports over length-framed
+                                         TCP with per-report acks
+  --sink-retry-max-ms <n>                cap on the exponential retry
+                                         backoff (default 5000)
+  --sink-buffer-bytes <n>                per-route delivery buffer cap
+                                         before the oldest reports spill
+                                         to a local file (default 67108864)
+  --route-critical http|tcp|file         which sink receives page-level
+                                         reports (default: http if given,
+                                         else tcp, else file)
+  --page-at low|moderate|high            criticality at or above which a
+                                         report is page-level (default
+                                         high; use low while the
+                                         criticality head is untrained)
 ";
 
 /// Parse argv (without the program name).
@@ -167,6 +227,8 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     let mut journal_fsync_ms = JournalConfig::default().fsync_interval_ms;
     let mut journal_segment_bytes = JournalConfig::default().segment_bytes;
     let mut durable_tuning_given = false;
+    let mut sinks = SinkOptions::default();
+    let mut sinks_given = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -287,11 +349,106 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 journal_segment_bytes = bytes;
                 durable_tuning_given = true;
             }
+            "--sink-http" => {
+                i += 1;
+                let value = args.get(i).ok_or("--sink-http needs a url")?;
+                if !value.starts_with("http://") {
+                    return Err(format!(
+                        "invalid --sink-http {value:?}: only http:// urls are supported"
+                    ));
+                }
+                sinks.http = Some(value.clone());
+                sinks_given = true;
+            }
+            "--sink-tcp" => {
+                i += 1;
+                let value = args.get(i).ok_or("--sink-tcp needs host:port")?;
+                if !value.contains(':') {
+                    return Err(format!("invalid --sink-tcp {value:?}: expected host:port"));
+                }
+                sinks.tcp = Some(value.clone());
+                sinks_given = true;
+            }
+            "--sink-retry-max-ms" => {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or("--sink-retry-max-ms needs milliseconds")?;
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --sink-retry-max-ms {value:?}"))?;
+                if ms == 0 {
+                    return Err("--sink-retry-max-ms must be at least 1".to_string());
+                }
+                sinks.retry_max_ms = ms;
+                sinks_given = true;
+            }
+            "--sink-buffer-bytes" => {
+                i += 1;
+                let value = args.get(i).ok_or("--sink-buffer-bytes needs a size")?;
+                let bytes: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --sink-buffer-bytes {value:?}"))?;
+                if bytes < 4_096 {
+                    return Err("--sink-buffer-bytes must be at least 4096".to_string());
+                }
+                sinks.buffer_bytes = bytes;
+                sinks_given = true;
+            }
+            "--route-critical" => {
+                i += 1;
+                let value = args.get(i).ok_or("--route-critical needs http|tcp|file")?;
+                if !matches!(value.as_str(), "http" | "tcp" | "file") {
+                    return Err(format!(
+                        "invalid --route-critical {value:?}: expected http, tcp or file"
+                    ));
+                }
+                sinks.route_critical = Some(value.clone());
+                sinks_given = true;
+            }
+            "--page-at" => {
+                i += 1;
+                let value = args.get(i).ok_or("--page-at needs low|moderate|high")?;
+                sinks.page_at = match value.as_str() {
+                    "low" => Criticality::Low,
+                    "moderate" => Criticality::Moderate,
+                    "high" => Criticality::High,
+                    _ => {
+                        return Err(format!(
+                            "invalid --page-at {value:?}: expected low, moderate or high"
+                        ))
+                    }
+                };
+                sinks_given = true;
+            }
             "--help" | "-h" => return Ok(CliCommand::Help),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             positional_arg => positional.push(positional_arg.to_string()),
         }
         i += 1;
+    }
+    if sinks_given {
+        // Delivery is disk-buffered under the state directory and its
+        // cursors ride in the durable checkpoint — meaningless without it.
+        if state_dir.is_none() {
+            return Err(
+                "--sink-http / --sink-tcp / --sink-retry-max-ms / --sink-buffer-bytes / \
+                 --route-critical / --page-at require --state-dir"
+                    .to_string(),
+            );
+        }
+        if let Some(target) = &sinks.route_critical {
+            let available = match target.as_str() {
+                "http" => sinks.http.is_some(),
+                "tcp" => sinks.tcp.is_some(),
+                _ => true, // the file sink always exists
+            };
+            if !available {
+                return Err(format!(
+                    "--route-critical {target} requires --sink-{target}"
+                ));
+            }
+        }
     }
     let durable = match state_dir {
         Some(dir) => Some(DurableOptions {
@@ -299,6 +456,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             checkpoint_interval_ms,
             journal_fsync_ms,
             journal_segment_bytes,
+            sinks: sinks_given.then_some(sinks),
         }),
         None if durable_tuning_given => {
             return Err(
@@ -563,6 +721,82 @@ fn write_report_lines(out: &mut String, anomalies: &[ClassifiedAnomaly]) {
     }
 }
 
+/// Translate `SinkOptions` into concrete routes: page-level reports go
+/// to the `--route-critical` target (default: the most interactive sink
+/// configured), ticket-level to TCP when available, and everything else
+/// — plus anything unrouted — to a local rotating file under the state
+/// directory.
+fn build_delivery(
+    opts: &SinkOptions,
+    state_dir: &std::path::Path,
+) -> Result<DeliverySetup, String> {
+    use monilog_model::DeliveryClass;
+    use monilog_stream::sinks::{DeliveryConfig, FileSink, FramedTcpSink, RouteSpec, WebhookSink};
+
+    let critical = opts
+        .route_critical
+        .as_deref()
+        .unwrap_or(if opts.http.is_some() {
+            "http"
+        } else if opts.tcp.is_some() {
+            "tcp"
+        } else {
+            "file"
+        });
+    let mut specs = Vec::new();
+    if let Some(url) = &opts.http {
+        let sink = WebhookSink::from_url(url).map_err(|e| format!("--sink-http: {e}"))?;
+        let mut classes = Vec::new();
+        if critical == "http" {
+            classes.push(DeliveryClass::Page);
+        }
+        specs.push(RouteSpec {
+            name: "webhook".into(),
+            classes,
+            sink: Box::new(sink),
+        });
+    }
+    if let Some(addr) = &opts.tcp {
+        let mut classes = vec![DeliveryClass::Ticket];
+        if critical == "tcp" {
+            classes.push(DeliveryClass::Page);
+        }
+        specs.push(RouteSpec {
+            name: "tcp".into(),
+            classes,
+            sink: Box::new(FramedTcpSink::new(addr.clone())),
+        });
+    }
+    // The file route is always present and always last: it is the
+    // fallback for any class no other route claims.
+    let file_path = state_dir
+        .join(crate::durable::DELIVERY_DIR)
+        .join("reports.jsonl");
+    std::fs::create_dir_all(file_path.parent().expect("delivery dir"))
+        .map_err(|e| format!("create delivery dir: {e}"))?;
+    let file_sink = FileSink::open(&file_path, 16 * 1024 * 1024, 2)
+        .map_err(|e| format!("open file sink: {e}"))?;
+    let mut classes = vec![DeliveryClass::Log];
+    if critical == "file" {
+        classes.push(DeliveryClass::Page);
+    }
+    specs.push(RouteSpec {
+        name: "file".into(),
+        classes,
+        sink: Box::new(file_sink),
+    });
+
+    let mut config = DeliveryConfig::new("overridden-by-open");
+    config.retry.max_backoff = std::time::Duration::from_millis(opts.retry_max_ms);
+    config.buffer_spill_bytes = opts.buffer_bytes;
+    let mut setup = DeliverySetup::new(config, specs);
+    // `--page-at` lowers the page threshold; the ticket threshold never
+    // sits above it (a report can't be "page but not ticket worthy").
+    setup.router.page_at = opts.page_at;
+    setup.router.ticket_at = setup.router.ticket_at.min(opts.page_at);
+    Ok(setup)
+}
+
 /// The `--state-dir` monitor path: WAL-gated ingestion with crash
 /// recovery and SIGTERM/SIGINT graceful drain. The model checkpoint
 /// (`--checkpoint`) seeds the pipeline only on the first run against a
@@ -576,9 +810,19 @@ fn run_durable_monitor(
     out: &mut String,
 ) -> Result<(), String> {
     monilog_stream::install_shutdown_handler();
-    let (mut durable, stats) = DurableMoniLog::open(config, opts.to_config(), || {
-        MoniLog::restore(config, model_blob).map_err(|e| format!("invalid checkpoint: {e}"))
-    })?;
+    let delivery = match &opts.sinks {
+        Some(sinks) => Some(build_delivery(
+            sinks,
+            std::path::Path::new(&opts.state_dir),
+        )?),
+        None => None,
+    };
+    let (mut durable, stats) = DurableMoniLog::open_with_delivery(
+        config,
+        opts.to_config(),
+        || MoniLog::restore(config, model_blob).map_err(|e| format!("invalid checkpoint: {e}")),
+        delivery,
+    )?;
     let _exporter = spawn_exporter(durable.pipeline(), config.observability, out)?;
     match stats.resumed_generation {
         Some(generation) => {
@@ -620,14 +864,27 @@ fn run_durable_monitor(
         anomalies.extend(durable.ingest(&RawLog::new(SourceId(0), i as u64 + 1, line.clone()))?);
         processed += 1;
     }
-    // Keep a tracer handle: drain/finish consume the durable pipeline.
+    // Keep tracer/metrics handles: drain/finish consume the pipeline.
     let tracer = durable.pipeline().tracer();
+    let metrics = durable.pipeline().metrics();
+    let delivery_attached = durable.delivery().is_some();
     let (tail, generation) = if drained {
         durable.drain()?
     } else {
         durable.finish()?
     };
     anomalies.extend(tail);
+    if delivery_attached {
+        use monilog_stream::PipelineMetrics;
+        let _ = writeln!(
+            out,
+            "delivery: {} accepted, {} delivered, {} retries, {} spilled locally",
+            PipelineMetrics::get(&metrics.reports_accepted),
+            PipelineMetrics::get(&metrics.reports_delivered),
+            PipelineMetrics::get(&metrics.delivery_retries),
+            PipelineMetrics::get(&metrics.reports_spilled),
+        );
+    }
     if drained {
         let _ = writeln!(
             out,
@@ -1102,6 +1359,7 @@ mod tests {
                         checkpoint_interval_ms: 2500,
                         journal_fsync_ms: 0,
                         journal_segment_bytes: 65536,
+                        sinks: None,
                     })
                 );
             }
@@ -1157,6 +1415,140 @@ mod tests {
     }
 
     #[test]
+    fn sink_flags_parse() {
+        let parsed = parse_args(&args(&[
+            "monitor",
+            "a.log",
+            "--checkpoint",
+            "m.bin",
+            "--state-dir",
+            "/var/lib/monilog",
+            "--sink-http",
+            "http://alerts:9000/hooks",
+            "--sink-tcp",
+            "collector:7600",
+            "--sink-retry-max-ms",
+            "2000",
+            "--sink-buffer-bytes",
+            "1048576",
+            "--route-critical",
+            "tcp",
+            "--page-at",
+            "low",
+        ]))
+        .unwrap();
+        match parsed {
+            CliCommand::Monitor { durable, .. } => {
+                let sinks = durable.unwrap().sinks.unwrap();
+                assert_eq!(
+                    sinks,
+                    SinkOptions {
+                        http: Some("http://alerts:9000/hooks".into()),
+                        tcp: Some("collector:7600".into()),
+                        retry_max_ms: 2000,
+                        buffer_bytes: 1_048_576,
+                        route_critical: Some("tcp".into()),
+                        page_at: Criticality::Low,
+                    }
+                );
+            }
+            other => panic!("expected Monitor, got {other:?}"),
+        }
+
+        // Sink flags are meaningless without the durable substrate.
+        assert!(parse_args(&args(&[
+            "monitor",
+            "a.log",
+            "--checkpoint",
+            "m.bin",
+            "--sink-tcp",
+            "collector:7600"
+        ]))
+        .unwrap_err()
+        .contains("--state-dir"));
+        // Routing critical reports to an unconfigured sink is an error.
+        assert!(parse_args(&args(&[
+            "monitor",
+            "a.log",
+            "--checkpoint",
+            "m.bin",
+            "--state-dir",
+            "s",
+            "--route-critical",
+            "http"
+        ]))
+        .unwrap_err()
+        .contains("--sink-http"));
+        // Value validation.
+        assert!(parse_args(&args(&[
+            "monitor",
+            "a",
+            "--checkpoint",
+            "m",
+            "--state-dir",
+            "s",
+            "--sink-http",
+            "ftp://x"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "monitor",
+            "a",
+            "--checkpoint",
+            "m",
+            "--state-dir",
+            "s",
+            "--sink-tcp",
+            "noport"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "monitor",
+            "a",
+            "--checkpoint",
+            "m",
+            "--state-dir",
+            "s",
+            "--sink-retry-max-ms",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "monitor",
+            "a",
+            "--checkpoint",
+            "m",
+            "--state-dir",
+            "s",
+            "--sink-buffer-bytes",
+            "16"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "monitor",
+            "a",
+            "--checkpoint",
+            "m",
+            "--state-dir",
+            "s",
+            "--route-critical",
+            "carrier-pigeon"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "monitor",
+            "a",
+            "--checkpoint",
+            "m",
+            "--state-dir",
+            "s",
+            "--page-at",
+            "volcanic"
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn durable_monitor_completes_and_restarts_with_zero_replay() {
         let dir = std::env::temp_dir().join("monilog_cli_durable_test");
         let _ = std::fs::remove_dir_all(&dir);
@@ -1208,6 +1600,7 @@ mod tests {
                 checkpoint_interval_ms: 5_000,
                 journal_fsync_ms: 0,
                 journal_segment_bytes: JournalConfig::default().segment_bytes,
+                sinks: None,
             }),
         };
 

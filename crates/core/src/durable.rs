@@ -9,6 +9,7 @@
 //!   journal/         write-ahead segments, one series per source
 //!   checkpoints/     generational state snapshots (two retained)
 //!   anomalies.jsonl  every report ever emitted, one JSON line each
+//!   delivery/        per-route outbound buffers and spill files
 //! ```
 //!
 //! The contract is *journal first, apply second*: a raw line is appended
@@ -27,14 +28,19 @@
 //! is the end-of-input path, which additionally flushes open windows.
 
 use crate::{ClassifiedAnomaly, MoniLog, MoniLogConfig};
+use monilog_classify::SeverityRouter;
 use monilog_model::{CheckpointManifest, JournalPosition, RawLog, SourceId};
 use monilog_stream::durable::{CheckpointStore, Journal, JournalConfig};
+use monilog_stream::sinks::{
+    decode_positions, encode_positions, BufferedReport, DeliveryConfig, DeliveryPipeline,
+    DeliveryWorker, RouteSpec,
+};
 use monilog_stream::{PipelineMetrics, Stage};
 use std::collections::{HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Name of the emitted-report sink file inside the state directory.
 pub const ANOMALIES_FILE: &str = "anomalies.jsonl";
@@ -42,6 +48,10 @@ pub const ANOMALIES_FILE: &str = "anomalies.jsonl";
 pub const JOURNAL_DIR: &str = "journal";
 /// Name of the checkpoint subdirectory inside the state directory.
 pub const CHECKPOINTS_DIR: &str = "checkpoints";
+/// Name of the delivery buffer subdirectory inside the state directory.
+pub const DELIVERY_DIR: &str = "delivery";
+/// Manifest section carrying delivery-buffer cursors across restarts.
+pub const DELIVERY_SECTION: &str = "delivery";
 
 /// Durability knobs surfaced through the CLI (`--state-dir`,
 /// `--checkpoint-interval-ms`, `--journal-fsync-ms`,
@@ -63,6 +73,40 @@ impl DurableConfig {
             state_dir: state_dir.into(),
             checkpoint_interval_ms: 5_000,
             journal: JournalConfig::default(),
+        }
+    }
+}
+
+/// Outbound anomaly delivery, wired into the durable pipeline.
+///
+/// When attached, every fresh report is accepted into the on-disk
+/// delivery buffers (`<state-dir>/delivery/`) *before* it is committed to
+/// `anomalies.jsonl`, and a background worker pumps the buffers toward
+/// the configured sinks. The buffer cursors ride in the checkpoint
+/// manifest ([`DELIVERY_SECTION`]), so a kill+restart resumes delivery
+/// where it stopped; a crash between buffer-accept and sink-commit makes
+/// the replayed report look fresh again, which re-buffers it — the
+/// receiver's id dedup absorbs the duplicate, and nothing is ever lost.
+pub struct DeliverySetup {
+    /// Buffer/retry/breaker tuning. `config.dir` is overridden to
+    /// `<state-dir>/delivery` so all durable state shares one root.
+    pub config: DeliveryConfig,
+    /// Routes, first match wins; last route is the fallback.
+    pub specs: Vec<RouteSpec>,
+    /// Maps report criticality to a [`monilog_model::DeliveryClass`].
+    pub router: SeverityRouter,
+    /// Poll cadence of the background pump worker.
+    pub worker_poll: Duration,
+}
+
+impl DeliverySetup {
+    /// Delivery with default routing/poll and the given routes.
+    pub fn new(config: DeliveryConfig, specs: Vec<RouteSpec>) -> DeliverySetup {
+        DeliverySetup {
+            config,
+            specs,
+            router: SeverityRouter::default(),
+            worker_poll: Duration::from_millis(50),
         }
     }
 }
@@ -129,31 +173,39 @@ impl EmittedSink {
         Ok(EmittedSink { file, ids })
     }
 
-    /// Record the reports not yet in the sink and return them; the second
-    /// value counts suppressed duplicates.
-    fn record(
-        &mut self,
-        anomalies: Vec<ClassifiedAnomaly>,
-    ) -> Result<(Vec<ClassifiedAnomaly>, u64), String> {
+    /// Partition `anomalies` into (never seen before, count suppressed).
+    /// Marks the fresh ids as seen — pair with [`EmittedSink::commit`],
+    /// which persists them. The split exists so a delivery buffer can
+    /// accept the fresh reports *between* the two calls: a crash in that
+    /// window replays the report as fresh (duplicate absorbed
+    /// receiver-side) instead of silently skipping delivery.
+    fn split_fresh(&mut self, anomalies: Vec<ClassifiedAnomaly>) -> (Vec<ClassifiedAnomaly>, u64) {
         let mut fresh = Vec::new();
         let mut suppressed = 0u64;
-        let mut buf = Vec::new();
         for a in anomalies {
             if self.ids.insert(a.report.id) {
-                buf.extend_from_slice(a.report.to_json().as_bytes());
-                buf.push(b'\n');
                 fresh.push(a);
             } else {
                 suppressed += 1;
             }
         }
-        if !buf.is_empty() {
-            self.file
-                .write_all(&buf)
-                .and_then(|()| self.file.sync_data())
-                .map_err(|e| format!("append anomaly sink: {e}"))?;
+        (fresh, suppressed)
+    }
+
+    /// Durably append the fresh reports to the sink file.
+    fn commit(&mut self, fresh: &[ClassifiedAnomaly]) -> Result<(), String> {
+        if fresh.is_empty() {
+            return Ok(());
         }
-        Ok((fresh, suppressed))
+        let mut buf = Vec::new();
+        for a in fresh {
+            buf.extend_from_slice(a.report.to_json().as_bytes());
+            buf.push(b'\n');
+        }
+        self.file
+            .write_all(&buf)
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| format!("append anomaly sink: {e}"))
     }
 }
 
@@ -166,6 +218,35 @@ fn report_id_of(line: &[u8]) -> Option<u64> {
     rest[..end].parse().ok()
 }
 
+/// The emit path shared by replay, ingest and finish: filter to fresh
+/// reports, durably *accept* them into the delivery buffers, then commit
+/// them to the sink file — in that order. A crash after accept but before
+/// commit leaves the report both in the buffer and regenerable as fresh
+/// (the sink never saw it), so the worst case is a duplicate delivery the
+/// receiver dedups; loss is impossible.
+fn emit(
+    sink: &mut EmittedSink,
+    delivery: Option<&DeliveryPipeline>,
+    router: &SeverityRouter,
+    produced: Vec<ClassifiedAnomaly>,
+) -> Result<(Vec<ClassifiedAnomaly>, u64), String> {
+    let (fresh, suppressed) = sink.split_fresh(produced);
+    if let Some(pipe) = delivery {
+        let reports: Vec<BufferedReport> = fresh
+            .iter()
+            .map(|a| BufferedReport {
+                id: a.report.id,
+                class: router.class_for(a.assignment.criticality),
+                body: a.report.to_json(),
+            })
+            .collect();
+        pipe.accept(&reports)
+            .map_err(|e| format!("delivery accept: {e}"))?;
+    }
+    sink.commit(&fresh)?;
+    Ok((fresh, suppressed))
+}
+
 /// A [`MoniLog`] whose state survives process death.
 pub struct DurableMoniLog {
     pipeline: MoniLog,
@@ -174,6 +255,10 @@ pub struct DurableMoniLog {
     journal: Journal,
     store: CheckpointStore,
     sink: EmittedSink,
+    /// Outbound delivery (buffers + pump worker), when configured.
+    delivery: Option<DeliveryPipeline>,
+    worker: Option<DeliveryWorker>,
+    router: SeverityRouter,
     /// Per-source highest seq fed to the pipeline (== checkpointable).
     applied: HashMap<u16, u64>,
     /// Per-source highest seq appended to the journal (>= applied).
@@ -195,6 +280,20 @@ impl DurableMoniLog {
         durable: DurableConfig,
         fresh: impl FnOnce() -> Result<MoniLog, String>,
     ) -> Result<(DurableMoniLog, RecoveryStats), String> {
+        Self::open_with_delivery(config, durable, fresh, None)
+    }
+
+    /// [`DurableMoniLog::open`] with outbound anomaly delivery attached.
+    /// The delivery buffers live under `<state-dir>/delivery/`; their
+    /// cursors are recovered from the [`DELIVERY_SECTION`] of the
+    /// checkpoint manifest, so reports accepted-but-undelivered before a
+    /// SIGKILL are pumped again after restart.
+    pub fn open_with_delivery(
+        config: MoniLogConfig,
+        durable: DurableConfig,
+        fresh: impl FnOnce() -> Result<MoniLog, String>,
+        delivery: Option<DeliverySetup>,
+    ) -> Result<(DurableMoniLog, RecoveryStats), String> {
         fs::create_dir_all(&durable.state_dir)
             .map_err(|e| format!("create {}: {e}", durable.state_dir.display()))?;
         let store = CheckpointStore::open(durable.state_dir.join(CHECKPOINTS_DIR))
@@ -206,6 +305,7 @@ impl DurableMoniLog {
         let mut stats = RecoveryStats::default();
         let mut applied: HashMap<u16, u64> = HashMap::new();
         let mut generation = 0u64;
+        let mut delivery_positions = Vec::new();
         let mut pipeline = match loaded {
             Some(ckpt) => {
                 let state = ckpt
@@ -216,6 +316,12 @@ impl DurableMoniLog {
                 for p in &ckpt.manifest.positions {
                     applied.insert(p.source.0, p.last_seq);
                 }
+                if let Some(bytes) = ckpt.manifest.section(DELIVERY_SECTION) {
+                    // A damaged section only loses the cursors: delivery
+                    // restarts from the first buffered frame, and the
+                    // receiver dedups what it already saw.
+                    delivery_positions = decode_positions(bytes).unwrap_or_default();
+                }
                 generation = ckpt.manifest.generation;
                 stats.resumed_generation = Some(generation);
                 stats.fell_back = ckpt.fell_back;
@@ -225,6 +331,24 @@ impl DurableMoniLog {
         };
 
         let mut sink = EmittedSink::open(&durable.state_dir.join(ANOMALIES_FILE))?;
+
+        // Bring up delivery before replay so reports regenerated by the
+        // replay are buffered exactly like live ones.
+        let (delivery, worker, router) = match delivery {
+            Some(mut setup) => {
+                setup.config.dir = durable.state_dir.join(DELIVERY_DIR);
+                let pipe = DeliveryPipeline::open(
+                    setup.config,
+                    setup.specs,
+                    &delivery_positions,
+                    pipeline.registry(),
+                )
+                .map_err(|e| format!("open delivery pipeline: {e}"))?;
+                let worker = pipe.spawn_worker(setup.worker_poll);
+                (Some(pipe), Some(worker), setup.router)
+            }
+            None => (None, None, SeverityRouter::default()),
+        };
 
         // Replay the journal suffix: every line the pipeline acted on
         // after the checkpoint runs through it again, regenerating the
@@ -244,7 +368,7 @@ impl DurableMoniLog {
             let produced = pipeline.ingest(raw);
             let entry = applied.entry(raw.source.0).or_insert(0);
             *entry = (*entry).max(raw.seq);
-            let (emitted, suppressed) = sink.record(produced)?;
+            let (emitted, suppressed) = emit(&mut sink, delivery.as_ref(), &router, produced)?;
             stats.anomalies.extend(emitted);
             stats.suppressed_duplicates += suppressed;
         }
@@ -266,6 +390,9 @@ impl DurableMoniLog {
                 journal,
                 store,
                 sink,
+                delivery,
+                worker,
+                router,
                 applied,
                 journaled,
                 pending: Vec::new(),
@@ -312,9 +439,12 @@ impl DurableMoniLog {
     /// Graceful drain — the SIGTERM path. Syncs the journal, applies
     /// whatever was pending, writes a final checkpoint, and consumes the
     /// handle. Open windows stay open *in the checkpoint*: the next start
-    /// picks them up with zero journal replay.
+    /// picks them up with zero journal replay. Reports still undelivered
+    /// when the delivery flush window closes stay in the durable buffers
+    /// and resume pumping after restart.
     pub fn drain(mut self) -> Result<(Vec<ClassifiedAnomaly>, u64), String> {
         let out = self.commit_pending()?;
+        self.flush_delivery();
         let generation = self.write_checkpoint()?;
         Ok((out, generation))
     }
@@ -324,10 +454,27 @@ impl DurableMoniLog {
     pub fn finish(mut self) -> Result<(Vec<ClassifiedAnomaly>, u64), String> {
         let mut out = self.commit_pending()?;
         let flushed = self.pipeline.flush();
-        let (emitted, _) = self.sink.record(flushed)?;
+        let (emitted, _) = emit(
+            &mut self.sink,
+            self.delivery.as_ref(),
+            &self.router,
+            flushed,
+        )?;
         out.extend(emitted);
+        self.flush_delivery();
         let generation = self.write_checkpoint()?;
         Ok((out, generation))
+    }
+
+    /// Stop the pump worker and give delivery a bounded window to drain.
+    /// Best-effort: whatever stays pending is durable and resumes later.
+    fn flush_delivery(&mut self) {
+        if let Some(mut worker) = self.worker.take() {
+            worker.stop();
+        }
+        if let Some(pipe) = &self.delivery {
+            let _ = pipe.flush(Duration::from_secs(5));
+        }
     }
 
     /// Fsync the journal, then apply every synced-but-unapplied line.
@@ -340,7 +487,12 @@ impl DurableMoniLog {
             let produced = self.pipeline.ingest(&raw);
             let entry = self.applied.entry(raw.source.0).or_insert(0);
             *entry = (*entry).max(raw.seq);
-            let (emitted, _) = self.sink.record(produced)?;
+            let (emitted, _) = emit(
+                &mut self.sink,
+                self.delivery.as_ref(),
+                &self.router,
+                produced,
+            )?;
             out.extend(emitted);
         }
         Ok(out)
@@ -370,6 +522,11 @@ impl DurableMoniLog {
             });
         }
         manifest.set_section("pipeline", state);
+        if let Some(pipe) = &self.delivery {
+            // Delivery cursors ride in the manifest: on restart the
+            // buffers resume exactly where the checkpoint left them.
+            manifest.set_section(DELIVERY_SECTION, encode_positions(&pipe.positions()));
+        }
         self.store
             .commit(&manifest)
             .map_err(|e| format!("commit checkpoint: {e}"))?;
@@ -408,6 +565,11 @@ impl DurableMoniLog {
     /// Path of the emitted-report sink.
     pub fn anomalies_path(&self) -> PathBuf {
         self.durable.state_dir.join(ANOMALIES_FILE)
+    }
+
+    /// The outbound delivery pipeline, when one was attached at open.
+    pub fn delivery(&self) -> Option<&DeliveryPipeline> {
+        self.delivery.as_ref()
     }
 }
 
@@ -645,6 +807,108 @@ mod tests {
         let reopened = EmittedSink::open(&dir.join(ANOMALIES_FILE));
         drop(sink);
         assert!(reopened.unwrap().ids.contains(&9));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delivery_survives_kill_and_restart_without_loss() {
+        use monilog_stream::chaos::{FlakySinkServer, SinkProtocol};
+        use monilog_stream::sinks::FramedTcpSink;
+
+        let dir = tmp_dir("delivery");
+        let expected: Vec<u64> = {
+            let mut m = trained();
+            let mut out = Vec::new();
+            for i in 32..64u64 {
+                out.extend(m.ingest(&RawLog::new(SourceId(0), i + 1, &line(i))));
+            }
+            out.extend(m.flush());
+            let mut ids: Vec<u64> = out.iter().map(|a| a.report.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        };
+        assert!(!expected.is_empty());
+
+        // Reserve an address with nothing listening on it yet: the whole
+        // first life runs against a dead endpoint, so every report stays
+        // buffered on disk.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+
+        let durable = DurableConfig {
+            checkpoint_interval_ms: u64::MAX,
+            journal: JournalConfig {
+                fsync_interval_ms: 0,
+                ..JournalConfig::default()
+            },
+            ..DurableConfig::new(&dir)
+        };
+        let setup = || {
+            let mut config = DeliveryConfig::new("ignored");
+            config.retry.base_backoff = Duration::from_millis(1);
+            config.retry.max_backoff = Duration::from_millis(20);
+            DeliverySetup::new(
+                config,
+                vec![RouteSpec {
+                    name: "all".into(),
+                    classes: monilog_model::DeliveryClass::ALL.to_vec(),
+                    sink: Box::new(
+                        FramedTcpSink::new(addr.to_string())
+                            .with_timeouts(Duration::from_millis(100), Duration::from_millis(300)),
+                    ),
+                }],
+            )
+        };
+
+        // First life: sink endpoint down the whole time. Checkpoint mid
+        // way, then "crash" — buffered reports must survive on disk.
+        let (mut first, _) = DurableMoniLog::open_with_delivery(
+            test_config(),
+            durable.clone(),
+            || Ok(trained()),
+            Some(setup()),
+        )
+        .unwrap();
+        for i in 32..42u64 {
+            first
+                .ingest(&RawLog::new(SourceId(0), i + 1, &line(i)))
+                .unwrap();
+        }
+        first.checkpoint_now().unwrap();
+        for i in 42..48u64 {
+            first
+                .ingest(&RawLog::new(SourceId(0), i + 1, &line(i)))
+                .unwrap();
+        }
+        let buffered = first.delivery().unwrap().pending_bytes();
+        assert!(buffered > 0, "undelivered reports must be buffered");
+        drop(first); // SIGKILL stand-in
+
+        // The endpoint comes back before the second life starts.
+        let server =
+            FlakySinkServer::spawn(&addr.to_string(), SinkProtocol::Framed, vec![]).unwrap();
+        let (mut second, _) = DurableMoniLog::open_with_delivery(
+            test_config(),
+            durable,
+            || panic!("must recover"),
+            Some(setup()),
+        )
+        .unwrap();
+        for i in 48..64u64 {
+            second
+                .ingest(&RawLog::new(SourceId(0), i + 1, &line(i)))
+                .unwrap();
+        }
+        second.finish().unwrap();
+
+        assert_eq!(
+            server.delivered_ids(),
+            expected,
+            "after kill+restart the receiver holds exactly the reference report set"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -21,7 +21,7 @@ pub mod durable;
 mod pipeline;
 pub mod windowing;
 
-pub use durable::{DurableConfig, DurableMoniLog, RecoveryStats};
+pub use durable::{DeliverySetup, DurableConfig, DurableMoniLog, RecoveryStats};
 pub use pipeline::{
     ClassifiedAnomaly, DetectorChoice, FaultToleranceConfig, HeaderFormatChoice, MoniLog,
     MoniLogConfig, ObservabilityConfig,

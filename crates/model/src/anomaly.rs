@@ -76,6 +76,62 @@ impl fmt::Display for Criticality {
     }
 }
 
+/// How an anomaly report should reach the operator, derived from its
+/// [`Criticality`] by the severity router in `monilog-classify`.
+///
+/// Section V frames classification as prioritising the administrator's
+/// attention; delivery classes are the actionable end of that scale:
+/// page someone, open a ticket, or just keep a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeliveryClass {
+    /// Interrupt-a-human severity — routed to the webhook/pager sink.
+    Page,
+    /// Needs follow-up but not immediately — routed to the TCP sink.
+    Ticket,
+    /// Record-keeping only — routed to the local file sink.
+    Log,
+}
+
+impl DeliveryClass {
+    pub const ALL: [DeliveryClass; 3] = [
+        DeliveryClass::Page,
+        DeliveryClass::Ticket,
+        DeliveryClass::Log,
+    ];
+
+    /// Stable wire tag used in the delivery buffer frames.
+    pub fn tag(self) -> u8 {
+        match self {
+            DeliveryClass::Page => 0,
+            DeliveryClass::Ticket => 1,
+            DeliveryClass::Log => 2,
+        }
+    }
+
+    /// Inverse of [`DeliveryClass::tag`], clamping unknown tags to `Log`.
+    pub fn from_tag(v: u8) -> DeliveryClass {
+        match v {
+            0 => DeliveryClass::Page,
+            1 => DeliveryClass::Ticket,
+            _ => DeliveryClass::Log,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DeliveryClass::Page => "page",
+            DeliveryClass::Ticket => "ticket",
+            DeliveryClass::Log => "log",
+        }
+    }
+}
+
+impl fmt::Display for DeliveryClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A detected anomaly with all the evidence the detector saw.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AnomalyReport {

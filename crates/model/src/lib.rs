@@ -43,7 +43,7 @@ pub mod time;
 pub mod tokenize;
 pub mod trace;
 
-pub use anomaly::{AnomalyKind, AnomalyReport, Criticality};
+pub use anomaly::{AnomalyKind, AnomalyReport, Criticality, DeliveryClass};
 pub use checkpoint::{CheckpointManifest, JournalPosition};
 pub use codec::{crc32, CodecError, Decoder, Encoder};
 pub use event::{EventId, LogEvent, SessionKey};

@@ -57,12 +57,53 @@ struct Node {
     groups: Vec<TemplateId>,
 }
 
+/// FNV-1a as a `Hasher`, for the cache's token interner and id-keyed
+/// map. The default SipHash is hardened against adversarial keys, which
+/// the hot path does not need; FNV halves the per-lookup hashing cost.
+#[derive(Debug, Default, Clone)]
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xCBF2_9CE4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvBuild = std::hash::BuildHasherDefault<FnvHasher>;
+
+/// Stop growing the interner past this many distinct tokens — shapes
+/// containing tokens beyond the cap simply never cache (graceful
+/// degradation, bounded memory).
+const MAX_INTERNED_TOKENS: usize = 1 << 20;
+
 /// Memoized template matches in front of the tree walk.
 ///
 /// Log streams are massively repetitive: once a template stabilizes,
 /// every further line of it walks the same tree path, scans the same
 /// leaf groups, and widens nothing. The cache short-circuits that whole
-/// sequence to one hash lookup, keyed by the masked token signature.
+/// sequence to one hash-map probe.
+///
+/// The probe is keyed on *interned token ids*, not on the token strings:
+/// each distinct masked token is assigned a stable `u32` once, so a
+/// lookup resolves the line's tokens to ids (one cheap map probe per
+/// token), then probes the cache with the id slice. Key equality is
+/// exact `[u32]` comparison — no joined-string rebuild, no per-hit
+/// string re-verification, and hash collisions are impossible to confuse
+/// with hits. A token never seen by the interner is a guaranteed miss
+/// and short-circuits before any hashing of the remaining tokens.
 ///
 /// Output-invisibility argument (enforced by the differential proptest
 /// in `tests/cache_differential.rs`):
@@ -71,9 +112,9 @@ struct Node {
 ///   hit replays a parse whose result is a pure function of frozen
 ///   parser state;
 /// - *any* mutation (template widened, template minted) flushes the
-///   entire cache, so no entry can outlive the state it memoized;
-/// - hits verify the stored masked tokens against the line (hash
-///   collisions fall through to the tree walk);
+///   entire entry map, so no entry can outlive the state it memoized
+///   (the interner survives flushes: token ids are stable names, not
+///   memoized state);
 /// - variables are re-extracted from the *current* line at the
 ///   template's wildcard positions — lines with equal masked shape still
 ///   differ in their raw variable tokens.
@@ -82,52 +123,52 @@ struct Node {
 /// parser, and a fresh parser has an empty cache.
 #[derive(Debug, Default)]
 struct MatchCache {
-    map: HashMap<u64, CacheEntry>,
+    /// Masked token → stable id. Never flushed; capped at
+    /// [`MAX_INTERNED_TOKENS`].
+    interner: HashMap<Box<str>, u32, FnvBuild>,
+    /// Interned-id shape → memoized pure match.
+    map: HashMap<Box<[u32]>, CacheEntry, FnvBuild>,
+    /// Reused id buffer so lookups never allocate.
+    scratch: Vec<u32>,
     hits: u64,
     misses: u64,
 }
 
 #[derive(Debug)]
 struct CacheEntry {
-    /// The masked tokens joined by `' '`, verified on every hit so a
-    /// hash collision degrades to a miss instead of a wrong template.
-    key: Box<str>,
     template: TemplateId,
     /// Wildcard positions of the template at install time.
     wildcards: Box<[u32]>,
 }
 
-impl CacheEntry {
-    fn matches(&self, masked: &[&str]) -> bool {
-        let mut it = self.key.split(' ');
-        for tok in masked {
-            if it.next() != Some(*tok) {
-                return false;
-            }
-        }
-        it.next().is_none()
-    }
-}
-
 impl MatchCache {
-    /// FNV-1a over the masked tokens with a per-token terminator, so
-    /// `["ab","c"]` and `["a","bc"]` hash differently.
-    fn signature(masked: &[&str]) -> u64 {
-        let mut h = 0xCBF2_9CE4_8422_2325u64;
+    /// Probe for a memoized pure match. Counts the hit/miss either way.
+    fn lookup(&mut self, masked: &[&str]) -> Option<(TemplateId, &[u32])> {
+        self.scratch.clear();
         for tok in masked {
-            for &b in tok.as_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            match self.interner.get(*tok) {
+                Some(&id) => self.scratch.push(id),
+                None => {
+                    // Unknown token: no installed shape can contain it.
+                    self.misses += 1;
+                    return None;
+                }
             }
-            h ^= 0x1FF;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        h
+        match self.map.get(self.scratch.as_slice()) {
+            Some(entry) => {
+                self.hits += 1;
+                Some((entry.template, &entry.wildcards))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
     }
 
     fn install(
         &mut self,
-        h: u64,
         capacity: usize,
         masked: &[&str],
         gid: TemplateId,
@@ -135,6 +176,20 @@ impl MatchCache {
     ) {
         if self.map.len() >= capacity {
             return;
+        }
+        self.scratch.clear();
+        for tok in masked {
+            match self.interner.get(*tok) {
+                Some(&id) => self.scratch.push(id),
+                None => {
+                    if self.interner.len() >= MAX_INTERNED_TOKENS {
+                        return; // shape not cacheable; parse stays correct
+                    }
+                    let id = self.interner.len() as u32;
+                    self.interner.insert((*tok).into(), id);
+                    self.scratch.push(id);
+                }
+            }
         }
         let template = store.get(gid).expect("cached ids are valid");
         let wildcards = template
@@ -145,19 +200,19 @@ impl MatchCache {
             .map(|(i, _)| i as u32)
             .collect();
         self.map.insert(
-            h,
+            self.scratch.as_slice().into(),
             CacheEntry {
-                key: masked.join(" ").into_boxed_str(),
                 template: gid,
                 wildcards,
             },
         );
     }
 
-    /// Drop everything: the parser state an entry memoized no longer
-    /// exists. Coarse by design — mutations are rare once templates
-    /// plateau, and per-entry invalidation would need to know which
-    /// shapes a widened template *could* now match.
+    /// Drop every memoized match: the parser state an entry memoized no
+    /// longer exists. Coarse by design — mutations are rare once
+    /// templates plateau, and per-entry invalidation would need to know
+    /// which shapes a widened template *could* now match. The interner is
+    /// deliberately kept: ids are stable names for tokens, not state.
     fn flush(&mut self) {
         self.map.clear();
     }
@@ -367,26 +422,20 @@ impl OnlineParser for Drain {
 
         // Fast path: a memoized pure match replays the tree walk's result
         // on provably unchanged state (see `MatchCache`).
-        let sig = (self.config.cache_capacity > 0 && !masked.is_empty())
-            .then(|| MatchCache::signature(&masked));
-        if let Some(h) = sig {
-            if let Some(entry) = self.cache.map.get(&h) {
-                if entry.matches(&masked) {
-                    self.cache.hits += 1;
-                    self.last_cache_hit = true;
-                    let variables = entry
-                        .wildcards
-                        .iter()
-                        .map(|&i| original[i as usize].to_string())
-                        .collect();
-                    return ParseOutcome {
-                        template: entry.template,
-                        is_new: false,
-                        variables,
-                    };
-                }
+        let use_cache = self.config.cache_capacity > 0 && !masked.is_empty();
+        if use_cache {
+            if let Some((template, wildcards)) = self.cache.lookup(&masked) {
+                self.last_cache_hit = true;
+                let variables = wildcards
+                    .iter()
+                    .map(|&i| original[i as usize].to_string())
+                    .collect();
+                return ParseOutcome {
+                    template,
+                    is_new: false,
+                    variables,
+                };
             }
-            self.cache.misses += 1;
         }
 
         let leaf = Self::leaf_mut(&mut self.by_len, &self.config, &masked);
@@ -428,9 +477,9 @@ impl OnlineParser for Drain {
                     }
                     self.store.update(gid, tokens);
                     self.cache.flush();
-                } else if let Some(h) = sig {
+                } else if use_cache {
                     self.cache
-                        .install(h, self.config.cache_capacity, &masked, gid, &self.store);
+                        .install(self.config.cache_capacity, &masked, gid, &self.store);
                 }
                 let template = self.store.get(gid).expect("valid id");
                 let variables = template

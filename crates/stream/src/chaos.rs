@@ -25,9 +25,26 @@
 //! they are behaviours of the *test harness's consumer loop*, driven by
 //! [`FaultPlan::stall_consumer_at`] / [`FaultPlan::disconnect_consumer_at`]
 //! so the whole scenario still lives in one declarative plan.
+//!
+//! ## Sink faults
+//!
+//! The delivery layer ([`crate::sinks`]) gets the same treatment from
+//! [`FlakySinkServer`]: a scripted in-process receiver whose faults are
+//! keyed on the **accepted-connection index** — connection 0 gets
+//! `script[0]`, connection 1 gets `script[1]`, … — so "refuse the first
+//! two connections, reset the third mid-frame, answer 429 to the fourth,
+//! hang on the fifth, then behave" is a reproducible plan, not a race.
+//! The server records every report id it acknowledged; the harness
+//! compares that *receiver-side* delivered set against a fault-free run.
 
-use std::collections::BTreeSet;
+use crate::sinks::{self, BufferedReport, PING_ACK};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashSet};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Panic payload marking an injected whole-worker crash.
 ///
@@ -141,6 +158,327 @@ impl FaultPlan {
     }
 }
 
+/// One connection's scripted behaviour in a [`FlakySinkServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkFault {
+    /// Serve the connection normally (record + ack everything).
+    Healthy,
+    /// Close immediately after accepting — the client sees a refused/reset
+    /// connection before any byte moves.
+    Refuse,
+    /// Read part of the first data frame, then drop the socket mid-frame.
+    ResetMidFrame,
+    /// HTTP mode: answer `429 Too Many Requests` without recording.
+    /// Framed mode: read one frame, ack nothing, close (equivalent
+    /// transient rejection).
+    Http429,
+    /// HTTP mode: answer `500 Internal Server Error` without recording.
+    /// Framed mode: same as [`SinkFault::Http429`].
+    Http500,
+    /// Go silent after accepting: read nothing, write nothing, for longer
+    /// than any client write/read timeout.
+    Hang,
+}
+
+/// Which protocol the flaky server speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkProtocol {
+    /// The [`crate::sinks`] frame protocol with per-report acks.
+    Framed,
+    /// Minimal HTTP/1.1: `POST` of ndjson bodies, `GET /healthz`.
+    Http,
+}
+
+/// Shared observable state of a [`FlakySinkServer`].
+#[derive(Debug, Default)]
+struct SinkLedger {
+    /// Every id acknowledged, in arrival order (duplicates included).
+    acked: Mutex<Vec<u64>>,
+    /// Ids seen at least once — the receiver-side dedup set.
+    seen: Mutex<HashSet<u64>>,
+    duplicates: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// A scripted in-process flaky sink endpoint.
+///
+/// Faults are consumed per accepted connection: connection `i` behaves as
+/// `script[i]`, and connections past the script's end are
+/// [`SinkFault::Healthy`]. The server dedups by report id (mirroring any
+/// real idempotent receiver), so the harness can assert "zero lost, zero
+/// duplicate after dedup" directly on [`FlakySinkServer::delivered_ids`].
+pub struct FlakySinkServer {
+    addr: SocketAddr,
+    ledger: Arc<SinkLedger>,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FlakySinkServer {
+    /// Bind `addr` (use port 0 for ephemeral) and serve `protocol` with
+    /// the given per-connection fault script.
+    pub fn spawn(
+        addr: &str,
+        protocol: SinkProtocol,
+        script: Vec<SinkFault>,
+    ) -> std::io::Result<FlakySinkServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // Accept with a poll timeout so `stop` is honoured promptly.
+        listener.set_nonblocking(true)?;
+        let ledger = Arc::new(SinkLedger::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_ledger = Arc::clone(&ledger);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("flaky-sink".into())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let idx = thread_ledger.connections.fetch_add(1, Ordering::Relaxed);
+                            let fault = script
+                                .get(idx as usize)
+                                .copied()
+                                .unwrap_or(SinkFault::Healthy);
+                            let ledger = Arc::clone(&thread_ledger);
+                            let stop = Arc::clone(&thread_stop);
+                            // One thread per connection: hangs must not
+                            // block the accept loop.
+                            std::thread::spawn(move || {
+                                serve_connection(stream, protocol, fault, &ledger, &stop);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn flaky sink server");
+        Ok(FlakySinkServer {
+            addr: local,
+            ledger,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The receiver-side delivered set: every id acknowledged at least
+    /// once, ascending.
+    pub fn delivered_ids(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.ledger.seen.lock().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Acks whose id had already been seen (re-deliveries absorbed by the
+    /// receiver-side dedup).
+    pub fn duplicate_acks(&self) -> u64 {
+        self.ledger.duplicates.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted so far (the script cursor).
+    pub fn connections(&self) -> u64 {
+        self.ledger.connections.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and join the accept loop. Returns the delivered set
+    /// so a harness can stop a server, keep its ledger, and start a fresh
+    /// one on the same port.
+    pub fn shutdown(mut self) -> Vec<u64> {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.delivered_ids()
+    }
+}
+
+impl Drop for FlakySinkServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn record(ledger: &SinkLedger, report: &BufferedReport) {
+    let fresh = ledger.seen.lock().insert(report.id);
+    if !fresh {
+        ledger.duplicates.fetch_add(1, Ordering::Relaxed);
+    }
+    ledger.acked.lock().push(report.id);
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    protocol: SinkProtocol,
+    fault: SinkFault,
+    ledger: &SinkLedger,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(1_000)));
+    let _ = stream.set_nodelay(true);
+    match fault {
+        SinkFault::Refuse => { /* drop immediately */ }
+        SinkFault::Hang => {
+            // Stay silent until the harness stops the server (bounded so a
+            // forgotten server can't leak the thread forever).
+            for _ in 0..600 {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        SinkFault::ResetMidFrame => {
+            // Consume a few bytes — less than one frame header+payload —
+            // then drop, so the client's write or ack read dies mid-frame.
+            let mut partial = [0u8; 6];
+            let _ = stream.read(&mut partial);
+        }
+        SinkFault::Http429 | SinkFault::Http500 => match protocol {
+            SinkProtocol::Http => {
+                let _ = read_http_request(&mut stream);
+                let status = if fault == SinkFault::Http429 {
+                    "429 Too Many Requests"
+                } else {
+                    "500 Internal Server Error"
+                };
+                let _ = write!(stream, "HTTP/1.1 {status}\r\nContent-Length: 0\r\n\r\n");
+            }
+            SinkProtocol::Framed => {
+                let _ = sinks::read_frame(&mut stream);
+                // no ack: the client times out and retries
+            }
+        },
+        SinkFault::Healthy => match protocol {
+            SinkProtocol::Framed => serve_framed(stream, ledger, stop),
+            SinkProtocol::Http => serve_http(stream, ledger),
+        },
+    }
+}
+
+/// Healthy framed service: record + ack every data frame, `PING_ACK` for
+/// pings, until EOF or shutdown.
+fn serve_framed(mut stream: TcpStream, ledger: &SinkLedger, stop: &AtomicBool) {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match sinks::read_frame(&mut stream) {
+            Ok(Some(payload)) => {
+                let ack = match sinks::decode_report_payload(&payload) {
+                    Some(report) => {
+                        record(ledger, &report);
+                        report.id
+                    }
+                    None => PING_ACK,
+                };
+                if stream.write_all(&ack.to_le_bytes()).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean EOF
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Read one HTTP request (head + `Content-Length` body). Returns the
+/// request line and body.
+fn read_http_request(stream: &mut TcpStream) -> std::io::Result<(String, Vec<u8>)> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(i) = find_head_end(&buf) {
+            break i;
+        }
+        if buf.len() > 1 << 20 {
+            return Err(std::io::Error::other("request head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::other("eof before head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let request_line = head.lines().next().unwrap_or("").to_string();
+    let content_length = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse::<usize>().ok())?
+        })
+        .unwrap_or(0);
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok((request_line, body))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Healthy HTTP service: 200 to `/healthz`, record ndjson POST bodies
+/// (one report per line, id parsed from the leading `{"id":N,` that
+/// `AnomalyReport::to_json` guarantees), 200 on success.
+fn serve_http(mut stream: TcpStream, ledger: &SinkLedger) {
+    let Ok((request_line, body)) = read_http_request(&mut stream) else {
+        return;
+    };
+    if request_line.starts_with("GET /healthz") {
+        let _ = write!(stream, "HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nok\n");
+        return;
+    }
+    if request_line.starts_with("POST") {
+        let text = String::from_utf8_lossy(&body);
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let id = parse_report_id(line);
+            record(
+                ledger,
+                &BufferedReport {
+                    id,
+                    class: monilog_model::DeliveryClass::Page,
+                    body: line.to_string(),
+                },
+            );
+        }
+        let _ = write!(stream, "HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n");
+        return;
+    }
+    let _ = write!(
+        stream,
+        "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"
+    );
+}
+
+/// Extract the id from a report JSON line (`{"id":N,...}`); 0 if absent.
+fn parse_report_id(line: &str) -> u64 {
+    let rest = line.trim_start().strip_prefix("{\"id\":").unwrap_or("");
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +521,99 @@ mod tests {
         let plan = FaultPlan::new().crash_every(4).poison([1, 9, 100]);
         assert_eq!(plan.expected_crashes(10), 2); // seqs 3, 7
         assert_eq!(plan.expected_poisoned(10), 2); // 1 and 9; 100 out of range
+    }
+
+    use crate::sinks::{FramedTcpSink, Sink, WebhookSink};
+    use monilog_model::DeliveryClass;
+
+    fn report(id: u64) -> BufferedReport {
+        BufferedReport {
+            id,
+            class: DeliveryClass::Page,
+            body: format!("{{\"id\":{id},\"detector\":\"test\"}}"),
+        }
+    }
+
+    #[test]
+    fn flaky_framed_server_follows_its_script_then_recovers() {
+        let server = FlakySinkServer::spawn(
+            "127.0.0.1:0",
+            SinkProtocol::Framed,
+            vec![
+                SinkFault::Refuse,
+                SinkFault::ResetMidFrame,
+                SinkFault::Http429, // framed mode: read, never ack
+            ],
+        )
+        .unwrap();
+        let mut sink = FramedTcpSink::new(server.addr().to_string())
+            .with_timeouts(Duration::from_millis(300), Duration::from_millis(300));
+        // Scripted faults: three retryable failures in a row.
+        for attempt in 0..3 {
+            let err = sink.deliver(&[report(1)]).unwrap_err();
+            assert!(err.is_retryable(), "attempt {attempt}: {err}");
+        }
+        // Script exhausted → healthy: same batch goes through.
+        sink.deliver(&[report(1), report(2)]).unwrap();
+        assert_eq!(server.delivered_ids(), vec![1, 2]);
+        // Re-delivery is absorbed by receiver-side dedup.
+        drop(sink);
+        let mut sink2 = FramedTcpSink::new(server.addr().to_string())
+            .with_timeouts(Duration::from_millis(300), Duration::from_millis(300));
+        sink2.deliver(&[report(2), report(3)]).unwrap();
+        assert_eq!(server.delivered_ids(), vec![1, 2, 3]);
+        assert_eq!(server.duplicate_acks(), 1);
+        assert!(server.connections() >= 5);
+    }
+
+    #[test]
+    fn flaky_framed_server_hang_times_out_the_client() {
+        let server =
+            FlakySinkServer::spawn("127.0.0.1:0", SinkProtocol::Framed, vec![SinkFault::Hang])
+                .unwrap();
+        let mut sink = FramedTcpSink::new(server.addr().to_string())
+            .with_timeouts(Duration::from_millis(200), Duration::from_millis(200));
+        let start = std::time::Instant::now();
+        let err = sink.deliver(&[report(9)]).unwrap_err();
+        assert!(err.is_retryable(), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "write/read timeout bounded the hang"
+        );
+        assert!(server.delivered_ids().is_empty());
+    }
+
+    #[test]
+    fn flaky_http_server_scripts_status_codes_and_serves_healthz() {
+        let server = FlakySinkServer::spawn(
+            "127.0.0.1:0",
+            SinkProtocol::Http,
+            vec![SinkFault::Http429, SinkFault::Http500, SinkFault::Healthy],
+        )
+        .unwrap();
+        let url = format!("http://{}/hooks", server.addr());
+        let mut sink = WebhookSink::from_url(&url)
+            .unwrap()
+            .with_timeouts(Duration::from_millis(300), Duration::from_millis(300));
+        for _ in 0..2 {
+            let err = sink.deliver(&[report(11)]).unwrap_err();
+            assert!(err.is_retryable(), "{err}");
+        }
+        assert!(server.delivered_ids().is_empty(), "429/500 record nothing");
+        sink.deliver(&[report(11), report(12)]).unwrap();
+        assert_eq!(server.delivered_ids(), vec![11, 12]);
+        // Healthcheck convention: GET /healthz answers 200.
+        sink.healthcheck().unwrap();
+    }
+
+    #[test]
+    fn shutdown_returns_the_ledger_for_cross_restart_assertions() {
+        let server = FlakySinkServer::spawn("127.0.0.1:0", SinkProtocol::Framed, vec![]).unwrap();
+        let mut sink = FramedTcpSink::new(server.addr().to_string())
+            .with_timeouts(Duration::from_millis(300), Duration::from_millis(300));
+        sink.deliver(&[report(5)]).unwrap();
+        drop(sink);
+        let delivered = server.shutdown();
+        assert_eq!(delivered, vec![5]);
     }
 }

@@ -4,81 +4,75 @@
 //! with the process; under `--state-dir` every quarantined line is also
 //! appended here, one JSON object per line, so poison lines survive
 //! restarts and can be replayed after a parser fix. The file is
-//! size-capped: when it grows past the cap it rotates to `<name>.old`
-//! (keeping one previous file), bounding disk use. Loading tolerates a
-//! torn final line — a crash mid-append loses at most that line.
+//! size-capped via [`RotatingLog`]: past the cap it rotates to `<name>.1`
+//! (older generations shift up, a bounded number are retained), and every
+//! byte deleted by rotation is reported back so the caller can account it
+//! (`dlq_bytes_dropped`). Loading tolerates a torn final line — a crash
+//! mid-append loses at most that line.
 
+use super::rotate::RotatingLog;
 use super::DurabilityError;
 use crate::supervisor::{DeadLetter, FailureReason};
 use monilog_model::trace::json_string;
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+
+/// Rotated generations kept by default (matches the old one-previous-file
+/// behaviour).
+pub const DEFAULT_DLQ_RETAIN: usize = 1;
 
 /// Append-side handle to the JSONL dead-letter file.
 pub struct DeadLetterLog {
-    path: PathBuf,
-    cap_bytes: u64,
+    file: RotatingLog,
 }
 
 impl DeadLetterLog {
-    /// Open (creating parent directories if needed) the log at `path`.
+    /// Open (creating parent directories if needed) the log at `path`,
+    /// retaining [`DEFAULT_DLQ_RETAIN`] rotated generations.
     pub fn open(
         path: impl Into<PathBuf>,
         cap_bytes: u64,
     ) -> Result<DeadLetterLog, DurabilityError> {
-        let path = path.into();
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)?;
-        }
-        Ok(DeadLetterLog { path, cap_bytes })
+        Self::open_with_retain(path, cap_bytes, DEFAULT_DLQ_RETAIN)
+    }
+
+    /// Open with an explicit retained-generation cap.
+    pub fn open_with_retain(
+        path: impl Into<PathBuf>,
+        cap_bytes: u64,
+        retain: usize,
+    ) -> Result<DeadLetterLog, DurabilityError> {
+        Ok(DeadLetterLog {
+            file: RotatingLog::open(path, cap_bytes, retain)?,
+        })
     }
 
     /// Append letters, rotating first if the file is over its cap. Each
     /// append is fsync'd — quarantine is rare and must survive a crash.
-    pub fn append(&self, letters: &[DeadLetter]) -> Result<(), DurabilityError> {
+    /// Returns the bytes rotation deleted during this call (0 almost
+    /// always); callers surface it as the `dlq_bytes_dropped` counter.
+    pub fn append(&self, letters: &[DeadLetter]) -> Result<u64, DurabilityError> {
         if letters.is_empty() {
-            return Ok(());
-        }
-        let size = fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
-        if size > self.cap_bytes {
-            fs::rename(&self.path, self.path.with_extension("jsonl.old"))?;
+            return Ok(0);
         }
         let mut buf = String::new();
         for l in letters {
             buf.push_str(&render(l));
             buf.push('\n');
         }
-        let mut f = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)?;
-        f.write_all(buf.as_bytes())?;
-        f.sync_data()?;
-        Ok(())
+        self.file.append_text(&buf)
     }
 
-    /// Everything replayable: the rotated file (if any) then the current
-    /// one. Unparseable lines — a torn tail, hand-edited damage — are
-    /// skipped, never fatal.
+    /// Everything replayable: retained generations oldest-first, then the
+    /// current file. Unparseable lines — a torn tail, hand-edited damage —
+    /// are skipped, never fatal.
     pub fn load(&self) -> Result<Vec<DeadLetter>, DurabilityError> {
-        let mut out = Vec::new();
-        for path in [self.path.with_extension("jsonl.old"), self.path.clone()] {
-            let Ok(mut f) = File::open(&path) else {
-                continue;
-            };
-            let mut text = String::new();
-            if f.read_to_string(&mut text).is_err() {
-                continue; // non-UTF-8 damage: nothing salvageable here
-            }
-            out.extend(text.lines().filter_map(parse));
-        }
-        Ok(out)
+        let text = self.file.load_text()?;
+        Ok(text.lines().filter_map(parse).collect())
     }
 
     /// The current (non-rotated) file path.
     pub fn path(&self) -> &Path {
-        &self.path
+        self.file.path()
     }
 }
 
@@ -188,6 +182,8 @@ fn take_json_string(s: &str) -> Option<(String, &str)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::{self, OpenOptions};
+    use std::io::Write;
 
     fn tmp_path(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("monilog-dlq-{name}-{}", std::process::id()));
@@ -251,24 +247,55 @@ mod tests {
     }
 
     #[test]
-    fn rotation_caps_disk_and_keeps_one_previous_file() {
+    fn rotation_caps_disk_and_counts_dropped_bytes() {
         let path = tmp_path("rotate");
         let log = DeadLetterLog::open(&path, 200).unwrap();
+        let mut dropped = 0;
         for batch in 0..20u64 {
-            log.append(&[letter(
-                batch,
-                &format!("poison batch {batch} {}", "x".repeat(40)),
-            )])
-            .unwrap();
+            dropped += log
+                .append(&[letter(
+                    batch,
+                    &format!("poison batch {batch} {}", "x".repeat(40)),
+                )])
+                .unwrap();
         }
         let current = fs::metadata(&path).unwrap().len();
         assert!(current <= 400, "current file stays near the cap: {current}");
-        assert!(path.with_extension("jsonl.old").exists());
+        assert!(
+            path.with_file_name("dead_letters.jsonl.1").exists(),
+            "one rotated generation retained"
+        );
+        assert!(dropped > 0, "rotation past the cap reported dropped bytes");
         let loaded = log.load().unwrap();
         assert!(!loaded.is_empty());
         assert!(loaded.len() < 20, "rotation dropped the oldest records");
         let last = loaded.last().unwrap();
         assert_eq!(last.seq, 19);
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn retain_cap_bounds_generations() {
+        let path = tmp_path("retain");
+        let log = DeadLetterLog::open_with_retain(&path, 150, 3).unwrap();
+        for batch in 0..40u64 {
+            log.append(&[letter(batch, &format!("p{batch} {}", "y".repeat(40)))])
+                .unwrap();
+        }
+        for g in 1..=3 {
+            assert!(
+                path.with_file_name(format!("dead_letters.jsonl.{g}"))
+                    .exists(),
+                "generation {g} retained"
+            );
+        }
+        assert!(!path.with_file_name("dead_letters.jsonl.4").exists());
+        // Ordering across generations holds: seqs load ascending.
+        let seqs: Vec<u64> = log.load().unwrap().iter().map(|l| l.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted);
+        assert_eq!(*seqs.last().unwrap(), 39);
         fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 }

@@ -24,11 +24,13 @@
 pub mod checkpoint;
 pub mod dlq;
 pub mod journal;
+pub mod rotate;
 pub mod signal;
 
 pub use checkpoint::{CheckpointStore, LoadedCheckpoint};
 pub use dlq::DeadLetterLog;
 pub use journal::{Journal, JournalConfig};
+pub use rotate::RotatingLog;
 pub use signal::{install_shutdown_handler, reset_shutdown_flag, shutdown_requested};
 
 use monilog_model::CodecError;

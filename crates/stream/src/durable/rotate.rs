@@ -1,0 +1,242 @@
+//! Size-capped file rotation with a retained-generation cap.
+//!
+//! Both the dead-letter queue and the delivery spill file are append-only
+//! line files that must not grow without bound. [`RotatingLog`] gives them
+//! one rotation policy: when the current file exceeds `rotate_bytes` it is
+//! renamed to `<name>.1` (older generations shift to `.2`, `.3`, …), and
+//! generations past `retain` are deleted. Deletion is the only place data
+//! is lost, and it is *accounted*: every append reports how many bytes
+//! rotation dropped so callers can surface the loss as a counter instead
+//! of silently truncating history.
+
+use super::DurabilityError;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only text file that rotates by size, keeping a bounded number
+/// of previous generations.
+#[derive(Debug)]
+pub struct RotatingLog {
+    path: PathBuf,
+    rotate_bytes: u64,
+    retain: usize,
+}
+
+impl RotatingLog {
+    /// Open (creating parent directories if needed) the log at `path`.
+    /// `rotate_bytes` is the size past which the current file rotates;
+    /// `retain` is how many rotated generations survive (0 = rotation
+    /// deletes immediately).
+    pub fn open(
+        path: impl Into<PathBuf>,
+        rotate_bytes: u64,
+        retain: usize,
+    ) -> Result<RotatingLog, DurabilityError> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        Ok(RotatingLog {
+            path,
+            rotate_bytes,
+            retain,
+        })
+    }
+
+    /// Path of rotated generation `n` (1 = newest rotated).
+    fn generation(&self, n: usize) -> PathBuf {
+        let name = self
+            .path
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        self.path.with_file_name(format!("{name}.{n}"))
+    }
+
+    /// Append `text` (caller includes trailing newlines), rotating first if
+    /// the current file is over its cap. Returns the bytes deleted by
+    /// rotation during this call (0 almost always). Appends are fsync'd.
+    pub fn append_text(&self, text: &str) -> Result<u64, DurabilityError> {
+        if text.is_empty() {
+            return Ok(0);
+        }
+        let mut dropped = 0;
+        let size = fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
+        if size > self.rotate_bytes {
+            dropped = self.rotate()?;
+        }
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_data()?;
+        Ok(dropped)
+    }
+
+    /// Shift generations up by one and retire the oldest. Returns bytes
+    /// deleted.
+    fn rotate(&self) -> Result<u64, DurabilityError> {
+        let mut dropped = 0;
+        // Retire everything at or past the cap (normally just one file,
+        // but a lowered `retain` cleans up extras too).
+        let mut n = self.retain.max(1);
+        loop {
+            let p = self.generation(n);
+            match fs::metadata(&p) {
+                Ok(m) => {
+                    dropped += m.len();
+                    fs::remove_file(&p)?;
+                }
+                Err(_) if n > self.retain => break,
+                Err(_) => {}
+            }
+            n += 1;
+        }
+        for k in (1..self.retain.max(1)).rev() {
+            let from = self.generation(k);
+            if from.exists() {
+                fs::rename(&from, self.generation(k + 1))?;
+            }
+        }
+        if self.retain == 0 {
+            if let Ok(m) = fs::metadata(&self.path) {
+                dropped += m.len();
+            }
+            fs::remove_file(&self.path)?;
+        } else {
+            fs::rename(&self.path, self.generation(1))?;
+        }
+        Ok(dropped)
+    }
+
+    /// Concatenated contents, oldest generation first, current file last.
+    /// Missing or non-UTF-8 generations are skipped, never fatal.
+    pub fn load_text(&self) -> Result<String, DurabilityError> {
+        let mut out = String::new();
+        let mut paths: Vec<PathBuf> = (1..=self.retain)
+            .rev()
+            .map(|n| self.generation(n))
+            .collect();
+        paths.push(self.path.clone());
+        for p in paths {
+            let Ok(mut f) = File::open(&p) else {
+                continue;
+            };
+            let mut text = String::new();
+            if f.read_to_string(&mut text).is_err() {
+                continue; // non-UTF-8 damage: nothing salvageable here
+            }
+            out.push_str(&text);
+        }
+        Ok(out)
+    }
+
+    /// The current (non-rotated) file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Total bytes currently on disk across all generations.
+    pub fn disk_bytes(&self) -> u64 {
+        let mut total = fs::metadata(&self.path).map(|m| m.len()).unwrap_or(0);
+        for n in 1..=self.retain {
+            total += fs::metadata(self.generation(n))
+                .map(|m| m.len())
+                .unwrap_or(0);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("monilog-rotate-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir.join("log.jsonl")
+    }
+
+    #[test]
+    fn small_appends_never_rotate() {
+        let path = tmp("small");
+        let log = RotatingLog::open(&path, 1 << 20, 2).unwrap();
+        for i in 0..10 {
+            assert_eq!(log.append_text(&format!("line {i}\n")).unwrap(), 0);
+        }
+        let text = log.load_text().unwrap();
+        assert_eq!(text.lines().count(), 10);
+        assert!(text.starts_with("line 0"));
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn rotation_keeps_retain_generations_and_counts_dropped_bytes() {
+        let path = tmp("retain");
+        let log = RotatingLog::open(&path, 100, 2).unwrap();
+        let mut dropped = 0;
+        for i in 0..30 {
+            dropped += log
+                .append_text(&format!("payload {i:03} {}\n", "x".repeat(30)))
+                .unwrap();
+        }
+        assert!(dropped > 0, "old generations were deleted");
+        assert!(log.generation(1).exists());
+        assert!(log.generation(2).exists());
+        assert!(!log.generation(3).exists());
+        // Disk usage is bounded: current + 2 generations, each near the cap.
+        assert!(
+            log.disk_bytes() <= 100 * 3 + 200,
+            "bytes={}",
+            log.disk_bytes()
+        );
+        // Newest data always survives; load is oldest-first.
+        let text = log.load_text().unwrap();
+        assert!(text
+            .trim_end()
+            .ends_with(&format!("payload 029 {}", "x".repeat(30))));
+        let nums: Vec<u32> = text
+            .lines()
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+            .collect();
+        let mut sorted = nums.clone();
+        sorted.sort_unstable();
+        assert_eq!(nums, sorted, "generations concatenate oldest-first");
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn retain_zero_drops_the_whole_file_on_rotation() {
+        let path = tmp("zero");
+        let log = RotatingLog::open(&path, 50, 0).unwrap();
+        let mut dropped = 0;
+        for i in 0..10 {
+            dropped += log
+                .append_text(&format!("entry {i} {}\n", "y".repeat(20)))
+                .unwrap();
+        }
+        assert!(dropped > 0);
+        assert!(!log.generation(1).exists());
+        assert!(log.disk_bytes() <= 100);
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn dropped_bytes_match_what_disk_lost() {
+        let path = tmp("account");
+        let log = RotatingLog::open(&path, 80, 1).unwrap();
+        let mut written = 0u64;
+        let mut dropped = 0u64;
+        for i in 0..40 {
+            let line = format!("row {i:02} {}\n", "z".repeat(10));
+            written += line.len() as u64;
+            dropped += log.append_text(&line).unwrap();
+        }
+        assert_eq!(log.disk_bytes(), written - dropped);
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+}

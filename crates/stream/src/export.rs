@@ -6,6 +6,7 @@
 //!
 //! - `GET /metrics` — Prometheus text exposition format
 //! - `GET /metrics.json` — JSON
+//! - `GET /healthz` — liveness probe (200 `ok`)
 //! - `GET /trace/{id}` — span tree of one sampled trace (JSON)
 //! - `GET /flight` — current flight-recorder ring contents (JSON)
 //!
@@ -30,6 +31,13 @@ use std::time::Duration;
 /// Upper bound on the bytes of request head we are willing to read.
 /// Anything larger is a client error (431-ish; we answer 400).
 const MAX_REQUEST_BYTES: usize = 4096;
+
+/// Overall deadline for reading one request head. The per-read timeout
+/// alone is not enough: a client trickling one byte every 400 ms resets
+/// that clock on each byte and can hold the single handler thread for
+/// minutes before the byte cap bites. The deadline bounds the whole read,
+/// however slowly the bytes arrive.
+const READ_DEADLINE: Duration = Duration::from_secs(2);
 
 /// Rendered snapshot cache shared between the refresher and request
 /// handling.
@@ -234,12 +242,21 @@ fn render_into(registry: &MetricsRegistry, cache: &Mutex<Rendered>) {
 }
 
 /// Read the request head: up to the end of the request line (or header
-/// block), the 4 KiB cap, or the read timeout — whichever comes first.
-/// Returns `None` when the client sent more than the cap allows.
+/// block), the 4 KiB cap, the per-read timeout, or the overall
+/// [`READ_DEADLINE`] — whichever comes first. Returns `None` when the
+/// client sent more than the cap allows.
 fn read_request_head(stream: &mut TcpStream) -> io::Result<Option<String>> {
+    let deadline = std::time::Instant::now() + READ_DEADLINE;
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
+        // Shrink the per-read timeout to whatever is left of the overall
+        // deadline, so a byte-at-a-time client cannot reset the clock.
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            break; // deadline: route on whatever arrived (likely a 400)
+        }
+        stream.set_read_timeout(Some(remaining.min(Duration::from_millis(500))))?;
         let n = match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => n,
@@ -329,6 +346,9 @@ fn route(
     tracer: Option<&Tracer>,
 ) -> (&'static str, &'static str, String) {
     match path {
+        // Liveness probe, shared convention with the delivery sinks'
+        // healthcheck (`crate::sinks`): 200 + "ok" with no registry work.
+        "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
         "/metrics" | "/" => {
             let rendered = cache.lock().expect("render cache");
             (
@@ -373,7 +393,8 @@ fn route(
             None => (
                 "404 Not Found",
                 "text/plain",
-                "not found; try /metrics, /metrics.json, /trace/{id} or /flight\n".to_string(),
+                "not found; try /metrics, /metrics.json, /healthz, /trace/{id} or /flight\n"
+                    .to_string(),
             ),
         },
     }
@@ -583,6 +604,68 @@ mod tests {
             started.elapsed() >= Duration::from_millis(300),
             "failure must come after backoff retries, not instantly"
         );
+    }
+
+    #[test]
+    fn healthz_answers_without_touching_the_registry() {
+        let exporter = MetricsExporter::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            test_registry(),
+            Duration::from_millis(50),
+        )
+        .expect("bind");
+        let (head, body) = http_get(exporter.local_addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "ok\n");
+        assert_content_length(&head, &body);
+    }
+
+    #[test]
+    fn slow_loris_request_is_cut_off_at_the_overall_deadline() {
+        let exporter = MetricsExporter::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            test_registry(),
+            Duration::from_millis(50),
+        )
+        .expect("bind");
+        // Trickle bytes slower than the per-read timeout would ever fire:
+        // each 400 ms byte used to reset the 500 ms clock indefinitely.
+        // The overall deadline must cut the connection loose regardless.
+        let addr = exporter.local_addr();
+        let started = std::time::Instant::now();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET").unwrap();
+        let mut answered = String::new();
+        loop {
+            if started.elapsed() > Duration::from_secs(8) {
+                panic!("handler still holding the slow-loris connection");
+            }
+            if stream.write_all(b"X").is_err() {
+                break; // handler gave up on us
+            }
+            stream
+                .set_read_timeout(Some(Duration::from_millis(50)))
+                .unwrap();
+            let mut buf = [0u8; 512];
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    answered.push_str(&String::from_utf8_lossy(&buf[..n]));
+                    if answered.contains("\r\n\r\n") {
+                        break;
+                    }
+                }
+                Err(_) => {}
+            }
+            thread::sleep(Duration::from_millis(400));
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(8),
+            "deadline bounded the slow client"
+        );
+        // And the loop is free again for a real scrape.
+        let (head, _) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
     }
 
     #[test]

@@ -30,6 +30,9 @@
 //!   [`observe::MetricsSnapshot`] with Prometheus/JSON renderings.
 //! - [`export`] — the periodic exporter thread serving snapshots over a
 //!   minimal blocking HTTP endpoint.
+//! - [`sinks`] — at-least-once anomaly delivery: HTTP/TCP/file sinks
+//!   behind a disk-buffered [`sinks::DeliveryPipeline`] with capped
+//!   backoff, per-sink circuit breakers and spill-file degradation.
 
 pub mod chaos;
 pub mod config;
@@ -41,6 +44,7 @@ pub mod observe;
 pub mod partition;
 pub mod pipeline;
 pub mod service;
+pub mod sinks;
 pub mod supervisor;
 pub mod trace;
 
@@ -59,6 +63,11 @@ pub use observe::{
 };
 pub use partition::HashPartitioner;
 pub use pipeline::{parallel_map, ParallelShardedDrain};
+pub use sinks::{
+    BreakerConfig, BreakerState, BufferPosition, BufferedReport, CircuitBreaker, DeliveryBuffer,
+    DeliveryConfig, DeliveryPipeline, DeliveryWorker, FileSink, FramedTcpSink, RouteSpec, Sink,
+    SinkError, WebhookSink,
+};
 pub use trace::{
     SpanRecord, SpanStage, TraceConfig, Tracer, DEFAULT_FLIGHT_CAPACITY, DEFAULT_SAMPLE_RATE,
 };

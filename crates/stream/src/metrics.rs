@@ -38,6 +38,23 @@
 //! - `journal_bytes` — bytes appended to the write-ahead ingest journal.
 //! - `recovery_replayed_lines` — journal lines replayed into the pipeline
 //!   during crash recovery (0 after a graceful drain).
+//!
+//! Anomaly delivery (see [`crate::sinks`]):
+//! - `reports_accepted` — reports durably appended to a delivery buffer
+//!   (the point of no loss: accepted reports survive SIGKILL).
+//! - `reports_delivered` — reports acknowledged by a sink.
+//! - `delivery_retries` — failed delivery attempts that will be retried
+//!   with backoff.
+//! - `delivery_failures` — reports diverted to the spill file after a
+//!   fatal (non-retryable) sink error.
+//! - `reports_spilled` — reports written to a local spill file, either on
+//!   fatal errors or when a circuit breaker stayed open past its grace
+//!   deadline (degraded but never dropped).
+//! - `breaker_opened` / `breaker_half_open` — circuit-breaker transitions
+//!   into Open (sink quarantined) and HalfOpen (probe allowed).
+//! - `spill_bytes_dropped` / `dlq_bytes_dropped` — bytes deleted when the
+//!   spill file or dead-letter queue rotated past its retained-generation
+//!   cap.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -61,6 +78,15 @@ pub struct PipelineMetrics {
     pub checkpoints_written: AtomicU64,
     pub journal_bytes: AtomicU64,
     pub recovery_replayed_lines: AtomicU64,
+    pub reports_accepted: AtomicU64,
+    pub reports_delivered: AtomicU64,
+    pub delivery_retries: AtomicU64,
+    pub delivery_failures: AtomicU64,
+    pub reports_spilled: AtomicU64,
+    pub breaker_opened: AtomicU64,
+    pub breaker_half_open: AtomicU64,
+    pub spill_bytes_dropped: AtomicU64,
+    pub dlq_bytes_dropped: AtomicU64,
 }
 
 impl PipelineMetrics {
@@ -107,6 +133,15 @@ impl PipelineMetrics {
                 "recovery_replayed_lines",
                 Self::get(&self.recovery_replayed_lines),
             ),
+            ("reports_accepted", Self::get(&self.reports_accepted)),
+            ("reports_delivered", Self::get(&self.reports_delivered)),
+            ("delivery_retries", Self::get(&self.delivery_retries)),
+            ("delivery_failures", Self::get(&self.delivery_failures)),
+            ("reports_spilled", Self::get(&self.reports_spilled)),
+            ("breaker_opened", Self::get(&self.breaker_opened)),
+            ("breaker_half_open", Self::get(&self.breaker_half_open)),
+            ("spill_bytes_dropped", Self::get(&self.spill_bytes_dropped)),
+            ("dlq_bytes_dropped", Self::get(&self.dlq_bytes_dropped)),
         ]
     }
 
@@ -173,6 +208,15 @@ mod tests {
             "checkpoints_written",
             "journal_bytes",
             "recovery_replayed_lines",
+            "reports_accepted",
+            "reports_delivered",
+            "delivery_retries",
+            "delivery_failures",
+            "reports_spilled",
+            "breaker_opened",
+            "breaker_half_open",
+            "spill_bytes_dropped",
+            "dlq_bytes_dropped",
         ] {
             assert!(s.contains(field), "{field} missing from {s}");
             assert!(
@@ -180,7 +224,7 @@ mod tests {
                 "{field} missing from typed snapshot"
             );
         }
-        assert_eq!(snap.counters.len(), 16);
+        assert_eq!(snap.counters.len(), 25);
     }
 
     #[test]

@@ -70,11 +70,14 @@ pub enum Stage {
     Classify,
     /// Durable checkpoint commit: state export + atomic write + fsync.
     Checkpoint,
+    /// Sink delivery attempt: one batched `deliver` call to an external
+    /// sink (network round-trip included; retries time each attempt).
+    Deliver,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Ingest,
         Stage::MergeDedup,
         Stage::ParseQueueWait,
@@ -83,6 +86,7 @@ impl Stage {
         Stage::Detect,
         Stage::Classify,
         Stage::Checkpoint,
+        Stage::Deliver,
     ];
 
     /// Stable metric-label name.
@@ -96,6 +100,7 @@ impl Stage {
             Stage::Detect => "detect",
             Stage::Classify => "classify",
             Stage::Checkpoint => "checkpoint",
+            Stage::Deliver => "deliver",
         }
     }
 
@@ -109,6 +114,7 @@ impl Stage {
             Stage::Detect => 5,
             Stage::Classify => 6,
             Stage::Checkpoint => 7,
+            Stage::Deliver => 8,
         }
     }
 }

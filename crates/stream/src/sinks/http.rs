@@ -1,0 +1,228 @@
+//! The HTTP/webhook sink: `POST` a batch of reports as ndjson.
+//!
+//! A deliberately minimal blocking HTTP/1.1 client over `TcpStream` — the
+//! same no-external-deps approach as the [`crate::export`] server side.
+//! One request per batch with `Connection: close`; the status line decides
+//! the error class:
+//!
+//! - `2xx` → delivered;
+//! - `408`, `429`, `5xx` → [`SinkError::Retryable`] (the endpoint is
+//!   overloaded or flaky — back off and retry the same batch);
+//! - any other status → [`SinkError::Fatal`] (the endpoint understood the
+//!   request and rejected it; retrying identical bytes cannot help).
+//!
+//! Connection-level failures (refused, reset, timeout) are retryable.
+//! The healthcheck is `GET /healthz` — the same convention the metrics
+//! exporter serves, so any MoniLog-aware receiver answers it.
+
+use super::{BufferedReport, Sink, SinkError};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Sink that POSTs report batches to an HTTP endpoint.
+pub struct WebhookSink {
+    host: String,
+    port: u16,
+    path: String,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+}
+
+impl WebhookSink {
+    /// Parse an `http://host:port/path` URL. Only plain HTTP is supported
+    /// (this stack vendors no TLS); `https://` is rejected up front.
+    pub fn from_url(url: &str) -> Result<WebhookSink, String> {
+        let rest = url
+            .strip_prefix("http://")
+            .ok_or_else(|| format!("unsupported sink url (need http://): {url}"))?;
+        let (authority, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => (
+                h.to_string(),
+                p.parse::<u16>()
+                    .map_err(|_| format!("bad port in sink url: {url}"))?,
+            ),
+            None => (authority.to_string(), 80),
+        };
+        if host.is_empty() {
+            return Err(format!("missing host in sink url: {url}"));
+        }
+        Ok(WebhookSink {
+            host,
+            port,
+            path: path.to_string(),
+            connect_timeout: Duration::from_millis(1_000),
+            io_timeout: Duration::from_millis(2_000),
+        })
+    }
+
+    /// Override the connect and per-read/write timeouts (tests and the
+    /// fault-injection harness use short ones).
+    pub fn with_timeouts(mut self, connect: Duration, io: Duration) -> WebhookSink {
+        self.connect_timeout = connect;
+        self.io_timeout = io;
+        self
+    }
+
+    fn connect(&self) -> Result<TcpStream, SinkError> {
+        let addr = format!("{}:{}", self.host, self.port)
+            .to_socket_addrs()
+            .map_err(|e| SinkError::Retryable(format!("resolve {}: {e}", self.host)))?
+            .next()
+            .ok_or_else(|| SinkError::Retryable(format!("no address for {}", self.host)))?;
+        let stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
+            .map_err(|e| SinkError::Retryable(format!("connect {addr}: {e}")))?;
+        stream.set_read_timeout(Some(self.io_timeout))?;
+        stream.set_write_timeout(Some(self.io_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    /// One request/response round trip; returns the HTTP status code.
+    fn request(&self, head: &str, body: &[u8]) -> Result<u16, SinkError> {
+        let mut stream = self.connect()?;
+        stream.write_all(head.as_bytes())?;
+        if !body.is_empty() {
+            stream.write_all(body)?;
+        }
+        stream.flush()?;
+        // Read just enough of the response for the status line.
+        let mut buf = Vec::with_capacity(256);
+        let mut chunk = [0u8; 256];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    buf.extend_from_slice(&chunk[..n]);
+                    if buf.contains(&b'\n') || buf.len() > 4096 {
+                        break;
+                    }
+                }
+                Err(e) => return Err(SinkError::Retryable(format!("read response: {e}"))),
+            }
+        }
+        parse_status_line(&buf)
+            .ok_or_else(|| SinkError::Retryable("malformed HTTP response".into()))
+    }
+}
+
+/// Extract the status code from an HTTP/1.x status line.
+fn parse_status_line(buf: &[u8]) -> Option<u16> {
+    let text = std::str::from_utf8(buf).ok()?;
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/") {
+        return None;
+    }
+    parts.next()?.parse().ok()
+}
+
+/// Map a response status to the delivery outcome.
+fn classify_status(status: u16) -> Result<(), SinkError> {
+    match status {
+        200..=299 => Ok(()),
+        408 | 429 | 500..=599 => Err(SinkError::Retryable(format!("HTTP {status}"))),
+        _ => Err(SinkError::Fatal(format!("HTTP {status}"))),
+    }
+}
+
+impl Sink for WebhookSink {
+    fn kind(&self) -> &'static str {
+        "webhook"
+    }
+
+    fn healthcheck(&mut self) -> Result<(), SinkError> {
+        let head = format!(
+            "GET /healthz HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.host
+        );
+        let status = self.request(&head, &[])?;
+        // Any well-formed answer proves liveness for the probe's purposes,
+        // but only 2xx closes the breaker — a 5xx healthz is still sick.
+        classify_status(status)
+    }
+
+    fn deliver(&mut self, batch: &[BufferedReport]) -> Result<(), SinkError> {
+        let mut body = String::new();
+        for r in batch {
+            body.push_str(&r.body);
+            body.push('\n');
+        }
+        let head = format!(
+            "POST {} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/x-ndjson\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.path,
+            self.host,
+            body.len()
+        );
+        let status = self.request(&head, body.as_bytes())?;
+        classify_status(status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parsing_accepts_the_obvious_shapes() {
+        let s = WebhookSink::from_url("http://127.0.0.1:9900/hooks/monilog").unwrap();
+        assert_eq!(s.host, "127.0.0.1");
+        assert_eq!(s.port, 9900);
+        assert_eq!(s.path, "/hooks/monilog");
+        let s = WebhookSink::from_url("http://alerts.example.com").unwrap();
+        assert_eq!(s.port, 80);
+        assert_eq!(s.path, "/");
+        assert!(WebhookSink::from_url("https://secure.example.com").is_err());
+        assert!(WebhookSink::from_url("ftp://x").is_err());
+        assert!(WebhookSink::from_url("http://:80/").is_err());
+        assert!(WebhookSink::from_url("http://h:notaport/").is_err());
+    }
+
+    #[test]
+    fn status_classification_matches_the_contract() {
+        assert!(classify_status(200).is_ok());
+        assert!(classify_status(204).is_ok());
+        for retryable in [408u16, 429, 500, 502, 503] {
+            assert!(
+                classify_status(retryable).unwrap_err().is_retryable(),
+                "{retryable}"
+            );
+        }
+        for fatal in [400u16, 401, 403, 404, 410] {
+            assert!(
+                !classify_status(fatal).unwrap_err().is_retryable(),
+                "{fatal}"
+            );
+        }
+    }
+
+    #[test]
+    fn status_line_parsing_is_tolerant() {
+        assert_eq!(parse_status_line(b"HTTP/1.1 200 OK\r\n"), Some(200));
+        assert_eq!(parse_status_line(b"HTTP/1.0 503 Unavailable\n"), Some(503));
+        assert_eq!(parse_status_line(b"garbage"), None);
+        assert_eq!(parse_status_line(b""), None);
+        assert_eq!(parse_status_line(&[0xFF, 0xFE]), None);
+    }
+
+    #[test]
+    fn connection_refused_is_retryable() {
+        // Port 1 on localhost is essentially never listening.
+        let mut sink = WebhookSink::from_url("http://127.0.0.1:1/x")
+            .unwrap()
+            .with_timeouts(Duration::from_millis(200), Duration::from_millis(200));
+        let err = sink
+            .deliver(&[BufferedReport {
+                id: 1,
+                class: monilog_model::DeliveryClass::Page,
+                body: "{}".into(),
+            }])
+            .unwrap_err();
+        assert!(err.is_retryable(), "{err}");
+    }
+}

@@ -272,7 +272,11 @@ impl Shared {
         // Persist before exposing in memory: a crash right after quarantine
         // must not lose the evidence.
         if let Some(log) = &*self.dlq_file.lock() {
-            let _ = log.append(std::slice::from_ref(&letter));
+            if let Ok(dropped) = log.append(std::slice::from_ref(&letter)) {
+                if dropped > 0 {
+                    PipelineMetrics::add(&self.metrics.dlq_bytes_dropped, dropped);
+                }
+            }
         }
         self.push_dead_letter_in_memory(letter);
     }
