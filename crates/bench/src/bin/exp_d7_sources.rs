@@ -1,0 +1,604 @@
+//! Experiment D7 — network sources under hostile clients.
+//!
+//! Drives the real `monilog` binary as a network daemon (syslog-TCP source
+//! plus `/metrics` on the shared event loop) and checks the ingestion
+//! invariants end to end:
+//!
+//! 1. **Equivalence under chaos**: the live workload is delivered as
+//!    RFC 5424/3164 syslog frames over TCP while a fleet of scripted chaos
+//!    clients (slow loris, mid-frame resets, reconnect storms) abuses the
+//!    same listener and ~10k idle connections sit on the loop. The anomaly
+//!    set must be identical to a file-fed reference run, and `/metrics`
+//!    must stay responsive throughout — including with a stalled scrape
+//!    client holding a connection half-open (the head-of-line bug).
+//! 2. **Forced shutdown**: a second SIGTERM during a (artificially held)
+//!    graceful drain must exit immediately with status 130, and a restart
+//!    must recover from the WAL to the identical anomaly set.
+//!
+//! Run: `cargo run --release -p monilog-bench --bin exp_d7_sources`
+//! (build the workspace in release first so `monilog` exists).
+//!
+//! All assertions are hard gates — the binary exits non-zero on any
+//! violation. With `--check` the results artifact is not rewritten.
+
+use monilog_core::stream::{FlakySourceClient, SourceFault};
+use monilog_loggen::{GenLog, HdfsWorkload, HdfsWorkloadConfig};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// How long to wait for any single child process or poll condition.
+const WAIT_BUDGET: Duration = Duration::from_secs(180);
+/// Idle connections to park on the event loop during the chaos run.
+const IDLE_CONNECTIONS: usize = 10_000;
+/// Acceptance bound on a `/metrics` scrape while the loop is loaded.
+const SCRAPE_BUDGET: Duration = Duration::from_millis(500);
+/// Acceptance bound on a forced (second-SIGTERM) exit.
+const FORCED_EXIT_BUDGET: Duration = Duration::from_secs(3);
+/// Exit status of a forced shutdown (128 + SIGINT).
+const FORCED_EXIT_CODE: i32 = 130;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Raise the open-file soft limit to the hard limit (capped at what the
+/// idle-connection fleet needs, on both sides of the sockets). Inherited
+/// by the spawned `monilog` children.
+fn raise_nofile_limit() -> u64 {
+    #[cfg(unix)]
+    {
+        #[repr(C)]
+        struct RLimit {
+            cur: u64,
+            max: u64,
+        }
+        extern "C" {
+            fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+            fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+        }
+        const RLIMIT_NOFILE: i32 = 7;
+        let mut lim = RLimit { cur: 0, max: 0 };
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+            return 0;
+        }
+        let want = (IDLE_CONNECTIONS as u64 + 4_096).min(lim.max);
+        if lim.cur < want {
+            let new = RLimit {
+                cur: want,
+                max: lim.max,
+            };
+            if unsafe { setrlimit(RLIMIT_NOFILE, &new) } != 0 {
+                return lim.cur;
+            }
+            return want;
+        }
+        lim.cur
+    }
+    #[cfg(not(unix))]
+    {
+        0
+    }
+}
+
+/// The `monilog` binary next to this experiment binary.
+fn monilog_bin() -> PathBuf {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut dir = exe.parent().expect("exe dir").to_path_buf();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let bin = dir.join("monilog");
+    if !bin.exists() {
+        fail(&format!(
+            "{} not found — build it first: cargo build --release -p monilog-core",
+            bin.display()
+        ));
+    }
+    bin
+}
+
+fn write_workload(path: &Path, logs: &[GenLog]) {
+    let text: Vec<String> = logs.iter().map(|l| l.record.to_line()).collect();
+    std::fs::write(path, text.join("\n")).expect("workload file writable");
+}
+
+/// Spawn a monitor and a drainer thread for its stdout.
+fn spawn_monitor(
+    args: &[String],
+    envs: &[(&str, &str)],
+) -> (Child, std::thread::JoinHandle<String>) {
+    let mut cmd = Command::new(monilog_bin());
+    cmd.args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let mut child = cmd
+        .spawn()
+        .unwrap_or_else(|e| fail(&format!("spawn monilog: {e}")));
+    let mut stdout = child.stdout.take().expect("piped stdout");
+    let reader = std::thread::spawn(move || {
+        let mut buf = String::new();
+        let _ = stdout.read_to_string(&mut buf);
+        buf
+    });
+    (child, reader)
+}
+
+/// Argv for a syslog-TCP + metrics network monitor on one state dir.
+fn sources_args(ckpt: &Path, state: &Path) -> Vec<String> {
+    vec![
+        "monitor".into(),
+        "--listen-syslog-tcp".into(),
+        "127.0.0.1:0".into(),
+        "--metrics-addr".into(),
+        "127.0.0.1:0".into(),
+        "--checkpoint".into(),
+        ckpt.display().to_string(),
+        "--state-dir".into(),
+        state.display().to_string(),
+        "--journal-fsync-ms".into(),
+        "50".into(),
+        // No periodic checkpoint inside the run: the forced-exit scenario
+        // must find journal lines to replay, proving the second SIGTERM
+        // really skipped the final checkpoint.
+        "--checkpoint-interval-ms".into(),
+        "600000".into(),
+    ]
+}
+
+/// Poll `<state>/listen-addrs` for a published address.
+fn wait_for_addr(state: &Path, key: &str, child: &mut Child) -> String {
+    let deadline = Instant::now() + WAIT_BUDGET;
+    loop {
+        if let Ok(content) = std::fs::read_to_string(state.join("listen-addrs")) {
+            for line in content.lines() {
+                if let Some(addr) = line.strip_prefix(&format!("{key} ")) {
+                    return addr.to_string();
+                }
+            }
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            fail(&format!(
+                "monitor exited ({status}) before publishing {key}"
+            ));
+        }
+        if Instant::now() > deadline {
+            fail(&format!("no {key} address within the wait budget"));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// One `/metrics` scrape; returns the body and how long it took.
+fn scrape_metrics(addr: &str) -> (String, Duration) {
+    let start = Instant::now();
+    let mut conn = TcpStream::connect(addr)
+        .unwrap_or_else(|e| fail(&format!("connect /metrics at {addr}: {e}")));
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap_or_else(|e| fail(&format!("write scrape: {e}")));
+    let mut body = String::new();
+    conn.read_to_string(&mut body)
+        .unwrap_or_else(|e| fail(&format!("read scrape: {e}")));
+    (body, start.elapsed())
+}
+
+/// Value of a prometheus counter in a scrape body, 0 if absent.
+fn counter_value(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// `(id, kind, score)` per sink line — the identity of a report. The
+/// per-event `source` provenance differs between transports by design and
+/// is not part of the key.
+fn report_keys(sink: &Path) -> Vec<(u64, String, String)> {
+    let body = std::fs::read_to_string(sink)
+        .unwrap_or_else(|e| fail(&format!("read {}: {e}", sink.display())));
+    let mut keys = Vec::new();
+    for line in body.lines() {
+        let Some(key) = parse_key(line) else {
+            fail(&format!(
+                "unparseable sink line in {}: {line}",
+                sink.display()
+            ));
+        };
+        keys.push(key);
+    }
+    keys
+}
+
+fn parse_key(line: &str) -> Option<(u64, String, String)> {
+    let id: u64 = {
+        let rest = line.strip_prefix("{\"id\":")?;
+        rest[..rest.find(',')?].parse().ok()?
+    };
+    let kind = {
+        let at = line.find("\"kind\":\"")? + 8;
+        let end = line[at..].find('"')? + at;
+        line[at..end].to_string()
+    };
+    let score = {
+        let at = line.find("\"score\":")? + 8;
+        let end = line[at..].find(',')? + at;
+        line[at..end].to_string()
+    };
+    Some((id, kind, score))
+}
+
+fn assert_identical(label: &str, got: &[(u64, String, String)], want: &[(u64, String, String)]) {
+    let mut got_sorted = got.to_vec();
+    let mut want_sorted = want.to_vec();
+    got_sorted.sort();
+    want_sorted.sort();
+    if got_sorted != want_sorted {
+        fail(&format!(
+            "{label}: anomaly set diverged from the file-fed reference \
+             ({} vs {} reports)",
+            got.len(),
+            want.len()
+        ));
+    }
+}
+
+/// Feed every line as an enveloped LF-framed syslog message on one
+/// connection (ordering matters to the windowed detectors).
+fn feed_syslog(addr: &str, lines: &[String]) {
+    let mut conn =
+        TcpStream::connect(addr).unwrap_or_else(|e| fail(&format!("connect feeder: {e}")));
+    conn.set_nodelay(true).unwrap();
+    let mut wire = String::new();
+    for (i, line) in lines.iter().enumerate() {
+        if i % 2 == 0 {
+            wire.push_str(&format!(
+                "<14>1 2020-09-13T13:26:40Z host app - - - {line}\n"
+            ));
+        } else {
+            wire.push_str(&format!("<13>Sep 13 13:26:40 host app: {line}\n"));
+        }
+        if wire.len() >= 32 * 1024 {
+            conn.write_all(wire.as_bytes())
+                .unwrap_or_else(|e| fail(&format!("feeder write: {e}")));
+            wire.clear();
+        }
+    }
+    conn.write_all(wire.as_bytes())
+        .unwrap_or_else(|e| fail(&format!("feeder write: {e}")));
+}
+
+/// Block until the source has accepted `want` lines into its queue.
+fn wait_for_lines(metrics_addr: &str, want: u64, child: &mut Child) {
+    let deadline = Instant::now() + WAIT_BUDGET;
+    loop {
+        let (body, _) = scrape_metrics(metrics_addr);
+        let got = counter_value(&body, "monilog_sources_lines_total");
+        if got >= want {
+            return;
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            fail(&format!(
+                "monitor exited ({status}) mid-feed at {got}/{want} lines"
+            ));
+        }
+        if Instant::now() > deadline {
+            fail(&format!(
+                "only {got}/{want} lines accepted within the wait budget"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn sigterm(child: &Child) {
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    if !status.success() {
+        fail("kill -TERM failed");
+    }
+}
+
+fn chaos_script() -> Vec<SourceFault> {
+    let mut script = vec![
+        SourceFault::SlowLoris {
+            prefix: "<13>a torn frame dripping one byte at a time, never finished".into(),
+            byte_delay: Duration::from_millis(2),
+        },
+        SourceFault::ResetMidFrame {
+            partial: "<13>an octet-counted frame cut off mid-payload".into(),
+        },
+        SourceFault::ReconnectStorm { connects: 150 },
+        SourceFault::IdleHold {
+            hold: Duration::from_millis(200),
+        },
+        SourceFault::ResetMidFrame {
+            partial: "<165>1 2020-09-13T13:26:40Z h app - - - torn".into(),
+        },
+    ];
+    script.push(SourceFault::ReconnectStorm { connects: 150 });
+    script
+}
+
+fn main() {
+    println!("# D7 — network sources under hostile clients\n");
+    let check = std::env::args().any(|a| a == "--check");
+    let nofile = raise_nofile_limit();
+    println!("open-file limit: {nofile}");
+    if nofile != 0 && nofile < IDLE_CONNECTIONS as u64 + 2_048 {
+        fail(&format!(
+            "open-file limit {nofile} too low for {IDLE_CONNECTIONS} idle connections"
+        ));
+    }
+    let bin = monilog_bin();
+    println!("driving {}", bin.display());
+
+    let dir = std::env::temp_dir().join(format!("monilog-exp-d7-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let train_file = dir.join("train.log");
+    let live_file = dir.join("live.log");
+    let ckpt = dir.join("model.mlcp");
+
+    let training = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 200,
+        sequential_anomaly_rate: 0.0,
+        quantitative_anomaly_rate: 0.0,
+        seed: 6,
+        start_ms: 1_600_000_000_000,
+    })
+    .generate();
+    write_workload(&train_file, &training);
+    let live = HdfsWorkload::new(HdfsWorkloadConfig {
+        n_sessions: 300,
+        sequential_anomaly_rate: 0.15,
+        quantitative_anomaly_rate: 0.0,
+        seed: 7,
+        start_ms: 1_600_003_600_000,
+    })
+    .generate();
+    write_workload(&live_file, &live);
+    let live_lines: Vec<String> = live.iter().map(|l| l.record.to_line()).collect();
+    println!("live stream: {} lines", live_lines.len());
+
+    let status = Command::new(&bin)
+        .args([
+            "train",
+            &train_file.display().to_string(),
+            "--checkpoint",
+            &ckpt.display().to_string(),
+        ])
+        .stdout(Stdio::null())
+        .status()
+        .expect("run train");
+    if !status.success() {
+        fail("training run failed");
+    }
+
+    // Reference: file-fed durable run over the same live stream.
+    let ref_state = dir.join("state-ref");
+    let ref_args = vec![
+        "monitor".into(),
+        live_file.display().to_string(),
+        "--checkpoint".into(),
+        ckpt.display().to_string(),
+        "--state-dir".into(),
+        ref_state.display().to_string(),
+        "--journal-fsync-ms".into(),
+        "50".into(),
+    ];
+    let (mut child, reader) = spawn_monitor(&ref_args, &[]);
+    let status = child.wait().expect("wait");
+    let out = reader.join().expect("reader");
+    if !status.success() {
+        fail(&format!("reference run exited with {status}:\n{out}"));
+    }
+    let reference = report_keys(&ref_state.join("anomalies.jsonl"));
+    if reference.is_empty() {
+        fail("reference run found no anomalies — nothing to compare");
+    }
+    println!("reference: {} reports", reference.len());
+
+    // 1. Chaos ingest: syslog feed + hostile clients + idle fleet.
+    let net_state = dir.join("state-net");
+    std::fs::create_dir_all(&net_state).expect("state dir");
+    let (mut child, reader) = spawn_monitor(&sources_args(&ckpt, &net_state), &[]);
+    let syslog_addr = wait_for_addr(&net_state, "syslog-tcp", &mut child);
+    let metrics_addr = wait_for_addr(&net_state, "metrics", &mut child);
+    println!("syslog-tcp at {syslog_addr}, metrics at {metrics_addr}");
+
+    // A stalled scrape client: half a request, then silence. The exporter
+    // must not let it block other scrapes (the head-of-line bug).
+    let mut stalled = TcpStream::connect(&metrics_addr).expect("connect stalled client");
+    stalled
+        .write_all(b"GET /metr")
+        .expect("write stalled prefix");
+
+    // Park the idle fleet.
+    let parse_addr: std::net::SocketAddr = syslog_addr.parse().expect("addr");
+    let mut idle = Vec::with_capacity(IDLE_CONNECTIONS);
+    let mut refused = 0u32;
+    while idle.len() < IDLE_CONNECTIONS {
+        match TcpStream::connect_timeout(&parse_addr, Duration::from_secs(5)) {
+            Ok(s) => idle.push(s),
+            Err(_) => {
+                refused += 1;
+                if refused > 1_000 {
+                    fail(&format!("idle fleet stalled at {} connections", idle.len()));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    println!("idle fleet: {} connections parked", idle.len());
+
+    // Hostile clients run concurrently with the real feed.
+    let chaos: Vec<FlakySourceClient> = (0..3)
+        .map(|_| FlakySourceClient::spawn(parse_addr, chaos_script()))
+        .collect();
+    let feed_lines = live_lines.clone();
+    let feed_addr = syslog_addr.clone();
+    let feeder = std::thread::spawn(move || feed_syslog(&feed_addr, &feed_lines));
+
+    // Scrape continuously while the loop is loaded; every scrape must meet
+    // the latency budget even with the stalled client holding its slot.
+    let mut worst_scrape = Duration::ZERO;
+    let deadline = Instant::now() + WAIT_BUDGET;
+    loop {
+        let (body, took) = scrape_metrics(&metrics_addr);
+        worst_scrape = worst_scrape.max(took);
+        if took > SCRAPE_BUDGET {
+            fail(&format!(
+                "scrape took {took:?} under load (budget {SCRAPE_BUDGET:?})"
+            ));
+        }
+        if counter_value(&body, "monilog_sources_lines_total") >= live_lines.len() as u64 {
+            break;
+        }
+        if Instant::now() > deadline {
+            fail("feed did not complete within the wait budget");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    feeder.join().expect("feeder thread");
+    let mut chaos_connections = 0u64;
+    for client in chaos {
+        chaos_connections += client.join().connections;
+    }
+    println!(
+        "chaos fleet: {chaos_connections} hostile connections served; \
+         worst scrape {worst_scrape:?}"
+    );
+    drop(stalled);
+    drop(idle);
+
+    sigterm(&child);
+    let status = child.wait().expect("wait");
+    let out = reader.join().expect("reader");
+    if !status.success() {
+        fail(&format!("drain exited with {status}:\n{out}"));
+    }
+    if !out.contains("drained gracefully") {
+        fail(&format!("drain not reported:\n{out}"));
+    }
+    let expected_line = format!("monitored {} lines from network sources", live_lines.len());
+    if !out.contains(&expected_line) {
+        fail(&format!(
+            "chaos clients leaked lines into the pipeline — wanted \"{expected_line}\":\n{out}"
+        ));
+    }
+    // The drain checkpoint keeps open detection windows open (the daemon
+    // cannot know the stream ended); the file-fed reference ends with an
+    // end-of-input flush. Restart on the drained state — zero journal
+    // replay — and let the idle exit run that flush.
+    let (mut child, reader) = spawn_monitor(
+        &sources_args(&ckpt, &net_state),
+        &[("MONILOG_IDLE_EXIT_MS", "1000")],
+    );
+    let status = child.wait().expect("wait resume");
+    let out = reader.join().expect("reader");
+    if !status.success() {
+        fail(&format!("post-drain resume exited with {status}:\n{out}"));
+    }
+    if !out.contains("recovery: replayed 0 journal lines") {
+        fail(&format!("graceful drain must leave zero replay:\n{out}"));
+    }
+    let netted = report_keys(&net_state.join("anomalies.jsonl"));
+    assert_identical("chaos ingest", &netted, &reference);
+    println!(
+        "chaos ingest: anomaly set identical to reference ({} reports)",
+        netted.len()
+    );
+
+    // 2. Forced shutdown: second SIGTERM during a held drain.
+    let force_state = dir.join("state-force");
+    std::fs::create_dir_all(&force_state).expect("state dir");
+    let (mut child, reader) = spawn_monitor(
+        &sources_args(&ckpt, &force_state),
+        &[("MONILOG_DRAIN_HOLD_MS", "30000")],
+    );
+    let syslog_addr = wait_for_addr(&force_state, "syslog-tcp", &mut child);
+    let metrics_addr = wait_for_addr(&force_state, "metrics", &mut child);
+    feed_syslog(&syslog_addr, &live_lines);
+    wait_for_lines(&metrics_addr, live_lines.len() as u64, &mut child);
+
+    sigterm(&child); // graceful drain starts, then parks in the hold
+    std::thread::sleep(Duration::from_millis(500));
+    let forced_at = Instant::now();
+    sigterm(&child); // force immediate exit
+    let status = child.wait().expect("wait");
+    let forced_in = forced_at.elapsed();
+    drop(reader);
+    if status.code() != Some(FORCED_EXIT_CODE) {
+        fail(&format!(
+            "second SIGTERM must exit with status {FORCED_EXIT_CODE}, got {status}"
+        ));
+    }
+    if forced_in > FORCED_EXIT_BUDGET {
+        fail(&format!(
+            "forced exit took {forced_in:?} (budget {FORCED_EXIT_BUDGET:?})"
+        ));
+    }
+    println!("forced exit: status 130 in {forced_in:?}");
+
+    // Restart recovers from the WAL (the forced exit skipped the final
+    // checkpoint, so there must be journal lines to replay) and converges
+    // on the identical anomaly set.
+    let (mut child, reader) = spawn_monitor(
+        &sources_args(&ckpt, &force_state),
+        &[("MONILOG_IDLE_EXIT_MS", "1000")],
+    );
+    let status = child.wait().expect("wait restart");
+    let out = reader.join().expect("reader");
+    if !status.success() {
+        fail(&format!("recovery run exited with {status}:\n{out}"));
+    }
+    let replayed: u64 = out
+        .lines()
+        .find(|l| l.starts_with("recovery: replayed"))
+        .and_then(|l| {
+            l.split(|c: char| !c.is_ascii_digit())
+                .find(|s| !s.is_empty())?
+                .parse()
+                .ok()
+        })
+        .unwrap_or_else(|| fail(&format!("no replay line in output:\n{out}")));
+    if replayed == 0 {
+        fail("forced exit left nothing to replay — the final checkpoint ran anyway");
+    }
+    println!("recovery: replayed {replayed} journal lines after forced exit");
+    let recovered = report_keys(&force_state.join("anomalies.jsonl"));
+    assert_identical("forced-exit recovery", &recovered, &reference);
+    println!(
+        "forced-exit recovery: anomaly set identical to reference ({} reports)",
+        recovered.len()
+    );
+
+    println!("\nall source invariants hold");
+    if !check {
+        let json = format!(
+            "{{\"experiment\":\"d7_sources\",\"live_lines\":{},\"reports\":{},\
+             \"idle_connections\":{},\"chaos_connections\":{chaos_connections},\
+             \"worst_scrape_ms\":{},\"forced_exit_ms\":{},\"forced_replayed_lines\":{replayed}}}\n",
+            live_lines.len(),
+            reference.len(),
+            IDLE_CONNECTIONS,
+            worst_scrape.as_millis(),
+            forced_in.as_millis(),
+        );
+        let out_path = Path::new("results/exp_d7_sources.json");
+        match monilog_bench::write_json_atomic(out_path, &json) {
+            Ok(()) => println!("wrote {}", out_path.display()),
+            Err(e) => println!("could not write {}: {e}", out_path.display()),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -26,6 +26,8 @@ use monilog_stream::{JournalConfig, MetricsExporter, OverloadPolicy};
 use std::fmt::Write as _;
 
 /// A parsed CLI invocation.
+// One value of this exists per process; variant size imbalance is moot.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CliCommand {
     Parse {
@@ -46,7 +48,8 @@ pub enum CliCommand {
         trace_out: Option<String>,
     },
     Monitor {
-        logfile: String,
+        /// Input file; optional when network sources are configured.
+        logfile: Option<String>,
         checkpoint: String,
         format: HeaderChoice,
         fault: FaultToleranceConfig,
@@ -57,8 +60,36 @@ pub enum CliCommand {
         /// Durable operation (`--state-dir` and friends); `None` runs the
         /// classic in-memory monitor.
         durable: Option<DurableOptions>,
+        /// Network ingestion (`--listen-syslog-tcp` and friends); `None`
+        /// reads the logfile.
+        sources: Option<SourcesOptions>,
     },
     Help,
+}
+
+/// Network-source flags (`--listen-syslog-tcp`, `--listen-syslog-udp`,
+/// `--listen-http`, `--tail`). All of them require `--state-dir`: network
+/// input is journaled to the WAL before the pipeline acts on it, and the
+/// file-tail cursors ride in the durable checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SourcesOptions {
+    /// TCP syslog listener (RFC 3164/5424 under RFC 6587 framing).
+    pub syslog_tcp: Option<std::net::SocketAddr>,
+    /// UDP syslog listener (one message per datagram).
+    pub syslog_udp: Option<std::net::SocketAddr>,
+    /// HTTP bulk-ingest listener (`POST /ingest`, newline-delimited body).
+    pub http: Option<std::net::SocketAddr>,
+    /// Files to tail (repeatable `--tail`); cursors persist across restarts.
+    pub tails: Vec<String>,
+}
+
+impl SourcesOptions {
+    fn any(&self) -> bool {
+        self.syslog_tcp.is_some()
+            || self.syslog_udp.is_some()
+            || self.http.is_some()
+            || !self.tails.is_empty()
+    }
 }
 
 /// Durability flags (`--state-dir`, `--checkpoint-interval-ms`,
@@ -212,6 +243,27 @@ delivery options (monitor, require --state-dir):
                                          report is page-level (default
                                          high; use low while the
                                          criticality head is untrained)
+
+network sources (monitor, require --state-dir; <logfile> then optional):
+  --listen-syslog-tcp <host:port>        accept RFC 3164/5424 syslog over
+                                         TCP (LF or RFC 6587 octet-counted
+                                         framing, auto-detected); port 0
+                                         picks a free port, bound addrs are
+                                         written to <state-dir>/listen-addrs
+  --listen-syslog-udp <host:port>        accept syslog datagrams over UDP
+  --listen-http <host:port>              accept newline-delimited log
+                                         batches via POST /ingest (413 on
+                                         oversized bodies, 429 under
+                                         overload)
+  --tail <path>                          follow a live log file; repeatable;
+                                         resume cursors ride the durable
+                                         checkpoint so restarts never
+                                         re-ingest
+  Backpressure at the source boundary follows --on-overload: block pauses
+  TCP reads and tails (HTTP answers 429, UDP drops), shed drops and counts,
+  dead-letter diverts raw lines to <state-dir>/sources_dead_letter.jsonl.
+  A second SIGTERM/SIGINT during the graceful drain forces an immediate
+  exit (status 130); the WAL replays the difference on the next start.
 ";
 
 /// Parse argv (without the program name).
@@ -229,6 +281,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     let mut durable_tuning_given = false;
     let mut sinks = SinkOptions::default();
     let mut sinks_given = false;
+    let mut sources = SourcesOptions::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -421,6 +474,38 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 };
                 sinks_given = true;
             }
+            "--listen-syslog-tcp" => {
+                i += 1;
+                let value = args.get(i).ok_or("--listen-syslog-tcp needs host:port")?;
+                sources.syslog_tcp = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid --listen-syslog-tcp {value:?}"))?,
+                );
+            }
+            "--listen-syslog-udp" => {
+                i += 1;
+                let value = args.get(i).ok_or("--listen-syslog-udp needs host:port")?;
+                sources.syslog_udp = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid --listen-syslog-udp {value:?}"))?,
+                );
+            }
+            "--listen-http" => {
+                i += 1;
+                let value = args.get(i).ok_or("--listen-http needs host:port")?;
+                sources.http = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid --listen-http {value:?}"))?,
+                );
+            }
+            "--tail" => {
+                i += 1;
+                let value = args.get(i).ok_or("--tail needs a path")?;
+                sources.tails.push(value.clone());
+            }
             "--help" | "-h" => return Ok(CliCommand::Help),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             positional_arg => positional.push(positional_arg.to_string()),
@@ -472,6 +557,25 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     if durable.is_some() && command != "monitor" {
         return Err("--state-dir is only supported by the monitor command".to_string());
     }
+    if sources.any() {
+        if command != "monitor" {
+            return Err(
+                "--listen-syslog-tcp / --listen-syslog-udp / --listen-http / --tail are only \
+                 supported by the monitor command"
+                    .to_string(),
+            );
+        }
+        // Network input is journaled before the pipeline acts on it, and
+        // tail cursors live in the durable checkpoint — meaningless
+        // without a state directory.
+        if durable.is_none() {
+            return Err(
+                "--listen-syslog-tcp / --listen-syslog-udp / --listen-http / --tail \
+                 require --state-dir"
+                    .to_string(),
+            );
+        }
+    }
     match command.as_str() {
         "parse" => Ok(CliCommand::Parse {
             logfile: positional.next().ok_or("parse needs a <logfile>")?,
@@ -488,15 +592,24 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             observability,
             trace_out,
         }),
-        "monitor" => Ok(CliCommand::Monitor {
-            logfile: positional.next().ok_or("monitor needs a <logfile>")?,
-            checkpoint: checkpoint.ok_or("monitor needs --checkpoint <in>")?,
-            format,
-            fault,
-            observability,
-            trace_out,
-            durable,
-        }),
+        "monitor" => {
+            let logfile = positional.next();
+            if logfile.is_none() && !sources.any() {
+                return Err("monitor needs a <logfile> (or network sources: \
+                     --listen-syslog-tcp / --listen-syslog-udp / --listen-http / --tail)"
+                    .to_string());
+            }
+            Ok(CliCommand::Monitor {
+                logfile,
+                checkpoint: checkpoint.ok_or("monitor needs --checkpoint <in>")?,
+                format,
+                fault,
+                observability,
+                trace_out,
+                durable,
+                sources: sources.any().then_some(sources),
+            })
+        }
         "help" => Ok(CliCommand::Help),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
@@ -656,11 +769,18 @@ pub fn run(command: CliCommand) -> Result<String, String> {
             observability,
             trace_out,
             durable,
+            sources,
         } => {
             let blob =
                 std::fs::read(&checkpoint).map_err(|e| format!("cannot read {checkpoint}: {e}"))?;
             let mut config = pipeline_config(format, fault);
             config.observability = observability;
+            if let Some(src) = sources {
+                let opts = durable.ok_or("network sources require --state-dir")?;
+                run_sources_monitor(config, &blob, &src, &opts, trace_out, &mut out)?;
+                return Ok(out);
+            }
+            let logfile = logfile.ok_or("monitor needs a <logfile>")?;
             if let Some(opts) = durable {
                 run_durable_monitor(config, &blob, &logfile, &opts, trace_out, &mut out)?;
                 return Ok(out);
@@ -906,6 +1026,241 @@ fn run_durable_monitor(
     Ok(())
 }
 
+/// The network-source monitor: TCP/UDP syslog, HTTP bulk ingest and file
+/// tails multiplexed on one event loop, every line journaled to the WAL
+/// before the pipeline acts on it. Seqs are assigned per source as lines
+/// leave the ingest queue; tail cursors are written into the checkpoint
+/// manifest *before* the line they account for is ingested, so a
+/// checkpoint cut mid-batch pairs consistently.
+///
+/// Runs until SIGTERM/SIGINT (graceful drain; a *second* signal forces an
+/// immediate exit with status 130 whose WAL suffix replays on the next
+/// start). Two env hooks for tests and gates: `MONILOG_IDLE_EXIT_MS`
+/// finishes the run after that long with no queued lines, and
+/// `MONILOG_DRAIN_HOLD_MS` holds the drain open before the final
+/// checkpoint so a forced exit can be exercised.
+fn run_sources_monitor(
+    config: MoniLogConfig,
+    model_blob: &[u8],
+    src: &SourcesOptions,
+    opts: &DurableOptions,
+    trace_out: Option<String>,
+    out: &mut String,
+) -> Result<(), String> {
+    use crate::durable::{
+        decode_tail_cursors, encode_tail_cursors, PersistedTailCursor, SOURCES_SECTION,
+    };
+    use monilog_stream::sources::{TailCursor, TailSpec, TAIL_SOURCE_BASE};
+    use monilog_stream::{DeadLetterLog, MetricsEndpoint, SourcesConfig, SourcesServer};
+    use std::time::{Duration, Instant};
+
+    monilog_stream::install_shutdown_handler();
+    let state_dir = std::path::Path::new(&opts.state_dir);
+    let delivery = match &opts.sinks {
+        Some(sinks) => Some(build_delivery(sinks, state_dir)?),
+        None => None,
+    };
+    let (mut durable, stats) = DurableMoniLog::open_with_delivery(
+        config,
+        opts.to_config(),
+        || MoniLog::restore(config, model_blob).map_err(|e| format!("invalid checkpoint: {e}")),
+        delivery,
+    )?;
+    match stats.resumed_generation {
+        Some(generation) => {
+            let _ = writeln!(out, "recovery: resumed checkpoint generation {generation}");
+        }
+        None => {
+            let _ = writeln!(out, "recovery: fresh state directory");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "recovery: replayed {} journal lines in {} ms ({} duplicate reports suppressed)",
+        stats.replayed_lines, stats.replay_ms, stats.suppressed_duplicates
+    );
+
+    // Resume file tails from the checkpointed cursors. Lines journaled
+    // after the cursor snapshot replayed from the WAL above; the tail
+    // seeks to the cursor and skips exactly that many lines.
+    let recovered = durable
+        .recovered_section(SOURCES_SECTION)
+        .map(decode_tail_cursors)
+        .unwrap_or_default();
+    let mut tails = Vec::new();
+    let mut cursors: Vec<PersistedTailCursor> = Vec::new();
+    for (index, path) in src.tails.iter().enumerate() {
+        let mut spec = TailSpec::new(path);
+        match recovered.iter().find(|c| c.index == index) {
+            Some(c) => {
+                let source = SourceId(TAIL_SOURCE_BASE + index as u16);
+                let high_water = durable.next_seq(source).saturating_sub(1);
+                spec.resume = Some(TailCursor {
+                    inode: c.inode,
+                    offset: c.offset,
+                    last_seq: c.last_seq,
+                });
+                spec.skip_lines = high_water.saturating_sub(c.last_seq);
+                cursors.push(c.clone());
+            }
+            None => cursors.push(PersistedTailCursor {
+                index,
+                inode: 0,
+                offset: 0,
+                last_seq: 0,
+                path: path.clone(),
+            }),
+        }
+        tails.push(spec);
+    }
+
+    let dlq = match config.fault_tolerance.on_overload {
+        OverloadPolicy::DeadLetter => Some(std::sync::Arc::new(
+            DeadLetterLog::open(state_dir.join("sources_dead_letter.jsonl"), 1 << 20)
+                .map_err(|e| format!("open sources dead-letter log: {e}"))?,
+        )),
+        _ => None,
+    };
+    let sources_config = SourcesConfig {
+        syslog_tcp: src.syslog_tcp,
+        syslog_udp: src.syslog_udp,
+        http: src.http,
+        tails,
+        on_overload: config.fault_tolerance.on_overload,
+        ..SourcesConfig::default()
+    };
+    // `/metrics` rides the same event loop as the sources — one thread
+    // serves every network endpoint.
+    let endpoint = config
+        .observability
+        .metrics_addr
+        .map(|addr| MetricsEndpoint {
+            addr,
+            interval: Duration::from_millis(config.observability.metrics_interval_ms),
+            tracer: Some(durable.pipeline().tracer()),
+        });
+    let (server, queue) =
+        SourcesServer::spawn(sources_config, durable.pipeline().registry(), dlq, endpoint)
+            .map_err(|e| format!("bind sources: {e}"))?;
+
+    // Publish the bound addresses (ports may have been 0) where both the
+    // operator and the driving harness can find them.
+    let mut addrs = String::new();
+    if let Some(a) = server.syslog_tcp_addr() {
+        let _ = writeln!(addrs, "syslog-tcp {a}");
+    }
+    if let Some(a) = server.syslog_udp_addr() {
+        let _ = writeln!(addrs, "syslog-udp {a}");
+    }
+    if let Some(a) = server.http_addr() {
+        let _ = writeln!(addrs, "http {a}");
+    }
+    if let Some(a) = server.metrics_addr() {
+        let _ = writeln!(addrs, "metrics {a}");
+    }
+    std::fs::write(state_dir.join("listen-addrs"), &addrs)
+        .map_err(|e| format!("write listen-addrs: {e}"))?;
+    for line in addrs.lines() {
+        let _ = writeln!(out, "listening: {line}");
+    }
+
+    let idle_exit: Option<Duration> = std::env::var("MONILOG_IDLE_EXIT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis);
+    let mut next: std::collections::HashMap<u16, u64> = std::collections::HashMap::new();
+    let mut anomalies = stats.anomalies;
+    let mut processed = 0u64;
+    let mut last_event = Instant::now();
+    let mut drained = false;
+    // On the first SIGTERM/SIGINT the server is dropped immediately (no
+    // source can accept more input) but the queue keeps draining: lines a
+    // source already acknowledged must reach the pipeline before the final
+    // checkpoint, or a graceful drain would silently lose them.
+    let mut server = Some(server);
+    loop {
+        if server.is_some() && monilog_stream::shutdown_requested() {
+            drained = true;
+            server = None;
+        }
+        let batch = queue.recv_batch(512, Duration::from_millis(50));
+        if batch.is_empty() {
+            if drained {
+                break;
+            }
+            if let Some(limit) = idle_exit {
+                if last_event.elapsed() >= limit {
+                    break;
+                }
+            }
+            continue;
+        }
+        last_event = Instant::now();
+        for ev in batch {
+            let seq = {
+                let e = next
+                    .entry(ev.source.0)
+                    .or_insert_with(|| durable.next_seq(ev.source));
+                let s = *e;
+                *e += 1;
+                s
+            };
+            if let Some((index, cursor)) = ev.cursor {
+                if let Some(slot) = cursors.iter_mut().find(|c| c.index == index) {
+                    slot.inode = cursor.inode;
+                    slot.offset = cursor.offset;
+                    slot.last_seq = seq;
+                }
+                durable.set_section(SOURCES_SECTION, encode_tail_cursors(&cursors));
+            }
+            anomalies.extend(durable.ingest(&RawLog::new(ev.source, seq, ev.line))?);
+            processed += 1;
+        }
+    }
+
+    // Stop accepting before the final checkpoint: no source can add lines
+    // the checkpoint won't cover. (Already dropped if a drain was
+    // requested; the idle-exit path lands here with it still live.)
+    drop(server);
+    // Quiesce: fsync the WAL and apply everything pending *before* the
+    // final checkpoint. From here on even a forced (second-signal) exit
+    // loses nothing a source acknowledged — the restart replays it.
+    anomalies.extend(durable.sync_wal()?);
+    if let Ok(ms) = std::env::var("MONILOG_DRAIN_HOLD_MS") {
+        if let Ok(ms) = ms.parse::<u64>() {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+
+    let tracer = durable.pipeline().tracer();
+    let (tail_reports, generation) = if drained {
+        durable.drain()?
+    } else {
+        durable.finish()?
+    };
+    anomalies.extend(tail_reports);
+    if drained {
+        let _ = writeln!(
+            out,
+            "drained gracefully at checkpoint generation {generation}; \
+             restart resumes with zero replay"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "monitored {processed} lines from network sources: {} anomalies \
+         (checkpoint generation {generation})",
+        anomalies.len()
+    );
+    write_report_lines(out, &anomalies);
+    if let Some(path) = trace_out {
+        std::fs::write(&path, tracer.chrome_trace_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(out, "trace events: {path}");
+    }
+    Ok(())
+}
+
 /// For `parse` (template discovery only): drop headers so templates are
 /// message-level, tolerating lines that don't match the declared format.
 fn strip_headers(lines: &[String], format: HeaderChoice) -> Vec<String> {
@@ -1066,6 +1421,105 @@ mod tests {
     }
 
     #[test]
+    fn source_flags_parse() {
+        // Full set, no logfile: sources replace it.
+        let parsed = parse_args(&args(&[
+            "monitor",
+            "--checkpoint",
+            "m.bin",
+            "--state-dir",
+            "/tmp/state",
+            "--listen-syslog-tcp",
+            "127.0.0.1:5514",
+            "--listen-syslog-udp",
+            "127.0.0.1:5515",
+            "--listen-http",
+            "127.0.0.1:8080",
+            "--tail",
+            "/var/log/a.log",
+            "--tail",
+            "/var/log/b.log",
+        ]))
+        .unwrap();
+        match parsed {
+            CliCommand::Monitor {
+                logfile,
+                sources,
+                durable,
+                ..
+            } => {
+                assert_eq!(logfile, None);
+                assert!(durable.is_some());
+                let src = sources.expect("sources parsed");
+                assert_eq!(src.syslog_tcp, Some("127.0.0.1:5514".parse().unwrap()));
+                assert_eq!(src.syslog_udp, Some("127.0.0.1:5515".parse().unwrap()));
+                assert_eq!(src.http, Some("127.0.0.1:8080".parse().unwrap()));
+                assert_eq!(src.tails, vec!["/var/log/a.log", "/var/log/b.log"]);
+            }
+            other => panic!("expected Monitor, got {other:?}"),
+        }
+
+        // A logfile can still ride along with sources.
+        let parsed = parse_args(&args(&[
+            "monitor",
+            "replay.log",
+            "--checkpoint",
+            "m.bin",
+            "--state-dir",
+            "/tmp/state",
+            "--tail",
+            "/var/log/a.log",
+        ]))
+        .unwrap();
+        match parsed {
+            CliCommand::Monitor {
+                logfile, sources, ..
+            } => {
+                assert_eq!(logfile.as_deref(), Some("replay.log"));
+                assert!(sources.is_some());
+            }
+            other => panic!("expected Monitor, got {other:?}"),
+        }
+
+        // Sources require --state-dir (WAL + cursor persistence).
+        let err = parse_args(&args(&[
+            "monitor",
+            "--checkpoint",
+            "m.bin",
+            "--listen-syslog-tcp",
+            "127.0.0.1:5514",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--state-dir"), "{err}");
+
+        // Sources are monitor-only.
+        let err = parse_args(&args(&[
+            "train",
+            "x.log",
+            "--checkpoint",
+            "m.bin",
+            "--listen-http",
+            "127.0.0.1:8080",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("monitor"), "{err}");
+
+        // No logfile and no sources is still an error.
+        let err = parse_args(&args(&["monitor", "--checkpoint", "m.bin"])).unwrap_err();
+        assert!(err.contains("logfile"), "{err}");
+
+        // Bad addresses are rejected at parse time.
+        assert!(parse_args(&args(&[
+            "monitor",
+            "--checkpoint",
+            "m",
+            "--listen-http",
+            "nope"
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn monitor_writes_chrome_trace_out() {
         let dir = std::env::temp_dir().join("monilog_cli_traceout_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1105,7 +1559,8 @@ mod tests {
 
         // Sample every line so the short live stream records spans.
         let report = run(CliCommand::Monitor {
-            logfile: live_file.to_string_lossy().into_owned(),
+            logfile: Some(live_file.to_string_lossy().into_owned()),
+            sources: None,
             checkpoint: ckpt.to_string_lossy().into_owned(),
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
@@ -1275,7 +1730,8 @@ mod tests {
         assert!(ckpt.exists());
 
         let report = run(CliCommand::Monitor {
-            logfile: live_file.to_string_lossy().into_owned(),
+            logfile: Some(live_file.to_string_lossy().into_owned()),
+            sources: None,
             checkpoint: ckpt.to_string_lossy().into_owned(),
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
@@ -1321,7 +1777,8 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("cannot read"), "{err}");
         let err = run(CliCommand::Monitor {
-            logfile: "/x.log".into(),
+            logfile: Some("/x.log".into()),
+            sources: None,
             checkpoint: "/definitely/not/here.mlcp".into(),
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
@@ -1589,7 +2046,8 @@ mod tests {
         .expect("training succeeds");
 
         let monitor = || CliCommand::Monitor {
-            logfile: live_file.to_string_lossy().into_owned(),
+            logfile: Some(live_file.to_string_lossy().into_owned()),
+            sources: None,
             checkpoint: ckpt.to_string_lossy().into_owned(),
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),

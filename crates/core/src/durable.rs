@@ -52,6 +52,64 @@ pub const CHECKPOINTS_DIR: &str = "checkpoints";
 pub const DELIVERY_DIR: &str = "delivery";
 /// Manifest section carrying delivery-buffer cursors across restarts.
 pub const DELIVERY_SECTION: &str = "delivery";
+/// Manifest section carrying file-tail cursors across restarts.
+pub const SOURCES_SECTION: &str = "sources";
+
+/// A persisted file-tail cursor: which file, how far into it, and the
+/// journal seq of the last line ingested at that offset. Restart seeks to
+/// `offset` and skips `journal_high_water - last_seq` lines — the lines
+/// between the cursor snapshot and the journal tail, which replay from the
+/// WAL instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistedTailCursor {
+    /// Index of the `--tail` flag this cursor belongs to.
+    pub index: usize,
+    /// Inode the cursor is valid for; a mismatch (rotation) restarts at 0.
+    pub inode: u64,
+    /// Byte offset of the first unread line.
+    pub offset: u64,
+    /// Journal seq of the last line ingested at `offset`.
+    pub last_seq: u64,
+    /// Path as configured, for operator-facing sanity checks.
+    pub path: String,
+}
+
+/// Encode tail cursors for the [`SOURCES_SECTION`] manifest section. One
+/// line per cursor, tab-separated — trivially versionable and greppable in
+/// a hexdump of the checkpoint.
+pub fn encode_tail_cursors(cursors: &[PersistedTailCursor]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for c in cursors {
+        out.extend_from_slice(
+            format!(
+                "{}\t{}\t{}\t{}\t{}\n",
+                c.index, c.inode, c.offset, c.last_seq, c.path
+            )
+            .as_bytes(),
+        );
+    }
+    out
+}
+
+/// Decode the [`SOURCES_SECTION`] bytes. Damaged lines are skipped: a lost
+/// cursor only costs a re-read guarded by journal-seq line skipping.
+pub fn decode_tail_cursors(bytes: &[u8]) -> Vec<PersistedTailCursor> {
+    let Ok(s) = std::str::from_utf8(bytes) else {
+        return Vec::new();
+    };
+    s.lines()
+        .filter_map(|line| {
+            let mut parts = line.splitn(5, '\t');
+            Some(PersistedTailCursor {
+                index: parts.next()?.parse().ok()?,
+                inode: parts.next()?.parse().ok()?,
+                offset: parts.next()?.parse().ok()?,
+                last_seq: parts.next()?.parse().ok()?,
+                path: parts.next()?.to_string(),
+            })
+        })
+        .collect()
+}
 
 /// Durability knobs surfaced through the CLI (`--state-dir`,
 /// `--checkpoint-interval-ms`, `--journal-fsync-ms`,
@@ -265,6 +323,12 @@ pub struct DurableMoniLog {
     journaled: HashMap<u16, u64>,
     /// Appended but not yet fsync'd — and therefore not yet applied.
     pending: Vec<RawLog>,
+    /// Caller-owned manifest sections (e.g. [`SOURCES_SECTION`] tail
+    /// cursors) written into every checkpoint.
+    extra_sections: HashMap<String, Vec<u8>>,
+    /// Extra sections found in the recovered checkpoint, for callers to
+    /// read back at startup.
+    recovered_sections: HashMap<String, Vec<u8>>,
     last_checkpoint: Instant,
     generation: u64,
 }
@@ -306,6 +370,7 @@ impl DurableMoniLog {
         let mut applied: HashMap<u16, u64> = HashMap::new();
         let mut generation = 0u64;
         let mut delivery_positions = Vec::new();
+        let mut recovered_sections: HashMap<String, Vec<u8>> = HashMap::new();
         let mut pipeline = match loaded {
             Some(ckpt) => {
                 let state = ckpt
@@ -321,6 +386,11 @@ impl DurableMoniLog {
                     // restarts from the first buffered frame, and the
                     // receiver dedups what it already saw.
                     delivery_positions = decode_positions(bytes).unwrap_or_default();
+                }
+                for (name, bytes) in &ckpt.manifest.sections {
+                    if name != "pipeline" && name != DELIVERY_SECTION {
+                        recovered_sections.insert(name.clone(), bytes.clone());
+                    }
                 }
                 generation = ckpt.manifest.generation;
                 stats.resumed_generation = Some(generation);
@@ -396,6 +466,10 @@ impl DurableMoniLog {
                 applied,
                 journaled,
                 pending: Vec::new(),
+                // Recovered sections seed the write-side map so a restart
+                // that never calls set_section still carries them forward.
+                extra_sections: recovered_sections.clone(),
+                recovered_sections,
                 last_checkpoint: Instant::now(),
                 generation,
             },
@@ -427,6 +501,15 @@ impl DurableMoniLog {
             self.write_checkpoint()?;
         }
         Ok(out)
+    }
+
+    /// Fsync the WAL and apply every pending line, without writing a
+    /// checkpoint. This is the quiesce step of a graceful drain: after it
+    /// returns, even a forced (second-signal) `_exit` loses nothing a
+    /// source acknowledged — a restart replays the journal suffix since
+    /// the last checkpoint.
+    pub fn sync_wal(&mut self) -> Result<Vec<ClassifiedAnomaly>, String> {
+        self.commit_pending()
     }
 
     /// Force a commit + checkpoint now (tests, operator tooling).
@@ -522,6 +605,9 @@ impl DurableMoniLog {
             });
         }
         manifest.set_section("pipeline", state);
+        for (name, bytes) in &self.extra_sections {
+            manifest.set_section(name, bytes.clone());
+        }
         if let Some(pipe) = &self.delivery {
             // Delivery cursors ride in the manifest: on restart the
             // buffers resume exactly where the checkpoint left them.
@@ -545,6 +631,20 @@ impl DurableMoniLog {
     /// from here after recovery (everything below is journaled).
     pub fn next_seq(&self, source: SourceId) -> u64 {
         self.journaled.get(&source.0).map_or(0, |s| *s) + 1
+    }
+
+    /// Set a caller-owned manifest section (e.g. [`SOURCES_SECTION`] tail
+    /// cursors) to be written with every subsequent checkpoint. Call
+    /// *before* ingesting the lines the section accounts for, so a
+    /// checkpoint landing mid-batch stays consistent.
+    pub fn set_section(&mut self, name: &str, bytes: Vec<u8>) {
+        self.extra_sections.insert(name.to_string(), bytes);
+    }
+
+    /// A caller-owned section as recovered from the checkpoint at open
+    /// (`None` on a fresh start or when the section was absent).
+    pub fn recovered_section(&self, name: &str) -> Option<&[u8]> {
+        self.recovered_sections.get(name).map(|v| v.as_slice())
     }
 
     /// The wrapped pipeline (read-only: metrics, registry, tracer).
@@ -909,6 +1009,76 @@ mod tests {
             expected,
             "after kill+restart the receiver holds exactly the reference report set"
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_cursor_codec_round_trips_and_skips_damage() {
+        let cursors = vec![
+            PersistedTailCursor {
+                index: 0,
+                inode: 1234,
+                offset: 9876,
+                last_seq: 41,
+                path: "/var/log/app.log".into(),
+            },
+            PersistedTailCursor {
+                index: 2,
+                inode: 99,
+                offset: 0,
+                last_seq: 0,
+                path: "/tmp/with\ttab.log".into(),
+            },
+        ];
+        let bytes = encode_tail_cursors(&cursors);
+        let decoded = decode_tail_cursors(&bytes);
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0], cursors[0]);
+        // Path is the 5th field and eats the rest of the line, tabs and all.
+        assert_eq!(decoded[1].path, "/tmp/with\ttab.log");
+
+        // A damaged line is skipped, the rest survive.
+        let mut garbled = b"not-a-number\t0\t0\t0\tx\n".to_vec();
+        garbled.extend_from_slice(&encode_tail_cursors(&cursors[..1]));
+        assert_eq!(decode_tail_cursors(&garbled), cursors[..1]);
+        assert!(decode_tail_cursors(b"\xff\xfe").is_empty());
+    }
+
+    #[test]
+    fn extra_sections_ride_the_checkpoint_across_restart() {
+        let dir = tmp_dir("sections");
+        let durable = DurableConfig {
+            checkpoint_interval_ms: u64::MAX,
+            ..DurableConfig::new(&dir)
+        };
+        let (mut first, _) =
+            DurableMoniLog::open(test_config(), durable.clone(), || Ok(trained())).unwrap();
+        assert!(first.recovered_section(SOURCES_SECTION).is_none());
+        first.set_section(SOURCES_SECTION, b"0\t7\t128\t5\t/var/log/a\n".to_vec());
+        first
+            .ingest(&RawLog::new(SourceId(0), 33, &line(32)))
+            .unwrap();
+        first.checkpoint_now().unwrap();
+        drop(first);
+
+        let (second, _) =
+            DurableMoniLog::open(test_config(), durable.clone(), || panic!("must recover"))
+                .unwrap();
+        assert_eq!(
+            second.recovered_section(SOURCES_SECTION),
+            Some(b"0\t7\t128\t5\t/var/log/a\n".as_slice())
+        );
+        // A restart that never calls set_section still carries the section
+        // into its own checkpoints.
+        let mut second = second;
+        second
+            .ingest(&RawLog::new(SourceId(0), 34, &line(33)))
+            .unwrap();
+        second.checkpoint_now().unwrap();
+        drop(second);
+        let (third, _) =
+            DurableMoniLog::open(test_config(), durable, || panic!("must recover")).unwrap();
+        assert!(third.recovered_section(SOURCES_SECTION).is_some());
         fs::remove_dir_all(&dir).unwrap();
     }
 

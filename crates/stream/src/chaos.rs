@@ -479,6 +479,145 @@ fn parse_report_id(line: &str) -> u64 {
     digits.parse().unwrap_or(0)
 }
 
+/// One scripted misbehaviour of a [`FlakySourceClient`] connection against
+/// a syslog-TCP source. Every variant is careful to never complete a frame:
+/// the source discards torn partial frames at disconnect (they are counted,
+/// not flushed), so a fleet of chaos clients contributes **zero** lines to
+/// the pipeline and a chaos run can still assert byte-identical anomaly
+/// sets against a clean reference feed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceFault {
+    /// Drip a partial LF frame one byte at a time with a delay between
+    /// bytes, then disconnect before the newline — the classic slow loris.
+    SlowLoris {
+        /// Bytes to drip (must not contain `\n`; keep it starting with `<`
+        /// so the connection sticks to LF framing).
+        prefix: String,
+        /// Delay between single-byte writes.
+        byte_delay: Duration,
+    },
+    /// Send an octet-counted header promising more bytes than follow, then
+    /// drop the socket mid-frame.
+    ResetMidFrame {
+        /// Bytes actually sent after a header that claims twice as many.
+        partial: String,
+    },
+    /// Rapid connect → (optional single byte) → disconnect cycles.
+    ReconnectStorm {
+        /// How many connections to slam through.
+        connects: u32,
+    },
+    /// Connect and sit silent — an idle-timeout candidate that holds a
+    /// connection slot without sending anything.
+    IdleHold { hold: Duration },
+}
+
+/// Totals a chaos-client thread observed, for gate-side sanity checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceChaosStats {
+    /// Connections successfully established.
+    pub connections: u64,
+    /// Connections the script attempted but the peer refused.
+    pub refused: u64,
+    /// Total bytes written across all connections.
+    pub bytes_sent: u64,
+}
+
+/// A scripted misbehaving syslog-TCP client: runs each [`SourceFault`] in
+/// order on its own connection(s), on a background thread. The target
+/// source must survive the abuse without letting any torn frame reach the
+/// pipeline — see [`SourceFault`] for why that is assertable.
+pub struct FlakySourceClient {
+    handle: std::thread::JoinHandle<SourceChaosStats>,
+}
+
+impl FlakySourceClient {
+    /// Run `script` against the syslog-TCP listener at `addr` on a new
+    /// thread. Connection errors are tolerated (the server may be mid-
+    /// shutdown); they are tallied in the returned stats.
+    pub fn spawn(addr: SocketAddr, script: Vec<SourceFault>) -> FlakySourceClient {
+        let handle = std::thread::Builder::new()
+            .name("flaky-source-client".into())
+            .spawn(move || run_source_script(addr, &script))
+            .expect("spawn flaky source client");
+        FlakySourceClient { handle }
+    }
+
+    /// Wait for the script to finish and return what it observed.
+    pub fn join(self) -> SourceChaosStats {
+        self.handle.join().unwrap_or_default()
+    }
+}
+
+fn run_source_script(addr: SocketAddr, script: &[SourceFault]) -> SourceChaosStats {
+    let mut stats = SourceChaosStats::default();
+    let connect = |stats: &mut SourceChaosStats| -> Option<TcpStream> {
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(1_000)) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                let _ = s.set_write_timeout(Some(Duration::from_millis(1_000)));
+                stats.connections += 1;
+                Some(s)
+            }
+            Err(_) => {
+                stats.refused += 1;
+                None
+            }
+        }
+    };
+    for fault in script {
+        match fault {
+            SourceFault::SlowLoris { prefix, byte_delay } => {
+                debug_assert!(
+                    !prefix.contains('\n'),
+                    "slow loris must never finish a frame"
+                );
+                let Some(mut s) = connect(&mut stats) else {
+                    continue;
+                };
+                for b in prefix.as_bytes() {
+                    if s.write_all(std::slice::from_ref(b)).is_err() {
+                        break;
+                    }
+                    stats.bytes_sent += 1;
+                    std::thread::sleep(*byte_delay);
+                }
+                // Drop without the terminating newline: torn frame.
+            }
+            SourceFault::ResetMidFrame { partial } => {
+                let Some(mut s) = connect(&mut stats) else {
+                    continue;
+                };
+                let wire = format!("{} {partial}", partial.len() * 2 + 4);
+                if s.write_all(wire.as_bytes()).is_ok() {
+                    stats.bytes_sent += wire.len() as u64;
+                }
+                // Drop with the octet count unsatisfied: torn frame.
+            }
+            SourceFault::ReconnectStorm { connects } => {
+                for i in 0..*connects {
+                    let Some(mut s) = connect(&mut stats) else {
+                        continue;
+                    };
+                    // Odd connections tease a single byte first so the
+                    // server also sees storms of torn one-byte frames.
+                    if i % 2 == 1 && s.write_all(b"<").is_ok() {
+                        stats.bytes_sent += 1;
+                    }
+                }
+            }
+            SourceFault::IdleHold { hold } => {
+                let Some(s) = connect(&mut stats) else {
+                    continue;
+                };
+                std::thread::sleep(*hold);
+                drop(s);
+            }
+        }
+    }
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -604,6 +743,81 @@ mod tests {
         assert_eq!(server.delivered_ids(), vec![11, 12]);
         // Healthcheck convention: GET /healthz answers 200.
         sink.healthcheck().unwrap();
+    }
+
+    #[test]
+    fn flaky_source_clients_contribute_zero_lines_while_a_sane_client_gets_through() {
+        use crate::observe::MetricsRegistry;
+        use crate::sources::{SourcesConfig, SourcesServer};
+
+        let registry = MetricsRegistry::shared_with_shards(1);
+        let (server, queue) = SourcesServer::spawn(
+            SourcesConfig {
+                syslog_tcp: Some("127.0.0.1:0".parse().unwrap()),
+                ..SourcesConfig::default()
+            },
+            Arc::clone(&registry),
+            None,
+            None,
+        )
+        .unwrap();
+        let addr = server.syslog_tcp_addr().unwrap();
+
+        let chaos = FlakySourceClient::spawn(
+            addr,
+            vec![
+                SourceFault::SlowLoris {
+                    prefix: "<13>torn slow frame with no newline".into(),
+                    byte_delay: Duration::from_millis(1),
+                },
+                SourceFault::ResetMidFrame {
+                    partial: "<13>octet frame cut short".into(),
+                },
+                SourceFault::ReconnectStorm { connects: 8 },
+                SourceFault::IdleHold {
+                    hold: Duration::from_millis(50),
+                },
+            ],
+        );
+
+        // A well-behaved client rides alongside the abuse.
+        let mut sane = TcpStream::connect(addr).unwrap();
+        sane.write_all(b"<14>healthy line one\n<14>healthy line two\n")
+            .unwrap();
+        drop(sane);
+
+        let stats = chaos.join();
+        assert!(stats.connections >= 11, "{stats:?}");
+        assert!(stats.bytes_sent > 0);
+
+        let mut lines = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while lines.len() < 2 && std::time::Instant::now() < deadline {
+            lines.extend(
+                queue
+                    .recv_batch(16, Duration::from_millis(50))
+                    .into_iter()
+                    .map(|ev| ev.line),
+            );
+        }
+        assert_eq!(
+            lines,
+            vec![
+                "healthy line one".to_string(),
+                "healthy line two".to_string()
+            ],
+            "torn chaos frames must never surface as lines"
+        );
+        // Nothing further trickles in from the chaos connections.
+        assert!(queue.recv_batch(16, Duration::from_millis(200)).is_empty());
+        drop(server);
+        let m = registry.counters();
+        assert_eq!(m.sources_lines.load(Ordering::SeqCst), 2);
+        assert!(
+            m.sources_frame_errors.load(Ordering::SeqCst) >= 2,
+            "torn frames counted"
+        );
+        assert!(m.sources_disconnects.load(Ordering::SeqCst) >= 11);
     }
 
     #[test]

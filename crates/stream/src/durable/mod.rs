@@ -31,7 +31,9 @@ pub use checkpoint::{CheckpointStore, LoadedCheckpoint};
 pub use dlq::DeadLetterLog;
 pub use journal::{Journal, JournalConfig};
 pub use rotate::RotatingLog;
-pub use signal::{install_shutdown_handler, reset_shutdown_flag, shutdown_requested};
+pub use signal::{
+    install_shutdown_handler, reset_shutdown_flag, shutdown_requested, FORCED_EXIT_CODE,
+};
 
 use monilog_model::CodecError;
 use std::fmt;

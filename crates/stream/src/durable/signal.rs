@@ -4,15 +4,28 @@
 //! [`shutdown_requested`] between lines and, when set, quiesces: stops
 //! reading input, syncs the journal, writes a final checkpoint, and exits
 //! cleanly — so the next start replays zero journal lines. The handler
-//! itself only stores an atomic flag (the only thing that's async-signal
+//! itself only stores an atomic counter (the only thing that's async-signal
 //! safe); all real work happens on the main thread.
 //!
-//! No libc crate: `signal(2)` is declared directly. On non-Unix targets
-//! installation is a no-op and drain must be requested programmatically.
+//! **Second signal = immediate exit.** A drain over a large backlog can take
+//! seconds; an operator (or init system) that signals again is saying "stop
+//! now". The handler counts deliveries and, on the second one, calls
+//! `_exit(130)` directly from signal context — async-signal-safe, no
+//! destructors, no flushing. That is exactly the crash the WAL exists for:
+//! the next start replays the journal from the last checkpoint, so the
+//! forced exit loses nothing that was durably ingested.
+//!
+//! No libc crate: `signal(2)` / `_exit(2)` are declared directly. On
+//! non-Unix targets installation is a no-op and drain must be requested
+//! programmatically.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 
-static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static SIGNAL_COUNT: AtomicU32 = AtomicU32::new(0);
+
+/// Exit status for a forced (second-signal) shutdown: 128 + SIGINT, the
+/// conventional "killed by Ctrl-C" status.
+pub const FORCED_EXIT_CODE: i32 = 130;
 
 #[cfg(unix)]
 mod ffi {
@@ -22,11 +35,16 @@ mod ffi {
     const SIGTERM: i32 = 15;
 
     extern "C" fn latch(_signum: i32) {
-        super::SHUTDOWN.store(true, Ordering::SeqCst);
+        // fetch_add returns the previous count: 0 on the first signal
+        // (request graceful drain), >=1 on any further signal (force exit).
+        if super::SIGNAL_COUNT.fetch_add(1, Ordering::SeqCst) >= 1 {
+            unsafe { _exit(super::FORCED_EXIT_CODE) };
+        }
     }
 
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        fn _exit(status: i32) -> !;
     }
 
     pub fn install() {
@@ -46,12 +64,13 @@ pub fn install_shutdown_handler() {
 
 /// Whether a shutdown signal has arrived since the last reset.
 pub fn shutdown_requested() -> bool {
-    SHUTDOWN.load(Ordering::SeqCst)
+    SIGNAL_COUNT.load(Ordering::SeqCst) > 0
 }
 
 /// Clear the latch (tests, or a supervisor restarting the loop in-process).
+/// Also resets the second-signal force-exit counter.
 pub fn reset_shutdown_flag() {
-    SHUTDOWN.store(false, Ordering::SeqCst);
+    SIGNAL_COUNT.store(0, Ordering::SeqCst);
 }
 
 #[cfg(test)]
@@ -64,7 +83,7 @@ mod tests {
     fn latch_sets_resets_and_trips_on_a_real_signal() {
         reset_shutdown_flag();
         assert!(!shutdown_requested());
-        SHUTDOWN.store(true, Ordering::SeqCst);
+        SIGNAL_COUNT.store(1, Ordering::SeqCst);
         assert!(shutdown_requested());
         reset_shutdown_flag();
         assert!(!shutdown_requested());
@@ -72,6 +91,9 @@ mod tests {
         {
             install_shutdown_handler();
             // Raise SIGTERM at ourselves through the installed handler.
+            // Exactly once — a second raise would _exit(130) the test
+            // harness; the process-level double-signal path is covered by
+            // the exp_d7 gate instead.
             extern "C" {
                 fn raise(signum: i32) -> i32;
             }

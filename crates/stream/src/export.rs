@@ -1,8 +1,8 @@
 //! Metrics export endpoint.
 //!
-//! [`MetricsExporter`] is a minimal blocking HTTP/1.1 server on
-//! `std::net::TcpListener` that serves [`crate::observe::MetricsSnapshot`]
-//! renderings and, when a [`Tracer`] is attached, the span-tracing views:
+//! [`MetricsExporter`] is a minimal HTTP/1.1 server serving
+//! [`crate::observe::MetricsSnapshot`] renderings and, when a [`Tracer`] is
+//! attached, the span-tracing views:
 //!
 //! - `GET /metrics` — Prometheus text exposition format
 //! - `GET /metrics.json` — JSON
@@ -10,14 +10,18 @@
 //! - `GET /trace/{id}` — span tree of one sampled trace (JSON)
 //! - `GET /flight` — current flight-recorder ring contents (JSON)
 //!
-//! A background thread re-renders the snapshot every `interval` (so a
-//! scrape never walks the histogram buckets on the request path) and
-//! accepts connections with a short poll timeout so `Drop` can stop it
-//! promptly. No external HTTP crate — the request parsing is the minimum
-//! needed for `curl`/Prometheus: read the request head (capped at 4 KiB,
-//! under read *and* write timeouts so a slow or malicious client cannot
-//! wedge the single-threaded accept loop), match the path.
+//! Connections are served on the shared [`crate::net`] event loop: every
+//! client gets its own non-blocking connection handler with a per-connection
+//! read buffer, so one stalled or malicious peer can no longer head-of-line
+//! block other scrapes (the old implementation accepted and served one
+//! connection at a time inline), and readiness notification replaces the old
+//! 20 ms accept poll, so an idle endpoint answers in microseconds instead of
+//! up to a poll tick. No external HTTP crate — request parsing is the
+//! minimum needed for `curl`/Prometheus: read the request head (capped at
+//! 4 KiB, under an overall deadline enforced from the loop tick), match the
+//! path.
 
+use crate::net::{AsLoopFd, EventLoop, Handler, Interest, LoopCtx, Next};
 use crate::observe::MetricsRegistry;
 use crate::trace::Tracer;
 use monilog_model::TraceId;
@@ -26,18 +30,25 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper bound on the bytes of request head we are willing to read.
 /// Anything larger is a client error (431-ish; we answer 400).
 const MAX_REQUEST_BYTES: usize = 4096;
 
-/// Overall deadline for reading one request head. The per-read timeout
-/// alone is not enough: a client trickling one byte every 400 ms resets
-/// that clock on each byte and can hold the single handler thread for
-/// minutes before the byte cap bites. The deadline bounds the whole read,
-/// however slowly the bytes arrive.
+/// Overall deadline for reading one request head. A client trickling one
+/// byte at a time can never hold a response hostage longer than this; the
+/// connection is routed (usually to a 400) with whatever arrived.
 const READ_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Deadline for flushing a response once it is queued.
+const WRITE_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Cap on post-response bytes we are willing to discard. Closing with
+/// unread bytes in the receive buffer makes the kernel RST the connection,
+/// which would destroy a 400 response before the client reads it — so we
+/// keep reading (and dropping) up to this much while flushing.
+const DRAIN_CAP: usize = 64 * 1024;
 
 /// Rendered snapshot cache shared between the refresher and request
 /// handling.
@@ -47,7 +58,42 @@ struct Rendered {
     json: String,
 }
 
-/// Periodic metrics exporter over a blocking TCP/HTTP endpoint.
+/// Renders snapshots and answers routed requests. Shared between the
+/// standalone [`MetricsExporter`] and the sources server, which mounts the
+/// same endpoint on its own event loop.
+pub(crate) struct MetricsService {
+    registry: Arc<MetricsRegistry>,
+    tracer: Option<Arc<Tracer>>,
+    cache: Mutex<Rendered>,
+}
+
+impl MetricsService {
+    pub(crate) fn new(registry: Arc<MetricsRegistry>, tracer: Option<Arc<Tracer>>) -> Self {
+        let svc = MetricsService {
+            registry,
+            tracer,
+            cache: Mutex::new(Rendered::default()),
+        };
+        svc.render();
+        svc
+    }
+
+    /// Re-render the snapshot cache (called on accept and on the refresh
+    /// interval, so a scrape never walks histogram buckets on the request
+    /// path of a busy endpoint).
+    pub(crate) fn render(&self) {
+        let snapshot = self.registry.snapshot();
+        let mut slot = self.cache.lock().expect("render cache");
+        slot.prometheus = snapshot.to_prometheus();
+        slot.json = snapshot.to_json();
+    }
+
+    fn route(&self, path: &str) -> (&'static str, &'static str, String) {
+        route(path, &self.cache, self.tracer.as_deref())
+    }
+}
+
+/// Periodic metrics exporter over a TCP/HTTP endpoint.
 ///
 /// Spawn with [`MetricsExporter::spawn`]; the endpoint serves until the
 /// exporter is dropped. Bind to port 0 to let the OS pick a free port and
@@ -82,12 +128,16 @@ impl MetricsExporter {
         let listener = bind_reusable(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(true));
+        let service = Arc::new(MetricsService::new(registry, tracer));
+
+        let mut event_loop = EventLoop::new()?;
+        register_metrics_listener(&mut event_loop, listener, service, interval)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
-        stop.store(false, Ordering::Release);
         let handle = thread::Builder::new()
             .name("monilog-metrics-exporter".into())
-            .spawn(move || serve_loop(listener, registry, interval, stop_flag, tracer))
+            .spawn(move || event_loop.run(stop_flag))
             .expect("spawn exporter thread");
         Ok(MetricsExporter {
             addr,
@@ -102,12 +152,34 @@ impl MetricsExporter {
     }
 }
 
+/// Register the `/metrics` listener + refresh tick on an event loop. Used by
+/// the standalone exporter and by the sources server, which shares its loop
+/// with the syslog/HTTP ingest endpoints.
+pub(crate) fn register_metrics_listener(
+    event_loop: &mut EventLoop,
+    listener: TcpListener,
+    service: Arc<MetricsService>,
+    interval: Duration,
+) -> io::Result<()> {
+    let fd = listener.loop_fd();
+    event_loop.register(
+        fd,
+        Box::new(MetricsListener {
+            listener,
+            service,
+            interval,
+            last_render: Instant::now(),
+        }),
+    )?;
+    Ok(())
+}
+
 /// Bind the exporter socket with `SO_REUSEADDR` so a restarting process
 /// (the crash-recovery path) can re-bind its old address while the dead
 /// process's connections sit in TIME_WAIT. On targets without the raw
 /// syscall shim — or if it fails — fall back to plain binds under a short
 /// exponential backoff, which rides out the same window more slowly.
-fn bind_reusable(addr: SocketAddr) -> io::Result<TcpListener> {
+pub(crate) fn bind_reusable(addr: SocketAddr) -> io::Result<TcpListener> {
     let mut delay = Duration::from_millis(50);
     let mut last_err = None;
     for attempt in 0..5 {
@@ -185,7 +257,7 @@ mod reuseaddr {
             if bind(fd, &sa, std::mem::size_of::<SockAddrIn>() as u32) != 0 {
                 return Err(fail(fd));
             }
-            if listen(fd, 128) != 0 {
+            if listen(fd, 1024) != 0 {
                 return Err(fail(fd));
             }
             Ok(TcpListener::from_raw_fd(fd))
@@ -202,130 +274,226 @@ impl Drop for MetricsExporter {
     }
 }
 
-fn serve_loop(
+/// Accepts scrape connections and hands each its own [`MetricsConn`].
+struct MetricsListener {
     listener: TcpListener,
-    registry: Arc<MetricsRegistry>,
+    service: Arc<MetricsService>,
     interval: Duration,
-    stop: Arc<AtomicBool>,
-    tracer: Option<Arc<Tracer>>,
-) {
-    let cache = Mutex::new(Rendered::default());
-    render_into(&registry, &cache);
-    let mut since_render = Duration::ZERO;
-    const POLL: Duration = Duration::from_millis(20);
-    while !stop.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                // Re-render on demand too, so a scrape right after a burst
-                // sees it even with a long interval.
-                render_into(&registry, &cache);
-                let _ = handle_request(stream, &cache, tracer.as_deref());
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(POLL);
-                since_render += POLL;
-                if since_render >= interval {
-                    render_into(&registry, &cache);
-                    since_render = Duration::ZERO;
+    last_render: Instant,
+}
+
+impl Handler for MetricsListener {
+    fn ready(&mut self, _readable: bool, _writable: bool, ctx: &mut LoopCtx<'_>) -> Next {
+        let mut accepted_any = false;
+        loop {
+            match self.listener.accept() {
+                Ok((conn, _)) => {
+                    accepted_any = true;
+                    if conn.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let fd = conn.loop_fd();
+                    ctx.register(fd, Box::new(MetricsConn::new(conn, self.service.clone())));
                 }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
             }
-            Err(_) => thread::sleep(POLL),
         }
+        if accepted_any {
+            // Re-render on demand too, so a scrape right after a burst sees
+            // fresh numbers even with a long refresh interval.
+            self.service.render();
+            self.last_render = Instant::now();
+        }
+        Next::Keep
+    }
+
+    fn tick(&mut self, now: Instant, _ctx: &mut LoopCtx<'_>) -> Next {
+        if now.duration_since(self.last_render) >= self.interval {
+            self.service.render();
+            self.last_render = now;
+        }
+        Next::Keep
     }
 }
 
-fn render_into(registry: &MetricsRegistry, cache: &Mutex<Rendered>) {
-    let snapshot = registry.snapshot();
-    let mut slot = cache.lock().expect("render cache");
-    slot.prometheus = snapshot.to_prometheus();
-    slot.json = snapshot.to_json();
+enum ConnPhase {
+    /// Accumulating the request head.
+    Reading,
+    /// Response queued in `out`; flush, drain stragglers, then close.
+    Writing { since: Instant },
 }
 
-/// Read the request head: up to the end of the request line (or header
-/// block), the 4 KiB cap, the per-read timeout, or the overall
-/// [`READ_DEADLINE`] — whichever comes first. Returns `None` when the
-/// client sent more than the cap allows.
-fn read_request_head(stream: &mut TcpStream) -> io::Result<Option<String>> {
-    let deadline = std::time::Instant::now() + READ_DEADLINE;
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        // Shrink the per-read timeout to whatever is left of the overall
-        // deadline, so a byte-at-a-time client cannot reset the clock.
-        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-        if remaining.is_zero() {
-            break; // deadline: route on whatever arrived (likely a 400)
+/// One scrape connection: non-blocking, owns its read buffer, enforces the
+/// head cap and deadlines from the loop tick.
+struct MetricsConn {
+    conn: TcpStream,
+    service: Arc<MetricsService>,
+    buf: Vec<u8>,
+    out: Vec<u8>,
+    phase: ConnPhase,
+    opened: Instant,
+    drained: usize,
+}
+
+impl MetricsConn {
+    fn new(conn: TcpStream, service: Arc<MetricsService>) -> Self {
+        MetricsConn {
+            conn,
+            service,
+            buf: Vec::with_capacity(512),
+            out: Vec::new(),
+            phase: ConnPhase::Reading,
+            opened: Instant::now(),
+            drained: 0,
         }
-        stream.set_read_timeout(Some(remaining.min(Duration::from_millis(500))))?;
-        let n = match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => n,
-            // A timeout with a partial request in hand: serve what we got.
-            Err(e)
-                if !buf.is_empty()
-                    && (e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut) =>
-            {
-                break;
-            }
-            Err(e) => return Err(e),
+    }
+
+    fn respond(&mut self, status: &str, content_type: &str, body: &str) {
+        self.out = format!(
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .into_bytes();
+        self.phase = ConnPhase::Writing {
+            since: Instant::now(),
         };
-        buf.extend_from_slice(&chunk[..n]);
-        if buf.len() > MAX_REQUEST_BYTES {
-            drain(stream);
-            return Ok(None);
-        }
-        // The request line is all we route on; stop at its end.
-        if buf.windows(2).any(|w| w == b"\r\n") || buf.contains(&b'\n') {
-            break;
-        }
     }
-    Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
-}
 
-/// Discard (bounded) whatever else an over-limit client sent. Closing with
-/// unread bytes in the receive buffer makes the kernel RST the connection,
-/// which would destroy the 400 response before the client reads it.
-fn drain(stream: &mut TcpStream) {
-    let mut sink = [0u8; 1024];
-    let mut total = 0usize;
-    while total < 64 * 1024 {
-        match stream.read(&mut sink) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => total += n,
+    /// Route whatever request head has arrived (possibly none, possibly
+    /// over-cap garbage) and queue the response.
+    fn route_now(&mut self) {
+        if self.buf.len() > MAX_REQUEST_BYTES {
+            self.respond(
+                "400 Bad Request",
+                "text/plain",
+                "request head exceeds 4096 bytes\n",
+            );
+            return;
         }
-    }
-}
-
-fn handle_request(
-    mut stream: TcpStream,
-    cache: &Mutex<Rendered>,
-    tracer: Option<&Tracer>,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
-    let request = read_request_head(&mut stream)?;
-    let (status, content_type, body) = match request {
-        None => (
-            "400 Bad Request",
-            "text/plain",
-            "request head exceeds 4096 bytes\n".to_string(),
-        ),
-        Some(request) => match request.lines().next().map(parse_request_line) {
+        let head = String::from_utf8_lossy(&self.buf).into_owned();
+        let (status, content_type, body) = match head.lines().next().map(parse_request_line) {
             None | Some(None) => (
                 "400 Bad Request",
                 "text/plain",
                 "malformed request line\n".to_string(),
             ),
-            Some(Some(path)) => route(&path, cache, tracer),
-        },
-    };
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
+            Some(Some(path)) => self.service.route(&path),
+        };
+        self.respond(status, content_type, &body);
+    }
+
+    /// Read until `WouldBlock`. Returns false when the peer is gone.
+    fn pump_read(&mut self) -> bool {
+        let mut chunk = [0u8; 1024];
+        loop {
+            match self.conn.read(&mut chunk) {
+                Ok(0) => return false,
+                Ok(n) => match self.phase {
+                    ConnPhase::Reading => {
+                        self.buf.extend_from_slice(&chunk[..n]);
+                        if self.buf.len() > MAX_REQUEST_BYTES {
+                            self.route_now();
+                            return true;
+                        }
+                        // The request line is all we route on.
+                        if self.buf.contains(&b'\n') {
+                            self.route_now();
+                            return true;
+                        }
+                    }
+                    ConnPhase::Writing { .. } => {
+                        // Drain (and drop) stragglers so close() does not
+                        // RST the queued response away.
+                        self.drained += n;
+                        if self.drained > DRAIN_CAP {
+                            return false;
+                        }
+                    }
+                },
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Flush the queued response. `Ok(true)` = fully flushed.
+    fn pump_write(&mut self) -> io::Result<bool> {
+        while !self.out.is_empty() {
+            match self.conn.write(&self.out) {
+                Ok(0) => return Err(io::Error::other("peer stopped reading")),
+                Ok(n) => {
+                    self.out.drain(..n);
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl Handler for MetricsConn {
+    fn ready(&mut self, readable: bool, writable: bool, _ctx: &mut LoopCtx<'_>) -> Next {
+        if readable && !self.pump_read() {
+            // EOF mid-request: nothing useful to say; EOF after the
+            // response is queued: flush what we can below.
+            if matches!(self.phase, ConnPhase::Reading) {
+                return Next::Close;
+            }
+        }
+        if let ConnPhase::Writing { .. } = self.phase {
+            let _ = writable;
+            match self.pump_write() {
+                Ok(true) => {
+                    // Drain any request bytes still queued (an over-cap head
+                    // leaves some behind) so close() sends FIN, not RST,
+                    // and the peer can read the whole response.
+                    let _ = self.pump_read();
+                    return Next::Close;
+                }
+                Ok(false) => {}
+                Err(_) => return Next::Close,
+            }
+        }
+        Next::Keep
+    }
+
+    fn tick(&mut self, now: Instant, _ctx: &mut LoopCtx<'_>) -> Next {
+        match self.phase {
+            ConnPhase::Reading => {
+                if now.duration_since(self.opened) >= READ_DEADLINE {
+                    // Route whatever arrived (likely a 400) instead of
+                    // holding the connection open forever.
+                    self.route_now();
+                    match self.pump_write() {
+                        Ok(true) => {
+                            let _ = self.pump_read();
+                            return Next::Close;
+                        }
+                        Ok(false) => {}
+                        Err(_) => return Next::Close,
+                    }
+                }
+                Next::Keep
+            }
+            ConnPhase::Writing { since } => {
+                if now.duration_since(since) >= WRITE_DEADLINE {
+                    return Next::Close;
+                }
+                Next::Keep
+            }
+        }
+    }
+
+    fn interest(&self) -> Interest {
+        Interest {
+            read: true,
+            write: !self.out.is_empty(),
+        }
+    }
 }
 
 /// Extract the path from `GET <path> HTTP/1.1`; `None` when the line is
@@ -628,9 +796,8 @@ mod tests {
             Duration::from_millis(50),
         )
         .expect("bind");
-        // Trickle bytes slower than the per-read timeout would ever fire:
-        // each 400 ms byte used to reset the 500 ms clock indefinitely.
-        // The overall deadline must cut the connection loose regardless.
+        // Trickle bytes forever without completing a request line. The
+        // overall deadline must cut the connection loose regardless.
         let addr = exporter.local_addr();
         let started = std::time::Instant::now();
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -663,7 +830,7 @@ mod tests {
             started.elapsed() < Duration::from_secs(8),
             "deadline bounded the slow client"
         );
-        // And the loop is free again for a real scrape.
+        // And the endpoint keeps serving real scrapes.
         let (head, _) = http_get(addr, "/metrics");
         assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
     }
@@ -697,5 +864,70 @@ mod tests {
         // The loop survives both and keeps serving.
         let (head, _) = http_get(exporter.local_addr(), "/metrics");
         assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    }
+
+    /// Regression for the head-of-line blocking bug: the old exporter
+    /// accepted and served one connection at a time inline, so a client
+    /// that connected and sent nothing delayed every other scrape by up to
+    /// its 500 ms read timeout. On the event loop a stalled client costs
+    /// other scrapes nothing.
+    #[test]
+    fn stalled_client_does_not_block_concurrent_scrapes() {
+        let exporter = MetricsExporter::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            test_registry(),
+            Duration::from_millis(50),
+        )
+        .expect("bind");
+        let addr = exporter.local_addr();
+        // Two clients connect and stall without sending a byte.
+        let _stalled_a = TcpStream::connect(addr).unwrap();
+        let _stalled_b = TcpStream::connect(addr).unwrap();
+
+        let mut latencies: Vec<Duration> = (0..10)
+            .map(|_| {
+                let t0 = Instant::now();
+                let (head, _) = http_get(addr, "/metrics");
+                assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+                t0.elapsed()
+            })
+            .collect();
+        latencies.sort();
+        let median = latencies[latencies.len() / 2];
+        // The old inline loop paid ≥500 ms per stalled client per scrape;
+        // use a generous CI-safe bound well below that.
+        assert!(
+            median < Duration::from_millis(250),
+            "scrape median {median:?} while clients stalled — head-of-line blocking is back"
+        );
+    }
+
+    /// Regression for the 20 ms accept busy-poll: readiness notification
+    /// must answer an idle-endpoint scrape well under the old poll tick.
+    #[test]
+    fn idle_scrape_latency_beats_the_old_poll_tick() {
+        let exporter = MetricsExporter::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            test_registry(),
+            Duration::from_secs(3600),
+        )
+        .expect("bind");
+        let addr = exporter.local_addr();
+        // Warm up (thread spawn, first render).
+        let _ = http_get(addr, "/healthz");
+        let mut latencies: Vec<Duration> = (0..20)
+            .map(|_| {
+                let t0 = Instant::now();
+                let (head, _) = http_get(addr, "/healthz");
+                assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+                t0.elapsed()
+            })
+            .collect();
+        latencies.sort();
+        let median = latencies[latencies.len() / 2];
+        assert!(
+            median < Duration::from_millis(20),
+            "idle scrape median {median:?} — should be far below the old 20 ms accept poll"
+        );
     }
 }

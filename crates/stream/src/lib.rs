@@ -33,6 +33,11 @@
 //! - [`sinks`] — at-least-once anomaly delivery: HTTP/TCP/file sinks
 //!   behind a disk-buffered [`sinks::DeliveryPipeline`] with capped
 //!   backoff, per-sink circuit breakers and spill-file degradation.
+//! - [`net`] — the minimal epoll-based event loop shared by every network
+//!   endpoint (ingest sources and the metrics exporter).
+//! - [`sources`] — network ingestion: TCP/UDP syslog (RFC 3164/5424,
+//!   LF and octet-counting framing), HTTP bulk ingest, and checkpointed
+//!   file tailing, all with backpressure into the bounded ingest queue.
 
 pub mod chaos;
 pub mod config;
@@ -40,15 +45,20 @@ pub mod durable;
 pub mod export;
 pub mod merge;
 pub mod metrics;
+pub mod net;
 pub mod observe;
 pub mod partition;
 pub mod pipeline;
 pub mod service;
 pub mod sinks;
+pub mod sources;
 pub mod supervisor;
 pub mod trace;
 
-pub use chaos::{FaultContext, FaultInjector, FaultPlan, WorkerKill};
+pub use chaos::{
+    FaultContext, FaultInjector, FaultPlan, FlakySourceClient, SourceChaosStats, SourceFault,
+    WorkerKill,
+};
 pub use config::{ConfigError, OverloadPolicy, RetryPolicy};
 pub use durable::{
     install_shutdown_handler, shutdown_requested, CheckpointStore, DeadLetterLog, DurabilityError,
@@ -57,6 +67,7 @@ pub use durable::{
 pub use export::MetricsExporter;
 pub use merge::{BoundedReorderBuffer, DedupFilter};
 pub use metrics::PipelineMetrics;
+pub use net::{AsLoopFd, EventLoop, Handler, Interest, LoopCtx, Next};
 pub use observe::{
     Exemplar, HistogramSnapshot, LatencyHistogram, MetricsRegistry, MetricsSnapshot, ShardGauges,
     ShardSnapshot, SizeHistogram, SizeSnapshot, Stage, StageSnapshot,
@@ -67,6 +78,11 @@ pub use sinks::{
     BreakerConfig, BreakerState, BufferPosition, BufferedReport, CircuitBreaker, DeliveryBuffer,
     DeliveryConfig, DeliveryPipeline, DeliveryWorker, FileSink, FramedTcpSink, RouteSpec, Sink,
     SinkError, WebhookSink,
+};
+pub use sources::{
+    FrameDecoder, FrameError, MetricsEndpoint, SourceEvent, SourceQueue, SourcesConfig,
+    SourcesServer, SyslogMessage, TailCursor, TailSpec, HTTP_SOURCE, SYSLOG_TCP_SOURCE,
+    SYSLOG_UDP_SOURCE, TAIL_SOURCE_BASE,
 };
 pub use trace::{
     SpanRecord, SpanStage, TraceConfig, Tracer, DEFAULT_FLIGHT_CAPACITY, DEFAULT_SAMPLE_RATE,

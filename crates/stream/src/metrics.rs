@@ -55,6 +55,25 @@
 //! - `spill_bytes_dropped` / `dlq_bytes_dropped` — bytes deleted when the
 //!   spill file or dead-letter queue rotated past its retained-generation
 //!   cap.
+//!
+//! Network sources (see [`crate::sources`]):
+//! - `sources_connections` / `sources_disconnects` — TCP connections
+//!   accepted / closed by the syslog and HTTP ingest listeners (active
+//!   connections = the difference).
+//! - `sources_lines` — lines accepted into the ingest queue across every
+//!   network source.
+//! - `sources_lines_shed` — lines dropped at the source boundary by a full
+//!   queue (Shed policy, UDP under any policy).
+//! - `sources_dead_lettered` — lines diverted to the dead-letter log by
+//!   the `DeadLetter` overload policy at the source boundary.
+//! - `sources_frame_errors` — framing failures: octet-count desync,
+//!   oversized lines, frames torn by a mid-frame disconnect.
+//! - `sources_paused` — times a TCP connection or file tail paused reads
+//!   because the ingest queue was full (Block policy backpressure).
+//! - `sources_http_rejected` — HTTP ingest requests refused with
+//!   413/429/408.
+//! - `sources_udp_truncated` — UDP datagrams that filled the receive
+//!   buffer exactly (probable kernel truncation).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -87,6 +106,15 @@ pub struct PipelineMetrics {
     pub breaker_half_open: AtomicU64,
     pub spill_bytes_dropped: AtomicU64,
     pub dlq_bytes_dropped: AtomicU64,
+    pub sources_connections: AtomicU64,
+    pub sources_disconnects: AtomicU64,
+    pub sources_lines: AtomicU64,
+    pub sources_lines_shed: AtomicU64,
+    pub sources_dead_lettered: AtomicU64,
+    pub sources_frame_errors: AtomicU64,
+    pub sources_paused: AtomicU64,
+    pub sources_http_rejected: AtomicU64,
+    pub sources_udp_truncated: AtomicU64,
 }
 
 impl PipelineMetrics {
@@ -142,6 +170,27 @@ impl PipelineMetrics {
             ("breaker_half_open", Self::get(&self.breaker_half_open)),
             ("spill_bytes_dropped", Self::get(&self.spill_bytes_dropped)),
             ("dlq_bytes_dropped", Self::get(&self.dlq_bytes_dropped)),
+            ("sources_connections", Self::get(&self.sources_connections)),
+            ("sources_disconnects", Self::get(&self.sources_disconnects)),
+            ("sources_lines", Self::get(&self.sources_lines)),
+            ("sources_lines_shed", Self::get(&self.sources_lines_shed)),
+            (
+                "sources_dead_lettered",
+                Self::get(&self.sources_dead_lettered),
+            ),
+            (
+                "sources_frame_errors",
+                Self::get(&self.sources_frame_errors),
+            ),
+            ("sources_paused", Self::get(&self.sources_paused)),
+            (
+                "sources_http_rejected",
+                Self::get(&self.sources_http_rejected),
+            ),
+            (
+                "sources_udp_truncated",
+                Self::get(&self.sources_udp_truncated),
+            ),
         ]
     }
 
@@ -217,6 +266,15 @@ mod tests {
             "breaker_half_open",
             "spill_bytes_dropped",
             "dlq_bytes_dropped",
+            "sources_connections",
+            "sources_disconnects",
+            "sources_lines",
+            "sources_lines_shed",
+            "sources_dead_lettered",
+            "sources_frame_errors",
+            "sources_paused",
+            "sources_http_rejected",
+            "sources_udp_truncated",
         ] {
             assert!(s.contains(field), "{field} missing from {s}");
             assert!(
@@ -224,7 +282,7 @@ mod tests {
                 "{field} missing from typed snapshot"
             );
         }
-        assert_eq!(snap.counters.len(), 25);
+        assert_eq!(snap.counters.len(), 34);
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Stream framing for TCP syslog (RFC 6587): octet-counting
+//! (`"<len> SP <msg>"`) and non-transparent LF framing, auto-detected per
+//! connection from the first frame.
+//!
+//! The decoder is deliberately byte-oriented: frames are only converted to
+//! UTF-8 once complete, so multi-byte characters torn across read-buffer
+//! boundaries always reassemble correctly.
+
+/// Framing mode, fixed per connection after the first frame. RFC 6587 octet
+/// counting starts every frame with ASCII digits + SP; non-transparent
+/// framing can't (syslog messages start with `<pri>` or free text), so the
+/// first bytes of a connection disambiguate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    OctetCounted,
+    LineDelimited,
+}
+
+/// Unrecoverable framing failure. Octet-count desync can't be resynchronised
+/// (RFC 6587 §3.4.1), so the connection must be dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Octet-count header longer than 10 digits or not followed by SP.
+    BadOctetHeader,
+    /// Declared frame length above the configured maximum.
+    OversizedFrame { declared: u64, max: usize },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadOctetHeader => write!(f, "malformed octet-count header"),
+            FrameError::OversizedFrame { declared, max } => {
+                write!(f, "declared frame of {declared} bytes exceeds max {max}")
+            }
+        }
+    }
+}
+
+/// Stateful per-connection frame decoder.
+pub struct FrameDecoder {
+    max_frame: usize,
+    mode: Option<Mode>,
+    /// In line mode: an oversized line is being discarded until the next LF.
+    discarding: bool,
+    /// Frames dropped (oversized lines) since construction.
+    pub dropped: u64,
+}
+
+impl FrameDecoder {
+    pub fn new(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            max_frame,
+            mode: None,
+            discarding: false,
+            dropped: 0,
+        }
+    }
+
+    /// Extract every complete frame at the front of `buf` into `out`,
+    /// draining consumed bytes. Remaining bytes are a partial frame and stay
+    /// buffered for the next read. Errors are unrecoverable for the
+    /// connection.
+    pub fn drain(&mut self, buf: &mut Vec<u8>, out: &mut Vec<String>) -> Result<(), FrameError> {
+        let mut pos = 0usize;
+        let res = self.drain_from(buf, &mut pos, out);
+        buf.drain(..pos);
+        res
+    }
+
+    fn drain_from(
+        &mut self,
+        buf: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<String>,
+    ) -> Result<(), FrameError> {
+        loop {
+            let rest = &buf[*pos..];
+            if rest.is_empty() {
+                return Ok(());
+            }
+            if self.mode.is_none() {
+                // Sticky auto-detect on the first byte of the connection.
+                self.mode = Some(if rest[0].is_ascii_digit() {
+                    Mode::OctetCounted
+                } else {
+                    Mode::LineDelimited
+                });
+            }
+            match self.mode.unwrap() {
+                Mode::OctetCounted => {
+                    // Header: 1..=10 ASCII digits then a single SP.
+                    let mut digits = 0usize;
+                    while digits < rest.len() && rest[digits].is_ascii_digit() {
+                        digits += 1;
+                        if digits > 10 {
+                            return Err(FrameError::BadOctetHeader);
+                        }
+                    }
+                    if digits == rest.len() {
+                        return Ok(()); // header still arriving
+                    }
+                    if digits == 0 || rest[digits] != b' ' {
+                        return Err(FrameError::BadOctetHeader);
+                    }
+                    let declared: u64 = std::str::from_utf8(&rest[..digits])
+                        .ok()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(FrameError::BadOctetHeader)?;
+                    if declared as usize > self.max_frame {
+                        return Err(FrameError::OversizedFrame {
+                            declared,
+                            max: self.max_frame,
+                        });
+                    }
+                    let body_start = digits + 1;
+                    let body_end = body_start + declared as usize;
+                    if rest.len() < body_end {
+                        return Ok(()); // body still arriving
+                    }
+                    out.push(to_message(&rest[body_start..body_end]));
+                    *pos += body_end;
+                }
+                Mode::LineDelimited => {
+                    match rest.iter().position(|&b| b == b'\n') {
+                        Some(nl) => {
+                            if self.discarding {
+                                self.discarding = false;
+                            } else if nl > self.max_frame {
+                                self.dropped += 1;
+                            } else if nl > 0 {
+                                out.push(to_message(&rest[..nl]));
+                            }
+                            // Empty lines between frames are ignored.
+                            *pos += nl + 1;
+                        }
+                        None => {
+                            if self.discarding {
+                                // Still inside an oversized line: throw the
+                                // bytes away, keep waiting for the LF.
+                                *pos += rest.len();
+                            } else if rest.len() > self.max_frame {
+                                // Oversized line: drop buffered bytes now and
+                                // keep discarding until the next LF.
+                                self.discarding = true;
+                                self.dropped += 1;
+                                *pos += rest.len();
+                            }
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bytes still buffered at disconnect form an incomplete frame. A torn
+    /// frame is sender-crash garbage — emitting half a message would mint a
+    /// bogus template downstream — so it is discarded and counted, never
+    /// flushed.
+    pub fn finish(&mut self, buf: &mut Vec<u8>) -> u64 {
+        let torn = if buf.is_empty() && !self.discarding {
+            0
+        } else {
+            1
+        };
+        self.dropped += torn;
+        buf.clear();
+        self.discarding = false;
+        torn
+    }
+}
+
+/// Complete frame bytes -> message string: lossy UTF-8, trailing CR/LF
+/// trimmed (octet-counted senders often include the newline in the count).
+fn to_message(frame: &[u8]) -> String {
+    let mut end = frame.len();
+    while end > 0 && (frame[end - 1] == b'\n' || frame[end - 1] == b'\r') {
+        end -= 1;
+    }
+    let mut start = 0;
+    // Trim a single leading CR left over from CRLF line endings.
+    while start < end && frame[start] == b'\r' {
+        start += 1;
+    }
+    String::from_utf8_lossy(&frame[start..end]).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(dec: &mut FrameDecoder, buf: &mut Vec<u8>, bytes: &[u8]) -> Vec<String> {
+        buf.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        dec.drain(buf, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn lf_framing_basic() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut buf = Vec::new();
+        let got = feed(&mut dec, &mut buf, b"<13>hello\n<13>world\n");
+        assert_eq!(got, vec!["<13>hello", "<13>world"]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn lf_partial_line_waits_for_more_bytes() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut buf = Vec::new();
+        assert!(feed(&mut dec, &mut buf, b"<13>par").is_empty());
+        let got = feed(&mut dec, &mut buf, b"tial\n");
+        assert_eq!(got, vec!["<13>partial"]);
+    }
+
+    #[test]
+    fn octet_counting_basic_and_split_header() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut buf = Vec::new();
+        // "9 <13>hello" : 9 bytes of body.
+        let got = feed(&mut dec, &mut buf, b"9 <13>hello5 <13>a");
+        assert_eq!(got, vec!["<13>hello", "<13>a"]);
+
+        // Header split across reads: digits only, then the rest.
+        assert!(feed(&mut dec, &mut buf, b"1").is_empty());
+        let got = feed(&mut dec, &mut buf, b"0 <13>again!");
+        assert_eq!(got, vec!["<13>again!"]);
+    }
+
+    #[test]
+    fn octet_count_includes_trailing_newline_trimmed() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut buf = Vec::new();
+        let got = feed(&mut dec, &mut buf, b"10 <13>hello\n");
+        assert_eq!(got, vec!["<13>hello"]);
+    }
+
+    #[test]
+    fn torn_utf8_across_buffer_boundary_reassembles() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut buf = Vec::new();
+        let msg = "<13>temp 30\u{00b0}C rising"; // multi-byte degree sign
+        let bytes = format!("{msg}\n").into_bytes();
+        // Split inside the 2-byte UTF-8 sequence.
+        let split = bytes.iter().position(|&b| b == 0xc2).unwrap() + 1;
+        assert!(feed(&mut dec, &mut buf, &bytes[..split]).is_empty());
+        let got = feed(&mut dec, &mut buf, &bytes[split..]);
+        assert_eq!(got, vec![msg]);
+    }
+
+    #[test]
+    fn oversized_octet_header_is_fatal() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut buf = b"99999999999 x".to_vec(); // 11 digits
+        let mut out = Vec::new();
+        assert_eq!(
+            dec.drain(&mut buf, &mut out),
+            Err(FrameError::BadOctetHeader)
+        );
+    }
+
+    #[test]
+    fn oversized_declared_frame_is_fatal() {
+        let mut dec = FrameDecoder::new(64);
+        let mut buf = b"4096 ".to_vec();
+        let mut out = Vec::new();
+        assert_eq!(
+            dec.drain(&mut buf, &mut out),
+            Err(FrameError::OversizedFrame {
+                declared: 4096,
+                max: 64
+            })
+        );
+    }
+
+    #[test]
+    fn digits_then_garbage_is_a_bad_header() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut buf = b"12x oops".to_vec();
+        let mut out = Vec::new();
+        assert_eq!(
+            dec.drain(&mut buf, &mut out),
+            Err(FrameError::BadOctetHeader)
+        );
+    }
+
+    #[test]
+    fn oversized_lf_line_is_dropped_not_fatal() {
+        let mut dec = FrameDecoder::new(8);
+        let mut buf = Vec::new();
+        let got = feed(
+            &mut dec,
+            &mut buf,
+            b"<13>this line is far too long\n<13>ok\n",
+        );
+        assert_eq!(got, vec!["<13>ok"]);
+        assert_eq!(dec.dropped, 1);
+
+        // Oversized line spanning multiple reads: discard state persists.
+        assert!(feed(&mut dec, &mut buf, b"<13>aaaaaaaaaaaaaaaa").is_empty());
+        assert!(feed(&mut dec, &mut buf, b"bbbbbbbb\n").is_empty());
+        let got = feed(&mut dec, &mut buf, b"<13>ok2\n");
+        assert_eq!(got, vec!["<13>ok2"]);
+        assert_eq!(dec.dropped, 2);
+    }
+
+    #[test]
+    fn mid_line_disconnect_discards_the_partial_frame() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut buf = Vec::new();
+        let got = feed(&mut dec, &mut buf, b"<13>complete\n<13>torn-mid-");
+        assert_eq!(got, vec!["<13>complete"]);
+        assert_eq!(dec.finish(&mut buf), 1);
+        assert!(buf.is_empty());
+
+        // A clean disconnect (buffer empty) counts nothing.
+        let mut dec = FrameDecoder::new(1024);
+        let mut buf = Vec::new();
+        feed(&mut dec, &mut buf, b"<13>done\n");
+        assert_eq!(dec.finish(&mut buf), 0);
+    }
+
+    #[test]
+    fn mid_frame_disconnect_in_octet_mode_discards() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut buf = Vec::new();
+        assert!(feed(&mut dec, &mut buf, b"100 <13>only-the-start").is_empty());
+        assert_eq!(dec.finish(&mut buf), 1);
+    }
+
+    #[test]
+    fn crlf_lines_are_trimmed() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut buf = Vec::new();
+        let got = feed(&mut dec, &mut buf, b"<13>one\r\n<13>two\r\n");
+        assert_eq!(got, vec!["<13>one", "<13>two"]);
+    }
+}

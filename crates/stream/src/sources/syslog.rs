@@ -1,0 +1,347 @@
+//! Syslog message parsing: RFC 5424 (`<pri>1 TIMESTAMP HOST APP ...`) and
+//! RFC 3164 (`<pri>Mmm dd hh:mm:ss host tag: msg`), with a permissive
+//! fallback for bare lines.
+//!
+//! The parser extracts the envelope for observability, but the pipeline is
+//! fed the MSG part only: a corpus shipped over syslog must produce the
+//! byte-identical anomaly set as the same corpus read from a file, so the
+//! envelope never leaks into templates.
+
+/// Parsed syslog envelope + message. Never fails: unparseable input becomes
+/// a `user.info` message carrying the raw line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyslogMessage {
+    pub facility: u8,
+    pub severity: u8,
+    /// Epoch milliseconds, when the envelope carried a parseable timestamp.
+    pub timestamp_ms: Option<u64>,
+    pub hostname: Option<String>,
+    /// APP-NAME (RFC 5424) or TAG (RFC 3164).
+    pub app: Option<String>,
+    /// The MSG field — what the pipeline ingests.
+    pub msg: String,
+}
+
+const DEFAULT_PRI: u16 = 14; // user.info
+
+/// Parse one syslog frame. `assumed_year` fills in RFC 3164 timestamps,
+/// which carry no year (pass the current year in production; pin in tests).
+pub fn parse_syslog(raw: &str, assumed_year: i32) -> SyslogMessage {
+    let (pri, rest) = parse_pri(raw);
+    let facility = (pri >> 3) as u8;
+    let severity = (pri & 0x7) as u8;
+
+    // RFC 5424: VERSION "1" SP after the pri.
+    if let Some(r) = rest.strip_prefix("1 ") {
+        if let Some(m) = parse_rfc5424(facility, severity, r) {
+            return m;
+        }
+    }
+    if let Some(m) = parse_rfc3164(facility, severity, rest, assumed_year) {
+        return m;
+    }
+    SyslogMessage {
+        facility,
+        severity,
+        timestamp_ms: None,
+        hostname: None,
+        app: None,
+        msg: rest.to_string(),
+    }
+}
+
+fn parse_pri(raw: &str) -> (u16, &str) {
+    let bytes = raw.as_bytes();
+    if bytes.first() == Some(&b'<') {
+        if let Some(close) = raw[..raw.len().min(6)].find('>') {
+            if let Ok(pri) = raw[1..close].parse::<u16>() {
+                if pri <= 191 {
+                    return (pri, &raw[close + 1..]);
+                }
+            }
+        }
+    }
+    (DEFAULT_PRI, raw)
+}
+
+fn nil(field: &str) -> Option<String> {
+    if field == "-" {
+        None
+    } else {
+        Some(field.to_string())
+    }
+}
+
+fn parse_rfc5424(facility: u8, severity: u8, rest: &str) -> Option<SyslogMessage> {
+    // TIMESTAMP SP HOSTNAME SP APP-NAME SP PROCID SP MSGID SP SD [SP MSG]
+    let mut it = rest.splitn(6, ' ');
+    let timestamp = it.next()?;
+    let hostname = it.next()?;
+    let app = it.next()?;
+    let _procid = it.next()?;
+    let _msgid = it.next()?;
+    let tail = it.next().unwrap_or("");
+
+    let timestamp_ms = if timestamp == "-" {
+        None
+    } else {
+        Some(parse_rfc3339_ms(timestamp)?)
+    };
+
+    // Structured data: "-" or one or more bracketed [id k="v"] groups;
+    // ']' inside values is escaped as '\]'.
+    let msg = if let Some(after) = tail.strip_prefix('-') {
+        after.strip_prefix(' ').unwrap_or(after)
+    } else if tail.starts_with('[') {
+        let mut end = 0usize;
+        let b = tail.as_bytes();
+        let mut depth = 0i32;
+        let mut escaped = false;
+        for (i, &c) in b.iter().enumerate() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                b'\\' => escaped = true,
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 && b.get(i + 1) != Some(&b'[') {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if end == 0 {
+            tail // unterminated SD: treat everything as MSG
+        } else {
+            tail[end..].strip_prefix(' ').unwrap_or(&tail[end..])
+        }
+    } else {
+        return None; // SD must be "-" or "[..."
+    };
+    // Strip the optional UTF-8 BOM RFC 5424 allows before MSG.
+    let msg = msg.strip_prefix('\u{feff}').unwrap_or(msg);
+
+    Some(SyslogMessage {
+        facility,
+        severity,
+        timestamp_ms,
+        hostname: nil(hostname),
+        app: nil(app),
+        msg: msg.to_string(),
+    })
+}
+
+fn parse_rfc3164(
+    facility: u8,
+    severity: u8,
+    rest: &str,
+    assumed_year: i32,
+) -> Option<SyslogMessage> {
+    // "Mmm dd hh:mm:ss host tag[pid]: msg" — dd may be space-padded.
+    let b = rest.as_bytes();
+    if b.len() < 16 {
+        return None;
+    }
+    let month = month_number(&rest[0..3])?;
+    if b[3] != b' ' {
+        return None;
+    }
+    let day: u32 = rest[4..6].trim_start().parse().ok()?;
+    if !(1..=31).contains(&day) || b[6] != b' ' {
+        return None;
+    }
+    let time = &rest[7..15];
+    let tb = time.as_bytes();
+    if tb[2] != b':' || tb[5] != b':' {
+        return None;
+    }
+    let hh: u32 = time[0..2].parse().ok()?;
+    let mm: u32 = time[3..5].parse().ok()?;
+    let ss: u32 = time[6..8].parse().ok()?;
+    if hh > 23 || mm > 59 || ss > 60 {
+        return None;
+    }
+    let timestamp_ms = civil_to_epoch_ms(assumed_year, month, day, hh, mm, ss.min(59));
+
+    let after = rest[15..].strip_prefix(' ').unwrap_or(&rest[15..]);
+    let (hostname, after_host) = match after.split_once(' ') {
+        Some((h, r)) => (nil(h), r),
+        None => (nil(after), ""),
+    };
+    // TAG ends at ':' (optionally with "[pid]").
+    let (app, msg) = match after_host.split_once(": ") {
+        Some((tag, m)) => {
+            let tag = tag.split('[').next().unwrap_or(tag);
+            (nil(tag), m)
+        }
+        None => (None, after_host),
+    };
+
+    Some(SyslogMessage {
+        facility,
+        severity,
+        timestamp_ms: Some(timestamp_ms),
+        hostname,
+        app,
+        msg: msg.to_string(),
+    })
+}
+
+fn month_number(name: &str) -> Option<u32> {
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    MONTHS.iter().position(|&m| m == name).map(|i| i as u32 + 1)
+}
+
+/// "2026-08-08T12:34:56.789Z" / "...+02:00" -> epoch milliseconds.
+fn parse_rfc3339_ms(ts: &str) -> Option<u64> {
+    let b = ts.as_bytes();
+    if b.len() < 20 || b[4] != b'-' || b[7] != b'-' || (b[10] != b'T' && b[10] != b't') {
+        return None;
+    }
+    let year: i32 = ts[0..4].parse().ok()?;
+    let month: u32 = ts[5..7].parse().ok()?;
+    let day: u32 = ts[8..10].parse().ok()?;
+    let hh: u32 = ts[11..13].parse().ok()?;
+    if b[13] != b':' || b[16] != b':' {
+        return None;
+    }
+    let mm: u32 = ts[14..16].parse().ok()?;
+    let ss: u32 = ts[17..19].parse().ok()?;
+
+    let mut i = 19;
+    let mut frac_ms: u64 = 0;
+    if b.get(i) == Some(&b'.') {
+        i += 1;
+        let start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        let digits = &ts[start..i];
+        if digits.is_empty() {
+            return None;
+        }
+        let scaled = format!("{digits:0<3}");
+        frac_ms = scaled[..3].parse().ok()?;
+    }
+    let offset_min: i64 = match b.get(i) {
+        Some(&b'Z') | Some(&b'z') => 0,
+        Some(&sign @ (b'+' | b'-')) => {
+            let tz = &ts[i + 1..];
+            let (oh, om) = tz.split_once(':')?;
+            let oh: i64 = oh.parse().ok()?;
+            let om: i64 = om.parse().ok()?;
+            let total = oh * 60 + om;
+            if sign == b'+' {
+                total
+            } else {
+                -total
+            }
+        }
+        _ => return None,
+    };
+    let base = civil_to_epoch_ms(year, month, day, hh, mm, ss) as i64 + frac_ms as i64;
+    Some((base - offset_min * 60_000).max(0) as u64)
+}
+
+/// Civil date-time (UTC) -> epoch milliseconds, via the days-from-civil
+/// algorithm. Saturates below the epoch.
+fn civil_to_epoch_ms(year: i32, month: u32, day: u32, hh: u32, mm: u32, ss: u32) -> u64 {
+    let y = i64::from(year) - i64::from(month <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let m = i64::from(month);
+    let d = i64::from(day);
+    let doy = (153 * (m + if m > 2 { -3 } else { 9 }) + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    let days = era * 146_097 + doe - 719_468;
+    let secs = days * 86_400 + i64::from(hh) * 3_600 + i64::from(mm) * 60 + i64::from(ss);
+    (secs.max(0) as u64) * 1_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc5424_full_envelope() {
+        let m = parse_syslog(
+            "<165>1 2003-10-11T22:14:15.003Z mymachine.example.com evntslog 1234 ID47 \
+             [exampleSDID@32473 iut=\"3\"] An application event",
+            2026,
+        );
+        assert_eq!(m.facility, 20);
+        assert_eq!(m.severity, 5);
+        assert_eq!(m.hostname.as_deref(), Some("mymachine.example.com"));
+        assert_eq!(m.app.as_deref(), Some("evntslog"));
+        assert_eq!(m.msg, "An application event");
+        assert_eq!(m.timestamp_ms, Some(1_065_910_455_003));
+    }
+
+    #[test]
+    fn rfc5424_nil_fields_and_no_msg() {
+        let m = parse_syslog("<34>1 - - - - - -", 2026);
+        assert_eq!(m.hostname, None);
+        assert_eq!(m.app, None);
+        assert_eq!(m.timestamp_ms, None);
+        assert_eq!(m.msg, "");
+    }
+
+    #[test]
+    fn rfc5424_numeric_offset_timestamp() {
+        let a = parse_syslog("<34>1 2026-08-08T12:00:00+02:00 h app - - - x", 2026);
+        let b = parse_syslog("<34>1 2026-08-08T10:00:00Z h app - - - x", 2026);
+        assert_eq!(a.timestamp_ms, b.timestamp_ms);
+    }
+
+    #[test]
+    fn rfc3164_timestamp_without_year_uses_assumed_year() {
+        let m = parse_syslog("<13>Feb  5 17:32:18 host su[123]: 'su root' failed", 2021);
+        assert_eq!(m.hostname.as_deref(), Some("host"));
+        assert_eq!(m.app.as_deref(), Some("su"));
+        assert_eq!(m.msg, "'su root' failed");
+        // 2021-02-05T17:32:18Z
+        assert_eq!(m.timestamp_ms, Some(1_612_546_338_000));
+        // Same envelope under a different assumed year shifts the timestamp.
+        let m2 = parse_syslog("<13>Feb  5 17:32:18 host su[123]: 'su root' failed", 2020);
+        assert!(m2.timestamp_ms < m.timestamp_ms);
+    }
+
+    #[test]
+    fn bare_line_falls_back_to_user_info() {
+        let m = parse_syslog("plain line with no envelope", 2026);
+        assert_eq!((m.facility, m.severity), (1, 6));
+        assert_eq!(m.msg, "plain line with no envelope");
+        assert_eq!(m.timestamp_ms, None);
+    }
+
+    #[test]
+    fn out_of_range_pri_is_treated_as_message_text() {
+        let m = parse_syslog("<999>not really a pri", 2026);
+        assert_eq!((m.facility, m.severity), (1, 6));
+        assert_eq!(m.msg, "<999>not really a pri");
+    }
+
+    #[test]
+    fn pipeline_payload_round_trips_through_the_envelope() {
+        // The dash-format lines the pipeline ingests survive enveloping.
+        let line = "2026-08-08 12:00:00,000 - api - INFO - request served in 12 ms";
+        let framed = format!("<14>1 2026-08-08T12:00:00Z host monilog - - - {line}");
+        let m = parse_syslog(&framed, 2026);
+        assert_eq!(m.msg, line);
+    }
+
+    #[test]
+    fn leap_day_math() {
+        assert_eq!(
+            civil_to_epoch_ms(2020, 2, 29, 23, 59, 59),
+            1_583_020_799_000
+        );
+    }
+}

@@ -1,0 +1,487 @@
+//! Checkpointed file tailing: follow a live log file, surviving rotation
+//! (inode change) and truncation, and emit an inode+offset cursor with
+//! every line so the consumer can persist resume positions through the
+//! durable checkpoint manifest.
+//!
+//! The cursor protocol (mirrors vector's file-source checkpointing, adapted
+//! to the WAL): `offset` only ever points at a *line boundary* of the file
+//! with inode `inode`, and `last_seq` is the journal seq of the last line
+//! emitted at that offset. On restart the consumer seeks to the cursor and
+//! skips `journal_high_water - last_seq` lines — the lines that were
+//! journaled after the checkpoint was cut — so replay and re-read never
+//! double-ingest.
+//!
+//! Tails are timer-driven handlers on the shared event loop (regular files
+//! are always "ready"; readiness APIs are useless for them), polling at the
+//! loop tick.
+
+use super::{Shared, SourceEvent, TAIL_SOURCE_BASE};
+use crate::net::{Handler, Interest, LoopCtx, Next};
+use monilog_model::SourceId;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Bytes read per poll tick, bounding loop stall per tail.
+const TAIL_QUANTUM: usize = 256 * 1024;
+
+/// Resume position for one tailed file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TailCursor {
+    /// Inode the offset refers to; a mismatch on resume means the file was
+    /// rotated and the tail restarts from offset 0 of the new file.
+    pub inode: u64,
+    /// Byte offset of the next unread line boundary.
+    pub offset: u64,
+    /// Journal seq of the last line emitted at `offset`.
+    pub last_seq: u64,
+}
+
+/// One file to tail.
+#[derive(Debug, Clone)]
+pub struct TailSpec {
+    pub path: PathBuf,
+    /// Recovered cursor from the checkpoint manifest, if any.
+    pub resume: Option<TailCursor>,
+    /// Lines journaled past the checkpointed cursor (replayed from the
+    /// WAL); the tail skips this many lines after seeking.
+    pub skip_lines: u64,
+}
+
+impl TailSpec {
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        TailSpec {
+            path: path.into(),
+            resume: None,
+            skip_lines: 0,
+        }
+    }
+}
+
+#[cfg(unix)]
+fn inode_of(meta: &std::fs::Metadata) -> u64 {
+    use std::os::unix::fs::MetadataExt;
+    meta.ino()
+}
+
+#[cfg(not(unix))]
+fn inode_of(_meta: &std::fs::Metadata) -> u64 {
+    0 // no rotation detection without inodes; offsets still work
+}
+
+pub(super) struct FileTailHandler {
+    path: PathBuf,
+    source: SourceId,
+    index: usize,
+    shared: Arc<Shared>,
+    file: Option<File>,
+    inode: u64,
+    /// Offset of the next byte to read (>= line boundary + partial bytes).
+    read_offset: u64,
+    /// Offset of the last *emitted* line boundary (what cursors carry).
+    line_offset: u64,
+    partial: Vec<u8>,
+    skip: u64,
+    resume: Option<TailCursor>,
+    /// Lines decoded but refused by a full queue (Block policy): the tail
+    /// simply stops reading until these drain.
+    pending: VecDeque<(String, TailCursor)>,
+}
+
+impl FileTailHandler {
+    pub(super) fn new(spec: TailSpec, index: usize, shared: Arc<Shared>) -> Self {
+        FileTailHandler {
+            path: spec.path,
+            source: SourceId(TAIL_SOURCE_BASE + index as u16),
+            index,
+            shared,
+            file: None,
+            inode: 0,
+            read_offset: 0,
+            line_offset: 0,
+            partial: Vec::new(),
+            skip: spec.skip_lines,
+            resume: spec.resume,
+            pending: VecDeque::new(),
+        }
+    }
+
+    fn flush_pending(&mut self) -> bool {
+        while let Some((line, cursor)) = self.pending.pop_front() {
+            let ev = SourceEvent {
+                source: self.source,
+                line,
+                cursor: Some((self.index, cursor)),
+            };
+            if let Err(ev) = self.shared.push_or_apply_policy(ev, true) {
+                let (_, cursor) = ev.cursor.expect("tail event keeps its cursor");
+                self.pending.push_front((ev.line, cursor));
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Open (or re-open after rotation/truncation) the file if needed.
+    fn ensure_open(&mut self) -> bool {
+        let meta = match std::fs::metadata(&self.path) {
+            Ok(m) => m,
+            Err(_) => {
+                // File missing (rotation gap): finish the old handle if any.
+                return self.file.is_some();
+            }
+        };
+        let disk_inode = inode_of(&meta);
+        match &self.file {
+            Some(_) if disk_inode == self.inode && meta.len() >= self.read_offset => true,
+            Some(_) if disk_inode == self.inode => {
+                // Truncated in place: restart from the top.
+                self.reopen(disk_inode, 0)
+            }
+            Some(_) => {
+                // Rotated: the poll loop reads the old handle to EOF first
+                // (self.file still points at the old inode); only swap once
+                // the old file is fully consumed.
+                true
+            }
+            None => {
+                let start = match self.resume.take() {
+                    Some(c) if c.inode == disk_inode && c.offset <= meta.len() => c.offset,
+                    Some(_) => {
+                        // Rotated (or truncated) while we were down; the
+                        // journal already holds what we read of the old
+                        // file. Start over on the new one.
+                        self.skip = 0;
+                        0
+                    }
+                    None => 0,
+                };
+                self.reopen(disk_inode, start)
+            }
+        }
+    }
+
+    fn reopen(&mut self, inode: u64, offset: u64) -> bool {
+        match File::open(&self.path) {
+            Ok(mut f) => {
+                if f.seek(SeekFrom::Start(offset)).is_err() {
+                    return false;
+                }
+                self.file = Some(f);
+                self.inode = inode;
+                self.read_offset = offset;
+                self.line_offset = offset;
+                self.partial.clear();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// After the current handle hits EOF: swap to a rotated replacement if
+    /// one is sitting at `path` with a different inode.
+    fn maybe_rotate(&mut self) {
+        if let Ok(meta) = std::fs::metadata(&self.path) {
+            let disk_inode = inode_of(&meta);
+            if disk_inode != self.inode {
+                // The partial tail of the rotated-away file never got its
+                // newline; it is dropped, mirroring the torn-frame rule.
+                if !self.partial.is_empty() {
+                    self.partial.clear();
+                }
+                self.file = None;
+                self.skip = 0;
+                self.reopen(disk_inode, 0);
+            }
+        }
+    }
+
+    /// Read up to the quantum, emit complete lines. Returns false when the
+    /// queue paused us.
+    fn poll_file(&mut self) -> bool {
+        if !self.ensure_open() {
+            return true;
+        }
+        if self.file.is_none() {
+            return true;
+        }
+        let mut budget = TAIL_QUANTUM;
+        let mut chunk = [0u8; 16 * 1024];
+        let mut hit_eof = false;
+        while budget > 0 {
+            let want = budget.min(chunk.len());
+            let Some(file) = self.file.as_mut() else {
+                break;
+            };
+            match file.read(&mut chunk[..want]) {
+                Ok(0) => {
+                    hit_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    budget -= n;
+                    self.read_offset += n as u64;
+                    self.partial.extend_from_slice(&chunk[..n]);
+                    if !self.emit_lines() {
+                        return false;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        if hit_eof {
+            self.maybe_rotate();
+        }
+        true
+    }
+
+    /// Split `partial` at newlines and enqueue the complete lines; the
+    /// remainder stays buffered (a half-written line is not ingested until
+    /// its newline lands). Returns false when paused by a full queue.
+    fn emit_lines(&mut self) -> bool {
+        let mut consumed = 0usize;
+        let mut paused = false;
+        while let Some(rel) = self.partial[consumed..].iter().position(|&b| b == b'\n') {
+            let nl = consumed + rel;
+            let start = consumed;
+            consumed = nl + 1;
+            self.line_offset += (consumed - start) as u64;
+            if self.skip > 0 {
+                self.skip -= 1;
+                continue;
+            }
+            let mut end = nl;
+            if end > start && self.partial[end - 1] == b'\r' {
+                end -= 1;
+            }
+            if end == start {
+                continue; // empty line
+            }
+            if end - start > self.shared.max_frame_bytes {
+                crate::metrics::PipelineMetrics::add(&self.shared.metrics.sources_frame_errors, 1);
+                continue;
+            }
+            let line = String::from_utf8_lossy(&self.partial[start..end]).into_owned();
+            let cursor = TailCursor {
+                inode: self.inode,
+                offset: self.line_offset,
+                last_seq: 0,
+            };
+            if self.pending.is_empty() {
+                let ev = SourceEvent {
+                    source: self.source,
+                    line,
+                    cursor: Some((self.index, cursor)),
+                };
+                if let Err(ev) = self.shared.push_or_apply_policy(ev, true) {
+                    let (_, cursor) = ev.cursor.expect("tail event keeps its cursor");
+                    self.pending.push_back((ev.line, cursor));
+                    paused = true;
+                    break;
+                }
+            } else {
+                self.pending.push_back((line, cursor));
+            }
+        }
+        self.partial.drain(..consumed);
+        !paused
+    }
+}
+
+impl Handler for FileTailHandler {
+    fn ready(&mut self, _r: bool, _w: bool, _ctx: &mut LoopCtx<'_>) -> Next {
+        Next::Keep // timer-only: no fd
+    }
+
+    fn tick(&mut self, _now: Instant, _ctx: &mut LoopCtx<'_>) -> Next {
+        if !self.flush_pending() {
+            return Next::Keep; // still backpressured; don't read more
+        }
+        self.poll_file();
+        Next::Keep
+    }
+
+    fn interest(&self) -> Interest {
+        Interest::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{SourceQueue, SourcesConfig, SourcesServer};
+    use super::*;
+    use crate::observe::MetricsRegistry;
+    use std::io::Write;
+    use std::time::{Duration, Instant};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "monilog-tail-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn spawn_tail(spec: TailSpec, queue_capacity: usize) -> (SourcesServer, SourceQueue) {
+        let cfg = SourcesConfig {
+            tails: vec![spec],
+            queue_capacity,
+            assumed_year: 2026,
+            ..SourcesConfig::default()
+        };
+        SourcesServer::spawn(cfg, MetricsRegistry::shared_with_shards(1), None, None).unwrap()
+    }
+
+    fn drain_for(queue: &SourceQueue, want: usize, secs: u64) -> Vec<SourceEvent> {
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        let mut got = Vec::new();
+        while got.len() < want && Instant::now() < deadline {
+            got.extend(queue.recv_batch(64, Duration::from_millis(20)));
+        }
+        got
+    }
+
+    #[test]
+    fn tails_appended_lines_with_cursors() {
+        let path = temp_path("basic");
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "first").unwrap();
+        f.flush().unwrap();
+
+        let (_server, queue) = spawn_tail(TailSpec::new(&path), 128);
+        let got = drain_for(&queue, 1, 5);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, "first");
+        let (idx, cursor) = got[0].cursor.unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(cursor.offset, 6); // "first\n"
+        assert_ne!(cursor.inode, 0);
+
+        // Lines appended while tailing are picked up, partial lines are not.
+        writeln!(f, "second").unwrap();
+        write!(f, "partial-no-newline").unwrap();
+        f.flush().unwrap();
+        let got = drain_for(&queue, 1, 5);
+        assert_eq!(got.len(), 1, "only the complete line arrives");
+        assert_eq!(got[0].line, "second");
+        assert_eq!(got[0].cursor.unwrap().1.offset, 13);
+
+        writeln!(f).unwrap(); // newline completes the partial
+        f.flush().unwrap();
+        let got = drain_for(&queue, 1, 5);
+        assert_eq!(got[0].line, "partial-no-newline");
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_from_cursor_skips_consumed_lines() {
+        let path = temp_path("resume");
+        let mut f = std::fs::File::create(&path).unwrap();
+        for i in 0..10 {
+            writeln!(f, "line {i}").unwrap();
+        }
+        f.flush().unwrap();
+        let inode = inode_of(&std::fs::metadata(&path).unwrap());
+
+        // Cursor after "line 4" (5 lines * 7 bytes each), with 2 more lines
+        // already recovered from the WAL (skip them too).
+        let spec = TailSpec {
+            path: path.clone(),
+            resume: Some(TailCursor {
+                inode,
+                offset: 35,
+                last_seq: 5,
+            }),
+            skip_lines: 2,
+        };
+        let (_server, queue) = spawn_tail(spec, 128);
+        let got = drain_for(&queue, 3, 5);
+        let lines: Vec<&str> = got.iter().map(|e| e.line.as_str()).collect();
+        assert_eq!(lines, vec!["line 7", "line 8", "line 9"]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_cursor_from_a_rotated_file_restarts_at_zero() {
+        let path = temp_path("stale");
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "fresh contents").unwrap();
+        f.flush().unwrap();
+
+        let spec = TailSpec {
+            path: path.clone(),
+            resume: Some(TailCursor {
+                inode: 0xdead_beef,
+                offset: 999,
+                last_seq: 4,
+            }),
+            skip_lines: 3,
+        };
+        let (_server, queue) = spawn_tail(spec, 128);
+        let got = drain_for(&queue, 1, 5);
+        assert_eq!(got.len(), 1, "stale cursor must fall back to a full read");
+        assert_eq!(got[0].line, "fresh contents");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rotation_is_followed_to_the_new_inode() {
+        let path = temp_path("rotate");
+        let rotated = temp_path("rotate-old");
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "before rotation").unwrap();
+        f.flush().unwrap();
+
+        let (_server, queue) = spawn_tail(TailSpec::new(&path), 128);
+        let got = drain_for(&queue, 1, 5);
+        assert_eq!(got[0].line, "before rotation");
+        let old_inode = got[0].cursor.unwrap().1.inode;
+
+        // logrotate-style: rename away, create fresh at the same path.
+        drop(f);
+        std::fs::rename(&path, &rotated).unwrap();
+        let mut f2 = std::fs::File::create(&path).unwrap();
+        writeln!(f2, "after rotation").unwrap();
+        f2.flush().unwrap();
+
+        let got = drain_for(&queue, 1, 10);
+        assert_eq!(got.len(), 1, "tail must follow the rotation");
+        assert_eq!(got[0].line, "after rotation");
+        assert_ne!(got[0].cursor.unwrap().1.inode, old_inode);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+    }
+
+    #[test]
+    fn truncation_restarts_from_the_top() {
+        let path = temp_path("trunc");
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "long line before truncation").unwrap();
+        f.flush().unwrap();
+
+        let (_server, queue) = spawn_tail(TailSpec::new(&path), 128);
+        assert_eq!(
+            drain_for(&queue, 1, 5)[0].line,
+            "long line before truncation"
+        );
+
+        drop(f);
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        writeln!(f, "tiny").unwrap();
+        f.flush().unwrap();
+
+        let got = drain_for(&queue, 1, 10);
+        assert_eq!(got.len(), 1, "truncation must re-read from offset 0");
+        assert_eq!(got[0].line, "tiny");
+        let _ = std::fs::remove_file(&path);
+    }
+}
