@@ -101,10 +101,10 @@ fn main() {
         let start = Instant::now();
         let mut received = 0usize;
         for (i, chunk) in messages.chunks(64).enumerate() {
-            let items: Vec<(u64, String)> = chunk
+            let items: Vec<monilog_core::stream::Item> = chunk
                 .iter()
                 .enumerate()
-                .map(|(k, m)| ((i * 64 + k) as u64, m.to_string()))
+                .map(|(k, m)| ((i * 64 + k) as u64, (*m).into()))
                 .collect();
             service.submit_batch(items).expect("service alive");
             while service.try_recv().is_some() {

@@ -38,7 +38,7 @@ fn main() {
         stripped_tokens += kept;
         payload_tokens += n - kept;
         let _ = payload;
-        stripped.push(text);
+        stripped.push(text.into_owned());
     }
     println!(
         "payload-token share: {:.1}% of {} tokens (paper observed ~60% internally)",

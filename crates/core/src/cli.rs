@@ -22,7 +22,7 @@ use monilog_detect::DeepLogConfig;
 use monilog_model::{Criticality, RawLog, SourceId};
 use monilog_parse::autotune::{autotune_drain, TuneGrid};
 use monilog_parse::{Drain, DrainConfig, OnlineParser};
-use monilog_stream::{JournalConfig, MetricsExporter, OverloadPolicy};
+use monilog_stream::{BatchConfig, JournalConfig, MetricsExporter, OverloadPolicy};
 use std::fmt::Write as _;
 
 /// A parsed CLI invocation.
@@ -43,6 +43,7 @@ pub enum CliCommand {
         format: HeaderChoice,
         fault: FaultToleranceConfig,
         observability: ObservabilityConfig,
+        batch: BatchConfig,
         /// Write a Chrome trace-event JSON file of the recorded spans here
         /// after the run (`--trace-out`).
         trace_out: Option<String>,
@@ -54,6 +55,7 @@ pub enum CliCommand {
         format: HeaderChoice,
         fault: FaultToleranceConfig,
         observability: ObservabilityConfig,
+        batch: BatchConfig,
         /// Write a Chrome trace-event JSON file of the recorded spans here
         /// after the run (`--trace-out`).
         trace_out: Option<String>,
@@ -198,6 +200,10 @@ fault-tolerance options (streaming deployments):
   --on-overload block|shed|dead-letter   submit() behaviour when saturated
   --max-retries <n>                      parse retries before quarantine
   --heartbeat-ms <n>                     worker heartbeat / supervisor poll
+  --batch-lines <n>                      lines the router batches per shard
+                                         flush (default 64)
+  --batch-deadline-ms <n>                max idle time before a partial
+                                         batch flushes (default 1)
 
 observability options (train / monitor):
   --metrics-addr <host:port>             serve Prometheus + JSON metrics,
@@ -282,6 +288,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     let mut sinks = SinkOptions::default();
     let mut sinks_given = false;
     let mut sources = SourcesOptions::default();
+    let mut batch = BatchConfig::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -309,6 +316,25 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 fault.max_retries = value
                     .parse()
                     .map_err(|_| format!("invalid --max-retries {value:?}"))?;
+            }
+            "--batch-lines" => {
+                i += 1;
+                let value = args.get(i).ok_or("--batch-lines needs a count")?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid --batch-lines {value:?}"))?;
+                batch = BatchConfig::new(n, batch.deadline.as_millis() as u64)
+                    .map_err(|e| format!("invalid --batch-lines {value:?}: {e}"))?;
+            }
+            "--batch-deadline-ms" => {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or("--batch-deadline-ms needs milliseconds")?;
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --batch-deadline-ms {value:?}"))?;
+                batch.deadline = std::time::Duration::from_millis(ms);
             }
             "--heartbeat-ms" => {
                 i += 1;
@@ -590,6 +616,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             format,
             fault,
             observability,
+            batch,
             trace_out,
         }),
         "monitor" => {
@@ -605,6 +632,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 format,
                 fault,
                 observability,
+                batch,
                 trace_out,
                 durable,
                 sources: sources.any().then_some(sources),
@@ -624,7 +652,11 @@ fn read_lines(path: &str) -> Result<Vec<String>, String> {
         .collect())
 }
 
-fn pipeline_config(format: HeaderChoice, fault: FaultToleranceConfig) -> MoniLogConfig {
+fn pipeline_config(
+    format: HeaderChoice,
+    fault: FaultToleranceConfig,
+    batch: BatchConfig,
+) -> MoniLogConfig {
     MoniLogConfig {
         header_format: format.to_config(),
         window: WindowPolicy::Session {
@@ -638,6 +670,7 @@ fn pipeline_config(format: HeaderChoice, fault: FaultToleranceConfig) -> MoniLog
             ..DeepLogConfig::default()
         }),
         fault_tolerance: fault,
+        batch,
         ..MoniLogConfig::default()
     }
 }
@@ -737,10 +770,11 @@ pub fn run(command: CliCommand) -> Result<String, String> {
             format,
             fault,
             observability,
+            batch,
             trace_out,
         } => {
             let lines = read_lines(&logfile)?;
-            let mut config = pipeline_config(format, fault);
+            let mut config = pipeline_config(format, fault, batch);
             config.observability = observability;
             let mut monilog = MoniLog::new(config);
             let _exporter = spawn_exporter(&monilog, observability, &mut out)?;
@@ -767,13 +801,14 @@ pub fn run(command: CliCommand) -> Result<String, String> {
             format,
             fault,
             observability,
+            batch,
             trace_out,
             durable,
             sources,
         } => {
             let blob =
                 std::fs::read(&checkpoint).map_err(|e| format!("cannot read {checkpoint}: {e}"))?;
-            let mut config = pipeline_config(format, fault);
+            let mut config = pipeline_config(format, fault, batch);
             config.observability = observability;
             if let Some(src) = sources {
                 let opts = durable.ok_or("network sources require --state-dir")?;
@@ -1276,7 +1311,7 @@ fn strip_headers(lines: &[String], format: HeaderChoice) -> Vec<String> {
         .map(|(i, line)| {
             let raw = RawLog::new(SourceId(0), i as u64, line.clone());
             match parse_header(&raw, &hf, Timestamp::EPOCH) {
-                Ok(record) => record.message,
+                Ok(record) => record.message.into_string(),
                 Err(_) => line.clone(),
             }
         })
@@ -1321,6 +1356,7 @@ mod tests {
                 checkpoint: "m.bin".into(),
                 format: HeaderChoice::Syslog,
                 fault: FaultToleranceConfig::default(),
+                batch: BatchConfig::default(),
                 observability: ObservabilityConfig::default(),
                 trace_out: None,
             }
@@ -1552,6 +1588,7 @@ mod tests {
             checkpoint: ckpt.to_string_lossy().into_owned(),
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
+            batch: BatchConfig::default(),
             observability: ObservabilityConfig::default(),
             trace_out: None,
         })
@@ -1564,6 +1601,7 @@ mod tests {
             checkpoint: ckpt.to_string_lossy().into_owned(),
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
+            batch: BatchConfig::default(),
             observability: ObservabilityConfig {
                 trace_sample_rate: 1,
                 ..ObservabilityConfig::default()
@@ -1615,6 +1653,7 @@ mod tests {
                 checkpoint: ckpt_path,
                 format: HeaderChoice::Dash,
                 fault: FaultToleranceConfig::default(),
+                batch: BatchConfig::default(),
                 observability: ObservabilityConfig {
                     metrics_addr: Some(addr),
                     metrics_interval_ms: 10,
@@ -1659,7 +1698,8 @@ mod tests {
             max_retries: 7,
             heartbeat_ms: 40,
         };
-        let sup = pipeline_config(HeaderChoice::Dash, fault).supervisor_config();
+        let sup =
+            pipeline_config(HeaderChoice::Dash, fault, BatchConfig::default()).supervisor_config();
         assert_eq!(sup.overload, OverloadPolicy::DeadLetter);
         assert_eq!(sup.retry.max_retries, 7);
         assert_eq!(sup.heartbeat_interval, std::time::Duration::from_millis(40));
@@ -1722,6 +1762,7 @@ mod tests {
             checkpoint: ckpt.to_string_lossy().into_owned(),
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
+            batch: BatchConfig::default(),
             observability: ObservabilityConfig::default(),
             trace_out: None,
         })
@@ -1735,6 +1776,7 @@ mod tests {
             checkpoint: ckpt.to_string_lossy().into_owned(),
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
+            batch: BatchConfig::default(),
             observability: ObservabilityConfig::default(),
             trace_out: None,
             durable: None,
@@ -1758,7 +1800,7 @@ mod tests {
         })
         .generate();
         // Calibration runs on raw messages.
-        let text: Vec<String> = logs.iter().map(|l| l.record.message.clone()).collect();
+        let text: Vec<String> = logs.iter().map(|l| l.record.message.to_string()).collect();
         std::fs::write(&logfile, text.join("\n")).unwrap();
         let report = run(CliCommand::Calibrate {
             logfile: logfile.to_string_lossy().into_owned(),
@@ -1782,6 +1824,7 @@ mod tests {
             checkpoint: "/definitely/not/here.mlcp".into(),
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
+            batch: BatchConfig::default(),
             observability: ObservabilityConfig::default(),
             trace_out: None,
             durable: None,
@@ -2040,6 +2083,7 @@ mod tests {
             checkpoint: ckpt.to_string_lossy().into_owned(),
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
+            batch: BatchConfig::default(),
             observability: ObservabilityConfig::default(),
             trace_out: None,
         })
@@ -2051,6 +2095,7 @@ mod tests {
             checkpoint: ckpt.to_string_lossy().into_owned(),
             format: HeaderChoice::Dash,
             fault: FaultToleranceConfig::default(),
+            batch: BatchConfig::default(),
             observability: ObservabilityConfig::default(),
             trace_out: None,
             durable: Some(DurableOptions {

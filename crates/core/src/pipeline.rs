@@ -58,6 +58,10 @@ pub struct MoniLogConfig {
     pub fault_tolerance: FaultToleranceConfig,
     /// Metrics export (`--metrics-addr`, `--metrics-interval-ms`).
     pub observability: ObservabilityConfig,
+    /// Router batch tuning for the sharded streaming deployment shape
+    /// (`--batch-lines`, `--batch-deadline-ms`); the sequential facade
+    /// ignores it.
+    pub batch: monilog_stream::BatchConfig,
 }
 
 /// Where and how often to export metrics snapshots. `metrics_addr: None`
@@ -147,6 +151,7 @@ impl Default for MoniLogConfig {
             detector: DetectorChoice::DeepLog(DeepLogConfig::default()),
             fault_tolerance: FaultToleranceConfig::default(),
             observability: ObservabilityConfig::default(),
+            batch: monilog_stream::BatchConfig::default(),
         }
     }
 }
@@ -256,6 +261,10 @@ pub struct MoniLog {
     trained: bool,
     next_event_id: u64,
     next_report_id: u64,
+    /// Recycled release buffer for `reorder.push_into` — always empty
+    /// between `advance` calls, so the steady state does one heap push and
+    /// zero vector allocations per line.
+    released_scratch: Vec<(Timestamp, monilog_model::LogRecord)>,
 }
 
 impl MoniLog {
@@ -298,6 +307,7 @@ impl MoniLog {
             trained: false,
             next_event_id: 0,
             next_report_id: 0,
+            released_scratch: Vec::new(),
             config,
         }
     }
@@ -620,6 +630,24 @@ impl MoniLog {
         }
     }
 
+    /// [`MoniLog::record_stage`] with an explicit end instant, so the
+    /// per-line stage chain in `advance` reads the clock once per stage
+    /// boundary instead of twice per stage.
+    fn record_stage_between(
+        &self,
+        stage: Stage,
+        span: SpanStage,
+        start: Instant,
+        end: Instant,
+        trace: Option<TraceId>,
+    ) {
+        self.registry
+            .record_between_traced(stage, start, end, trace);
+        if let Some(t) = trace {
+            self.tracer.record_since(t, span, 0, start, None, None);
+        }
+    }
+
     /// Dedup → header parse → reorder; returns windows closed by released
     /// records.
     fn advance(&mut self, raw: &RawLog) -> Vec<ClosedWindow> {
@@ -643,13 +671,27 @@ impl MoniLog {
                 return Vec::new();
             }
         };
-        self.record_stage(Stage::Ingest, SpanStage::Ingest, ingest_start, trace);
-        let ts = record.header.timestamp;
         let merge_start = Instant::now();
-        let released = self.reorder.push(ts, record);
-        self.record_stage(Stage::MergeDedup, SpanStage::MergeDedup, merge_start, trace);
+        self.record_stage_between(
+            Stage::Ingest,
+            SpanStage::Ingest,
+            ingest_start,
+            merge_start,
+            trace,
+        );
+        let ts = record.header.timestamp;
+        let mut released = std::mem::take(&mut self.released_scratch);
+        self.reorder.push_into(ts, record, &mut released);
+        let merge_end = Instant::now();
+        self.record_stage_between(
+            Stage::MergeDedup,
+            SpanStage::MergeDedup,
+            merge_start,
+            merge_end,
+            trace,
+        );
         let mut closed = Vec::new();
-        for (_, record) in released {
+        for (_, record) in released.drain(..) {
             if let Some(event) = self.record_to_event(record) {
                 let etrace = event.trace;
                 let window_start = Instant::now();
@@ -662,6 +704,7 @@ impl MoniLog {
                 );
             }
         }
+        self.released_scratch = released;
         closed
     }
 
@@ -669,10 +712,16 @@ impl MoniLog {
     fn record_to_event(&mut self, record: monilog_model::LogRecord) -> Option<LogEvent> {
         let trace = self.tracer.trace_for(record.seq);
         let parse_start = Instant::now();
+        // Both arms borrow from the record's arrival buffer when they can:
+        // extraction only materializes an owned String when a payload is
+        // actually spliced out of the message.
         let (text, payload) = if self.config.extract_payloads {
             extract_structured(&record.message)
         } else {
-            (record.message.clone(), Default::default())
+            (
+                std::borrow::Cow::Borrowed(record.message.as_str()),
+                Default::default(),
+            )
         };
         let before = self.parser.store().len();
         let outcome = self.parser.parse(&text);

@@ -31,17 +31,51 @@ pub struct ClosedWindow {
     pub events: Vec<LogEvent>,
 }
 
+/// FNV-1a for the session map: keys are short derived session ids
+/// (`blk_17`), probed once per line on the hot path — SipHash's DoS
+/// hardening is not needed against keys our own parser derived.
+#[derive(Debug, Default, Clone)]
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xCBF2_9CE4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvBuild = std::hash::BuildHasherDefault<FnvHasher>;
+
 /// Stateful window assembler.
 #[derive(Debug)]
 pub struct WindowAssembler {
     policy: WindowPolicy,
     /// Open sessions: key → (events, last activity).
-    sessions: HashMap<String, (Vec<LogEvent>, Timestamp)>,
+    sessions: HashMap<String, (Vec<LogEvent>, Timestamp), FnvBuild>,
     /// Buffer for tumbling / sessionless events.
     buffer: Vec<LogEvent>,
     /// Last activity of `buffer`, for the idle sweep under the session
     /// policy (sessionless windows close on idle like named sessions).
     buffer_last: Timestamp,
+    /// Lower bound on the least-recent activity among open sessions, or
+    /// `None` when no sessions are open. Activity only ever raises a
+    /// session's `last`, so the bound can go stale-low (triggering a
+    /// harmless early sweep that recomputes it) but never stale-high —
+    /// the idle sweep still fires on exactly the event it always did,
+    /// without walking every open session on every line.
+    sweep_floor: Option<Timestamp>,
 }
 
 impl WindowAssembler {
@@ -51,9 +85,10 @@ impl WindowAssembler {
         }
         WindowAssembler {
             policy,
-            sessions: HashMap::new(),
+            sessions: HashMap::default(),
             buffer: Vec::new(),
             buffer_last: Timestamp::EPOCH,
+            sweep_floor: None,
         }
     }
 
@@ -79,18 +114,24 @@ impl WindowAssembler {
                 max_events,
             } => {
                 match event.session.clone() {
-                    Some(key) => {
-                        let entry = self
-                            .sessions
-                            .entry(key.0.clone())
-                            .or_insert_with(|| (Vec::new(), now));
-                        entry.0.push(event);
-                        entry.1 = now;
-                        if entry.0.len() >= max_events {
-                            let (events, _) = self.sessions.remove(&key.0).expect("just filled");
-                            closed.push(Self::close(events));
+                    Some(key) => match self.sessions.get_mut(key.0.as_str()) {
+                        Some(entry) => {
+                            entry.0.push(event);
+                            entry.1 = now;
+                            if entry.0.len() >= max_events {
+                                let (events, _) =
+                                    self.sessions.remove(key.0.as_str()).expect("just updated");
+                                closed.push(Self::close(events));
+                            }
                         }
-                    }
+                        None => {
+                            self.sweep_floor = Some(match self.sweep_floor {
+                                Some(f) => f.min(now),
+                                None => now,
+                            });
+                            self.sessions.insert(key.0, (vec![event], now));
+                        }
+                    },
                     None => {
                         // Sessionless events tumble in a side buffer.
                         self.buffer.push(event);
@@ -100,20 +141,31 @@ impl WindowAssembler {
                         }
                     }
                 }
-                // Idle-session sweep. Sorted so that multiple sessions
-                // expiring on the same event close in a deterministic
-                // order — report ids must be reproducible across a crash
-                // replay for the durable pipeline's exactly-once dedup.
-                let mut expired: Vec<String> = self
-                    .sessions
-                    .iter()
-                    .filter(|(_, (_, last))| now.millis_since(*last) > idle_ms)
-                    .map(|(k, _)| k.clone())
-                    .collect();
-                expired.sort();
-                for key in expired {
-                    let (events, _) = self.sessions.remove(&key).expect("listed");
-                    closed.push(Self::close(events));
+                // Idle-session sweep, gated on the activity floor: the
+                // floor is ≤ every open session's `last`, so the gate
+                // opens on (at latest) the first event any session truly
+                // expires at — the sweep below then closes exactly the
+                // sessions the ungated scan would have. Sorted so that
+                // multiple sessions expiring on the same event close in a
+                // deterministic order — report ids must be reproducible
+                // across a crash replay for the durable pipeline's
+                // exactly-once dedup.
+                let sweep_due = self
+                    .sweep_floor
+                    .is_some_and(|f| now.millis_since(f) > idle_ms);
+                if sweep_due {
+                    let mut expired: Vec<String> = self
+                        .sessions
+                        .iter()
+                        .filter(|(_, (_, last))| now.millis_since(*last) > idle_ms)
+                        .map(|(k, _)| k.clone())
+                        .collect();
+                    expired.sort();
+                    for key in expired {
+                        let (events, _) = self.sessions.remove(&key).expect("listed");
+                        closed.push(Self::close(events));
+                    }
+                    self.sweep_floor = self.sessions.values().map(|(_, last)| *last).min();
                 }
                 // The sessionless side buffer expires on idle too — a
                 // trailing partial window must not sit open until
@@ -174,7 +226,8 @@ impl WindowAssembler {
         let mut d = Decoder::new(bytes);
         d.expect_header(*b"WNDA", 1)?;
         let n_sessions = d.get_len()?;
-        let mut sessions = HashMap::with_capacity(n_sessions);
+        let mut sessions: HashMap<String, (Vec<LogEvent>, Timestamp), FnvBuild> =
+            HashMap::with_capacity_and_hasher(n_sessions, FnvBuild::default());
         for _ in 0..n_sessions {
             let key = d.get_str()?;
             let last = Timestamp::from_millis(d.get_u64()?);
@@ -195,6 +248,7 @@ impl WindowAssembler {
             return Err(CodecError::Corrupt("trailing bytes after assembler state"));
         }
         let mut assembler = WindowAssembler::new(policy);
+        assembler.sweep_floor = sessions.values().map(|(_, last)| *last).min();
         assembler.sessions = sessions;
         assembler.buffer = buffer;
         assembler.buffer_last = buffer_last;
@@ -370,6 +424,27 @@ mod tests {
                 "prefix of {cut} bytes imported"
             );
         }
+    }
+
+    #[test]
+    fn restored_sessions_expire_without_new_session_activity() {
+        // The idle sweep is gated on `sweep_floor`, which is seeded by
+        // new-session inserts. After a restore the continuation may
+        // never insert a new session (here: sessionless traffic only),
+        // so `import_state` must derive the floor from the restored
+        // sessions or they would stay open forever.
+        let policy = WindowPolicy::Session {
+            idle_ms: 100,
+            max_events: 100,
+        };
+        let mut original = WindowAssembler::new(policy);
+        original.push(event(0, 0, Some("s1")));
+        original.push(event(10, 1, Some("s2")));
+        let bytes = original.export_state();
+        let mut restored = WindowAssembler::import_state(policy, &bytes).expect("import");
+        let closed = restored.push(event(500, 9, None));
+        assert_eq!(closed.len(), 2, "both restored sessions expire");
+        assert_eq!(restored.open_count(), 1, "only the new buffer is open");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! `DESIGN.md`.
 
 use monilog_model::codec::{CodecError, Decoder, Encoder};
-use monilog_model::tokenize::{normalize_word, split_identifier};
+use monilog_model::tokenize::{normalize_word, split_identifier_with};
 use monilog_model::{Template, TemplateToken};
 use std::collections::HashMap;
 
@@ -41,15 +41,18 @@ fn template_words(template: &Template) -> Vec<String> {
     let mut words = Vec::new();
     for tok in &template.tokens {
         if let TemplateToken::Static(s) = tok {
+            // `normalize_word` borrows unless the case changes, and the
+            // splitter streams words through one reused scratch buffer —
+            // no `Vec<String>` per token.
             let cleaned = normalize_word(s);
             if cleaned.is_empty() {
                 continue;
             }
-            for w in split_identifier(&cleaned) {
+            split_identifier_with(&cleaned, |w| {
                 if w.len() >= 2 {
-                    words.push(w);
+                    words.push(w.to_string());
                 }
-            }
+            });
         }
     }
     words

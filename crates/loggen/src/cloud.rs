@@ -868,7 +868,7 @@ impl CloudWorkload {
                         source: SourceId(src_idx as u16),
                         seq: 0,
                         header: LogHeader::new(ts, flow.component.clone(), statement.level),
-                        message: rendered.message,
+                        message: rendered.message.into(),
                     },
                     truth,
                 });

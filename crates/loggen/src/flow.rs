@@ -544,7 +544,7 @@ impl FlowWorkload {
                     source: self.source,
                     seq: 0, // assigned at merge time
                     header: LogHeader::new(ts, flow.component.clone(), statement.level),
-                    message: rendered.message,
+                    message: rendered.message.into(),
                 };
                 lines.push((ts, GenLog { record, truth }));
                 ts = ts.advanced(1 + rng.random_range(0..self.config.mean_line_gap_ms.max(1) * 2));

@@ -289,7 +289,7 @@ impl Twist {
                 (t, kinds.clone())
             }
         };
-        log.record.message = new_tokens.join(" ");
+        log.record.message = new_tokens.join(" ").into();
         log.truth.token_kinds = new_kinds;
         log.truth.unstable = true;
     }
@@ -312,7 +312,7 @@ fn bad_parse<R: Rng + ?Sized>(log: &mut GenLog, rng: &mut R) {
     if rng.random_bool(0.5) {
         // Truncation: keep a prefix.
         let keep = rng.random_range(1..tokens.len());
-        log.record.message = tokens[..keep].join(" ");
+        log.record.message = tokens[..keep].join(" ").into();
         log.truth.token_kinds.truncate(keep);
     } else {
         // Token merge: glue two adjacent tokens together.
@@ -330,7 +330,7 @@ fn bad_parse<R: Rng + ?Sized>(log: &mut GenLog, rng: &mut R) {
         };
         k[pos] = kind;
         k.remove(pos + 1);
-        log.record.message = t.join(" ");
+        log.record.message = t.join(" ").into();
         log.truth.token_kinds = k;
     }
     log.truth.unstable = true;

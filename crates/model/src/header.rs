@@ -58,9 +58,18 @@ pub fn parse_header(
     format: &HeaderFormat,
     fallback_ts: Timestamp,
 ) -> Result<LogRecord, HeaderParseError> {
+    // The message is always a suffix of the line, so it is carved out of
+    // the arrival buffer (`ByteLine::slice_of`) rather than copied — the
+    // first allocation-free hop of the zero-copy hot path.
     let (header, message) = match format {
-        HeaderFormat::DashSeparated => parse_dash_separated(&raw.line)?,
-        HeaderFormat::SyslogLike => parse_syslog_like(&raw.line)?,
+        HeaderFormat::DashSeparated => {
+            let (header, msg) = parse_dash_separated(&raw.line)?;
+            (header, raw.line.slice_of(msg))
+        }
+        HeaderFormat::SyslogLike => {
+            let (header, msg) = parse_syslog_like(&raw.line)?;
+            (header, raw.line.slice_of(msg))
+        }
         HeaderFormat::Bare => (
             LogHeader::new(fallback_ts, "", Severity::Unknown),
             raw.line.clone(),
@@ -74,7 +83,7 @@ pub fn parse_header(
     })
 }
 
-fn parse_dash_separated(line: &str) -> Result<(LogHeader, String), HeaderParseError> {
+fn parse_dash_separated(line: &str) -> Result<(LogHeader, &str), HeaderParseError> {
     // `2020-03-19 15:38:55,977 - serviceManager - INFO - <message>`
     // The timestamp itself contains dashes, so split on " - " instead.
     let ts_end = 23;
@@ -94,13 +103,10 @@ fn parse_dash_separated(line: &str) -> Result<(LogHeader, String), HeaderParseEr
         .split_once(" - ")
         .ok_or(HeaderParseError::MissingFields)?;
     let level: Severity = level.parse().expect("severity parsing is infallible");
-    Ok((
-        LogHeader::new(timestamp, component, level),
-        message.to_string(),
-    ))
+    Ok((LogHeader::new(timestamp, component, level), message))
 }
 
-fn parse_syslog_like(line: &str) -> Result<(LogHeader, String), HeaderParseError> {
+fn parse_syslog_like(line: &str) -> Result<(LogHeader, &str), HeaderParseError> {
     // `2020-03-19 15:38:55,977 INFO serviceManager: <message>`
     let ts_end = 23;
     if line.len() < ts_end {
@@ -118,10 +124,7 @@ fn parse_syslog_like(line: &str) -> Result<(LogHeader, String), HeaderParseError
         .split_once(": ")
         .ok_or(HeaderParseError::MissingFields)?;
     let level: Severity = level.parse().expect("severity parsing is infallible");
-    Ok((
-        LogHeader::new(timestamp, component, level),
-        message.to_string(),
-    ))
+    Ok((LogHeader::new(timestamp, component, level), message))
 }
 
 #[cfg(test)]

@@ -13,6 +13,8 @@
 //! - [`time`] — millisecond timestamps and the `YYYY-MM-DD HH:MM:SS,mmm`
 //!   format used throughout the paper's examples (Fig. 2).
 //! - [`severity`] — log criticality levels.
+//! - [`line`] — arena-backed log lines: UTF-8 views over refcounted
+//!   arrival buffers (the zero-copy ingest currency).
 //! - [`log`] — raw lines, headers, records.
 //! - [`header`] — header parsing (Fig. 2, left-to-right field extraction).
 //! - [`template`] — parsed message templates (static tokens + wildcards).
@@ -35,6 +37,7 @@ pub mod checkpoint;
 pub mod codec;
 pub mod event;
 pub mod header;
+pub mod line;
 pub mod log;
 pub mod severity;
 pub mod structured;
@@ -48,6 +51,7 @@ pub use checkpoint::{CheckpointManifest, JournalPosition};
 pub use codec::{crc32, CodecError, Decoder, Encoder};
 pub use event::{EventId, LogEvent, SessionKey};
 pub use header::{parse_header, HeaderFormat, HeaderParseError};
+pub use line::ByteLine;
 pub use log::{LogHeader, LogRecord, RawLog, SourceId};
 pub use severity::Severity;
 pub use structured::{extract_structured, StructuredPayload};

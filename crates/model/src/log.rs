@@ -6,6 +6,7 @@
 //! the parsing component will template-ize.
 
 use crate::codec::{CodecError, Decoder, Encoder};
+use crate::line::ByteLine;
 use crate::severity::Severity;
 use crate::time::Timestamp;
 use serde::{Deserialize, Serialize};
@@ -39,12 +40,13 @@ pub struct RawLog {
     /// Ingestion sequence number, assigned by the collector. Strictly
     /// increasing per source; used to detect duplicates and reordering.
     pub seq: u64,
-    /// The raw line, header included.
-    pub line: String,
+    /// The raw line, header included. A view into the arrival buffer the
+    /// line was read from — cloning a `RawLog` does not copy the text.
+    pub line: ByteLine,
 }
 
 impl RawLog {
-    pub fn new(source: SourceId, seq: u64, line: impl Into<String>) -> Self {
+    pub fn new(source: SourceId, seq: u64, line: impl Into<ByteLine>) -> Self {
         RawLog {
             source,
             seq,
@@ -81,7 +83,9 @@ pub struct LogRecord {
     pub seq: u64,
     pub header: LogHeader,
     /// The MESSAGE field — "a text field without format constraint".
-    pub message: String,
+    /// Usually a suffix view of the raw line's arrival buffer; an owned
+    /// `String` only materializes at the pipeline's edges.
+    pub message: ByteLine,
 }
 
 impl LogRecord {
@@ -115,7 +119,7 @@ impl LogRecord {
         let timestamp = Timestamp::from_millis(d.get_u64()?);
         let component = d.get_str()?;
         let level = Severity::from_tag(d.get_u8()?).ok_or(CodecError::Corrupt("severity tag"))?;
-        let message = d.get_str()?;
+        let message = ByteLine::from_string(d.get_str()?);
         Ok(LogRecord {
             source,
             seq,
@@ -144,7 +148,7 @@ mod tests {
                 "serviceManager",
                 Severity::Info,
             ),
-            message: "New process started: process x92 started on port 42".to_string(),
+            message: "New process started: process x92 started on port 42".into(),
         }
     }
 

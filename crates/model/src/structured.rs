@@ -21,6 +21,7 @@
 //! would *destroy* information the parser needs.
 
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// A structured payload pulled out of a log message.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -50,14 +51,22 @@ impl StructuredPayload {
 /// If no payload is recognized, the free text is the whole message and the
 /// payload is empty. The free text keeps a single space where the payload
 /// was removed mid-message.
-pub fn extract_structured(message: &str) -> (String, StructuredPayload) {
+///
+/// The no-payload case — the overwhelming majority of log lines — borrows
+/// from `message` instead of allocating; the free text only becomes owned
+/// when a payload is actually spliced out.
+pub fn extract_structured(message: &str) -> (Cow<'_, str>, StructuredPayload) {
+    // Fast path: a message with neither `{` nor `<` can't carry a payload.
+    if !message.as_bytes().iter().any(|&b| b == b'{' || b == b'<') {
+        return (Cow::Borrowed(message.trim()), StructuredPayload::default());
+    }
     // Try JSON / k=v braces first (most common), then XML.
     if let Some((start, end)) = find_balanced_braces(message) {
         let body = &message[start..end];
         if let Some(fields) = parse_brace_payload(body) {
             let text = splice_out(message, start, end);
             return (
-                text,
+                Cow::Owned(text),
                 StructuredPayload {
                     fields,
                     raw_len: end - start,
@@ -68,14 +77,14 @@ pub fn extract_structured(message: &str) -> (String, StructuredPayload) {
     if let Some((start, end, fields)) = find_xml_run(message) {
         let text = splice_out(message, start, end);
         return (
-            text,
+            Cow::Owned(text),
             StructuredPayload {
                 fields,
                 raw_len: end - start,
             },
         );
     }
-    (message.trim().to_string(), StructuredPayload::default())
+    (Cow::Borrowed(message.trim()), StructuredPayload::default())
 }
 
 fn splice_out(message: &str, start: usize, end: usize) -> String {

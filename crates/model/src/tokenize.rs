@@ -4,6 +4,17 @@
 //! "A token is a sequence delimited by spaces inside a log message."
 //! Every parser and every parsing metric in this workspace uses the same
 //! definition, so grouping decisions and token-level scoring line up.
+//!
+//! The hot path uses [`token_spans_into`], a SWAR byte-class scanner that
+//! emits `(start, end)` byte offsets into a reusable buffer instead of
+//! allocating a `Vec<&str>` per line. It is differentially tested to agree
+//! with `str::split_whitespace` on arbitrary input (multi-byte UTF-8
+//! whitespace included).
+
+use std::borrow::Cow;
+
+/// A token's byte range inside its message: `message[start..end]`.
+pub type TokenSpan = (u32, u32);
 
 /// Split a message into its space-delimited tokens.
 ///
@@ -18,38 +29,142 @@ pub fn token_count(message: &str) -> usize {
     message.split_whitespace().count()
 }
 
+/// Word-sized SWAR probe: a mask with bit 7 set in every lane whose byte
+/// either has its high bit set (non-ASCII, needs char-wise decoding) or is
+/// `< 0x21` (every ASCII whitespace byte lives there, along with rare
+/// control bytes we route to the per-byte path).
+#[inline(always)]
+fn swar_flags(word: u64) -> u64 {
+    const HIGH: u64 = 0x8080_8080_8080_8080;
+    const ONES: u64 = 0x0101_0101_0101_0101;
+    let lt21 = word.wrapping_sub(ONES * 0x21) & !word & HIGH;
+    (word & HIGH) | lt21
+}
+
+#[inline(always)]
+fn is_ascii_space(b: u8) -> bool {
+    // The six ASCII code points with the White_Space property — exactly
+    // what `char::is_whitespace` accepts below 0x80.
+    matches!(b, b'\t' | b'\n' | 0x0b | 0x0c | b'\r' | b' ')
+}
+
+/// Whitespace test for the byte at `pos`, handling multi-byte code points.
+/// Returns `(is_whitespace, width_in_bytes)`.
+#[inline]
+fn classify_at(message: &str, pos: usize) -> (bool, usize) {
+    let b = message.as_bytes()[pos];
+    if b < 0x80 {
+        (is_ascii_space(b), 1)
+    } else {
+        // Safety not needed: `pos` is a char boundary because the scanner
+        // only lands here after consuming whole code points.
+        let c = message[pos..].chars().next().expect("char boundary");
+        (c.is_whitespace(), c.len_utf8())
+    }
+}
+
+/// Scan `message` and append one `(start, end)` span per whitespace-
+/// delimited token to `out` (which is cleared first). Agrees exactly with
+/// `split_whitespace`, including Unicode whitespace.
+///
+/// The scanner is SWAR-accelerated: inside a token it consumes 8 bytes per
+/// step as long as every byte is printable ASCII, falling back to per-byte
+/// classification only around whitespace and non-ASCII text.
+pub fn token_spans_into(message: &str, out: &mut Vec<TokenSpan>) {
+    out.clear();
+    let bytes = message.as_bytes();
+    debug_assert!(bytes.len() <= u32::MAX as usize, "line exceeds 4 GiB");
+    let mut pos = 0usize;
+    let len = bytes.len();
+    while pos < len {
+        // Skip the whitespace run (typically one byte).
+        let (ws, width) = classify_at(message, pos);
+        if ws {
+            pos += width;
+            continue;
+        }
+        // Token start: race through printable-ASCII interiors 8 bytes at a
+        // time; flagged words fall back to byte-wise classification.
+        let start = pos;
+        pos += width;
+        'token: while pos < len {
+            while pos + 8 <= len {
+                let word = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+                let flags = swar_flags(word);
+                if flags == 0 {
+                    pos += 8;
+                } else {
+                    // First interesting lane; bytes before it are token.
+                    pos += (flags.trailing_zeros() / 8) as usize;
+                    break;
+                }
+            }
+            if pos == len {
+                break;
+            }
+            let (ws, width) = classify_at(message, pos);
+            if ws {
+                break 'token;
+            }
+            pos += width;
+        }
+        out.push((start as u32, pos as u32));
+    }
+}
+
+/// Allocating convenience over [`token_spans_into`] (tests, cold paths).
+pub fn token_spans(message: &str) -> Vec<TokenSpan> {
+    let mut out = Vec::new();
+    token_spans_into(message, &mut out);
+    out
+}
+
 /// Lowercase a token and strip surrounding punctuation, for semantic
 /// vectorization (LogRobust-style preprocessing of template words).
-pub fn normalize_word(token: &str) -> String {
-    token
-        .trim_matches(|c: char| !c.is_ascii_alphanumeric())
-        .to_ascii_lowercase()
+/// Borrows when the token is already normalized (the common case for
+/// template words), allocating only when case actually changes.
+pub fn normalize_word(token: &str) -> Cow<'_, str> {
+    let trimmed = token.trim_matches(|c: char| !c.is_ascii_alphanumeric());
+    if trimmed.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Owned(trimmed.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(trimmed)
+    }
 }
 
 /// Split an identifier-ish token into words on camelCase, snake_case and
 /// digit boundaries: `serviceManager` → `["service", "manager"]`.
 pub fn split_identifier(token: &str) -> Vec<String> {
     let mut words = Vec::new();
+    split_identifier_with(token, |w| words.push(w.to_string()));
+    words
+}
+
+/// Allocation-free core of [`split_identifier`]: invokes `emit` with each
+/// lowercased word. Callers that vectorize many tokens reuse one scratch
+/// buffer across calls instead of building a `Vec<String>` per token.
+pub fn split_identifier_with(token: &str, mut emit: impl FnMut(&str)) {
     let mut current = String::new();
     let mut prev_lower = false;
     for c in token.chars() {
         if c.is_ascii_alphabetic() {
             if c.is_ascii_uppercase() && prev_lower && !current.is_empty() {
-                words.push(std::mem::take(&mut current));
+                emit(&current);
+                current.clear();
             }
             current.push(c.to_ascii_lowercase());
             prev_lower = c.is_ascii_lowercase();
         } else {
             if !current.is_empty() {
-                words.push(std::mem::take(&mut current));
+                emit(&current);
+                current.clear();
             }
             prev_lower = false;
         }
     }
     if !current.is_empty() {
-        words.push(current);
+        emit(&current);
     }
-    words
 }
 
 #[cfg(test)]
@@ -76,12 +191,70 @@ mod tests {
         assert_eq!(tokenize(""), Vec::<&str>::new());
     }
 
+    fn spans_as_tokens(msg: &str) -> Vec<&str> {
+        token_spans(msg)
+            .iter()
+            .map(|&(s, e)| &msg[s as usize..e as usize])
+            .collect()
+    }
+
+    #[test]
+    fn span_scanner_matches_split_whitespace_on_basics() {
+        for msg in [
+            "",
+            "   ",
+            "one",
+            "a  b\t c",
+            "Sending 138 bytes src: 10.250.11.53 dest: /10.250.11.53",
+            "  leading and trailing  ",
+            "tab\tsep\nnewline\rcr",
+            "exactly8 chars__ token boundaries at word edges!",
+        ] {
+            let expect: Vec<&str> = msg.split_whitespace().collect();
+            assert_eq!(spans_as_tokens(msg), expect, "msg={msg:?}");
+        }
+    }
+
+    #[test]
+    fn span_scanner_handles_unicode_whitespace() {
+        // U+00A0 NBSP, U+2003 EM SPACE, U+3000 IDEOGRAPHIC SPACE are all
+        // split points for split_whitespace; U+200B (zero-width space) is
+        // NOT whitespace and must stay inside its token.
+        for msg in [
+            "a\u{00A0}b",
+            "x\u{2003}y\u{3000}z",
+            "join\u{200B}ed stays",
+            "émile saint-exupéry über café",
+            "mixed \u{2028}separators\u{2029}here",
+        ] {
+            let expect: Vec<&str> = msg.split_whitespace().collect();
+            assert_eq!(spans_as_tokens(msg), expect, "msg={msg:?}");
+        }
+    }
+
+    #[test]
+    fn span_scanner_handles_nul_and_controls() {
+        // NUL and other C0 controls are below 0x21 (flagged by the SWAR
+        // probe) but are not whitespace — they belong to their token.
+        let msg = "a\0b \x01ctrl\x1f end";
+        let expect: Vec<&str> = msg.split_whitespace().collect();
+        assert_eq!(spans_as_tokens(msg), expect);
+        assert_eq!(expect[0], "a\0b");
+    }
+
     #[test]
     fn normalize_strips_punctuation_and_case() {
         assert_eq!(normalize_word("src:"), "src");
         assert_eq!(normalize_word("(Error)"), "error");
         assert_eq!(normalize_word("/10.250.11.53"), "10.250.11.53");
         assert_eq!(normalize_word("***"), "");
+    }
+
+    #[test]
+    fn normalize_borrows_when_already_lowercase() {
+        assert!(matches!(normalize_word("src:"), Cow::Borrowed("src")));
+        assert!(matches!(normalize_word("plain"), Cow::Borrowed("plain")));
+        assert!(matches!(normalize_word("Mixed"), Cow::Owned(_)));
     }
 
     #[test]
@@ -102,6 +275,13 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
+    fn spans_as_tokens(msg: &str) -> Vec<&str> {
+        token_spans(msg)
+            .iter()
+            .map(|&(s, e)| &msg[s as usize..e as usize])
+            .collect()
+    }
+
     proptest! {
         /// token_count always agrees with tokenize().len().
         #[test]
@@ -109,11 +289,38 @@ mod proptests {
             prop_assert_eq!(token_count(&msg), tokenize(&msg).len());
         }
 
+        /// The SWAR span scanner is exactly split_whitespace: arbitrary
+        /// Unicode (multi-byte code points, NUL, controls) and long runs
+        /// of whitespace included.
+        #[test]
+        fn spans_match_split_whitespace(msg in "\\PC*") {
+            let expect: Vec<&str> = msg.split_whitespace().collect();
+            prop_assert_eq!(spans_as_tokens(&msg), expect);
+        }
+
+        /// Same equivalence on whitespace-heavy ASCII/Latin-1 soup, which
+        /// exercises the SWAR fast path and its fallback boundaries.
+        #[test]
+        fn spans_match_on_whitespace_soup(
+            msg in "[ \\t\\n\\r\\x0b\\x0c\\x00-\\x1f a-zA-Z0-9\u{00a0}\u{2003}\u{3000}]{0,120}"
+        ) {
+            let expect: Vec<&str> = msg.split_whitespace().collect();
+            prop_assert_eq!(spans_as_tokens(&msg), expect);
+        }
+
         /// normalize_word is idempotent.
         #[test]
         fn normalize_idempotent(tok in "[!-~]{0,12}") {
-            let once = normalize_word(&tok);
-            prop_assert_eq!(normalize_word(&once), once.clone());
+            let once = normalize_word(&tok).into_owned();
+            prop_assert_eq!(normalize_word(&once).into_owned(), once.clone());
+        }
+
+        /// split_identifier_with emits exactly split_identifier's words.
+        #[test]
+        fn split_identifier_with_matches(tok in "[a-zA-Z0-9_.-]{0,16}") {
+            let mut streamed = Vec::new();
+            split_identifier_with(&tok, |w| streamed.push(w.to_string()));
+            prop_assert_eq!(streamed, split_identifier(&tok));
         }
     }
 }

@@ -233,6 +233,11 @@ pub struct Drain {
     /// the per-line span hook behind trace provenance (`cache_stats` only
     /// gives totals).
     last_cache_hit: bool,
+    /// Recycled tokenization buffers (see `parse`): always empty between
+    /// calls, so the `'static` lifetime is never inhabited by live data.
+    scratch_spans: Vec<crate::preprocess::TokenSpan>,
+    scratch_masked: Vec<&'static str>,
+    scratch_original: Vec<&'static str>,
 }
 
 impl Drain {
@@ -257,6 +262,9 @@ impl Drain {
             cache: MatchCache::default(),
             lines: 0,
             last_cache_hit: false,
+            scratch_spans: Vec::new(),
+            scratch_masked: Vec::new(),
+            scratch_original: Vec::new(),
         }
     }
 
@@ -333,6 +341,12 @@ impl Drain {
         let mut drain = Drain::warm_start(config, store);
         drain.lines = lines;
         Ok(drain)
+    }
+
+    /// Internal cache occupancy `(interned tokens, memoized shapes)` —
+    /// diagnostics for capacity tuning.
+    pub fn cache_debug(&self) -> (usize, usize) {
+        (self.cache.interner.len(), self.cache.map.len())
     }
 
     /// `(hits, misses)` of the match cache so far. Misses count every
@@ -418,13 +432,41 @@ impl OnlineParser for Drain {
     fn parse(&mut self, message: &str) -> ParseOutcome {
         self.lines += 1;
         self.last_cache_hit = false;
-        let (masked, original) = self.pre.mask(message);
+        // Recycled buffers: `Vec` is covariant, so the empty
+        // `Vec<&'static str>` scratch moves out as `Vec<&str>` borrowing
+        // `message`; `recycle_scratch` empties it before the lifetime is
+        // erased again, so no dangling borrow ever exists.
+        let mut masked: Vec<&str> = std::mem::take(&mut self.scratch_masked);
+        let mut original: Vec<&str> = std::mem::take(&mut self.scratch_original);
+        let mut spans = std::mem::take(&mut self.scratch_spans);
+        self.pre
+            .mask_into(message, &mut spans, &mut masked, &mut original);
+        self.scratch_spans = spans;
+        let outcome = self.parse_masked(&masked, &original);
+        self.scratch_masked = recycle_scratch(masked);
+        self.scratch_original = recycle_scratch(original);
+        outcome
+    }
 
+    fn store(&self) -> &TemplateStore {
+        &self.store
+    }
+
+    fn kind(&self) -> ParserKind {
+        ParserKind::Drain
+    }
+}
+
+impl Drain {
+    /// The tree walk on already-tokenized input — the body of
+    /// [`OnlineParser::parse`] minus tokenization, so `parse` can recycle
+    /// its token buffers around a single call site.
+    fn parse_masked(&mut self, masked: &[&str], original: &[&str]) -> ParseOutcome {
         // Fast path: a memoized pure match replays the tree walk's result
         // on provably unchanged state (see `MatchCache`).
         let use_cache = self.config.cache_capacity > 0 && !masked.is_empty();
         if use_cache {
-            if let Some((template, wildcards)) = self.cache.lookup(&masked) {
+            if let Some((template, wildcards)) = self.cache.lookup(masked) {
                 self.last_cache_hit = true;
                 let variables = wildcards
                     .iter()
@@ -438,13 +480,13 @@ impl OnlineParser for Drain {
             }
         }
 
-        let leaf = Self::leaf_mut(&mut self.by_len, &self.config, &masked);
+        let leaf = Self::leaf_mut(&mut self.by_len, &self.config, masked);
 
         // Find the most similar group in the leaf.
         let mut best: Option<(TemplateId, f64, usize)> = None;
         for &gid in &leaf.groups {
             let template = self.store.get(gid).expect("group ids are valid");
-            let (sim, wild) = Self::seq_dist(&template.tokens, &masked);
+            let (sim, wild) = Self::seq_dist(&template.tokens, masked);
             let better = match best {
                 None => true,
                 Some((_, bs, bw)) => sim > bs || (sim == bs && wild > bw),
@@ -464,11 +506,11 @@ impl OnlineParser for Drain {
                 let changed = template
                     .tokens
                     .iter()
-                    .zip(&masked)
+                    .zip(masked)
                     .any(|(t, tok)| matches!(t, TemplateToken::Static(s) if s != tok));
                 if changed {
                     let mut tokens = template.tokens.clone();
-                    for (t, tok) in tokens.iter_mut().zip(&masked) {
+                    for (t, tok) in tokens.iter_mut().zip(masked) {
                         if let TemplateToken::Static(s) = t {
                             if s != tok {
                                 *t = TemplateToken::Wildcard;
@@ -479,13 +521,13 @@ impl OnlineParser for Drain {
                     self.cache.flush();
                 } else if use_cache {
                     self.cache
-                        .install(self.config.cache_capacity, &masked, gid, &self.store);
+                        .install(self.config.cache_capacity, masked, gid, &self.store);
                 }
                 let template = self.store.get(gid).expect("valid id");
                 let variables = template
                     .tokens
                     .iter()
-                    .zip(&original)
+                    .zip(original)
                     .filter(|(t, _)| t.is_wildcard())
                     .map(|(_, tok)| (*tok).to_string())
                     .collect();
@@ -508,29 +550,51 @@ impl OnlineParser for Drain {
                     .collect();
                 let variables = tokens
                     .iter()
-                    .zip(&original)
+                    .zip(original)
                     .filter(|(t, _)| t.is_wildcard())
                     .map(|(_, tok)| (*tok).to_string())
                     .collect();
+                // A wildcard-heavy template can score below the similarity
+                // threshold against its *own* shape forever (wildcards
+                // don't count toward similarity), so this arm repeats for
+                // every line of such a shape. `intern` dedupes by pattern;
+                // only a genuinely new template or new leaf membership
+                // mutates state (and flushes the cache). The repeated
+                // no-mutation case is itself a pure match, so memoize it —
+                // without the dedupe, `groups` gains a duplicate id per
+                // line and the leaf scan above goes quadratic in stream
+                // length while every flush evicts all other shapes.
+                let before = self.store.len();
                 let gid = self.store.intern(tokens);
-                leaf.groups.push(gid);
-                self.cache.flush();
+                let is_new = self.store.len() > before;
+                if !leaf.groups.contains(&gid) {
+                    leaf.groups.push(gid);
+                    self.cache.flush();
+                } else if use_cache {
+                    self.cache
+                        .install(self.config.cache_capacity, masked, gid, &self.store);
+                }
                 ParseOutcome {
                     template: gid,
-                    is_new: true,
+                    is_new,
                     variables,
                 }
             }
         }
     }
+}
 
-    fn store(&self) -> &TemplateStore {
-        &self.store
-    }
-
-    fn kind(&self) -> ParserKind {
-        ParserKind::Drain
-    }
+/// Empty a recycled token buffer and erase its (now uninhabited) borrow
+/// lifetime so it can be stored back in the parser. Sound because the
+/// vector is cleared first: no `&'a str` values survive the cast.
+fn recycle_scratch(mut v: Vec<&str>) -> Vec<&'static str> {
+    v.clear();
+    let cap = v.capacity();
+    let ptr = v.as_mut_ptr();
+    std::mem::forget(v);
+    // SAFETY: same layout (`&str` is lifetime-erased, not re-typed), zero
+    // length, original capacity from the same allocation.
+    unsafe { Vec::from_raw_parts(ptr.cast::<&'static str>(), 0, cap) }
 }
 
 #[cfg(test)]
@@ -879,6 +943,43 @@ mod tests {
         // Variables come from *this* line, not the memoized one.
         assert_eq!(out.variables, vec!["7", "10.1.1.1", "/10.2.2.2"]);
         assert!(!out.is_new);
+    }
+
+    #[test]
+    fn below_threshold_shape_memoizes_instead_of_duplicating() {
+        // A 3-token shape with one static token can never reach the 0.4
+        // similarity threshold against its own template (wildcards score
+        // zero), so every line of it lands in the no-match arm. That arm
+        // must dedupe against the existing template — not mint a
+        // "new" template per line, grow the leaf's group list, and flush
+        // the cache for every other shape (the quadratic pathology this
+        // guards against).
+        let mut d = drain();
+        let a = d.parse("allocateBlock: /user/data/part-1 blk_1");
+        assert!(a.is_new, "first sighting mints the template");
+        let b = d.parse("allocateBlock: /user/data/part-2 blk_2");
+        assert_eq!(b.template, a.template);
+        assert!(!b.is_new, "the template already existed");
+        assert_eq!(b.variables, vec!["/user/data/part-2", "blk_2"]);
+        // The repeated no-mutation outcome is itself memoized: the third
+        // line is a cache hit, which also proves the second line did not
+        // mutate parser state (any mutation would have flushed).
+        let c = d.parse("allocateBlock: /user/data/part-3 blk_3");
+        assert!(d.last_parse_cache_hit(), "repeat shape must hit the cache");
+        assert_eq!(c.template, a.template);
+        assert_eq!(c.variables, vec!["/user/data/part-3", "blk_3"]);
+        // An unrelated stable shape keeps its cache entry across the
+        // repeats (the old behavior flushed the whole cache per line).
+        // Minting the Sending template flushes once, so the next
+        // allocateBlock line re-installs its entry — it must do so
+        // *without* flushing the Sending entry.
+        d.parse("Sending 10 bytes src: 10.0.0.1 dest: /10.0.0.2");
+        d.parse("Sending 11 bytes src: 10.0.0.3 dest: /10.0.0.4");
+        let len_before = d.cache_len();
+        d.parse("allocateBlock: /user/data/part-4 blk_4");
+        assert_eq!(d.cache_len(), len_before + 1, "install, not flush");
+        d.parse("Sending 12 bytes src: 10.0.0.5 dest: /10.0.0.6");
+        assert!(d.last_parse_cache_hit(), "unrelated entry survived");
     }
 
     #[test]

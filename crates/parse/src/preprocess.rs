@@ -11,6 +11,9 @@
 //! scanners rather than regexes: they run per token on the hot path of
 //! every parser.
 
+pub use monilog_model::tokenize::TokenSpan;
+
+use monilog_model::tokenize::token_spans_into;
 use serde::{Deserialize, Serialize};
 
 /// Which token classes to mask to `<*>` before template matching.
@@ -90,26 +93,68 @@ impl Preprocessor {
     }
 
     /// Should this token be treated as a variable?
+    ///
+    /// One byte-class prescan gates the recognizer chain: every recognizer
+    /// structurally requires a digit, a `=`, or a leading `/` (independent
+    /// of [`MaskConfig`] — see each recognizer's definition), so the
+    /// typical static token ("Receiving", "src:") is rejected in a single
+    /// pass instead of six scans. This runs once per token per line.
     pub fn is_variable(&self, token: &str) -> bool {
+        let mut has_digit = false;
+        let mut has_eq = false;
+        for &b in token.as_bytes() {
+            match b {
+                b'0'..=b'9' => has_digit = true,
+                b'=' => has_eq = true,
+                _ => {}
+            }
+        }
+        let leading_slash = token.as_bytes().first() == Some(&b'/');
+        if !has_digit && !has_eq && !leading_slash {
+            return false;
+        }
         let c = &self.config;
-        (c.numbers && is_number(token))
-            || (c.ipv4 && is_ipv4ish(token))
-            || (c.hex_ids && is_hex_id(token))
-            || (c.paths && is_path(token))
-            || (c.key_values && is_key_value(token))
-            || (c.id_tokens && is_id_token(token))
-            || (c.digit_tokens && token.bytes().any(|b| b.is_ascii_digit()))
+        (c.numbers && has_digit && is_number(token))
+            || (c.ipv4 && has_digit && is_ipv4ish(token))
+            || (c.hex_ids && has_digit && is_hex_id(token))
+            || (c.paths && leading_slash && is_path(token))
+            || (c.key_values && has_eq && is_key_value(token))
+            || (c.id_tokens && has_digit && is_id_token(token))
+            || (c.digit_tokens && has_digit)
     }
 
     /// Tokenize and mask a message: variable-looking tokens become `<*>`.
     /// Returns `(masked tokens, original tokens)`.
     pub fn mask<'a>(&self, message: &'a str) -> (Vec<&'a str>, Vec<&'a str>) {
-        let original: Vec<&str> = message.split_whitespace().collect();
-        let masked = original
-            .iter()
-            .map(|t| if self.is_variable(t) { "<*>" } else { *t })
-            .collect();
+        let mut spans = Vec::new();
+        let mut masked = Vec::new();
+        let mut original = Vec::new();
+        self.mask_into(message, &mut spans, &mut masked, &mut original);
         (masked, original)
+    }
+
+    /// Allocation-free masking for the parse hot path: tokenizes with the
+    /// SWAR span scanner and fills caller-owned buffers (cleared first),
+    /// so a parser that recycles them does zero tokenization allocations
+    /// per line in the steady state. Equivalent to [`Preprocessor::mask`]
+    /// by construction (`mask` delegates here).
+    pub fn mask_into<'a>(
+        &self,
+        message: &'a str,
+        spans: &mut Vec<TokenSpan>,
+        masked: &mut Vec<&'a str>,
+        original: &mut Vec<&'a str>,
+    ) {
+        token_spans_into(message, spans);
+        masked.clear();
+        original.clear();
+        masked.reserve(spans.len());
+        original.reserve(spans.len());
+        for &(start, end) in spans.iter() {
+            let tok = &message[start as usize..end as usize];
+            original.push(tok);
+            masked.push(if self.is_variable(tok) { "<*>" } else { tok });
+        }
     }
 }
 

@@ -20,8 +20,13 @@
 //!   overload policies.
 //! - [`chaos`] — deterministic fault injection (worker kills, poison
 //!   lines, transient faults) for testing the supervisor's guarantees.
-//! - [`config`] — typed configuration errors and the overload-policy
-//!   vocabulary shared with the CLI.
+//! - [`ring`] — single-producer/single-consumer rings with a batched
+//!   doorbell, the router→shard transport inside [`service`].
+//! - [`affinity`] — best-effort thread-per-core pinning for shard
+//!   workers.
+//! - [`config`] — typed configuration errors, router batch tuning
+//!   ([`config::BatchConfig`]), and the overload-policy vocabulary shared
+//!   with the CLI.
 //! - [`durable`] — the write-ahead ingest journal, atomic generational
 //!   checkpoints, the persistent dead-letter log, and shutdown
 //!   signalling: crash recovery across process restarts.
@@ -39,6 +44,7 @@
 //!   LF and octet-counting framing), HTTP bulk ingest, and checkpointed
 //!   file tailing, all with backpressure into the bounded ingest queue.
 
+pub mod affinity;
 pub mod chaos;
 pub mod config;
 pub mod durable;
@@ -49,6 +55,7 @@ pub mod net;
 pub mod observe;
 pub mod partition;
 pub mod pipeline;
+pub mod ring;
 pub mod service;
 pub mod sinks;
 pub mod sources;
@@ -59,7 +66,7 @@ pub use chaos::{
     FaultContext, FaultInjector, FaultPlan, FlakySourceClient, SourceChaosStats, SourceFault,
     WorkerKill,
 };
-pub use config::{ConfigError, OverloadPolicy, RetryPolicy};
+pub use config::{BatchConfig, ConfigError, OverloadPolicy, RetryPolicy};
 pub use durable::{
     install_shutdown_handler, shutdown_requested, CheckpointStore, DeadLetterLog, DurabilityError,
     Journal, JournalConfig, LoadedCheckpoint,
@@ -88,8 +95,10 @@ pub use trace::{
     SpanRecord, SpanStage, TraceConfig, Tracer, DEFAULT_FLIGHT_CAPACITY, DEFAULT_SAMPLE_RATE,
 };
 
+// `service::SubmitError` stays module-scoped: the lib root re-exports the
+// supervisor's richer `SubmitError` below, and the two must not collide.
 pub use service::{
-    ParsedItem, ShardedParseService, TrySubmitError, BATCH_FLUSH_INTERVAL, MAX_BATCH,
+    Item, ParsedItem, ShardedParseService, TrySubmitError, BATCH_FLUSH_INTERVAL, MAX_BATCH,
     SHARD_ID_STRIDE,
 };
 pub use supervisor::{

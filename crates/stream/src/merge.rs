@@ -72,12 +72,20 @@ impl<T> BoundedReorderBuffer<T> {
     /// watermark advance. (An equal-timestamp straggler arriving later is
     /// still emitted — output stays non-strictly sorted.)
     pub fn push(&mut self, ts: Timestamp, item: T) -> Vec<(Timestamp, T)> {
+        let mut out = Vec::new();
+        self.push_into(ts, item, &mut out);
+        out
+    }
+
+    /// Allocation-free [`BoundedReorderBuffer::push`]: releases are
+    /// appended to a caller-owned buffer, so the per-line release vector
+    /// can be recycled by a streaming caller. `out` is not cleared.
+    pub fn push_into(&mut self, ts: Timestamp, item: T, out: &mut Vec<(Timestamp, T)>) {
         self.max_seen = self.max_seen.max(ts);
         self.heap.push(Reverse((ts, self.tie, HeapItem(item))));
         self.tie += 1;
         let watermark =
             Timestamp::from_millis(self.max_seen.as_millis().saturating_sub(self.bound_ms));
-        let mut out = Vec::new();
         while let Some(Reverse((t, _, _))) = self.heap.peek() {
             if *t > watermark {
                 break;
@@ -85,7 +93,6 @@ impl<T> BoundedReorderBuffer<T> {
             let Reverse((t, _, HeapItem(v))) = self.heap.pop().expect("peeked");
             out.push((t, v));
         }
-        out
     }
 
     /// Drain everything left (end of stream), in timestamp order.
@@ -133,11 +140,40 @@ impl<T: Clone> BoundedReorderBuffer<T> {
     }
 }
 
+/// Multiply-xor hasher for the dedup key set. The keys are fixed-width
+/// `(SourceId, u64)` pairs from trusted transport metadata, not
+/// attacker-chosen strings, so SipHash's flooding resistance buys nothing
+/// on this per-line probe.
+#[derive(Debug, Default, Clone)]
+struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type KeyBuild = std::hash::BuildHasherDefault<KeyHasher>;
+
 /// Sliding-window duplicate suppression by `(source, seq)`.
 #[derive(Debug)]
 pub struct DedupFilter {
     window: usize,
-    seen: HashSet<(SourceId, u64)>,
+    seen: HashSet<(SourceId, u64), KeyBuild>,
     order: VecDeque<(SourceId, u64)>,
 }
 
@@ -147,7 +183,7 @@ impl DedupFilter {
         assert!(window >= 1);
         DedupFilter {
             window,
-            seen: HashSet::new(),
+            seen: HashSet::default(),
             order: VecDeque::new(),
         }
     }

@@ -7,23 +7,33 @@
 //! ingestion side must block rather than buffer unboundedly.
 //!
 //! [`ShardedParseService`] spawns one router thread plus one Drain worker
-//! per shard, all connected by bounded crossbeam channels:
+//! per shard. The caller-facing input queue and the fan-in output queue
+//! are bounded crossbeam channels (many producers / many consumers); the
+//! router→worker hop — exactly one producer and one consumer per shard —
+//! is a [`crate::ring`] SPSC ring with a batched doorbell:
 //!
 //! ```text
-//!  submit_batch() ─▶ [input q] ─▶ router ─▶ [shard q]×N ─▶ workers ─▶ [output q] ─▶ recv()
+//!  submit_batch() ─▶ [input q] ─▶ router ─▶ (spsc ring)×N ─▶ workers ─▶ [output q] ─▶ recv()
 //! ```
+//!
+//! Workers are pinned thread-per-core (best effort, shard *i* → core *i*
+//! mod cores; see [`crate::affinity`]) so each shard's Drain tree and
+//! match cache stay resident in one core's cache.
 //!
 //! ## Batched transport
 //!
-//! Every channel slot carries a *batch* (`Vec` of items), not a single
-//! line. [`ShardedParseService::submit_batch`] moves a whole chunk through
+//! Every queue slot carries a *batch* (`Vec` of items), not a single
+//! line, and items carry [`ByteLine`]s — views into arrival buffers — so
+//! a batch hop moves 24-byte handles, never the text itself.
+//! [`ShardedParseService::submit_batch`] moves a whole chunk through
 //! the input queue in one send; the router routes each line with the
 //! load-balanced sticky [`BalancedRouter`] and accumulates per-shard
 //! buffers, flushing a buffer to its shard when it reaches the batch
 //! target or when the input has been idle past the flush deadline
-//! ([`BATCH_FLUSH_INTERVAL`]). The per-line channel cost (send/recv
-//! synchronization, wakeups) is amortized across the batch — the dominant
-//! win measured by `exp_d3` live-mode throughput.
+//! (defaults [`MAX_BATCH`]/[`BATCH_FLUSH_INTERVAL`], tunable via
+//! [`BatchConfig`] / `--batch-lines` / `--batch-deadline-ms`). The
+//! per-line transfer cost (synchronization, wakeups) is amortized across
+//! the batch — the dominant win measured by `exp_d3` live-mode throughput.
 //!
 //! Latency accounting splits the old "parse" timer in two:
 //! [`Stage::ParseQueueWait`] is the time a batch sat between admission and
@@ -37,10 +47,13 @@
 //! unordered across shards; callers that need global order reorder by the
 //! submitted sequence number (e.g. via [`crate::merge::BoundedReorderBuffer`]).
 
+use crate::config::BatchConfig;
 use crate::metrics::PipelineMetrics;
 use crate::observe::{MetricsRegistry, ShardGauges, Stage};
+use crate::ring::{self, Producer};
 use crate::trace::{SpanRecord, SpanStage, Tracer};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use monilog_model::ByteLine;
 use monilog_parse::{BalancedRouter, Drain, DrainConfig, OnlineParser, ParseOutcome};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -50,7 +63,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// An item flowing through the service: caller-chosen sequence tag + line.
-type Item = (u64, String);
+/// The line is a [`ByteLine`] view into its arrival buffer, so moving an
+/// item between threads never copies the text.
+pub type Item = (u64, ByteLine);
 
 /// A batch admitted into the service, stamped at submit time.
 #[derive(Debug)]
@@ -89,6 +104,28 @@ pub const MAX_BATCH: usize = 64;
 /// How long the router lets partial shard buffers sit when the input is
 /// idle before flushing them — the latency cost ceiling of batching.
 pub const BATCH_FLUSH_INTERVAL: Duration = Duration::from_millis(1);
+
+/// The error [`ShardedParseService::submit`]/[`submit_batch`] return: the
+/// blocking APIs only fail once the service can no longer accept input.
+/// (`submit_batch` consumed the items by then — use the non-blocking
+/// [`ShardedParseService::try_submit_batch`] to get rejected items back.)
+///
+/// [`submit_batch`]: ShardedParseService::submit_batch
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// [`ShardedParseService::close`] was called, or the router is gone.
+    Closed,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Closed => f.write_str("service input already closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// A rejected non-blocking submission. The items are handed back intact —
 /// the caller decides whether to spill, retry, or shed; the service never
@@ -177,10 +214,31 @@ impl ShardedParseService {
         registry: Arc<MetricsRegistry>,
         tracer: Option<Arc<Tracer>>,
     ) -> Result<Self, crate::config::ConfigError> {
+        Self::spawn_tuned(
+            n_shards,
+            drain,
+            capacity,
+            registry,
+            tracer,
+            BatchConfig::default(),
+        )
+    }
+
+    /// Full-control spawn: like [`Self::spawn_with_tracer`] plus the
+    /// router's batch-flush tuning and worker pinning ([`BatchConfig`],
+    /// surfaced on the CLI as `--batch-lines` / `--batch-deadline-ms`).
+    pub fn spawn_tuned(
+        n_shards: usize,
+        drain: DrainConfig,
+        capacity: usize,
+        registry: Arc<MetricsRegistry>,
+        tracer: Option<Arc<Tracer>>,
+        batch: BatchConfig,
+    ) -> Result<Self, crate::config::ConfigError> {
         if n_shards == 0 {
             return Err(crate::config::ConfigError::ZeroShards);
         }
-        if capacity == 0 {
+        if capacity == 0 || batch.max_lines == 0 {
             return Err(crate::config::ConfigError::ZeroCapacity);
         }
         if registry.n_shards() < n_shards {
@@ -193,15 +251,20 @@ impl ShardedParseService {
         let mut shard_txs = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
         for shard in 0..n_shards {
-            let (tx, rx) = bounded::<ShardBatch>(capacity);
+            let (tx, rx) = ring::spsc::<ShardBatch>(capacity);
             shard_txs.push(tx);
             let out = output_tx.clone();
             let reg = Arc::clone(&registry);
             let tracer = Arc::clone(&tracer);
+            let pin = batch.pin_workers;
             workers.push(std::thread::spawn(move || {
+                if pin {
+                    // Thread-per-core: best effort, never fatal.
+                    crate::affinity::pin_current_thread(shard);
+                }
                 let mut parser = Drain::new(drain);
                 let (mut seen_hits, mut seen_misses) = (0u64, 0u64);
-                while let Ok(ShardBatch { enqueued, items }) = rx.recv() {
+                while let Some(ShardBatch { enqueued, items }) = rx.pop() {
                     let wait_ns = enqueued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                     reg.stage(Stage::ParseQueueWait)
                         .record_ns_n(wait_ns, items.len() as u64);
@@ -261,14 +324,15 @@ impl ShardedParseService {
 
         let router = std::thread::spawn(move || {
             let mut router = BalancedRouter::new(n_shards);
-            let max_batch = MAX_BATCH.min(capacity);
+            let max_batch = batch.max_lines.min(capacity);
+            let flush_interval = batch.deadline;
             // Per-shard accumulation buffer + the submit stamp of its
             // oldest line.
             let mut bufs: Vec<(Option<Instant>, Vec<Item>)> =
                 (0..n_shards).map(|_| (None, Vec::new())).collect();
             let flush = |shard: usize,
                          bufs: &mut Vec<(Option<Instant>, Vec<Item>)>,
-                         shard_txs: &[Sender<ShardBatch>]|
+                         shard_txs: &[Producer<ShardBatch>]|
              -> bool {
                 let (stamp, buf) = &mut bufs[shard];
                 if buf.is_empty() {
@@ -278,10 +342,11 @@ impl ShardedParseService {
                     enqueued: stamp.take().unwrap_or_else(Instant::now),
                     items: std::mem::take(buf),
                 };
-                shard_txs[shard].send(batch).is_ok()
+                // One ring publish + one doorbell per flushed batch.
+                shard_txs[shard].push(batch).is_ok()
             };
             loop {
-                match input_rx.recv_timeout(BATCH_FLUSH_INTERVAL) {
+                match input_rx.recv_timeout(flush_interval) {
                     Ok(InBatch { submitted, items }) => {
                         for (seq, line) in items {
                             let shard = router.route(&line);
@@ -336,14 +401,14 @@ impl ShardedParseService {
 
     /// Submit a line; **blocks** when the pipeline is saturated (this is
     /// the backpressure contract). Errors only after [`Self::close`].
-    pub fn submit(&self, seq: u64, line: String) -> Result<(), String> {
-        self.submit_batch(vec![(seq, line)])
+    pub fn submit(&self, seq: u64, line: impl Into<ByteLine>) -> Result<(), SubmitError> {
+        self.submit_batch(vec![(seq, line.into())])
     }
 
     /// Submit a chunk of lines as one batch — one channel transfer instead
     /// of `items.len()`. **Blocks** when the pipeline is saturated. An
     /// empty batch is a no-op.
-    pub fn submit_batch(&self, items: Vec<Item>) -> Result<(), String> {
+    pub fn submit_batch(&self, items: Vec<Item>) -> Result<(), SubmitError> {
         if items.is_empty() {
             return Ok(());
         }
@@ -354,18 +419,18 @@ impl ShardedParseService {
                     submitted: Instant::now(),
                     items,
                 })
-                .map_err(|e| e.to_string())?;
+                .map_err(|_| SubmitError::Closed)?;
                 self.note_batch(len);
                 Ok(())
             }
-            None => Err("service input already closed".to_string()),
+            None => Err(SubmitError::Closed),
         }
     }
 
     /// Non-blocking submit; the rejected line comes back intact inside the
     /// error — what a collector uses to shed or spill instead of stalling.
-    pub fn try_submit(&self, seq: u64, line: String) -> Result<(), TrySubmitError> {
-        self.try_submit_batch(vec![(seq, line)])
+    pub fn try_submit(&self, seq: u64, line: impl Into<ByteLine>) -> Result<(), TrySubmitError> {
+        self.try_submit_batch(vec![(seq, line.into())])
     }
 
     /// Non-blocking batch submit. On saturation or shutdown the whole
@@ -550,7 +615,7 @@ mod tests {
                             let items: Vec<Item> = chunk
                                 .iter()
                                 .enumerate()
-                                .map(|(i, m)| ((b * 17 + i) as u64, m.clone()))
+                                .map(|(i, m)| ((b * 17 + i) as u64, m.clone().into()))
                                 .collect();
                             svc.submit_batch(items).expect("accepts");
                         }
@@ -668,11 +733,11 @@ mod tests {
         let service =
             ShardedParseService::spawn(1, DrainConfig::default(), 1).expect("valid config");
         let probe: Vec<Item> = (0..4)
-            .map(|i| (1_000 + i, format!("probe payload {i}")))
+            .map(|i| (1_000 + i, format!("probe payload {i}").into()))
             .collect();
         let mut seq = 0u64;
         loop {
-            match service.try_submit_batch(vec![(seq, format!("filler {seq}"))]) {
+            match service.try_submit_batch(vec![(seq, format!("filler {seq}").into())]) {
                 Ok(()) => seq += 1,
                 Err(_) => break,
             }
@@ -785,7 +850,7 @@ mod tests {
         let mut service =
             ShardedParseService::spawn(1, DrainConfig::default(), 4).expect("valid config");
         service.close();
-        assert!(service.submit(0, "line".into()).is_err());
-        assert!(service.try_submit(0, "line".into()).is_err());
+        assert!(service.submit(0, "line").is_err());
+        assert!(service.try_submit(0, "line").is_err());
     }
 }

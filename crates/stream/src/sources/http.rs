@@ -10,6 +10,7 @@
 use super::{Shared, SourceEvent, HTTP_SOURCE};
 use crate::metrics::PipelineMetrics;
 use crate::net::{AsLoopFd, Handler, Interest, LoopCtx, Next};
+use monilog_model::ByteLine;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -79,7 +80,7 @@ struct IngestConn {
     body: Vec<u8>,
     out: Vec<u8>,
     /// Lines parsed from an accepted body, not yet in the queue.
-    pending: VecDeque<String>,
+    pending: VecDeque<ByteLine>,
     accepted: usize,
     opened: Instant,
 }
@@ -203,12 +204,15 @@ impl IngestConn {
     /// Body is complete: admission-check the whole batch, then enqueue.
     fn on_body(&mut self) {
         let body = std::mem::take(&mut self.body);
-        let text = String::from_utf8_lossy(&body);
-        let lines: Vec<String> = text
+        // The whole body becomes one refcounted arrival buffer; each line is
+        // a sub-slice sharing it — no per-line allocation. (Invalid UTF-8 is
+        // lossy-repaired once, inside `from_bytes`.)
+        let body = ByteLine::from_bytes(body.into());
+        let lines: Vec<ByteLine> = body
             .lines()
             .map(str::trim_end)
             .filter(|l| !l.is_empty())
-            .map(str::to_string)
+            .map(|l| body.slice_of(l))
             .collect();
         if lines.len() > self.shared.tx.free() {
             self.reject(
@@ -220,7 +224,7 @@ impl IngestConn {
             return;
         }
         self.accepted = lines.len();
-        self.pending = lines.into();
+        self.pending = VecDeque::from(lines);
         if self.flush_lines() {
             self.finish_accept();
         }

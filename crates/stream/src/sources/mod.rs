@@ -46,6 +46,7 @@ use crate::net::{AsLoopFd, EventLoop, Handler, Interest, LoopCtx, Next};
 use crate::observe::MetricsRegistry;
 use crate::supervisor::{DeadLetter, FailureReason};
 use crate::trace::Tracer;
+use monilog_model::ByteLine;
 use monilog_model::SourceId;
 use std::collections::VecDeque;
 use std::io::{self, Read};
@@ -76,7 +77,9 @@ pub struct SourceEvent {
     pub source: SourceId,
     /// The payload line (for syslog: the MSG field, so network-fed and
     /// file-fed ingestion of the same corpus are byte-identical).
-    pub line: String,
+    /// Arena-backed: the consumer journals and submits it without
+    /// re-allocating; `String` materializes only at the dead-letter edge.
+    pub line: ByteLine,
     /// For tail lines: `(tail index, cursor after this line)` — persist it
     /// alongside the journal seq to resume the tail after a restart.
     pub cursor: Option<(usize, TailCursor)>,
@@ -240,14 +243,14 @@ impl Shared {
         }
     }
 
-    fn quarantine(&self, line: String) {
+    fn quarantine(&self, line: ByteLine) {
         PipelineMetrics::add(&self.metrics.sources_dead_lettered, 1);
         if let Some(dlq) = &self.dlq {
             let seq = self.dlq_seq.fetch_add(1, Ordering::SeqCst) as u64;
             let _ = dlq.append(&[DeadLetter {
                 seq: u64::MAX - seq,
                 shard: None,
-                line,
+                line: line.into_string(),
                 reason: FailureReason::Overload,
                 attempts: 0,
             }]);
@@ -435,7 +438,7 @@ struct SyslogConn {
     buf: Vec<u8>,
     decoder: FrameDecoder,
     /// Lines decoded but not yet accepted by the queue (Block policy).
-    pending: VecDeque<String>,
+    pending: VecDeque<ByteLine>,
     last_activity: Instant,
     paused: bool,
     eof: bool,
@@ -482,7 +485,7 @@ impl SyslogConn {
 
     fn ingest_frames(&mut self, frames: Vec<String>) {
         for line in frames {
-            let msg = parse_syslog(&line, self.shared.assumed_year).msg;
+            let msg = ByteLine::from_string(parse_syslog(&line, self.shared.assumed_year).msg);
             if self.paused {
                 self.pending.push_back(msg);
                 continue;
@@ -606,7 +609,7 @@ impl Handler for SyslogUdp {
                     let msg = parse_syslog(trimmed, self.shared.assumed_year).msg;
                     let ev = SourceEvent {
                         source: SYSLOG_UDP_SOURCE,
-                        line: msg,
+                        line: msg.into(),
                         cursor: None,
                     };
                     // can_pause=false: dropping is UDP's only overload move.
@@ -675,7 +678,7 @@ mod tests {
 
         let mut lines: Vec<String> = drain_for(&queue, 3, 5)
             .into_iter()
-            .map(|e| e.line)
+            .map(|e| e.line.into_string())
             .collect();
         lines.sort();
         assert_eq!(lines, vec!["first line", "plain second line", "third line"]);

@@ -17,6 +17,7 @@
 
 use super::{Shared, SourceEvent, TAIL_SOURCE_BASE};
 use crate::net::{Handler, Interest, LoopCtx, Next};
+use monilog_model::ByteLine;
 use monilog_model::SourceId;
 use std::collections::VecDeque;
 use std::fs::File;
@@ -88,7 +89,7 @@ pub(super) struct FileTailHandler {
     resume: Option<TailCursor>,
     /// Lines decoded but refused by a full queue (Block policy): the tail
     /// simply stops reading until these drain.
-    pending: VecDeque<(String, TailCursor)>,
+    pending: VecDeque<(ByteLine, TailCursor)>,
 }
 
 impl FileTailHandler {
@@ -264,7 +265,9 @@ impl FileTailHandler {
                 crate::metrics::PipelineMetrics::add(&self.shared.metrics.sources_frame_errors, 1);
                 continue;
             }
-            let line = String::from_utf8_lossy(&self.partial[start..end]).into_owned();
+            let line = ByteLine::from_string(
+                String::from_utf8_lossy(&self.partial[start..end]).into_owned(),
+            );
             let cursor = TailCursor {
                 inode: self.inode,
                 offset: self.line_offset,

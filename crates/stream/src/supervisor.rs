@@ -53,7 +53,7 @@ use crate::trace::{SpanStage, Tracer};
 use crossbeam::channel::{
     bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
 };
-use monilog_model::{TemplateId, TemplateStore, TraceId};
+use monilog_model::{ByteLine, TemplateId, TemplateStore, TraceId};
 use monilog_parse::{BalancedRouter, Drain, DrainConfig, OnlineParser, ParseOutcome};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -68,7 +68,7 @@ use std::time::{Duration, Instant};
 /// shard's `shard * SHARD_ID_STRIDE + local` namespace.
 pub const CATCH_ALL_TEMPLATE_ID: u32 = u32::MAX;
 
-type Item = (u64, String);
+type Item = (u64, ByteLine);
 
 /// A batch admitted into the service, stamped at submit time. One input
 /// queue slot per batch: `submit_batch` moves a whole chunk with a single
@@ -160,6 +160,9 @@ pub struct DeadLetter {
     /// The shard that was handling the line; `None` when it never entered
     /// the pipeline (overload diversion happens before routing).
     pub shard: Option<usize>,
+    /// Materialized from the arena-backed line at quarantine time: dead
+    /// letters outlive arrival buffers (they are persisted and replayed),
+    /// so they own their bytes.
     pub line: String,
     pub reason: FailureReason,
     /// Parse attempts made (0 when the line was never attempted).
@@ -401,8 +404,12 @@ impl SupervisedParseService {
 
     /// Submit a line; saturation behaviour follows the configured
     /// [`OverloadPolicy`].
-    pub fn submit(&self, seq: u64, line: String) -> Result<SubmitOutcome, SubmitError> {
-        self.submit_batch(vec![(seq, line)])
+    pub fn submit(
+        &self,
+        seq: u64,
+        line: impl Into<ByteLine>,
+    ) -> Result<SubmitOutcome, SubmitError> {
+        self.submit_batch(vec![(seq, line.into())])
     }
 
     /// Submit a chunk of lines as one batch — one channel transfer, one
@@ -456,7 +463,7 @@ impl SupervisedParseService {
                         self.shared.push_dead_letter(DeadLetter {
                             seq,
                             shard: None,
-                            line,
+                            line: line.into_string(),
                             reason: FailureReason::Overload,
                             attempts: 0,
                         });
@@ -638,7 +645,7 @@ fn run_worker(
                 shared.push_dead_letter(DeadLetter {
                     seq,
                     shard: Some(shard),
-                    line,
+                    line: line.into_string(),
                     reason: FailureReason::WorkerCrash,
                     attempts: 0,
                 });
@@ -746,7 +753,7 @@ fn worker_loop(
                         shared.push_dead_letter(DeadLetter {
                             seq,
                             shard: Some(shard),
-                            line,
+                            line: line.into_string(),
                             reason: FailureReason::Panic,
                             attempts,
                         });
@@ -1305,7 +1312,7 @@ mod tests {
                     let items: Vec<Item> = chunk
                         .iter()
                         .enumerate()
-                        .map(|(i, l)| ((b * 9 + i) as u64, l.clone()))
+                        .map(|(i, l)| ((b * 9 + i) as u64, l.clone().into()))
                         .collect();
                     assert_eq!(
                         service.submit_batch(items).expect("submit"),
@@ -1351,7 +1358,7 @@ mod tests {
         }
         let before = service.dead_letter_count();
         let batch: Vec<Item> = (0..5)
-            .map(|j| (9_000 + j, format!("batched {j}")))
+            .map(|j| (9_000 + j, format!("batched {j}").into()))
             .collect();
         assert_eq!(
             service.submit_batch(batch).expect("ok"),

@@ -20,7 +20,7 @@ fn main() {
         ..CloudWorkloadConfig::default()
     })
     .generate();
-    let lines: Vec<String> = logs.iter().map(|l| l.record.message.clone()).collect();
+    let lines: Vec<String> = logs.iter().map(|l| l.record.message.to_string()).collect();
     println!(
         "workload: {} lines from a 24-source cloud platform",
         lines.len()

@@ -35,7 +35,7 @@ fn corpus(n: usize, seed: u64) -> Vec<String> {
     .generate();
     logs.iter()
         .take(n)
-        .map(|l| l.record.message.clone())
+        .map(|l| l.record.message.to_string())
         .collect()
 }
 

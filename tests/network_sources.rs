@@ -7,7 +7,7 @@ use monilog_core::cli::{run, CliCommand, DurableOptions, HeaderChoice, SourcesOp
 use monilog_core::{FaultToleranceConfig, ObservabilityConfig};
 use monilog_loggen::{GenLog, HdfsWorkload, HdfsWorkloadConfig};
 use monilog_stream::sources::parse_syslog;
-use monilog_stream::{FrameDecoder, SourcesConfig, SourcesServer};
+use monilog_stream::{BatchConfig, FrameDecoder, SourcesConfig, SourcesServer};
 use proptest::prelude::*;
 use std::io::Write as _;
 use std::net::TcpStream;
@@ -47,6 +47,7 @@ fn train_checkpoint(dir: &Path) -> PathBuf {
         checkpoint: ckpt.to_string_lossy().into_owned(),
         format: HeaderChoice::Dash,
         fault: FaultToleranceConfig::default(),
+        batch: BatchConfig::default(),
         observability: ObservabilityConfig::default(),
         trace_out: None,
     })
@@ -141,6 +142,7 @@ fn syslog_fed_monitor_matches_file_fed_reference() {
         checkpoint: ckpt.to_string_lossy().into_owned(),
         format: HeaderChoice::Dash,
         fault: FaultToleranceConfig::default(),
+        batch: BatchConfig::default(),
         observability: ObservabilityConfig::default(),
         trace_out: None,
         durable: Some(durable_opts(&ref_state)),
@@ -162,6 +164,7 @@ fn syslog_fed_monitor_matches_file_fed_reference() {
         checkpoint: ckpt.to_string_lossy().into_owned(),
         format: HeaderChoice::Dash,
         fault: FaultToleranceConfig::default(),
+        batch: BatchConfig::default(),
         observability: ObservabilityConfig::default(),
         trace_out: None,
         durable: Some(durable_opts(&net_state)),
@@ -248,7 +251,7 @@ fn source_queue_feeds_submit_batch() {
         if batch.is_empty() {
             continue;
         }
-        let items: Vec<(u64, String)> = batch
+        let items: Vec<(u64, monilog_model::ByteLine)> = batch
             .into_iter()
             .map(|ev| {
                 submitted += 1;

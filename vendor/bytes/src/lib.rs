@@ -1,11 +1,152 @@
 //! Offline vendored subset of the `bytes` crate.
 //!
 //! The build environment has no network access to crates.io, so the
-//! workspace vendors the narrow slice of the `bytes` API that
-//! `monilog-model::codec` actually uses: sequential little-endian reads
-//! over `&[u8]` ([`Buf`]) and appends onto `Vec<u8>` ([`BufMut`]).
+//! workspace vendors the narrow slice of the `bytes` API that the
+//! workspace actually uses: sequential little-endian reads over `&[u8]`
+//! ([`Buf`]), appends onto `Vec<u8>` ([`BufMut`]), and the refcounted
+//! shared-buffer type ([`Bytes`]) that backs the zero-copy ingest path.
 //! Semantics match the real crate for that subset (advancing cursors,
-//! panics on under-run — the codec guards with `remaining()` first).
+//! panics on under-run — the codec guards with `remaining()` first;
+//! cheap `Bytes::clone`/`slice` sharing one allocation).
+
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable view into a refcounted byte buffer.
+///
+/// Mirrors `bytes::Bytes` for the operations the workspace needs: a line
+/// read off a socket / file / WAL segment is wrapped once, and every
+/// sub-slice (`slice`, `slice_ref`) shares the same allocation instead of
+/// copying. Unlike the real crate this is backed by `Arc<Vec<u8>>` (no
+/// vtable tricks), which keeps `From<Vec<u8>>` copy-free.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation shared).
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copy `data` into a fresh refcounted buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view of this buffer sharing the same allocation.
+    ///
+    /// Panics if the range is out of bounds (matching the real crate).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// The sub-view corresponding to `subset`, which must point into this
+    /// buffer (same allocation, in range). Shares the allocation.
+    pub fn slice_ref(&self, subset: &[u8]) -> Bytes {
+        if subset.is_empty() {
+            return Bytes::new();
+        }
+        let base = self.as_ref().as_ptr() as usize;
+        let sub = subset.as_ptr() as usize;
+        assert!(
+            sub >= base && sub + subset.len() <= base + self.len(),
+            "slice_ref: subset is not within this buffer"
+        );
+        let lo = sub - base;
+        self.slice(lo..lo + subset.len())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"{}\"", self.escape_ascii())
+    }
+}
 
 /// Sequential read access to a contiguous byte cursor.
 pub trait Buf {
@@ -128,6 +269,59 @@ mod tests {
         r.copy_to_slice(&mut tail);
         assert_eq!(&tail, b"tail");
         assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn bytes_sharing_and_slicing() {
+        let b = Bytes::from(b"hello world".to_vec());
+        assert_eq!(b.len(), 11);
+        let hello = b.slice(..5);
+        let world = b.slice(6..);
+        assert_eq!(&hello[..], b"hello");
+        assert_eq!(&world[..], b"world");
+        // Clones and slices share the allocation.
+        assert!(std::ptr::eq(hello.as_ref().as_ptr(), b.as_ref().as_ptr()));
+        let again = world.slice(1..3);
+        assert_eq!(&again[..], b"or");
+        assert_eq!(b.slice(..), b);
+    }
+
+    #[test]
+    fn bytes_slice_ref_points_into_buffer() {
+        let b = Bytes::from(b"abc def".to_vec());
+        let sub = &b.as_ref()[4..];
+        let re = b.slice_ref(sub);
+        assert_eq!(&re[..], b"def");
+        assert_eq!(b.slice_ref(&[]).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice_ref")]
+    fn bytes_slice_ref_rejects_foreign_slices() {
+        let b = Bytes::from(b"abc".to_vec());
+        let other = [1u8, 2, 3];
+        let _ = b.slice_ref(&other);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bytes_slice_bounds_checked() {
+        let _ = Bytes::from(b"abc".to_vec()).slice(1..5);
+    }
+
+    #[test]
+    fn bytes_eq_hash_follow_contents() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = Bytes::from(b"xyz".to_vec());
+        let b = Bytes::from(b"__xyz__".to_vec()).slice(2..5);
+        assert_eq!(a, b);
+        let hash = |v: &Bytes| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
     }
 
     #[test]
