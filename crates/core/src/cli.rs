@@ -22,8 +22,13 @@ use monilog_detect::DeepLogConfig;
 use monilog_model::{Criticality, RawLog, SourceId};
 use monilog_parse::autotune::{autotune_drain, TuneGrid};
 use monilog_parse::{Drain, DrainConfig, OnlineParser};
-use monilog_stream::{BatchConfig, JournalConfig, MetricsExporter, OverloadPolicy};
+use monilog_stream::{
+    BatchConfig, BreakerState, ConfigSnapshot, JournalConfig, MetricsExporter, OpsState,
+    OverloadPolicy, PipelineMetrics, ReloadableConfig, ReportStore, StatusBoard, StatusInputs,
+    DEFAULT_LATENCY_BUDGET_MS, DEFAULT_REPORT_CAPACITY,
+};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// A parsed CLI invocation.
 // One value of this exists per process; variant size imbalance is moot.
@@ -109,6 +114,12 @@ pub struct DurableOptions {
     /// Outbound anomaly delivery (`--sink-http` / `--sink-tcp` and
     /// friends); `None` keeps reports local to `anomalies.jsonl`.
     pub sinks: Option<SinkOptions>,
+    /// Runtime config file re-read on SIGHUP (`--config-file`); only the
+    /// reloadable keys are accepted.
+    pub config_file: Option<String>,
+    /// Per-stage p99 budget that flips `/status` to degraded, in
+    /// milliseconds (`--latency-budget-ms`).
+    pub latency_budget_ms: u64,
 }
 
 /// Outbound delivery flags (`--sink-http`, `--sink-tcp`,
@@ -231,6 +242,20 @@ durability options (monitor):
   --journal-segment-bytes <n>            WAL segment rotation threshold
                                          (default 8388608)
 
+ops surface (monitor, requires --state-dir; rides the --metrics-addr
+listener — GET /status, /readyz, /reports, /reports/{id} and GET|POST
+/config serve live health, recent anomalies and hot config):
+  --config-file <path>                   runtime config re-read on SIGHUP
+                                         (key=value lines, reloadable keys
+                                         only: on-overload,
+                                         trace-sample-rate, page-at,
+                                         route-critical, batch-lines,
+                                         batch-deadline-ms,
+                                         sink-retry-max-ms); applied once
+                                         at startup when present
+  --latency-budget-ms <n>                per-stage p99 budget that flips
+                                         /status to degraded (default 250)
+
 delivery options (monitor, require --state-dir):
   --sink-http <url>                      POST anomaly reports (ndjson) to
                                          this webhook; healthchecked via
@@ -289,6 +314,8 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     let mut sinks_given = false;
     let mut sources = SourcesOptions::default();
     let mut batch = BatchConfig::default();
+    let mut config_file: Option<String> = None;
+    let mut latency_budget_ms = DEFAULT_LATENCY_BUDGET_MS;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -500,6 +527,25 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 };
                 sinks_given = true;
             }
+            "--config-file" => {
+                i += 1;
+                config_file = Some(args.get(i).ok_or("--config-file needs a path")?.clone());
+                durable_tuning_given = true;
+            }
+            "--latency-budget-ms" => {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or("--latency-budget-ms needs milliseconds")?;
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --latency-budget-ms {value:?}"))?;
+                if ms == 0 {
+                    return Err("--latency-budget-ms must be at least 1".to_string());
+                }
+                latency_budget_ms = ms;
+                durable_tuning_given = true;
+            }
             "--listen-syslog-tcp" => {
                 i += 1;
                 let value = args.get(i).ok_or("--listen-syslog-tcp needs host:port")?;
@@ -568,11 +614,13 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
             journal_fsync_ms,
             journal_segment_bytes,
             sinks: sinks_given.then_some(sinks),
+            config_file,
+            latency_budget_ms,
         }),
         None if durable_tuning_given => {
             return Err(
-                "--checkpoint-interval-ms / --journal-fsync-ms / --journal-segment-bytes \
-                 require --state-dir"
+                "--checkpoint-interval-ms / --journal-fsync-ms / --journal-segment-bytes / \
+                 --config-file / --latency-budget-ms require --state-dir"
                     .to_string(),
             );
         }
@@ -681,20 +729,25 @@ fn pipeline_config(
 fn spawn_exporter(
     monilog: &MoniLog,
     observability: ObservabilityConfig,
+    ops: Option<&OpsState>,
     out: &mut String,
 ) -> Result<Option<MetricsExporter>, String> {
     let Some(addr) = observability.metrics_addr else {
         return Ok(None);
     };
-    let exporter = MetricsExporter::spawn_with_tracer(
+    let exporter = MetricsExporter::spawn_with_ops(
         addr,
         monilog.registry(),
         std::time::Duration::from_millis(observability.metrics_interval_ms),
         Some(monilog.tracer()),
+        ops.map(|o| Arc::new(o.clone())),
     )
     .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
     let _ = writeln!(out, "metrics: http://{}/metrics", exporter.local_addr());
     let _ = writeln!(out, "flight:  http://{}/flight", exporter.local_addr());
+    if ops.is_some() {
+        let _ = writeln!(out, "ops:     http://{}/status", exporter.local_addr());
+    }
     Ok(Some(exporter))
 }
 
@@ -777,7 +830,7 @@ pub fn run(command: CliCommand) -> Result<String, String> {
             let mut config = pipeline_config(format, fault, batch);
             config.observability = observability;
             let mut monilog = MoniLog::new(config);
-            let _exporter = spawn_exporter(&monilog, observability, &mut out)?;
+            let _exporter = spawn_exporter(&monilog, observability, None, &mut out)?;
             for (i, line) in lines.iter().enumerate() {
                 monilog.ingest_training(&RawLog::new(SourceId(0), i as u64, line.clone()));
             }
@@ -822,7 +875,7 @@ pub fn run(command: CliCommand) -> Result<String, String> {
             }
             let mut monilog =
                 MoniLog::restore(config, &blob).map_err(|e| format!("invalid checkpoint: {e}"))?;
-            let _exporter = spawn_exporter(&monilog, observability, &mut out)?;
+            let _exporter = spawn_exporter(&monilog, observability, None, &mut out)?;
             let lines = read_lines(&logfile)?;
             let mut anomalies = Vec::new();
             // Live sequence numbers continue far past any training range.
@@ -952,6 +1005,213 @@ fn build_delivery(
     Ok(setup)
 }
 
+/// Write a small control file atomically (tmp + fsync + rename), the
+/// same discipline as the checkpoint manifest: a reader — human or
+/// harness — must never observe a half-written file.
+fn write_file_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let tmp = path.with_extension("tmp");
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+}
+
+/// The boot [`ConfigSnapshot`] (version 0): every reloadable key seeded
+/// from the equivalent CLI flag so `GET /config` reflects what the
+/// process actually started with.
+fn boot_snapshot(config: &MoniLogConfig, opts: &DurableOptions) -> ConfigSnapshot {
+    let mut snap = ConfigSnapshot {
+        on_overload: config.fault_tolerance.on_overload,
+        trace_sample_rate: config.observability.trace_sample_rate,
+        ..ConfigSnapshot::default()
+    };
+    if let Some(sinks) = &opts.sinks {
+        snap.page_at = sinks.page_at;
+        snap.route_critical = sinks.route_critical.clone();
+        snap.sink_retry_max_ms = sinks.retry_max_ms;
+    }
+    snap
+}
+
+/// Assemble the live operations surface for a durable monitor: the
+/// recent-reports ring (backfilled from `anomalies.jsonl`, then attached
+/// so the emit path keeps feeding it), the `/status` mailbox, and the
+/// hot-reloadable config with its audit trail.
+fn build_ops(
+    durable: &mut DurableMoniLog,
+    config: &MoniLogConfig,
+    opts: &DurableOptions,
+    out: &mut String,
+) -> Result<OpsDriver, String> {
+    let state_dir = std::path::Path::new(&opts.state_dir);
+    let reports = ReportStore::shared(DEFAULT_REPORT_CAPACITY);
+    // Backfill before attaching: record() dedups on ascending ids, so the
+    // durable record must be in the ring before live emits land on top.
+    let backfilled = reports
+        .backfill_from_file(&durable.anomalies_path())
+        .unwrap_or(0);
+    durable.attach_report_store(Arc::clone(&reports));
+    if backfilled > 0 {
+        let _ = writeln!(
+            out,
+            "ops: backfilled {backfilled} reports from durable record"
+        );
+    }
+    let reload = ReloadableConfig::shared(
+        boot_snapshot(config, opts),
+        Some(state_dir.join("config-audit.log")),
+        durable.pipeline().metrics(),
+    );
+    let ops = OpsState::new(reports, StatusBoard::shared(opts.latency_budget_ms), reload);
+    let driver = OpsDriver {
+        ops,
+        config_file: opts.config_file.clone().map(Into::into),
+        applied_version: 0,
+        boot_ticket_at: durable.router().ticket_at,
+        spilled_seen: 0,
+    };
+    // `--config-file` is the SIGHUP source of truth; honour it once at
+    // startup so a restart and a reload converge on the same config.
+    if let Some(path) = driver.config_file.clone() {
+        if path.exists() {
+            match driver.ops.reload.apply_file(&path) {
+                Ok(snap) => {
+                    let _ = writeln!(
+                        out,
+                        "ops: applied {} at startup (config version {})",
+                        path.display(),
+                        snap.version
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        out,
+                        "ops: ignored invalid config file {}: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
+    monilog_stream::install_reload_handler();
+    Ok(driver)
+}
+
+/// Per-batch glue between the reload surface and the live components:
+/// folds SIGHUP requests into the versioned config, pushes any new
+/// snapshot into the tracer / sources / router / delivery layer, and
+/// publishes fresh [`StatusInputs`] for `/status` and `/readyz`.
+struct OpsDriver {
+    ops: OpsState,
+    config_file: Option<std::path::PathBuf>,
+    /// Last snapshot version pushed into the live components.
+    applied_version: u64,
+    /// The boot ticket threshold; reapplied (clamped to `page_at`) on
+    /// every router swap so repeated reloads can't ratchet it down.
+    boot_ticket_at: Criticality,
+    /// reports_spilled high-water mark from the previous publish; a delta
+    /// means the delivery layer is actively spilling.
+    spilled_seen: u64,
+}
+
+impl OpsDriver {
+    /// Consume a pending SIGHUP (re-reading `--config-file`) and apply
+    /// the current snapshot if its version moved. Returns the snapshot in
+    /// force so the caller can use its batch shape.
+    fn poll_reload(
+        &mut self,
+        durable: &mut DurableMoniLog,
+        server: Option<&monilog_stream::SourcesServer>,
+        out: &mut String,
+    ) -> Arc<ConfigSnapshot> {
+        if monilog_stream::take_reload_request() {
+            match &self.config_file {
+                Some(path) => match self.ops.reload.apply_file(path) {
+                    Ok(snap) => {
+                        let _ = writeln!(
+                            out,
+                            "ops: SIGHUP applied {} (config version {})",
+                            path.display(),
+                            snap.version
+                        );
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "ops: SIGHUP reload rejected: {e}");
+                    }
+                },
+                None => {
+                    let _ = writeln!(out, "ops: SIGHUP ignored (no --config-file)");
+                }
+            }
+        }
+        let snap = self.ops.reload.current();
+        if snap.version != self.applied_version {
+            durable
+                .pipeline()
+                .tracer()
+                .set_sample_rate(snap.trace_sample_rate);
+            if let Some(server) = server {
+                server.set_overload_policy(snap.on_overload);
+            }
+            let mut router = *durable.router();
+            router.page_at = snap.page_at;
+            router.ticket_at = self.boot_ticket_at.min(snap.page_at);
+            durable.set_router(router);
+            if let Some(delivery) = durable.delivery() {
+                delivery.set_retry_max_ms(snap.sink_retry_max_ms);
+                // CLI route names: the http sink's route is "webhook".
+                let route = snap.route_critical.as_deref().map(|r| match r {
+                    "http" => "webhook",
+                    other => other,
+                });
+                if !delivery.set_page_route(route) {
+                    let _ = writeln!(
+                        out,
+                        "ops: route-critical {:?} names an unconfigured sink; \
+                         keeping current page route",
+                        snap.route_critical.as_deref().unwrap_or("none")
+                    );
+                }
+            }
+            self.applied_version = snap.version;
+        }
+        snap
+    }
+
+    /// Publish the health facts only this loop can see.
+    fn publish_status(&mut self, durable: &DurableMoniLog, queue_depth: u64) {
+        let metrics = durable.pipeline().metrics();
+        let spilled = PipelineMetrics::get(&metrics.reports_spilled);
+        let mut inputs = StatusInputs {
+            ingest_queue_depth: queue_depth,
+            delivery_spilling: spilled > self.spilled_seen,
+            checkpoint_generation: durable.generation(),
+            checkpoint_age_ms: durable.checkpoint_age_ms(),
+            wal_lag_bytes: durable.wal_lag_bytes(),
+            ..StatusInputs::default()
+        };
+        self.spilled_seen = spilled;
+        if let Some(delivery) = durable.delivery() {
+            inputs.delivery_pending_bytes = delivery.pending_bytes();
+            inputs.breakers = delivery
+                .breaker_states()
+                .into_iter()
+                .map(|(route, state)| {
+                    let name = match state {
+                        BreakerState::Closed => "closed",
+                        BreakerState::Open => "open",
+                        BreakerState::HalfOpen => "half-open",
+                    };
+                    (route, name.to_string())
+                })
+                .collect();
+        }
+        self.ops.status.publish(inputs);
+    }
+}
+
 /// The `--state-dir` monitor path: WAL-gated ingestion with crash
 /// recovery and SIGTERM/SIGINT graceful drain. The model checkpoint
 /// (`--checkpoint`) seeds the pipeline only on the first run against a
@@ -978,7 +1238,13 @@ fn run_durable_monitor(
         || MoniLog::restore(config, model_blob).map_err(|e| format!("invalid checkpoint: {e}")),
         delivery,
     )?;
-    let _exporter = spawn_exporter(durable.pipeline(), config.observability, out)?;
+    let mut ops = build_ops(&mut durable, &config, opts, out)?;
+    let _exporter = spawn_exporter(
+        durable.pipeline(),
+        config.observability,
+        Some(&ops.ops),
+        out,
+    )?;
     match stats.resumed_generation {
         Some(generation) => {
             let fallback_note = if stats.fell_back {
@@ -1011,14 +1277,22 @@ fn run_durable_monitor(
     }
     let mut drained = false;
     let mut processed = 0usize;
+    ops.publish_status(&durable, 0);
     for (i, line) in lines.iter().enumerate().skip(skip) {
         if monilog_stream::shutdown_requested() {
             drained = true;
             break;
         }
+        // Consult the hot config and refresh /status at batch granularity
+        // — cheap enough to never show up against per-line work.
+        if processed.is_multiple_of(512) {
+            ops.poll_reload(&mut durable, None, out);
+            ops.publish_status(&durable, 0);
+        }
         anomalies.extend(durable.ingest(&RawLog::new(SourceId(0), i as u64 + 1, line.clone()))?);
         processed += 1;
     }
+    ops.publish_status(&durable, 0);
     // Keep tracer/metrics handles: drain/finish consume the pipeline.
     let tracer = durable.pipeline().tracer();
     let metrics = durable.pipeline().metrics();
@@ -1030,7 +1304,6 @@ fn run_durable_monitor(
     };
     anomalies.extend(tail);
     if delivery_attached {
-        use monilog_stream::PipelineMetrics;
         let _ = writeln!(
             out,
             "delivery: {} accepted, {} delivered, {} retries, {} spilled locally",
@@ -1101,6 +1374,7 @@ fn run_sources_monitor(
         || MoniLog::restore(config, model_blob).map_err(|e| format!("invalid checkpoint: {e}")),
         delivery,
     )?;
+    let mut ops = build_ops(&mut durable, &config, opts, out)?;
     match stats.resumed_generation {
         Some(generation) => {
             let _ = writeln!(out, "recovery: resumed checkpoint generation {generation}");
@@ -1173,6 +1447,7 @@ fn run_sources_monitor(
             addr,
             interval: Duration::from_millis(config.observability.metrics_interval_ms),
             tracer: Some(durable.pipeline().tracer()),
+            ops: Some(Arc::new(ops.ops.clone())),
         });
     let (server, queue) =
         SourcesServer::spawn(sources_config, durable.pipeline().registry(), dlq, endpoint)
@@ -1193,7 +1468,7 @@ fn run_sources_monitor(
     if let Some(a) = server.metrics_addr() {
         let _ = writeln!(addrs, "metrics {a}");
     }
-    std::fs::write(state_dir.join("listen-addrs"), &addrs)
+    write_file_atomic(&state_dir.join("listen-addrs"), addrs.as_bytes())
         .map_err(|e| format!("write listen-addrs: {e}"))?;
     for line in addrs.lines() {
         let _ = writeln!(out, "listening: {line}");
@@ -1213,16 +1488,28 @@ fn run_sources_monitor(
     // source already acknowledged must reach the pipeline before the final
     // checkpoint, or a graceful drain would silently lose them.
     let mut server = Some(server);
+    ops.publish_status(&durable, queue.depth() as u64);
     loop {
         if server.is_some() && monilog_stream::shutdown_requested() {
             drained = true;
             server = None;
         }
-        let batch = queue.recv_batch(512, Duration::from_millis(50));
+        // One consult per batch: a reload lands between batches, never
+        // mid-line — zero restart, zero dropped lines.
+        let snap = ops.poll_reload(&mut durable, server.as_ref(), out);
+        let batch = queue.recv_batch(
+            snap.batch_lines,
+            Duration::from_millis(snap.batch_deadline_ms.max(1)),
+        );
+        ops.publish_status(&durable, queue.depth() as u64);
         if batch.is_empty() {
             if drained {
                 break;
             }
+            // Honor the group-commit interval in wall-clock time: without
+            // this, a stream that goes quiet leaves its last burst
+            // unsynced and unapplied until the next line arrives.
+            anomalies.extend(durable.tick()?);
             if let Some(limit) = idle_exit {
                 if last_event.elapsed() >= limit {
                     break;
@@ -1860,6 +2147,8 @@ mod tests {
                         journal_fsync_ms: 0,
                         journal_segment_bytes: 65536,
                         sinks: None,
+                        config_file: None,
+                        latency_budget_ms: DEFAULT_LATENCY_BUDGET_MS,
                     })
                 );
             }
@@ -1912,6 +2201,74 @@ mod tests {
         .is_err());
         assert!(parse_args(&args(&["parse", "x", "--checkpoint-interval-ms", "0"])).is_err());
         assert!(parse_args(&args(&["parse", "x", "--journal-segment-bytes", "10"])).is_err());
+    }
+
+    #[test]
+    fn ops_flags_parse() {
+        let parsed = parse_args(&args(&[
+            "monitor",
+            "a.log",
+            "--checkpoint",
+            "m.bin",
+            "--state-dir",
+            "s",
+            "--config-file",
+            "/etc/monilog/runtime.conf",
+            "--latency-budget-ms",
+            "100",
+        ]))
+        .unwrap();
+        match parsed {
+            CliCommand::Monitor { durable, .. } => {
+                let opts = durable.unwrap();
+                assert_eq!(
+                    opts.config_file.as_deref(),
+                    Some("/etc/monilog/runtime.conf")
+                );
+                assert_eq!(opts.latency_budget_ms, 100);
+            }
+            other => panic!("expected Monitor, got {other:?}"),
+        }
+        // Defaults: no config file, the stock latency budget.
+        match parse_args(&args(&[
+            "monitor",
+            "a.log",
+            "--checkpoint",
+            "m.bin",
+            "--state-dir",
+            "s",
+        ]))
+        .unwrap()
+        {
+            CliCommand::Monitor { durable, .. } => {
+                let opts = durable.unwrap();
+                assert_eq!(opts.config_file, None);
+                assert_eq!(opts.latency_budget_ms, DEFAULT_LATENCY_BUDGET_MS);
+            }
+            other => panic!("expected Monitor, got {other:?}"),
+        }
+        // Ops flags without the durable substrate are a mistake.
+        assert!(parse_args(&args(&[
+            "monitor",
+            "a.log",
+            "--checkpoint",
+            "m.bin",
+            "--config-file",
+            "c.conf"
+        ]))
+        .unwrap_err()
+        .contains("--state-dir"));
+        assert!(parse_args(&args(&[
+            "monitor",
+            "a.log",
+            "--checkpoint",
+            "m.bin",
+            "--state-dir",
+            "s",
+            "--latency-budget-ms",
+            "0"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -2104,6 +2461,8 @@ mod tests {
                 journal_fsync_ms: 0,
                 journal_segment_bytes: JournalConfig::default().segment_bytes,
                 sinks: None,
+                config_file: None,
+                latency_budget_ms: DEFAULT_LATENCY_BUDGET_MS,
             }),
         };
 

@@ -31,15 +31,17 @@ use crate::{ClassifiedAnomaly, MoniLog, MoniLogConfig};
 use monilog_classify::SeverityRouter;
 use monilog_model::{CheckpointManifest, JournalPosition, RawLog, SourceId};
 use monilog_stream::durable::{CheckpointStore, Journal, JournalConfig};
+use monilog_stream::ops::StoredReport;
 use monilog_stream::sinks::{
     decode_positions, encode_positions, BufferedReport, DeliveryConfig, DeliveryPipeline,
     DeliveryWorker, RouteSpec,
 };
-use monilog_stream::{PipelineMetrics, Stage};
+use monilog_stream::{PipelineMetrics, ReportStore, Stage};
 use std::collections::{HashMap, HashSet};
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Name of the emitted-report sink file inside the state directory.
@@ -286,6 +288,7 @@ fn emit(
     sink: &mut EmittedSink,
     delivery: Option<&DeliveryPipeline>,
     router: &SeverityRouter,
+    report_store: Option<&ReportStore>,
     produced: Vec<ClassifiedAnomaly>,
 ) -> Result<(Vec<ClassifiedAnomaly>, u64), String> {
     let (fresh, suppressed) = sink.split_fresh(produced);
@@ -302,6 +305,16 @@ fn emit(
             .map_err(|e| format!("delivery accept: {e}"))?;
     }
     sink.commit(&fresh)?;
+    // Feed the queryable ops store last: it is a best-effort in-memory
+    // view of the durable record, never load-bearing for exactly-once.
+    if let Some(store) = report_store {
+        for a in &fresh {
+            store.record(StoredReport::from_report(
+                &a.report,
+                a.assignment.criticality,
+            ));
+        }
+    }
     Ok((fresh, suppressed))
 }
 
@@ -317,6 +330,9 @@ pub struct DurableMoniLog {
     delivery: Option<DeliveryPipeline>,
     worker: Option<DeliveryWorker>,
     router: SeverityRouter,
+    /// Queryable recent-report ring for the ops surface, when attached
+    /// ([`DurableMoniLog::attach_report_store`]).
+    report_store: Option<Arc<ReportStore>>,
     /// Per-source highest seq fed to the pipeline (== checkpointable).
     applied: HashMap<u16, u64>,
     /// Per-source highest seq appended to the journal (>= applied).
@@ -438,7 +454,8 @@ impl DurableMoniLog {
             let produced = pipeline.ingest(raw);
             let entry = applied.entry(raw.source.0).or_insert(0);
             *entry = (*entry).max(raw.seq);
-            let (emitted, suppressed) = emit(&mut sink, delivery.as_ref(), &router, produced)?;
+            let (emitted, suppressed) =
+                emit(&mut sink, delivery.as_ref(), &router, None, produced)?;
             stats.anomalies.extend(emitted);
             stats.suppressed_duplicates += suppressed;
         }
@@ -463,6 +480,7 @@ impl DurableMoniLog {
                 delivery,
                 worker,
                 router,
+                report_store: None,
                 applied,
                 journaled,
                 pending: Vec::new(),
@@ -512,6 +530,20 @@ impl DurableMoniLog {
         self.commit_pending()
     }
 
+    /// Time-based group commit. [`DurableMoniLog::ingest`] only commits
+    /// when the *next* append finds the fsync interval elapsed, so a
+    /// stream that goes quiet would leave its final burst pending
+    /// indefinitely: unsynced (a kill loses it), unapplied (its reports
+    /// never surface). The monitor loops call this on idle so the
+    /// interval is honored in wall-clock time; a clean journal makes it
+    /// a no-op.
+    pub fn tick(&mut self) -> Result<Vec<ClassifiedAnomaly>, String> {
+        if self.journal.sync_due() {
+            return self.commit_pending();
+        }
+        Ok(Vec::new())
+    }
+
     /// Force a commit + checkpoint now (tests, operator tooling).
     pub fn checkpoint_now(&mut self) -> Result<(Vec<ClassifiedAnomaly>, u64), String> {
         let out = self.commit_pending()?;
@@ -541,6 +573,7 @@ impl DurableMoniLog {
             &mut self.sink,
             self.delivery.as_ref(),
             &self.router,
+            self.report_store.as_deref(),
             flushed,
         )?;
         out.extend(emitted);
@@ -574,6 +607,7 @@ impl DurableMoniLog {
                 &mut self.sink,
                 self.delivery.as_ref(),
                 &self.router,
+                self.report_store.as_deref(),
                 produced,
             )?;
             out.extend(emitted);
@@ -645,6 +679,39 @@ impl DurableMoniLog {
     /// (`None` on a fresh start or when the section was absent).
     pub fn recovered_section(&self, name: &str) -> Option<&[u8]> {
         self.recovered_sections.get(name).map(|v| v.as_slice())
+    }
+
+    /// Attach the queryable ops report store. Reports emitted from now on
+    /// are recorded with their live classification; reports emitted
+    /// earlier are already in `anomalies.jsonl` and should be backfilled
+    /// by the caller (`ReportStore::backfill_from_file`) *before*
+    /// attaching, so the store's id-ordering dedup lines up.
+    pub fn attach_report_store(&mut self, store: Arc<ReportStore>) {
+        self.report_store = Some(store);
+    }
+
+    /// Replace the severity router live (the hot `page-at` /
+    /// `route-critical` reload path). Applies to the next emitted batch.
+    pub fn set_router(&mut self, router: SeverityRouter) {
+        self.router = router;
+    }
+
+    /// The severity router currently in force.
+    pub fn router(&self) -> &SeverityRouter {
+        &self.router
+    }
+
+    /// Milliseconds since the last checkpoint (or open). The `/status`
+    /// checkpoint-lag input.
+    pub fn checkpoint_age_ms(&self) -> u64 {
+        self.last_checkpoint.elapsed().as_millis() as u64
+    }
+
+    /// Bytes journaled but not yet applied to the pipeline — the
+    /// group-commit window a crash would replay. The `/status` WAL-lag
+    /// input.
+    pub fn wal_lag_bytes(&self) -> u64 {
+        self.pending.iter().map(|r| r.line.len() as u64).sum()
     }
 
     /// The wrapped pipeline (read-only: metrics, registry, tracer).
@@ -1097,6 +1164,53 @@ mod tests {
         let metrics = dm.pipeline().metrics();
         assert!(PipelineMetrics::get(&metrics.journal_bytes) > 0);
         assert_eq!(PipelineMetrics::get(&metrics.checkpoints_written), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `ingest` only commits when the *next* append finds the group-commit
+    /// interval elapsed. If the stream goes quiet, the final burst would
+    /// stay pending forever — unsynced and with its reports unsurfaced —
+    /// unless the idle `tick` honors the deadline in wall-clock time.
+    #[test]
+    fn idle_tick_commits_the_pending_tail() {
+        let dir = tmp_dir("tick");
+        let durable = DurableConfig {
+            checkpoint_interval_ms: u64::MAX,
+            journal: JournalConfig {
+                fsync_interval_ms: 30,
+                ..JournalConfig::default()
+            },
+            ..DurableConfig::new(&dir)
+        };
+        let (mut dm, _) = DurableMoniLog::open(test_config(), durable, || Ok(trained())).unwrap();
+        // The burst lands well inside the interval: every line stays
+        // pending and no report surfaces, even for anomalous windows.
+        let mut emitted = Vec::new();
+        for i in 32..48u64 {
+            emitted.extend(
+                dm.ingest(&RawLog::new(SourceId(0), i + 1, &line(i)))
+                    .unwrap(),
+            );
+        }
+        assert!(dm.wal_lag_bytes() > 0, "burst tail must be pending");
+        // Quiet stream: once the interval elapses, the idle tick must
+        // commit the tail — reports surface without another append.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            emitted.extend(dm.tick().unwrap());
+            if dm.wal_lag_bytes() == 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "tick never committed the tail");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            !emitted.is_empty(),
+            "anomalies in the committed tail must surface from tick"
+        );
+        // A clean journal makes the tick a no-op.
+        assert!(dm.tick().unwrap().is_empty());
+        assert_eq!(dm.wal_lag_bytes(), 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

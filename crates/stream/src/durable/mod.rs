@@ -32,7 +32,8 @@ pub use dlq::DeadLetterLog;
 pub use journal::{Journal, JournalConfig};
 pub use rotate::RotatingLog;
 pub use signal::{
-    install_shutdown_handler, reset_shutdown_flag, shutdown_requested, FORCED_EXIT_CODE,
+    install_reload_handler, install_shutdown_handler, reset_shutdown_flag, shutdown_requested,
+    take_reload_request, FORCED_EXIT_CODE,
 };
 
 use monilog_model::CodecError;

@@ -15,6 +15,12 @@
 //! the next start replays the journal from the last checkpoint, so the
 //! forced exit loses nothing that was durably ingested.
 //!
+//! **SIGHUP = hot reload.** The classic daemon convention: SIGHUP latches
+//! a separate counter that the monitor loop drains via
+//! [`take_reload_request`] and answers by re-reading its config file into
+//! a fresh [`crate::ops::ReloadableConfig`] snapshot — no restart, no
+//! dropped lines. A SIGHUP never escalates to an exit.
+//!
 //! No libc crate: `signal(2)` / `_exit(2)` are declared directly. On
 //! non-Unix targets installation is a no-op and drain must be requested
 //! programmatically.
@@ -22,6 +28,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 
 static SIGNAL_COUNT: AtomicU32 = AtomicU32::new(0);
+static RELOAD_COUNT: AtomicU32 = AtomicU32::new(0);
 
 /// Exit status for a forced (second-signal) shutdown: 128 + SIGINT, the
 /// conventional "killed by Ctrl-C" status.
@@ -31,6 +38,7 @@ pub const FORCED_EXIT_CODE: i32 = 130;
 mod ffi {
     use std::sync::atomic::Ordering;
 
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
 
@@ -42,6 +50,10 @@ mod ffi {
         }
     }
 
+    extern "C" fn latch_reload(_signum: i32) {
+        super::RELOAD_COUNT.fetch_add(1, Ordering::SeqCst);
+    }
+
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
         fn _exit(status: i32) -> !;
@@ -51,6 +63,12 @@ mod ffi {
         unsafe {
             signal(SIGTERM, latch);
             signal(SIGINT, latch);
+        }
+    }
+
+    pub fn install_reload() {
+        unsafe {
+            signal(SIGHUP, latch_reload);
         }
     }
 }
@@ -71,6 +89,20 @@ pub fn shutdown_requested() -> bool {
 /// Also resets the second-signal force-exit counter.
 pub fn reset_shutdown_flag() {
     SIGNAL_COUNT.store(0, Ordering::SeqCst);
+}
+
+/// Install the SIGHUP hot-reload latch. Idempotent; default SIGHUP
+/// disposition (terminate) is replaced, so a daemonized monitor survives
+/// terminal hangups even before it polls the latch.
+pub fn install_reload_handler() {
+    #[cfg(unix)]
+    ffi::install_reload();
+}
+
+/// Consume any pending reload request. Returns true when at least one
+/// SIGHUP arrived since the last call; coalesces bursts into one reload.
+pub fn take_reload_request() -> bool {
+    RELOAD_COUNT.swap(0, Ordering::SeqCst) > 0
 }
 
 #[cfg(test)]
@@ -102,6 +134,18 @@ mod tests {
             }
             assert!(shutdown_requested());
             reset_shutdown_flag();
+
+            // SIGHUP latches the reload counter, not the shutdown one,
+            // and take_reload_request coalesces + clears it.
+            install_reload_handler();
+            assert!(!take_reload_request());
+            unsafe {
+                raise(1);
+                raise(1);
+            }
+            assert!(take_reload_request(), "SIGHUP latched a reload");
+            assert!(!take_reload_request(), "latch cleared after take");
+            assert!(!shutdown_requested(), "SIGHUP never requests shutdown");
         }
     }
 }

@@ -10,6 +10,16 @@
 //! - `GET /trace/{id}` — span tree of one sampled trace (JSON)
 //! - `GET /flight` — current flight-recorder ring contents (JSON)
 //!
+//! With an [`OpsState`] attached ([`MetricsExporter::spawn_with_ops`]) the
+//! same listener also serves the live operations surface (`crate::ops`):
+//!
+//! - `GET /reports[?since=&severity=&template=&source=&limit=]` — query the
+//!   recent-anomaly store
+//! - `GET /reports/{id}` — one report joined to its sampled trace spans
+//! - `GET /status` — the `ok | degraded | critical` health rollup
+//! - `GET /readyz` — readiness gate: 200 `ok` or 503 with reasons
+//! - `GET /config` / `POST /config` — view / hot-reload the runtime config
+//!
 //! Connections are served on the shared [`crate::net`] event loop: every
 //! client gets its own non-blocking connection handler with a per-connection
 //! read buffer, so one stalled or malicious peer can no longer head-of-line
@@ -23,7 +33,12 @@
 
 use crate::net::{AsLoopFd, EventLoop, Handler, Interest, LoopCtx, Next};
 use crate::observe::MetricsRegistry;
+use crate::ops::{
+    parse_config_pairs, readiness_reasons, render_status, report_detail_json, reports_json,
+    OpsState, ReportsQuery,
+};
 use crate::trace::Tracer;
+use monilog_model::trace::json_string;
 use monilog_model::TraceId;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -64,14 +79,20 @@ struct Rendered {
 pub(crate) struct MetricsService {
     registry: Arc<MetricsRegistry>,
     tracer: Option<Arc<Tracer>>,
+    ops: Option<Arc<OpsState>>,
     cache: Mutex<Rendered>,
 }
 
 impl MetricsService {
-    pub(crate) fn new(registry: Arc<MetricsRegistry>, tracer: Option<Arc<Tracer>>) -> Self {
+    pub(crate) fn new(
+        registry: Arc<MetricsRegistry>,
+        tracer: Option<Arc<Tracer>>,
+        ops: Option<Arc<OpsState>>,
+    ) -> Self {
         let svc = MetricsService {
             registry,
             tracer,
+            ops,
             cache: Mutex::new(Rendered::default()),
         };
         svc.render();
@@ -88,9 +109,125 @@ impl MetricsService {
         slot.json = snapshot.to_json();
     }
 
-    fn route(&self, path: &str) -> (&'static str, &'static str, String) {
-        route(path, &self.cache, self.tracer.as_deref())
+    fn route(&self, method: &str, path: &str, body: &str) -> (&'static str, &'static str, String) {
+        if method == "POST" {
+            return self.route_post(path, body);
+        }
+        match path {
+            "/status" => match &self.ops {
+                Some(ops) => {
+                    // A fresh snapshot, not the render cache: the health
+                    // rollup is the page an operator refreshes while
+                    // something is on fire.
+                    let snap = self.registry.snapshot();
+                    let inputs = ops.status.inputs();
+                    let (_, json) =
+                        render_status(&snap, &inputs, ops.status.budget_ms(), ops.reload.version());
+                    ("200 OK", "application/json", json)
+                }
+                None => ops_disabled(),
+            },
+            "/readyz" => match &self.ops {
+                // Without an ops state there is nothing that could be
+                // not-ready: fall back to liveness semantics.
+                None => ("200 OK", "text/plain", "ok\n".to_string()),
+                Some(ops) => {
+                    let reasons = readiness_reasons(&ops.status.inputs());
+                    if reasons.is_empty() {
+                        ("200 OK", "text/plain", "ok\n".to_string())
+                    } else {
+                        let rs: Vec<String> = reasons.iter().map(|r| json_string(r)).collect();
+                        (
+                            "503 Service Unavailable",
+                            "application/json",
+                            format!("{{\"ready\":false,\"reasons\":[{}]}}\n", rs.join(",")),
+                        )
+                    }
+                }
+            },
+            "/config" => match &self.ops {
+                Some(ops) => ("200 OK", "application/json", ops.reload.to_json()),
+                None => ops_disabled(),
+            },
+            p if p == "/reports" || p.starts_with("/reports?") || p.starts_with("/reports/") => {
+                self.route_reports(p)
+            }
+            _ => route(path, &self.cache, self.tracer.as_deref()),
+        }
     }
+
+    fn route_post(&self, path: &str, body: &str) -> (&'static str, &'static str, String) {
+        match (path, &self.ops) {
+            ("/config", Some(ops)) => {
+                match parse_config_pairs(body)
+                    .and_then(|pairs| ops.reload.apply_pairs(&pairs, "post"))
+                {
+                    Ok(_) => ("200 OK", "application/json", ops.reload.to_json()),
+                    Err(e) => (
+                        "400 Bad Request",
+                        "application/json",
+                        format!("{{\"error\":{}}}\n", json_string(&e)),
+                    ),
+                }
+            }
+            ("/config", None) => ops_disabled(),
+            _ => (
+                "405 Method Not Allowed",
+                "application/json",
+                "{\"error\":\"POST is only accepted on /config\"}\n".to_string(),
+            ),
+        }
+    }
+
+    fn route_reports(&self, path: &str) -> (&'static str, &'static str, String) {
+        let Some(ops) = &self.ops else {
+            return ops_disabled();
+        };
+        if let Some(rest) = path.strip_prefix("/reports/") {
+            return match rest.parse::<u64>() {
+                Err(_) => (
+                    "400 Bad Request",
+                    "application/json",
+                    "{\"error\":\"report id must be an unsigned integer\"}\n".to_string(),
+                ),
+                Ok(id) => match ops.reports.get(id) {
+                    Some(r) => (
+                        "200 OK",
+                        "application/json",
+                        report_detail_json(&r, self.tracer.as_deref()),
+                    ),
+                    None => (
+                        "404 Not Found",
+                        "application/json",
+                        format!("{{\"error\":\"no report {id} in the store\"}}\n"),
+                    ),
+                },
+            };
+        }
+        let qs = path
+            .strip_prefix("/reports")
+            .map(|rest| rest.strip_prefix('?').unwrap_or(rest))
+            .unwrap_or("");
+        match ReportsQuery::parse(qs) {
+            Err(e) => (
+                "400 Bad Request",
+                "application/json",
+                format!("{{\"error\":{}}}\n", json_string(&e)),
+            ),
+            Ok(q) => {
+                let (total, items) = ops.reports.query(&q);
+                ("200 OK", "application/json", reports_json(total, &items))
+            }
+        }
+    }
+}
+
+fn ops_disabled() -> (&'static str, &'static str, String) {
+    (
+        "404 Not Found",
+        "application/json",
+        "{\"error\":\"ops surface disabled\"}\n".to_string(),
+    )
 }
 
 /// Periodic metrics exporter over a TCP/HTTP endpoint.
@@ -125,10 +262,23 @@ impl MetricsExporter {
         interval: Duration,
         tracer: Option<Arc<Tracer>>,
     ) -> io::Result<Self> {
+        Self::spawn_with_ops(addr, registry, interval, tracer, None)
+    }
+
+    /// Like [`MetricsExporter::spawn_with_tracer`], additionally serving
+    /// the live operations surface (`/reports`, `/status`, `/readyz`,
+    /// `/config`) backed by `ops`.
+    pub fn spawn_with_ops(
+        addr: SocketAddr,
+        registry: Arc<MetricsRegistry>,
+        interval: Duration,
+        tracer: Option<Arc<Tracer>>,
+        ops: Option<Arc<OpsState>>,
+    ) -> io::Result<Self> {
         let listener = bind_reusable(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let service = Arc::new(MetricsService::new(registry, tracer));
+        let service = Arc::new(MetricsService::new(registry, tracer, ops));
 
         let mut event_loop = EventLoop::new()?;
         register_metrics_listener(&mut event_loop, listener, service, interval)?;
@@ -360,27 +510,59 @@ impl MetricsConn {
         };
     }
 
-    /// Route whatever request head has arrived (possibly none, possibly
+    /// Route whatever request has arrived (possibly none, possibly
     /// over-cap garbage) and queue the response.
     fn route_now(&mut self) {
         if self.buf.len() > MAX_REQUEST_BYTES {
             self.respond(
                 "400 Bad Request",
                 "text/plain",
-                "request head exceeds 4096 bytes\n",
+                "request exceeds 4096 bytes\n",
             );
             return;
         }
-        let head = String::from_utf8_lossy(&self.buf).into_owned();
-        let (status, content_type, body) = match head.lines().next().map(parse_request_line) {
+        let text = String::from_utf8_lossy(&self.buf).into_owned();
+        let (status, content_type, body) = match text.lines().next().map(parse_request_line) {
             None | Some(None) => (
                 "400 Bad Request",
                 "text/plain",
                 "malformed request line\n".to_string(),
             ),
-            Some(Some(path)) => self.service.route(&path),
+            Some(Some((method, path))) => {
+                let payload = request_body(&self.buf);
+                self.service.route(&method, &path, &payload)
+            }
         };
         self.respond(status, content_type, &body);
+    }
+
+    /// Whether enough of the request has arrived to route it. `GET`-style
+    /// requests route on the request line alone (the historical fast
+    /// path); `POST` waits for the blank line plus `Content-Length` bytes
+    /// of body, all under the same 4 KiB cap and read deadline.
+    fn request_complete(&self) -> bool {
+        if !self.buf.contains(&b'\n') {
+            return false;
+        }
+        if !self.buf.starts_with(b"POST ") {
+            return true;
+        }
+        let Some(head_end) = find_head_end(&self.buf) else {
+            return false;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]);
+        let content_length = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    value.trim().parse::<usize>().ok()
+                } else {
+                    None
+                }
+            })
+            .unwrap_or(0);
+        self.buf.len() >= head_end.saturating_add(content_length)
     }
 
     /// Read until `WouldBlock`. Returns false when the peer is gone.
@@ -392,12 +574,7 @@ impl MetricsConn {
                 Ok(n) => match self.phase {
                     ConnPhase::Reading => {
                         self.buf.extend_from_slice(&chunk[..n]);
-                        if self.buf.len() > MAX_REQUEST_BYTES {
-                            self.route_now();
-                            return true;
-                        }
-                        // The request line is all we route on.
-                        if self.buf.contains(&b'\n') {
+                        if self.buf.len() > MAX_REQUEST_BYTES || self.request_complete() {
                             self.route_now();
                             return true;
                         }
@@ -496,16 +673,35 @@ impl Handler for MetricsConn {
     }
 }
 
-/// Extract the path from `GET <path> HTTP/1.1`; `None` when the line is
-/// not a plausible HTTP request line.
-fn parse_request_line(line: &str) -> Option<String> {
+/// Extract `(method, path)` from `GET <path> HTTP/1.1`; `None` when the
+/// line is not a plausible HTTP request line.
+fn parse_request_line(line: &str) -> Option<(String, String)> {
     let mut parts = line.split_whitespace();
     let method = parts.next()?;
     let path = parts.next()?;
-    if !method.chars().all(|c| c.is_ascii_uppercase()) || !path.starts_with('/') {
+    if method.is_empty()
+        || !method.chars().all(|c| c.is_ascii_uppercase())
+        || !path.starts_with('/')
+    {
         return None;
     }
-    Some(path.to_string())
+    Some((method.to_string(), path.to_string()))
+}
+
+/// Byte offset one past the `\r\n\r\n` (or bare `\n\n`) head terminator.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    if let Some(at) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        return Some(at + 4);
+    }
+    buf.windows(2).position(|w| w == b"\n\n").map(|at| at + 2)
+}
+
+/// The request body (bytes past the head terminator), lossily decoded.
+fn request_body(buf: &[u8]) -> String {
+    match find_head_end(buf) {
+        Some(at) => String::from_utf8_lossy(&buf[at..]).into_owned(),
+        None => String::new(),
+    }
 }
 
 fn route(
@@ -561,7 +757,8 @@ fn route(
             None => (
                 "404 Not Found",
                 "text/plain",
-                "not found; try /metrics, /metrics.json, /healthz, /trace/{id} or /flight\n"
+                "not found; try /metrics, /metrics.json, /healthz, /readyz, /status, \
+                 /reports, /config, /trace/{id} or /flight\n"
                     .to_string(),
             ),
         },
@@ -573,11 +770,35 @@ mod tests {
     use super::*;
     use crate::metrics::PipelineMetrics;
     use crate::observe::Stage;
+    use crate::ops::{
+        ConfigSnapshot, ReloadableConfig, ReportStore, StatusBoard, StatusInputs, StoredReport,
+        DEFAULT_LATENCY_BUDGET_MS,
+    };
     use crate::trace::{SpanRecord, SpanStage, TraceConfig};
+    use monilog_model::{
+        AnomalyKind, AnomalyReport, Criticality, EventId, LogEvent, Provenance, ScoreComponent,
+        Severity, SourceId, TemplateId, Timestamp,
+    };
 
     fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).expect("connect exporter");
         write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("header/body separator");
+        (head.to_string(), body.to_string())
+    }
+
+    fn http_post(addr: SocketAddr, path: &str, payload: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect exporter");
+        write!(
+            stream,
+            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{payload}",
+            payload.len()
+        )
+        .unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read response");
         let (head, body) = response
@@ -603,6 +824,71 @@ mod tests {
         PipelineMetrics::add(&r.counters().lines_ingested, 42);
         r.stage(Stage::Parse).record(Duration::from_micros(15));
         r
+    }
+
+    fn anomaly(id: u64, template: u32) -> AnomalyReport {
+        let event = LogEvent::new(
+            EventId(id * 100),
+            Timestamp::from_millis(1_000 + id),
+            SourceId(id as u16),
+            Severity::Info,
+            TemplateId(template),
+            vec![],
+            None,
+        )
+        .with_trace(Some(TraceId(id)));
+        AnomalyReport {
+            id,
+            kind: AnomalyKind::Sequential,
+            score: 0.9,
+            detector: "deeplog".to_string(),
+            events: vec![event],
+            explanation: "unexpected successor".to_string(),
+            provenance: Provenance {
+                trace_ids: vec![TraceId(id)],
+                template_ids: vec![template],
+                window: None,
+                score_components: vec![ScoreComponent::new("score", 0.9)],
+            },
+        }
+    }
+
+    /// Twelve reports: ids 1..=12, even ids high severity, ids 1..=6 on
+    /// template 7 and 7..=12 on template 9, source id = report id.
+    fn test_ops(registry: &Arc<MetricsRegistry>) -> Arc<OpsState> {
+        let reports = ReportStore::shared(64);
+        for id in 1..=12u64 {
+            let severity = if id % 2 == 0 {
+                Criticality::High
+            } else {
+                Criticality::Low
+            };
+            let template = if id <= 6 { 7 } else { 9 };
+            assert!(reports.record(StoredReport::from_report(&anomaly(id, template), severity)));
+        }
+        Arc::new(OpsState::new(
+            reports,
+            StatusBoard::shared(DEFAULT_LATENCY_BUDGET_MS),
+            ReloadableConfig::shared(
+                ConfigSnapshot::default(),
+                None,
+                Arc::clone(registry.counters()),
+            ),
+        ))
+    }
+
+    fn spawn_ops_exporter() -> (MetricsExporter, Arc<OpsState>) {
+        let registry = test_registry();
+        let ops = test_ops(&registry);
+        let exporter = MetricsExporter::spawn_with_ops(
+            "127.0.0.1:0".parse().unwrap(),
+            registry,
+            Duration::from_millis(50),
+            Some(test_tracer()),
+            Some(Arc::clone(&ops)),
+        )
+        .expect("bind");
+        (exporter, ops)
     }
 
     fn test_tracer() -> Arc<Tracer> {
@@ -929,5 +1215,191 @@ mod tests {
             median < Duration::from_millis(20),
             "idle scrape median {median:?} — should be far below the old 20 ms accept poll"
         );
+    }
+
+    #[test]
+    fn reports_route_filters_and_paginates() {
+        let (exporter, _ops) = spawn_ops_exporter();
+        let addr = exporter.local_addr();
+
+        let (head, body) = http_get(addr, "/reports");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert!(body.starts_with("{\"total\":12,\"count\":12,"), "{body}");
+        assert_content_length(&head, &body);
+
+        // Pagination: first page of 5, then resume from the last seen id.
+        let (_, body) = http_get(addr, "/reports?limit=5");
+        assert!(body.starts_with("{\"total\":12,\"count\":5,"), "{body}");
+        for id in 1..=5 {
+            assert!(body.contains(&format!("\"id\":{id},")), "{id}: {body}");
+        }
+        let (_, body) = http_get(addr, "/reports?since=5&limit=5");
+        assert!(body.starts_with("{\"total\":7,\"count\":5,"), "{body}");
+        assert!(
+            body.contains("\"id\":6,") && body.contains("\"id\":10,"),
+            "{body}"
+        );
+        assert!(
+            !body.contains("\"id\":5,") && !body.contains("\"id\":11,"),
+            "{body}"
+        );
+
+        // Severity, template, and source filters.
+        let (_, body) = http_get(addr, "/reports?severity=high");
+        assert!(body.starts_with("{\"total\":6,"), "{body}");
+        assert!(!body.contains("\"severity\":\"low\""), "{body}");
+        let (_, body) = http_get(addr, "/reports?template=9");
+        assert!(body.starts_with("{\"total\":6,"), "{body}");
+        let (_, body) = http_get(addr, "/reports?source=3");
+        assert!(body.starts_with("{\"total\":1,"), "{body}");
+        assert!(body.contains("\"id\":3,"), "{body}");
+        let (_, body) = http_get(addr, "/reports?severity=high&template=9&limit=2");
+        assert!(body.starts_with("{\"total\":3,\"count\":2,"), "{body}");
+
+        // Bad queries are 400s, not silently-empty result sets.
+        for bad in [
+            "/reports?bogus=1",
+            "/reports?limit=0",
+            "/reports?severity=purple",
+            "/reports?since=1&since=2",
+        ] {
+            let (head, body) = http_get(addr, bad);
+            assert!(head.starts_with("HTTP/1.1 400"), "{bad}: {head}");
+            assert!(body.contains("\"error\":"), "{bad}: {body}");
+        }
+    }
+
+    #[test]
+    fn report_detail_joins_sampled_spans() {
+        let (exporter, _ops) = spawn_ops_exporter();
+        let addr = exporter.local_addr();
+        // Report 1's provenance carries TraceId(1), which the test tracer
+        // has a recorded span for.
+        let (head, body) = http_get(addr, "/reports/1");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("\"report\":{\"id\":1,"), "{body}");
+        assert!(body.contains("\"spans\":[{\"trace_id\":1,"), "{body}");
+        assert_content_length(&head, &body);
+        // Report 2 has no sampled spans: still 200, empty join.
+        let (_, body) = http_get(addr, "/reports/2");
+        assert!(body.ends_with("\"spans\":[]}"), "{body}");
+
+        let (head, _) = http_get(addr, "/reports/999");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        let (head, _) = http_get(addr, "/reports/abc");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    }
+
+    #[test]
+    fn post_config_applies_allowlisted_keys_and_rejects_others() {
+        let (exporter, ops) = spawn_ops_exporter();
+        let addr = exporter.local_addr();
+
+        let (head, body) = http_get(addr, "/config");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.starts_with("{\"version\":0,"), "{body}");
+
+        let (head, body) = http_post(addr, "/config", "on-overload=shed&trace-sample-rate=64");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.starts_with("{\"version\":1,"), "{body}");
+        assert!(body.contains("\"on-overload\":\"shed\""), "{body}");
+        assert!(body.contains("\"trace-sample-rate\":64"), "{body}");
+        assert_content_length(&head, &body);
+        assert_eq!(ops.reload.version(), 1);
+
+        // A non-allowlisted key rejects the whole update: the snapshot
+        // stays at version 1 with the values applied above.
+        let (head, body) = http_post(addr, "/config", "state-dir=/tmp/elsewhere");
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+        assert!(body.contains("\"error\":"), "{body}");
+        assert_content_length(&head, &body);
+        let (_, body) = http_get(addr, "/config");
+        assert!(body.starts_with("{\"version\":1,"), "{body}");
+        assert!(body.contains("\"on-overload\":\"shed\""), "{body}");
+
+        // POST anywhere else is a 405.
+        let (head, _) = http_post(addr, "/metrics", "x=y");
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+    }
+
+    #[test]
+    fn readyz_gates_on_published_status_inputs() {
+        let (exporter, ops) = spawn_ops_exporter();
+        let addr = exporter.local_addr();
+        let (head, body) = http_get(addr, "/readyz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        let inputs = StatusInputs {
+            delivery_spilling: true,
+            ..StatusInputs::default()
+        };
+        ops.status.publish(inputs);
+        let (head, body) = http_get(addr, "/readyz");
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        assert!(body.contains("\"ready\":false"), "{body}");
+        assert!(body.contains("spilling"), "{body}");
+        assert_content_length(&head, &body);
+
+        // /status agrees: the same condition is its critical tier.
+        let (head, body) = http_get(addr, "/status");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.starts_with("{\"status\":\"critical\""), "{body}");
+        assert!(body.contains("\"config_version\":0"), "{body}");
+        assert_content_length(&head, &body);
+    }
+
+    /// Satellite guarantee: `/status` stays responsive while wedged
+    /// clients (stalled connections and a slow-loris half-finished POST)
+    /// sit on the same listener.
+    #[test]
+    fn status_answers_under_concurrent_scrapes_with_wedged_clients() {
+        let (exporter, _ops) = spawn_ops_exporter();
+        let addr = exporter.local_addr();
+        // Two clients stall without sending a byte; one wedges mid-POST
+        // (complete head, body never arrives).
+        let _stalled_a = TcpStream::connect(addr).unwrap();
+        let _stalled_b = TcpStream::connect(addr).unwrap();
+        let mut loris = TcpStream::connect(addr).unwrap();
+        loris
+            .write_all(b"POST /config HTTP/1.1\r\nContent-Length: 4000\r\n\r\non-ov")
+            .unwrap();
+
+        let mut latencies: Vec<Duration> = (0..10)
+            .map(|_| {
+                let t0 = Instant::now();
+                let (head, body) = http_get(addr, "/status");
+                assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+                assert!(body.starts_with("{\"status\":"), "{body}");
+                t0.elapsed()
+            })
+            .collect();
+        latencies.sort();
+        let median = latencies[latencies.len() / 2];
+        assert!(
+            median < Duration::from_millis(250),
+            "/status median {median:?} while clients wedged — head-of-line blocking"
+        );
+    }
+
+    #[test]
+    fn ops_routes_404_without_an_ops_state() {
+        let exporter = MetricsExporter::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            test_registry(),
+            Duration::from_millis(50),
+        )
+        .expect("bind");
+        let addr = exporter.local_addr();
+        for path in ["/reports", "/reports/1", "/status", "/config"] {
+            let (head, body) = http_get(addr, path);
+            assert!(head.starts_with("HTTP/1.1 404"), "{path}: {head}");
+            assert!(body.contains("ops surface disabled"), "{path}: {body}");
+        }
+        // Liveness-style readiness still answers without ops state.
+        let (head, body) = http_get(addr, "/readyz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "ok\n");
     }
 }

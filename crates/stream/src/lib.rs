@@ -35,6 +35,10 @@
 //!   [`observe::MetricsSnapshot`] with Prometheus/JSON renderings.
 //! - [`export`] — the periodic exporter thread serving snapshots over a
 //!   minimal blocking HTTP endpoint.
+//! - [`ops`] — the live operations surface on the same listener: the
+//!   queryable anomaly report store (`/reports`), the `/status` health
+//!   rollup and `/readyz` gate, and hot config reload (`POST /config`,
+//!   SIGHUP) through a versioned atomic-swap snapshot.
 //! - [`sinks`] — at-least-once anomaly delivery: HTTP/TCP/file sinks
 //!   behind a disk-buffered [`sinks::DeliveryPipeline`] with capped
 //!   backoff, per-sink circuit breakers and spill-file degradation.
@@ -53,6 +57,7 @@ pub mod merge;
 pub mod metrics;
 pub mod net;
 pub mod observe;
+pub mod ops;
 pub mod partition;
 pub mod pipeline;
 pub mod ring;
@@ -68,16 +73,21 @@ pub use chaos::{
 };
 pub use config::{BatchConfig, ConfigError, OverloadPolicy, RetryPolicy};
 pub use durable::{
-    install_shutdown_handler, shutdown_requested, CheckpointStore, DeadLetterLog, DurabilityError,
-    Journal, JournalConfig, LoadedCheckpoint,
+    install_reload_handler, install_shutdown_handler, shutdown_requested, take_reload_request,
+    CheckpointStore, DeadLetterLog, DurabilityError, Journal, JournalConfig, LoadedCheckpoint,
 };
 pub use export::MetricsExporter;
 pub use merge::{BoundedReorderBuffer, DedupFilter};
 pub use metrics::PipelineMetrics;
 pub use net::{AsLoopFd, EventLoop, Handler, Interest, LoopCtx, Next};
 pub use observe::{
-    Exemplar, HistogramSnapshot, LatencyHistogram, MetricsRegistry, MetricsSnapshot, ShardGauges,
-    ShardSnapshot, SizeHistogram, SizeSnapshot, Stage, StageSnapshot,
+    Exemplar, HistogramSnapshot, LatencyHistogram, MetricsRegistry, MetricsSnapshot, RateSnapshot,
+    ShardGauges, ShardSnapshot, SizeHistogram, SizeSnapshot, Stage, StageSnapshot,
+};
+pub use ops::{
+    ConfigSnapshot, OpsState, ReloadableConfig, ReportStore, ReportsQuery, StatusBoard,
+    StatusInputs, StatusLevel, StoredReport, DEFAULT_LATENCY_BUDGET_MS, DEFAULT_REPORT_CAPACITY,
+    RELOADABLE_KEYS,
 };
 pub use partition::HashPartitioner;
 pub use pipeline::{parallel_map, ParallelShardedDrain};

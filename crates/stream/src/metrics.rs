@@ -74,6 +74,13 @@
 //!   413/429/408.
 //! - `sources_udp_truncated` — UDP datagrams that filled the receive
 //!   buffer exactly (probable kernel truncation).
+//!
+//! Live ops surface (see [`crate::ops`]):
+//! - `config_reloads_applied` — hot config snapshots accepted and swapped
+//!   in (SIGHUP file re-reads and `POST /config` updates).
+//! - `config_reload_rejected` — reload attempts refused with the previous
+//!   snapshot left in place (unknown key, unparseable value, unreadable
+//!   config file).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -115,6 +122,8 @@ pub struct PipelineMetrics {
     pub sources_paused: AtomicU64,
     pub sources_http_rejected: AtomicU64,
     pub sources_udp_truncated: AtomicU64,
+    pub config_reloads_applied: AtomicU64,
+    pub config_reload_rejected: AtomicU64,
 }
 
 impl PipelineMetrics {
@@ -191,6 +200,14 @@ impl PipelineMetrics {
                 "sources_udp_truncated",
                 Self::get(&self.sources_udp_truncated),
             ),
+            (
+                "config_reloads_applied",
+                Self::get(&self.config_reloads_applied),
+            ),
+            (
+                "config_reload_rejected",
+                Self::get(&self.config_reload_rejected),
+            ),
         ]
     }
 
@@ -203,6 +220,7 @@ impl PipelineMetrics {
             stages: Vec::new(),
             batch_sizes: crate::observe::SizeSnapshot::default(),
             shards: Vec::new(),
+            rates: crate::observe::RateSnapshot::default(),
         }
     }
 }
@@ -275,6 +293,8 @@ mod tests {
             "sources_paused",
             "sources_http_rejected",
             "sources_udp_truncated",
+            "config_reloads_applied",
+            "config_reload_rejected",
         ] {
             assert!(s.contains(field), "{field} missing from {s}");
             assert!(
@@ -282,7 +302,7 @@ mod tests {
                 "{field} missing from typed snapshot"
             );
         }
-        assert_eq!(snap.counters.len(), 34);
+        assert_eq!(snap.counters.len(), 36);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::metrics::PipelineMetrics;
 use monilog_model::TraceId;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// First instrumented octave: values below `2^MIN_EXP` ns share the
@@ -447,9 +447,54 @@ impl ShardGauges {
     }
 }
 
+/// Interval throughput gauges derived from two consecutive snapshots.
+///
+/// `/metrics` counters are cumulative; an operator eyeballing the endpoint
+/// (or the one-line `Display` summary) wants *rates*. Each registry
+/// snapshot taken at least [`MIN_RATE_INTERVAL`] after the previous one
+/// closes an interval and publishes `Δcount / Δt` — the exporter's refresh
+/// tick is what drives this in a live deployment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RateSnapshot {
+    /// Length of the closed interval in seconds (0.0 until two spaced
+    /// snapshots have been taken).
+    pub interval_secs: f64,
+    /// Raw lines ingested per second over the last interval.
+    pub lines_per_second: f64,
+    /// `(stage name, observations per second)` over the last interval, in
+    /// pipeline order (empty until the first interval closes).
+    pub stages: Vec<(&'static str, f64)>,
+}
+
+/// Snapshots closer together than this reuse the previously computed
+/// rates instead of publishing a noisy estimate over a near-zero window.
+const MIN_RATE_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Counter values at the start of the current rate interval, plus the
+/// last closed interval's rates.
+#[derive(Debug)]
+struct RateWindow {
+    prev_at: Option<Instant>,
+    prev_lines: u64,
+    prev_stage_counts: [u64; Stage::ALL.len()],
+    last: RateSnapshot,
+}
+
+impl RateWindow {
+    fn new() -> Self {
+        RateWindow {
+            prev_at: None,
+            prev_lines: 0,
+            prev_stage_counts: [0; Stage::ALL.len()],
+            last: RateSnapshot::default(),
+        }
+    }
+}
+
 /// The observability root of one pipeline run: counters, per-stage latency
 /// histograms, and per-shard gauges. Shareable across every pipeline
-/// thread; all recording is lock-free.
+/// thread; all recording is lock-free (the rate window takes a Mutex, but
+/// only snapshots touch it).
 #[derive(Debug)]
 pub struct MetricsRegistry {
     counters: Arc<PipelineMetrics>,
@@ -457,6 +502,7 @@ pub struct MetricsRegistry {
     /// Lines per submitted batch across the batched ingestion path.
     batch_sizes: SizeHistogram,
     shards: Vec<ShardGauges>,
+    rates: Mutex<RateWindow>,
 }
 
 impl MetricsRegistry {
@@ -472,6 +518,7 @@ impl MetricsRegistry {
             stages: std::array::from_fn(|_| LatencyHistogram::new()),
             batch_sizes: SizeHistogram::new(),
             shards: (0..n_shards).map(|_| ShardGauges::default()).collect(),
+            rates: Mutex::new(RateWindow::new()),
         })
     }
 
@@ -536,9 +583,49 @@ impl MetricsRegistry {
         &self.shards[i]
     }
 
+    /// Advance the rate window and return the freshest interval rates.
+    /// Intervals shorter than [`MIN_RATE_INTERVAL`] keep the previously
+    /// closed interval's rates rather than divide by a near-zero Δt.
+    fn tick_rates(&self) -> RateSnapshot {
+        let lines = PipelineMetrics::get(&self.counters.lines_ingested);
+        let stage_counts: [u64; Stage::ALL.len()] = std::array::from_fn(|i| self.stages[i].count());
+        let now = Instant::now();
+        let mut w = self.rates.lock().unwrap();
+        match w.prev_at {
+            None => {
+                w.prev_at = Some(now);
+                w.prev_lines = lines;
+                w.prev_stage_counts = stage_counts;
+            }
+            Some(prev) => {
+                let elapsed = now.saturating_duration_since(prev);
+                if elapsed >= MIN_RATE_INTERVAL {
+                    let secs = elapsed.as_secs_f64();
+                    w.last = RateSnapshot {
+                        interval_secs: secs,
+                        lines_per_second: lines.saturating_sub(w.prev_lines) as f64 / secs,
+                        stages: Stage::ALL
+                            .iter()
+                            .enumerate()
+                            .map(|(i, s)| {
+                                let d = stage_counts[i].saturating_sub(w.prev_stage_counts[i]);
+                                (s.name(), d as f64 / secs)
+                            })
+                            .collect(),
+                    };
+                    w.prev_at = Some(now);
+                    w.prev_lines = lines;
+                    w.prev_stage_counts = stage_counts;
+                }
+            }
+        }
+        w.last.clone()
+    }
+
     /// Typed point-in-time snapshot of everything the registry tracks.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
+            rates: self.tick_rates(),
             counters: self.counters.counter_values(),
             stages: Stage::ALL
                 .iter()
@@ -595,6 +682,9 @@ pub struct MetricsSnapshot {
     pub batch_sizes: SizeSnapshot,
     /// Gauges per shard (empty for sequential deployments).
     pub shards: Vec<ShardSnapshot>,
+    /// Interval throughput rates (zero until two spaced snapshots close
+    /// an interval — the exporter's refresh tick does this live).
+    pub rates: RateSnapshot,
 }
 
 fn seconds(ns: u64) -> f64 {
@@ -723,6 +813,18 @@ impl MetricsSnapshot {
                 ));
             }
         }
+        if self.rates.interval_secs > 0.0 {
+            out.push_str(&format!(
+                "# TYPE monilog_lines_per_second gauge\nmonilog_lines_per_second {:.3}\n",
+                self.rates.lines_per_second
+            ));
+            out.push_str("# TYPE monilog_stage_throughput_per_second gauge\n");
+            for (stage, rate) in &self.rates.stages {
+                out.push_str(&format!(
+                    "monilog_stage_throughput_per_second{{stage=\"{stage}\"}} {rate:.3}\n"
+                ));
+            }
+        }
         out
     }
 
@@ -792,7 +894,17 @@ impl MetricsSnapshot {
                 s.shard, s.queue_depth, s.templates, s.restarts
             ));
         }
-        out.push_str("]}");
+        out.push_str(&format!(
+            "],\"rates\":{{\"interval_secs\":{:.3},\"lines_per_second\":{:.3},\"stages\":{{",
+            self.rates.interval_secs, self.rates.lines_per_second
+        ));
+        for (i, (stage, rate)) in self.rates.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{stage}\":{rate:.3}"));
+        }
+        out.push_str("}}}");
         out
     }
 
@@ -852,6 +964,15 @@ impl fmt::Display for MetricsSnapshot {
                 " shard{}[q={} templates={} restarts={}]",
                 s.shard, s.queue_depth, s.templates, s.restarts
             )?;
+        }
+        if self.rates.interval_secs > 0.0 {
+            write!(f, " rates[lines/s={:.1}", self.rates.lines_per_second)?;
+            for (stage, rate) in &self.rates.stages {
+                if *rate > 0.0 {
+                    write!(f, " {stage}/s={rate:.1}")?;
+                }
+            }
+            f.write_str("]")?;
         }
         Ok(())
     }
@@ -1206,6 +1327,49 @@ mod tests {
         b.record_ns_n(3_000, 5);
         b.record_ns_n(9_999, 0); // no-op
         assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn interval_rates_close_over_spaced_snapshots() {
+        let r = MetricsRegistry::shared();
+        // First snapshot opens the window: no rates yet.
+        let s0 = r.snapshot();
+        assert_eq!(s0.rates.interval_secs, 0.0);
+        assert!(!s0.to_prometheus().contains("monilog_lines_per_second"));
+        PipelineMetrics::add(&r.counters().lines_ingested, 500);
+        r.stage(Stage::Parse).record_ns_n(2_000, 500);
+        std::thread::sleep(MIN_RATE_INTERVAL + Duration::from_millis(20));
+        let s1 = r.snapshot();
+        assert!(s1.rates.interval_secs > 0.0, "interval closed");
+        assert!(
+            s1.rates.lines_per_second > 0.0,
+            "lines/s positive: {:?}",
+            s1.rates
+        );
+        let parse_rate = s1
+            .rates
+            .stages
+            .iter()
+            .find(|(n, _)| *n == "parse_exec")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(parse_rate > 0.0, "stage throughput positive");
+        let prom = s1.to_prometheus();
+        assert!(prom.contains("monilog_lines_per_second "), "{prom}");
+        assert!(
+            prom.contains("monilog_stage_throughput_per_second{stage=\"parse_exec\"}"),
+            "{prom}"
+        );
+        let json = s1.to_json();
+        assert!(json.contains("\"rates\":{\"interval_secs\":"), "{json}");
+        assert!(json.contains("\"lines_per_second\":"), "{json}");
+        let line = s1.to_string();
+        assert!(line.contains("rates[lines/s="), "{line}");
+        assert!(line.contains("parse_exec/s="), "{line}");
+        // A snapshot taken immediately after reuses the closed interval
+        // instead of publishing a noisy near-zero-Δt estimate.
+        let s2 = r.snapshot();
+        assert_eq!(s2.rates, s1.rates);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::observe::{MetricsRegistry, Stage};
 use monilog_model::DeliveryClass;
 use parking_lot::Mutex;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -124,9 +124,32 @@ struct Shared {
     config: DeliveryConfig,
     metrics: Arc<PipelineMetrics>,
     registry: Arc<MetricsRegistry>,
+    /// Live override for `config.retry.max_backoff`, in milliseconds
+    /// (0 = use the configured value). Set by hot config reload
+    /// (`sink-retry-max-ms`) so an operator can shorten retry stalls on a
+    /// recovering sink without a restart.
+    retry_max_ms: AtomicU64,
+    /// Live override for the route serving [`DeliveryClass::Page`]: the
+    /// index of the overriding route, or `usize::MAX` for "use the static
+    /// `RouteSpec.classes`". Set by hot config reload (`route-critical`)
+    /// so pages can be re-pointed at a healthier sink without a restart.
+    page_route: AtomicUsize,
     /// Serialises drain ticks (worker vs explicit flush). Never taken by
     /// `accept`.
     pump_lock: Mutex<()>,
+}
+
+impl Shared {
+    /// The retry policy currently in force (configured values with the
+    /// hot override applied).
+    fn retry(&self) -> RetryPolicy {
+        let mut policy = self.config.retry;
+        let over = self.retry_max_ms.load(Ordering::Relaxed);
+        if over > 0 {
+            policy.max_backoff = Duration::from_millis(over);
+        }
+        policy
+    }
 }
 
 /// Cloneable handle to the delivery pipeline.
@@ -187,6 +210,8 @@ impl DeliveryPipeline {
                 config,
                 metrics,
                 registry,
+                retry_max_ms: AtomicU64::new(0),
+                page_route: AtomicUsize::new(usize::MAX),
                 pump_lock: Mutex::new(()),
             }),
         })
@@ -194,11 +219,34 @@ impl DeliveryPipeline {
 
     /// Index of the route serving `class`.
     fn route_index(&self, class: DeliveryClass) -> usize {
+        if class == DeliveryClass::Page {
+            let over = self.shared.page_route.load(Ordering::Relaxed);
+            if over < self.shared.routes.len() {
+                return over;
+            }
+        }
         self.shared
             .routes
             .iter()
             .position(|r| r.classes.contains(&class))
             .unwrap_or(self.shared.routes.len() - 1)
+    }
+
+    /// Re-point [`DeliveryClass::Page`] at the named route (the hot
+    /// `route-critical` reload); `None` restores the static routing.
+    /// Returns false (and changes nothing) if no route has that name.
+    /// Only affects reports accepted after the call — already-buffered
+    /// reports drain through the route they were appended to.
+    pub fn set_page_route(&self, name: Option<&str>) -> bool {
+        let index = match name {
+            None => usize::MAX,
+            Some(n) => match self.shared.routes.iter().position(|r| r.name == n) {
+                Some(i) => i,
+                None => return false,
+            },
+        };
+        self.shared.page_route.store(index, Ordering::Relaxed);
+        true
     }
 
     /// Durably accept reports: append to the matching route buffers and
@@ -380,7 +428,7 @@ impl DeliveryPipeline {
                 st.attempt = st.attempt.saturating_add(1);
                 PipelineMetrics::incr(&m.delivery_retries);
                 out.retried += 1;
-                let backoff = config.retry.backoff(st.attempt, batch[0].id);
+                let backoff = self.shared.retry().backoff(st.attempt, batch[0].id);
                 st.next_attempt_at = Some(now + backoff);
                 if st.breaker.on_failure(now) && st.open_since.is_none() {
                     st.open_since = Some(now);
@@ -441,6 +489,18 @@ impl DeliveryPipeline {
             .iter()
             .map(|r| r.state.lock().buffer.pending_bytes())
             .sum()
+    }
+
+    /// Cap every future retry backoff at `ms` milliseconds (0 restores
+    /// the configured cap). The hot `sink-retry-max-ms` reload path.
+    pub fn set_retry_max_ms(&self, ms: u64) {
+        self.shared.retry_max_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// The retry policy currently in force (configured values plus any
+    /// live override).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.shared.retry()
     }
 
     /// Breaker state per route (for tests and status lines).
@@ -703,6 +763,44 @@ mod tests {
     }
 
     #[test]
+    fn page_route_override_repoints_pages_live() {
+        let dir = tmp_dir("page-route");
+        let (page_sink, page) = script_sink(vec![]);
+        let (rest_sink, rest) = script_sink(vec![]);
+        let p = DeliveryPipeline::open(
+            fast_config(&dir),
+            vec![
+                RouteSpec {
+                    name: "webhook".into(),
+                    classes: vec![DeliveryClass::Page],
+                    sink: page_sink,
+                },
+                RouteSpec {
+                    name: "file".into(),
+                    classes: vec![DeliveryClass::Ticket, DeliveryClass::Log],
+                    sink: rest_sink,
+                },
+            ],
+            &[],
+            MetricsRegistry::shared(),
+        )
+        .unwrap();
+        p.accept(&[report(1, DeliveryClass::Page)]).unwrap();
+        // Re-point pages at the file route; an unknown route is refused
+        // and changes nothing.
+        assert!(!p.set_page_route(Some("nope")));
+        assert!(p.set_page_route(Some("file")));
+        p.accept(&[report(2, DeliveryClass::Page)]).unwrap();
+        // Clearing the override restores the static RouteSpec routing.
+        assert!(p.set_page_route(None));
+        p.accept(&[report(3, DeliveryClass::Page)]).unwrap();
+        p.pump_once(Instant::now()).unwrap();
+        assert_eq!(*page.delivered.lock().unwrap(), vec![1, 3]);
+        assert_eq!(*rest.delivered.lock().unwrap(), vec![2]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn retryable_failure_backs_off_then_succeeds() {
         let dir = tmp_dir("retry");
         let (sink, handle) = script_sink(vec![
@@ -734,6 +832,43 @@ mod tests {
         assert_eq!(*handle.delivered.lock().unwrap(), vec![7]);
         let m = registry.counters();
         assert_eq!(PipelineMetrics::get(&m.delivery_retries), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retry_cap_override_shortens_backoff_live() {
+        let dir = tmp_dir("retry-cap");
+        let (sink, handle) = script_sink(vec![Err(SinkError::Retryable("flaky".into()))]);
+        let registry = MetricsRegistry::shared();
+        let mut config = fast_config(&dir);
+        // Configured backoff is enormous: without the override the retry
+        // would stall for 10 s of virtual time.
+        config.retry.base_backoff = Duration::from_secs(10);
+        config.retry.max_backoff = Duration::from_secs(10);
+        let p = DeliveryPipeline::open(
+            config,
+            vec![RouteSpec {
+                name: "tcp".into(),
+                classes: DeliveryClass::ALL.to_vec(),
+                sink,
+            }],
+            &[],
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        p.set_retry_max_ms(20);
+        assert_eq!(p.retry_policy().max_backoff, Duration::from_millis(20));
+        p.accept(&[report(9, DeliveryClass::Ticket)]).unwrap();
+        let t0 = Instant::now();
+        assert_eq!(p.pump_once(t0).unwrap().retried, 1);
+        // Worst case with +50% jitter the capped backoff is 30 ms; at
+        // +60 ms the retry must fire and deliver.
+        let rep = p.pump_once(t0 + Duration::from_millis(60)).unwrap();
+        assert_eq!(rep.delivered, 1);
+        assert_eq!(*handle.delivered.lock().unwrap(), vec![9]);
+        // Clearing the override restores the configured cap.
+        p.set_retry_max_ms(0);
+        assert_eq!(p.retry_policy().max_backoff, Duration::from_secs(10));
         fs::remove_dir_all(&dir).unwrap();
     }
 

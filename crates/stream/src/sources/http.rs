@@ -495,6 +495,7 @@ mod tests {
                 addr: "127.0.0.1:0".parse().unwrap(),
                 interval: Duration::from_millis(50),
                 tracer: None,
+                ops: None,
             }),
         )
         .unwrap();

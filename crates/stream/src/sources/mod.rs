@@ -51,7 +51,7 @@ use monilog_model::SourceId;
 use std::collections::VecDeque;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -206,7 +206,10 @@ impl QueueTx {
 struct Shared {
     tx: QueueTx,
     metrics: Arc<PipelineMetrics>,
-    policy: OverloadPolicy,
+    /// [`OverloadPolicy`] ordinal. Atomic so a hot config reload
+    /// ([`SourcesServer::set_overload_policy`]) can flip it mid-stream
+    /// without pausing the loop; each enqueue reads the current value.
+    policy: AtomicU8,
     dlq: Option<Arc<DeadLetterLog>>,
     max_frame_bytes: usize,
     max_http_body_bytes: usize,
@@ -218,7 +221,29 @@ struct Shared {
     dlq_seq: AtomicUsize,
 }
 
+/// `OverloadPolicy` <-> atomic-cell ordinal (the enum itself cannot live
+/// in an atomic).
+fn policy_ordinal(p: OverloadPolicy) -> u8 {
+    match p {
+        OverloadPolicy::Block => 0,
+        OverloadPolicy::ShedToCatchAll => 1,
+        OverloadPolicy::DeadLetter => 2,
+    }
+}
+
+fn policy_from_ordinal(v: u8) -> OverloadPolicy {
+    match v {
+        1 => OverloadPolicy::ShedToCatchAll,
+        2 => OverloadPolicy::DeadLetter,
+        _ => OverloadPolicy::Block,
+    }
+}
+
 impl Shared {
+    fn policy(&self) -> OverloadPolicy {
+        policy_from_ordinal(self.policy.load(Ordering::Relaxed))
+    }
+
     /// Enqueue a line; on a full queue apply the overload policy.
     /// `Err(event)` means the caller must hold the line and pause (Block
     /// policy on a pausable source); `Ok` means the line was consumed one
@@ -229,7 +254,7 @@ impl Shared {
                 PipelineMetrics::add(&self.metrics.sources_lines, 1);
                 Ok(())
             }
-            Err(ev) => match self.policy {
+            Err(ev) => match self.policy() {
                 OverloadPolicy::Block if can_pause => Err(ev),
                 OverloadPolicy::Block | OverloadPolicy::ShedToCatchAll => {
                     PipelineMetrics::add(&self.metrics.sources_lines_shed, 1);
@@ -263,6 +288,7 @@ impl Shared {
 pub struct SourcesServer {
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
     syslog_tcp_addr: Option<SocketAddr>,
     syslog_udp_addr: Option<SocketAddr>,
     http_addr: Option<SocketAddr>,
@@ -270,10 +296,13 @@ pub struct SourcesServer {
 }
 
 /// Optional `/metrics` endpoint mounted on the same loop as the sources.
+/// With `ops` set, the live operations surface (`/reports`, `/status`,
+/// `/readyz`, `/config`) is served from the same listener.
 pub struct MetricsEndpoint {
     pub addr: SocketAddr,
     pub interval: Duration,
     pub tracer: Option<Arc<Tracer>>,
+    pub ops: Option<Arc<crate::ops::OpsState>>,
 }
 
 impl SourcesServer {
@@ -296,7 +325,7 @@ impl SourcesServer {
         let shared = Arc::new(Shared {
             tx: queue_tx,
             metrics: registry.counters().clone(),
-            policy: config.on_overload,
+            policy: AtomicU8::new(policy_ordinal(config.on_overload)),
             dlq,
             max_frame_bytes: config.max_frame_bytes,
             max_http_body_bytes: config.max_http_body_bytes,
@@ -359,7 +388,7 @@ impl SourcesServer {
             let listener = bind_reusable(ep.addr)?;
             metrics_addr = Some(listener.local_addr()?);
             listener.set_nonblocking(true)?;
-            let service = Arc::new(MetricsService::new(registry, ep.tracer));
+            let service = Arc::new(MetricsService::new(registry, ep.tracer, ep.ops));
             register_metrics_listener(&mut event_loop, listener, service, ep.interval)?;
         }
 
@@ -374,6 +403,7 @@ impl SourcesServer {
             SourcesServer {
                 stop,
                 handle: Some(handle),
+                shared,
                 syslog_tcp_addr,
                 syslog_udp_addr,
                 http_addr,
@@ -381,6 +411,20 @@ impl SourcesServer {
             },
             SourceQueue { rx, depth },
         ))
+    }
+
+    /// Swap the overload policy live (the `POST /config on-overload=...`
+    /// path). Takes effect on the next enqueue; no lines in flight are
+    /// dropped by the swap itself.
+    pub fn set_overload_policy(&self, policy: OverloadPolicy) {
+        self.shared
+            .policy
+            .store(policy_ordinal(policy), Ordering::Relaxed);
+    }
+
+    /// The overload policy currently in force.
+    pub fn overload_policy(&self) -> OverloadPolicy {
+        self.shared.policy()
     }
 
     pub fn syslog_tcp_addr(&self) -> Option<SocketAddr> {
@@ -726,6 +770,32 @@ mod tests {
     }
 
     #[test]
+    fn overload_policy_hot_swaps_without_losing_lines() {
+        let reg = registry();
+        let mut cfg = test_config(4); // tiny queue
+        cfg.on_overload = OverloadPolicy::ShedToCatchAll;
+        let (server, queue) = SourcesServer::spawn(cfg, reg.clone(), None, None).unwrap();
+        assert_eq!(server.overload_policy(), OverloadPolicy::ShedToCatchAll);
+
+        // Flip to Block before any traffic: the saturated queue must now
+        // pause the connection instead of shedding — zero lines lost.
+        server.set_overload_policy(OverloadPolicy::Block);
+        assert_eq!(server.overload_policy(), OverloadPolicy::Block);
+
+        let addr = server.syslog_tcp_addr().unwrap();
+        let total = 200usize;
+        let mut conn = TcpStream::connect(addr).unwrap();
+        for i in 0..total {
+            conn.write_all(format!("swap line {i}\n").as_bytes())
+                .unwrap();
+        }
+        drop(conn);
+        let got = drain_for(&queue, total, 20);
+        assert_eq!(got.len(), total, "post-swap Block policy must not drop");
+        assert_eq!(reg.counters().sources_lines_shed.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
     fn shed_policy_drops_and_counts_when_saturated() {
         let reg = registry();
         let mut cfg = test_config(2);
@@ -784,6 +854,7 @@ mod tests {
                 addr: "127.0.0.1:0".parse().unwrap(),
                 interval: Duration::from_millis(100),
                 tracer: None,
+                ops: None,
             }),
         )
         .unwrap();

@@ -29,7 +29,7 @@
 use monilog_model::trace::json_string;
 use monilog_model::TraceId;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -268,7 +268,9 @@ impl FlightRing {
 /// shard id onto the available rings.
 #[derive(Debug)]
 pub struct Tracer {
-    sample_rate: u32,
+    /// Atomic so the live ops surface can retune sampling without a
+    /// restart; every read is a relaxed load on the hot path.
+    sample_rate: AtomicU32,
     epoch: Instant,
     rings: Vec<FlightRing>,
     dump_dir: Option<PathBuf>,
@@ -280,7 +282,7 @@ impl Tracer {
     /// sequential deployments).
     pub fn new(config: &TraceConfig, n_rings: usize) -> Self {
         Tracer {
-            sample_rate: config.sample_rate,
+            sample_rate: AtomicU32::new(config.sample_rate),
             epoch: Instant::now(),
             rings: (0..n_rings.max(1))
                 .map(|_| FlightRing::new(config.ring_capacity as usize))
@@ -308,19 +310,26 @@ impl Tracer {
     }
 
     pub fn sample_rate(&self) -> u32 {
-        self.sample_rate
+        self.sample_rate.load(Ordering::Relaxed)
+    }
+
+    /// Swap the sampling rate live (0 disables span sampling). In-flight
+    /// lines keep whatever decision they computed; new lines see the new
+    /// rate on their next `trace_for` call.
+    pub fn set_sample_rate(&self, rate: u32) {
+        self.sample_rate.store(rate, Ordering::Relaxed);
     }
 
     /// True when span sampling is on.
     pub fn enabled(&self) -> bool {
-        self.sample_rate > 0
+        self.sample_rate() > 0
     }
 
     /// The sampling decision for line `seq` — the single hot-path entry
     /// point (one modulo, one branch for the untraced majority).
     #[inline]
     pub fn trace_for(&self, seq: u64) -> Option<TraceId> {
-        TraceId::from_seq(seq, self.sample_rate)
+        TraceId::from_seq(seq, self.sample_rate())
     }
 
     /// Nanoseconds since the tracer's epoch.
@@ -419,7 +428,7 @@ impl Tracer {
         format!(
             "{{\"sample_rate\":{},\"rings\":{},\"ring_capacity\":{},\"dumps_written\":{},\
              \"spans\":[{}]}}",
-            self.sample_rate,
+            self.sample_rate(),
             self.rings.len(),
             self.rings[0].slots.len(),
             self.dumps_written.load(Ordering::Relaxed),

@@ -77,6 +77,8 @@ fn durable_opts(state_dir: &Path) -> DurableOptions {
         journal_fsync_ms: 0,
         journal_segment_bytes: 8 * 1024 * 1024,
         sinks: None,
+        config_file: None,
+        latency_budget_ms: 250,
     }
 }
 
