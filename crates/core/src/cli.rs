@@ -71,6 +71,31 @@ pub enum CliCommand {
         /// reads the logfile.
         sources: Option<SourcesOptions>,
     },
+    /// `monilog router`: partition input files across a fleet of monitor
+    /// processes (`monilog monitor --join`) over the cluster wire
+    /// protocol, with node-kill detection, replay and rebalancing.
+    Router {
+        /// Input files, one routed source per file
+        /// (`ROUTER_SOURCE_BASE + index`), fed round-robin.
+        logfiles: Vec<String>,
+        /// Cluster listen address (`--listen-cluster`; port 0 picks a
+        /// free port, written to `<state-dir>/listen-addrs`).
+        listen: std::net::SocketAddr,
+        /// Monitors to wait for before routing (`--expect-nodes`).
+        expect_nodes: usize,
+        /// Root for the per-source retention buffers and `listen-addrs`.
+        state_dir: String,
+        /// Lines per sealed batch (`--batch-lines`).
+        batch_lines: usize,
+        /// Heartbeat cadence (`--heartbeat-ms`).
+        heartbeat_ms: u64,
+        /// Silence after which a node is declared dead
+        /// (`--dead-after-ms`).
+        dead_after_ms: u64,
+        /// Base grace before a dead node's sources move
+        /// (`--rebalance-grace-ms`); doubles per attempt, with jitter.
+        rebalance_grace_ms: u64,
+    },
     Help,
 }
 
@@ -88,6 +113,14 @@ pub struct SourcesOptions {
     pub http: Option<std::net::SocketAddr>,
     /// Files to tail (repeatable `--tail`); cursors persist across restarts.
     pub tails: Vec<String>,
+    /// Cluster router to join (`--join host:port`); router-assigned
+    /// sources then flow through the same journaled ingest queue as the
+    /// local listeners.
+    pub join: Option<std::net::SocketAddr>,
+    /// Stable node name for `--join` (`--node-id`). The router keys acked
+    /// high-water marks and source assignments by it, so it must survive
+    /// restarts — reuse the same name to rejoin with zero duplicate lines.
+    pub node_id: Option<String>,
 }
 
 impl SourcesOptions {
@@ -96,6 +129,17 @@ impl SourcesOptions {
             || self.syslog_udp.is_some()
             || self.http.is_some()
             || !self.tails.is_empty()
+            || self.join.is_some()
+    }
+
+    /// A fleet member with no local listeners: its only input is the
+    /// router link, so a router `Fin` ends the run.
+    fn router_only(&self) -> bool {
+        self.join.is_some()
+            && self.syslog_tcp.is_none()
+            && self.syslog_udp.is_none()
+            && self.http.is_none()
+            && self.tails.is_empty()
     }
 }
 
@@ -200,12 +244,15 @@ USAGE:
     monilog calibrate <logfile>
     monilog train     <logfile> --checkpoint <out> [--format ...] [fault opts]
     monilog monitor   <logfile> --checkpoint <in>  [--format ...] [fault opts]
+    monilog router    <logfile>... --state-dir <dir> [router opts]
 
   parse      discover and print the log templates of <logfile>
   calibrate  auto-parametrize the parser on <logfile> (no labels needed)
   train      fit the anomaly detector on <logfile> (assumed normal) and
              write a restartable checkpoint
   monitor    restore a checkpoint and report anomalies found in <logfile>
+  router     partition log sources across a fleet of monitors
+             (`monitor --join`), with node-kill recovery and replay
 
 fault-tolerance options (streaming deployments):
   --on-overload block|shed|dead-letter   submit() behaviour when saturated
@@ -289,12 +336,41 @@ network sources (monitor, require --state-dir; <logfile> then optional):
   --tail <path>                          follow a live log file; repeatable;
                                          resume cursors ride the durable
                                          checkpoint so restarts never
-                                         re-ingest
+                                         re-ingest; a basename glob
+                                         ('dir/app-*.log', quote it) also
+                                         discovers matching files created
+                                         while the monitor runs
   Backpressure at the source boundary follows --on-overload: block pauses
   TCP reads and tails (HTTP answers 429, UDP drops), shed drops and counts,
   dead-letter diverts raw lines to <state-dir>/sources_dead_letter.jsonl.
   A second SIGTERM/SIGINT during the graceful drain forces an immediate
   exit (status 130); the WAL replays the difference on the next start.
+
+distributed fleet:
+  monitor --join <host:port>             join a router: router-assigned
+                                         sources flow through the same WAL
+                                         as local listeners; exactly-once
+                                         end-to-end via per-source seq
+                                         dedup across restarts
+  monitor --node-id <name>               stable node name (required with
+                                         --join); reuse it to rejoin with
+                                         zero duplicate lines
+  router --listen-cluster <host:port>    cluster listen address (default
+                                         127.0.0.1:0; the bound addr is
+                                         written to <state-dir>/listen-addrs)
+  router --expect-nodes <n>              monitors to wait for before
+                                         routing starts (default 1)
+  router --dead-after-ms <n>             heartbeat silence after which a
+                                         node is declared dead and its
+                                         sources rebalance (default 1500)
+  router --rebalance-grace-ms <n>        base grace before a dead node's
+                                         sources move; doubles per attempt
+                                         with jitter (default 500)
+  router also honours --batch-lines (lines per wire batch, default 64)
+  and --heartbeat-ms (default 250). A killed monitor's unacked batches
+  replay to the surviving owner; a restarted monitor rejoins by name and
+  receives a warm template snapshot. Template stores reconcile fleet-wide
+  through the router (Logan-style merge).
 ";
 
 /// Parse argv (without the program name).
@@ -313,6 +389,13 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
     let mut sinks = SinkOptions::default();
     let mut sinks_given = false;
     let mut sources = SourcesOptions::default();
+    let mut listen_cluster: Option<std::net::SocketAddr> = None;
+    let mut expect_nodes = 1usize;
+    let mut dead_after_ms = 1_500u64;
+    let mut rebalance_grace_ms = 500u64;
+    let mut router_flag_given = false;
+    let mut batch_lines_given: Option<usize> = None;
+    let mut heartbeat_given: Option<u64> = None;
     let mut batch = BatchConfig::default();
     let mut config_file: Option<String> = None;
     let mut latency_budget_ms = DEFAULT_LATENCY_BUDGET_MS;
@@ -352,6 +435,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                     .map_err(|_| format!("invalid --batch-lines {value:?}"))?;
                 batch = BatchConfig::new(n, batch.deadline.as_millis() as u64)
                     .map_err(|e| format!("invalid --batch-lines {value:?}: {e}"))?;
+                batch_lines_given = Some(n);
             }
             "--batch-deadline-ms" => {
                 i += 1;
@@ -373,6 +457,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                     return Err("--heartbeat-ms must be at least 1".to_string());
                 }
                 fault.heartbeat_ms = ms;
+                heartbeat_given = Some(ms);
             }
             "--metrics-addr" => {
                 i += 1;
@@ -578,6 +663,68 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 let value = args.get(i).ok_or("--tail needs a path")?;
                 sources.tails.push(value.clone());
             }
+            "--join" => {
+                i += 1;
+                let value = args.get(i).ok_or("--join needs host:port")?;
+                sources.join = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid --join {value:?}"))?,
+                );
+            }
+            "--node-id" => {
+                i += 1;
+                let value = args.get(i).ok_or("--node-id needs a name")?;
+                if value.is_empty() || value.len() > 64 {
+                    return Err("--node-id must be 1..=64 characters".to_string());
+                }
+                sources.node_id = Some(value.clone());
+            }
+            "--listen-cluster" => {
+                i += 1;
+                let value = args.get(i).ok_or("--listen-cluster needs host:port")?;
+                listen_cluster = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid --listen-cluster {value:?}"))?,
+                );
+                router_flag_given = true;
+            }
+            "--expect-nodes" => {
+                i += 1;
+                let value = args.get(i).ok_or("--expect-nodes needs a count")?;
+                expect_nodes = value
+                    .parse()
+                    .map_err(|_| format!("invalid --expect-nodes {value:?}"))?;
+                if expect_nodes == 0 {
+                    return Err("--expect-nodes must be at least 1".to_string());
+                }
+                router_flag_given = true;
+            }
+            "--dead-after-ms" => {
+                i += 1;
+                let value = args.get(i).ok_or("--dead-after-ms needs milliseconds")?;
+                dead_after_ms = value
+                    .parse()
+                    .map_err(|_| format!("invalid --dead-after-ms {value:?}"))?;
+                if dead_after_ms == 0 {
+                    return Err("--dead-after-ms must be at least 1".to_string());
+                }
+                router_flag_given = true;
+            }
+            "--rebalance-grace-ms" => {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or("--rebalance-grace-ms needs milliseconds")?;
+                rebalance_grace_ms = value
+                    .parse()
+                    .map_err(|_| format!("invalid --rebalance-grace-ms {value:?}"))?;
+                if rebalance_grace_ms == 0 {
+                    return Err("--rebalance-grace-ms must be at least 1".to_string());
+                }
+                router_flag_given = true;
+            }
             "--help" | "-h" => return Ok(CliCommand::Help),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             positional_arg => positional.push(positional_arg.to_string()),
@@ -626,16 +773,28 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
         }
         None => None,
     };
+    if sources.join.is_some() != sources.node_id.is_some() {
+        // The node name keys the router's acked high-water marks; a
+        // default would silently collide across fleet members.
+        return Err("--join and --node-id must be given together".to_string());
+    }
     let mut positional = positional.into_iter();
     let command = positional.next().ok_or(USAGE.to_string())?;
-    if durable.is_some() && command != "monitor" {
-        return Err("--state-dir is only supported by the monitor command".to_string());
+    if durable.is_some() && command != "monitor" && command != "router" {
+        return Err("--state-dir is only supported by the monitor and router commands".to_string());
+    }
+    if router_flag_given && command != "router" {
+        return Err(
+            "--listen-cluster / --expect-nodes / --dead-after-ms / --rebalance-grace-ms are \
+             only supported by the router command"
+                .to_string(),
+        );
     }
     if sources.any() {
         if command != "monitor" {
             return Err(
-                "--listen-syslog-tcp / --listen-syslog-udp / --listen-http / --tail are only \
-                 supported by the monitor command"
+                "--listen-syslog-tcp / --listen-syslog-udp / --listen-http / --tail / --join \
+                 are only supported by the monitor command"
                     .to_string(),
             );
         }
@@ -644,7 +803,7 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
         // without a state directory.
         if durable.is_none() {
             return Err(
-                "--listen-syslog-tcp / --listen-syslog-udp / --listen-http / --tail \
+                "--listen-syslog-tcp / --listen-syslog-udp / --listen-http / --tail / --join \
                  require --state-dir"
                     .to_string(),
             );
@@ -684,6 +843,24 @@ pub fn parse_args(args: &[String]) -> Result<CliCommand, String> {
                 trace_out,
                 durable,
                 sources: sources.any().then_some(sources),
+            })
+        }
+        "router" => {
+            let logfiles: Vec<String> = positional.collect();
+            if logfiles.is_empty() {
+                return Err("router needs one or more <logfile> inputs".to_string());
+            }
+            let opts = durable.ok_or("router needs --state-dir for its retention buffers")?;
+            Ok(CliCommand::Router {
+                logfiles,
+                listen: listen_cluster
+                    .unwrap_or_else(|| "127.0.0.1:0".parse().expect("static addr")),
+                expect_nodes,
+                state_dir: opts.state_dir,
+                batch_lines: batch_lines_given.unwrap_or(64),
+                heartbeat_ms: heartbeat_given.unwrap_or(250),
+                dead_after_ms,
+                rebalance_grace_ms,
             })
         }
         "help" => Ok(CliCommand::Help),
@@ -896,6 +1073,27 @@ pub fn run(command: CliCommand) -> Result<String, String> {
             write_report_lines(&mut out, &anomalies);
             write_trace_out(&monilog, trace_out, &mut out)?;
         }
+        CliCommand::Router {
+            logfiles,
+            listen,
+            expect_nodes,
+            state_dir,
+            batch_lines,
+            heartbeat_ms,
+            dead_after_ms,
+            rebalance_grace_ms,
+        } => {
+            let cfg = monilog_stream::RouterConfig {
+                listen,
+                buffer_dir: std::path::Path::new(&state_dir).join("router-buffers"),
+                batch_lines,
+                heartbeat_ms,
+                dead_after_ms,
+                rebalance_grace_ms,
+                ..monilog_stream::RouterConfig::default()
+            };
+            run_router(&logfiles, &state_dir, cfg, expect_nodes, &mut out)?;
+        }
     }
     Ok(out)
 }
@@ -1071,6 +1269,7 @@ fn build_ops(
         applied_version: 0,
         boot_ticket_at: durable.router().ticket_at,
         spilled_seen: 0,
+        mailbox: None,
     };
     // `--config-file` is the SIGHUP source of truth; honour it once at
     // startup so a restart and a reload converge on the same config.
@@ -1114,6 +1313,9 @@ struct OpsDriver {
     /// reports_spilled high-water mark from the previous publish; a delta
     /// means the delivery layer is actively spilling.
     spilled_seen: u64,
+    /// Cluster mailbox for `--join` monitors; its link snapshot feeds the
+    /// status rollup's cluster section and the `/readyz` degraded tier.
+    mailbox: Option<std::sync::Arc<monilog_stream::ClusterMailbox>>,
 }
 
 impl OpsDriver {
@@ -1207,6 +1409,13 @@ impl OpsDriver {
                     (route, name.to_string())
                 })
                 .collect();
+        }
+        if let Some(mb) = &self.mailbox {
+            let link = mb.snapshot();
+            inputs.router_link = Some((
+                link.state.as_str().to_string(),
+                link.reason.unwrap_or_default(),
+            ));
         }
         self.ops.status.publish(inputs);
     }
@@ -1358,7 +1567,9 @@ fn run_sources_monitor(
     use crate::durable::{
         decode_tail_cursors, encode_tail_cursors, PersistedTailCursor, SOURCES_SECTION,
     };
-    use monilog_stream::sources::{TailCursor, TailSpec, TAIL_SOURCE_BASE};
+    use monilog_stream::sources::{
+        glob_match, GlobResume, TailCursor, TailGlobSpec, TailSpec, TAIL_SOURCE_BASE,
+    };
     use monilog_stream::{DeadLetterLog, MetricsEndpoint, SourcesConfig, SourcesServer};
     use std::time::{Duration, Instant};
 
@@ -1392,24 +1603,39 @@ fn run_sources_monitor(
     // Resume file tails from the checkpointed cursors. Lines journaled
     // after the cursor snapshot replayed from the WAL above; the tail
     // seeks to the cursor and skips exactly that many lines.
+    //
+    // A `--tail` whose basename carries `*`/`?` is a glob: files are
+    // discovered at runtime and their cursors resume *path-keyed* (a
+    // discovered file has no stable position in the flag list), while
+    // static tails resume index-keyed as before.
     let recovered = durable
         .recovered_section(SOURCES_SECTION)
         .map(decode_tail_cursors)
         .unwrap_or_default();
+    let is_glob = |path: &str| {
+        std::path::Path::new(path)
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.contains(['*', '?']))
+    };
+    let static_paths: Vec<&String> = src.tails.iter().filter(|p| !is_glob(p)).collect();
     let mut tails = Vec::new();
     let mut cursors: Vec<PersistedTailCursor> = Vec::new();
-    for (index, path) in src.tails.iter().enumerate() {
-        let mut spec = TailSpec::new(path);
+    let skip_for = |durable: &DurableMoniLog, slot: usize, last_seq: u64| {
+        let source = SourceId(TAIL_SOURCE_BASE + slot as u16);
+        let high_water = durable.next_seq(source).saturating_sub(1);
+        high_water.saturating_sub(last_seq)
+    };
+    for (index, path) in static_paths.iter().enumerate() {
+        let mut spec = TailSpec::new(path.as_str());
         match recovered.iter().find(|c| c.index == index) {
             Some(c) => {
-                let source = SourceId(TAIL_SOURCE_BASE + index as u16);
-                let high_water = durable.next_seq(source).saturating_sub(1);
                 spec.resume = Some(TailCursor {
                     inode: c.inode,
                     offset: c.offset,
                     last_seq: c.last_seq,
                 });
-                spec.skip_lines = high_water.saturating_sub(c.last_seq);
+                spec.skip_lines = skip_for(&durable, index, c.last_seq);
                 cursors.push(c.clone());
             }
             None => cursors.push(PersistedTailCursor {
@@ -1417,10 +1643,58 @@ fn run_sources_monitor(
                 inode: 0,
                 offset: 0,
                 last_seq: 0,
-                path: path.clone(),
+                path: (*path).clone(),
             }),
         }
         tails.push(spec);
+    }
+    let mut tail_globs = Vec::new();
+    for pattern in src.tails.iter().filter(|p| is_glob(p)) {
+        let pat = std::path::Path::new(pattern);
+        let basename = pat.file_name().and_then(|n| n.to_str()).unwrap_or("*");
+        let dir = match pat.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => std::path::PathBuf::from("."),
+        };
+        // Cursors persisted for files this glob discovered before: slots
+        // above the static range whose path sits in the glob's directory
+        // and matches its basename pattern. A slot inside the static
+        // range means the flag list changed shape; start that file fresh
+        // rather than resume someone else's position.
+        let known: Vec<GlobResume> = recovered
+            .iter()
+            .filter(|c| c.index >= static_paths.len())
+            .filter(|c| {
+                let p = std::path::Path::new(&c.path);
+                p.parent().map(|d| d == dir).unwrap_or(false)
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| glob_match(basename, n))
+            })
+            .map(|c| GlobResume {
+                slot: c.index,
+                path: c.path.clone().into(),
+                resume: TailCursor {
+                    inode: c.inode,
+                    offset: c.offset,
+                    last_seq: c.last_seq,
+                },
+                skip_lines: skip_for(&durable, c.index, c.last_seq),
+            })
+            .collect();
+        for k in &known {
+            cursors.push(PersistedTailCursor {
+                index: k.slot,
+                inode: k.resume.inode,
+                offset: k.resume.offset,
+                last_seq: k.resume.last_seq,
+                path: k.path.display().to_string(),
+            });
+        }
+        tail_globs.push(TailGlobSpec {
+            pattern: pattern.into(),
+            known,
+        });
     }
 
     let dlq = match config.fault_tolerance.on_overload {
@@ -1435,7 +1709,16 @@ fn run_sources_monitor(
         syslog_udp: src.syslog_udp,
         http: src.http,
         tails,
+        tail_globs,
         on_overload: config.fault_tolerance.on_overload,
+        router: src.join.map(|addr| {
+            monilog_stream::RouterLinkConfig::new(
+                addr,
+                src.node_id
+                    .clone()
+                    .expect("--join validated with --node-id"),
+            )
+        }),
         ..SourcesConfig::default()
     };
     // `/metrics` rides the same event loop as the sources — one thread
@@ -1474,6 +1757,21 @@ fn run_sources_monitor(
         let _ = writeln!(out, "listening: {line}");
     }
 
+    // Fleet membership: the link supervisor rides the sources event loop;
+    // the mailbox is this thread's window into it.
+    let mailbox = server.cluster_mailbox();
+    ops.mailbox = mailbox.clone();
+    let router_only = src.router_only();
+    let mut known_templates = durable.pipeline().templates().len();
+    if let Some(mb) = &mailbox {
+        let _ = writeln!(
+            out,
+            "cluster: joining router at {} as node {}",
+            src.join.expect("join implies addr"),
+            mb.node()
+        );
+    }
+
     let idle_exit: Option<Duration> = std::env::var("MONILOG_IDLE_EXIT_MS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -1510,6 +1808,20 @@ fn run_sources_monitor(
             // this, a stream that goes quiet leaves its last burst
             // unsynced and unapplied until the next line arrives.
             anomalies.extend(durable.tick()?);
+            if let Some(mb) = &mailbox {
+                cluster_roundup(mb, &mut durable, &mut known_templates, out);
+                // A router `Fin` ends a file-driven run — but only once
+                // every delivered batch is journaled and acked, and only
+                // when the link is this monitor's sole input.
+                if router_only
+                    && mb.fin_received()
+                    && mb.unacked_batches() == 0
+                    && queue.depth() == 0
+                {
+                    let _ = writeln!(out, "cluster: router finished the run; draining");
+                    break;
+                }
+            }
             if let Some(limit) = idle_exit {
                 if last_event.elapsed() >= limit {
                     break;
@@ -1519,24 +1831,62 @@ fn run_sources_monitor(
         }
         last_event = Instant::now();
         for ev in batch {
-            let seq = {
-                let e = next
-                    .entry(ev.source.0)
-                    .or_insert_with(|| durable.next_seq(ev.source));
-                let s = *e;
-                *e += 1;
-                s
+            let seq = match ev.seq {
+                // Router-assigned wire seq: journal under exactly this
+                // seq. Anything at or below the per-source high-water
+                // mark was journaled by a previous life (or an earlier
+                // delivery) and replays here as a duplicate — at-least-
+                // once on the wire, exactly-once in the journal.
+                Some(wire) => {
+                    if wire < durable.next_seq(ev.source) {
+                        continue;
+                    }
+                    wire
+                }
+                None => {
+                    let e = next
+                        .entry(ev.source.0)
+                        .or_insert_with(|| durable.next_seq(ev.source));
+                    let s = *e;
+                    *e += 1;
+                    s
+                }
             };
             if let Some((index, cursor)) = ev.cursor {
-                if let Some(slot) = cursors.iter_mut().find(|c| c.index == index) {
-                    slot.inode = cursor.inode;
-                    slot.offset = cursor.offset;
-                    slot.last_seq = seq;
+                match cursors.iter_mut().find(|c| c.index == index) {
+                    Some(slot) => {
+                        slot.inode = cursor.inode;
+                        slot.offset = cursor.offset;
+                        slot.last_seq = seq;
+                    }
+                    None => {
+                        // First line from a glob-discovered file: learn its
+                        // path from the server's tail registry so the
+                        // persisted cursor is path-keyed for the next life.
+                        let path = server.as_ref().and_then(|s| {
+                            s.tail_paths()
+                                .into_iter()
+                                .find(|(slot, _)| *slot == index)
+                                .map(|(_, p)| p.display().to_string())
+                        });
+                        cursors.push(PersistedTailCursor {
+                            index,
+                            inode: cursor.inode,
+                            offset: cursor.offset,
+                            last_seq: seq,
+                            path: path.unwrap_or_default(),
+                        });
+                    }
                 }
                 durable.set_section(SOURCES_SECTION, encode_tail_cursors(&cursors));
             }
             anomalies.extend(durable.ingest(&RawLog::new(ev.source, seq, ev.line))?);
             processed += 1;
+        }
+        if let Some(mb) = &mailbox {
+            // After the batch, not before: a `Revoke` racing lines still
+            // queued from the old assignment must discard them too.
+            cluster_roundup(mb, &mut durable, &mut known_templates, out);
         }
     }
 
@@ -1579,6 +1929,148 @@ fn run_sources_monitor(
         std::fs::write(&path, tracer.chrome_trace_json())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         let _ = writeln!(out, "trace events: {path}");
+    }
+    Ok(())
+}
+
+/// Per-round cluster bookkeeping for a fleet member: discard state for
+/// revoked sources (their new owner rebuilds them from seq 1), adopt
+/// fleet-merged templates, publish the journaled-and-applied marks the
+/// link is allowed to ack, and offer newly learned local templates for
+/// reconciliation.
+fn cluster_roundup(
+    mailbox: &monilog_stream::ClusterMailbox,
+    durable: &mut DurableMoniLog,
+    known_templates: &mut usize,
+    out: &mut String,
+) {
+    for source in mailbox.take_revoked() {
+        let dropped = durable.discard_source(source);
+        let _ = writeln!(
+            out,
+            "cluster: source {} revoked ({dropped} open windows discarded)",
+            source.0
+        );
+    }
+    if let Some(snapshot) = mailbox.take_templates() {
+        match durable.adopt_templates(&snapshot) {
+            Ok(adopted) if adopted > 0 => {
+                let _ = writeln!(out, "cluster: adopted {adopted} fleet templates");
+            }
+            Ok(_) => {}
+            Err(e) => {
+                let _ = writeln!(out, "cluster: ignored invalid template snapshot: {e}");
+            }
+        }
+        // Adoption counts toward the known set: don't echo the merged
+        // store straight back at the router.
+        *known_templates = durable.pipeline().templates().len();
+    }
+    // Acks follow durability: only marks that are fsynced *and* applied.
+    mailbox.publish_journaled(&durable.applied_marks());
+    let templates = durable.pipeline().templates().len();
+    if templates > *known_templates {
+        mailbox.offer_templates(durable.pipeline().templates().encode());
+        *known_templates = templates;
+    }
+}
+
+/// The `router` command: serve the cluster wire protocol, wait for the
+/// fleet, then feed the input files round-robin — one routed source per
+/// file — and drain until every line is acked by a monitor. Node death
+/// mid-run is absorbed here: unacked batches replay to whichever node
+/// the dead node's sources rebalance onto.
+fn run_router(
+    logfiles: &[String],
+    state_dir: &str,
+    cfg: monilog_stream::RouterConfig,
+    expect_nodes: usize,
+    out: &mut String,
+) -> Result<(), String> {
+    use monilog_stream::{Router, ROUTER_SOURCE_BASE};
+    use std::time::Duration;
+
+    monilog_stream::install_shutdown_handler();
+    let state_dir = std::path::Path::new(state_dir);
+    std::fs::create_dir_all(state_dir)
+        .map_err(|e| format!("create {}: {e}", state_dir.display()))?;
+    let files: Vec<Vec<String>> = logfiles
+        .iter()
+        .map(|p| read_lines(p))
+        .collect::<Result<_, _>>()?;
+    let router = Router::spawn(cfg).map_err(|e| e.to_string())?;
+    let addr = router.local_addr();
+    // Same discovery convention as the monitor's listeners: the bound
+    // address (the port may have been 0) lands in <state-dir>/listen-addrs
+    // where both the operator and a driving harness can read it.
+    write_file_atomic(
+        &state_dir.join("listen-addrs"),
+        format!("cluster {addr}\n").as_bytes(),
+    )
+    .map_err(|e| format!("write listen-addrs: {e}"))?;
+    let _ = writeln!(out, "listening: cluster {addr}");
+    router
+        .wait_for_nodes(expect_nodes, Duration::from_secs(60))
+        .map_err(|e| e.to_string())?;
+    let _ = writeln!(out, "fleet: {expect_nodes} node(s) joined");
+
+    // Round-robin so every source makes steady progress: a node kill
+    // lands mid-stream for all of them, not just the last file.
+    let mut cursor = vec![0usize; files.len()];
+    let mut remaining: usize = files.iter().map(Vec::len).sum();
+    let mut interrupted = false;
+    'route: while remaining > 0 {
+        for (i, lines) in files.iter().enumerate() {
+            if monilog_stream::shutdown_requested() {
+                interrupted = true;
+                break 'route;
+            }
+            if cursor[i] < lines.len() {
+                let source = SourceId(ROUTER_SOURCE_BASE + i as u16);
+                router
+                    .route_line(source, lines[cursor[i]].as_bytes())
+                    .map_err(|e| e.to_string())?;
+                cursor[i] += 1;
+                remaining -= 1;
+            }
+        }
+    }
+    let stats = if interrupted {
+        let _ = writeln!(out, "interrupted: {remaining} lines not routed");
+        let stats = router.stats();
+        router.shutdown();
+        stats
+    } else {
+        let stats = router
+            .finish(Duration::from_secs(60))
+            .map_err(|e| e.to_string())?;
+        router.shutdown();
+        stats
+    };
+    let _ = writeln!(
+        out,
+        "routed {} lines across {} sources: {} batches sent, {} acked, {} lines replayed",
+        stats.lines_routed,
+        files.len(),
+        stats.batches_sent,
+        stats.batches_acked,
+        stats.lines_replayed
+    );
+    let _ = writeln!(
+        out,
+        "fleet: {} rebalances, {} rejoins; template epoch {} ({} templates)",
+        stats.rebalances, stats.rejoins, stats.template_epoch, stats.template_count
+    );
+    for (node, connected, assigned) in &stats.nodes {
+        let _ = writeln!(
+            out,
+            "  node {node}: {}, {assigned} sources assigned",
+            if *connected {
+                "connected"
+            } else {
+                "disconnected"
+            }
+        );
     }
     Ok(())
 }
@@ -1656,6 +2148,121 @@ mod tests {
         assert!(parse_args(&args(&["frobnicate"])).is_err());
         assert!(parse_args(&args(&["parse", "x", "--format", "exotic"])).is_err());
         assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn cluster_flags_parse() {
+        let parsed = parse_args(&args(&[
+            "router",
+            "a.log",
+            "b.log",
+            "--state-dir",
+            "/tmp/r",
+            "--listen-cluster",
+            "127.0.0.1:0",
+            "--expect-nodes",
+            "2",
+            "--dead-after-ms",
+            "800",
+            "--rebalance-grace-ms",
+            "200",
+            "--batch-lines",
+            "16",
+            "--heartbeat-ms",
+            "100",
+        ]))
+        .unwrap();
+        match parsed {
+            CliCommand::Router {
+                logfiles,
+                expect_nodes,
+                state_dir,
+                batch_lines,
+                heartbeat_ms,
+                dead_after_ms,
+                rebalance_grace_ms,
+                ..
+            } => {
+                assert_eq!(logfiles, vec!["a.log".to_string(), "b.log".to_string()]);
+                assert_eq!(expect_nodes, 2);
+                assert_eq!(state_dir, "/tmp/r");
+                assert_eq!(batch_lines, 16);
+                assert_eq!(heartbeat_ms, 100);
+                assert_eq!(dead_after_ms, 800);
+                assert_eq!(rebalance_grace_ms, 200);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let parsed = parse_args(&args(&[
+            "monitor",
+            "--checkpoint",
+            "m.bin",
+            "--state-dir",
+            "d",
+            "--join",
+            "127.0.0.1:9100",
+            "--node-id",
+            "mon-a",
+        ]))
+        .unwrap();
+        match parsed {
+            CliCommand::Monitor {
+                sources: Some(s), ..
+            } => {
+                assert_eq!(s.join, Some("127.0.0.1:9100".parse().unwrap()));
+                assert_eq!(s.node_id.as_deref(), Some("mon-a"));
+                assert!(s.router_only());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Pairing and placement rules.
+        assert!(
+            parse_args(&args(&[
+                "monitor",
+                "--checkpoint",
+                "m",
+                "--state-dir",
+                "d",
+                "--join",
+                "127.0.0.1:9"
+            ]))
+            .is_err(),
+            "--join without --node-id"
+        );
+        assert!(
+            parse_args(&args(&["router", "a.log"])).is_err(),
+            "router without --state-dir"
+        );
+        assert!(
+            parse_args(&args(&["router", "--state-dir", "d"])).is_err(),
+            "router without inputs"
+        );
+        assert!(
+            parse_args(&args(&[
+                "monitor",
+                "x.log",
+                "--checkpoint",
+                "m",
+                "--expect-nodes",
+                "2"
+            ]))
+            .is_err(),
+            "--expect-nodes outside router"
+        );
+        assert!(
+            parse_args(&args(&[
+                "train",
+                "x.log",
+                "--checkpoint",
+                "m",
+                "--join",
+                "127.0.0.1:9",
+                "--node-id",
+                "a"
+            ]))
+            .is_err(),
+            "--join outside monitor"
+        );
     }
 
     #[test]

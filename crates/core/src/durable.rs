@@ -667,6 +667,39 @@ impl DurableMoniLog {
         self.journaled.get(&source.0).map_or(0, |s| *s) + 1
     }
 
+    /// Per-source high-water marks that are fsync'd *and* applied — the
+    /// safe-to-ack set for the cluster link (`ClusterMailbox::
+    /// publish_journaled`). Lines still in the group-commit window are
+    /// excluded; publish right after [`DurableMoniLog::sync_wal`].
+    pub fn applied_marks(&self) -> Vec<(SourceId, u64)> {
+        let mut marks: Vec<(SourceId, u64)> = self
+            .applied
+            .iter()
+            .map(|(&s, &seq)| (SourceId(s), seq))
+            .collect();
+        marks.sort_by_key(|(s, _)| s.0);
+        marks
+    }
+
+    /// Adopt a fleet template snapshot (cluster reconciliation broadcast);
+    /// see `MoniLog::adopt_templates`.
+    pub fn adopt_templates(&mut self, snapshot: &[u8]) -> Result<usize, String> {
+        self.pipeline
+            .adopt_templates(snapshot)
+            .map_err(|e| format!("fleet template snapshot: {e}"))
+    }
+
+    /// Cluster revocation: purge every trace of `source` that has not yet
+    /// become a report — open windows, reorder-buffer records, and lines
+    /// journaled but still awaiting group commit. The WAL entries remain
+    /// (history is append-only); a later recovery replays them into open
+    /// windows again, and the re-handshake's revocation discards them
+    /// again before they can close.
+    pub fn discard_source(&mut self, source: SourceId) -> usize {
+        self.pending.retain(|r| r.source != source);
+        self.pipeline.discard_source(source)
+    }
+
     /// Set a caller-owned manifest section (e.g. [`SOURCES_SECTION`] tail
     /// cursors) to be written with every subsequent checkpoint. Call
     /// *before* ingesting the lines the section accounts for, so a

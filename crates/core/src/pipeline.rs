@@ -11,7 +11,8 @@ use monilog_detect::{
 use monilog_model::codec::{CodecError, Decoder, Encoder};
 use monilog_model::{
     extract_structured, parse_header, AnomalyKind, AnomalyReport, Criticality, EventId,
-    HeaderFormat, LogEvent, Provenance, RawLog, SessionKey, TemplateStore, Timestamp, TraceId,
+    HeaderFormat, LogEvent, Provenance, RawLog, SessionKey, SourceId, TemplateStore, Timestamp,
+    TraceId,
 };
 use monilog_parse::{Drain, DrainConfig, OnlineParser};
 use monilog_stream::observe::{MetricsRegistry, Stage};
@@ -343,6 +344,32 @@ impl MoniLog {
     /// The template store discovered so far.
     pub fn templates(&self) -> &TemplateStore {
         self.parser.store()
+    }
+
+    /// Adopt an encoded fleet [`TemplateStore`] (the cluster reconciliation
+    /// broadcast): every template the local parser does not already hold is
+    /// inserted via `Drain::adopt`, so this node groups lines the same way
+    /// the rest of the fleet does. Idempotent; local template ids are
+    /// preserved (adoption interns by rendered pattern). Returns the number
+    /// of templates newly learned.
+    pub fn adopt_templates(&mut self, snapshot: &[u8]) -> Result<usize, CodecError> {
+        let incoming = TemplateStore::decode(snapshot)?;
+        let before = self.parser.store().len();
+        for t in incoming.iter() {
+            self.parser.adopt(&t.tokens);
+        }
+        Ok(self.parser.store().len() - before)
+    }
+
+    /// Purge all in-flight state for `source`: open windows containing its
+    /// events and its records still held in the reorder buffer. The cluster
+    /// revocation path — after failover moved a source to another monitor,
+    /// recovered half-windows here must never turn into reports (the new
+    /// owner re-emits them from line one). Parsed templates are kept: they
+    /// are global knowledge, not per-source state.
+    pub fn discard_source(&mut self, source: SourceId) -> usize {
+        self.reorder.retain(|record| record.source != source);
+        self.assembler.discard_source(source)
     }
 
     /// The classifier (pool administration surface).

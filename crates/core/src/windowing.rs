@@ -10,9 +10,9 @@
 //!   streams, experiment P3).
 
 use monilog_detect::Window;
-use monilog_model::{CodecError, Decoder, Encoder, LogEvent, Timestamp};
+use monilog_model::{CodecError, Decoder, Encoder, LogEvent, SourceId, Timestamp};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// How the pipeline cuts the event stream into detection windows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -64,11 +64,15 @@ pub struct WindowAssembler {
     policy: WindowPolicy,
     /// Open sessions: key → (events, last activity).
     sessions: HashMap<String, (Vec<LogEvent>, Timestamp), FnvBuild>,
-    /// Buffer for tumbling / sessionless events.
+    /// Buffer for the explicit tumbling policy (whole merged stream).
     buffer: Vec<LogEvent>,
-    /// Last activity of `buffer`, for the idle sweep under the session
-    /// policy (sessionless windows close on idle like named sessions).
-    buffer_last: Timestamp,
+    /// Per-source side buffers for sessionless events under the session
+    /// policy. Keyed by source so a fleet monitor serving many sources
+    /// closes the same windows as one monitor per source — merging
+    /// sessionless events across sources would make window contents
+    /// depend on how sources are distributed over the fleet. BTreeMap so
+    /// sweeps and flushes close buffers in deterministic source order.
+    side: BTreeMap<SourceId, (Vec<LogEvent>, Timestamp)>,
     /// Lower bound on the least-recent activity among open sessions, or
     /// `None` when no sessions are open. Activity only ever raises a
     /// session's `last`, so the bound can go stale-low (triggering a
@@ -87,14 +91,14 @@ impl WindowAssembler {
             policy,
             sessions: HashMap::default(),
             buffer: Vec::new(),
-            buffer_last: Timestamp::EPOCH,
+            side: BTreeMap::new(),
             sweep_floor: None,
         }
     }
 
     /// Number of currently open sessions / buffered events.
     pub fn open_count(&self) -> usize {
-        self.sessions.len() + usize::from(!self.buffer.is_empty())
+        self.sessions.len() + self.side.len() + usize::from(!self.buffer.is_empty())
     }
 
     /// Feed one event (watermark = event time, monotone after the reorder
@@ -133,11 +137,15 @@ impl WindowAssembler {
                         }
                     },
                     None => {
-                        // Sessionless events tumble in a side buffer.
-                        self.buffer.push(event);
-                        self.buffer_last = now;
-                        if self.buffer.len() >= max_events {
-                            closed.push(Self::close(std::mem::take(&mut self.buffer)));
+                        // Sessionless events tumble in a per-source side
+                        // buffer.
+                        let source = event.source;
+                        let entry = self.side.entry(source).or_insert_with(|| (Vec::new(), now));
+                        entry.0.push(event);
+                        entry.1 = now;
+                        if entry.0.len() >= max_events {
+                            let (events, _) = self.side.remove(&source).expect("just updated");
+                            closed.push(Self::close(events));
                         }
                     }
                 }
@@ -167,15 +175,51 @@ impl WindowAssembler {
                     }
                     self.sweep_floor = self.sessions.values().map(|(_, last)| *last).min();
                 }
-                // The sessionless side buffer expires on idle too — a
+                // The sessionless side buffers expire on idle too — a
                 // trailing partial window must not sit open until
                 // max_events or final flush, delaying anomaly reports.
-                if !self.buffer.is_empty() && now.millis_since(self.buffer_last) > idle_ms {
-                    closed.push(Self::close(std::mem::take(&mut self.buffer)));
+                let idle_sources: Vec<SourceId> = self
+                    .side
+                    .iter()
+                    .filter(|(_, (_, last))| now.millis_since(*last) > idle_ms)
+                    .map(|(s, _)| *s)
+                    .collect();
+                for source in idle_sources {
+                    let (events, _) = self.side.remove(&source).expect("listed");
+                    closed.push(Self::close(events));
                 }
             }
         }
         closed
+    }
+
+    /// Silently drop every open session containing events from `source`,
+    /// plus its sessionless side buffer. This is the
+    /// cluster revocation path: a monitor that lost a source to failover
+    /// must not later emit reports from recovered half-windows — the new
+    /// owner rebuilds those windows in full. Returns dropped sessions
+    /// (counting the side buffer as one when it was touched).
+    pub fn discard_source(&mut self, source: monilog_model::SourceId) -> usize {
+        let doomed: Vec<String> = self
+            .sessions
+            .iter()
+            .filter(|(_, (events, _))| events.iter().any(|e| e.source == source))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut dropped = doomed.len();
+        for key in &doomed {
+            self.sessions.remove(key);
+        }
+        if self.side.remove(&source).is_some() {
+            dropped += 1;
+        }
+        let before = self.buffer.len();
+        self.buffer.retain(|e| e.source != source);
+        if self.buffer.len() < before {
+            dropped += 1;
+        }
+        self.sweep_floor = self.sessions.values().map(|(_, last)| *last).min();
+        dropped
     }
 
     /// Close everything still open (end of stream).
@@ -187,18 +231,22 @@ impl WindowAssembler {
             let (events, _) = self.sessions.remove(&key).expect("listed");
             closed.push(Self::close(events));
         }
+        for (_, (events, _)) in std::mem::take(&mut self.side) {
+            closed.push(Self::close(events));
+        }
         if !self.buffer.is_empty() {
             closed.push(Self::close(std::mem::take(&mut self.buffer)));
         }
         closed
     }
 
-    /// Serialize open sessions, the sessionless buffer, and their
-    /// activity timestamps for the durable checkpoint (`WNDA` v1).
-    /// Sessions are encoded in key order so identical assemblers export
+    /// Serialize open sessions, the per-source sessionless buffers, the
+    /// tumbling buffer, and their activity timestamps for the durable
+    /// checkpoint (`WNDA` v2). Sessions are encoded in key order (and
+    /// side buffers in source order) so identical assemblers export
     /// identical bytes.
     pub fn export_state(&self) -> Vec<u8> {
-        let mut e = Encoder::with_header(*b"WNDA", 1);
+        let mut e = Encoder::with_header(*b"WNDA", 2);
         let mut keys: Vec<&String> = self.sessions.keys().collect();
         keys.sort();
         e.put_len(keys.len());
@@ -211,11 +259,19 @@ impl WindowAssembler {
                 ev.encode_into(&mut e);
             }
         }
+        e.put_len(self.side.len());
+        for (source, (events, last)) in &self.side {
+            e.put_u64(source.0 as u64);
+            e.put_u64(last.as_millis());
+            e.put_len(events.len());
+            for ev in events {
+                ev.encode_into(&mut e);
+            }
+        }
         e.put_len(self.buffer.len());
         for ev in &self.buffer {
             ev.encode_into(&mut e);
         }
-        e.put_u64(self.buffer_last.as_millis());
         e.finish()
     }
 
@@ -224,7 +280,7 @@ impl WindowAssembler {
     /// in the event stream as the original would have.
     pub fn import_state(policy: WindowPolicy, bytes: &[u8]) -> Result<WindowAssembler, CodecError> {
         let mut d = Decoder::new(bytes);
-        d.expect_header(*b"WNDA", 1)?;
+        d.expect_header(*b"WNDA", 2)?;
         let n_sessions = d.get_len()?;
         let mut sessions: HashMap<String, (Vec<LogEvent>, Timestamp), FnvBuild> =
             HashMap::with_capacity_and_hasher(n_sessions, FnvBuild::default());
@@ -238,20 +294,34 @@ impl WindowAssembler {
             }
             sessions.insert(key, (events, last));
         }
+        let n_side = d.get_len()?;
+        let mut side: BTreeMap<SourceId, (Vec<LogEvent>, Timestamp)> = BTreeMap::new();
+        for _ in 0..n_side {
+            let source =
+                SourceId(u16::try_from(d.get_u64()?).map_err(|_| {
+                    CodecError::Corrupt("side buffer source id does not fit in u16")
+                })?);
+            let last = Timestamp::from_millis(d.get_u64()?);
+            let n_events = d.get_len()?;
+            let mut events = Vec::with_capacity(n_events);
+            for _ in 0..n_events {
+                events.push(LogEvent::decode_from(&mut d)?);
+            }
+            side.insert(source, (events, last));
+        }
         let n_buffer = d.get_len()?;
         let mut buffer = Vec::with_capacity(n_buffer);
         for _ in 0..n_buffer {
             buffer.push(LogEvent::decode_from(&mut d)?);
         }
-        let buffer_last = Timestamp::from_millis(d.get_u64()?);
         if !d.is_exhausted() {
             return Err(CodecError::Corrupt("trailing bytes after assembler state"));
         }
         let mut assembler = WindowAssembler::new(policy);
         assembler.sweep_floor = sessions.values().map(|(_, last)| *last).min();
         assembler.sessions = sessions;
+        assembler.side = side;
         assembler.buffer = buffer;
-        assembler.buffer_last = buffer_last;
         Ok(assembler)
     }
 

@@ -618,6 +618,148 @@ fn run_source_script(addr: SocketAddr, script: &[SourceFault]) -> SourceChaosSta
     stats
 }
 
+/// A byte-counting TCP proxy that injects *link* faults between a monitor
+/// and the cluster router: session `i` is killed (both directions torn
+/// down, mid-frame by construction) after forwarding `cut_after[i]` bytes;
+/// sessions past the script run clean. Reconnects land as new sessions, so
+/// `vec![200, 17, 900]` scripts "cut mid-stream, cut almost immediately
+/// (reconnect storm), cut again later, then behave". The cluster's
+/// at-least-once wire contract plus seq dedup must turn all of that into
+/// **zero** lost and zero duplicated lines — the harness asserts exactly
+/// that.
+pub struct FlakyLinkProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    sessions: Arc<AtomicU64>,
+    cuts: Arc<AtomicU64>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FlakyLinkProxy {
+    /// Listen on an ephemeral local port, forwarding every connection to
+    /// `upstream` under the scripted cut schedule.
+    pub fn spawn(upstream: SocketAddr, cut_after: Vec<usize>) -> std::io::Result<FlakyLinkProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let sessions = Arc::new(AtomicU64::new(0));
+        let cuts = Arc::new(AtomicU64::new(0));
+        let (t_stop, t_sessions, t_cuts) = (stop.clone(), sessions.clone(), cuts.clone());
+        let thread = std::thread::Builder::new()
+            .name("flaky-link-proxy".into())
+            .spawn(move || {
+                while !t_stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            let session = t_sessions.fetch_add(1, Ordering::SeqCst) as usize;
+                            let budget = cut_after.get(session).copied();
+                            if run_proxy_session(client, upstream, budget, &t_stop) {
+                                t_cuts.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn flaky link proxy");
+        Ok(FlakyLinkProxy {
+            addr,
+            stop,
+            sessions,
+            cuts,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address monitors should dial instead of the router.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sessions accepted so far (each monitor reconnect is one).
+    pub fn sessions(&self) -> u64 {
+        self.sessions.load(Ordering::SeqCst)
+    }
+
+    /// Sessions that were killed by the script (vs. ran clean).
+    pub fn cuts(&self) -> u64 {
+        self.cuts.load(Ordering::SeqCst)
+    }
+
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FlakyLinkProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Shuttle bytes both ways until the budget is spent (returns `true`: the
+/// session was cut) or a side closes (`false`). Single-threaded
+/// nonblocking loop — sessions are sequential on the proxy thread, which
+/// is exactly what a scripted schedule wants.
+fn run_proxy_session(
+    client: TcpStream,
+    upstream: SocketAddr,
+    budget: Option<usize>,
+    stop: &AtomicBool,
+) -> bool {
+    let Ok(server) = TcpStream::connect_timeout(&upstream, Duration::from_millis(1_000)) else {
+        return false;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    if client.set_nonblocking(true).is_err() || server.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut forwarded = 0usize;
+    let mut buf = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut moved = false;
+        for (from, to) in [(&client, &server), (&server, &client)] {
+            // Cap the read so the cut lands exactly on the budget byte —
+            // mid-frame whenever the budget says so.
+            let window = budget.map_or(buf.len(), |b| (b - forwarded).min(buf.len()));
+            match std::io::Read::read(&mut { from }, &mut buf[..window.max(1)]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    moved = true;
+                    forwarded += n;
+                    if std::io::Write::write_all(&mut { to }, &buf[..n]).is_err() {
+                        return false;
+                    }
+                    if budget.is_some_and(|b| forwarded >= b) {
+                        let _ = client.shutdown(std::net::Shutdown::Both);
+                        let _ = server.shutdown(std::net::Shutdown::Both);
+                        return true;
+                    }
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(_) => return false,
+            }
+        }
+        if !moved {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

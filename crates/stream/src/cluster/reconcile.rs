@@ -1,0 +1,170 @@
+//! Logan-style template reconciliation across the fleet.
+//!
+//! Each monitor grows its own Drain tree, so two nodes that see similar
+//! traffic drift: one holds `restart node <*>` where another holds
+//! `restart node srv42`. The coordinator/agent merge in
+//! `monilog-parse::logan` solves this inside one process; here the same
+//! discipline runs over the wire. Monitors periodically ship their encoded
+//! [`TemplateStore`]s ([`super::wire::Message::Templates`]); the router
+//! folds them into a fleet store with [`merge_template_store`] and
+//! broadcasts the merged result ([`super::wire::Message::Reconcile`]),
+//! which monitors apply idempotently through `Drain::adopt`.
+//!
+//! The merge is shape-based and conservative:
+//!
+//! - an incoming template whose rendered pattern already exists is a no-op;
+//! - an incoming template that is a **specialization** of a fleet template
+//!   (equal length, statics agree wherever the fleet has statics) is
+//!   absorbed — it would parse to the fleet template anyway;
+//! - an incoming template that is a **generalization** of exactly the same
+//!   shape (statics agree wherever *it* has statics) widens the fleet
+//!   template in place, mirroring Logan's mismatch→wildcard widening;
+//! - anything else is genuinely new and is interned.
+
+use monilog_model::{Template, TemplateStore, TemplateToken};
+
+/// `specific` parses-to `general`: same length, and wherever `general`
+/// holds a static token, `specific` holds the same static.
+fn covered_by(specific: &[TemplateToken], general: &[TemplateToken]) -> bool {
+    specific.len() == general.len()
+        && specific.iter().zip(general).all(|(s, g)| match g {
+            TemplateToken::Wildcard => true,
+            TemplateToken::Static(gs) => matches!(s, TemplateToken::Static(ss) if ss == gs),
+        })
+}
+
+/// Positionwise union of wildcards.
+fn widen(a: &[TemplateToken], b: &[TemplateToken]) -> Vec<TemplateToken> {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            if x.is_wildcard() || y.is_wildcard() {
+                TemplateToken::Wildcard
+            } else {
+                x.clone()
+            }
+        })
+        .collect()
+}
+
+/// Fold one node's template store into the fleet store. Returns the number
+/// of fleet-store changes (new templates interned + existing ones widened);
+/// `0` means the merge was a fixed point and no re-broadcast is needed.
+pub fn merge_template_store(fleet: &mut TemplateStore, incoming: &TemplateStore) -> usize {
+    let mut changed = 0;
+    for t in incoming.iter().cloned().collect::<Vec<Template>>() {
+        if fleet.find_by_pattern(&t.render()).is_some() {
+            continue;
+        }
+        // Absorbed: some fleet template already generalizes this shape.
+        if fleet.iter().any(|f| covered_by(&t.tokens, &f.tokens)) {
+            continue;
+        }
+        // Widen: the incoming shape generalizes an existing fleet template
+        // of the same skeleton — update it in place (Logan keeps the
+        // oldest id and widens, so ids stay stable across the fleet).
+        let victim = fleet
+            .iter()
+            .find(|f| covered_by(&f.tokens, &t.tokens))
+            .map(|f| (f.id, widen(&f.tokens, &t.tokens)));
+        if let Some((id, widened)) = victim {
+            fleet.update(id, widened);
+            changed += 1;
+            continue;
+        }
+        fleet.intern(t.tokens);
+        changed += 1;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_of(patterns: &[&str]) -> TemplateStore {
+        let mut s = TemplateStore::new();
+        for p in patterns {
+            let t = Template::from_pattern(Default::default(), p);
+            s.intern(t.tokens);
+        }
+        s
+    }
+
+    fn patterns(s: &TemplateStore) -> Vec<String> {
+        s.iter().map(|t| t.render()).collect()
+    }
+
+    #[test]
+    fn disjoint_stores_union() {
+        let mut fleet = store_of(&["proc <*> started", "heartbeat ok"]);
+        let incoming = store_of(&["disk <*> full", "link down on <*>"]);
+        assert_eq!(merge_template_store(&mut fleet, &incoming), 2);
+        assert_eq!(fleet.len(), 4);
+        assert!(fleet.find_by_pattern("disk <*> full").is_some());
+    }
+
+    #[test]
+    fn exact_duplicates_are_no_ops() {
+        let mut fleet = store_of(&["proc <*> started"]);
+        let incoming = store_of(&["proc <*> started"]);
+        assert_eq!(merge_template_store(&mut fleet, &incoming), 0);
+        assert_eq!(fleet.len(), 1);
+    }
+
+    #[test]
+    fn specializations_are_absorbed() {
+        // A node that only ever saw `proc worker7 started` ships the
+        // literal; the fleet's wildcard form already covers it.
+        let mut fleet = store_of(&["proc <*> started"]);
+        let incoming = store_of(&["proc worker7 started"]);
+        assert_eq!(merge_template_store(&mut fleet, &incoming), 0);
+        assert_eq!(patterns(&fleet), vec!["proc <*> started"]);
+    }
+
+    #[test]
+    fn generalizations_widen_in_place_keeping_the_id() {
+        let mut fleet = store_of(&["proc worker7 started"]);
+        let id_before = fleet.find_by_pattern("proc worker7 started").unwrap();
+        let incoming = store_of(&["proc <*> started"]);
+        assert_eq!(merge_template_store(&mut fleet, &incoming), 1);
+        assert_eq!(fleet.len(), 1, "widened, not duplicated");
+        let id_after = fleet.find_by_pattern("proc <*> started").unwrap();
+        assert_eq!(id_before, id_after, "Logan merge keeps the oldest id");
+        // The old rendering still resolves (alias preserved by update).
+        assert_eq!(
+            fleet.find_by_pattern("proc worker7 started"),
+            Some(id_before)
+        );
+    }
+
+    #[test]
+    fn unrelated_same_length_shapes_do_not_merge() {
+        let mut fleet = store_of(&["proc <*> started"]);
+        let incoming = store_of(&["disk <*> mounted"]);
+        assert_eq!(merge_template_store(&mut fleet, &incoming), 1);
+        assert_eq!(fleet.len(), 2);
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_convergent() {
+        let mut fleet = store_of(&["a <*> b", "heartbeat ok"]);
+        let incoming = store_of(&["a x b", "a <*> <*>", "new shape here"]);
+        let first = merge_template_store(&mut fleet, &incoming);
+        assert!(first > 0);
+        // Re-applying the same incoming store changes nothing.
+        assert_eq!(merge_template_store(&mut fleet, &incoming), 0);
+        // And merging the fleet into itself is a fixed point.
+        let snapshot = fleet.clone();
+        assert_eq!(merge_template_store(&mut fleet, &snapshot), 0);
+    }
+
+    #[test]
+    fn round_trips_through_the_wire_encoding() {
+        let mut fleet = store_of(&["proc <*> started"]);
+        let incoming = store_of(&["link down on <*>"]);
+        merge_template_store(&mut fleet, &incoming);
+        let decoded = TemplateStore::decode(&fleet.encode()).unwrap();
+        assert_eq!(patterns(&decoded), patterns(&fleet));
+    }
+}

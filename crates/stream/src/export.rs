@@ -17,7 +17,9 @@
 //!   recent-anomaly store
 //! - `GET /reports/{id}` — one report joined to its sampled trace spans
 //! - `GET /status` — the `ok | degraded | critical` health rollup
-//! - `GET /readyz` — readiness gate: 200 `ok` or 503 with reasons
+//! - `GET /readyz` — readiness gate: 200 `ok`, 200 with a `degraded`
+//!   status body (still ready — e.g. a lost router link while local
+//!   sources keep flowing), or 503 with reasons
 //! - `GET /config` / `POST /config` — view / hot-reload the runtime config
 //!
 //! Connections are served on the shared [`crate::net`] event loop: every
@@ -34,8 +36,8 @@
 use crate::net::{AsLoopFd, EventLoop, Handler, Interest, LoopCtx, Next};
 use crate::observe::MetricsRegistry;
 use crate::ops::{
-    parse_config_pairs, readiness_reasons, render_status, report_detail_json, reports_json,
-    OpsState, ReportsQuery,
+    degraded_reasons, parse_config_pairs, readiness_reasons, render_status, report_detail_json,
+    reports_json, OpsState, ReportsQuery,
 };
 use crate::trace::Tracer;
 use monilog_model::trace::json_string;
@@ -132,16 +134,35 @@ impl MetricsService {
                 // not-ready: fall back to liveness semantics.
                 None => ("200 OK", "text/plain", "ok\n".to_string()),
                 Some(ops) => {
-                    let reasons = readiness_reasons(&ops.status.inputs());
-                    if reasons.is_empty() {
-                        ("200 OK", "text/plain", "ok\n".to_string())
-                    } else {
-                        let rs: Vec<String> = reasons.iter().map(|r| json_string(r)).collect();
+                    let inputs = ops.status.inputs();
+                    let critical = readiness_reasons(&inputs);
+                    let degraded = degraded_reasons(&inputs);
+                    let enc = |rs: &[String]| -> String {
+                        let quoted: Vec<String> = rs.iter().map(|r| json_string(r)).collect();
+                        quoted.join(",")
+                    };
+                    if !critical.is_empty() {
                         (
                             "503 Service Unavailable",
                             "application/json",
-                            format!("{{\"ready\":false,\"reasons\":[{}]}}\n", rs.join(",")),
+                            format!("{{\"ready\":false,\"reasons\":[{}]}}\n", enc(&critical)),
                         )
+                    } else if !degraded.is_empty() {
+                        // Degraded but ready: a monitor that lost its
+                        // router keeps serving local sources, so probes
+                        // must NOT pull it from rotation — 200 with the
+                        // machine-readable reason in the body.
+                        (
+                            "200 OK",
+                            "application/json",
+                            format!(
+                                "{{\"ready\":true,\"status\":\"degraded\",\
+                                 \"reasons\":[{}]}}\n",
+                                enc(&degraded)
+                            ),
+                        )
+                    } else {
+                        ("200 OK", "text/plain", "ok\n".to_string())
                     }
                 }
             },
@@ -1348,6 +1369,49 @@ mod tests {
         assert!(body.starts_with("{\"status\":\"critical\""), "{body}");
         assert!(body.contains("\"config_version\":0"), "{body}");
         assert_content_length(&head, &body);
+    }
+
+    #[test]
+    fn readyz_reports_a_lost_router_link_as_degraded_not_503() {
+        let (exporter, ops) = spawn_ops_exporter();
+        let addr = exporter.local_addr();
+
+        // The monitor lost its router but keeps serving local sources:
+        // still ready, body carries the machine-readable reason.
+        ops.status.publish(StatusInputs {
+            router_link: Some(("degraded".to_string(), "router-link-lost".to_string())),
+            ..StatusInputs::default()
+        });
+        let (head, body) = http_get(addr, "/readyz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("\"ready\":true"), "{body}");
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+        assert!(body.contains("router-link-lost"), "{body}");
+        assert_content_length(&head, &body);
+
+        // /status carries the same condition in its degraded tier plus a
+        // structured cluster section.
+        let (_, body) = http_get(addr, "/status");
+        assert!(body.starts_with("{\"status\":\"degraded\""), "{body}");
+        assert!(
+            body.contains(
+                "\"cluster\":{\"router_link\":\"degraded\",\"reason\":\"router-link-lost\"}"
+            ),
+            "{body}"
+        );
+
+        // Reconnected: back to the plain ok probe, cluster section shows
+        // the healthy link.
+        ops.status.publish(StatusInputs {
+            router_link: Some(("connected".to_string(), String::new())),
+            ..StatusInputs::default()
+        });
+        let (head, body) = http_get(addr, "/readyz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, "ok\n");
+        let (_, body) = http_get(addr, "/status");
+        assert!(body.starts_with("{\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"router_link\":\"connected\""), "{body}");
     }
 
     /// Satellite guarantee: `/status` stays responsive while wedged

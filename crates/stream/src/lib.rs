@@ -50,6 +50,7 @@
 
 pub mod affinity;
 pub mod chaos;
+pub mod cluster;
 pub mod config;
 pub mod durable;
 pub mod export;
@@ -68,8 +69,12 @@ pub mod supervisor;
 pub mod trace;
 
 pub use chaos::{
-    FaultContext, FaultInjector, FaultPlan, FlakySourceClient, SourceChaosStats, SourceFault,
-    WorkerKill,
+    FaultContext, FaultInjector, FaultPlan, FlakyLinkProxy, FlakySourceClient, SourceChaosStats,
+    SourceFault, WorkerKill,
+};
+pub use cluster::{
+    is_router_source, rendezvous_owner, ClusterMailbox, LinkSnapshot, LinkState, Router,
+    RouterConfig, RouterLinkConfig, RouterStats, ROUTER_SOURCE_BASE,
 };
 pub use config::{BatchConfig, ConfigError, OverloadPolicy, RetryPolicy};
 pub use durable::{
@@ -97,9 +102,9 @@ pub use sinks::{
     SinkError, WebhookSink,
 };
 pub use sources::{
-    FrameDecoder, FrameError, MetricsEndpoint, SourceEvent, SourceQueue, SourcesConfig,
-    SourcesServer, SyslogMessage, TailCursor, TailSpec, HTTP_SOURCE, SYSLOG_TCP_SOURCE,
-    SYSLOG_UDP_SOURCE, TAIL_SOURCE_BASE,
+    FrameDecoder, FrameError, GlobResume, MetricsEndpoint, SourceEvent, SourceQueue, SourcesConfig,
+    SourcesServer, SyslogMessage, TailCursor, TailGlobSpec, TailSpec, HTTP_SOURCE,
+    SYSLOG_TCP_SOURCE, SYSLOG_UDP_SOURCE, TAIL_SOURCE_BASE,
 };
 pub use trace::{
     SpanRecord, SpanStage, TraceConfig, Tracer, DEFAULT_FLIGHT_CAPACITY, DEFAULT_SAMPLE_RATE,

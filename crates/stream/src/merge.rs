@@ -109,6 +109,17 @@ impl<T> BoundedReorderBuffer<T> {
         self.max_seen
     }
 
+    /// Drop buffered items failing the predicate — the purge path when a
+    /// cluster source is revoked mid-stream. The watermark anchor is
+    /// untouched: revocation must not un-release anything.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        let items = std::mem::take(&mut self.heap).into_vec();
+        self.heap = items
+            .into_iter()
+            .filter(|Reverse((_, _, HeapItem(v)))| keep(v))
+            .collect();
+    }
+
     /// Rebuild a buffer from a [`BoundedReorderBuffer::snapshot`]: items
     /// are re-inserted (in the given order, which preserves arrival
     /// tie-breaks) without triggering any release, and the watermark

@@ -499,6 +499,11 @@ pub struct StatusInputs {
     /// Journal bytes appended since the last checkpoint (replay cost of a
     /// crash right now).
     pub wal_lag_bytes: u64,
+    /// Cluster router link (`--join` monitors only): `(state, reason)`
+    /// from the link supervisor's snapshot. A lost link *degrades* the
+    /// monitor — local sources keep flowing — so it reports through the
+    /// degraded tier, never as a 503.
+    pub router_link: Option<(String, String)>,
 }
 
 impl StatusInputs {
@@ -558,6 +563,33 @@ pub fn readiness_reasons(inputs: &StatusInputs) -> Vec<String> {
     reasons
 }
 
+/// Conditions that degrade the service without making it unready — the
+/// degraded tier of [`render_status`], also reported (with a 200) by
+/// `GET /readyz` so probes distinguish "healthy" from "limping".
+pub fn degraded_reasons(inputs: &StatusInputs) -> Vec<String> {
+    let mut reasons = Vec::new();
+    if inputs.shards_stalled > 0 && inputs.shards_stalled < inputs.shards_total {
+        reasons.push(format!(
+            "{}/{} shards stalled",
+            inputs.shards_stalled, inputs.shards_total
+        ));
+    }
+    for (route, state) in &inputs.breakers {
+        if state != "closed" {
+            reasons.push(format!("breaker {route} {state}"));
+        }
+    }
+    if let Some((state, reason)) = &inputs.router_link {
+        if state != "connected" {
+            // e.g. `router link degraded: router-link-lost` — the monitor
+            // keeps serving local sources while the link supervisor
+            // reconnects, so this never gates readiness.
+            reasons.push(format!("router link {state}: {reason}"));
+        }
+    }
+    reasons
+}
+
 fn ms(ns: u64) -> f64 {
     ns as f64 / 1e6
 }
@@ -573,7 +605,7 @@ pub fn render_status(
     config_version: u64,
 ) -> (StatusLevel, String) {
     let critical = readiness_reasons(inputs);
-    let mut degraded = Vec::new();
+    let mut degraded = degraded_reasons(inputs);
     let budget_ns = budget_ms.saturating_mul(1_000_000);
     let mut stages = String::new();
     for (i, s) in snap.stages.iter().enumerate() {
@@ -596,22 +628,21 @@ pub fn render_status(
             ms(s.latency.max_ns)
         ));
     }
-    if inputs.shards_stalled > 0 && inputs.shards_stalled < inputs.shards_total {
-        degraded.push(format!(
-            "{}/{} shards stalled",
-            inputs.shards_stalled, inputs.shards_total
-        ));
-    }
     let mut breakers = String::new();
     for (i, (route, state)) in inputs.breakers.iter().enumerate() {
-        if state != "closed" {
-            degraded.push(format!("breaker {route} {state}"));
-        }
         if i > 0 {
             breakers.push(',');
         }
         breakers.push_str(&format!("{}:{}", json_string(route), json_string(state)));
     }
+    let cluster = match &inputs.router_link {
+        Some((state, reason)) => format!(
+            "{{\"router_link\":{},\"reason\":{}}}",
+            json_string(state),
+            json_string(reason)
+        ),
+        None => "null".to_string(),
+    };
     let level = if !critical.is_empty() {
         StatusLevel::Critical
     } else if !degraded.is_empty() {
@@ -643,6 +674,7 @@ pub fn render_status(
          \"shards\":{{\"total\":{},\"alive\":{},\"stalled\":{},\"crash_looping\":{}}},\
          \"queue\":{{\"depth\":{}}},\
          \"delivery\":{{\"pending_bytes\":{},\"spilling\":{},\"breakers\":{{{breakers}}}}},\
+         \"cluster\":{cluster},\
          \"durability\":{{\"checkpoint_generation\":{},\"checkpoint_age_ms\":{},\
          \"wal_lag_bytes\":{}}},\
          \"cache\":{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate:.4}}},\

@@ -1,13 +1,18 @@
-//! HTTP bulk-ingest source: `POST /ingest` with a newline-delimited body.
+//! HTTP bulk-ingest source: `POST /ingest` with a newline-delimited
+//! body, a JSON array of strings (`Content-Type: application/json`), or
+//! either of those gzipped (`Content-Encoding: gzip`, decompressed by
+//! the vendored [`super::inflate`] — no compression crate).
 //!
 //! Admission control happens *before* the body is accepted into the
 //! pipeline: a `Content-Length` above the configured cap is refused with
-//! 413 (the body is discarded, not buffered), and a body whose line count
+//! 413 (the body is discarded, not buffered; the same cap bounds the
+//! *decompressed* size of a gzip body), and a body whose line count
 //! exceeds the ingest queue's free space is refused with 429 +
 //! `Retry-After` so well-behaved clients back off instead of silently
-//! losing a prefix of their batch — a bulk POST is all-or-nothing.
+//! losing a prefix of their batch — a bulk POST is all-or-nothing, and a
+//! malformed JSON or gzip body rejects whole with 400.
 
-use super::{Shared, SourceEvent, HTTP_SOURCE};
+use super::{inflate, Shared, SourceEvent, HTTP_SOURCE};
 use crate::metrics::PipelineMetrics;
 use crate::net::{AsLoopFd, Handler, Interest, LoopCtx, Next};
 use monilog_model::ByteLine;
@@ -83,6 +88,11 @@ struct IngestConn {
     pending: VecDeque<ByteLine>,
     accepted: usize,
     opened: Instant,
+    /// `Content-Encoding: gzip` on the current request.
+    gzip: bool,
+    /// `Content-Type: application/json` on the current request: the body
+    /// is a JSON array of strings, one log line per element.
+    json: bool,
 }
 
 impl IngestConn {
@@ -97,6 +107,8 @@ impl IngestConn {
             pending: VecDeque::new(),
             accepted: 0,
             opened: Instant::now(),
+            gzip: false,
+            json: false,
         }
     }
 
@@ -142,17 +154,33 @@ impl IngestConn {
         let method = parts.next().unwrap_or("");
         let path = parts.next().unwrap_or("");
 
-        let content_length: usize = lines
-            .filter_map(|l| {
-                let (name, value) = l.split_once(':')?;
-                if name.eq_ignore_ascii_case("content-length") {
-                    value.trim().parse().ok()
-                } else {
-                    None
+        let mut content_length = 0usize;
+        let mut encoding_supported = true;
+        self.gzip = false;
+        self.json = false;
+        for l in lines {
+            let Some((name, value)) = l.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().unwrap_or(0);
+            } else if name.eq_ignore_ascii_case("content-encoding") {
+                match value.to_ascii_lowercase().as_str() {
+                    "gzip" | "x-gzip" => self.gzip = true,
+                    "identity" | "" => {}
+                    _ => encoding_supported = false,
                 }
-            })
-            .next()
-            .unwrap_or(0);
+            } else if name.eq_ignore_ascii_case("content-type") {
+                // Parameters (`; charset=...`) don't change the shape.
+                self.json = value
+                    .split(';')
+                    .next()
+                    .unwrap_or("")
+                    .trim()
+                    .eq_ignore_ascii_case("application/json");
+            }
+        }
 
         // Body bytes that already arrived behind the head.
         let trailing = self.head.split_off(head_end);
@@ -160,6 +188,16 @@ impl IngestConn {
         match (method, path) {
             ("GET", "/healthz") => self.respond("200 OK", "", "{\"status\":\"ok\"}\n"),
             ("POST", "/ingest") | ("POST", "/") => {
+                if !encoding_supported {
+                    let already = trailing.len().min(content_length);
+                    self.reject(
+                        "415 Unsupported Media Type",
+                        "",
+                        "{\"error\":\"only identity or gzip content-encoding\"}\n",
+                        content_length - already,
+                    );
+                    return;
+                }
                 if content_length > self.shared.max_http_body_bytes {
                     let already = trailing.len().min(content_length);
                     self.reject(
@@ -203,17 +241,79 @@ impl IngestConn {
 
     /// Body is complete: admission-check the whole batch, then enqueue.
     fn on_body(&mut self) {
-        let body = std::mem::take(&mut self.body);
-        // The whole body becomes one refcounted arrival buffer; each line is
-        // a sub-slice sharing it — no per-line allocation. (Invalid UTF-8 is
-        // lossy-repaired once, inside `from_bytes`.)
-        let body = ByteLine::from_bytes(body.into());
-        let lines: Vec<ByteLine> = body
-            .lines()
-            .map(str::trim_end)
-            .filter(|l| !l.is_empty())
-            .map(|l| body.slice_of(l))
-            .collect();
+        let mut raw = std::mem::take(&mut self.body);
+        if self.gzip {
+            // The body cap applies to what the pipeline would hold, so
+            // the *decompressed* size is capped too — a compression bomb
+            // stops inflating at the limit and is refused.
+            match inflate::gunzip(&raw, self.shared.max_http_body_bytes) {
+                Ok(decompressed) => raw = decompressed,
+                Err(inflate::InflateError::TooLarge) => {
+                    self.reject(
+                        "413 Payload Too Large",
+                        "",
+                        &format!(
+                            "{{\"error\":\"decompressed body exceeds {} bytes\"}}\n",
+                            self.shared.max_http_body_bytes
+                        ),
+                        0,
+                    );
+                    return;
+                }
+                Err(e) => {
+                    self.reject(
+                        "400 Bad Request",
+                        "",
+                        &format!("{{\"error\":\"invalid gzip body: {e}\"}}\n"),
+                        0,
+                    );
+                    return;
+                }
+            }
+        }
+        let lines: Vec<ByteLine> = if self.json {
+            // JSON array of strings: one log line per element, decoded
+            // into owned lines (escapes make zero-copy slicing moot).
+            let text = match std::str::from_utf8(&raw) {
+                Ok(text) => text,
+                Err(_) => {
+                    self.reject(
+                        "400 Bad Request",
+                        "",
+                        "{\"error\":\"json body is not valid utf-8\"}\n",
+                        0,
+                    );
+                    return;
+                }
+            };
+            match parse_json_string_array(text) {
+                Ok(items) => items
+                    .into_iter()
+                    .map(|s| s.trim_end().to_string())
+                    .filter(|s| !s.is_empty())
+                    .map(ByteLine::from_string)
+                    .collect(),
+                Err(why) => {
+                    self.reject(
+                        "400 Bad Request",
+                        "",
+                        &format!("{{\"error\":\"invalid json body: {why}\"}}\n"),
+                        0,
+                    );
+                    return;
+                }
+            }
+        } else {
+            // The whole body becomes one refcounted arrival buffer; each
+            // line is a sub-slice sharing it — no per-line allocation.
+            // (Invalid UTF-8 is lossy-repaired once, inside `from_bytes`.)
+            let body = ByteLine::from_bytes(raw.into());
+            body.lines()
+                .map(str::trim_end)
+                .filter(|l| !l.is_empty())
+                .map(|l| body.slice_of(l))
+                .collect()
+        };
         if lines.len() > self.shared.tx.free() {
             self.reject(
                 "429 Too Many Requests",
@@ -239,6 +339,7 @@ impl IngestConn {
                 source: HTTP_SOURCE,
                 line,
                 cursor: None,
+                seq: None,
             };
             if let Err(ev) = self.shared.push_or_apply_policy(ev, true) {
                 self.pending.push_front(ev.line);
@@ -323,6 +424,113 @@ impl IngestConn {
         }
         Ok(true)
     }
+}
+
+/// Parse a JSON array of strings — the only JSON shape `/ingest`
+/// accepts. Strict by design: the admission contract is all-or-nothing,
+/// so the first malformed element rejects the whole body. Small enough
+/// to live here rather than pull in a JSON crate.
+fn parse_json_string_array(text: &str) -> Result<Vec<String>, &'static str> {
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while matches!(b.get(*i), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            *i += 1;
+        }
+    }
+
+    fn hex4(b: &[u8], i: &mut usize) -> Result<u32, &'static str> {
+        let hex = b.get(*i..*i + 4).ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(hex).map_err(|_| "invalid \\u escape")?;
+        *i += 4;
+        u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape")
+    }
+
+    fn parse_string(b: &[u8], i: &mut usize) -> Result<String, &'static str> {
+        if b.get(*i) != Some(&b'"') {
+            return Err("array elements must be strings");
+        }
+        *i += 1;
+        let mut s: Vec<u8> = Vec::new();
+        loop {
+            let c = *b.get(*i).ok_or("unterminated string")?;
+            *i += 1;
+            match c {
+                b'"' => {
+                    // Raw multi-byte UTF-8 passed through untouched; the
+                    // input was validated as UTF-8 before parsing.
+                    return String::from_utf8(s).map_err(|_| "invalid utf-8 in string");
+                }
+                b'\\' => {
+                    let e = *b.get(*i).ok_or("unterminated escape")?;
+                    *i += 1;
+                    let ch = match e {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'b' => '\u{8}',
+                        b'f' => '\u{c}',
+                        b'n' => '\n',
+                        b'r' => '\r',
+                        b't' => '\t',
+                        b'u' => {
+                            let hi = hex4(b, i)?;
+                            if (0xD800..0xDC00).contains(&hi) {
+                                if b.get(*i..*i + 2) != Some(b"\\u") {
+                                    return Err("lone high surrogate");
+                                }
+                                *i += 2;
+                                let lo = hex4(b, i)?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid surrogate pair");
+                                }
+                                char::from_u32(0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00))
+                                    .ok_or("invalid surrogate pair")?
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err("lone low surrogate");
+                            } else {
+                                char::from_u32(hi).ok_or("invalid \\u escape")?
+                            }
+                        }
+                        _ => return Err("unknown escape"),
+                    };
+                    s.extend_from_slice(ch.encode_utf8(&mut [0u8; 4]).as_bytes());
+                }
+                0x00..=0x1F => return Err("unescaped control character"),
+                _ => s.push(c),
+            }
+        }
+    }
+
+    let b = text.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    if b.get(i) != Some(&b'[') {
+        return Err("body is not a JSON array");
+    }
+    i += 1;
+    skip_ws(b, &mut i);
+    let mut items = Vec::new();
+    if b.get(i) == Some(&b']') {
+        i += 1;
+    } else {
+        loop {
+            skip_ws(b, &mut i);
+            items.push(parse_string(b, &mut i)?);
+            skip_ws(b, &mut i);
+            match b.get(i) {
+                Some(&b',') => i += 1,
+                Some(&b']') => {
+                    i += 1;
+                    break;
+                }
+                _ => return Err("expected ',' or ']'"),
+            }
+        }
+    }
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err("trailing data after the array");
+    }
+    Ok(items)
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -442,6 +650,128 @@ mod tests {
         }
         let lines: Vec<&str> = got.iter().map(|e| e.line.as_str()).collect();
         assert_eq!(lines, vec!["alpha line", "beta line", "gamma line"]);
+    }
+
+    /// POST with arbitrary extra headers and a binary body.
+    fn post_raw(addr: SocketAddr, extra_headers: &str, body: &[u8]) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(
+            conn,
+            "POST /ingest HTTP/1.1\r\nHost: t\r\n{extra_headers}Content-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .unwrap();
+        conn.write_all(body).unwrap();
+        let mut response = String::new();
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        conn.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    /// A gzip member wrapping one stored deflate block — enough to
+    /// exercise the whole decode path without a compressor.
+    fn gzip_stored(payload: &[u8]) -> Vec<u8> {
+        let mut g = vec![0x1F, 0x8B, 8, 0, 0, 0, 0, 0, 0, 255];
+        g.push(0x01); // BFINAL=1, BTYPE=stored
+        g.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+        g.extend_from_slice(&(!(payload.len() as u16)).to_le_bytes());
+        g.extend_from_slice(payload);
+        g.extend_from_slice(&monilog_model::codec::crc32(payload).to_le_bytes());
+        g.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        g
+    }
+
+    fn drain(queue: &SourceQueue, want: usize) -> Vec<String> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut got = Vec::new();
+        while got.len() < want && Instant::now() < deadline {
+            got.extend(
+                queue
+                    .recv_batch(16, Duration::from_millis(20))
+                    .into_iter()
+                    .map(|e| e.line.as_str().to_string()),
+            );
+        }
+        got
+    }
+
+    #[test]
+    fn gzip_body_ingests_after_inflation() {
+        let (_server, queue, addr) = spawn(1024);
+        let body = gzip_stored(b"gz alpha\ngz beta\n");
+        let response = post_raw(addr, "Content-Encoding: gzip\r\n", &body);
+        assert!(response.contains("\"accepted\":2"), "{response}");
+        assert_eq!(drain(&queue, 2), vec!["gz alpha", "gz beta"]);
+    }
+
+    #[test]
+    fn corrupt_gzip_gets_400_all_or_nothing() {
+        let (_server, queue, addr) = spawn(1024);
+        let mut body = gzip_stored(b"one\ntwo\n");
+        let crc_at = body.len() - 8;
+        body[crc_at] ^= 0xFF;
+        let response = post_raw(addr, "Content-Encoding: gzip\r\n", &body);
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(queue.recv_batch(16, Duration::from_millis(100)).is_empty());
+    }
+
+    #[test]
+    fn json_array_body_ingests_each_element() {
+        let (_server, queue, addr) = spawn(1024);
+        let body = br#"[ "json one", "json two\twith tab", "", "json three" ]"#;
+        let response = post_raw(addr, "Content-Type: application/json\r\n", body);
+        assert!(response.contains("\"accepted\":3"), "{response}");
+        assert_eq!(
+            drain(&queue, 3),
+            vec!["json one", "json two\twith tab", "json three"]
+        );
+    }
+
+    #[test]
+    fn gzipped_json_combines_both_layers() {
+        let (_server, queue, addr) = spawn(1024);
+        let body = gzip_stored(br#"["deep one","deep two"]"#);
+        let response = post_raw(
+            addr,
+            "Content-Type: application/json\r\nContent-Encoding: gzip\r\n",
+            &body,
+        );
+        assert!(response.contains("\"accepted\":2"), "{response}");
+        assert_eq!(drain(&queue, 2), vec!["deep one", "deep two"]);
+    }
+
+    #[test]
+    fn malformed_json_gets_400() {
+        let (_server, queue, addr) = spawn(1024);
+        for body in [
+            &br#"{"not":"an array"}"#[..],
+            br#"["unterminated"#,
+            br#"[1, 2, 3]"#,
+            br#"["ok"] trailing"#,
+        ] {
+            let response = post_raw(addr, "Content-Type: application/json\r\n", body);
+            assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        }
+        assert!(queue.recv_batch(16, Duration::from_millis(100)).is_empty());
+    }
+
+    #[test]
+    fn unsupported_encoding_gets_415() {
+        let (_server, queue, addr) = spawn(1024);
+        let response = post_raw(addr, "Content-Encoding: br\r\n", b"whatever\n");
+        assert!(response.starts_with("HTTP/1.1 415"), "{response}");
+        assert!(queue.recv_batch(16, Duration::from_millis(100)).is_empty());
+    }
+
+    #[test]
+    fn json_escapes_decode() {
+        assert_eq!(
+            super::parse_json_string_array(r#"["a\nb", "Aé", "😀"]"#).unwrap(),
+            vec!["a\nb".to_string(), "Aé".to_string(), "😀".to_string()]
+        );
+        assert!(super::parse_json_string_array(r#"["\ud83d"]"#).is_err());
+        assert!(super::parse_json_string_array("[\"ctrl\u{1}\"]").is_err());
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Minimal decode-only DEFLATE (RFC 1951) and gzip (RFC 1952) support
+//! for the HTTP ingest path, so `POST /ingest` can accept
+//! `Content-Encoding: gzip` bodies without pulling in a compression
+//! crate. Stored, fixed-Huffman and dynamic-Huffman blocks are all
+//! handled; output is capped by the caller's admission limit so a
+//! compression bomb is refused before it inflates past the body cap.
+
+use monilog_model::codec::crc32;
+
+/// Decompression failure: a malformed stream, a truncated stream, or an
+/// output that would exceed the admission cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InflateError {
+    /// The stream ended before the final block completed.
+    Truncated,
+    /// Structurally invalid data (bad block type, bad Huffman code,
+    /// distance past the start of output, bad gzip header/trailer).
+    Corrupt(&'static str),
+    /// Decompressed output exceeded the caller's limit.
+    TooLarge,
+}
+
+impl std::fmt::Display for InflateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InflateError::Truncated => write!(f, "truncated deflate stream"),
+            InflateError::Corrupt(what) => write!(f, "corrupt deflate stream: {what}"),
+            InflateError::TooLarge => write!(f, "decompressed body exceeds the admission cap"),
+        }
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+/// LSB-first bit reader over the compressed stream.
+struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next unread byte.
+    pos: usize,
+    /// Bits consumed from `data[pos]` (0..8).
+    bit: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            bit: 0,
+        }
+    }
+
+    fn take(&mut self, count: u32) -> Result<u32, InflateError> {
+        debug_assert!(count <= 16);
+        let mut value = 0u32;
+        for i in 0..count {
+            let byte = *self.data.get(self.pos).ok_or(InflateError::Truncated)?;
+            value |= (((byte >> self.bit) & 1) as u32) << i;
+            self.bit += 1;
+            if self.bit == 8 {
+                self.bit = 0;
+                self.pos += 1;
+            }
+        }
+        Ok(value)
+    }
+
+    /// Discard partial bits and return the next whole-byte position.
+    fn align(&mut self) -> usize {
+        if self.bit != 0 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+        self.pos
+    }
+}
+
+/// A canonical Huffman decoder in the zlib "counts + symbols" form.
+struct Huffman {
+    /// counts[len] = number of codes of bit length `len` (index 0 unused).
+    counts: [u16; 16],
+    /// Symbols sorted by (code length, symbol value).
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    fn new(lengths: &[u8]) -> Result<Huffman, InflateError> {
+        let mut counts = [0u16; 16];
+        for &len in lengths {
+            counts[len as usize] += 1;
+        }
+        if counts[0] as usize == lengths.len() {
+            return Err(InflateError::Corrupt("huffman table with no codes"));
+        }
+        // An over-subscribed code set can send the decoder out of bounds.
+        let mut left = 1i32;
+        for &count in &counts[1..] {
+            left = (left << 1) - count as i32;
+            if left < 0 {
+                return Err(InflateError::Corrupt("over-subscribed huffman code"));
+            }
+        }
+        let mut offsets = [0u16; 16];
+        for len in 1..15 {
+            offsets[len + 1] = offsets[len] + counts[len];
+        }
+        let mut symbols = vec![0u16; lengths.len()];
+        for (symbol, &len) in lengths.iter().enumerate() {
+            if len != 0 {
+                symbols[offsets[len as usize] as usize] = symbol as u16;
+                offsets[len as usize] += 1;
+            }
+        }
+        Ok(Huffman { counts, symbols })
+    }
+
+    fn decode(&self, bits: &mut BitReader<'_>) -> Result<u16, InflateError> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..16 {
+            code |= bits.take(1)? as i32;
+            let count = self.counts[len] as i32;
+            if code - first < count {
+                return Ok(self.symbols[(index + code - first) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(InflateError::Corrupt("huffman code past 15 bits"))
+    }
+}
+
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u32; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u32; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+
+/// Order in which code-length code lengths are stored (RFC 1951 §3.2.7).
+const CLEN_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+fn push(out: &mut Vec<u8>, byte: u8, limit: usize) -> Result<(), InflateError> {
+    if out.len() >= limit {
+        return Err(InflateError::TooLarge);
+    }
+    out.push(byte);
+    Ok(())
+}
+
+/// Decode one Huffman-coded block body into `out`.
+fn inflate_block(
+    bits: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    limit: usize,
+    lit: &Huffman,
+    dist: &Huffman,
+) -> Result<(), InflateError> {
+    loop {
+        let symbol = lit.decode(bits)?;
+        match symbol {
+            0..=255 => push(out, symbol as u8, limit)?,
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = (symbol - 257) as usize;
+                let length = LENGTH_BASE[idx] as usize + bits.take(LENGTH_EXTRA[idx])? as usize;
+                let dsym = dist.decode(bits)? as usize;
+                if dsym >= 30 {
+                    return Err(InflateError::Corrupt("invalid distance symbol"));
+                }
+                let distance = DIST_BASE[dsym] as usize + bits.take(DIST_EXTRA[dsym])? as usize;
+                if distance > out.len() {
+                    return Err(InflateError::Corrupt("distance before start of output"));
+                }
+                for _ in 0..length {
+                    let byte = out[out.len() - distance];
+                    push(out, byte, limit)?;
+                }
+            }
+            _ => return Err(InflateError::Corrupt("invalid literal/length symbol")),
+        }
+    }
+}
+
+/// Build the literal/length + distance tables for a dynamic block
+/// (RFC 1951 §3.2.7).
+fn dynamic_tables(bits: &mut BitReader<'_>) -> Result<(Huffman, Huffman), InflateError> {
+    let hlit = bits.take(5)? as usize + 257;
+    let hdist = bits.take(5)? as usize + 1;
+    let hclen = bits.take(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(InflateError::Corrupt("dynamic table counts out of range"));
+    }
+    let mut clen_lengths = [0u8; 19];
+    for &slot in CLEN_ORDER.iter().take(hclen) {
+        clen_lengths[slot] = bits.take(3)? as u8;
+    }
+    let clen = Huffman::new(&clen_lengths)?;
+    let mut lengths = Vec::with_capacity(hlit + hdist);
+    while lengths.len() < hlit + hdist {
+        let symbol = clen.decode(bits)?;
+        match symbol {
+            0..=15 => lengths.push(symbol as u8),
+            16 => {
+                let &prev = lengths
+                    .last()
+                    .ok_or(InflateError::Corrupt("repeat with no previous length"))?;
+                for _ in 0..3 + bits.take(2)? {
+                    lengths.push(prev);
+                }
+            }
+            17 => lengths.extend(std::iter::repeat_n(0u8, 3 + bits.take(3)? as usize)),
+            18 => lengths.extend(std::iter::repeat_n(0u8, 11 + bits.take(7)? as usize)),
+            _ => return Err(InflateError::Corrupt("invalid code-length symbol")),
+        }
+    }
+    if lengths.len() != hlit + hdist {
+        return Err(InflateError::Corrupt("code lengths overrun the table"));
+    }
+    if lengths[256] == 0 {
+        return Err(InflateError::Corrupt("no end-of-block code"));
+    }
+    let lit = Huffman::new(&lengths[..hlit])?;
+    let dist = Huffman::new(&lengths[hlit..])?;
+    Ok((lit, dist))
+}
+
+/// The fixed-Huffman tables (RFC 1951 §3.2.6), built on demand — the
+/// ingest path decompresses at most one body per request, so there is
+/// nothing to cache across.
+fn fixed_tables() -> (Huffman, Huffman) {
+    let mut lengths = [0u8; 288];
+    lengths[..144].fill(8);
+    lengths[144..256].fill(9);
+    lengths[256..280].fill(7);
+    lengths[280..].fill(8);
+    let lit = Huffman::new(&lengths).expect("fixed literal table");
+    let dist = Huffman::new(&[5u8; 30]).expect("fixed distance table");
+    (lit, dist)
+}
+
+/// Decompress a raw DEFLATE stream. `limit` caps the output size.
+pub fn inflate(data: &[u8], limit: usize) -> Result<Vec<u8>, InflateError> {
+    let mut bits = BitReader::new(data);
+    let mut out = Vec::new();
+    loop {
+        let last = bits.take(1)? == 1;
+        match bits.take(2)? {
+            0 => {
+                // Stored: length + one's complement, then raw bytes.
+                let start = bits.align();
+                let header = data.get(start..start + 4).ok_or(InflateError::Truncated)?;
+                let len = u16::from_le_bytes([header[0], header[1]]) as usize;
+                let nlen = u16::from_le_bytes([header[2], header[3]]);
+                if nlen != !(len as u16) {
+                    return Err(InflateError::Corrupt("stored length check failed"));
+                }
+                let body = data
+                    .get(start + 4..start + 4 + len)
+                    .ok_or(InflateError::Truncated)?;
+                if out.len() + len > limit {
+                    return Err(InflateError::TooLarge);
+                }
+                out.extend_from_slice(body);
+                bits.pos = start + 4 + len;
+            }
+            1 => {
+                let (lit, dist) = fixed_tables();
+                inflate_block(&mut bits, &mut out, limit, &lit, &dist)?;
+            }
+            2 => {
+                let (lit, dist) = dynamic_tables(&mut bits)?;
+                inflate_block(&mut bits, &mut out, limit, &lit, &dist)?;
+            }
+            _ => return Err(InflateError::Corrupt("reserved block type")),
+        }
+        if last {
+            return Ok(out);
+        }
+    }
+}
+
+/// Decompress a gzip member: header, deflate body, CRC-32 + length
+/// trailer. Multi-member files are rejected — an ingest body is one
+/// member.
+pub fn gunzip(data: &[u8], limit: usize) -> Result<Vec<u8>, InflateError> {
+    if data.len() < 18 {
+        return Err(InflateError::Truncated);
+    }
+    if data[0] != 0x1F || data[1] != 0x8B {
+        return Err(InflateError::Corrupt("bad gzip magic"));
+    }
+    if data[2] != 8 {
+        return Err(InflateError::Corrupt("unsupported gzip method"));
+    }
+    let flags = data[3];
+    if flags & 0xE0 != 0 {
+        return Err(InflateError::Corrupt("reserved gzip flags set"));
+    }
+    // Skip MTIME (4), XFL, OS.
+    let mut pos = 10usize;
+    if flags & 0x04 != 0 {
+        // FEXTRA: u16 length + payload.
+        let len = data.get(pos..pos + 2).ok_or(InflateError::Truncated)?;
+        pos += 2 + u16::from_le_bytes([len[0], len[1]]) as usize;
+    }
+    for flag in [0x08u8, 0x10] {
+        // FNAME / FCOMMENT: zero-terminated strings.
+        if flags & flag != 0 {
+            let rest = data.get(pos..).ok_or(InflateError::Truncated)?;
+            let nul = rest
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or(InflateError::Truncated)?;
+            pos += nul + 1;
+        }
+    }
+    if flags & 0x02 != 0 {
+        // FHCRC: 2-byte header checksum.
+        pos += 2;
+    }
+    if pos + 8 > data.len() {
+        return Err(InflateError::Truncated);
+    }
+    let body = &data[pos..data.len() - 8];
+    let out = inflate(body, limit)?;
+    let trailer = &data[data.len() - 8..];
+    let want_crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let want_len = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
+    if out.len() as u32 != want_len {
+        return Err(InflateError::Corrupt("gzip length trailer mismatch"));
+    }
+    if crc32(&out) != want_crc {
+        return Err(InflateError::Corrupt("gzip crc mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `python3 -c "import gzip; print(list(gzip.compress(b'hello hello hello\n', mtime=0)))"`
+    const GZ_HELLO: [u8; 29] = [
+        31, 139, 8, 0, 0, 0, 0, 0, 2, 3, 203, 72, 205, 201, 201, 87, 200, 64, 144, 92, 0, 59, 124,
+        138, 223, 18, 0, 0, 0,
+    ];
+
+    /// 40 copies of a 46-byte log line, gzipped the same way — long
+    /// enough that CPython emits a dynamic-Huffman block.
+    const GZ_REPEATED: [u8; 81] = [
+        31, 139, 8, 0, 0, 0, 0, 0, 2, 3, 51, 50, 48, 50, 209, 53, 48, 4, 34, 133, 226, 178, 100, 5,
+        79, 63, 55, 127, 133, 162, 212, 194, 210, 212, 226, 18, 5, 67, 133, 140, 196, 188, 148,
+        156, 212, 20, 133, 204, 60, 5, 35, 133, 220, 98, 46, 163, 81, 213, 163, 170, 71, 85, 143,
+        170, 30, 85, 61, 170, 122, 68, 170, 6, 0, 5, 102, 32, 41, 48, 7, 0, 0,
+    ];
+
+    #[test]
+    fn gunzip_known_vector() {
+        let out = gunzip(&GZ_HELLO, 1024).unwrap();
+        assert_eq!(out, b"hello hello hello\n");
+    }
+
+    #[test]
+    fn gunzip_repeated_lines() {
+        let want = b"2024-01-01 svc INFO request 1 handled in 2 ms\n".repeat(40);
+        let out = gunzip(&GZ_REPEATED, 4096).unwrap();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn stored_block_round_trip() {
+        // A hand-assembled stored block: BFINAL=1, BTYPE=00, aligned
+        // LEN/NLEN, then the raw bytes.
+        let payload = b"raw stored bytes";
+        let mut stream = vec![0x01]; // BFINAL=1, BTYPE=00, then align
+        stream.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+        stream.extend_from_slice(&(!(payload.len() as u16)).to_le_bytes());
+        stream.extend_from_slice(payload);
+        assert_eq!(inflate(&stream, 1024).unwrap(), payload);
+    }
+
+    #[test]
+    fn output_limit_is_enforced() {
+        assert_eq!(gunzip(&GZ_HELLO, 4), Err(InflateError::TooLarge));
+    }
+
+    #[test]
+    fn trailer_corruption_is_detected() {
+        let mut bad = GZ_HELLO;
+        let crc_at = bad.len() - 8;
+        bad[crc_at] ^= 0xFF;
+        assert_eq!(
+            gunzip(&bad, 1024),
+            Err(InflateError::Corrupt("gzip crc mismatch"))
+        );
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        // Deterministic pseudo-random garbage must error, not panic or
+        // loop: the ingest path feeds this attacker-controlled bytes.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for len in [0usize, 1, 2, 10, 18, 64, 512] {
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                data.push((state >> 33) as u8);
+            }
+            let _ = gunzip(&data, 4096);
+            let _ = inflate(&data, 4096);
+            // Same garbage wearing a valid gzip magic.
+            if data.len() >= 4 {
+                data[0] = 0x1F;
+                data[1] = 0x8B;
+                data[2] = 8;
+                data[3] = 0;
+                let _ = gunzip(&data, 4096);
+            }
+        }
+    }
+}

@@ -31,12 +31,13 @@
 
 pub mod framing;
 mod http;
+pub mod inflate;
 pub mod syslog;
 mod tail;
 
 pub use framing::{FrameDecoder, FrameError};
 pub use syslog::{parse_syslog, SyslogMessage};
-pub use tail::{TailCursor, TailSpec};
+pub use tail::{glob_match, GlobResume, TailCursor, TailGlobSpec, TailSpec, MAX_TAIL_SLOTS};
 
 use crate::config::OverloadPolicy;
 use crate::durable::DeadLetterLog;
@@ -83,6 +84,10 @@ pub struct SourceEvent {
     /// For tail lines: `(tail index, cursor after this line)` — persist it
     /// alongside the journal seq to resume the tail after a restart.
     pub cursor: Option<(usize, TailCursor)>,
+    /// For router-fed lines: the wire sequence number assigned by the
+    /// router. The consumer journals under exactly this seq and dedups
+    /// replays against it; local sources leave it `None`.
+    pub seq: Option<u64>,
 }
 
 /// Configuration for [`SourcesServer::spawn`].
@@ -92,6 +97,9 @@ pub struct SourcesConfig {
     pub syslog_udp: Option<SocketAddr>,
     pub http: Option<SocketAddr>,
     pub tails: Vec<TailSpec>,
+    /// Glob tails (`--tail 'dir/app-*.log'`): the directory is rescanned
+    /// at runtime and every newly matching file gets its own tail slot.
+    pub tail_globs: Vec<TailGlobSpec>,
     /// Bound on queued-but-not-consumed lines across all sources.
     pub queue_capacity: usize,
     /// Largest accepted syslog frame / tail line.
@@ -103,6 +111,10 @@ pub struct SourcesConfig {
     pub on_overload: OverloadPolicy,
     /// RFC 3164 timestamps carry no year; this fills it in.
     pub assumed_year: i32,
+    /// When set, the server also maintains a client link to a cluster
+    /// router (`monilog monitor --join`), feeding router-assigned sources
+    /// through the same ingest queue.
+    pub router: Option<crate::cluster::link::RouterLinkConfig>,
 }
 
 impl Default for SourcesConfig {
@@ -112,12 +124,14 @@ impl Default for SourcesConfig {
             syslog_udp: None,
             http: None,
             tails: Vec::new(),
+            tail_globs: Vec::new(),
             queue_capacity: 8192,
             max_frame_bytes: 1024 * 1024,
             max_http_body_bytes: 8 * 1024 * 1024,
             idle_timeout: Duration::from_secs(300),
             on_overload: OverloadPolicy::Block,
             assumed_year: current_year(),
+            router: None,
         }
     }
 }
@@ -176,16 +190,17 @@ impl SourceQueue {
     }
 }
 
-/// Producer half, shared by every source handler.
+/// Producer half, shared by every source handler (and the cluster link,
+/// which feeds router-assigned sources through the same bounded queue).
 #[derive(Clone)]
-struct QueueTx {
+pub(crate) struct QueueTx {
     tx: SyncSender<SourceEvent>,
     depth: Arc<AtomicUsize>,
     capacity: usize,
 }
 
 impl QueueTx {
-    fn try_push(&self, ev: SourceEvent) -> Result<(), SourceEvent> {
+    pub(crate) fn try_push(&self, ev: SourceEvent) -> Result<(), SourceEvent> {
         match self.tx.try_send(ev) {
             Ok(()) => {
                 self.depth.fetch_add(1, Ordering::SeqCst);
@@ -219,6 +234,13 @@ struct Shared {
     /// monotonically decreasing-from-max seq — the real journal seq is
     /// assigned by the consumer, which these lines never reach.
     dlq_seq: AtomicUsize,
+    /// Next free tail slot for glob-discovered files, seeded above every
+    /// static tail and every slot recovered from the checkpoint manifest.
+    next_tail_slot: AtomicUsize,
+    /// Every live tail as `(slot, path)` — static and glob-discovered —
+    /// so the consumer can persist path-keyed cursors for files it never
+    /// saw in its configuration ([`SourcesServer::tail_paths`]).
+    tail_registry: std::sync::Mutex<Vec<(usize, std::path::PathBuf)>>,
 }
 
 /// `OverloadPolicy` <-> atomic-cell ordinal (the enum itself cannot live
@@ -293,6 +315,7 @@ pub struct SourcesServer {
     syslog_udp_addr: Option<SocketAddr>,
     http_addr: Option<SocketAddr>,
     metrics_addr: Option<SocketAddr>,
+    mailbox: Option<Arc<crate::cluster::ClusterMailbox>>,
 }
 
 /// Optional `/metrics` endpoint mounted on the same loop as the sources.
@@ -322,6 +345,21 @@ impl SourcesServer {
             depth: depth.clone(),
             capacity: config.queue_capacity.max(1),
         };
+        // Glob slots start above every static tail and every slot a
+        // previous life handed out (recovered through `known`), so a
+        // restart never reassigns a slot to a different file.
+        let mut next_tail_slot = config.tails.len();
+        for glob in &config.tail_globs {
+            for k in &glob.known {
+                next_tail_slot = next_tail_slot.max(k.slot + 1);
+            }
+        }
+        let static_tails: Vec<(usize, std::path::PathBuf)> = config
+            .tails
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| (i, spec.path.clone()))
+            .collect();
         let shared = Arc::new(Shared {
             tx: queue_tx,
             metrics: registry.counters().clone(),
@@ -332,6 +370,8 @@ impl SourcesServer {
             idle_timeout: config.idle_timeout,
             assumed_year: config.assumed_year,
             dlq_seq: AtomicUsize::new(0),
+            next_tail_slot: AtomicUsize::new(next_tail_slot),
+            tail_registry: std::sync::Mutex::new(static_tails),
         });
 
         let mut event_loop = EventLoop::new()?;
@@ -384,12 +424,28 @@ impl SourcesServer {
                 shared.clone(),
             )));
         }
+        for glob in &config.tail_globs {
+            event_loop.register_timer(Box::new(tail::GlobTailHandler::new(
+                glob.clone(),
+                shared.clone(),
+            )));
+        }
         if let Some(ep) = metrics_endpoint {
             let listener = bind_reusable(ep.addr)?;
             metrics_addr = Some(listener.local_addr()?);
             listener.set_nonblocking(true)?;
             let service = Arc::new(MetricsService::new(registry, ep.tracer, ep.ops));
             register_metrics_listener(&mut event_loop, listener, service, ep.interval)?;
+        }
+        let mut mailbox = None;
+        if let Some(link_cfg) = config.router.clone() {
+            let mb = crate::cluster::ClusterMailbox::new(link_cfg.node.clone());
+            event_loop.register_timer(Box::new(crate::cluster::link::LinkSupervisor::new(
+                link_cfg,
+                shared.tx.clone(),
+                mb.clone(),
+            )));
+            mailbox = Some(mb);
         }
 
         let stop = Arc::new(AtomicBool::new(false));
@@ -408,6 +464,7 @@ impl SourcesServer {
                 syslog_udp_addr,
                 http_addr,
                 metrics_addr,
+                mailbox,
             },
             SourceQueue { rx, depth },
         ))
@@ -438,6 +495,24 @@ impl SourcesServer {
     }
     pub fn metrics_addr(&self) -> Option<SocketAddr> {
         self.metrics_addr
+    }
+
+    /// The cluster link mailbox, when this server was spawned with a
+    /// router link (`--join`). The consumer polls it each ingest round.
+    pub fn cluster_mailbox(&self) -> Option<Arc<crate::cluster::ClusterMailbox>> {
+        self.mailbox.clone()
+    }
+
+    /// Every live tail as `(slot, path)` — static tails plus files a glob
+    /// discovered at runtime. The consumer resolves the path of a cursor
+    /// index it has never seen here, so the persisted cursor stays
+    /// path-keyed and survives restarts.
+    pub fn tail_paths(&self) -> Vec<(usize, std::path::PathBuf)> {
+        self.shared
+            .tail_registry
+            .lock()
+            .map(|reg| reg.clone())
+            .unwrap_or_default()
     }
 }
 
@@ -518,6 +593,7 @@ impl SyslogConn {
                 source: SYSLOG_TCP_SOURCE,
                 line,
                 cursor: None,
+                seq: None,
             };
             if let Err(ev) = self.shared.push_or_apply_policy(ev, true) {
                 self.pending.push_front(ev.line);
@@ -538,6 +614,7 @@ impl SyslogConn {
                 source: SYSLOG_TCP_SOURCE,
                 line: msg,
                 cursor: None,
+                seq: None,
             };
             if let Err(ev) = self.shared.push_or_apply_policy(ev, true) {
                 self.pending.push_back(ev.line);
@@ -655,6 +732,7 @@ impl Handler for SyslogUdp {
                         source: SYSLOG_UDP_SOURCE,
                         line: msg.into(),
                         cursor: None,
+                        seq: None,
                     };
                     // can_pause=false: dropping is UDP's only overload move.
                     let _ = self.shared.push_or_apply_policy(ev, false);

@@ -14,20 +14,39 @@
 //! Tails are timer-driven handlers on the shared event loop (regular files
 //! are always "ready"; readiness APIs are useless for them), polling at the
 //! loop tick.
+//!
+//! A `--tail` argument whose basename contains `*` or `?` is a glob: a
+//! [`GlobTailHandler`] rescans the parent directory on a timer and
+//! registers a fresh [`FileTailHandler`] for every newly matching file —
+//! discovery at runtime, not just at startup. Each discovered file gets a
+//! stable slot (hence a stable `SourceId`) from a shared allocator, and
+//! the `(slot, path)` pair is recorded in the server's tail registry so
+//! the consumer can persist *path-keyed* cursors for files it never saw in
+//! its static configuration.
 
 use super::{Shared, SourceEvent, TAIL_SOURCE_BASE};
 use crate::net::{Handler, Interest, LoopCtx, Next};
 use monilog_model::ByteLine;
 use monilog_model::SourceId;
 use std::collections::VecDeque;
+use std::ffi::OsString;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::PathBuf;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Bytes read per poll tick, bounding loop stall per tail.
 const TAIL_QUANTUM: usize = 256 * 1024;
+
+/// How often a glob tail rescans its directory for new matches.
+const GLOB_SCAN_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Tail slots live in the source-id range `[TAIL_SOURCE_BASE,
+/// ROUTER_SOURCE_BASE)`; a glob that discovers more files than this stops
+/// attaching new ones rather than colliding with router-assigned sources.
+pub const MAX_TAIL_SLOTS: usize = (crate::cluster::ROUTER_SOURCE_BASE - TAIL_SOURCE_BASE) as usize;
 
 /// Resume position for one tailed file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,6 +78,181 @@ impl TailSpec {
             resume: None,
             skip_lines: 0,
         }
+    }
+}
+
+/// A glob tail: `dir/pattern` where the basename carries `*`/`?`
+/// wildcards. The directory part is literal.
+#[derive(Debug, Clone)]
+pub struct TailGlobSpec {
+    /// Full pattern as configured (e.g. `/var/log/app-*.log`).
+    pub pattern: PathBuf,
+    /// Path-keyed resume state recovered from the checkpoint manifest:
+    /// files this glob discovered in a previous life keep their slot,
+    /// cursor, and WAL skip count.
+    pub known: Vec<GlobResume>,
+}
+
+impl TailGlobSpec {
+    pub fn new(pattern: impl Into<PathBuf>) -> Self {
+        TailGlobSpec {
+            pattern: pattern.into(),
+            known: Vec::new(),
+        }
+    }
+}
+
+/// Recovered state for one file a glob tail discovered before a restart.
+#[derive(Debug, Clone)]
+pub struct GlobResume {
+    /// The tail slot the file held (its `SourceId` is
+    /// `TAIL_SOURCE_BASE + slot`); reusing it keeps journal seqs and
+    /// dedup state consistent across restarts.
+    pub slot: usize,
+    pub path: PathBuf,
+    pub resume: TailCursor,
+    /// Lines journaled past the cursor (replayed from the WAL) that the
+    /// re-opened tail must skip.
+    pub skip_lines: u64,
+}
+
+/// Match `name` against a basename glob `pattern` supporting `*` (any run,
+/// including empty) and `?` (any single byte). Iterative with single-star
+/// backtracking — linear in practice, never recursive.
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    let p = pattern.as_bytes();
+    let n = name.as_bytes();
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let (mut star, mut mark) = (usize::MAX, 0usize);
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == b'?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = pi;
+            mark = ni;
+            pi += 1;
+        } else if star != usize::MAX {
+            // Backtrack: let the last `*` swallow one more byte.
+            pi = star + 1;
+            mark += 1;
+            ni = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Timer-driven directory scanner: discovers files matching a glob and
+/// registers a [`FileTailHandler`] for each, at startup and at runtime.
+pub(super) struct GlobTailHandler {
+    dir: PathBuf,
+    /// Basename pattern (`*`/`?` wildcards).
+    pattern: String,
+    shared: Arc<Shared>,
+    known: Vec<GlobResume>,
+    /// Basenames already attached (or permanently skipped): a file is
+    /// discovered at most once; rotation/truncation of an attached file is
+    /// the per-file handler's business.
+    seen: std::collections::HashSet<OsString>,
+    next_scan: Instant,
+}
+
+impl GlobTailHandler {
+    pub(super) fn new(spec: TailGlobSpec, shared: Arc<Shared>) -> Self {
+        let dir = match spec.pattern.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        let pattern = spec
+            .pattern
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("*")
+            .to_string();
+        GlobTailHandler {
+            dir,
+            pattern,
+            shared,
+            known: spec.known,
+            seen: std::collections::HashSet::new(),
+            next_scan: Instant::now(),
+        }
+    }
+
+    fn scan(&mut self, ctx: &mut LoopCtx<'_>) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return; // directory missing or unreadable; retry next scan
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name_str) = name.to_str() else {
+                continue;
+            };
+            if !glob_match(&self.pattern, name_str) || self.seen.contains(&name) {
+                continue;
+            }
+            let path = self.dir.join(&name);
+            // Follow symlinks; only regular files are tailable.
+            if !std::fs::metadata(&path)
+                .map(|m| m.is_file())
+                .unwrap_or(false)
+            {
+                continue;
+            }
+            self.seen.insert(name);
+            let (slot, resume, skip_lines) = match self.known.iter().position(|k| k.path == path) {
+                Some(i) => {
+                    let k = self.known.swap_remove(i);
+                    (k.slot, Some(k.resume), k.skip_lines)
+                }
+                None => (
+                    self.shared.next_tail_slot.fetch_add(1, Ordering::SeqCst),
+                    None,
+                    0,
+                ),
+            };
+            if slot >= MAX_TAIL_SLOTS {
+                // Source-id space exhausted: the file stays untailed (and
+                // `seen`, so the scan does not spin on it).
+                crate::metrics::PipelineMetrics::add(&self.shared.metrics.sources_lines_shed, 1);
+                continue;
+            }
+            if let Ok(mut reg) = self.shared.tail_registry.lock() {
+                reg.push((slot, path.clone()));
+            }
+            ctx.register_timer(Box::new(FileTailHandler::new(
+                TailSpec {
+                    path,
+                    resume,
+                    skip_lines,
+                },
+                slot,
+                self.shared.clone(),
+            )));
+        }
+    }
+}
+
+impl Handler for GlobTailHandler {
+    fn ready(&mut self, _r: bool, _w: bool, _ctx: &mut LoopCtx<'_>) -> Next {
+        Next::Keep // timer-only: no fd
+    }
+
+    fn tick(&mut self, now: Instant, ctx: &mut LoopCtx<'_>) -> Next {
+        if now >= self.next_scan {
+            self.next_scan = now + GLOB_SCAN_INTERVAL;
+            self.scan(ctx);
+        }
+        Next::Keep
+    }
+
+    fn interest(&self) -> Interest {
+        Interest::NONE
     }
 }
 
@@ -116,6 +310,7 @@ impl FileTailHandler {
                 source: self.source,
                 line,
                 cursor: Some((self.index, cursor)),
+                seq: None,
             };
             if let Err(ev) = self.shared.push_or_apply_policy(ev, true) {
                 let (_, cursor) = ev.cursor.expect("tail event keeps its cursor");
@@ -278,6 +473,7 @@ impl FileTailHandler {
                     source: self.source,
                     line,
                     cursor: Some((self.index, cursor)),
+                    seq: None,
                 };
                 if let Err(ev) = self.shared.push_or_apply_policy(ev, true) {
                     let (_, cursor) = ev.cursor.expect("tail event keeps its cursor");
@@ -458,6 +654,121 @@ mod tests {
 
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&rotated);
+    }
+
+    #[test]
+    fn glob_match_covers_star_and_question() {
+        assert!(glob_match("*", "anything.log"));
+        assert!(glob_match("app-*.log", "app-1.log"));
+        assert!(glob_match("app-*.log", "app-.log"));
+        assert!(glob_match("app-*.log", "app-very-long-suffix.log"));
+        assert!(!glob_match("app-*.log", "app-1.txt"));
+        assert!(!glob_match("app-*.log", "web-1.log"));
+        assert!(glob_match("?.log", "a.log"));
+        assert!(!glob_match("?.log", "ab.log"));
+        assert!(glob_match("a*b*c", "a-x-b-y-c"));
+        assert!(!glob_match("a*b*c", "a-x-b-y"));
+        assert!(glob_match("**", "x"));
+        assert!(glob_match("*", ""));
+        assert!(!glob_match("?", ""));
+        // `*` must backtrack past a premature literal match.
+        assert!(glob_match("*.tar.gz", "backup.tar.tar.gz"));
+    }
+
+    #[test]
+    fn glob_discovers_files_at_runtime_with_distinct_slots() {
+        let dir = std::env::temp_dir().join(format!(
+            "monilog-glob-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("app-a.log");
+        let mut fa = std::fs::File::create(&a).unwrap();
+        writeln!(fa, "from a").unwrap();
+        fa.flush().unwrap();
+        // A non-matching neighbour must be ignored.
+        std::fs::write(dir.join("other.txt"), b"nope\n").unwrap();
+
+        let cfg = SourcesConfig {
+            tail_globs: vec![TailGlobSpec::new(dir.join("app-*.log"))],
+            queue_capacity: 128,
+            assumed_year: 2026,
+            ..SourcesConfig::default()
+        };
+        let (server, queue) =
+            SourcesServer::spawn(cfg, MetricsRegistry::shared_with_shards(1), None, None).unwrap();
+
+        let got = drain_for(&queue, 1, 5);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, "from a");
+        let (slot_a, _) = got[0].cursor.unwrap();
+
+        // A file created while the server runs is discovered and tailed.
+        let b = dir.join("app-b.log");
+        let mut fb = std::fs::File::create(&b).unwrap();
+        writeln!(fb, "from b").unwrap();
+        fb.flush().unwrap();
+        let got = drain_for(&queue, 1, 10);
+        assert_eq!(got.len(), 1, "runtime-created file must be discovered");
+        assert_eq!(got[0].line, "from b");
+        let (slot_b, _) = got[0].cursor.unwrap();
+        assert_ne!(slot_a, slot_b, "each discovered file gets its own slot");
+
+        // The registry exposes both discovered paths, keyed by slot.
+        let paths = server.tail_paths();
+        assert_eq!(paths.len(), 2);
+        assert!(paths.iter().any(|(s, p)| *s == slot_a && *p == a));
+        assert!(paths.iter().any(|(s, p)| *s == slot_b && *p == b));
+
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn glob_resume_reuses_the_recovered_slot_and_cursor() {
+        let dir = std::env::temp_dir().join(format!(
+            "monilog-glob-resume-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("svc-0.log");
+        let mut f = std::fs::File::create(&path).unwrap();
+        for i in 0..6 {
+            writeln!(f, "line {i}").unwrap();
+        }
+        f.flush().unwrap();
+        let inode = inode_of(&std::fs::metadata(&path).unwrap());
+
+        // A previous life tailed this file at slot 5 and checkpointed a
+        // cursor after "line 2" (3 lines * 7 bytes), with one more line in
+        // the WAL past the cursor.
+        let cfg = SourcesConfig {
+            tail_globs: vec![TailGlobSpec {
+                pattern: dir.join("svc-*.log"),
+                known: vec![GlobResume {
+                    slot: 5,
+                    path: path.clone(),
+                    resume: TailCursor {
+                        inode,
+                        offset: 21,
+                        last_seq: 3,
+                    },
+                    skip_lines: 1,
+                }],
+            }],
+            queue_capacity: 128,
+            assumed_year: 2026,
+            ..SourcesConfig::default()
+        };
+        let (_server, queue) =
+            SourcesServer::spawn(cfg, MetricsRegistry::shared_with_shards(1), None, None).unwrap();
+        let got = drain_for(&queue, 2, 5);
+        let lines: Vec<&str> = got.iter().map(|e| e.line.as_str()).collect();
+        assert_eq!(lines, vec!["line 4", "line 5"]);
+        assert_eq!(got[0].cursor.unwrap().0, 5, "recovered slot is reused");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
